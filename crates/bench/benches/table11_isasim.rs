@@ -1,0 +1,54 @@
+//! Tables 9/11/12 workloads: the ISA-simulator kernels themselves. The
+//! interesting *outputs* (mix, path length, CPI) come from
+//! `examples/paper_report.rs`; these benches time the simulation machinery
+//! so regressions in the simulator are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sslperf_core::isasim::kernels;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table11/isasim_kernels");
+    group.sample_size(20);
+    group.bench_function("aes_block", |b| {
+        b.iter(|| black_box(kernels::aes::simulate_block(&[1; 16], &[2; 16])));
+    });
+    group.bench_function("des_block", |b| {
+        b.iter(|| black_box(kernels::des::simulate_des_block(&[1; 8], &[2; 8])));
+    });
+    group.bench_function("des3_block", |b| {
+        b.iter(|| black_box(kernels::des::simulate_des3_block(&[1; 24], &[2; 8])));
+    });
+    group.bench_function("rc4_256_bytes", |b| {
+        b.iter(|| black_box(kernels::rc4::simulate(b"benchkey", 256)));
+    });
+    group.bench_function("md5_block", |b| {
+        b.iter(|| black_box(kernels::md5::simulate_block([0; 4], &[0x5a; 64])));
+    });
+    group.bench_function("sha1_block", |b| {
+        b.iter(|| black_box(kernels::sha1::simulate_block([0; 5], &[0x5a; 64])));
+    });
+    group.bench_function("bn_mul_add_32w", |b| {
+        let a: Vec<u32> = (0..32).collect();
+        let r: Vec<u32> = (100..132).collect();
+        b.iter(|| black_box(kernels::bn::simulate_mul_add(&r, &a, 0x1234_5677)));
+    });
+    group.finish();
+}
+
+fn bench_program_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table11/isasim_emit");
+    group.bench_function("emit_md5_program", |b| {
+        b.iter(|| black_box(kernels::md5::program()));
+    });
+    group.bench_function("emit_aes_program", |b| {
+        b.iter(|| black_box(kernels::aes::program()));
+    });
+    group.bench_function("emit_table9_body", |b| {
+        b.iter(|| black_box(kernels::bn::table9_body()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_program_construction);
+criterion_main!(benches);

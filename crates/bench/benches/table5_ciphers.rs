@@ -1,0 +1,152 @@
+//! Figure 3 / Tables 4–6 workloads: key setups, block-operation phases and
+//! bulk encryption for each symmetric algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sslperf_core::prelude::*;
+use std::hint::black_box;
+
+/// Figure 3's numerator: the key-setup phase of each algorithm.
+fn bench_key_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/key_setup");
+    group.bench_function("AES-128", |b| {
+        b.iter(|| black_box(Aes::new(black_box(&[7u8; 16])).expect("key")));
+    });
+    group.bench_function("AES-256", |b| {
+        b.iter(|| black_box(Aes::new(black_box(&[7u8; 32])).expect("key")));
+    });
+    group.bench_function("DES", |b| {
+        b.iter(|| black_box(Des::new(black_box(&[7u8; 8])).expect("key")));
+    });
+    group.bench_function("3DES", |b| {
+        b.iter(|| black_box(Des3::new(black_box(&[7u8; 24])).expect("key")));
+    });
+    group.bench_function("RC4", |b| {
+        b.iter(|| black_box(Rc4::new(black_box(&[7u8; 16])).expect("key")));
+    });
+    group.finish();
+}
+
+/// Table 5's parts: the three phases of the AES block operation.
+fn bench_aes_phases(c: &mut Criterion) {
+    let aes128 = Aes::new(&[1u8; 16]).expect("key");
+    let aes256 = Aes::new(&[1u8; 32]).expect("key");
+    let block = [0x42u8; 16];
+    let mut group = c.benchmark_group("table5/aes_phases");
+    for (label, aes) in [("128", &aes128), ("256", &aes256)] {
+        let state = aes.add_initial_round_key(&block);
+        let after = aes.main_rounds(state);
+        group.bench_function(format!("initial_round_key_{label}"), |b| {
+            b.iter(|| black_box(aes.add_initial_round_key(black_box(&block))));
+        });
+        group.bench_function(format!("main_rounds_{label}"), |b| {
+            b.iter(|| black_box(aes.main_rounds(black_box(state))));
+        });
+        group.bench_function(format!("final_round_{label}"), |b| {
+            let mut out = [0u8; 16];
+            b.iter(|| {
+                aes.final_round(black_box(after), &mut out);
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Table 6's parts: IP, substitution rounds and FP for DES and 3DES.
+fn bench_des_phases(c: &mut Criterion) {
+    let des = Des::new(&[2u8; 8]).expect("key");
+    let des3 = Des3::new(&[2u8; 24]).expect("key");
+    let block = *b"DESbench";
+    let (l, r) = Des::initial_permutation(&block);
+    let mut group = c.benchmark_group("table6/des_phases");
+    group.bench_function("initial_permutation", |b| {
+        b.iter(|| black_box(Des::initial_permutation(black_box(&block))));
+    });
+    group.bench_function("substitution_des", |b| {
+        b.iter(|| black_box(des.substitution_rounds(black_box(l), black_box(r), false)));
+    });
+    group.bench_function("substitution_3des", |b| {
+        b.iter(|| black_box(des3.substitution_rounds(black_box(l), black_box(r), false)));
+    });
+    group.bench_function("final_permutation", |b| {
+        let mut out = [0u8; 8];
+        b.iter(|| {
+            Des::final_permutation(black_box(l), black_box(r), &mut out);
+            black_box(&out);
+        });
+    });
+    group.finish();
+}
+
+/// Table 11's symmetric throughput column: bulk encryption by size.
+fn bench_bulk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table11/bulk_encrypt");
+    for size in [1024usize, 8192, 65_536] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("AES-128", size), &size, |b, &size| {
+            let aes = Aes::new(&[3u8; 16]).expect("key");
+            let mut buf = vec![0u8; size];
+            b.iter(|| {
+                for chunk in buf.chunks_exact_mut(16) {
+                    aes.encrypt_block(chunk);
+                }
+                black_box(&buf);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("DES", size), &size, |b, &size| {
+            let des = Des::new(&[3u8; 8]).expect("key");
+            let mut buf = vec![0u8; size];
+            b.iter(|| {
+                for chunk in buf.chunks_exact_mut(8) {
+                    des.encrypt_block(chunk);
+                }
+                black_box(&buf);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("3DES", size), &size, |b, &size| {
+            let des3 = Des3::new(&[3u8; 24]).expect("key");
+            let mut buf = vec![0u8; size];
+            b.iter(|| {
+                for chunk in buf.chunks_exact_mut(8) {
+                    des3.encrypt_block(chunk);
+                }
+                black_box(&buf);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("RC4", size), &size, |b, &size| {
+            let mut rc4 = Rc4::new(&[3u8; 16]).expect("key");
+            let mut buf = vec![0u8; size];
+            b.iter(|| {
+                rc4.process(&mut buf);
+                black_box(&buf);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// CBC mode on top of the block ciphers (the record layer's configuration).
+fn bench_cbc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table11/cbc_encrypt_16k");
+    group.throughput(Throughput::Bytes(16_384));
+    group.bench_function("AES-128-CBC", |b| {
+        let mut cbc = Cbc::new(Aes::new(&[4u8; 16]).expect("key"), vec![0u8; 16]).expect("iv");
+        let mut buf = vec![0u8; 16_384];
+        b.iter(|| {
+            cbc.encrypt(&mut buf).expect("aligned");
+            black_box(&buf);
+        });
+    });
+    group.bench_function("3DES-CBC", |b| {
+        let mut cbc = Cbc::new(Des3::new(&[4u8; 24]).expect("key"), vec![0u8; 8]).expect("iv");
+        let mut buf = vec![0u8; 16_384];
+        b.iter(|| {
+            cbc.encrypt(&mut buf).expect("aligned");
+            black_box(&buf);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_key_setup, bench_aes_phases, bench_des_phases, bench_bulk, bench_cbc);
+criterion_main!(benches);

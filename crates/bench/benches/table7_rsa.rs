@@ -1,0 +1,71 @@
+//! Table 7/8 workloads: RSA decryption across key sizes and its pipeline
+//! steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sslperf_bench::key;
+use sslperf_core::bignum::Bn;
+use sslperf_core::prelude::*;
+use std::hint::black_box;
+
+fn ciphertext_for(key: &RsaPrivateKey, seed: &str) -> Vec<u8> {
+    let mut rng = SslRng::from_seed(seed.as_bytes());
+    key.public_key().encrypt_pkcs1(b"bench pre-master secret payload", &mut rng).expect("fits")
+}
+
+/// Table 7: decryption latency by key size.
+fn bench_decrypt_by_key_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7/decrypt");
+    group.sample_size(30);
+    for bits in [512usize, 1024, 2048] {
+        let key = key(bits);
+        let cipher = ciphertext_for(key, &format!("ct-{bits}"));
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &cipher, |b, cipher| {
+            b.iter(|| black_box(key.decrypt_pkcs1(black_box(cipher)).expect("decrypts")));
+        });
+    }
+    group.finish();
+}
+
+/// Table 7's individual steps: conversions and parsing vs computation.
+fn bench_pipeline_steps(c: &mut Criterion) {
+    let key = key(1024);
+    let cipher = ciphertext_for(key, "steps");
+    let k = key.modulus_bytes();
+    let mut group = c.benchmark_group("table7/steps");
+    group.bench_function("data_to_bn", |b| {
+        b.iter(|| black_box(Bn::from_bytes_be(black_box(&cipher))));
+    });
+    group.bench_function("computation_crt", |b| {
+        let c_bn = Bn::from_bytes_be(&cipher);
+        b.iter(|| black_box(key.raw_decrypt(black_box(&c_bn)).expect("in range")));
+    });
+    group.bench_function("bn_to_data", |b| {
+        let m = key.raw_decrypt(&Bn::from_bytes_be(&cipher)).expect("in range");
+        b.iter(|| black_box(m.to_bytes_be_padded(k)));
+    });
+    group.finish();
+}
+
+/// Table 8's leaf kernels, timed directly.
+fn bench_word_kernels(c: &mut Criterion) {
+    use sslperf_core::bignum::words::{bn_add_words, bn_mul_add_words, bn_sub_words};
+    let a: Vec<u32> = (0..32u32).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+    let bvec: Vec<u32> = (0..32u32).map(|i| i.wrapping_mul(0x85eb_ca6b)).collect();
+    let mut group = c.benchmark_group("table8/word_kernels_32w");
+    group.bench_function("bn_mul_add_words", |b| {
+        let mut r = vec![0u32; 32];
+        b.iter(|| black_box(bn_mul_add_words(&mut r, black_box(&a), 0x1234_5677)));
+    });
+    group.bench_function("bn_add_words", |b| {
+        let mut r = vec![0u32; 32];
+        b.iter(|| black_box(bn_add_words(&mut r, black_box(&a), black_box(&bvec))));
+    });
+    group.bench_function("bn_sub_words", |b| {
+        let mut r = vec![0u32; 32];
+        b.iter(|| black_box(bn_sub_words(&mut r, black_box(&bvec), black_box(&a))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decrypt_by_key_size, bench_pipeline_steps, bench_word_kernels);
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Addition, subtraction, multiplication, squaring and shifts.
+
+use crate::words::{bn_add_word, bn_add_words, bn_mul_add_words, bn_sub_words};
+use crate::Bn;
+use sslperf_profile::counters;
+
+impl Bn {
+    /// Returns `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &Bn) -> Bn {
+        let (long, short) =
+            if self.words.len() >= other.words.len() { (self, other) } else { (other, self) };
+        let mut words = long.words.clone();
+        let carry = bn_add_words(
+            &mut words[..short.words.len()],
+            &long.words[..short.words.len()],
+            &short.words,
+        );
+        if carry != 0 {
+            let c2 = bn_add_word(&mut words[short.words.len()..], carry);
+            if c2 != 0 {
+                words.push(c2);
+            }
+        }
+        let mut r = Bn { words };
+        r.normalize();
+        r
+    }
+
+    /// Returns `self - other`.
+    ///
+    /// This is OpenSSL's `BN_usub` (unsigned subtract), one of the paper's
+    /// Table 8 functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`; unsigned subtraction cannot go negative.
+    #[must_use]
+    pub fn sub(&self, other: &Bn) -> Bn {
+        counters::count("BN_usub", self.words.len() as u64);
+        assert!(self >= other, "unsigned subtraction underflow");
+        let mut words = self.words.clone();
+        let borrow = bn_sub_words(
+            &mut words[..other.words.len()],
+            &self.words[..other.words.len()],
+            &other.words,
+        );
+        if borrow != 0 {
+            // Ripple the borrow through the upper words.
+            let mut b = borrow;
+            for w in words[other.words.len()..].iter_mut() {
+                let (nw, under) = w.overflowing_sub(b);
+                *w = nw;
+                b = u32::from(under);
+                if b == 0 {
+                    break;
+                }
+            }
+            debug_assert_eq!(b, 0, "underflow already excluded by the assert");
+        }
+        let mut r = Bn { words };
+        r.normalize();
+        r
+    }
+
+    /// Returns `self * other` by schoolbook multiplication over
+    /// [`bn_mul_add_words`] — OpenSSL's `bn_mul_normal`.
+    #[must_use]
+    pub fn mul(&self, other: &Bn) -> Bn {
+        if self.is_zero() || other.is_zero() {
+            return Bn::zero();
+        }
+        counters::count("BN_mul", self.words.len() as u64);
+        let mut words = vec![0u32; self.words.len() + other.words.len()];
+        for (i, &w) in other.words.iter().enumerate() {
+            let carry = bn_mul_add_words(&mut words[i..i + self.words.len()], &self.words, w);
+            words[i + self.words.len()] = carry;
+        }
+        let mut r = Bn { words };
+        r.normalize();
+        r
+    }
+
+    /// Returns `self * self` — OpenSSL's `BN_sqr` (Table 8).
+    #[must_use]
+    pub fn sqr(&self) -> Bn {
+        counters::count("BN_sqr", self.words.len() as u64);
+        self.mul(self)
+    }
+
+    /// Returns `self << bits`.
+    #[must_use]
+    pub fn shl(&self, bits: usize) -> Bn {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let word_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut words = vec![0u32; self.words.len() + word_shift + 1];
+        for (i, &w) in self.words.iter().enumerate() {
+            let dst = i + word_shift;
+            words[dst] |= w << bit_shift;
+            if bit_shift > 0 {
+                words[dst + 1] |= (u64::from(w) >> (32 - bit_shift)) as u32;
+            }
+        }
+        let mut r = Bn { words };
+        r.normalize();
+        r
+    }
+
+    /// Returns `self >> bits`.
+    #[must_use]
+    pub fn shr(&self, bits: usize) -> Bn {
+        let word_shift = bits / 32;
+        if word_shift >= self.words.len() {
+            return Bn::zero();
+        }
+        let bit_shift = bits % 32;
+        let mut words = Vec::with_capacity(self.words.len() - word_shift);
+        for i in word_shift..self.words.len() {
+            let mut w = self.words[i] >> bit_shift;
+            if bit_shift > 0 {
+                if let Some(&hi) = self.words.get(i + 1) {
+                    w |= (u64::from(hi) << (32 - bit_shift)) as u32;
+                }
+            }
+            words.push(w);
+        }
+        let mut r = Bn { words };
+        r.normalize();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn(s: &str) -> Bn {
+        Bn::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn add_with_carry_across_words() {
+        let a = bn("ffffffffffffffff");
+        let b = Bn::one();
+        assert_eq!(a.add(&b), bn("10000000000000000"));
+        // commutes
+        assert_eq!(b.add(&a), bn("10000000000000000"));
+    }
+
+    #[test]
+    fn add_zero_is_identity() {
+        let a = bn("123456789abcdef");
+        assert_eq!(a.add(&Bn::zero()), a);
+        assert_eq!(Bn::zero().add(&a), a);
+    }
+
+    #[test]
+    fn sub_inverse_of_add() {
+        let a = bn("fedcba9876543210f00d");
+        let b = bn("123456789");
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), Bn::zero());
+    }
+
+    #[test]
+    fn sub_borrow_across_many_words() {
+        let a = bn("100000000000000000000000");
+        let b = Bn::one();
+        assert_eq!(a.sub(&b), bn("fffffffffffffffffffffff"));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Bn::one().sub(&Bn::from_u64(2));
+    }
+
+    #[test]
+    fn mul_known_values() {
+        assert_eq!(bn("ffffffff").mul(&bn("ffffffff")), bn("fffffffe00000001"));
+        assert_eq!(
+            bn("123456789abcdef").mul(&bn("fedcba987654321")),
+            bn("121fa00ad77d7422236d88fe5618cf")
+        );
+        assert_eq!(bn("deadbeef").mul(&Bn::zero()), Bn::zero());
+        assert_eq!(bn("deadbeef").mul(&Bn::one()), bn("deadbeef"));
+    }
+
+    #[test]
+    fn sqr_matches_mul() {
+        let a = bn("123456789abcdef0123456789");
+        assert_eq!(a.sqr(), a.mul(&a));
+    }
+
+    #[test]
+    fn shl_shr_round_trip() {
+        let a = bn("deadbeefcafebabe");
+        for bits in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(a.shl(bits).shr(bits), a, "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two() {
+        let a = bn("abcdef");
+        assert_eq!(a.shl(4), a.mul(&Bn::from_u64(16)));
+        assert_eq!(a.shl(33), a.mul(&bn("200000000")));
+    }
+
+    #[test]
+    fn shr_past_end_is_zero() {
+        assert_eq!(bn("ff").shr(8), Bn::zero());
+        assert_eq!(bn("ff").shr(1000), Bn::zero());
+        assert_eq!(Bn::zero().shr(5), Bn::zero());
+        assert_eq!(Bn::zero().shl(5), Bn::zero());
+    }
+}

@@ -1,0 +1,281 @@
+//! Division and modular reduction (Knuth TAOCP vol. 2, algorithm D).
+
+use crate::{Bn, BnError};
+use sslperf_profile::counters;
+
+impl Bn {
+    /// Returns `(self / divisor, self % divisor)`.
+    ///
+    /// Uses schoolbook long division with the standard two-word quotient-digit
+    /// estimate (Knuth algorithm D), the same structure as OpenSSL's
+    /// `BN_div`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero; use [`Bn::checked_div_rem`] for a
+    /// fallible variant.
+    #[must_use]
+    pub fn div_rem(&self, divisor: &Bn) -> (Bn, Bn) {
+        self.checked_div_rem(divisor).expect("division by zero")
+    }
+
+    /// Returns `(self / divisor, self % divisor)`, or an error for a zero
+    /// divisor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnError::DivideByZero`] when `divisor` is zero.
+    pub fn checked_div_rem(&self, divisor: &Bn) -> Result<(Bn, Bn), BnError> {
+        if divisor.is_zero() {
+            return Err(BnError::DivideByZero);
+        }
+        counters::count("BN_div", self.words.len() as u64);
+        if self < divisor {
+            return Ok((Bn::zero(), self.clone()));
+        }
+        if divisor.words.len() == 1 {
+            let (q, r) = self.div_rem_word(divisor.words[0]);
+            return Ok((q, Bn::from_u64(u64::from(r))));
+        }
+
+        // Normalize: shift both so the divisor's top bit is set.
+        let shift = divisor.words.last().expect("nonzero divisor").leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.words.len();
+        let mut u_words = u.words.clone();
+        u_words.push(0); // room for the virtual high word
+        let m = u_words.len() - 1 - n; // number of quotient digits - 1
+
+        let v_hi = u64::from(v.words[n - 1]);
+        let v_lo = u64::from(v.words[n - 2]);
+        let mut q_words = vec![0u32; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate qhat from the top two dividend words and the top
+            // divisor word, then refine with the third word.
+            let numerator = (u64::from(u_words[j + n]) << 32) | u64::from(u_words[j + n - 1]);
+            let mut qhat = numerator / v_hi;
+            let mut rhat = numerator % v_hi;
+            if qhat > u64::from(u32::MAX) {
+                qhat = u64::from(u32::MAX);
+                rhat = numerator - qhat * v_hi;
+            }
+            while rhat <= u64::from(u32::MAX)
+                && qhat * v_lo > ((rhat << 32) | u64::from(u_words[j + n - 2]))
+            {
+                qhat -= 1;
+                rhat += v_hi;
+            }
+
+            // Multiply-subtract: u[j..j+n+1] -= qhat * v.
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * u64::from(v.words[i]) + carry;
+                carry = p >> 32;
+                let t = i64::from(u_words[j + i]) - i64::from(p as u32) - borrow;
+                u_words[j + i] = t as u32;
+                borrow = i64::from(t < 0);
+            }
+            let t = i64::from(u_words[j + n]) - carry as i64 - borrow;
+            u_words[j + n] = t as u32;
+
+            if t < 0 {
+                // qhat was one too large: add the divisor back.
+                qhat -= 1;
+                let mut c = 0u64;
+                for i in 0..n {
+                    let s = u64::from(u_words[j + i]) + u64::from(v.words[i]) + c;
+                    u_words[j + i] = s as u32;
+                    c = s >> 32;
+                }
+                u_words[j + n] = (u64::from(u_words[j + n]) + c) as u32;
+            }
+            q_words[j] = qhat as u32;
+        }
+
+        let mut q = Bn { words: q_words };
+        q.normalize();
+        let mut r = Bn { words: u_words[..n].to_vec() };
+        r.normalize();
+        Ok((q, r.shr(shift)))
+    }
+
+    /// Divides by a single word; returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is zero.
+    #[must_use]
+    pub fn div_rem_word(&self, w: u32) -> (Bn, u32) {
+        assert!(w != 0, "division by zero");
+        let w64 = u64::from(w);
+        let mut q_words = vec![0u32; self.words.len()];
+        let mut rem = 0u64;
+        for i in (0..self.words.len()).rev() {
+            let cur = (rem << 32) | u64::from(self.words[i]);
+            q_words[i] = (cur / w64) as u32;
+            rem = cur % w64;
+        }
+        let mut q = Bn { words: q_words };
+        q.normalize();
+        (q, rem as u32)
+    }
+
+    /// Returns `self % w` for a single word `w`.
+    ///
+    /// Used for trial division during prime generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is zero.
+    #[must_use]
+    pub fn mod_word(&self, w: u32) -> u32 {
+        self.div_rem_word(w).1
+    }
+
+    /// Returns `self % m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn mod_op(&self, m: &Bn) -> Bn {
+        self.div_rem(m).1
+    }
+
+    /// Returns `self * other % m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn mod_mul(&self, other: &Bn, m: &Bn) -> Bn {
+        self.mul(other).mod_op(m)
+    }
+
+    /// Returns `(self + other) % m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn mod_add(&self, other: &Bn, m: &Bn) -> Bn {
+        self.add(other).mod_op(m)
+    }
+
+    /// Returns `(self - other) % m`, treating the operands as residues
+    /// (adds `m` first if `other > self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero or if `other`, reduced, still exceeds
+    /// `self + m` (callers pass residues `< m`).
+    #[must_use]
+    pub fn mod_sub(&self, other: &Bn, m: &Bn) -> Bn {
+        let a = self.mod_op(m);
+        let b = other.mod_op(m);
+        if a >= b {
+            a.sub(&b)
+        } else {
+            a.add(m).sub(&b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn(s: &str) -> Bn {
+        Bn::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn divide_by_zero_is_error() {
+        assert_eq!(Bn::one().checked_div_rem(&Bn::zero()), Err(BnError::DivideByZero));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_rem_zero_panics() {
+        let _ = Bn::one().div_rem(&Bn::zero());
+    }
+
+    #[test]
+    fn small_division() {
+        let (q, r) = Bn::from_u64(100).div_rem(&Bn::from_u64(7));
+        assert_eq!(q, Bn::from_u64(14));
+        assert_eq!(r, Bn::from_u64(2));
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = Bn::from_u64(3).div_rem(&Bn::from_u64(10));
+        assert_eq!(q, Bn::zero());
+        assert_eq!(r, Bn::from_u64(3));
+    }
+
+    #[test]
+    fn multiword_division_reconstructs() {
+        let a = bn("123456789abcdef0fedcba9876543210deadbeefcafebabe");
+        let b = bn("fedcba98765432100f");
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn division_exercising_addback() {
+        // Constructed so qhat overestimates: top words of dividend equal
+        // top word of divisor (classic Knuth D add-back trigger family).
+        let b = bn("80000000000000000000000000000001");
+        let a = b.mul(&bn("ffffffffffffffffffffffffffffffff")).add(&b.sub(&Bn::one()));
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+        assert_eq!(q, bn("ffffffffffffffffffffffffffffffff"));
+    }
+
+    #[test]
+    fn word_division() {
+        let a = bn("123456789abcdef01234");
+        let (q, r) = a.div_rem_word(97);
+        assert_eq!(q.mul(&Bn::from_u64(97)).add(&Bn::from_u64(u64::from(r))), a);
+        assert_eq!(a.mod_word(97), r);
+    }
+
+    #[test]
+    fn exact_division_no_remainder() {
+        let b = bn("1000000007");
+        let a = b.mul(&bn("deadbeefdeadbeefdeadbeef"));
+        let (q, r) = a.div_rem(&b);
+        assert!(r.is_zero());
+        assert_eq!(q, bn("deadbeefdeadbeefdeadbeef"));
+    }
+
+    #[test]
+    fn mod_helpers() {
+        let m = Bn::from_u64(1000);
+        assert_eq!(Bn::from_u64(1234).mod_op(&m), Bn::from_u64(234));
+        assert_eq!(Bn::from_u64(999).mod_add(&Bn::from_u64(2), &m), Bn::from_u64(1));
+        assert_eq!(Bn::from_u64(5).mod_sub(&Bn::from_u64(7), &m), Bn::from_u64(998));
+        assert_eq!(Bn::from_u64(30).mod_mul(&Bn::from_u64(40), &m), Bn::from_u64(200));
+    }
+
+    #[test]
+    fn divisor_one() {
+        let a = bn("deadbeef");
+        let (q, r) = a.div_rem(&Bn::one());
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn zero_dividend() {
+        let (q, r) = Bn::zero().div_rem(&bn("1234"));
+        assert!(q.is_zero());
+        assert!(r.is_zero());
+    }
+}

@@ -1,0 +1,196 @@
+//! Greatest common divisor and modular inverse (extended Euclid).
+
+use crate::{Bn, BnError};
+
+/// The result of the extended Euclidean algorithm on `(a, b)`:
+/// `a*x - b*y = ±gcd`, tracked with explicit signs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendedGcd {
+    /// `gcd(a, b)`.
+    pub gcd: Bn,
+    /// Coefficient of `a` reduced into `[0, b)` when used as an inverse.
+    pub inv: Option<Bn>,
+}
+
+impl Bn {
+    /// Returns `gcd(self, other)` by the Euclidean algorithm.
+    #[must_use]
+    pub fn gcd(&self, other: &Bn) -> Bn {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.mod_op(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Returns `self⁻¹ mod m`, if it exists.
+    ///
+    /// Implements the extended Euclidean algorithm with signed coefficient
+    /// tracking, as OpenSSL's `BN_mod_inverse` does. Needed for RSA key
+    /// generation (`d = e⁻¹ mod φ(N)`) and decryption blinding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnError::NoInverse`] if `gcd(self, m) != 1`, and
+    /// [`BnError::DivideByZero`] if `m` is zero.
+    pub fn mod_inverse(&self, m: &Bn) -> Result<Bn, BnError> {
+        if m.is_zero() {
+            return Err(BnError::DivideByZero);
+        }
+        if m.is_one() {
+            return Err(BnError::NoInverse);
+        }
+        // Invariants: r0 = x0*a (mod m), r1 = x1*a (mod m), with x tracked as
+        // (magnitude, negative?) pairs.
+        let mut r0 = self.mod_op(m);
+        let mut r1 = m.clone();
+        let mut x0 = (Bn::one(), false);
+        let mut x1 = (Bn::zero(), false);
+        while !r1.is_zero() {
+            let (q, r) = r0.div_rem(&r1);
+            // x_next = x0 - q * x1 (signed)
+            let qx1 = q.mul(&x1.0);
+            let x_next = signed_sub(&x0, &(qx1, x1.1));
+            r0 = r1;
+            r1 = r;
+            x0 = x1;
+            x1 = x_next;
+        }
+        if !r0.is_one() {
+            return Err(BnError::NoInverse);
+        }
+        let (mag, neg) = x0;
+        let reduced = mag.mod_op(m);
+        if neg && !reduced.is_zero() {
+            Ok(m.sub(&reduced))
+        } else {
+            Ok(reduced)
+        }
+    }
+
+    /// Runs the full extended GCD, returning the gcd and — when it is 1 —
+    /// the modular inverse of `self` mod `other`.
+    #[must_use]
+    pub fn extended_gcd(&self, other: &Bn) -> ExtendedGcd {
+        let gcd = self.gcd(other);
+        let inv = if gcd.is_one() && !other.is_zero() && !other.is_one() {
+            self.mod_inverse(other).ok()
+        } else {
+            None
+        };
+        ExtendedGcd { gcd, inv }
+    }
+}
+
+/// Signed subtraction over (magnitude, negative?) pairs.
+fn signed_sub(a: &(Bn, bool), b: &(Bn, bool)) -> (Bn, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - b = -(a + b)
+        (true, false) => (a.0.add(&b.0), true),
+        // (-a) - (-b) = b - a
+        (true, true) => {
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn(s: &str) -> Bn {
+        Bn::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(Bn::from_u64(48).gcd(&Bn::from_u64(36)), Bn::from_u64(12));
+        assert_eq!(Bn::from_u64(17).gcd(&Bn::from_u64(5)), Bn::one());
+        assert_eq!(Bn::from_u64(0).gcd(&Bn::from_u64(9)), Bn::from_u64(9));
+        assert_eq!(Bn::from_u64(9).gcd(&Bn::zero()), Bn::from_u64(9));
+    }
+
+    #[test]
+    fn gcd_large() {
+        let a = bn("deadbeefcafebabe12345678");
+        let b = bn("fedcba9876543210");
+        let g = a.gcd(&b);
+        assert!(a.mod_op(&g).is_zero());
+        assert!(b.mod_op(&g).is_zero());
+    }
+
+    #[test]
+    fn inverse_small() {
+        // 3 * 4 = 12 ≡ 1 (mod 11)
+        assert_eq!(Bn::from_u64(3).mod_inverse(&Bn::from_u64(11)).unwrap(), Bn::from_u64(4));
+        // 7⁻¹ mod 26 = 15
+        assert_eq!(Bn::from_u64(7).mod_inverse(&Bn::from_u64(26)).unwrap(), Bn::from_u64(15));
+    }
+
+    #[test]
+    fn inverse_verifies_for_large_values() {
+        let m = bn("fffffffffffffffffffffffffffffffeffffffffffffffff"); // odd-ish modulus
+        let a = bn("123456789abcdef0123456789abcdef012345");
+        let inv = a.mod_inverse(&m).unwrap();
+        assert_eq!(a.mod_mul(&inv, &m), Bn::one());
+        assert!(inv < m);
+    }
+
+    #[test]
+    fn inverse_of_rsa_style_exponent() {
+        // e = 65537 mod a φ-like even modulus
+        let phi = bn("c0ffee0ddba11d00dc0ffee0ddba11d00c");
+        let e = Bn::from_u64(65537);
+        if e.gcd(&phi).is_one() {
+            let d = e.mod_inverse(&phi).unwrap();
+            assert_eq!(e.mod_mul(&d, &phi), Bn::one());
+        }
+    }
+
+    #[test]
+    fn no_inverse_when_not_coprime() {
+        assert_eq!(Bn::from_u64(6).mod_inverse(&Bn::from_u64(9)), Err(BnError::NoInverse));
+        assert_eq!(Bn::from_u64(5).mod_inverse(&Bn::zero()), Err(BnError::DivideByZero));
+        assert_eq!(Bn::from_u64(5).mod_inverse(&Bn::one()), Err(BnError::NoInverse));
+        assert_eq!(Bn::zero().mod_inverse(&Bn::from_u64(7)), Err(BnError::NoInverse));
+    }
+
+    #[test]
+    fn extended_gcd_reports_inverse() {
+        let g = Bn::from_u64(3).extended_gcd(&Bn::from_u64(11));
+        assert_eq!(g.gcd, Bn::one());
+        assert_eq!(g.inv, Some(Bn::from_u64(4)));
+        let g2 = Bn::from_u64(6).extended_gcd(&Bn::from_u64(9));
+        assert_eq!(g2.gcd, Bn::from_u64(3));
+        assert_eq!(g2.inv, None);
+    }
+
+    #[test]
+    fn signed_sub_covers_sign_grid() {
+        let one = (Bn::one(), false);
+        let neg_one = (Bn::one(), true);
+        let two = (Bn::from_u64(2), false);
+        assert_eq!(signed_sub(&one, &two), (Bn::one(), true)); // 1-2 = -1
+        assert_eq!(signed_sub(&two, &one), (Bn::one(), false)); // 2-1 = 1
+        assert_eq!(signed_sub(&one, &neg_one), (Bn::from_u64(2), false)); // 1-(-1)=2
+        assert_eq!(signed_sub(&neg_one, &one), (Bn::from_u64(2), true)); // -1-1=-2
+        assert_eq!(signed_sub(&neg_one, &neg_one).0, Bn::zero()); // -1-(-1)=0
+    }
+}

@@ -1,0 +1,351 @@
+//! Montgomery multiplication and modular exponentiation.
+//!
+//! RSA's "computation" step (97–99% of decryption in the paper's Table 7) is
+//! modular exponentiation. Like OpenSSL's `BN_mod_exp_mont`, the
+//! implementation converts into Montgomery form once, then performs every
+//! multiplication as *full product + Montgomery reduction*, where the
+//! reduction is itself a loop of [`bn_mul_add_words`] calls followed by a
+//! conditional [`bn_sub_words`] — reproducing the function mix of Table 8.
+//!
+//! [`bn_mul_add_words`]: crate::words::bn_mul_add_words
+//! [`bn_sub_words`]: crate::words::bn_sub_words
+
+use crate::words::{bn_mul_add_words, bn_sub_words};
+use crate::{Bn, BnError};
+use sslperf_profile::counters;
+
+/// Precomputed context for arithmetic modulo an odd number `n`.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_bignum::{Bn, MontCtx};
+///
+/// let n = Bn::from_u64(1_000_003);
+/// let ctx = MontCtx::new(&n)?;
+/// let r = ctx.mod_exp(&Bn::from_u64(2), &Bn::from_u64(20));
+/// assert_eq!(r, Bn::from_u64((1 << 20) % 1_000_003));
+/// # Ok::<(), sslperf_bignum::BnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MontCtx {
+    n: Bn,
+    /// `-n⁻¹ mod 2³²` — the per-word reduction multiplier.
+    n0: u32,
+    /// `R² mod n` with `R = 2^(32k)`, used to enter Montgomery form.
+    rr: Bn,
+    /// Word length of `n`.
+    k: usize,
+}
+
+impl MontCtx {
+    /// Builds a context for the odd modulus `n > 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnError::EvenModulus`] if `n` is even, zero or one.
+    pub fn new(n: &Bn) -> Result<Self, BnError> {
+        if !n.is_odd() || n.is_one() {
+            return Err(BnError::EvenModulus);
+        }
+        counters::count("BN_CTX_start", 1);
+        let k = n.word_len();
+        // Newton iteration for the inverse of n mod 2^32: five doublings of
+        // precision starting from the trivial inverse mod 2.
+        let mut inv: u32 = 1;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(n.words[0].wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n.words[0].wrapping_mul(inv), 1);
+        let n0 = inv.wrapping_neg();
+        let rr = Bn::one().shl(64 * k).mod_op(n);
+        Ok(MontCtx { n: n.clone(), n0, rr, k })
+    }
+
+    /// The modulus this context reduces by.
+    #[must_use]
+    pub fn modulus(&self) -> &Bn {
+        &self.n
+    }
+
+    /// Montgomery reduction of a double-width value: returns `t·R⁻¹ mod n`.
+    ///
+    /// This is OpenSSL's `BN_from_montgomery` (Table 8, ~9% of RSA).
+    fn redc(&self, t: &mut Vec<u32>) -> Bn {
+        counters::count("BN_from_montgomery", self.k as u64);
+        t.resize(2 * self.k + 1, 0);
+        for i in 0..self.k {
+            let m = t[i].wrapping_mul(self.n0);
+            let carry = bn_mul_add_words(&mut t[i..i + self.k], &self.n.words, m);
+            // Ripple the carry into the words above the window.
+            let mut c = u64::from(carry);
+            let mut idx = i + self.k;
+            while c != 0 {
+                let s = u64::from(t[idx]) + c;
+                t[idx] = s as u32;
+                c = s >> 32;
+                idx += 1;
+            }
+        }
+        let mut u = Bn { words: t[self.k..].to_vec() };
+        u.normalize();
+        if u >= self.n {
+            // Conditional final subtraction — the bn_sub_words hot spot.
+            let minuend = u.words.clone();
+            let mut words = vec![0u32; minuend.len()];
+            let mut n_words = self.n.words.clone();
+            n_words.resize(minuend.len(), 0);
+            let borrow = bn_sub_words(&mut words, &minuend, &n_words);
+            debug_assert_eq!(borrow, 0);
+            u = Bn { words };
+            u.normalize();
+        }
+        u
+    }
+
+    /// Multiplies two Montgomery-form values: returns `a·b·R⁻¹ mod n`.
+    #[must_use]
+    pub fn mont_mul(&self, a: &Bn, b: &Bn) -> Bn {
+        let prod = a.mul(b);
+        let mut t = prod.words;
+        self.redc(&mut t)
+    }
+
+    /// Squares a Montgomery-form value.
+    #[must_use]
+    pub fn mont_sqr(&self, a: &Bn) -> Bn {
+        let prod = a.sqr();
+        let mut t = prod.words;
+        self.redc(&mut t)
+    }
+
+    /// Converts `a` (reduced mod n by the caller or not) into Montgomery
+    /// form: `a·R mod n`.
+    #[must_use]
+    pub fn to_mont(&self, a: &Bn) -> Bn {
+        let reduced = if a >= &self.n { a.mod_op(&self.n) } else { a.clone() };
+        self.mont_mul(&reduced, &self.rr)
+    }
+
+    /// Converts a Montgomery-form value back to the ordinary domain.
+    #[must_use]
+    pub fn from_mont(&self, a: &Bn) -> Bn {
+        let mut t = a.words.clone();
+        self.redc(&mut t)
+    }
+
+    /// Computes `base^exp mod n` with a fixed 4-bit window, matching
+    /// OpenSSL's default for RSA-sized operands.
+    #[must_use]
+    pub fn mod_exp(&self, base: &Bn, exp: &Bn) -> Bn {
+        self.mod_exp_window(base, exp, 4)
+    }
+
+    /// Computes `base^exp mod n` with a caller-chosen window width
+    /// (1–6 bits). Exposed for the window-width ablation bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0 or greater than 6.
+    #[must_use]
+    pub fn mod_exp_window(&self, base: &Bn, exp: &Bn, window: u32) -> Bn {
+        assert!((1..=6).contains(&window), "window must be 1..=6");
+        if exp.is_zero() {
+            return if self.n.is_one() { Bn::zero() } else { Bn::one() };
+        }
+        counters::count("BN_mod_exp", exp.bit_len() as u64);
+        let g = self.to_mont(base);
+        // Table of g^0 .. g^(2^w - 1) in Montgomery form.
+        let table_len = 1usize << window;
+        let mut table = Vec::with_capacity(table_len);
+        table.push(self.to_mont(&Bn::one()));
+        table.push(g.clone());
+        for i in 2..table_len {
+            table.push(self.mont_mul(&table[i - 1], &g));
+        }
+
+        let bits = exp.bit_len();
+        let chunks = bits.div_ceil(window as usize);
+        let mut acc = table[0].clone(); // one, in Montgomery form
+        for chunk_idx in (0..chunks).rev() {
+            if chunk_idx != chunks - 1 {
+                for _ in 0..window {
+                    acc = self.mont_sqr(&acc);
+                }
+            }
+            let mut idx = 0usize;
+            for b in (0..window as usize).rev() {
+                let bit_pos = chunk_idx * window as usize + b;
+                idx = (idx << 1) | usize::from(exp.bit(bit_pos));
+            }
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+impl Bn {
+    /// Computes `self^exp mod m` via a throwaway Montgomery context for odd
+    /// `m`, falling back to binary square-and-multiply for even moduli.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn mod_exp(&self, exp: &Bn, m: &Bn) -> Bn {
+        assert!(!m.is_zero(), "zero modulus");
+        if m.is_one() {
+            return Bn::zero();
+        }
+        match MontCtx::new(m) {
+            Ok(ctx) => ctx.mod_exp(self, exp),
+            Err(_) => self.mod_exp_simple(exp, m),
+        }
+    }
+
+    /// Plain left-to-right square-and-multiply `self^exp mod m`.
+    ///
+    /// Kept as the correctness oracle for the Montgomery path and as the
+    /// no-Montgomery baseline in the ablation benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn mod_exp_simple(&self, exp: &Bn, m: &Bn) -> Bn {
+        assert!(!m.is_zero(), "zero modulus");
+        if m.is_one() {
+            return Bn::zero();
+        }
+        let base = self.mod_op(m);
+        let mut acc = Bn::one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = acc.mod_mul(&acc, m);
+            if exp.bit(i) {
+                acc = acc.mod_mul(&base, m);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn(s: &str) -> Bn {
+        Bn::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn rejects_even_or_trivial_modulus() {
+        assert!(MontCtx::new(&Bn::from_u64(10)).is_err());
+        assert!(MontCtx::new(&Bn::zero()).is_err());
+        assert!(MontCtx::new(&Bn::one()).is_err());
+        assert!(MontCtx::new(&Bn::from_u64(9)).is_ok());
+    }
+
+    #[test]
+    fn mont_round_trip() {
+        let n = bn("fffffffffffffffffffffffffffffff1");
+        let ctx = MontCtx::new(&n).unwrap();
+        for v in ["0", "1", "deadbeef", "fffffffffffffffffffffffffffffff0"] {
+            let a = bn(v);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), a.mod_op(&n), "value {v}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_mod_mul() {
+        let n = bn("f000000000000000000000000000000d");
+        let ctx = MontCtx::new(&n).unwrap();
+        let a = bn("123456789abcdef0123456789abcdef");
+        let b = bn("fedcba9876543210fedcba987654321");
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        let got = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+        assert_eq!(got, a.mod_mul(&b, &n));
+    }
+
+    #[test]
+    fn mod_exp_small_cases() {
+        let n = Bn::from_u64(497); // 7 * 71, odd composite
+        let ctx = MontCtx::new(&n).unwrap();
+        assert_eq!(ctx.mod_exp(&Bn::from_u64(4), &Bn::from_u64(13)), Bn::from_u64(445));
+        assert_eq!(ctx.mod_exp(&Bn::from_u64(4), &Bn::zero()), Bn::one());
+        assert_eq!(ctx.mod_exp(&Bn::zero(), &Bn::from_u64(5)), Bn::zero());
+        assert_eq!(ctx.mod_exp(&Bn::one(), &bn("ffffffffffffffff")), Bn::one());
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // p prime → a^(p-1) ≡ 1 (mod p)
+        let p = bn("ffffffffffffffc5"); // 2^64 - 59, prime
+        let ctx = MontCtx::new(&p).unwrap();
+        for a in ["2", "3", "deadbeef", "123456789abcdef"] {
+            let a = bn(a);
+            assert_eq!(ctx.mod_exp(&a, &p.sub(&Bn::one())), Bn::one(), "base {a:?}");
+        }
+    }
+
+    #[test]
+    fn montgomery_matches_simple_exponentiation() {
+        let n = bn("c0ffee0000000000000000000000000000000000000000000000000000000061");
+        let ctx = MontCtx::new(&n).unwrap();
+        let base = bn("123456789abcdef");
+        let exp = bn("fedcba9876543210");
+        assert_eq!(ctx.mod_exp(&base, &exp), base.mod_exp_simple(&exp, &n));
+    }
+
+    #[test]
+    fn all_window_widths_agree() {
+        let n = bn("fffffffffffffffffffffffffffffff1");
+        let ctx = MontCtx::new(&n).unwrap();
+        let base = bn("abcdef0123456789");
+        let exp = bn("10001");
+        let reference = ctx.mod_exp_window(&base, &exp, 1);
+        for w in 2..=6 {
+            assert_eq!(ctx.mod_exp_window(&base, &exp, w), reference, "window {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be")]
+    fn window_zero_panics() {
+        let ctx = MontCtx::new(&Bn::from_u64(9)).unwrap();
+        let _ = ctx.mod_exp_window(&Bn::one(), &Bn::one(), 0);
+    }
+
+    #[test]
+    fn bn_mod_exp_even_modulus_falls_back() {
+        let m = Bn::from_u64(100);
+        assert_eq!(Bn::from_u64(7).mod_exp(&Bn::from_u64(3), &m), Bn::from_u64(43));
+        assert_eq!(Bn::from_u64(7).mod_exp(&Bn::from_u64(0), &m), Bn::one());
+        assert_eq!(Bn::from_u64(7).mod_exp(&Bn::from_u64(3), &Bn::one()), Bn::zero());
+    }
+
+    #[test]
+    fn exponent_larger_than_modulus_bits() {
+        let n = Bn::from_u64(101);
+        let ctx = MontCtx::new(&n).unwrap();
+        let exp = bn("123456789abcdef0123456789abcdef0");
+        assert_eq!(
+            ctx.mod_exp(&Bn::from_u64(3), &exp),
+            Bn::from_u64(3).mod_exp_simple(&exp, &n)
+        );
+    }
+
+    #[test]
+    fn counters_see_hot_functions() {
+        use sslperf_profile::counters;
+        let n = bn("fffffffffffffffffffffffffffffff1");
+        let ctx = MontCtx::new(&n).unwrap();
+        let (_, snap) = counters::counted(|| {
+            let _ = ctx.mod_exp(&bn("12345"), &bn("10001"));
+        });
+        assert!(snap.calls("bn_mul_add_words") > 0);
+        assert!(snap.calls("BN_from_montgomery") > 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Probabilistic primality testing and prime generation for RSA keys.
+
+use crate::{Bn, MontCtx};
+
+/// A source of random bytes for key and prime generation.
+///
+/// `sslperf-rng` provides the production implementation (an MD5-based PRNG
+/// mirroring OpenSSL's `md_rand`); tests use small counter-based fillers.
+pub trait EntropySource {
+    /// Fills `buf` with random bytes.
+    fn fill(&mut self, buf: &mut [u8]);
+
+    /// Returns a uniformly distributed value with exactly `bits` significant
+    /// bits (the top bit is forced to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    fn next_bn_bits(&mut self, bits: usize) -> Bn
+    where
+        Self: Sized,
+    {
+        assert!(bits > 0, "cannot draw a zero-bit number");
+        let nbytes = bits.div_ceil(8);
+        let mut buf = vec![0u8; nbytes];
+        self.fill(&mut buf);
+        // Mask excess top bits, then force the top bit on.
+        let excess = nbytes * 8 - bits;
+        buf[0] &= 0xffu8 >> excess;
+        buf[0] |= 1 << (7 - excess);
+        Bn::from_bytes_be(&buf)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)` by rejection
+    /// sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn next_bn_below(&mut self, bound: &Bn) -> Bn
+    where
+        Self: Sized,
+    {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bit_len();
+        let nbytes = bits.div_ceil(8);
+        let excess = nbytes * 8 - bits;
+        loop {
+            let mut buf = vec![0u8; nbytes];
+            self.fill(&mut buf);
+            buf[0] &= 0xffu8 >> excess;
+            let candidate = Bn::from_bytes_be(&buf);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl<T: EntropySource + ?Sized> EntropySource for &mut T {
+    fn fill(&mut self, buf: &mut [u8]) {
+        (**self).fill(buf);
+    }
+}
+
+/// First primes used for trial division before Miller–Rabin.
+fn small_primes() -> &'static [u32] {
+    use std::sync::OnceLock;
+    static PRIMES: OnceLock<Vec<u32>> = OnceLock::new();
+    PRIMES.get_or_init(|| {
+        let limit = 2000usize;
+        let mut sieve = vec![true; limit];
+        let mut primes = Vec::new();
+        for i in 2..limit {
+            if sieve[i] {
+                primes.push(i as u32);
+                let mut j = i * i;
+                while j < limit {
+                    sieve[j] = false;
+                    j += i;
+                }
+            }
+        }
+        primes
+    })
+}
+
+/// Miller–Rabin primality test with `rounds` random bases plus base 2.
+///
+/// Composite inputs are rejected with probability ≥ `1 - 4^-rounds`.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_bignum::{is_probable_prime, Bn, EntropySource};
+///
+/// struct Counter(u8);
+/// impl EntropySource for Counter {
+///     fn fill(&mut self, buf: &mut [u8]) {
+///         for b in buf { self.0 = self.0.wrapping_add(0x9d); *b = self.0; }
+///     }
+/// }
+///
+/// let mut rng = Counter(1);
+/// assert!(is_probable_prime(&Bn::from_u64(65537), 16, &mut rng));
+/// assert!(!is_probable_prime(&Bn::from_u64(65536), 16, &mut rng));
+/// ```
+pub fn is_probable_prime<R: EntropySource>(n: &Bn, rounds: u32, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    if let Some(small) = n.to_u64() {
+        if small < 4 {
+            return small == 2 || small == 3;
+        }
+    }
+    if !n.is_odd() {
+        return false;
+    }
+    for &p in small_primes() {
+        let p_bn = Bn::from_u64(u64::from(p));
+        if &p_bn >= n {
+            return true; // n itself was reached by the sieve
+        }
+        if n.mod_word(p) == 0 {
+            return false;
+        }
+    }
+
+    // n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.sub(&Bn::one());
+    let s = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr(s);
+    let ctx = MontCtx::new(n).expect("odd modulus checked above");
+
+    let two = Bn::from_u64(2);
+    let witness = |a: &Bn| -> bool {
+        // returns true when `a` proves n composite
+        let mut x = ctx.mod_exp(a, &d);
+        if x.is_one() || x == n_minus_1 {
+            return false;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                return false;
+            }
+        }
+        true
+    };
+
+    if witness(&two) {
+        return false;
+    }
+    for _ in 0..rounds {
+        // Random base in [2, n-2].
+        let span = n.sub(&Bn::from_u64(3));
+        let a = rng.next_bn_below(&span).add(&two);
+        if witness(&a) {
+            return false;
+        }
+    }
+    true
+}
+
+fn trailing_zeros(n: &Bn) -> usize {
+    debug_assert!(!n.is_zero());
+    let mut count = 0;
+    for (i, &w) in n.as_words().iter().enumerate() {
+        if w == 0 {
+            count = (i + 1) * 32;
+        } else {
+            return i * 32 + w.trailing_zeros() as usize;
+        }
+    }
+    count
+}
+
+/// Generates a random probable prime with exactly `bits` significant bits.
+///
+/// The two top bits are forced to 1 (so the product of two such primes has
+/// exactly `2*bits` bits, as RSA key generation requires) and the low bit is
+/// forced to 1.
+///
+/// # Panics
+///
+/// Panics if `bits < 8`.
+pub fn generate_prime<R: EntropySource>(bits: usize, rng: &mut R) -> Bn {
+    assert!(bits >= 8, "prime must have at least 8 bits");
+    loop {
+        let mut bytes = rng.next_bn_bits(bits).to_bytes_be();
+        let excess = bytes.len() * 8 - bits;
+        bytes[0] |= (0b1100_0000u8) >> excess;
+        let last = bytes.len() - 1;
+        bytes[last] |= 1;
+        let candidate = Bn::from_bytes_be(&bytes);
+        if is_probable_prime(&candidate, 16, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64* for test entropy — deterministic, independent of the
+    /// production RNG crate.
+    pub(crate) struct XorShift(pub u64);
+
+    impl EntropySource for XorShift {
+        fn fill(&mut self, buf: &mut [u8]) {
+            for chunk in buf.chunks_mut(8) {
+                let mut x = self.0;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                self.0 = x;
+                let bytes = x.wrapping_mul(0x2545_f491_4f6c_dd1d).to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn known_primes_pass() {
+        let mut rng = XorShift(42);
+        for p in [2u64, 3, 5, 7, 65537, 2_147_483_647, 0xffff_ffff_ffff_ffc5] {
+            assert!(is_probable_prime(&Bn::from_u64(p), 16, &mut rng), "{p} is prime");
+        }
+        // A 128-bit prime: 2^127 - 1 (Mersenne).
+        let m127 = Bn::one().shl(127).sub(&Bn::one());
+        assert!(is_probable_prime(&m127, 16, &mut rng));
+    }
+
+    #[test]
+    fn known_composites_fail() {
+        let mut rng = XorShift(7);
+        for c in [0u64, 1, 4, 9, 91, 561 /* Carmichael */, 65535, 1 << 40] {
+            assert!(!is_probable_prime(&Bn::from_u64(c), 16, &mut rng), "{c} is composite");
+        }
+        // Carmichael number 41041 = 7*11*13*41 fools Fermat, not Miller–Rabin.
+        assert!(!is_probable_prime(&Bn::from_u64(41041), 16, &mut rng));
+        // Product of two 64-bit primes.
+        let p = Bn::from_u64(0xffff_ffff_ffff_ffc5);
+        assert!(!is_probable_prime(&p.mul(&p), 16, &mut rng));
+    }
+
+    #[test]
+    fn trailing_zero_counting() {
+        assert_eq!(trailing_zeros(&Bn::from_u64(1)), 0);
+        assert_eq!(trailing_zeros(&Bn::from_u64(8)), 3);
+        assert_eq!(trailing_zeros(&Bn::one().shl(77)), 77);
+    }
+
+    #[test]
+    fn generated_primes_have_requested_shape() {
+        let mut rng = XorShift(1234);
+        for bits in [32usize, 64, 128] {
+            let p = generate_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits, "exactly {bits} bits");
+            assert!(p.bit(bits - 2), "second-highest bit forced");
+            assert!(p.is_odd());
+            assert!(is_probable_prime(&p, 16, &mut rng));
+        }
+    }
+
+    #[test]
+    fn next_bn_below_is_in_range() {
+        let mut rng = XorShift(5);
+        let bound = Bn::from_u64(1000);
+        for _ in 0..100 {
+            let v = rng.next_bn_below(&bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn next_bn_bits_exact_width() {
+        let mut rng = XorShift(9);
+        for bits in [1usize, 7, 8, 9, 31, 32, 33, 100] {
+            assert_eq!(rng.next_bn_bits(bits).bit_len(), bits, "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn entropy_source_works_through_mut_ref() {
+        fn takes_source<R: EntropySource>(rng: &mut R) -> Bn {
+            rng.next_bn_bits(16)
+        }
+        let mut rng = XorShift(11);
+        let _ = takes_source(&mut &mut rng);
+    }
+}

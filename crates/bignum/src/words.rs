@@ -1,0 +1,187 @@
+//! Word-level kernels, named after their OpenSSL `bn_asm.c` counterparts.
+//!
+//! Every O(n²) bignum operation funnels through these loops, exactly as in
+//! OpenSSL — which is why the paper's VTune profile of RSA (Table 8) is
+//! dominated by `bn_mul_add_words` (47%) and `bn_sub_words` (23%). Each
+//! kernel reports `(calls, words)` to [`sslperf_profile::counters`] under its
+//! OpenSSL name, so the experiment harness can reconstruct the same
+//! function-level attribution.
+
+use sslperf_profile::counters;
+
+/// `rp[i] += ap[i] * w` with carry propagation; returns the final carry.
+///
+/// This is the multiply–accumulate loop of Table 9 (`movl/mull/addl/adcl`):
+/// the single hottest function in RSA decryption.
+///
+/// # Panics
+///
+/// Panics if `rp` is shorter than `ap`.
+pub fn bn_mul_add_words(rp: &mut [u32], ap: &[u32], w: u32) -> u32 {
+    counters::count("bn_mul_add_words", ap.len() as u64);
+    assert!(rp.len() >= ap.len(), "result slice too short");
+    let w = u64::from(w);
+    let mut carry = 0u64;
+    for (r, &a) in rp.iter_mut().zip(ap) {
+        // mull: a*w ; addl/adcl: + r + carry — all fits in u64.
+        let t = u64::from(a) * w + u64::from(*r) + carry;
+        *r = t as u32;
+        carry = t >> 32;
+    }
+    carry as u32
+}
+
+/// `rp[i] = ap[i] * w` with carry propagation; returns the final carry.
+///
+/// # Panics
+///
+/// Panics if `rp` is shorter than `ap`.
+pub fn bn_mul_words(rp: &mut [u32], ap: &[u32], w: u32) -> u32 {
+    counters::count("bn_mul_words", ap.len() as u64);
+    assert!(rp.len() >= ap.len(), "result slice too short");
+    let w = u64::from(w);
+    let mut carry = 0u64;
+    for (r, &a) in rp.iter_mut().zip(ap) {
+        let t = u64::from(a) * w + carry;
+        *r = t as u32;
+        carry = t >> 32;
+    }
+    carry as u32
+}
+
+/// `rp[i] = ap[i] + bp[i]` with carry propagation; returns the final carry.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn bn_add_words(rp: &mut [u32], ap: &[u32], bp: &[u32]) -> u32 {
+    counters::count("bn_add_words", ap.len() as u64);
+    assert_eq!(ap.len(), bp.len(), "operand length mismatch");
+    assert!(rp.len() >= ap.len(), "result slice too short");
+    let mut carry = 0u64;
+    for ((r, &a), &b) in rp.iter_mut().zip(ap).zip(bp) {
+        let t = u64::from(a) + u64::from(b) + carry;
+        *r = t as u32;
+        carry = t >> 32;
+    }
+    carry as u32
+}
+
+/// `rp[i] = ap[i] - bp[i]` with borrow propagation; returns the final borrow
+/// (1 if `b > a`).
+///
+/// The second-hottest RSA function in the paper's profile: Montgomery
+/// reduction ends with a conditional subtract of the modulus.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn bn_sub_words(rp: &mut [u32], ap: &[u32], bp: &[u32]) -> u32 {
+    counters::count("bn_sub_words", ap.len() as u64);
+    assert_eq!(ap.len(), bp.len(), "operand length mismatch");
+    assert!(rp.len() >= ap.len(), "result slice too short");
+    let mut borrow = 0i64;
+    for ((r, &a), &b) in rp.iter_mut().zip(ap).zip(bp) {
+        let t = i64::from(a) - i64::from(b) - borrow;
+        *r = t as u32;
+        borrow = i64::from(t < 0);
+    }
+    borrow as u32
+}
+
+/// Adds the single word `w` into `rp` in place; returns the final carry.
+pub fn bn_add_word(rp: &mut [u32], w: u32) -> u32 {
+    let mut carry = u64::from(w);
+    for r in rp.iter_mut() {
+        if carry == 0 {
+            return 0;
+        }
+        let t = u64::from(*r) + carry;
+        *r = t as u32;
+        carry = t >> 32;
+    }
+    carry as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_add_basic() {
+        let mut r = [1u32, 2];
+        let carry = bn_mul_add_words(&mut r, &[3, 4], 5);
+        // 1 + 3*5 = 16 ; 2 + 4*5 = 22
+        assert_eq!(r, [16, 22]);
+        assert_eq!(carry, 0);
+    }
+
+    #[test]
+    fn mul_add_carry_chain() {
+        let mut r = [u32::MAX, u32::MAX];
+        let carry = bn_mul_add_words(&mut r, &[u32::MAX, u32::MAX], u32::MAX);
+        // value = (2^64-1) + (2^32-1)^2 * (2^32+1)... verify numerically on u128.
+        let expect = (u128::from(u64::MAX))
+            + u128::from(u32::MAX) * u128::from(u32::MAX)
+            + (u128::from(u32::MAX) * u128::from(u32::MAX)) * (1u128 << 32);
+        let got = u128::from(r[0]) | (u128::from(r[1]) << 32) | (u128::from(carry) << 64);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mul_words_overwrites() {
+        let mut r = [9u32, 9];
+        let carry = bn_mul_words(&mut r, &[u32::MAX, 1], 2);
+        assert_eq!(r, [u32::MAX - 1, 3]);
+        assert_eq!(carry, 0);
+    }
+
+    #[test]
+    fn add_words_carry() {
+        let mut r = [0u32; 2];
+        let carry = bn_add_words(&mut r, &[u32::MAX, u32::MAX], &[1, 0]);
+        assert_eq!(r, [0, 0]);
+        assert_eq!(carry, 1);
+    }
+
+    #[test]
+    fn sub_words_borrow() {
+        let mut r = [0u32; 2];
+        let borrow = bn_sub_words(&mut r, &[0, 1], &[1, 0]);
+        assert_eq!(r, [u32::MAX, 0]);
+        assert_eq!(borrow, 0);
+        let borrow = bn_sub_words(&mut r, &[0, 0], &[1, 0]);
+        assert_eq!(r, [u32::MAX, u32::MAX]);
+        assert_eq!(borrow, 1);
+    }
+
+    #[test]
+    fn add_word_ripples() {
+        let mut r = [u32::MAX, u32::MAX, 5];
+        let carry = bn_add_word(&mut r, 1);
+        assert_eq!(r, [0, 0, 6]);
+        assert_eq!(carry, 0);
+        let mut all_max = [u32::MAX];
+        assert_eq!(bn_add_word(&mut all_max, 1), 1);
+    }
+
+    #[test]
+    fn kernels_report_counters() {
+        use sslperf_profile::counters;
+        let (_, snap) = counters::counted(|| {
+            let mut r = [0u32; 8];
+            let _ = bn_mul_add_words(&mut r, &[1; 8], 2);
+            let _ = bn_sub_words(&mut r.clone(), &r, &r);
+        });
+        assert_eq!(snap.calls("bn_mul_add_words"), 1);
+        assert_eq!(snap.units("bn_mul_add_words"), 8);
+        assert_eq!(snap.units("bn_sub_words"), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut r = [0u32; 2];
+        let _ = bn_add_words(&mut r, &[1, 2], &[3]);
+    }
+}

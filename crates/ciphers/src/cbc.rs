@@ -1,0 +1,226 @@
+//! Cipher-block chaining over any [`BlockCipher`].
+//!
+//! The paper notes (§2) that CBC "ensures a dependency between blocks of
+//! data within the message and removes the potential for parallelism" — the
+//! property the crypto-engine ablation bench quantifies. The IV handling
+//! matches SSL v3: the chaining state carries over from record to record.
+
+use crate::{BlockCipher, CipherError};
+
+/// A CBC-mode wrapper owning the cipher and the running IV.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_ciphers::{Aes, Cbc};
+///
+/// let key = [0u8; 16];
+/// let iv = vec![0u8; 16];
+/// let mut enc = Cbc::new(Aes::new(&key)?, iv.clone())?;
+/// let mut dec = Cbc::new(Aes::new(&key)?, iv)?;
+///
+/// let mut data = *b"exactly 32 bytes of merry text!!";
+/// enc.encrypt(&mut data)?;
+/// dec.decrypt(&mut data)?;
+/// assert_eq!(&data, b"exactly 32 bytes of merry text!!");
+/// # Ok::<(), sslperf_ciphers::CipherError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cbc<C> {
+    cipher: C,
+    iv: Vec<u8>,
+}
+
+impl<C: BlockCipher> Cbc<C> {
+    /// Wraps `cipher` with the initial chaining vector `iv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CipherError::InvalidDataLen`] if `iv` is not exactly one
+    /// block long.
+    pub fn new(cipher: C, iv: Vec<u8>) -> Result<Self, CipherError> {
+        if iv.len() != cipher.block_len() {
+            return Err(CipherError::InvalidDataLen { got: iv.len(), block: cipher.block_len() });
+        }
+        Ok(Cbc { cipher, iv })
+    }
+
+    /// Block length of the wrapped cipher.
+    #[must_use]
+    pub fn block_len(&self) -> usize {
+        self.cipher.block_len()
+    }
+
+    /// The current chaining vector (the last ciphertext block processed).
+    #[must_use]
+    pub fn iv(&self) -> &[u8] {
+        &self.iv
+    }
+
+    /// Borrows the wrapped cipher.
+    #[must_use]
+    pub fn cipher(&self) -> &C {
+        &self.cipher
+    }
+
+    /// Encrypts `data` in place; the final ciphertext block becomes the IV
+    /// for the next call (SSL v3 record chaining).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CipherError::InvalidDataLen`] unless `data` is a whole
+    /// number of blocks.
+    pub fn encrypt(&mut self, data: &mut [u8]) -> Result<(), CipherError> {
+        let block = self.cipher.block_len();
+        if !data.len().is_multiple_of(block) {
+            return Err(CipherError::InvalidDataLen { got: data.len(), block });
+        }
+        for chunk in data.chunks_mut(block) {
+            for (b, ivb) in chunk.iter_mut().zip(&self.iv) {
+                *b ^= ivb;
+            }
+            self.cipher.encrypt_block(chunk);
+            self.iv.copy_from_slice(chunk);
+        }
+        Ok(())
+    }
+
+    /// Decrypts `data` in place, carrying the chaining vector forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CipherError::InvalidDataLen`] unless `data` is a whole
+    /// number of blocks.
+    pub fn decrypt(&mut self, data: &mut [u8]) -> Result<(), CipherError> {
+        let block = self.cipher.block_len();
+        if !data.len().is_multiple_of(block) {
+            return Err(CipherError::InvalidDataLen { got: data.len(), block });
+        }
+        let mut prev = self.iv.clone();
+        for chunk in data.chunks_mut(block) {
+            let cipher_block = chunk.to_vec();
+            self.cipher.decrypt_block(chunk);
+            for (b, pv) in chunk.iter_mut().zip(&prev) {
+                *b ^= pv;
+            }
+            prev = cipher_block;
+        }
+        self.iv = prev;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aes, Des, Des3};
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    /// NIST SP 800-38A F.2.1: AES-128-CBC.
+    #[test]
+    fn nist_aes_cbc_vector() {
+        let key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv = from_hex("000102030405060708090a0b0c0d0e0f");
+        let mut enc = Cbc::new(Aes::new(&key).unwrap(), iv).unwrap();
+        let mut data = from_hex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        enc.encrypt(&mut data).unwrap();
+        assert_eq!(
+            data,
+            from_hex(
+                "7649abac8119b246cee98e9b12e9197d\
+                 5086cb9b507219ee95db113a917678b2\
+                 73bed6b8e3c1743b7116e69e22229516\
+                 3ff1caa1681fac09120eca307586e1a7"
+            )
+        );
+    }
+
+    #[test]
+    fn round_trip_all_ciphers() {
+        let data_len = 64;
+        let data: Vec<u8> = (0..data_len as u8).collect();
+
+        let mut enc = Cbc::new(Aes::new(&[1u8; 16]).unwrap(), vec![2u8; 16]).unwrap();
+        let mut dec = Cbc::new(Aes::new(&[1u8; 16]).unwrap(), vec![2u8; 16]).unwrap();
+        let mut buf = data.clone();
+        enc.encrypt(&mut buf).unwrap();
+        dec.decrypt(&mut buf).unwrap();
+        assert_eq!(buf, data);
+
+        let mut enc = Cbc::new(Des::new(&[3u8; 8]).unwrap(), vec![4u8; 8]).unwrap();
+        let mut dec = Cbc::new(Des::new(&[3u8; 8]).unwrap(), vec![4u8; 8]).unwrap();
+        let mut buf = data.clone();
+        enc.encrypt(&mut buf).unwrap();
+        dec.decrypt(&mut buf).unwrap();
+        assert_eq!(buf, data);
+
+        let key24: Vec<u8> = (0..24).collect();
+        let mut enc = Cbc::new(Des3::new(&key24).unwrap(), vec![5u8; 8]).unwrap();
+        let mut dec = Cbc::new(Des3::new(&key24).unwrap(), vec![5u8; 8]).unwrap();
+        let mut buf = data.clone();
+        enc.encrypt(&mut buf).unwrap();
+        dec.decrypt(&mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn iv_chains_across_calls() {
+        // Encrypting in two calls must equal encrypting in one.
+        let data: Vec<u8> = (0..48u8).collect();
+        let mut one = Cbc::new(Aes::new(&[9u8; 16]).unwrap(), vec![7u8; 16]).unwrap();
+        let mut split = Cbc::new(Aes::new(&[9u8; 16]).unwrap(), vec![7u8; 16]).unwrap();
+        let mut whole = data.clone();
+        one.encrypt(&mut whole).unwrap();
+        let mut parts = data.clone();
+        let (a, b) = parts.split_at_mut(16);
+        split.encrypt(a).unwrap();
+        split.encrypt(b).unwrap();
+        assert_eq!(whole, parts);
+        // Same for decryption.
+        let mut dec = Cbc::new(Aes::new(&[9u8; 16]).unwrap(), vec![7u8; 16]).unwrap();
+        let (a, b) = whole.split_at_mut(32);
+        dec.decrypt(a).unwrap();
+        dec.decrypt(b).unwrap();
+        assert_eq!(whole, data);
+    }
+
+    #[test]
+    fn identical_plaintext_blocks_produce_distinct_ciphertext() {
+        let mut enc = Cbc::new(Aes::new(&[1u8; 16]).unwrap(), vec![0u8; 16]).unwrap();
+        let mut data = [0x42u8; 48];
+        enc.encrypt(&mut data).unwrap();
+        assert_ne!(data[0..16], data[16..32]);
+        assert_ne!(data[16..32], data[32..48]);
+    }
+
+    #[test]
+    fn rejects_misaligned_data_and_iv() {
+        let mut cbc = Cbc::new(Aes::new(&[0u8; 16]).unwrap(), vec![0u8; 16]).unwrap();
+        let mut bad = [0u8; 15];
+        assert_eq!(
+            cbc.encrypt(&mut bad),
+            Err(CipherError::InvalidDataLen { got: 15, block: 16 })
+        );
+        assert_eq!(
+            cbc.decrypt(&mut bad),
+            Err(CipherError::InvalidDataLen { got: 15, block: 16 })
+        );
+        assert!(Cbc::new(Aes::new(&[0u8; 16]).unwrap(), vec![0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn empty_data_is_fine() {
+        let mut cbc = Cbc::new(Des::new(&[0u8; 8]).unwrap(), vec![0u8; 8]).unwrap();
+        let mut empty: [u8; 0] = [];
+        cbc.encrypt(&mut empty).unwrap();
+        cbc.decrypt(&mut empty).unwrap();
+    }
+}

@@ -1,0 +1,170 @@
+//! The RC4 stream cipher.
+//!
+//! The paper (§5.1.3) singles RC4 out: a 256-entry state table initialized
+//! by the key setup (28.5% of a 1 KB encryption — Figure 3) and a per-byte
+//! generation loop that reads the table three times and updates it twice,
+//! with AND/ADD/XOR as the main operations.
+
+use crate::{CipherError};
+use sslperf_profile::counters;
+
+/// RC4 keystream generator and in-place cipher.
+///
+/// Encryption and decryption are the same XOR operation.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_ciphers::Rc4;
+///
+/// let mut enc = Rc4::new(b"Key")?;
+/// let mut data = *b"Plaintext";
+/// enc.process(&mut data);
+/// assert_eq!(data, [0xBB, 0xF3, 0x16, 0xE8, 0xD9, 0x40, 0xAF, 0x0A, 0xD3]);
+///
+/// let mut dec = Rc4::new(b"Key")?;
+/// dec.process(&mut data);
+/// assert_eq!(&data, b"Plaintext");
+/// # Ok::<(), sslperf_ciphers::CipherError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rc4 {
+    state: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl Rc4 {
+    /// Initializes the 256-entry state table from `key` (the paper's *key
+    /// setup* phase, much heavier relative to the kernel than the block
+    /// ciphers').
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CipherError::InvalidKeyLen`] if `key` is empty or longer
+    /// than 256 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, CipherError> {
+        if key.is_empty() || key.len() > 256 {
+            return Err(CipherError::InvalidKeyLen { got: key.len() });
+        }
+        counters::count("rc4_key_setup", 1);
+        let mut state = [0u8; 256];
+        for (i, s) in state.iter_mut().enumerate() {
+            *s = i as u8;
+        }
+        let mut j = 0u8;
+        for i in 0..256usize {
+            j = j.wrapping_add(state[i]).wrapping_add(key[i % key.len()]);
+            state.swap(i, j as usize);
+        }
+        Ok(Rc4 { state, i: 0, j: 0 })
+    }
+
+    /// Generates the next keystream byte (3 table reads, 2 writes).
+    #[must_use]
+    pub fn next_byte(&mut self) -> u8 {
+        self.i = self.i.wrapping_add(1);
+        self.j = self.j.wrapping_add(self.state[self.i as usize]);
+        self.state.swap(self.i as usize, self.j as usize);
+        let idx = self.state[self.i as usize].wrapping_add(self.state[self.j as usize]);
+        self.state[idx as usize]
+    }
+
+    /// XORs the keystream into `data` in place (encrypt == decrypt).
+    pub fn process(&mut self, data: &mut [u8]) {
+        counters::count("rc4_bytes", data.len() as u64);
+        for b in data {
+            *b ^= self.next_byte();
+        }
+    }
+
+    /// Produces `n` raw keystream bytes (for tests and analysis).
+    #[must_use]
+    pub fn keystream(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_byte()).collect()
+    }
+
+    /// The current `(state table, i, j)` — exposed so the ISA-level
+    /// analysis kernel can start from an identical generator state.
+    #[must_use]
+    pub fn snapshot(&self) -> ([u8; 256], u8, u8) {
+        (self.state, self.i, self.j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    /// Classic RC4 test vectors (appear in the original Usenet posting and
+    /// RFC 6229 precursors).
+    #[test]
+    fn classic_vectors() {
+        let cases: &[(&[u8], &[u8], &str)] = &[
+            (b"Key", b"Plaintext", "bbf316e8d940af0ad3"),
+            (b"Wiki", b"pedia", "1021bf0420"),
+            (b"Secret", b"Attack at dawn", "45a01f645fc35b383552544b9bf5"),
+        ];
+        for (key, plain, want) in cases {
+            let mut rc4 = Rc4::new(key).unwrap();
+            let mut data = plain.to_vec();
+            rc4.process(&mut data);
+            assert_eq!(data, from_hex(want), "key {:?}", String::from_utf8_lossy(key));
+        }
+    }
+
+    /// RFC 6229 keystream for key 0102030405 (first 16 bytes).
+    #[test]
+    fn rfc6229_keystream() {
+        let mut rc4 = Rc4::new(&[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(rc4.keystream(16), from_hex("b2396305f03dc027ccc3524a0a1118a8"));
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let mut a = Rc4::new(b"somekey").unwrap();
+        let mut b = Rc4::new(b"somekey").unwrap();
+        let mut data: Vec<u8> = (0..200u8).collect();
+        let original = data.clone();
+        a.process(&mut data);
+        assert_ne!(data, original);
+        b.process(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut one = Rc4::new(b"k").unwrap();
+        let mut two = Rc4::new(b"k").unwrap();
+        let mut big = vec![7u8; 100];
+        one.process(&mut big);
+        let mut parts = vec![7u8; 100];
+        let (first, second) = parts.split_at_mut(33);
+        two.process(first);
+        two.process(second);
+        assert_eq!(big, parts);
+    }
+
+    #[test]
+    fn key_length_limits() {
+        assert!(Rc4::new(&[]).is_err());
+        assert!(Rc4::new(&[0u8; 257]).is_err());
+        assert!(Rc4::new(&[0u8; 256]).is_ok());
+        assert!(Rc4::new(&[0u8; 1]).is_ok());
+    }
+
+    #[test]
+    fn counts_setup_and_bytes() {
+        let (_, snap) = counters::counted(|| {
+            let mut rc4 = Rc4::new(b"key").unwrap();
+            let mut data = [0u8; 40];
+            rc4.process(&mut data);
+        });
+        assert_eq!(snap.calls("rc4_key_setup"), 1);
+        assert_eq!(snap.units("rc4_bytes"), 40);
+    }
+}

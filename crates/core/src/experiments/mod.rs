@@ -1,0 +1,92 @@
+//! The paper's tables and figures as runnable experiments.
+//!
+//! Each function takes a [`crate::Context`], performs real
+//! measurements on this workspace's substrates, and returns a typed result
+//! that renders (via `Display`) as the corresponding paper table, with a
+//! column of the paper's published numbers alongside for comparison.
+
+pub mod arch;
+pub mod handshake;
+pub mod hashes;
+pub mod rsa;
+pub mod symmetric;
+pub mod webserver;
+
+use crate::Context;
+use std::fmt;
+
+/// Formats a percentage with one decimal, the paper's style.
+pub(crate) fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats kilocycles with sensible precision.
+pub(crate) fn kcycles(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// A full run of every experiment, rendered in paper order.
+#[derive(Debug)]
+pub struct FullReport {
+    sections: Vec<String>,
+}
+
+impl FullReport {
+    /// The rendered sections in paper order.
+    #[must_use]
+    pub fn sections(&self) -> &[String] {
+        &self.sections
+    }
+}
+
+impl fmt::Display for FullReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.sections {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs every experiment in paper order. Expect minutes at
+/// [`Context::paper`] settings, seconds at [`Context::quick`].
+#[must_use]
+pub fn run_all(ctx: &Context) -> FullReport {
+    let sections = vec![
+        webserver::table1(ctx).to_string(),
+        webserver::fig2(ctx).to_string(),
+        handshake::table2(ctx).to_string(),
+        handshake::table3(ctx).to_string(),
+        symmetric::fig3(ctx).to_string(),
+        symmetric::table4().to_string(),
+        symmetric::table5(ctx).to_string(),
+        symmetric::table6(ctx).to_string(),
+        rsa::table7(ctx).to_string(),
+        rsa::table8(ctx).to_string(),
+        arch::table9().to_string(),
+        hashes::table10(ctx).to_string(),
+        arch::table11(ctx).to_string(),
+        arch::table12(ctx).to_string(),
+        webserver::suite_sweep(ctx).to_string(),
+    ];
+    FullReport { sections }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(90.44), "90.4");
+        assert_eq!(kcycles(18941.2), "18941");
+        assert_eq!(kcycles(3.44), "3.4");
+        assert_eq!(kcycles(0.119), "0.12");
+    }
+}

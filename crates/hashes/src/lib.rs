@@ -1,0 +1,202 @@
+//! From-scratch MD5 and SHA-1 for the SSL-processing anatomy study.
+//!
+//! The paper (§5.3) partitions hashing into three phases — **Init**,
+//! **Update** (64-byte block operations) and **Final** (padding + last
+//! block) — and measures each. The implementations here expose exactly that
+//! streaming structure:
+//!
+//! * [`Md5`] — RFC 1321, 128-bit digest.
+//! * [`Sha1`] — FIPS 180-2, 160-bit digest.
+//! * [`Hasher`]/[`HashAlg`] — run-time algorithm selection, as the SSL layer
+//!   needs both digests side by side.
+//! * [`Hmac`] — RFC 2104 keyed MAC over either hash.
+//!
+//! Block compressions report to [`sslperf_profile::counters`] under the names
+//! `"md5_block"` and `"sha1_block"` (one unit per 64-byte block) so profiling
+//! passes can attribute work without timing individual calls.
+//!
+//! # Examples
+//!
+//! ```
+//! use sslperf_hashes::{Md5, Sha1};
+//!
+//! assert_eq!(
+//!     hex::encode(Md5::digest(b"abc")),
+//!     "900150983cd24fb0d6963f7d28e17f72"
+//! );
+//! assert_eq!(
+//!     hex::encode(Sha1::digest(b"abc")),
+//!     "a9993e364706816aba3e25717850c26c9cd0d89d"
+//! );
+//! # mod hex { pub fn encode(b: impl AsRef<[u8]>) -> String {
+//! #   b.as_ref().iter().map(|x| format!("{x:02x}")).collect() } }
+//! ```
+//!
+//! # Security
+//!
+//! MD5 and SHA-1 are cryptographically broken. They are implemented here
+//! solely to reproduce a 2005 performance study; never use them to protect
+//! data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hmac;
+mod md5;
+mod sha1;
+
+pub use hmac::Hmac;
+pub use md5::Md5;
+pub use sha1::Sha1;
+
+/// The hash algorithms used by SSL v3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashAlg {
+    /// RFC 1321 MD5 (16-byte digest).
+    Md5,
+    /// FIPS 180-2 SHA-1 (20-byte digest).
+    Sha1,
+}
+
+impl HashAlg {
+    /// Digest length in bytes (16 for MD5, 20 for SHA-1).
+    #[must_use]
+    pub const fn output_len(self) -> usize {
+        match self {
+            HashAlg::Md5 => 16,
+            HashAlg::Sha1 => 20,
+        }
+    }
+
+    /// Compression block length in bytes (64 for both).
+    #[must_use]
+    pub const fn block_len(self) -> usize {
+        64
+    }
+
+    /// Human-readable algorithm name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            HashAlg::Md5 => "MD5",
+            HashAlg::Sha1 => "SHA-1",
+        }
+    }
+}
+
+impl std::fmt::Display for HashAlg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum HasherInner {
+    Md5(Md5),
+    Sha1(Sha1),
+}
+
+/// A streaming hasher whose algorithm is chosen at run time.
+///
+/// SSL v3 computes MD5 and SHA-1 digests in parallel over the same handshake
+/// transcript, and the MAC algorithm depends on the negotiated cipher suite;
+/// this type gives that code one concrete interface.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_hashes::{HashAlg, Hasher};
+///
+/// let mut h = Hasher::new(HashAlg::Sha1);
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), Hasher::digest(HashAlg::Sha1, b"abc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    inner: HasherInner,
+}
+
+impl Hasher {
+    /// Creates a hasher for `alg` (the paper's *Init* phase).
+    #[must_use]
+    pub fn new(alg: HashAlg) -> Self {
+        let inner = match alg {
+            HashAlg::Md5 => HasherInner::Md5(Md5::new()),
+            HashAlg::Sha1 => HasherInner::Sha1(Sha1::new()),
+        };
+        Hasher { inner }
+    }
+
+    /// Which algorithm this hasher runs.
+    #[must_use]
+    pub fn alg(&self) -> HashAlg {
+        match self.inner {
+            HasherInner::Md5(_) => HashAlg::Md5,
+            HasherInner::Sha1(_) => HashAlg::Sha1,
+        }
+    }
+
+    /// Absorbs `data` (the paper's *Update* phase).
+    pub fn update(&mut self, data: &[u8]) {
+        match &mut self.inner {
+            HasherInner::Md5(h) => h.update(data),
+            HasherInner::Sha1(h) => h.update(data),
+        }
+    }
+
+    /// Pads, runs the last block(s) and returns the digest (the paper's
+    /// *Final* phase). The digest length is [`HashAlg::output_len`].
+    #[must_use]
+    pub fn finalize(self) -> Vec<u8> {
+        match self.inner {
+            HasherInner::Md5(h) => h.finalize().to_vec(),
+            HasherInner::Sha1(h) => h.finalize().to_vec(),
+        }
+    }
+
+    /// One-shot convenience: digest `data` with `alg`.
+    #[must_use]
+    pub fn digest(alg: HashAlg, data: &[u8]) -> Vec<u8> {
+        let mut h = Hasher::new(alg);
+        h.update(data);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alg_metadata() {
+        assert_eq!(HashAlg::Md5.output_len(), 16);
+        assert_eq!(HashAlg::Sha1.output_len(), 20);
+        assert_eq!(HashAlg::Md5.block_len(), 64);
+        assert_eq!(HashAlg::Sha1.to_string(), "SHA-1");
+    }
+
+    #[test]
+    fn hasher_matches_concrete_types() {
+        let data = b"the quick brown fox";
+        assert_eq!(Hasher::digest(HashAlg::Md5, data), Md5::digest(data).to_vec());
+        assert_eq!(Hasher::digest(HashAlg::Sha1, data), Sha1::digest(data).to_vec());
+    }
+
+    #[test]
+    fn hasher_reports_alg() {
+        assert_eq!(Hasher::new(HashAlg::Md5).alg(), HashAlg::Md5);
+        assert_eq!(Hasher::new(HashAlg::Sha1).alg(), HashAlg::Sha1);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot_across_split_points() {
+        let data: Vec<u8> = (0..255u8).collect();
+        for split in [0, 1, 63, 64, 65, 128, 200, 255] {
+            let mut h = Hasher::new(HashAlg::Sha1);
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Hasher::digest(HashAlg::Sha1, &data), "split {split}");
+        }
+    }
+}

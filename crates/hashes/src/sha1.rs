@@ -1,0 +1,217 @@
+//! FIPS 180-2 SHA-1 secure hash.
+
+use sslperf_profile::counters;
+
+const INIT_STATE: [u32; 5] =
+    [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+
+const K: [u32; 4] = [0x5a82_7999, 0x6ed9_eba1, 0x8f1b_bcdc, 0xca62_c1d6];
+
+/// Streaming SHA-1 hasher (FIPS 180-2).
+///
+/// Mirrors the Init/Update/Final structure the paper measures in Table 10;
+/// SHA-1 carries five chaining registers (one more than MD5, as §5.3 notes)
+/// and an 80-step block operation, making it the more compute-intensive of
+/// the two hashes.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_hashes::Sha1;
+///
+/// let digest = Sha1::digest(b"abc");
+/// assert_eq!(digest[..4], [0xa9, 0x99, 0x3e, 0x36]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Digest length in bytes.
+    pub const OUTPUT_LEN: usize = 20;
+    /// Compression block length in bytes.
+    pub const BLOCK_LEN: usize = 64;
+
+    /// Initializes the five 32-bit chaining registers (the *Init* phase).
+    #[must_use]
+    pub fn new() -> Self {
+        Sha1 { state: INIT_STATE, len: 0, buf: [0; 64], buf_len: 0 }
+    }
+
+    /// One-shot digest of `data`.
+    #[must_use]
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs `data`, running an 80-step block operation per 64-byte block
+    /// (the *Update* phase).
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut input = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            if input.is_empty() {
+                // Nothing left for the tail copy below; returning here keeps
+                // the partially filled buffer intact.
+                return;
+            }
+        }
+        while input.len() >= 64 {
+            let (block, rest) = input.split_at(64);
+            self.compress(block.try_into().expect("64-byte split"));
+            input = rest;
+        }
+        self.buf[..input.len()].copy_from_slice(input);
+        self.buf_len = input.len();
+    }
+
+    /// Pads the message, runs the final block operation(s) and returns the
+    /// 160-bit digest (the *Final* phase).
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Runs one block operation on an explicit chaining state — exposed for
+    /// the ISA-level analysis kernels, which must validate their simulated
+    /// compression against the native one.
+    #[must_use]
+    pub fn compress_block(state: [u32; 5], block: &[u8; 64]) -> [u32; 5] {
+        let mut h = Sha1::new();
+        h.state = state;
+        h.compress(block);
+        h.state
+    }
+
+    /// The SHA-1 block operation: message schedule expansion + 80 steps.
+    fn compress(&mut self, block: &[u8; 64]) {
+        counters::count("sha1_block", 1);
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let f = match i / 20 {
+                0 => (b & c) | (!b & d),
+                1 => b ^ c ^ d,
+                2 => (b & c) | (b & d) | (c & d),
+                _ => b ^ c ^ d,
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(K[i / 20])
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// FIPS 180-2 appendix A + the empty string.
+    #[test]
+    fn fips_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(hex(&Sha1::digest(input)), *want);
+        }
+    }
+
+    /// FIPS 180-2: one million repetitions of "a".
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(777).collect();
+        for chunk in [1, 7, 64, 100] {
+            let mut h = Sha1::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), Sha1::digest(&data), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        for len in [55usize, 56, 57, 63, 64, 65, 128] {
+            let data = vec![0x5au8; len];
+            assert_eq!(Sha1::digest(&data).len(), 20, "len {len}");
+        }
+    }
+
+    #[test]
+    fn counts_blocks() {
+        let (_, snap) = counters::counted(|| Sha1::digest(&[0u8; 64]));
+        // 64 bytes of data forces padding into a second block.
+        assert_eq!(snap.units("sha1_block"), 2);
+    }
+}

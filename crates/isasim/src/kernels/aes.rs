@@ -1,0 +1,198 @@
+//! The AES-128 block encryption in IR: fused-table rounds.
+//!
+//! Each of the nine main rounds performs the paper's sixteen table lookups
+//! (Figure 5): bytes are extracted with `movb`/`shrl`+`andl` and indexed
+//! into the `Te` tables; the final round substitutes through the S-box.
+//! Tables and round keys are bit-identical to `sslperf-ciphers` (loaded via
+//! its `analysis` API).
+
+use crate::ir::{mem_idx, AluOp, MemRef, Program, Reg, ShiftOp};
+use crate::kernels::KernelRun;
+use crate::Machine;
+use sslperf_ciphers::{analysis, Aes};
+
+/// `Te0`–`Te3` table bases (1 KB each).
+const TE: [u32; 4] = [0x4000, 0x4400, 0x4800, 0x4c00];
+/// S-box base (256 bytes).
+const SBOX: u32 = 0x5000;
+/// Round-key base (44 words for AES-128).
+const RK: u32 = 0x5400;
+/// Input block address.
+const DATA: u32 = 0x6000;
+/// Output block address.
+const OUT: u32 = 0x6100;
+/// Two state scratch buffers (4 words each), alternated between rounds.
+const SCRATCH: [u32; 2] = [0x6200, 0x6300];
+
+fn mem_abs(addr: u32) -> MemRef {
+    MemRef { base: None, index: None, disp: addr }
+}
+
+/// Emits a full AES-128 block encryption (initial round key, 9 main
+/// rounds, final round).
+#[must_use]
+pub fn program() -> Program {
+    let mut p = Program::new();
+    // Part 1: map the byte block to cipher state, add the initial round key.
+    for c in 0..4u32 {
+        p.mov(Reg::Eax, mem_abs(DATA + 4 * c));
+        p.bswap(Reg::Eax);
+        p.alu(AluOp::Xor, Reg::Eax, mem_abs(RK + 4 * c));
+        p.mov(mem_abs(SCRATCH[0] + 4 * c), Reg::Eax);
+    }
+    // Part 2: nine main rounds of 16 lookups.
+    for round in 1..10u32 {
+        let src = SCRATCH[(round as usize - 1) % 2];
+        let dst = SCRATCH[round as usize % 2];
+        for c in 0..4u32 {
+            // State words are stored little-endian, so the most significant
+            // byte of word w sits at byte offset 4w+3.
+            // Byte 3 (>>24) of word c → Te0, via a byte load.
+            p.movb(Reg::Eax, mem_abs(src + 4 * c + 3));
+            p.mov(Reg::Esi, mem_idx(TE[0], Reg::Eax, 4));
+            // Byte 2 (>>16) of word c+1 → Te1, via a byte load + mov/xor.
+            p.movb(Reg::Eax, mem_abs(src + 4 * ((c + 1) % 4) + 2));
+            p.mov(Reg::Edi, mem_idx(TE[1], Reg::Eax, 4));
+            p.alu(AluOp::Xor, Reg::Esi, Reg::Edi);
+            // Byte 1 (>>8) of word c+2 → Te2, via shift+mask.
+            p.mov(Reg::Eax, mem_abs(src + 4 * ((c + 2) % 4)));
+            p.shift(ShiftOp::Shr, Reg::Eax, 8);
+            p.alu(AluOp::And, Reg::Eax, 0xffu32);
+            p.mov(Reg::Edi, mem_idx(TE[2], Reg::Eax, 4));
+            p.alu(AluOp::Xor, Reg::Esi, Reg::Edi);
+            // Byte 0 of word c+3 → Te3, via mask.
+            p.mov(Reg::Eax, mem_abs(src + 4 * ((c + 3) % 4)));
+            p.alu(AluOp::And, Reg::Eax, 0xffu32);
+            p.alu(AluOp::Xor, Reg::Esi, mem_idx(TE[3], Reg::Eax, 4));
+            // Round key, store.
+            p.alu(AluOp::Xor, Reg::Esi, mem_abs(RK + 4 * (4 * round + c)));
+            p.mov(mem_abs(dst + 4 * c), Reg::Esi);
+        }
+    }
+    // Part 3: the last round (S-box only) and map back to bytes.
+    let src = SCRATCH[1]; // after 9 rounds the state is in SCRATCH[1]
+    for c in 0..4u32 {
+        // Build the output word byte by byte.
+        p.movb(Reg::Eax, mem_abs(src + 4 * c + 3));
+        p.movb(Reg::Esi, mem_idx(SBOX, Reg::Eax, 1));
+        p.shift(ShiftOp::Shl, Reg::Esi, 24);
+        p.movb(Reg::Eax, mem_abs(src + 4 * ((c + 1) % 4) + 2));
+        p.movb(Reg::Edi, mem_idx(SBOX, Reg::Eax, 1));
+        p.shift(ShiftOp::Shl, Reg::Edi, 16);
+        p.alu(AluOp::Or, Reg::Esi, Reg::Edi);
+        p.movb(Reg::Eax, mem_abs(src + 4 * ((c + 2) % 4) + 1));
+        p.movb(Reg::Edi, mem_idx(SBOX, Reg::Eax, 1));
+        p.shift(ShiftOp::Shl, Reg::Edi, 8);
+        p.alu(AluOp::Or, Reg::Esi, Reg::Edi);
+        p.movb(Reg::Eax, mem_abs(src + 4 * ((c + 3) % 4)));
+        p.movb(Reg::Edi, mem_idx(SBOX, Reg::Eax, 1));
+        p.alu(AluOp::Or, Reg::Esi, Reg::Edi);
+        p.alu(AluOp::Xor, Reg::Esi, mem_abs(RK + 4 * (40 + c)));
+        p.mov(mem_abs(OUT + 4 * c), Reg::Esi);
+    }
+    p.halt();
+    p
+}
+
+fn load_tables(machine: &mut Machine, aes: &Aes) {
+    let te = analysis::aes_te_tables();
+    for (t, base) in te.iter().zip(TE) {
+        for (i, v) in t.iter().enumerate() {
+            machine.write_u32(base + 4 * i as u32, *v);
+        }
+    }
+    machine.write_mem(SBOX, analysis::aes_sbox());
+    for (i, w) in aes.round_keys().iter().enumerate() {
+        machine.write_u32(RK + 4 * i as u32, *w);
+    }
+}
+
+/// Simulates one AES-128 block encryption, returning the run and the
+/// ciphertext block.
+///
+/// # Panics
+///
+/// Panics if `key` is not 16 bytes, or on simulator faults.
+#[must_use]
+pub fn simulate_block(key: &[u8; 16], block: &[u8; 16]) -> (KernelRun, [u8; 16]) {
+    let aes = Aes::new(key).expect("16-byte key");
+    let mut machine = Machine::new(0x10000);
+    load_tables(&mut machine, &aes);
+    machine.write_mem(DATA, block);
+    let stats = machine.run(&program(), 10_000_000).expect("kernel runs clean");
+    let mut out = [0u8; 16];
+    for c in 0..4usize {
+        let word = machine.read_u32(OUT + 4 * c as u32);
+        out[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    (KernelRun { stats, bytes: 16 }, out)
+}
+
+/// Simulates encrypting `blocks` blocks (mix/path-length reporting).
+#[must_use]
+pub fn simulate(blocks: usize) -> crate::RunStats {
+    let (run, _) = simulate_block(&[0x2b; 16], &[0x32; 16]);
+    let mut stats = run.stats;
+    stats.scale(blocks as u64);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sslperf_ciphers::BlockCipher;
+
+    #[test]
+    fn matches_native_aes() {
+        let cases: [([u8; 16], [u8; 16]); 3] = [
+            ([0; 16], [0; 16]),
+            (
+                [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+                [0, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
+                 0xdd, 0xee, 0xff],
+            ),
+            ([0x2b; 16], *b"sixteen byte msg"),
+        ];
+        for (key, block) in cases {
+            let (_, simulated) = simulate_block(&key, &block);
+            let aes = Aes::new(&key).unwrap();
+            let mut expected = block;
+            aes.encrypt_block(&mut expected);
+            assert_eq!(simulated, expected, "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn fips197_vector_through_simulator() {
+        let key: [u8; 16] =
+            [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0xa, 0xb, 0xc, 0xd, 0xe, 0xf];
+        let block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let (_, out) = simulate_block(&key, &block);
+        assert_eq!(
+            out,
+            [0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+             0xc5, 0x5a]
+        );
+    }
+
+    #[test]
+    fn mix_matches_paper_shape() {
+        let stats = simulate(32);
+        let top = stats.mix.top(3);
+        assert_eq!(top[0].0, "movl", "Table 12: movl first, got {top:?}");
+        assert_eq!(top[1].0, "xorl", "Table 12: xorl second, got {top:?}");
+        assert!(stats.mix.percent("movb") > 5.0, "byte extraction shows up");
+        assert_eq!(stats.mix.count("mull"), 0);
+    }
+
+    #[test]
+    fn path_length_order_of_magnitude() {
+        let (run, _) = simulate_block(&[1; 16], &[2; 16]);
+        // Paper: 50 instructions/byte for AES on x86.
+        let pl = run.path_length();
+        assert!((20.0..80.0).contains(&pl), "path length {pl}");
+    }
+}

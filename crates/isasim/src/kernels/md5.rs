@@ -1,0 +1,194 @@
+//! The MD5 block operation in IR: 64 steps over one 64-byte block.
+//!
+//! The chaining state lives in `eax`/`ebx`/`ecx`/`edx` with role rotation,
+//! as in the reference implementation; the message block is read directly
+//! from memory (MD5 is little-endian, so no byte swaps appear — compare the
+//! SHA-1 kernel, whose big-endian loads produce the `bswap` entries of
+//! Table 12).
+
+use crate::ir::{AluOp, Program, Reg, ShiftOp};
+use crate::kernels::KernelRun;
+use crate::Machine;
+
+/// Chaining-state address (4 × u32).
+const STATE: u32 = 0x100;
+/// Message-block address (64 bytes).
+const DATA: u32 = 0x200;
+
+const T: [u32; 64] = {
+    // Same constants as the native implementation (RFC 1321).
+    [
+        0xd76a_a478, 0xe8c7_b756, 0x2420_70db, 0xc1bd_ceee, 0xf57c_0faf, 0x4787_c62a,
+        0xa830_4613, 0xfd46_9501, 0x6980_98d8, 0x8b44_f7af, 0xffff_5bb1, 0x895c_d7be,
+        0x6b90_1122, 0xfd98_7193, 0xa679_438e, 0x49b4_0821, 0xf61e_2562, 0xc040_b340,
+        0x265e_5a51, 0xe9b6_c7aa, 0xd62f_105d, 0x0244_1453, 0xd8a1_e681, 0xe7d3_fbc8,
+        0x21e1_cde6, 0xc337_07d6, 0xf4d5_0d87, 0x455a_14ed, 0xa9e3_e905, 0xfcef_a3f8,
+        0x676f_02d9, 0x8d2a_4c8a, 0xfffa_3942, 0x8771_f681, 0x6d9d_6122, 0xfde5_380c,
+        0xa4be_ea44, 0x4bde_cfa9, 0xf6bb_4b60, 0xbebf_bc70, 0x289b_7ec6, 0xeaa1_27fa,
+        0xd4ef_3085, 0x0488_1d05, 0xd9d4_d039, 0xe6db_99e5, 0x1fa2_7cf8, 0xc4ac_5665,
+        0xf429_2244, 0x432a_ff97, 0xab94_23a7, 0xfc93_a039, 0x655b_59c3, 0x8f0c_cc92,
+        0xffef_f47d, 0x8584_5dd1, 0x6fa8_7e4f, 0xfe2c_e6e0, 0xa301_4314, 0x4e08_11a1,
+        0xf753_7e82, 0xbd3a_f235, 0x2ad7_d2bb, 0xeb86_d391,
+    ]
+};
+
+const S: [[u8; 4]; 4] = [[7, 12, 17, 22], [5, 9, 14, 20], [4, 11, 16, 23], [6, 10, 15, 21]];
+
+/// Emits the full 64-step block operation.
+#[must_use]
+pub fn program() -> Program {
+    let mut p = Program::new();
+    // Load chaining state.
+    let regs = [Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx];
+    for (i, r) in regs.iter().enumerate() {
+        p.mov(*r, mem_abs(STATE + 4 * i as u32));
+    }
+    let mut roles = [0usize, 1, 2, 3]; // indices into regs for (a, b, c, d)
+    for i in 0..64 {
+        let a = regs[roles[0]];
+        let b = regs[roles[1]];
+        let c = regs[roles[2]];
+        let d = regs[roles[3]];
+        let round = i / 16;
+        // f into esi.
+        match round {
+            0 => {
+                // (b & c) | (!b & d)
+                p.mov(Reg::Esi, b);
+                p.alu(AluOp::And, Reg::Esi, c);
+                p.mov(Reg::Edi, b);
+                p.alu(AluOp::Xor, Reg::Edi, 0xffff_ffffu32);
+                p.alu(AluOp::And, Reg::Edi, d);
+                p.alu(AluOp::Or, Reg::Esi, Reg::Edi);
+            }
+            1 => {
+                // (d & b) | (!d & c)
+                p.mov(Reg::Esi, d);
+                p.alu(AluOp::And, Reg::Esi, b);
+                p.mov(Reg::Edi, d);
+                p.alu(AluOp::Xor, Reg::Edi, 0xffff_ffffu32);
+                p.alu(AluOp::And, Reg::Edi, c);
+                p.alu(AluOp::Or, Reg::Esi, Reg::Edi);
+            }
+            2 => {
+                // b ^ c ^ d
+                p.mov(Reg::Esi, b);
+                p.alu(AluOp::Xor, Reg::Esi, c);
+                p.alu(AluOp::Xor, Reg::Esi, d);
+            }
+            _ => {
+                // c ^ (b | !d)
+                p.mov(Reg::Esi, d);
+                p.alu(AluOp::Xor, Reg::Esi, 0xffff_ffffu32);
+                p.alu(AluOp::Or, Reg::Esi, b);
+                p.alu(AluOp::Xor, Reg::Esi, c);
+            }
+        }
+        let g = match round {
+            0 => i,
+            1 => (5 * i + 1) % 16,
+            2 => (3 * i + 5) % 16,
+            _ => (7 * i) % 16,
+        };
+        // a = b + rol(a + f + m[g] + T[i], s)
+        p.alu(AluOp::Add, a, Reg::Esi);
+        p.alu(AluOp::Add, a, mem_abs(DATA + 4 * g as u32));
+        p.alu(AluOp::Add, a, T[i]);
+        p.shift(ShiftOp::Rol, a, S[round][i % 4]);
+        p.alu(AluOp::Add, a, b);
+        // Rotate roles: (a, b, c, d) <- (d, a, b, c)
+        roles.rotate_right(1);
+    }
+    // Fold back into the chaining state.
+    for (i, role) in roles.iter().enumerate() {
+        p.alu(AluOp::Add, mem_abs(STATE + 4 * i as u32), regs[*role]);
+    }
+    p.halt();
+    p
+}
+
+fn mem_abs(addr: u32) -> crate::ir::MemRef {
+    crate::ir::MemRef { base: None, index: None, disp: addr }
+}
+
+/// Simulates one block operation, returning the run and the updated state.
+///
+/// # Panics
+///
+/// Panics on simulator faults, which indicate kernel bugs.
+#[must_use]
+pub fn simulate_block(state: [u32; 4], block: &[u8; 64]) -> (KernelRun, [u32; 4]) {
+    let mut machine = Machine::new(0x1000);
+    for (i, w) in state.iter().enumerate() {
+        machine.write_u32(STATE + 4 * i as u32, *w);
+    }
+    machine.write_mem(DATA, block);
+    let stats = machine.run(&program(), 10_000_000).expect("kernel runs clean");
+    let out = [
+        machine.read_u32(STATE),
+        machine.read_u32(STATE + 4),
+        machine.read_u32(STATE + 8),
+        machine.read_u32(STATE + 12),
+    ];
+    (KernelRun { stats, bytes: 64 }, out)
+}
+
+/// Simulates hashing `blocks` 64-byte blocks (mix/path-length reporting).
+#[must_use]
+pub fn simulate(blocks: usize) -> crate::RunStats {
+    let block = [0x5au8; 64];
+    let (run, _) = simulate_block([0x0123_4567, 0x89ab_cdef, 0xfedc_ba98, 0x7654_3210], &block);
+    let mut stats = run.stats;
+    stats.scale(blocks as u64);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sslperf_hashes::Md5;
+
+    #[test]
+    fn matches_native_compress() {
+        let init = [0x6745_2301u32, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+        for seed in [0u8, 1, 0x42, 0xff] {
+            let mut block = [0u8; 64];
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = seed.wrapping_add(i as u8).wrapping_mul(31);
+            }
+            let (_, simulated) = simulate_block(init, &block);
+            let native = Md5::compress_block(init, &block);
+            assert_eq!(simulated, native, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chained_blocks_match_native() {
+        let mut state = [0x11u32, 0x22, 0x33, 0x44];
+        let mut native_state = state;
+        for round in 0..3u8 {
+            let block = [round; 64];
+            state = simulate_block(state, &block).1;
+            native_state = Md5::compress_block(native_state, &block);
+        }
+        assert_eq!(state, native_state);
+    }
+
+    #[test]
+    fn mix_is_logic_heavy_without_bswap() {
+        let stats = simulate(16);
+        assert!(stats.mix.count("bswap") == 0, "MD5 is little-endian");
+        assert!(stats.mix.count("roll") >= 16 * 64, "one rotate per step");
+        let top: Vec<&str> = stats.mix.top(4).into_iter().map(|(m, _)| m).collect();
+        assert!(top.contains(&"addl"), "adds near the top, as in Table 12: {top:?}");
+        assert!(top.contains(&"xorl") || top.contains(&"movl"));
+    }
+
+    #[test]
+    fn path_length_matches_hand_count() {
+        // ~12.3 instructions per step / 64-byte block ≈ 13 instr/byte.
+        let (run, _) = simulate_block([0; 4], &[0; 64]);
+        let per_byte = run.path_length();
+        assert!((8.0..16.0).contains(&per_byte), "path length {per_byte}");
+    }
+}

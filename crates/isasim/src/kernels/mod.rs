@@ -1,0 +1,48 @@
+//! The crypto kernels expressed as IR programs.
+//!
+//! Each submodule provides the IR program for one algorithm's hot kernel, a
+//! `simulate` entry point that runs it on real inputs inside a [`Machine`],
+//! and (in its tests) machine-checked equivalence against the native Rust
+//! implementation from `sslperf-ciphers` / `sslperf-hashes` /
+//! `sslperf-bignum`. The instruction histograms these runs produce are the
+//! reproduction of the paper's Table 12; their instruction counts per byte
+//! are the path-length column of Table 11.
+//!
+//! [`Machine`]: crate::Machine
+
+pub mod aes;
+pub mod bn;
+pub mod des;
+pub mod md5;
+pub mod rc4;
+pub mod sha1;
+
+use crate::RunStats;
+
+/// The result of simulating a kernel over a buffer: the run statistics plus
+/// the number of payload bytes processed.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Execution statistics (instructions, cycles, mix).
+    pub stats: RunStats,
+    /// Payload bytes the kernel processed.
+    pub bytes: usize,
+}
+
+impl KernelRun {
+    /// Path length: dynamic instructions per processed byte (Table 11).
+    #[must_use]
+    pub fn path_length(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.stats.instructions as f64 / self.bytes as f64
+        }
+    }
+
+    /// Cycles per instruction under the cost model (Table 11).
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        self.stats.cpi()
+    }
+}

@@ -1,0 +1,217 @@
+//! The RC4 byte-generation kernel in IR.
+//!
+//! One loop iteration per byte: three reads and two writes of the state
+//! table (kept as 32-bit entries, like OpenSSL's `RC4_INT`), index
+//! arithmetic with `andl $0xff`, and the payload XOR — producing the
+//! `movl`/`andl`/`addl`-heavy mix of the paper's Table 12 RC4 column.
+
+use crate::ir::{mem, mem_idx, AluOp, Program, Reg};
+use crate::kernels::KernelRun;
+use crate::Machine;
+use sslperf_ciphers::Rc4;
+
+/// State table (256 × u32) base address.
+const STATE: u32 = 0x1000;
+/// Payload buffer base address.
+const DATA: u32 = 0x2000;
+
+/// The per-byte RC4 loop over `n` payload bytes.
+///
+/// Register contract: `esi`=i, `edi`=j (set by the host), `ebx`=payload
+/// pointer, `ecx`=count.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn program(n: usize) -> Program {
+    assert!(n > 0, "need at least one byte");
+    let mut p = Program::new();
+    p.mov(Reg::Ebx, DATA);
+    p.mov(Reg::Ecx, n as u32);
+    let top = p.here();
+    p.inc(Reg::Esi);
+    p.alu(AluOp::And, Reg::Esi, 0xffu32);
+    p.mov(Reg::Eax, mem_idx(STATE, Reg::Esi, 4)); // tx = S[i]
+    p.alu(AluOp::Add, Reg::Edi, Reg::Eax);
+    p.alu(AluOp::And, Reg::Edi, 0xffu32);
+    p.mov(Reg::Edx, mem_idx(STATE, Reg::Edi, 4)); // ty = S[j]
+    p.mov(mem_idx(STATE, Reg::Esi, 4), Reg::Edx); // S[i] = ty
+    p.mov(mem_idx(STATE, Reg::Edi, 4), Reg::Eax); // S[j] = tx
+    p.alu(AluOp::Add, Reg::Eax, Reg::Edx);
+    p.alu(AluOp::And, Reg::Eax, 0xffu32);
+    p.mov(Reg::Eax, mem_idx(STATE, Reg::Eax, 4)); // k = S[tx+ty]
+    p.movb(Reg::Edx, mem(Reg::Ebx, 0)); // payload byte
+    p.alu(AluOp::Xor, Reg::Eax, Reg::Edx);
+    p.movb(mem(Reg::Ebx, 0), Reg::Eax);
+    p.inc(Reg::Ebx);
+    p.dec(Reg::Ecx);
+    p.jnz(top);
+    p.halt();
+    p
+}
+
+/// Simulates RC4 over `data.len()` bytes starting from the keyed state of
+/// `key`, returning the run and the ciphertext.
+///
+/// # Panics
+///
+/// Panics on an invalid key or simulator fault.
+#[must_use]
+pub fn simulate_process(key: &[u8], data: &[u8]) -> (KernelRun, Vec<u8>) {
+    assert!(!data.is_empty(), "need at least one byte");
+    let native = Rc4::new(key).expect("valid key");
+    let (state, i, j) = native.snapshot();
+    let mut machine = Machine::new(0x10000);
+    for (idx, s) in state.iter().enumerate() {
+        machine.write_u32(STATE + 4 * idx as u32, u32::from(*s));
+    }
+    machine.write_mem(DATA, data);
+    machine.set_reg(Reg::Esi, u32::from(i));
+    machine.set_reg(Reg::Edi, u32::from(j));
+    let stats = machine.run(&program(data.len()), 100_000_000).expect("kernel runs clean");
+    let out = machine.read_mem(DATA, data.len());
+    (KernelRun { stats, bytes: data.len() }, out)
+}
+
+/// Simulates the generation of `n` keystream bytes over a zero buffer
+/// keyed with `key` (for mix/path-length reporting).
+///
+/// # Panics
+///
+/// Panics on an invalid key or simulator fault.
+#[must_use]
+pub fn simulate(key: &[u8], n: usize) -> crate::RunStats {
+    simulate_process(key, &vec![0u8; n]).0.stats
+}
+
+/// Key bytes base address (KSA input).
+const KEY: u32 = 0x3000;
+
+/// The RC4 key-schedule algorithm (KSA): 256 swaps over the state table,
+/// with the wrapping key pointer the paper's Figure 3 charges to "key
+/// setup". Register contract: none (all set up internally); `key_len`
+/// bytes are read cyclically from [`KEY`].
+///
+/// # Panics
+///
+/// Panics if `key_len` is zero or above 256.
+#[must_use]
+pub fn ksa_program(key_len: usize) -> Program {
+    assert!((1..=256).contains(&key_len), "key length 1..=256");
+    let mut p = Program::new();
+    // Initialize S[i] = i.
+    p.mov(Reg::Esi, 0u32);
+    let init_top = p.here();
+    p.mov(mem_idx_state(Reg::Esi), Reg::Esi);
+    p.inc(Reg::Esi);
+    p.alu(AluOp::Cmp, Reg::Esi, 256u32);
+    p.jnz(init_top);
+    // Scramble: j += S[i] + key[i mod len]; swap.
+    p.mov(Reg::Esi, 0u32); // i
+    p.mov(Reg::Edi, 0u32); // j
+    p.mov(Reg::Ebx, KEY); // key pointer
+    let top = p.here();
+    p.mov(Reg::Eax, mem_idx_state(Reg::Esi)); // S[i]
+    p.alu(AluOp::Add, Reg::Edi, Reg::Eax);
+    p.movb(Reg::Edx, mem(Reg::Ebx, 0)); // key byte
+    p.alu(AluOp::Add, Reg::Edi, Reg::Edx);
+    p.alu(AluOp::And, Reg::Edi, 0xffu32);
+    p.mov(Reg::Edx, mem_idx_state(Reg::Edi)); // S[j]
+    p.mov(mem_idx_state(Reg::Esi), Reg::Edx); // swap
+    p.mov(mem_idx_state(Reg::Edi), Reg::Eax);
+    // Advance the key pointer with wrap (cmp + conditional reset).
+    p.inc(Reg::Ebx);
+    p.alu(AluOp::Cmp, Reg::Ebx, KEY + key_len as u32);
+    let no_wrap = p.label();
+    p.jnz(no_wrap);
+    p.mov(Reg::Ebx, KEY);
+    p.bind(no_wrap);
+    p.inc(Reg::Esi);
+    p.alu(AluOp::Cmp, Reg::Esi, 256u32);
+    p.jnz(top);
+    p.halt();
+    p
+}
+
+fn mem_idx_state(index: Reg) -> crate::ir::MemRef {
+    mem_idx(STATE, index, 4)
+}
+
+/// Simulates the key schedule for `key`, returning the run and the
+/// resulting state table.
+///
+/// # Panics
+///
+/// Panics on an invalid key or simulator fault.
+#[must_use]
+pub fn simulate_ksa(key: &[u8]) -> (KernelRun, [u8; 256]) {
+    let mut machine = Machine::new(0x10000);
+    machine.write_mem(KEY, key);
+    let stats = machine.run(&ksa_program(key.len()), 10_000_000).expect("kernel runs clean");
+    let mut state = [0u8; 256];
+    for (i, s) in state.iter_mut().enumerate() {
+        *s = machine.read_u32(STATE + 4 * i as u32) as u8;
+    }
+    (KernelRun { stats, bytes: key.len() }, state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_native_rc4() {
+        for (key, len) in [(b"Key".as_slice(), 9usize), (b"Wiki", 100), (&[1, 2, 3, 4, 5], 256)] {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i * 7) as u8).collect();
+            let (_, simulated) = simulate_process(key, &data);
+            let mut expected = data.clone();
+            Rc4::new(key).unwrap().process(&mut expected);
+            assert_eq!(simulated, expected, "key {key:?} len {len}");
+        }
+    }
+
+    #[test]
+    fn path_length_is_constant_per_byte() {
+        let (run_small, _) = simulate_process(b"k", &[0u8; 16]);
+        let (run_large, _) = simulate_process(b"k", &[0u8; 160]);
+        // Setup amortizes away; per-byte cost converges.
+        assert!((run_large.path_length() - 17.0).abs() < 0.5, "{}", run_large.path_length());
+        assert!(run_small.path_length() >= run_large.path_length());
+    }
+
+    #[test]
+    fn ksa_matches_native_key_schedule() {
+        for key in [b"Key".as_slice(), b"Wiki", &[0xaau8; 16], &[7u8; 1]] {
+            let (_, simulated) = simulate_ksa(key);
+            let (native_state, i, j) = Rc4::new(key).unwrap().snapshot();
+            assert_eq!(simulated, native_state, "key {key:?}");
+            assert_eq!((i, j), (0, 0), "fresh generator");
+        }
+    }
+
+    #[test]
+    fn ksa_explains_fig3_setup_share() {
+        // Figure 3's point: the 256-entry table initialization is a large
+        // fixed cost. At 1 KB the KSA's instruction count must be a double-
+        // digit percentage of the total; by 32 KB it must be marginal.
+        let (ksa, _) = simulate_ksa(&[0x5a; 16]);
+        let per_kb = simulate(b"0123456789abcdef", 1024);
+        let share_1k =
+            ksa.stats.instructions as f64 / (ksa.stats.instructions + per_kb.instructions) as f64;
+        assert!((0.05..0.5).contains(&share_1k), "1 KB setup share {share_1k:.3}");
+        let per_32kb_instr = per_kb.instructions * 32;
+        let share_32k =
+            ksa.stats.instructions as f64 / (ksa.stats.instructions + per_32kb_instr) as f64;
+        assert!(share_32k < 0.02, "32 KB setup share {share_32k:.4}");
+    }
+
+    #[test]
+    fn mix_matches_paper_shape() {
+        let stats = simulate(b"somekey", 512);
+        let top: Vec<&str> = stats.mix.top(3).into_iter().map(|(m, _)| m).collect();
+        assert_eq!(top[0], "movl", "state-table traffic dominates");
+        assert!(top.contains(&"andl"), "index masking is second, as in Table 12");
+        assert!(stats.mix.count("mull") == 0, "RC4 has no multiplies");
+    }
+}

@@ -1,0 +1,179 @@
+//! The SHA-1 block operation in IR: schedule expansion + 80 steps.
+//!
+//! Big-endian message loads go through `bswap` (visible in the paper's
+//! Table 12 SHA-1 column), the 64-entry schedule expansion is a chain of
+//! `xorl`+`roll`, and the 80 steps rotate five state registers.
+
+use crate::ir::{AluOp, MemRef, Program, Reg, ShiftOp};
+use crate::kernels::KernelRun;
+use crate::Machine;
+
+/// Chaining-state address (5 × u32).
+const STATE: u32 = 0x100;
+/// Message-block address (64 bytes).
+const DATA: u32 = 0x200;
+/// Expanded-schedule address (80 × u32).
+const SCHED: u32 = 0x400;
+
+const K: [u32; 4] = [0x5a82_7999, 0x6ed9_eba1, 0x8f1b_bcdc, 0xca62_c1d6];
+
+fn mem_abs(addr: u32) -> MemRef {
+    MemRef { base: None, index: None, disp: addr }
+}
+
+/// Emits the full block operation (schedule + 80 steps).
+#[must_use]
+pub fn program() -> Program {
+    let mut p = Program::new();
+    // Message schedule: 16 big-endian loads...
+    for i in 0..16u32 {
+        p.mov(Reg::Esi, mem_abs(DATA + 4 * i));
+        p.bswap(Reg::Esi);
+        p.mov(mem_abs(SCHED + 4 * i), Reg::Esi);
+    }
+    // ...then 64 expansions.
+    for i in 16..80u32 {
+        p.mov(Reg::Esi, mem_abs(SCHED + 4 * (i - 3)));
+        p.alu(AluOp::Xor, Reg::Esi, mem_abs(SCHED + 4 * (i - 8)));
+        p.alu(AluOp::Xor, Reg::Esi, mem_abs(SCHED + 4 * (i - 14)));
+        p.alu(AluOp::Xor, Reg::Esi, mem_abs(SCHED + 4 * (i - 16)));
+        p.shift(ShiftOp::Rol, Reg::Esi, 1);
+        p.mov(mem_abs(SCHED + 4 * i), Reg::Esi);
+    }
+    // Load state into registers.
+    let regs = [Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx, Reg::Ebp];
+    for (i, r) in regs.iter().enumerate() {
+        p.mov(*r, mem_abs(STATE + 4 * i as u32));
+    }
+    let mut roles = [0usize, 1, 2, 3, 4]; // (a, b, c, d, e)
+    for i in 0..80usize {
+        let a = regs[roles[0]];
+        let b = regs[roles[1]];
+        let c = regs[roles[2]];
+        let d = regs[roles[3]];
+        let e = regs[roles[4]];
+        // f into edi.
+        match i / 20 {
+            0 => {
+                // (b & c) | (!b & d)
+                p.mov(Reg::Edi, b);
+                p.alu(AluOp::And, Reg::Edi, c);
+                p.mov(Reg::Esi, b);
+                p.alu(AluOp::Xor, Reg::Esi, 0xffff_ffffu32);
+                p.alu(AluOp::And, Reg::Esi, d);
+                p.alu(AluOp::Or, Reg::Edi, Reg::Esi);
+            }
+            2 => {
+                // (b & c) | (b & d) | (c & d)
+                p.mov(Reg::Edi, b);
+                p.alu(AluOp::And, Reg::Edi, c);
+                p.mov(Reg::Esi, b);
+                p.alu(AluOp::And, Reg::Esi, d);
+                p.alu(AluOp::Or, Reg::Edi, Reg::Esi);
+                p.mov(Reg::Esi, c);
+                p.alu(AluOp::And, Reg::Esi, d);
+                p.alu(AluOp::Or, Reg::Edi, Reg::Esi);
+            }
+            _ => {
+                // b ^ c ^ d
+                p.mov(Reg::Edi, b);
+                p.alu(AluOp::Xor, Reg::Edi, c);
+                p.alu(AluOp::Xor, Reg::Edi, d);
+            }
+        }
+        // e += rol5(a) + f + K + w[i]; c = rol30(b); rotate roles.
+        p.alu(AluOp::Add, Reg::Edi, mem_abs(SCHED + 4 * i as u32));
+        p.alu(AluOp::Add, Reg::Edi, K[i / 20]);
+        p.mov(Reg::Esi, a);
+        p.shift(ShiftOp::Rol, Reg::Esi, 5);
+        p.alu(AluOp::Add, Reg::Edi, Reg::Esi);
+        p.alu(AluOp::Add, e, Reg::Edi);
+        p.shift(ShiftOp::Rol, b, 30);
+        roles.rotate_right(1);
+    }
+    // Fold back.
+    for (i, role) in roles.iter().enumerate() {
+        p.alu(AluOp::Add, mem_abs(STATE + 4 * i as u32), regs[*role]);
+    }
+    p.halt();
+    p
+}
+
+/// Simulates one block operation, returning the run and the updated state.
+///
+/// # Panics
+///
+/// Panics on simulator faults, which indicate kernel bugs.
+#[must_use]
+pub fn simulate_block(state: [u32; 5], block: &[u8; 64]) -> (KernelRun, [u32; 5]) {
+    let mut machine = Machine::new(0x1000);
+    for (i, w) in state.iter().enumerate() {
+        machine.write_u32(STATE + 4 * i as u32, *w);
+    }
+    machine.write_mem(DATA, block);
+    let stats = machine.run(&program(), 10_000_000).expect("kernel runs clean");
+    let mut out = [0u32; 5];
+    for (i, w) in out.iter_mut().enumerate() {
+        *w = machine.read_u32(STATE + 4 * i as u32);
+    }
+    (KernelRun { stats, bytes: 64 }, out)
+}
+
+/// Simulates hashing `blocks` 64-byte blocks (mix/path-length reporting).
+#[must_use]
+pub fn simulate(blocks: usize) -> crate::RunStats {
+    let block = [0xa5u8; 64];
+    let (run, _) =
+        simulate_block([0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0], &block);
+    let mut stats = run.stats;
+    stats.scale(blocks as u64);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sslperf_hashes::Sha1;
+
+    #[test]
+    fn matches_native_compress() {
+        let init = [0x6745_2301u32, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+        for seed in [0u8, 9, 0x7f, 0xee] {
+            let mut block = [0u8; 64];
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = seed.wrapping_mul(17).wrapping_add((i * 13) as u8);
+            }
+            let (_, simulated) = simulate_block(init, &block);
+            let native = Sha1::compress_block(init, &block);
+            assert_eq!(simulated, native, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chained_blocks_match_native() {
+        let mut state = [1u32, 2, 3, 4, 5];
+        let mut native_state = state;
+        for round in 0..3u8 {
+            let block = [round.wrapping_mul(77); 64];
+            state = simulate_block(state, &block).1;
+            native_state = Sha1::compress_block(native_state, &block);
+        }
+        assert_eq!(state, native_state);
+    }
+
+    #[test]
+    fn mix_has_bswap_and_rotates() {
+        let stats = simulate(8);
+        assert_eq!(stats.mix.count("bswap"), 8 * 16, "one bswap per message word");
+        assert!(stats.mix.count("roll") >= 8 * (64 + 160), "schedule + step rotates");
+        let top: Vec<&str> = stats.mix.top(3).into_iter().map(|(m, _)| m).collect();
+        assert!(top.contains(&"movl") && top.contains(&"xorl"), "Table 12 shape: {top:?}");
+    }
+
+    #[test]
+    fn sha1_longer_than_md5_per_byte() {
+        let sha = simulate(4).instructions;
+        let md5 = crate::kernels::md5::simulate(4).instructions;
+        assert!(sha > md5, "SHA-1 is the more compute-intensive hash (paper §5.3)");
+    }
+}

@@ -1,0 +1,480 @@
+//! The interpreter.
+
+use crate::cost;
+use crate::ir::{AluOp, Instr, MemRef, Operand, Program, Reg, ShiftOp};
+use crate::mix::InstrMix;
+use std::fmt;
+
+/// Simulator errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A memory access fell outside the machine's memory.
+    OutOfBounds {
+        /// Offending address.
+        addr: u32,
+    },
+    /// The instruction budget was exhausted (runaway loop guard).
+    StepLimit,
+    /// A jump targeted an unbound label.
+    UnboundLabel,
+    /// An operand combination is invalid (e.g. storing to an immediate).
+    BadOperand(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { addr } => write!(f, "memory access out of bounds: {addr:#x}"),
+            SimError::StepLimit => f.write_str("instruction step limit exceeded"),
+            SimError::UnboundLabel => f.write_str("jump to unbound label"),
+            SimError::BadOperand(what) => write!(f, "invalid operand: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Statistics from one [`Machine::run`].
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Modelled cycles (see [`cost`]).
+    pub cycles: f64,
+    /// Per-mnemonic dynamic histogram.
+    pub mix: InstrMix,
+}
+
+impl RunStats {
+    /// Cycles per instruction under the cost model.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles / self.instructions as f64
+        }
+    }
+
+    /// Merges another run into this one.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.mix.merge(&other.mix);
+    }
+
+    /// Scales the statistics by an integer factor (replaying a kernel `k`
+    /// times).
+    pub fn scale(&mut self, factor: u64) {
+        self.instructions *= factor;
+        self.cycles *= factor as f64;
+        self.mix.scale(factor);
+    }
+}
+
+/// The register machine: 8 GPRs, zero/carry flags, flat memory with a
+/// downward stack at the top.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    regs: [u32; 8],
+    zf: bool,
+    cf: bool,
+    memory: Vec<u8>,
+}
+
+impl Machine {
+    /// A machine with `mem_size` bytes of memory; `esp` starts at the top.
+    #[must_use]
+    pub fn new(mem_size: usize) -> Self {
+        let mut m = Machine { regs: [0; 8], zf: false, cf: false, memory: vec![0; mem_size] };
+        m.regs[Reg::Esp.index()] = mem_size as u32;
+        m
+    }
+
+    /// Reads a register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Copies `bytes` into memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds memory.
+    pub fn write_mem(&mut self, addr: u32, bytes: &[u8]) {
+        let addr = addr as usize;
+        self.memory[addr..addr + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Copies `len` bytes out of memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds memory.
+    #[must_use]
+    pub fn read_mem(&self, addr: u32, len: usize) -> Vec<u8> {
+        let addr = addr as usize;
+        self.memory[addr..addr + len].to_vec()
+    }
+
+    /// Writes a little-endian u32 at `addr`.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        self.write_mem(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian u32 at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds memory.
+    #[must_use]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let b = self.read_mem(addr, 4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    fn addr(&self, m: &MemRef) -> u32 {
+        let mut a = m.disp;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.regs[b.index()]);
+        }
+        if let Some((i, scale)) = m.index {
+            a = a.wrapping_add(self.regs[i.index()].wrapping_mul(u32::from(scale)));
+        }
+        a
+    }
+
+    fn load_u32(&self, addr: u32) -> Result<u32, SimError> {
+        let a = addr as usize;
+        if a + 4 > self.memory.len() {
+            return Err(SimError::OutOfBounds { addr });
+        }
+        Ok(u32::from_le_bytes(
+            self.memory[a..a + 4].try_into().expect("bounds checked"),
+        ))
+    }
+
+    fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        let a = addr as usize;
+        if a + 4 > self.memory.len() {
+            return Err(SimError::OutOfBounds { addr });
+        }
+        self.memory[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    fn load_u8(&self, addr: u32) -> Result<u8, SimError> {
+        self.memory.get(addr as usize).copied().ok_or(SimError::OutOfBounds { addr })
+    }
+
+    fn store_u8(&mut self, addr: u32, value: u8) -> Result<(), SimError> {
+        match self.memory.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(SimError::OutOfBounds { addr }),
+        }
+    }
+
+    fn read_operand(&self, op: &Operand) -> Result<u32, SimError> {
+        match op {
+            Operand::Reg(r) => Ok(self.regs[r.index()]),
+            Operand::Imm(v) => Ok(*v),
+            Operand::Mem(m) => self.load_u32(self.addr(m)),
+        }
+    }
+
+    fn write_operand(&mut self, op: &Operand, value: u32) -> Result<(), SimError> {
+        match op {
+            Operand::Reg(r) => {
+                self.regs[r.index()] = value;
+                Ok(())
+            }
+            Operand::Imm(_) => Err(SimError::BadOperand("store to immediate")),
+            Operand::Mem(m) => self.store_u32(self.addr(m), value),
+        }
+    }
+
+    /// Runs `program` until `Halt` (or falling off the end), executing at
+    /// most `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepLimit`] when the budget is exhausted, plus
+    /// memory/operand errors.
+    pub fn run(&mut self, program: &Program, max_steps: u64) -> Result<RunStats, SimError> {
+        let mut stats = RunStats::default();
+        let mut pc = 0usize;
+        while pc < program.code.len() {
+            if stats.instructions >= max_steps {
+                return Err(SimError::StepLimit);
+            }
+            let instr = &program.code[pc];
+            stats.instructions += 1;
+            stats.cycles += cost::instruction_cost(instr);
+            stats.mix.record(instr.mnemonic());
+            pc += 1;
+            match instr {
+                Instr::Mov(dst, src) => {
+                    let v = self.read_operand(src)?;
+                    self.write_operand(dst, v)?;
+                }
+                Instr::Movb(dst, src) => {
+                    // Byte load zero-extends into registers; byte store takes
+                    // the low byte.
+                    match (dst, src) {
+                        (Operand::Reg(r), Operand::Mem(m)) => {
+                            let v = self.load_u8(self.addr(m))?;
+                            self.regs[r.index()] = u32::from(v);
+                        }
+                        (Operand::Mem(m), Operand::Reg(r)) => {
+                            let v = self.regs[r.index()] as u8;
+                            self.store_u8(self.addr(m), v)?;
+                        }
+                        (Operand::Reg(r), Operand::Imm(v)) => {
+                            self.regs[r.index()] = v & 0xff;
+                        }
+                        (Operand::Mem(m), Operand::Imm(v)) => {
+                            self.store_u8(self.addr(m), *v as u8)?;
+                        }
+                        _ => return Err(SimError::BadOperand("movb operands")),
+                    }
+                }
+                Instr::Alu(op, dst, src) => {
+                    let a = self.read_operand(dst)?;
+                    let b = self.read_operand(src)?;
+                    let (result, carry) = match op {
+                        AluOp::Xor => (a ^ b, false),
+                        AluOp::And => (a & b, false),
+                        AluOp::Or => (a | b, false),
+                        AluOp::Add => a.overflowing_add(b),
+                        AluOp::Adc => {
+                            let (t, c1) = a.overflowing_add(b);
+                            let (r, c2) = t.overflowing_add(u32::from(self.cf));
+                            (r, c1 || c2)
+                        }
+                        AluOp::Sub | AluOp::Cmp => a.overflowing_sub(b),
+                    };
+                    self.zf = result == 0;
+                    self.cf = carry;
+                    if *op != AluOp::Cmp {
+                        self.write_operand(dst, result)?;
+                    }
+                }
+                Instr::Shift(op, dst, count) => {
+                    let v = self.read_operand(dst)?;
+                    let c = u32::from(*count) % 32;
+                    let result = match op {
+                        ShiftOp::Shr => v >> c,
+                        ShiftOp::Shl => v << c,
+                        ShiftOp::Ror => v.rotate_right(c),
+                        ShiftOp::Rol => v.rotate_left(c),
+                    };
+                    self.zf = result == 0;
+                    self.write_operand(dst, result)?;
+                }
+                Instr::Lea(dst, m) => {
+                    let a = self.addr(m);
+                    self.regs[dst.index()] = a;
+                }
+                Instr::Mul(src) => {
+                    let a = u64::from(self.regs[Reg::Eax.index()]);
+                    let b = u64::from(self.read_operand(src)?);
+                    let product = a * b;
+                    self.regs[Reg::Eax.index()] = product as u32;
+                    self.regs[Reg::Edx.index()] = (product >> 32) as u32;
+                    self.cf = product >> 32 != 0;
+                }
+                Instr::Inc(op) => {
+                    let v = self.read_operand(op)?.wrapping_add(1);
+                    self.zf = v == 0;
+                    self.write_operand(op, v)?;
+                }
+                Instr::Dec(op) => {
+                    let v = self.read_operand(op)?.wrapping_sub(1);
+                    self.zf = v == 0;
+                    self.write_operand(op, v)?;
+                }
+                Instr::Push(src) => {
+                    let v = self.read_operand(src)?;
+                    let sp = self.regs[Reg::Esp.index()].wrapping_sub(4);
+                    self.regs[Reg::Esp.index()] = sp;
+                    self.store_u32(sp, v)?;
+                }
+                Instr::Pop(r) => {
+                    let sp = self.regs[Reg::Esp.index()];
+                    let v = self.load_u32(sp)?;
+                    self.regs[r.index()] = v;
+                    self.regs[Reg::Esp.index()] = sp.wrapping_add(4);
+                }
+                Instr::Bswap(r) => {
+                    let v = self.regs[r.index()].swap_bytes();
+                    self.regs[r.index()] = v;
+                }
+                Instr::Jmp(l) => {
+                    pc = program.labels[l.0].ok_or(SimError::UnboundLabel)?;
+                }
+                Instr::Jnz(l) => {
+                    if !self.zf {
+                        pc = program.labels[l.0].ok_or(SimError::UnboundLabel)?;
+                    }
+                }
+                Instr::Jz(l) => {
+                    if self.zf {
+                        pc = program.labels[l.0].ok_or(SimError::UnboundLabel)?;
+                    }
+                }
+                Instr::Nop => {}
+                Instr::Halt => break,
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{mem, mem_idx};
+
+    fn run(p: &Program) -> (Machine, RunStats) {
+        let mut m = Machine::new(4096);
+        let stats = m.run(p, 100_000).unwrap();
+        (m, stats)
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let mut p = Program::new();
+        p.mov(Reg::Eax, 0xffff_ffffu32);
+        p.alu(AluOp::Add, Reg::Eax, 1u32); // wraps to 0, carry set
+        p.alu(AluOp::Adc, Reg::Eax, 0u32); // adds carry back
+        p.halt();
+        let (m, _) = run(&p);
+        assert_eq!(m.reg(Reg::Eax), 1);
+    }
+
+    #[test]
+    fn mul_produces_64_bit_product() {
+        let mut p = Program::new();
+        p.mov(Reg::Eax, 0x1234_5678u32);
+        p.mov(Reg::Ebx, 0x9abc_def0u32);
+        p.mul(Reg::Ebx);
+        p.halt();
+        let (m, _) = run(&p);
+        let product = u64::from(0x1234_5678u32) * u64::from(0x9abc_def0u32);
+        assert_eq!(m.reg(Reg::Eax), product as u32);
+        assert_eq!(m.reg(Reg::Edx), (product >> 32) as u32);
+    }
+
+    #[test]
+    fn memory_and_indexing() {
+        let mut p = Program::new();
+        p.mov(Reg::Ebx, 100u32);
+        p.mov(mem(Reg::Ebx, 0), 0xdead_beefu32);
+        p.mov(Reg::Ecx, 25u32);
+        p.mov(Reg::Eax, mem_idx(0, Reg::Ecx, 4)); // [0 + 25*4] = [100]
+        p.halt();
+        let (m, _) = run(&p);
+        assert_eq!(m.reg(Reg::Eax), 0xdead_beef);
+    }
+
+    #[test]
+    fn loop_with_dec_jnz() {
+        let mut p = Program::new();
+        p.mov(Reg::Ecx, 10u32);
+        p.mov(Reg::Eax, 0u32);
+        let top = p.here();
+        p.alu(AluOp::Add, Reg::Eax, 3u32);
+        p.dec(Reg::Ecx);
+        p.jnz(top);
+        p.halt();
+        let (m, stats) = run(&p);
+        assert_eq!(m.reg(Reg::Eax), 30);
+        // 2 setup + 10*(add,dec,jnz) + halt
+        assert_eq!(stats.instructions, 2 + 30 + 1);
+        assert_eq!(stats.mix.count("addl"), 10);
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let mut p = Program::new();
+        p.mov(Reg::Eax, 77u32);
+        p.pushl(Reg::Eax);
+        p.mov(Reg::Eax, 0u32);
+        p.popl(Reg::Ebx);
+        p.halt();
+        let (m, _) = run(&p);
+        assert_eq!(m.reg(Reg::Ebx), 77);
+        assert_eq!(m.reg(Reg::Esp), 4096);
+    }
+
+    #[test]
+    fn movb_zero_extends() {
+        let mut p = Program::new();
+        p.mov(Reg::Ebx, 200u32);
+        p.mov(mem(Reg::Ebx, 0), 0xaabb_ccddu32);
+        p.mov(Reg::Eax, 0xffff_ffffu32);
+        p.movb(Reg::Eax, mem(Reg::Ebx, 0));
+        p.halt();
+        let (m, _) = run(&p);
+        assert_eq!(m.reg(Reg::Eax), 0xdd);
+    }
+
+    #[test]
+    fn bswap_and_rotates() {
+        let mut p = Program::new();
+        p.mov(Reg::Eax, 0x1122_3344u32);
+        p.bswap(Reg::Eax);
+        p.mov(Reg::Ebx, 0x8000_0001u32);
+        p.shift(ShiftOp::Rol, Reg::Ebx, 1);
+        p.halt();
+        let (m, _) = run(&p);
+        assert_eq!(m.reg(Reg::Eax), 0x4433_2211);
+        assert_eq!(m.reg(Reg::Ebx), 0x0000_0003);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut p = Program::new();
+        p.mov(Reg::Eax, mem(Reg::Ebx, 1 << 20));
+        let mut m = Machine::new(64);
+        assert!(matches!(m.run(&p, 10), Err(SimError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_loops() {
+        let mut p = Program::new();
+        let top = p.here();
+        p.jmp(top);
+        let mut m = Machine::new(64);
+        assert!(matches!(m.run(&p, 100), Err(SimError::StepLimit)));
+    }
+
+    #[test]
+    fn stats_merge_and_scale() {
+        let mut p = Program::new();
+        p.nop().nop().halt();
+        let (_, mut stats) = run(&p);
+        let copy = stats.clone();
+        stats.merge(&copy);
+        assert_eq!(stats.instructions, 6);
+        stats.scale(10);
+        assert_eq!(stats.instructions, 60);
+        assert_eq!(stats.mix.count("nop"), 40);
+        assert!(stats.cpi() > 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(SimError::StepLimit.to_string(), "instruction step limit exceeded");
+        assert!(SimError::OutOfBounds { addr: 16 }.to_string().contains("0x10"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Dynamic instruction-mix histograms (the paper's Table 12).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A per-mnemonic dynamic instruction histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    counts: HashMap<&'static str, u64>,
+}
+
+impl InstrMix {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one execution of `mnemonic`.
+    pub fn record(&mut self, mnemonic: &'static str) {
+        *self.counts.entry(mnemonic).or_insert(0) += 1;
+    }
+
+    /// Records `n` executions of `mnemonic`.
+    pub fn record_n(&mut self, mnemonic: &'static str, n: u64) {
+        *self.counts.entry(mnemonic).or_insert(0) += n;
+    }
+
+    /// Count for one mnemonic (zero if never executed).
+    #[must_use]
+    pub fn count(&self, mnemonic: &str) -> u64 {
+        self.counts.get(mnemonic).copied().unwrap_or(0)
+    }
+
+    /// Total executed instructions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Percentage of the total for one mnemonic.
+    #[must_use]
+    pub fn percent(&self, mnemonic: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(mnemonic) as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// The `n` most frequent mnemonics with their percentages, descending
+    /// (ties broken alphabetically for determinism).
+    #[must_use]
+    pub fn top(&self, n: usize) -> Vec<(&'static str, f64)> {
+        let mut entries: Vec<_> = self.counts.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        entries.into_iter().take(n).map(|(k, v)| (k, self.percent_of(v))).collect()
+    }
+
+    fn percent_of(&self, count: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            count as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &InstrMix) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Multiplies every count by `factor`.
+    pub fn scale(&mut self, factor: u64) {
+        for v in self.counts.values_mut() {
+            *v *= factor;
+        }
+    }
+
+    /// Iterates over `(mnemonic, count)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+impl fmt::Display for InstrMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (mnemonic, pct) in self.top(10) {
+            writeln!(f, "{mnemonic:<8} {pct:>6.2}%")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InstrMix {
+        let mut m = InstrMix::new();
+        m.record_n("movl", 50);
+        m.record_n("xorl", 30);
+        m.record_n("addl", 20);
+        m
+    }
+
+    #[test]
+    fn counting_and_percent() {
+        let m = sample();
+        assert_eq!(m.total(), 100);
+        assert_eq!(m.count("movl"), 50);
+        assert_eq!(m.count("none"), 0);
+        assert!((m.percent("xorl") - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_is_sorted_descending() {
+        let m = sample();
+        let top = m.top(2);
+        assert_eq!(top[0].0, "movl");
+        assert_eq!(top[1].0, "xorl");
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn ties_break_alphabetically() {
+        let mut m = InstrMix::new();
+        m.record_n("zzz", 5);
+        m.record_n("aaa", 5);
+        assert_eq!(m.top(2)[0].0, "aaa");
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.total(), 200);
+        a.scale(3);
+        assert_eq!(a.count("movl"), 300);
+    }
+
+    #[test]
+    fn empty_mix() {
+        let m = InstrMix::new();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.percent("movl"), 0.0);
+        assert!(m.top(5).is_empty());
+    }
+
+    #[test]
+    fn display_lists_top_ten() {
+        let s = sample().to_string();
+        assert!(s.contains("movl"));
+        assert!(s.contains('%'));
+    }
+}

@@ -1,0 +1,220 @@
+//! Thread-local per-function call/work counters.
+//!
+//! The paper attributes RSA time to individual OpenSSL bignum functions with
+//! VTune's sampling profiler (Table 8). Sampling is noisy and unavailable in
+//! a portable library, so this module takes the deterministic route: hot
+//! functions *count* their invocations and work units (words processed) when
+//! counting is enabled, and a separate calibration pass measures the cycle
+//! cost per work unit of each kernel. Multiplying the two reproduces the
+//! sampled attribution without perturbing the timed runs (counting is off by
+//! default and costs a single thread-local branch).
+//!
+//! # Examples
+//!
+//! ```
+//! use sslperf_profile::counters;
+//!
+//! counters::reset();
+//! let _guard = counters::enable();
+//! counters::count("bn_mul_add_words", 16);
+//! counters::count("bn_mul_add_words", 16);
+//! let snap = counters::snapshot();
+//! assert_eq!(snap.get("bn_mul_add_words").unwrap().calls, 2);
+//! assert_eq!(snap.get("bn_mul_add_words").unwrap().units, 32);
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Accumulated statistics for one counted function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Number of invocations.
+    pub calls: u64,
+    /// Total work units (meaning is function-specific; word kernels count
+    /// words, block functions count blocks).
+    pub units: u64,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static REGISTRY: RefCell<HashMap<&'static str, Counter>> = RefCell::new(HashMap::new());
+}
+
+/// A guard that keeps counting enabled until dropped.
+///
+/// Nested guards are not reference-counted: dropping any guard disables
+/// counting. Profiling passes in this workspace never nest them.
+#[derive(Debug)]
+pub struct EnabledGuard(());
+
+impl Drop for EnabledGuard {
+    fn drop(&mut self) {
+        ENABLED.with(|e| e.set(false));
+    }
+}
+
+/// Enables counting on this thread until the returned guard is dropped.
+#[must_use]
+pub fn enable() -> EnabledGuard {
+    ENABLED.with(|e| e.set(true));
+    EnabledGuard(())
+}
+
+/// Returns whether counting is currently enabled on this thread.
+#[must_use]
+pub fn is_enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Records one call of `name` processing `units` work units.
+///
+/// A no-op unless counting is [enabled](enable); instrumented hot loops can
+/// therefore keep the call unconditionally.
+#[inline]
+pub fn count(name: &'static str, units: u64) {
+    if !is_enabled() {
+        return;
+    }
+    REGISTRY.with(|r| {
+        let mut map = r.borrow_mut();
+        let c = map.entry(name).or_default();
+        c.calls += 1;
+        c.units += units;
+    });
+}
+
+/// Clears all counters on this thread.
+pub fn reset() {
+    REGISTRY.with(|r| r.borrow_mut().clear());
+}
+
+/// A point-in-time copy of this thread's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    counters: HashMap<&'static str, Counter>,
+}
+
+impl Snapshot {
+    /// Returns the counter for `name`, if it was ever recorded.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Counter> {
+        self.counters.get(name)
+    }
+
+    /// Returns the number of calls recorded for `name` (zero if absent).
+    #[must_use]
+    pub fn calls(&self, name: &str) -> u64 {
+        self.get(name).map_or(0, |c| c.calls)
+    }
+
+    /// Returns the work units recorded for `name` (zero if absent).
+    #[must_use]
+    pub fn units(&self, name: &str) -> u64 {
+        self.get(name).map_or(0, |c| c.units)
+    }
+
+    /// Iterates over `(name, counter)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Counter)> {
+        self.counters.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of distinct counted functions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when nothing was counted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+/// Copies this thread's counters.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    REGISTRY.with(|r| Snapshot { counters: r.borrow().clone() })
+}
+
+/// Runs `f` with fresh counters enabled and returns its result plus the
+/// snapshot of everything counted during the call.
+pub fn counted<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    reset();
+    let guard = enable();
+    let value = f();
+    drop(guard);
+    let snap = snapshot();
+    reset();
+    (value, snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        reset();
+        count("nope", 5);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn guard_scopes_counting() {
+        reset();
+        {
+            let _g = enable();
+            assert!(is_enabled());
+            count("f", 3);
+        }
+        assert!(!is_enabled());
+        count("f", 3);
+        let snap = snapshot();
+        assert_eq!(snap.calls("f"), 1);
+        assert_eq!(snap.units("f"), 3);
+        reset();
+    }
+
+    #[test]
+    fn counted_isolates_and_restores() {
+        reset();
+        let (v, snap) = counted(|| {
+            count("k", 2);
+            count("k", 4);
+            99
+        });
+        assert_eq!(v, 99);
+        assert_eq!(snap.calls("k"), 2);
+        assert_eq!(snap.units("k"), 6);
+        // registry cleared afterwards
+        assert!(snapshot().is_empty());
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn snapshot_accessors_handle_missing() {
+        let snap = Snapshot::default();
+        assert_eq!(snap.calls("missing"), 0);
+        assert_eq!(snap.units("missing"), 0);
+        assert!(snap.get("missing").is_none());
+        assert_eq!(snap.len(), 0);
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        reset();
+        let _g = enable();
+        count("main_only", 1);
+        let handle = std::thread::spawn(|| {
+            // fresh thread: counting disabled, registry empty
+            count("other", 1);
+            snapshot().is_empty() && !is_enabled()
+        });
+        assert!(handle.join().unwrap());
+        assert_eq!(snapshot().calls("main_only"), 1);
+        drop(_g);
+        reset();
+    }
+}

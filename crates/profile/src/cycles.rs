@@ -1,0 +1,178 @@
+//! Cycle counts at the paper's reference frequency.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// The reference clock frequency used to express time as cycles: 2.26 GHz,
+/// the Pentium 4 used for the paper's web-server measurements (§3.1).
+///
+/// All wall-clock measurements in this workspace are converted to cycles at
+/// this frequency so results are directly comparable with the paper's tables
+/// (modulo the micro-architecture gap, discussed in `EXPERIMENTS.md`).
+pub const REF_HZ: f64 = 2.26e9;
+
+/// A number of CPU cycles at [`REF_HZ`].
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_profile::Cycles;
+/// use std::time::Duration;
+///
+/// let c = Cycles::from_duration(Duration::from_micros(1));
+/// assert_eq!(c.get(), 2260); // 1 µs at 2.26 GHz
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count from a raw value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Cycles(raw)
+    }
+
+    /// Converts a wall-clock duration into cycles at [`REF_HZ`].
+    #[must_use]
+    pub fn from_duration(d: Duration) -> Self {
+        Cycles((d.as_secs_f64() * REF_HZ).round() as u64)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this cycle count in thousands of cycles, the unit used by the
+    /// paper's Table 2.
+    #[must_use]
+    pub fn kilo(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Returns the equivalent wall-clock duration at [`REF_HZ`].
+    #[must_use]
+    pub fn to_duration(self) -> Duration {
+        Duration::from_secs_f64(self.0 as f64 / REF_HZ)
+    }
+
+    /// Returns this count as a percentage of `total` (0.0 when `total` is zero).
+    #[must_use]
+    pub fn percent_of(self, total: Cycles) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 * 100.0 / total.0 as f64
+        }
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the count by an integer factor, saturating on overflow.
+    #[must_use]
+    pub fn scaled(self, factor: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(raw: u64) -> Self {
+        Cycles(raw)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 10_000_000 {
+            write!(f, "{:.2} Mcycles", self.0 as f64 / 1e6)
+        } else if self.0 >= 10_000 {
+            write!(f, "{:.1} kcycles", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} cycles", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_round_trip() {
+        let d = Duration::from_millis(5);
+        let c = Cycles::from_duration(d);
+        let back = c.to_duration();
+        let err = back.as_secs_f64() - d.as_secs_f64();
+        assert!(err.abs() < 1e-9, "round trip error {err}");
+    }
+
+    #[test]
+    fn percent_of_handles_zero_total() {
+        assert_eq!(Cycles::new(10).percent_of(Cycles::ZERO), 0.0);
+        assert!((Cycles::new(25).percent_of(Cycles::new(100)) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let max = Cycles::new(u64::MAX);
+        assert_eq!(max + Cycles::new(1), max);
+        assert_eq!(Cycles::new(1) - Cycles::new(2), Cycles::ZERO);
+        assert_eq!(max.scaled(2), max);
+    }
+
+    #[test]
+    fn sum_adds_up() {
+        let total: Cycles = [1u64, 2, 3].into_iter().map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(6));
+    }
+
+    #[test]
+    fn display_chooses_units() {
+        assert_eq!(Cycles::new(500).to_string(), "500 cycles");
+        assert_eq!(Cycles::new(20_000).to_string(), "20.0 kcycles");
+        assert_eq!(Cycles::new(20_000_000).to_string(), "20.00 Mcycles");
+    }
+
+    #[test]
+    fn kilo_matches_paper_units() {
+        assert!((Cycles::new(18_941_000).kilo() - 18941.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,192 @@
+//! Measurement substrate for the SSL-processing anatomy reproduction.
+//!
+//! The original paper measured cycles on a 2.26 GHz Pentium 4 with
+//! Oprofile/VTune sampling and `rdtsc`. This crate provides the in-process
+//! equivalents used throughout the workspace:
+//!
+//! * [`Cycles`] — a cycle count at the paper's reference frequency
+//!   ([`REF_HZ`]), converted from wall-clock time.
+//! * [`Stopwatch`] and the [`measure`]/[`measure_min`] helpers — `rdtsc`
+//!   style interval measurement.
+//! * [`PhaseSet`] — named-phase accumulation used for every breakdown table
+//!   in the paper (handshake steps, cipher phases, RSA steps, hash phases).
+//! * [`counters`] — a thread-local per-function call/work-unit registry, the
+//!   substitute for VTune's function-level sampling (Table 8).
+//! * [`Table`] — plain-text table rendering shared by all experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use sslperf_profile::{measure, PhaseSet};
+//!
+//! let mut phases = PhaseSet::new();
+//! let (_, c) = measure(|| (0..1000u64).sum::<u64>());
+//! phases.add("sum", c);
+//! assert_eq!(phases.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+mod cycles;
+mod phase;
+mod table;
+
+pub use cycles::{Cycles, REF_HZ};
+pub use phase::{Phase, PhaseSet};
+pub use table::{Align, Table};
+
+use std::time::Instant;
+
+/// An interval timer that reports elapsed time in reference-frequency cycles.
+///
+/// This is the software stand-in for the paper's "read timestamp instruction"
+/// (`rdtsc`) methodology (§3.2).
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_profile::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let elapsed = sw.elapsed();
+/// assert!(elapsed.get() < u64::MAX);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Returns the cycles elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Cycles {
+        Cycles::from_duration(self.start.elapsed())
+    }
+}
+
+/// Runs `f` once and returns its result along with the elapsed cycles.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_profile::measure;
+///
+/// let (value, cycles) = measure(|| 2 + 2);
+/// assert_eq!(value, 4);
+/// let _ = cycles;
+/// ```
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Cycles) {
+    let sw = Stopwatch::start();
+    let value = f();
+    (value, sw.elapsed())
+}
+
+/// Runs `f` `iters` times and returns the *average* cycles per run.
+///
+/// Averaging over many iterations amortizes timer granularity; use this for
+/// kernels that complete in well under a microsecond (single cipher blocks,
+/// hash compression functions).
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn measure_avg(iters: u32, mut f: impl FnMut()) -> Cycles {
+    assert!(iters > 0, "measure_avg requires at least one iteration");
+    let sw = Stopwatch::start();
+    for _ in 0..iters {
+        f();
+    }
+    Cycles::new(sw.elapsed().get() / u64::from(iters))
+}
+
+/// Runs `f` in `samples` batches of `iters` iterations each and returns the
+/// **minimum** per-iteration cycle count across batches.
+///
+/// Taking the minimum of several batches filters out scheduler noise, the
+/// standard technique for stable microbenchmark numbers on a busy host.
+///
+/// # Panics
+///
+/// Panics if `samples` or `iters` is zero.
+pub fn measure_min(samples: u32, iters: u32, mut f: impl FnMut()) -> Cycles {
+    assert!(samples > 0 && iters > 0, "measure_min requires at least one sample and iteration");
+    let mut best = u64::MAX;
+    for _ in 0..samples {
+        let sw = Stopwatch::start();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(sw.elapsed().get() / u64::from(iters));
+    }
+    Cycles::new(best)
+}
+
+/// Prevents the compiler from optimizing away a computed value.
+///
+/// Thin re-export-style wrapper over [`std::hint::black_box`] so dependent
+/// crates don't need to import `std::hint` everywhere.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn measure_returns_value() {
+        let (v, c) = measure(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(c.get() < Cycles::from_duration(Duration::from_secs(10)).get());
+    }
+
+    #[test]
+    fn measure_avg_divides_by_iters() {
+        let c = measure_avg(10, || {
+            black_box((0..100u64).sum::<u64>());
+        });
+        // The average of 10 iterations must be far below the total of a
+        // 10-iteration run measured as one interval.
+        let (_, total) = measure(|| {
+            for _ in 0..10 {
+                black_box((0..100u64).sum::<u64>());
+            }
+        });
+        assert!(c.get() <= total.get().max(1) * 10);
+    }
+
+    #[test]
+    fn measure_min_not_greater_than_avg() {
+        let work = || {
+            black_box((0..1000u64).fold(0u64, |a, b| a.wrapping_add(b * b)));
+        };
+        let min = measure_min(5, 100, work);
+        let avg = measure_avg(100, work);
+        // min-of-batches is at most a small factor above the plain average
+        // (equality modulo noise); it must never be wildly larger.
+        assert!(min.get() <= avg.get().saturating_mul(10).max(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn measure_avg_zero_iters_panics() {
+        let _ = measure_avg(0, || {});
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b.get() >= a.get());
+    }
+}

@@ -1,0 +1,238 @@
+//! Named-phase cycle accumulation.
+//!
+//! Every breakdown table in the paper (handshake steps, AES rounds, RSA
+//! steps, hash phases…) is a list of *(phase name, cycles, percent)* rows.
+//! [`PhaseSet`] accumulates those rows in insertion order.
+
+use crate::Cycles;
+use std::fmt;
+
+/// One named phase with its accumulated cycles and invocation count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    name: String,
+    cycles: Cycles,
+    hits: u64,
+}
+
+impl Phase {
+    /// The phase name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total cycles accumulated in this phase.
+    #[must_use]
+    pub fn cycles(&self) -> Cycles {
+        self.cycles
+    }
+
+    /// Number of times this phase was recorded.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// An ordered collection of named phases.
+///
+/// Phases keep insertion order (the paper's tables are ordered by pipeline
+/// step, not by cost), and recording the same name twice accumulates.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_profile::{Cycles, PhaseSet};
+///
+/// let mut p = PhaseSet::new();
+/// p.add("key setup", Cycles::new(300));
+/// p.add("kernel", Cycles::new(700));
+/// p.add("kernel", Cycles::new(300));
+/// assert_eq!(p.total(), Cycles::new(1300));
+/// assert!((p.percent("kernel") - 76.92).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseSet {
+    phases: Vec<Phase>,
+}
+
+impl PhaseSet {
+    /// Creates an empty phase set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `cycles` against `name`, accumulating if the phase exists.
+    pub fn add(&mut self, name: &str, cycles: Cycles) {
+        if let Some(p) = self.phases.iter_mut().find(|p| p.name == name) {
+            p.cycles += cycles;
+            p.hits += 1;
+        } else {
+            self.phases.push(Phase { name: name.to_owned(), cycles, hits: 1 });
+        }
+    }
+
+    /// Times the closure and records the elapsed cycles against `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let (value, cycles) = crate::measure(f);
+        self.add(name, cycles);
+        value
+    }
+
+    /// Returns the phase named `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Phase> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Returns the cycles recorded for `name`, or zero if absent.
+    #[must_use]
+    pub fn cycles(&self, name: &str) -> Cycles {
+        self.get(name).map_or(Cycles::ZERO, Phase::cycles)
+    }
+
+    /// Returns the percentage of the total attributed to `name`.
+    #[must_use]
+    pub fn percent(&self, name: &str) -> f64 {
+        self.cycles(name).percent_of(self.total())
+    }
+
+    /// Sum of all phases.
+    #[must_use]
+    pub fn total(&self) -> Cycles {
+        self.phases.iter().map(|p| p.cycles).sum()
+    }
+
+    /// Number of distinct phases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True when no phase has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Iterates over phases in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Phase> {
+        self.phases.iter()
+    }
+
+    /// Merges another phase set into this one, accumulating same-name phases.
+    pub fn merge(&mut self, other: &PhaseSet) {
+        for p in &other.phases {
+            if let Some(mine) = self.phases.iter_mut().find(|m| m.name == p.name) {
+                mine.cycles += p.cycles;
+                mine.hits += p.hits;
+            } else {
+                self.phases.push(p.clone());
+            }
+        }
+    }
+
+    /// Removes all recorded phases.
+    pub fn clear(&mut self) {
+        self.phases.clear();
+    }
+}
+
+impl fmt::Display for PhaseSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        for p in &self.phases {
+            writeln!(
+                f,
+                "{:<32} {:>14} {:>7.2}%",
+                p.name,
+                p.cycles.get(),
+                p.cycles.percent_of(total)
+            )?;
+        }
+        writeln!(f, "{:<32} {:>14} {:>7.2}%", "Total", total.get(), 100.0)
+    }
+}
+
+impl<'a> IntoIterator for &'a PhaseSet {
+    type Item = &'a Phase;
+    type IntoIter = std::slice::Iter<'a, Phase>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.phases.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_same_name() {
+        let mut p = PhaseSet::new();
+        p.add("a", Cycles::new(10));
+        p.add("a", Cycles::new(5));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.cycles("a"), Cycles::new(15));
+        assert_eq!(p.get("a").unwrap().hits(), 2);
+    }
+
+    #[test]
+    fn keeps_insertion_order() {
+        let mut p = PhaseSet::new();
+        p.add("z", Cycles::new(1));
+        p.add("a", Cycles::new(2));
+        p.add("m", Cycles::new(3));
+        let names: Vec<_> = p.iter().map(Phase::name).collect();
+        assert_eq!(names, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PhaseSet::new();
+        a.add("x", Cycles::new(1));
+        let mut b = PhaseSet::new();
+        b.add("x", Cycles::new(2));
+        b.add("y", Cycles::new(3));
+        a.merge(&b);
+        assert_eq!(a.cycles("x"), Cycles::new(3));
+        assert_eq!(a.cycles("y"), Cycles::new(3));
+        assert_eq!(a.total(), Cycles::new(6));
+    }
+
+    #[test]
+    fn percent_sums_to_100() {
+        let mut p = PhaseSet::new();
+        p.add("a", Cycles::new(30));
+        p.add("b", Cycles::new(70));
+        let total: f64 = ["a", "b"].iter().map(|n| p.percent(n)).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_records_and_returns() {
+        let mut p = PhaseSet::new();
+        let v = p.time("work", || 7);
+        assert_eq!(v, 7);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn missing_phase_is_zero() {
+        let p = PhaseSet::new();
+        assert_eq!(p.cycles("nope"), Cycles::ZERO);
+        assert_eq!(p.percent("nope"), 0.0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let mut p = PhaseSet::new();
+        p.add("a", Cycles::new(5));
+        let s = p.to_string();
+        assert!(s.contains("Total"));
+        assert!(s.contains('a'));
+    }
+}

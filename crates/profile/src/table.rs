@@ -1,0 +1,178 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! Every experiment in `sslperf-core` renders its result as one of these
+//! tables so `EXPERIMENTS.md` and the example binaries share a format.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table with a title, header and rows.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_profile::{Align, Table};
+///
+/// let mut t = Table::new("Table 6. DES breakdown");
+/// t.columns(&[("Step", Align::Left), ("Cycles", Align::Right), ("%", Align::Right)]);
+/// t.row(&["IP", "50", "13.1"]);
+/// t.row(&["Substitution", "286", "74.7"]);
+/// let text = t.to_string();
+/// assert!(text.contains("Substitution"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title.
+    #[must_use]
+    pub fn new(title: &str) -> Self {
+        Table { title: title.to_owned(), ..Table::default() }
+    }
+
+    /// Defines the columns (header text and alignment). Replaces any
+    /// previously defined columns.
+    pub fn columns(&mut self, cols: &[(&str, Align)]) -> &mut Self {
+        self.headers = cols.iter().map(|(h, _)| (*h).to_owned()).collect();
+        self.aligns = cols.iter().map(|(_, a)| *a).collect();
+        self
+    }
+
+    /// Appends a row. Extra cells beyond the defined columns are kept and
+    /// rendered left-aligned.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_owned()).collect());
+        self
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let ncols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut w = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    fn align(&self, col: usize) -> Align {
+        self.aligns.get(col).copied().unwrap_or(Align::Left)
+    }
+}
+
+fn pad(cell: &str, width: usize, align: Align) -> String {
+    let len = cell.chars().count();
+    let fill = width.saturating_sub(len);
+    match align {
+        Align::Left => format!("{cell}{}", " ".repeat(fill)),
+        Align::Right => format!("{}{cell}", " ".repeat(fill)),
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let total: usize = widths.iter().sum::<usize>() + widths.len().saturating_sub(1) * 2;
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(self.title.chars().count().max(total)))?;
+        if !self.headers.is_empty() {
+            let line: Vec<String> = self
+                .headers
+                .iter()
+                .enumerate()
+                .map(|(i, h)| pad(h, widths[i], self.align(i)))
+                .collect();
+            writeln!(f, "{}", line.join("  ").trim_end())?;
+            writeln!(f, "{}", "-".repeat(total))?;
+        }
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| pad(c, widths.get(i).copied().unwrap_or(c.len()), self.align(i)))
+                .collect();
+            writeln!(f, "{}", line.join("  ").trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T");
+        t.columns(&[("name", Align::Left), ("val", Align::Right)]);
+        t.row(&["alpha", "1"]);
+        t.row(&["b", "12345"]);
+        t
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let s = sample().to_string();
+        assert!(s.contains("alpha"));
+        assert!(s.contains("12345"));
+        assert_eq!(sample().row_count(), 2);
+    }
+
+    #[test]
+    fn right_alignment_pads_left() {
+        let s = sample().to_string();
+        // "val" column width is 5 ("12345"); the value 1 in row alpha must be
+        // right-aligned: "alpha      1"
+        assert!(s.lines().any(|l| l.ends_with("    1")), "got:\n{s}");
+    }
+
+    #[test]
+    fn uneven_rows_do_not_panic() {
+        let mut t = Table::new("x");
+        t.columns(&[("a", Align::Left)]);
+        t.row(&["1", "2", "3"]);
+        let s = t.to_string();
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn empty_table_renders_title() {
+        let t = Table::new("Just a title");
+        assert!(t.to_string().contains("Just a title"));
+    }
+
+    #[test]
+    fn pad_handles_exact_width() {
+        assert_eq!(pad("ab", 2, Align::Left), "ab");
+        assert_eq!(pad("ab", 4, Align::Right), "  ab");
+    }
+}

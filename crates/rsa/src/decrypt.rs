@@ -1,0 +1,141 @@
+//! The paper's six-step instrumented RSA decryption pipeline (Table 7).
+
+use crate::{pkcs1, RsaError, RsaPrivateKey};
+use sslperf_bignum::{Bn, EntropySource};
+use sslperf_profile::{measure, PhaseSet};
+
+/// Step names exactly as the experiment tables print them.
+pub const STEP_NAMES: [&str; 6] =
+    ["Init", "data_to_bn", "blinding", "computation", "bn_to_data", "block_parsing"];
+
+impl RsaPrivateKey {
+    /// Decrypts a PKCS #1 ciphertext while timing each of the paper's six
+    /// steps, recording them into `phases` under [`STEP_NAMES`].
+    ///
+    /// Step 3 performs the blind **and** (after the exponentiation) the
+    /// unblind conversion, both charged to "blinding" as in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::Padding`] on malformed padding,
+    /// [`RsaError::CiphertextOutOfRange`] for an oversized ciphertext, or a
+    /// blinding-setup failure.
+    pub fn decrypt_instrumented<R: EntropySource>(
+        &self,
+        cipher: &[u8],
+        rng: &mut R,
+        phases: &mut PhaseSet,
+    ) -> Result<Vec<u8>, RsaError> {
+        // Step 1: Init — internal structures and buffers. The blinding
+        // state is cached on the key (OpenSSL's lazy `RSA->blinding`), so
+        // after the first decryption this step is just a lock and an
+        // allocation — which is why the paper's Init row is tiny.
+        let (init_result, cycles) = measure(|| {
+            let mut guard = self.blinding.lock().unwrap_or_else(|e| e.into_inner());
+            let blinding = match guard.take() {
+                Some(b) => b,
+                None => self.new_blinding(rng)?,
+            };
+            let buf = Vec::with_capacity(self.modulus_bytes());
+            Ok::<_, RsaError>((blinding, buf))
+        });
+        phases.add(STEP_NAMES[0], cycles);
+        let (mut blinding, mut c_init) = init_result?;
+        c_init.extend_from_slice(cipher);
+
+        // Step 2: octet string → multi-precision integer.
+        let (c, cycles) = measure(|| Bn::from_bytes_be(&c_init));
+        phases.add(STEP_NAMES[1], cycles);
+        if &c >= self.modulus() {
+            return Err(RsaError::CiphertextOutOfRange);
+        }
+
+        // Step 3a: blind the ciphertext.
+        let (c_blinded, cycles) = measure(|| blinding.blind(&c));
+        phases.add(STEP_NAMES[2], cycles);
+
+        // Step 4: the CRT exponentiation — the 97–99% step.
+        let (m_blinded, cycles) = measure(|| self.raw_decrypt(&c_blinded));
+        phases.add(STEP_NAMES[3], cycles);
+        let m_blinded = m_blinded?;
+
+        // Step 3b: unblind (charged to "blinding", as in the paper).
+        let (m, cycles) = measure(|| blinding.unblind(&m_blinded));
+        phases.add(STEP_NAMES[2], cycles);
+
+        // Return the rotated blinding state to the key's cache.
+        *self.blinding.lock().unwrap_or_else(|e| e.into_inner()) = Some(blinding);
+
+        // Step 5: integer → octet string.
+        let (block, cycles) = measure(|| m.to_bytes_be_padded(self.modulus_bytes()));
+        phases.add(STEP_NAMES[4], cycles);
+
+        // Step 6: PKCS #1 block parsing.
+        let (msg, cycles) = measure(|| pkcs1::parse_type2(&block));
+        phases.add(STEP_NAMES[5], cycles);
+        msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_keys::rsa512;
+    use sslperf_rng::SslRng;
+
+    #[test]
+    fn instrumented_matches_plain_decrypt() {
+        let key = rsa512();
+        let mut rng = SslRng::from_seed(b"instr");
+        let msg = b"pre-master";
+        let cipher = key.public_key().encrypt_pkcs1(msg, &mut rng).unwrap();
+        let mut phases = PhaseSet::new();
+        let got = key.decrypt_instrumented(&cipher, &mut rng, &mut phases).unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(got, key.decrypt_pkcs1(&cipher).unwrap());
+    }
+
+    #[test]
+    fn all_six_steps_recorded() {
+        let key = rsa512();
+        let mut rng = SslRng::from_seed(b"steps");
+        let cipher = key.public_key().encrypt_pkcs1(b"x", &mut rng).unwrap();
+        let mut phases = PhaseSet::new();
+        key.decrypt_instrumented(&cipher, &mut rng, &mut phases).unwrap();
+        for name in STEP_NAMES {
+            assert!(phases.get(name).is_some(), "missing step {name}");
+        }
+        // Blinding is recorded twice (blind + unblind).
+        assert_eq!(phases.get("blinding").unwrap().hits(), 2);
+    }
+
+    #[test]
+    fn computation_dominates() {
+        let key = rsa512();
+        let mut rng = SslRng::from_seed(b"dominate");
+        let cipher = key.public_key().encrypt_pkcs1(b"y", &mut rng).unwrap();
+        let mut phases = PhaseSet::new();
+        // Accumulate several runs to stabilize against timer noise.
+        for _ in 0..10 {
+            key.decrypt_instrumented(&cipher, &mut rng, &mut phases).unwrap();
+        }
+        let comp = phases.percent("computation");
+        assert!(comp > 50.0, "computation should dominate, got {comp:.1}%");
+    }
+
+    #[test]
+    fn bad_padding_still_times_steps() {
+        let key = rsa512();
+        let mut rng = SslRng::from_seed(b"badpad");
+        // Encrypt a raw value that will not carry PKCS#1 structure.
+        let c = key.public_key().raw_encrypt(&Bn::from_u64(12345)).unwrap();
+        let cipher = c.to_bytes_be_padded(key.modulus_bytes());
+        let mut phases = PhaseSet::new();
+        assert_eq!(
+            key.decrypt_instrumented(&cipher, &mut rng, &mut phases),
+            Err(RsaError::Padding)
+        );
+        assert!(phases.get("computation").is_some());
+        assert!(phases.get("block_parsing").is_some());
+    }
+}

@@ -1,0 +1,285 @@
+//! PKCS #1 v1.5 block formatting (RFC 2313), as SSL v3 uses it.
+//!
+//! Encryption blocks are type 2 (`00 02 ‖ nonzero-random ‖ 00 ‖ M`);
+//! signature blocks are type 1 (`00 01 ‖ FF… ‖ 00 ‖ D`). The paper's
+//! *block parsing* step (Table 7, step 6) is [`parse_type2`].
+
+use crate::{RsaError, RsaPrivateKey, RsaPublicKey};
+use sslperf_bignum::{Bn, EntropySource};
+use sslperf_hashes::{HashAlg, Hasher};
+use sslperf_profile::counters;
+
+/// Minimum padding-string length required by the standard.
+const MIN_PAD: usize = 8;
+
+/// Builds a type-2 (encryption) block of exactly `k` bytes.
+///
+/// # Errors
+///
+/// Returns [`RsaError::MessageTooLong`] when `msg.len() > k - 11`.
+pub fn pad_type2<R: EntropySource>(msg: &[u8], k: usize, rng: &mut R) -> Result<Vec<u8>, RsaError> {
+    if k < MIN_PAD + 3 {
+        return Err(RsaError::KeyTooSmall);
+    }
+    if msg.len() + MIN_PAD + 3 > k {
+        return Err(RsaError::MessageTooLong);
+    }
+    let mut block = Vec::with_capacity(k);
+    block.push(0x00);
+    block.push(0x02);
+    let pad_len = k - 3 - msg.len();
+    while block.len() < 2 + pad_len {
+        // Draw random bytes, keeping only the nonzero ones.
+        let mut byte = [0u8; 1];
+        rng.fill(&mut byte);
+        if byte[0] != 0 {
+            block.push(byte[0]);
+        }
+    }
+    block.push(0x00);
+    block.extend_from_slice(msg);
+    debug_assert_eq!(block.len(), k);
+    Ok(block)
+}
+
+/// Parses a type-2 block, returning the embedded message — the paper's
+/// *block parsing* step.
+///
+/// # Errors
+///
+/// Returns [`RsaError::Padding`] on a bad leading byte pair, a missing zero
+/// separator, or a padding string shorter than 8 bytes.
+pub fn parse_type2(block: &[u8]) -> Result<Vec<u8>, RsaError> {
+    counters::count("pkcs1_parse", block.len() as u64);
+    if block.len() < MIN_PAD + 3 || block[0] != 0x00 || block[1] != 0x02 {
+        return Err(RsaError::Padding);
+    }
+    let sep = block[2..].iter().position(|&b| b == 0).ok_or(RsaError::Padding)?;
+    if sep < MIN_PAD {
+        return Err(RsaError::Padding);
+    }
+    Ok(block[2 + sep + 1..].to_vec())
+}
+
+/// Builds a type-1 (signature) block of exactly `k` bytes.
+///
+/// # Errors
+///
+/// Returns [`RsaError::MessageTooLong`] when `digest.len() > k - 11`.
+pub fn pad_type1(digest: &[u8], k: usize) -> Result<Vec<u8>, RsaError> {
+    if k < MIN_PAD + 3 {
+        return Err(RsaError::KeyTooSmall);
+    }
+    if digest.len() + MIN_PAD + 3 > k {
+        return Err(RsaError::MessageTooLong);
+    }
+    let mut block = Vec::with_capacity(k);
+    block.push(0x00);
+    block.push(0x01);
+    block.resize(k - digest.len() - 1, 0xff);
+    block.push(0x00);
+    block.extend_from_slice(digest);
+    Ok(block)
+}
+
+/// Parses a type-1 block, returning the embedded digest.
+///
+/// # Errors
+///
+/// Returns [`RsaError::Padding`] if the structure is malformed.
+pub fn parse_type1(block: &[u8]) -> Result<Vec<u8>, RsaError> {
+    if block.len() < MIN_PAD + 3 || block[0] != 0x00 || block[1] != 0x01 {
+        return Err(RsaError::Padding);
+    }
+    let sep = block[2..].iter().position(|&b| b != 0xff).ok_or(RsaError::Padding)?;
+    if sep < MIN_PAD || block[2 + sep] != 0x00 {
+        return Err(RsaError::Padding);
+    }
+    Ok(block[2 + sep + 1..].to_vec())
+}
+
+impl RsaPublicKey {
+    /// PKCS #1 v1.5 encryption: pad, convert and run the public operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::MessageTooLong`] if `msg` exceeds `k - 11` bytes.
+    pub fn encrypt_pkcs1<R: EntropySource>(
+        &self,
+        msg: &[u8],
+        rng: &mut R,
+    ) -> Result<Vec<u8>, RsaError> {
+        let k = self.modulus_bytes();
+        let block = pad_type2(msg, k, rng)?;
+        let c = self.raw_encrypt(&Bn::from_bytes_be(&block))?;
+        Ok(c.to_bytes_be_padded(k))
+    }
+
+    /// Verifies a PKCS #1 v1.5 signature over `msg` hashed with `alg`
+    /// (digest signed directly, SSL v3 style — no DigestInfo wrapper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::BadSignature`] on any mismatch.
+    pub fn verify_pkcs1(&self, alg: HashAlg, msg: &[u8], sig: &[u8]) -> Result<(), RsaError> {
+        let s = Bn::from_bytes_be(sig);
+        let block = self.raw_encrypt(&s).map_err(|_| RsaError::BadSignature)?;
+        let padded = block.to_bytes_be_padded(self.modulus_bytes());
+        let digest = parse_type1(&padded).map_err(|_| RsaError::BadSignature)?;
+        if digest == Hasher::digest(alg, msg) {
+            Ok(())
+        } else {
+            Err(RsaError::BadSignature)
+        }
+    }
+}
+
+impl RsaPrivateKey {
+    /// PKCS #1 v1.5 decryption: raw private operation, then block parsing.
+    ///
+    /// For the paper's per-step timing, see
+    /// [`RsaPrivateKey::decrypt_instrumented`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::Padding`] if the recovered block is malformed.
+    pub fn decrypt_pkcs1(&self, cipher: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let c = Bn::from_bytes_be(cipher);
+        let m = self.raw_decrypt(&c)?;
+        let block = m.to_bytes_be_padded(self.modulus_bytes());
+        parse_type2(&block)
+    }
+
+    /// Signs `msg` (hashed with `alg`) under PKCS #1 v1.5 type-1 padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::MessageTooLong`] for absurdly small keys.
+    pub fn sign_pkcs1(&self, alg: HashAlg, msg: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let digest = Hasher::digest(alg, msg);
+        let block = pad_type1(&digest, self.modulus_bytes())?;
+        let s = self.raw_decrypt(&Bn::from_bytes_be(&block))?;
+        Ok(s.to_bytes_be_padded(self.modulus_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_keys::rsa512;
+    use sslperf_rng::SslRng;
+
+    #[test]
+    fn pad_parse_round_trip() {
+        let mut rng = SslRng::from_seed(b"pkcs1");
+        for len in [0usize, 1, 20, 48, 53] {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            let block = pad_type2(&msg, 64, &mut rng).unwrap();
+            assert_eq!(block.len(), 64);
+            assert_eq!(parse_type2(&block).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn padding_bytes_are_nonzero() {
+        let mut rng = SslRng::from_seed(b"nonzero");
+        let block = pad_type2(b"m", 64, &mut rng).unwrap();
+        for &b in &block[2..block.len() - 2] {
+            if b == 0 {
+                // only the separator may be zero, and it sits right before
+                // the message
+                assert_eq!(b, block[block.len() - 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn message_too_long_rejected() {
+        let mut rng = SslRng::from_seed(b"long");
+        assert_eq!(pad_type2(&[0u8; 54], 64, &mut rng), Err(RsaError::MessageTooLong));
+        assert!(pad_type2(&[0u8; 53], 64, &mut rng).is_ok());
+        assert_eq!(pad_type1(&[0u8; 54], 64), Err(RsaError::MessageTooLong));
+    }
+
+    #[test]
+    fn malformed_blocks_rejected() {
+        // wrong type byte
+        let mut block = vec![0u8, 3];
+        block.extend_from_slice(&[0xaa; 20]);
+        block.push(0);
+        block.push(7);
+        assert_eq!(parse_type2(&block), Err(RsaError::Padding));
+        // no separator
+        let mut block = vec![0u8, 2];
+        block.extend_from_slice(&[0xaa; 30]);
+        assert_eq!(parse_type2(&block), Err(RsaError::Padding));
+        // short padding
+        let mut block = vec![0u8, 2];
+        block.extend_from_slice(&[0xaa; 4]);
+        block.push(0);
+        block.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(parse_type2(&block), Err(RsaError::Padding));
+        // too short overall
+        assert_eq!(parse_type2(&[0, 2, 0]), Err(RsaError::Padding));
+    }
+
+    #[test]
+    fn type1_round_trip_and_rejects() {
+        let digest = [0x5au8; 20];
+        let block = pad_type1(&digest, 64).unwrap();
+        assert_eq!(parse_type1(&block).unwrap(), digest);
+        let mut bad = block.clone();
+        bad[1] = 2;
+        assert_eq!(parse_type1(&bad), Err(RsaError::Padding));
+        let mut bad = block.clone();
+        bad[10] = 0xfe; // break the FF run before 8 bytes
+        assert!(parse_type1(&bad).is_err() || parse_type1(&bad).unwrap() != digest);
+    }
+
+    #[test]
+    fn encrypt_decrypt_pkcs1() {
+        let key = rsa512();
+        let mut rng = SslRng::from_seed(b"ed");
+        let msg = b"pre-master secret (48 bytes) 0123456789abcdef!!";
+        let c = key.public_key().encrypt_pkcs1(msg, &mut rng).unwrap();
+        assert_eq!(c.len(), 64);
+        assert_eq!(key.decrypt_pkcs1(&c).unwrap(), msg);
+    }
+
+    #[test]
+    fn decrypt_rejects_garbage() {
+        let key = rsa512();
+        let garbage = vec![0x17u8; 64];
+        // Either out-of-range or padding failure, never a silent success.
+        assert!(key.decrypt_pkcs1(&garbage).is_err());
+    }
+
+    #[test]
+    fn sign_verify() {
+        let key = rsa512();
+        let msg = b"handshake transcript";
+        for alg in [HashAlg::Md5, HashAlg::Sha1] {
+            let sig = key.sign_pkcs1(alg, msg).unwrap();
+            key.public_key().verify_pkcs1(alg, msg, &sig).unwrap();
+            assert_eq!(
+                key.public_key().verify_pkcs1(alg, b"other message", &sig),
+                Err(RsaError::BadSignature)
+            );
+            let mut bad_sig = sig.clone();
+            bad_sig[0] ^= 1;
+            assert_eq!(
+                key.public_key().verify_pkcs1(alg, msg, &bad_sig),
+                Err(RsaError::BadSignature)
+            );
+        }
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let key = rsa512();
+        let mut rng = SslRng::from_seed(b"random-ct");
+        let c1 = key.public_key().encrypt_pkcs1(b"msg", &mut rng).unwrap();
+        let c2 = key.public_key().encrypt_pkcs1(b"msg", &mut rng).unwrap();
+        assert_ne!(c1, c2);
+    }
+}

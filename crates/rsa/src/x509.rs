@@ -1,0 +1,257 @@
+//! A miniature certificate format standing in for X.509.
+//!
+//! The paper's handshake step 3 charges 232 kcycles to "X509 functions"
+//! (encoding and handling the server certificate). Real X.509/ASN.1 is far
+//! outside the paper's scope, so this module defines a small TLV-encoded
+//! certificate carrying the same cryptographic work: serialize subject,
+//! validity and public key, hash the body, and sign it with the issuer's
+//! RSA key.
+
+use crate::{RsaError, RsaPrivateKey, RsaPublicKey};
+use sslperf_bignum::Bn;
+use sslperf_hashes::HashAlg;
+use sslperf_profile::counters;
+
+/// A simplistic TLV certificate: subject, issuer, validity window, RSA
+/// public key and an RSA/SHA-1 signature by the issuer.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_rng::SslRng;
+/// use sslperf_rsa::{x509::Certificate, RsaPrivateKey};
+///
+/// let mut rng = SslRng::from_seed(b"cert-doc");
+/// let key = RsaPrivateKey::generate(512, &mut rng)?;
+/// let cert = Certificate::self_signed("srv.example", &key, 2005, 2006)?;
+/// cert.verify(key.public_key())?;
+/// let wire = cert.to_bytes();
+/// let parsed = Certificate::from_bytes(&wire)?;
+/// assert_eq!(parsed.subject(), "srv.example");
+/// # Ok::<(), sslperf_rsa::RsaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    subject: String,
+    issuer: String,
+    not_before: u32,
+    not_after: u32,
+    modulus: Vec<u8>,
+    exponent: Vec<u8>,
+    signature: Vec<u8>,
+}
+
+fn push_tlv(out: &mut Vec<u8>, tag: u8, value: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(value.len() as u32).to_be_bytes());
+    out.extend_from_slice(value);
+}
+
+fn read_tlv<'a>(input: &mut &'a [u8], expect_tag: u8) -> Result<&'a [u8], RsaError> {
+    if input.len() < 5 || input[0] != expect_tag {
+        return Err(RsaError::Padding);
+    }
+    let len = u32::from_be_bytes(input[1..5].try_into().expect("4 bytes")) as usize;
+    if input.len() < 5 + len {
+        return Err(RsaError::Padding);
+    }
+    let value = &input[5..5 + len];
+    *input = &input[5 + len..];
+    Ok(value)
+}
+
+const TAG_SUBJECT: u8 = 1;
+const TAG_ISSUER: u8 = 2;
+const TAG_VALIDITY: u8 = 3;
+const TAG_MODULUS: u8 = 4;
+const TAG_EXPONENT: u8 = 5;
+const TAG_SIGNATURE: u8 = 6;
+
+impl Certificate {
+    /// Issues a certificate for `subject_key` signed by `issuer_key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA signing errors.
+    pub fn issue(
+        subject: &str,
+        subject_key: &RsaPublicKey,
+        issuer: &str,
+        issuer_key: &RsaPrivateKey,
+        not_before: u32,
+        not_after: u32,
+    ) -> Result<Self, RsaError> {
+        counters::count("x509_encode", 1);
+        let mut cert = Certificate {
+            subject: subject.to_owned(),
+            issuer: issuer.to_owned(),
+            not_before,
+            not_after,
+            modulus: subject_key.modulus().to_bytes_be(),
+            exponent: subject_key.exponent().to_bytes_be(),
+            signature: Vec::new(),
+        };
+        cert.signature = issuer_key.sign_pkcs1(HashAlg::Sha1, &cert.tbs_bytes())?;
+        Ok(cert)
+    }
+
+    /// Issues a self-signed certificate (subject == issuer), the common case
+    /// for the paper's single-server measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA signing errors.
+    pub fn self_signed(
+        name: &str,
+        key: &RsaPrivateKey,
+        not_before: u32,
+        not_after: u32,
+    ) -> Result<Self, RsaError> {
+        Certificate::issue(name, key.public_key(), name, key, not_before, not_after)
+    }
+
+    /// The certified subject name.
+    #[must_use]
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// The issuer name.
+    #[must_use]
+    pub fn issuer(&self) -> &str {
+        &self.issuer
+    }
+
+    /// The certified RSA public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::KeyGeneration`] if the embedded modulus is
+    /// degenerate (even or trivial).
+    pub fn public_key(&self) -> Result<RsaPublicKey, RsaError> {
+        RsaPublicKey::from_parts(Bn::from_bytes_be(&self.modulus), Bn::from_bytes_be(&self.exponent))
+    }
+
+    /// The to-be-signed body (everything except the signature).
+    fn tbs_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_tlv(&mut out, TAG_SUBJECT, self.subject.as_bytes());
+        push_tlv(&mut out, TAG_ISSUER, self.issuer.as_bytes());
+        let mut validity = [0u8; 8];
+        validity[..4].copy_from_slice(&self.not_before.to_be_bytes());
+        validity[4..].copy_from_slice(&self.not_after.to_be_bytes());
+        push_tlv(&mut out, TAG_VALIDITY, &validity);
+        push_tlv(&mut out, TAG_MODULUS, &self.modulus);
+        push_tlv(&mut out, TAG_EXPONENT, &self.exponent);
+        out
+    }
+
+    /// Serializes the certificate for the wire.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        counters::count("x509_encode", 1);
+        let mut out = self.tbs_bytes();
+        push_tlv(&mut out, TAG_SIGNATURE, &self.signature);
+        out
+    }
+
+    /// Parses a certificate from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::Padding`] on any structural error.
+    pub fn from_bytes(mut input: &[u8]) -> Result<Self, RsaError> {
+        counters::count("x509_decode", 1);
+        let subject = String::from_utf8(read_tlv(&mut input, TAG_SUBJECT)?.to_vec())
+            .map_err(|_| RsaError::Padding)?;
+        let issuer = String::from_utf8(read_tlv(&mut input, TAG_ISSUER)?.to_vec())
+            .map_err(|_| RsaError::Padding)?;
+        let validity = read_tlv(&mut input, TAG_VALIDITY)?;
+        if validity.len() != 8 {
+            return Err(RsaError::Padding);
+        }
+        let not_before = u32::from_be_bytes(validity[..4].try_into().expect("4 bytes"));
+        let not_after = u32::from_be_bytes(validity[4..].try_into().expect("4 bytes"));
+        let modulus = read_tlv(&mut input, TAG_MODULUS)?.to_vec();
+        let exponent = read_tlv(&mut input, TAG_EXPONENT)?.to_vec();
+        let signature = read_tlv(&mut input, TAG_SIGNATURE)?.to_vec();
+        if !input.is_empty() {
+            return Err(RsaError::Padding);
+        }
+        Ok(Certificate { subject, issuer, not_before, not_after, modulus, exponent, signature })
+    }
+
+    /// Verifies the issuer's signature over the certificate body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::BadSignature`] on mismatch.
+    pub fn verify(&self, issuer_key: &RsaPublicKey) -> Result<(), RsaError> {
+        counters::count("x509_verify", 1);
+        issuer_key.verify_pkcs1(HashAlg::Sha1, &self.tbs_bytes(), &self.signature)
+    }
+
+    /// Checks the validity window against a year stamp.
+    #[must_use]
+    pub fn valid_at(&self, year: u32) -> bool {
+        (self.not_before..=self.not_after).contains(&year)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_keys::rsa512;
+    use sslperf_rng::SslRng;
+
+    #[test]
+    fn self_signed_round_trip() {
+        let key = rsa512();
+        let cert = Certificate::self_signed("server.test", key, 2004, 2006).unwrap();
+        cert.verify(key.public_key()).unwrap();
+        let wire = cert.to_bytes();
+        let parsed = Certificate::from_bytes(&wire).unwrap();
+        assert_eq!(parsed, cert);
+        parsed.verify(key.public_key()).unwrap();
+        assert!(parsed.valid_at(2005));
+        assert!(!parsed.valid_at(2007));
+    }
+
+    #[test]
+    fn issued_by_separate_ca() {
+        let ca = rsa512();
+        let mut rng = SslRng::from_seed(b"leaf");
+        let leaf = crate::RsaPrivateKey::generate(256, &mut rng).unwrap();
+        let cert =
+            Certificate::issue("leaf.test", leaf.public_key(), "ca.test", ca, 2004, 2006).unwrap();
+        cert.verify(ca.public_key()).unwrap();
+        // The embedded key is the leaf's, not the CA's.
+        assert_eq!(cert.public_key().unwrap().modulus(), leaf.modulus());
+        // Verifying against the wrong key fails.
+        assert_eq!(cert.verify(leaf.public_key()), Err(RsaError::BadSignature));
+    }
+
+    #[test]
+    fn tampered_certificate_fails() {
+        let key = rsa512();
+        let cert = Certificate::self_signed("honest", key, 2004, 2006).unwrap();
+        let mut wire = cert.to_bytes();
+        // Flip a subject byte.
+        wire[5] ^= 0x20;
+        let parsed = Certificate::from_bytes(&wire).unwrap();
+        assert_eq!(parsed.verify(key.public_key()), Err(RsaError::BadSignature));
+    }
+
+    #[test]
+    fn truncated_wire_rejected() {
+        let key = rsa512();
+        let wire = Certificate::self_signed("x", key, 2004, 2006).unwrap().to_bytes();
+        for cut in [0usize, 3, 10, wire.len() - 1] {
+            assert!(Certificate::from_bytes(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing junk also rejected.
+        let mut extended = wire.clone();
+        extended.push(0);
+        assert!(Certificate::from_bytes(&extended).is_err());
+    }
+}

@@ -1,0 +1,401 @@
+//! The SSL v3 client state machine.
+
+use crate::kdf::{self, KeyMaterial};
+use crate::messages::{HandshakeMessage, SessionId};
+use crate::record::{ContentType, RecordLayer};
+use crate::transcript::{Transcript, SENDER_CLIENT, SENDER_SERVER};
+use crate::{CipherSuite, SslError, VERSION};
+use sslperf_rng::SslRng;
+use sslperf_rsa::x509::Certificate;
+
+/// A resumable session handle returned by [`SslClient::session`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientSession {
+    id: Vec<u8>,
+    master: Vec<u8>,
+    suite: CipherSuite,
+}
+
+impl ClientSession {
+    /// The server-assigned session id.
+    #[must_use]
+    pub fn id(&self) -> &[u8] {
+        &self.id
+    }
+
+    /// The suite the session was negotiated with.
+    #[must_use]
+    pub fn suite(&self) -> CipherSuite {
+        self.suite
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Start,
+    AwaitServerFlight,
+    AwaitServerFinish,
+    Established,
+}
+
+/// One client-side SSL connection over caller-owned buffers.
+#[derive(Debug)]
+pub struct SslClient {
+    rng: SslRng,
+    records: RecordLayer,
+    transcript: Transcript,
+    state: State,
+    offered: Vec<CipherSuite>,
+    suite: CipherSuite,
+    client_random: [u8; 32],
+    server_random: [u8; 32],
+    session_id: Vec<u8>,
+    master: Vec<u8>,
+    resume: Option<ClientSession>,
+    resumed: bool,
+    expected_server_finished: Option<([u8; 16], [u8; 20])>,
+}
+
+impl SslClient {
+    /// A client offering a single cipher suite.
+    #[must_use]
+    pub fn new(suite: CipherSuite, rng: SslRng) -> Self {
+        Self::with_suites(vec![suite], rng)
+    }
+
+    /// A client offering several suites in preference order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suites` is empty.
+    #[must_use]
+    pub fn with_suites(suites: Vec<CipherSuite>, rng: SslRng) -> Self {
+        assert!(!suites.is_empty(), "client must offer at least one suite");
+        SslClient {
+            rng,
+            records: RecordLayer::new(),
+            transcript: Transcript::new(),
+            state: State::Start,
+            suite: suites[0],
+            offered: suites,
+            client_random: [0; 32],
+            server_random: [0; 32],
+            session_id: Vec::new(),
+            master: Vec::new(),
+            resume: None,
+            resumed: false,
+            expected_server_finished: None,
+        }
+    }
+
+    /// A client that will attempt to resume `session`.
+    #[must_use]
+    pub fn resuming(session: ClientSession, rng: SslRng) -> Self {
+        let mut client = Self::new(session.suite, rng);
+        client.resume = Some(session);
+        client
+    }
+
+    /// The negotiated suite (meaningful once established).
+    #[must_use]
+    pub fn suite(&self) -> CipherSuite {
+        self.suite
+    }
+
+    /// True once the handshake completed.
+    #[must_use]
+    pub fn is_established(&self) -> bool {
+        self.state == State::Established
+    }
+
+    /// True when the server accepted session resumption.
+    #[must_use]
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// A handle for resuming this session later (only once established).
+    #[must_use]
+    pub fn session(&self) -> Option<ClientSession> {
+        if self.state != State::Established {
+            return None;
+        }
+        Some(ClientSession {
+            id: self.session_id.clone(),
+            master: self.master.clone(),
+            suite: self.suite,
+        })
+    }
+
+    /// Produces the client hello flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::UnexpectedMessage`] if called twice.
+    pub fn hello(&mut self) -> Result<Vec<u8>, SslError> {
+        if self.state != State::Start {
+            return Err(SslError::UnexpectedMessage { expected: "nothing (bad state)" });
+        }
+        let random = self.rng.bytes(32);
+        self.client_random.copy_from_slice(&random);
+        let offered_id = self
+            .resume
+            .as_ref()
+            .map_or_else(SessionId::empty, |s| SessionId::new(s.id.clone()));
+        let hello = HandshakeMessage::ClientHello {
+            random: self.client_random,
+            session_id: offered_id,
+            suites: self.offered.iter().map(|s| s.wire_id()).collect(),
+        }
+        .encode();
+        self.transcript.absorb(&hello);
+        let out = self.records.seal(ContentType::Handshake, &hello)?;
+        self.state = State::AwaitServerFlight;
+        Ok(out)
+    }
+
+    /// Processes the server's reply to the hello.
+    ///
+    /// For a full handshake (hello ‖ certificate ‖ done) the reply is
+    /// key-exchange ‖ change-cipher-spec ‖ finished, and
+    /// [`SslClient::process_server_finish`] must follow. When the server
+    /// resumed (hello ‖ CCS ‖ finished), the reply is the client's
+    /// CCS ‖ finished and the connection is established on return.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode, RSA, certificate or sequencing errors.
+    pub fn process_server_flight(&mut self, flight: &[u8]) -> Result<Vec<u8>, SslError> {
+        if self.state != State::AwaitServerFlight {
+            return Err(SslError::UnexpectedMessage { expected: "nothing (bad state)" });
+        }
+        let mut rest = flight;
+
+        // Server hello.
+        let (ct, hello_bytes, used) = self.records.open_one(rest)?;
+        rest = &rest[used..];
+        if ct != ContentType::Handshake {
+            return Err(SslError::UnexpectedMessage { expected: "server hello" });
+        }
+        let (msg, _) = HandshakeMessage::decode(&hello_bytes)?;
+        let HandshakeMessage::ServerHello { random, session_id, suite } = msg else {
+            return Err(SslError::UnexpectedMessage { expected: "server hello" });
+        };
+        self.server_random = random;
+        self.suite = CipherSuite::from_wire_id(suite)?;
+        if !self.offered.contains(&self.suite) {
+            return Err(SslError::NoCommonCipher);
+        }
+        self.transcript.absorb(&hello_bytes);
+        let offered = self.resume.as_ref().map(|s| s.id.clone()).unwrap_or_default();
+        self.resumed = !offered.is_empty() && offered == session_id.as_bytes();
+        self.session_id = session_id.as_bytes().to_vec();
+
+        if self.resumed {
+            let session = self.resume.clone().expect("resumed implies offer");
+            self.master = session.master;
+            // Server sends CCS ‖ finished right away.
+            self.read_server_ccs_and_finished(rest)?;
+            let mut out = Vec::new();
+            self.send_ccs_and_finished(&mut out)?;
+            self.state = State::Established;
+            return Ok(out);
+        }
+
+        // Certificate.
+        let (ct, cert_bytes, used) = self.records.open_one(rest)?;
+        rest = &rest[used..];
+        if ct != ContentType::Handshake {
+            return Err(SslError::UnexpectedMessage { expected: "certificate" });
+        }
+        let (msg, _) = HandshakeMessage::decode(&cert_bytes)?;
+        let HandshakeMessage::Certificate { cert } = msg else {
+            return Err(SslError::UnexpectedMessage { expected: "certificate" });
+        };
+        self.transcript.absorb(&cert_bytes);
+        let certificate = Certificate::from_bytes(&cert)?;
+        let server_key = certificate.public_key()?;
+        // Self-signed chain: verify the signature with the embedded key.
+        certificate.verify(&server_key)?;
+
+        // Server hello done.
+        let (ct, done_bytes, _used) = self.records.open_one(rest)?;
+        if ct != ContentType::Handshake {
+            return Err(SslError::UnexpectedMessage { expected: "server hello done" });
+        }
+        let (msg, _) = HandshakeMessage::decode(&done_bytes)?;
+        if msg != HandshakeMessage::ServerHelloDone {
+            return Err(SslError::UnexpectedMessage { expected: "server hello done" });
+        }
+        self.transcript.absorb(&done_bytes);
+
+        // Client key exchange: 48-byte pre-master = version ‖ 46 random.
+        let mut pre_master = vec![VERSION.0, VERSION.1];
+        pre_master.extend(self.rng.bytes(46));
+        let encrypted = server_key.encrypt_pkcs1(&pre_master, &mut self.rng)?;
+        let kx = HandshakeMessage::ClientKeyExchange { encrypted_pre_master: encrypted }.encode();
+        self.transcript.absorb(&kx);
+        let mut out = self.records.seal(ContentType::Handshake, &kx)?;
+        self.master = kdf::master_secret(&pre_master, &self.client_random, &self.server_random);
+
+        self.send_ccs_and_finished(&mut out)?;
+        self.state = State::AwaitServerFinish;
+        Ok(out)
+    }
+
+    /// Processes the server's final CCS ‖ finished flight of a full
+    /// handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::BadFinished`] on a transcript mismatch.
+    pub fn process_server_finish(&mut self, flight: &[u8]) -> Result<(), SslError> {
+        if self.state != State::AwaitServerFinish {
+            return Err(SslError::UnexpectedMessage { expected: "nothing (bad state)" });
+        }
+        self.read_server_ccs_and_finished(flight)?;
+        self.state = State::Established;
+        Ok(())
+    }
+
+    fn key_material(&self) -> KeyMaterial {
+        let block = kdf::key_block(
+            &self.master,
+            &self.server_random,
+            &self.client_random,
+            self.suite.key_block_len(),
+        );
+        KeyMaterial::parse(
+            &block,
+            self.suite.mac_alg().output_len(),
+            self.suite.key_len(),
+            self.suite.iv_len(),
+        )
+    }
+
+    fn send_ccs_and_finished(&mut self, out: &mut Vec<u8>) -> Result<(), SslError> {
+        out.extend(self.records.seal(ContentType::ChangeCipherSpec, &[1])?);
+        let km = self.key_material();
+        let write = self.suite.new_cipher(&km.client_key, &km.client_iv)?;
+        self.records.activate_write(write, self.suite.mac_alg(), km.client_mac.clone());
+        let (md5_hash, sha_hash) = self.transcript.finished_hashes(&SENDER_CLIENT, &self.master);
+        let fin = HandshakeMessage::Finished { md5_hash, sha_hash }.encode();
+        self.transcript.absorb(&fin);
+        out.extend(self.records.seal(ContentType::Handshake, &fin)?);
+        // The server's finished covers the transcript including ours (full
+        // handshake ordering).
+        self.expected_server_finished =
+            Some(self.transcript.finished_hashes(&SENDER_SERVER, &self.master));
+        Ok(())
+    }
+
+    fn read_server_ccs_and_finished(&mut self, flight: &[u8]) -> Result<(), SslError> {
+        let (ct, ccs, used) = self.records.open_one(flight)?;
+        if ct != ContentType::ChangeCipherSpec || ccs != [1] {
+            return Err(SslError::UnexpectedMessage { expected: "change cipher spec" });
+        }
+        let km = self.key_material();
+        let read = self.suite.new_cipher(&km.server_key, &km.server_iv)?;
+        self.records.activate_read(read, self.suite.mac_alg(), km.server_mac.clone());
+        // In the resumed flow the server finishes first: expectation is the
+        // transcript as it stands now.
+        let expected = self
+            .expected_server_finished
+            .take()
+            .unwrap_or_else(|| self.transcript.finished_hashes(&SENDER_SERVER, &self.master));
+        let (ct, fin_bytes, _) = self.records.open_one(&flight[used..])?;
+        if ct != ContentType::Handshake {
+            return Err(SslError::UnexpectedMessage { expected: "server finished" });
+        }
+        let (msg, _) = HandshakeMessage::decode(&fin_bytes)?;
+        let HandshakeMessage::Finished { md5_hash, sha_hash } = msg else {
+            return Err(SslError::UnexpectedMessage { expected: "server finished" });
+        };
+        if (md5_hash, sha_hash) != expected {
+            return Err(SslError::BadFinished);
+        }
+        self.transcript.absorb(&fin_bytes);
+        Ok(())
+    }
+
+    /// Encrypts application data into records (bulk-data phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes.
+    pub fn seal(&mut self, data: &[u8]) -> Result<Vec<u8>, SslError> {
+        if self.state != State::Established {
+            return Err(SslError::NotReady("handshake incomplete"));
+        }
+        self.records.seal(ContentType::ApplicationData, data)
+    }
+
+    /// Decrypts application-data records, concatenating their payloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes,
+    /// [`SslError::PeerAlert`] when the peer closed the session, or
+    /// record-layer errors.
+    pub fn open(&mut self, wire: &[u8]) -> Result<Vec<u8>, SslError> {
+        if self.state != State::Established {
+            return Err(SslError::NotReady("handshake incomplete"));
+        }
+        let mut out = Vec::new();
+        for (ct, data) in self.records.open_all(wire)? {
+            match ct {
+                ContentType::ApplicationData => out.extend(data),
+                ContentType::Alert => {
+                    return Err(SslError::PeerAlert(crate::alert::Alert::from_bytes(&data)?));
+                }
+                _ => return Err(SslError::UnexpectedMessage { expected: "application data" }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Ends the session with a `close_notify` alert record (the "End
+    /// Session" arrow of the paper's Figure 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes.
+    pub fn close(&mut self) -> Result<Vec<u8>, SslError> {
+        if self.state != State::Established {
+            return Err(SslError::NotReady("handshake incomplete"));
+        }
+        self.records
+            .seal(ContentType::Alert, &crate::alert::Alert::close_notify().to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one suite")]
+    fn empty_suite_list_panics() {
+        let _ = SslClient::with_suites(vec![], SslRng::from_seed(b"x"));
+    }
+
+    #[test]
+    fn out_of_order_calls_rejected() {
+        let mut client = SslClient::new(CipherSuite::RsaRc4Md5, SslRng::from_seed(b"c"));
+        assert!(client.process_server_flight(&[]).is_err());
+        assert!(client.process_server_finish(&[]).is_err());
+        assert!(client.seal(b"x").is_err());
+        let _ = client.hello().unwrap();
+        assert!(client.hello().is_err(), "hello twice");
+        assert!(client.session().is_none(), "no session before establishment");
+    }
+
+    #[test]
+    fn client_randoms_differ_between_connections() {
+        let mut c1 = SslClient::new(CipherSuite::RsaRc4Md5, SslRng::from_seed(b"one"));
+        let mut c2 = SslClient::new(CipherSuite::RsaRc4Md5, SslRng::from_seed(b"two"));
+        let h1 = c1.hello().unwrap();
+        let h2 = c2.hello().unwrap();
+        assert_ne!(h1, h2);
+    }
+}

@@ -1,0 +1,117 @@
+//! The SSL v3 keyed MAC (the pre-HMAC concatenation construction).
+//!
+//! `MAC = hash(secret ‖ pad₂ ‖ hash(secret ‖ pad₁ ‖ seq ‖ type ‖ len ‖ data))`
+//! with 48 pad bytes for MD5 and 40 for SHA-1. Every data record the paper
+//! measures carries one of these (the `mac` rows of Table 2).
+
+use sslperf_hashes::{HashAlg, Hasher};
+use sslperf_profile::counters;
+
+const PAD1: u8 = 0x36;
+const PAD2: u8 = 0x5c;
+
+/// Pad length for the SSLv3 MAC: 48 bytes for MD5, 40 for SHA-1.
+#[must_use]
+pub fn pad_len(alg: HashAlg) -> usize {
+    match alg {
+        HashAlg::Md5 => 48,
+        HashAlg::Sha1 => 40,
+    }
+}
+
+/// Computes the SSLv3 record MAC.
+///
+/// `seq` is the 64-bit record sequence number, `content_type` the record
+/// type byte, and `data` the compressed fragment.
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_hashes::HashAlg;
+/// use sslperf_ssl::mac::compute;
+///
+/// let tag = compute(HashAlg::Sha1, b"secret-mac-key-twenty", 0, 23, b"hello");
+/// assert_eq!(tag.len(), 20);
+/// ```
+#[must_use]
+pub fn compute(alg: HashAlg, secret: &[u8], seq: u64, content_type: u8, data: &[u8]) -> Vec<u8> {
+    counters::count("ssl3_mac", data.len() as u64);
+    let n = pad_len(alg);
+    let mut inner = Hasher::new(alg);
+    inner.update(secret);
+    inner.update(&vec![PAD1; n]);
+    inner.update(&seq.to_be_bytes());
+    inner.update(&[content_type]);
+    inner.update(&(data.len() as u16).to_be_bytes());
+    inner.update(data);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Hasher::new(alg);
+    outer.update(secret);
+    outer.update(&vec![PAD2; n]);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Verifies a record MAC in (non-constant-time) comparison.
+#[must_use]
+pub fn verify(
+    alg: HashAlg,
+    secret: &[u8],
+    seq: u64,
+    content_type: u8,
+    data: &[u8],
+    tag: &[u8],
+) -> bool {
+    compute(alg, secret, seq, content_type, data) == tag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_is_deterministic_and_keyed() {
+        let a = compute(HashAlg::Sha1, b"key1", 5, 23, b"data");
+        let b = compute(HashAlg::Sha1, b"key1", 5, 23, b"data");
+        let c = compute(HashAlg::Sha1, b"key2", 5, 23, b"data");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_input_field_matters() {
+        let base = compute(HashAlg::Sha1, b"k", 1, 23, b"data");
+        assert_ne!(base, compute(HashAlg::Sha1, b"k", 2, 23, b"data"), "sequence");
+        assert_ne!(base, compute(HashAlg::Sha1, b"k", 1, 22, b"data"), "content type");
+        assert_ne!(base, compute(HashAlg::Sha1, b"k", 1, 23, b"Data"), "data");
+    }
+
+    #[test]
+    fn output_lengths() {
+        assert_eq!(compute(HashAlg::Md5, b"k", 0, 23, b"x").len(), 16);
+        assert_eq!(compute(HashAlg::Sha1, b"k", 0, 23, b"x").len(), 20);
+    }
+
+    #[test]
+    fn pad_lengths_match_ssl3_spec() {
+        assert_eq!(pad_len(HashAlg::Md5), 48);
+        assert_eq!(pad_len(HashAlg::Sha1), 40);
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = compute(HashAlg::Md5, b"secret", 9, 23, b"payload");
+        assert!(verify(HashAlg::Md5, b"secret", 9, 23, b"payload", &tag));
+        assert!(!verify(HashAlg::Md5, b"secret", 9, 23, b"payloaX", &tag));
+        let mut bad = tag.clone();
+        bad[0] ^= 1;
+        assert!(!verify(HashAlg::Md5, b"secret", 9, 23, b"payload", &bad));
+    }
+
+    #[test]
+    fn empty_data_allowed() {
+        let tag = compute(HashAlg::Sha1, b"k", 0, 23, b"");
+        assert_eq!(tag.len(), 20);
+    }
+}

@@ -1,0 +1,406 @@
+//! Handshake message types and their wire codec.
+//!
+//! The message set matches the paper's Figure 1 for RSA key exchange with
+//! an unauthenticated client: hello, certificate, hello-done, client key
+//! exchange and finished. (Server key exchange and certificate request are
+//! skipped, exactly as the paper's steps note.)
+
+use crate::{SslError, VERSION};
+
+/// Handshake message type codes (RFC-compatible values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum HandshakeType {
+    /// Client hello (1).
+    ClientHello = 1,
+    /// Server hello (2).
+    ServerHello = 2,
+    /// Server certificate (11).
+    Certificate = 11,
+    /// Server hello done (14).
+    ServerHelloDone = 14,
+    /// Client key exchange (16).
+    ClientKeyExchange = 16,
+    /// Finished (20).
+    Finished = 20,
+}
+
+impl HandshakeType {
+    fn from_u8(v: u8) -> Result<Self, SslError> {
+        Ok(match v {
+            1 => HandshakeType::ClientHello,
+            2 => HandshakeType::ServerHello,
+            11 => HandshakeType::Certificate,
+            14 => HandshakeType::ServerHelloDone,
+            16 => HandshakeType::ClientKeyExchange,
+            20 => HandshakeType::Finished,
+            _ => return Err(SslError::Decode("handshake type")),
+        })
+    }
+}
+
+/// A session identifier (up to 32 bytes), used for resumption.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SessionId(Vec<u8>);
+
+impl SessionId {
+    /// Wraps raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds 32 bytes.
+    #[must_use]
+    pub fn new(bytes: Vec<u8>) -> Self {
+        assert!(bytes.len() <= 32, "session id longer than 32 bytes");
+        SessionId(bytes)
+    }
+
+    /// An empty id (no resumption offered).
+    #[must_use]
+    pub fn empty() -> Self {
+        SessionId(Vec::new())
+    }
+
+    /// The raw bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// True when no id is present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A decoded handshake message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeMessage {
+    /// Client hello: random, offered session and cipher suites.
+    ClientHello {
+        /// 32-byte client random.
+        random: [u8; 32],
+        /// Session id offered for resumption (may be empty).
+        session_id: SessionId,
+        /// Offered suites, preference-ordered wire ids.
+        suites: Vec<u16>,
+    },
+    /// Server hello: random, chosen session and suite.
+    ServerHello {
+        /// 32-byte server random.
+        random: [u8; 32],
+        /// Session id assigned (or echoed, when resuming).
+        session_id: SessionId,
+        /// Chosen suite wire id.
+        suite: u16,
+    },
+    /// The server's certificate (opaque bytes of `sslperf_rsa::x509`).
+    Certificate {
+        /// Encoded certificate.
+        cert: Vec<u8>,
+    },
+    /// Server hello done (empty body).
+    ServerHelloDone,
+    /// Client key exchange: RSA-encrypted 48-byte pre-master secret.
+    ClientKeyExchange {
+        /// PKCS#1 ciphertext.
+        encrypted_pre_master: Vec<u8>,
+    },
+    /// Finished: the two transcript hashes.
+    Finished {
+        /// MD5 finished hash.
+        md5_hash: [u8; 16],
+        /// SHA-1 finished hash.
+        sha_hash: [u8; 20],
+    },
+}
+
+impl HandshakeMessage {
+    /// The message's type code.
+    #[must_use]
+    pub fn msg_type(&self) -> HandshakeType {
+        match self {
+            HandshakeMessage::ClientHello { .. } => HandshakeType::ClientHello,
+            HandshakeMessage::ServerHello { .. } => HandshakeType::ServerHello,
+            HandshakeMessage::Certificate { .. } => HandshakeType::Certificate,
+            HandshakeMessage::ServerHelloDone => HandshakeType::ServerHelloDone,
+            HandshakeMessage::ClientKeyExchange { .. } => HandshakeType::ClientKeyExchange,
+            HandshakeMessage::Finished { .. } => HandshakeType::Finished,
+        }
+    }
+
+    /// Encodes with the 4-byte handshake header (type + 24-bit length).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.push(self.msg_type() as u8);
+        let len = body.len() as u32;
+        out.extend_from_slice(&len.to_be_bytes()[1..]);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            HandshakeMessage::ClientHello { random, session_id, suites } => {
+                out.push(VERSION.0);
+                out.push(VERSION.1);
+                out.extend_from_slice(random);
+                out.push(session_id.as_bytes().len() as u8);
+                out.extend_from_slice(session_id.as_bytes());
+                out.extend_from_slice(&((suites.len() * 2) as u16).to_be_bytes());
+                for s in suites {
+                    out.extend_from_slice(&s.to_be_bytes());
+                }
+            }
+            HandshakeMessage::ServerHello { random, session_id, suite } => {
+                out.push(VERSION.0);
+                out.push(VERSION.1);
+                out.extend_from_slice(random);
+                out.push(session_id.as_bytes().len() as u8);
+                out.extend_from_slice(session_id.as_bytes());
+                out.extend_from_slice(&suite.to_be_bytes());
+            }
+            HandshakeMessage::Certificate { cert } => {
+                out.extend_from_slice(&(cert.len() as u32).to_be_bytes()[1..]);
+                out.extend_from_slice(cert);
+            }
+            HandshakeMessage::ServerHelloDone => {}
+            HandshakeMessage::ClientKeyExchange { encrypted_pre_master } => {
+                out.extend_from_slice(&(encrypted_pre_master.len() as u16).to_be_bytes());
+                out.extend_from_slice(encrypted_pre_master);
+            }
+            HandshakeMessage::Finished { md5_hash, sha_hash } => {
+                out.extend_from_slice(md5_hash);
+                out.extend_from_slice(sha_hash);
+            }
+        }
+        out
+    }
+
+    /// Decodes one message from the front of `input`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Decode`] on truncation or malformed fields and
+    /// [`SslError::UnsupportedVersion`] for non-3.0 hellos.
+    pub fn decode(input: &[u8]) -> Result<(Self, usize), SslError> {
+        if input.len() < 4 {
+            return Err(SslError::Decode("handshake header"));
+        }
+        let msg_type = HandshakeType::from_u8(input[0])?;
+        let len = u32::from_be_bytes([0, input[1], input[2], input[3]]) as usize;
+        if input.len() < 4 + len {
+            return Err(SslError::Decode("handshake body"));
+        }
+        let body = &input[4..4 + len];
+        let msg = Self::decode_body(msg_type, body)?;
+        Ok((msg, 4 + len))
+    }
+
+    fn decode_body(msg_type: HandshakeType, body: &[u8]) -> Result<Self, SslError> {
+        let mut r = Reader { buf: body };
+        let msg = match msg_type {
+            HandshakeType::ClientHello => {
+                let major = r.u8()?;
+                let minor = r.u8()?;
+                if (major, minor) != VERSION {
+                    return Err(SslError::UnsupportedVersion { major, minor });
+                }
+                let random = r.array32()?;
+                let sid_len = r.u8()? as usize;
+                if sid_len > 32 {
+                    return Err(SslError::Decode("session id length"));
+                }
+                let session_id = SessionId::new(r.bytes(sid_len)?.to_vec());
+                let suites_bytes = r.u16()? as usize;
+                if !suites_bytes.is_multiple_of(2) {
+                    return Err(SslError::Decode("cipher suite list"));
+                }
+                let mut suites = Vec::with_capacity(suites_bytes / 2);
+                for _ in 0..suites_bytes / 2 {
+                    suites.push(r.u16()?);
+                }
+                HandshakeMessage::ClientHello { random, session_id, suites }
+            }
+            HandshakeType::ServerHello => {
+                let major = r.u8()?;
+                let minor = r.u8()?;
+                if (major, minor) != VERSION {
+                    return Err(SslError::UnsupportedVersion { major, minor });
+                }
+                let random = r.array32()?;
+                let sid_len = r.u8()? as usize;
+                if sid_len > 32 {
+                    return Err(SslError::Decode("session id length"));
+                }
+                let session_id = SessionId::new(r.bytes(sid_len)?.to_vec());
+                let suite = r.u16()?;
+                HandshakeMessage::ServerHello { random, session_id, suite }
+            }
+            HandshakeType::Certificate => {
+                let len = r.u24()? as usize;
+                let cert = r.bytes(len)?.to_vec();
+                HandshakeMessage::Certificate { cert }
+            }
+            HandshakeType::ServerHelloDone => HandshakeMessage::ServerHelloDone,
+            HandshakeType::ClientKeyExchange => {
+                let len = r.u16()? as usize;
+                let encrypted_pre_master = r.bytes(len)?.to_vec();
+                HandshakeMessage::ClientKeyExchange { encrypted_pre_master }
+            }
+            HandshakeType::Finished => {
+                let md5_hash: [u8; 16] =
+                    r.bytes(16)?.try_into().map_err(|_| SslError::Decode("finished"))?;
+                let sha_hash: [u8; 20] =
+                    r.bytes(20)?.try_into().map_err(|_| SslError::Decode("finished"))?;
+                HandshakeMessage::Finished { md5_hash, sha_hash }
+            }
+        };
+        if !r.buf.is_empty() {
+            return Err(SslError::Decode("trailing bytes in handshake message"));
+        }
+        Ok(msg)
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SslError> {
+        if self.buf.len() < n {
+            return Err(SslError::Decode("truncated field"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, SslError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SslError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u24(&mut self) -> Result<u32, SslError> {
+        let b = self.bytes(3)?;
+        Ok(u32::from_be_bytes([0, b[0], b[1], b[2]]))
+    }
+
+    fn array32(&mut self) -> Result<[u8; 32], SslError> {
+        self.bytes(32)?.try_into().map_err(|_| SslError::Decode("random"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: HandshakeMessage) {
+        let encoded = msg.encode();
+        let (decoded, consumed) = HandshakeMessage::decode(&encoded).unwrap();
+        assert_eq!(consumed, encoded.len());
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(HandshakeMessage::ClientHello {
+            random: [7; 32],
+            session_id: SessionId::empty(),
+            suites: vec![0x000a, 0x0035],
+        });
+        round_trip(HandshakeMessage::ClientHello {
+            random: [9; 32],
+            session_id: SessionId::new(vec![1; 32]),
+            suites: vec![0x0004],
+        });
+        round_trip(HandshakeMessage::ServerHello {
+            random: [1; 32],
+            session_id: SessionId::new(vec![5; 16]),
+            suite: 0x000a,
+        });
+        round_trip(HandshakeMessage::Certificate { cert: vec![0xab; 300] });
+        round_trip(HandshakeMessage::ServerHelloDone);
+        round_trip(HandshakeMessage::ClientKeyExchange { encrypted_pre_master: vec![3; 64] });
+        round_trip(HandshakeMessage::Finished { md5_hash: [4; 16], sha_hash: [5; 20] });
+    }
+
+    #[test]
+    fn decode_reports_consumed_with_trailing_data() {
+        let msg = HandshakeMessage::ServerHelloDone;
+        let mut bytes = msg.encode();
+        let len = bytes.len();
+        bytes.extend_from_slice(&[9, 9, 9]);
+        let (_, consumed) = HandshakeMessage::decode(&bytes).unwrap();
+        assert_eq!(consumed, len);
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let full = HandshakeMessage::ClientHello {
+            random: [7; 32],
+            session_id: SessionId::empty(),
+            suites: vec![0x000a],
+        }
+        .encode();
+        for cut in [0, 1, 3, 10, full.len() - 1] {
+            assert!(HandshakeMessage::decode(&full[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert_eq!(
+            HandshakeMessage::decode(&[99, 0, 0, 0]),
+            Err(SslError::Decode("handshake type"))
+        );
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut hello = HandshakeMessage::ClientHello {
+            random: [0; 32],
+            session_id: SessionId::empty(),
+            suites: vec![1],
+        }
+        .encode();
+        hello[4] = 2; // major version 2
+        assert_eq!(
+            HandshakeMessage::decode(&hello),
+            Err(SslError::UnsupportedVersion { major: 2, minor: 0 })
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_in_body_rejected() {
+        let mut done = HandshakeMessage::ServerHelloDone.encode();
+        done[3] = 1; // claim a 1-byte body
+        done.push(0);
+        assert!(HandshakeMessage::decode(&done).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than 32")]
+    fn oversized_session_id_panics() {
+        let _ = SessionId::new(vec![0; 33]);
+    }
+
+    #[test]
+    fn message_types() {
+        assert_eq!(HandshakeMessage::ServerHelloDone.msg_type() as u8, 14);
+        assert_eq!(
+            HandshakeMessage::Finished { md5_hash: [0; 16], sha_hash: [0; 20] }.msg_type() as u8,
+            20
+        );
+    }
+}

@@ -1,0 +1,572 @@
+//! The instrumented SSL v3 server, partitioned into the paper's ten steps.
+
+use crate::kdf::{self, KeyMaterial};
+use crate::messages::{HandshakeMessage, SessionId};
+use crate::record::{ContentType, RecordLayer};
+use crate::transcript::{Transcript, SENDER_CLIENT, SENDER_SERVER};
+use crate::{CipherSuite, SslError};
+use sslperf_profile::{measure, Cycles, PhaseSet, Stopwatch};
+use sslperf_rng::SslRng;
+use sslperf_rsa::{x509::Certificate, RsaPrivateKey};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The ten server-side handshake steps of the paper's Table 2.
+pub const SERVER_STEP_NAMES: [&str; 10] = [
+    "init",
+    "get_client_hello",
+    "send_server_hello",
+    "send_server_cert",
+    "send_server_done",
+    "get_client_kx",
+    "get_finished",
+    "send_cipher_spec",
+    "send_finished",
+    "server_flush",
+];
+
+#[derive(Debug, Clone)]
+struct CachedSession {
+    master: Vec<u8>,
+    suite: CipherSuite,
+}
+
+/// Long-lived server configuration: the RSA key, the certificate, and the
+/// session cache shared by every connection (session re-negotiation is the
+/// optimization §4.1 highlights).
+#[derive(Debug)]
+pub struct ServerConfig {
+    key: RsaPrivateKey,
+    cert_wire: Vec<u8>,
+    cache: Mutex<HashMap<Vec<u8>, CachedSession>>,
+}
+
+impl ServerConfig {
+    /// Builds a configuration with a fresh self-signed certificate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates certificate-signing failures.
+    pub fn new(key: RsaPrivateKey, name: &str) -> Result<Self, SslError> {
+        let cert = Certificate::self_signed(name, &key, 2004, 2010)?;
+        Ok(ServerConfig { key, cert_wire: cert.to_bytes(), cache: Mutex::new(HashMap::new()) })
+    }
+
+    /// The server's private key.
+    #[must_use]
+    pub fn key(&self) -> &RsaPrivateKey {
+        &self.key
+    }
+
+    /// Number of cached (resumable) sessions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn cached_sessions(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Drops all cached sessions (forces full handshakes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    pub fn clear_session_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    fn lookup(&self, id: &[u8]) -> Option<CachedSession> {
+        if id.is_empty() {
+            return None;
+        }
+        self.cache.lock().expect("cache lock").get(id).cloned()
+    }
+
+    fn store(&self, id: Vec<u8>, master: Vec<u8>, suite: CipherSuite) {
+        self.cache.lock().expect("cache lock").insert(id, CachedSession { master, suite });
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    AwaitClientHello,
+    AwaitClientFlight,
+    Established,
+}
+
+/// One server-side SSL connection.
+///
+/// Construction is the paper's step 0 (*Init*); the two `process_*` methods
+/// cover steps 1–9. Every step's wall time lands in [`SslServer::steps`]
+/// and every crypto call in [`SslServer::crypto`] /
+/// [`SslServer::crypto_detail`].
+#[derive(Debug)]
+pub struct SslServer<'a> {
+    config: &'a ServerConfig,
+    rng: SslRng,
+    records: RecordLayer,
+    transcript: Transcript,
+    state: State,
+    suite: CipherSuite,
+    client_random: [u8; 32],
+    server_random: [u8; 32],
+    session_id: Vec<u8>,
+    master: Vec<u8>,
+    resumed: bool,
+    /// Client finished hashes computed ahead of reading the message.
+    expected_client_finished: Option<([u8; 16], [u8; 20])>,
+    key_material: Option<KeyMaterial>,
+    steps: PhaseSet,
+    crypto: PhaseSet,
+    crypto_detail: Vec<(usize, &'static str, Cycles)>,
+}
+
+impl<'a> SslServer<'a> {
+    /// Creates a connection (Table 2 step 0: initialize states and
+    /// variables, `init_finished_mac`).
+    #[must_use]
+    pub fn new(config: &'a ServerConfig, rng: SslRng) -> Self {
+        let sw = Stopwatch::start();
+        let (transcript, init_cycles) = measure(Transcript::new);
+        let mut server = SslServer {
+            config,
+            rng,
+            records: RecordLayer::new(),
+            transcript,
+            state: State::AwaitClientHello,
+            suite: CipherSuite::RsaDesCbc3Sha,
+            client_random: [0; 32],
+            server_random: [0; 32],
+            session_id: Vec::new(),
+            master: Vec::new(),
+            resumed: false,
+            expected_client_finished: None,
+            key_material: None,
+            steps: PhaseSet::new(),
+            crypto: PhaseSet::new(),
+            crypto_detail: Vec::new(),
+        };
+        server.note_crypto(0, "init_finished_mac", init_cycles);
+        server.steps.add(SERVER_STEP_NAMES[0], sw.elapsed());
+        server
+    }
+
+    fn note_crypto(&mut self, step: usize, name: &'static str, cycles: Cycles) {
+        self.crypto.add(name, cycles);
+        self.crypto_detail.push((step, name, cycles));
+    }
+
+    /// Per-step latency (Table 2's latency column).
+    #[must_use]
+    pub fn steps(&self) -> &PhaseSet {
+        &self.steps
+    }
+
+    /// Per-crypto-function latency, aggregated over the handshake.
+    #[must_use]
+    pub fn crypto(&self) -> &PhaseSet {
+        &self.crypto
+    }
+
+    /// `(step index, crypto function, cycles)` triples in call order
+    /// (Table 2's right-hand columns).
+    #[must_use]
+    pub fn crypto_detail(&self) -> &[(usize, &'static str, Cycles)] {
+        &self.crypto_detail
+    }
+
+    /// Record-layer symmetric-crypto cycles (cipher + MAC) accumulated over
+    /// the connection's lifetime, including the bulk-data phase.
+    #[must_use]
+    pub fn record_crypto(&self) -> PhaseSet {
+        self.records.crypto_phases()
+    }
+
+    /// The negotiated cipher suite.
+    #[must_use]
+    pub fn suite(&self) -> CipherSuite {
+        self.suite
+    }
+
+    /// True once the handshake completed.
+    #[must_use]
+    pub fn is_established(&self) -> bool {
+        self.state == State::Established
+    }
+
+    /// True when this connection resumed a cached session.
+    #[must_use]
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Processes the client hello flight and produces the server's reply:
+    /// hello ‖ certificate ‖ hello-done for a full handshake, or
+    /// hello ‖ change-cipher-spec ‖ finished when resuming (Table 2 steps
+    /// 1–4).
+    ///
+    /// # Errors
+    ///
+    /// Returns decode errors, [`SslError::NoCommonCipher`], or
+    /// [`SslError::UnexpectedMessage`] out of sequence.
+    pub fn process_client_hello(&mut self, flight: &[u8]) -> Result<Vec<u8>, SslError> {
+        if self.state != State::AwaitClientHello {
+            return Err(SslError::UnexpectedMessage { expected: "nothing (bad state)" });
+        }
+
+        // Step 1: get_client_hello.
+        let sw = Stopwatch::start();
+        let records = self.records.open_all(flight)?;
+        let [(ContentType::Handshake, hello_bytes)] = &records[..] else {
+            return Err(SslError::UnexpectedMessage { expected: "client hello record" });
+        };
+        let (msg, consumed) = HandshakeMessage::decode(hello_bytes)?;
+        if consumed != hello_bytes.len() {
+            return Err(SslError::Decode("extra bytes after client hello"));
+        }
+        let HandshakeMessage::ClientHello { random, session_id, suites } = msg else {
+            return Err(SslError::UnexpectedMessage { expected: "client hello" });
+        };
+        self.client_random = random;
+        // Choose the first server-preferred suite the client offers.
+        let chosen = CipherSuite::ALL
+            .into_iter()
+            .find(|s| suites.contains(&s.wire_id()))
+            .ok_or(SslError::NoCommonCipher)?;
+        // Resumption lookup, then session id assignment.
+        let cached = self.config.lookup(session_id.as_bytes());
+        if let Some(cached) = &cached {
+            self.resumed = true;
+            self.suite = cached.suite;
+            self.master.clone_from(&cached.master);
+            self.session_id = session_id.as_bytes().to_vec();
+        } else {
+            self.suite = chosen;
+            let (sid, cycles) = measure(|| self.rng.bytes(32));
+            self.note_crypto(1, "rand_pseudo_bytes", cycles);
+            self.session_id = sid;
+        }
+        let (_, cycles) = measure(|| self.transcript.absorb(hello_bytes));
+        self.note_crypto(1, "finish_mac", cycles);
+        self.steps.add(SERVER_STEP_NAMES[1], sw.elapsed());
+
+        // Step 2: send_server_hello.
+        let sw = Stopwatch::start();
+        let (random, cycles) = measure(|| self.rng.bytes(32));
+        self.note_crypto(2, "rand_pseudo_bytes", cycles);
+        self.server_random.copy_from_slice(&random);
+        let hello = HandshakeMessage::ServerHello {
+            random: self.server_random,
+            session_id: SessionId::new(self.session_id.clone()),
+            suite: self.suite.wire_id(),
+        }
+        .encode();
+        let (_, cycles) = measure(|| self.transcript.absorb(&hello));
+        self.note_crypto(2, "finish_mac", cycles);
+        let mut out = self.records.seal(ContentType::Handshake, &hello)?;
+        self.steps.add(SERVER_STEP_NAMES[2], sw.elapsed());
+
+        if self.resumed {
+            // Abbreviated handshake: CCS + finished immediately.
+            let finished = self.send_ccs_and_finished(&mut out)?;
+            self.expected_client_finished = Some(finished);
+            self.state = State::AwaitClientFlight;
+            return Ok(out);
+        }
+
+        // Step 3: send_server_cert (X509 encoding charged as crypto).
+        let sw = Stopwatch::start();
+        let (cert_msg, cycles) = measure(|| {
+            // Re-encode through the certificate type, as mod_ssl re-serializes
+            // the X509 object per handshake.
+            let cert = Certificate::from_bytes(&self.config.cert_wire)
+                .expect("own certificate is well-formed");
+            HandshakeMessage::Certificate { cert: cert.to_bytes() }.encode()
+        });
+        self.note_crypto(3, "x509_functions", cycles);
+        let (_, cycles) = measure(|| self.transcript.absorb(&cert_msg));
+        self.note_crypto(3, "finish_mac", cycles);
+        out.extend(self.records.seal(ContentType::Handshake, &cert_msg)?);
+        self.steps.add(SERVER_STEP_NAMES[3], sw.elapsed());
+
+        // Step 4: send_server_done (+ internal buffer control).
+        let sw = Stopwatch::start();
+        let done = HandshakeMessage::ServerHelloDone.encode();
+        let (_, cycles) = measure(|| self.transcript.absorb(&done));
+        self.note_crypto(4, "finish_mac", cycles);
+        out.extend(self.records.seal(ContentType::Handshake, &done)?);
+        self.steps.add(SERVER_STEP_NAMES[4], sw.elapsed());
+
+        self.state = State::AwaitClientFlight;
+        Ok(out)
+    }
+
+    /// Processes the client's second flight. For a full handshake that is
+    /// key-exchange ‖ change-cipher-spec ‖ finished, answered with
+    /// change-cipher-spec ‖ finished (Table 2 steps 5–9); when resuming it
+    /// is just the client's CCS ‖ finished, answered with nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns RSA, MAC, decode or [`SslError::BadFinished`] errors.
+    pub fn process_client_flight(&mut self, flight: &[u8]) -> Result<Vec<u8>, SslError> {
+        if self.state != State::AwaitClientFlight {
+            return Err(SslError::UnexpectedMessage { expected: "nothing (bad state)" });
+        }
+        let mut rest = flight;
+
+        if !self.resumed {
+            // Step 5: get_client_kx — RSA-decrypt the pre-master, derive the
+            // master secret.
+            let sw = Stopwatch::start();
+            let (ct, kx_bytes, used) = self.records.open_one(rest)?;
+            rest = &rest[used..];
+            if ct != ContentType::Handshake {
+                return Err(SslError::UnexpectedMessage { expected: "client key exchange" });
+            }
+            let (msg, _) = HandshakeMessage::decode(&kx_bytes)?;
+            let HandshakeMessage::ClientKeyExchange { encrypted_pre_master } = msg else {
+                return Err(SslError::UnexpectedMessage { expected: "client key exchange" });
+            };
+            let (pre_master, cycles) = {
+                let key = &self.config.key;
+                let mut scratch = PhaseSet::new();
+                let mut rng = self.rng.clone();
+                measure(|| key.decrypt_instrumented(&encrypted_pre_master, &mut rng, &mut scratch))
+            };
+            self.note_crypto(5, "rsa_private_decryption", cycles);
+            let pre_master = pre_master?;
+            if pre_master.len() != 48 || pre_master[0] != crate::VERSION.0 {
+                return Err(SslError::Decode("pre-master secret"));
+            }
+            let (master, cycles) = measure(|| {
+                kdf::master_secret(&pre_master, &self.client_random, &self.server_random)
+            });
+            self.note_crypto(5, "gen_master_secret", cycles);
+            self.master = master;
+            let (_, cycles) = measure(|| self.transcript.absorb(&kx_bytes));
+            self.note_crypto(5, "finish_mac", cycles);
+            self.steps.add(SERVER_STEP_NAMES[5], sw.elapsed());
+        }
+
+        // Step 6a: read client CCS, generate the key block, pre-compute the
+        // client finished hashes.
+        let sw = Stopwatch::start();
+        let (ct, ccs, used) = self.records.open_one(rest)?;
+        rest = &rest[used..];
+        if ct != ContentType::ChangeCipherSpec || ccs != [1] {
+            return Err(SslError::UnexpectedMessage { expected: "change cipher spec" });
+        }
+        if self.key_material.is_none() {
+            self.generate_key_block(6)?;
+        }
+        let km = self.key_material.clone().expect("just generated");
+        let read_cipher = self.suite.new_cipher(&km.client_key, &km.client_iv)?;
+        self.records.activate_read(read_cipher, self.suite.mac_alg(), km.client_mac.clone());
+        if self.expected_client_finished.is_none() {
+            let (expected, cycles) =
+                measure(|| self.transcript.finished_hashes(&SENDER_CLIENT, &self.master));
+            self.note_crypto(6, "final_finish_mac", cycles);
+            self.expected_client_finished = Some(expected);
+        }
+
+        // Step 6b: read and verify the client finished message (first
+        // encrypted record: pri_decryption + mac inside open_one).
+        let ((ct, fin_bytes, _used), cycles) = {
+            let records = &mut self.records;
+            let (result, cycles) = measure(|| records.open_one(rest));
+            (result?, cycles)
+        };
+        self.note_crypto(6, "pri_decryption_and_mac", cycles);
+        if ct != ContentType::Handshake {
+            return Err(SslError::UnexpectedMessage { expected: "client finished" });
+        }
+        let (msg, _) = HandshakeMessage::decode(&fin_bytes)?;
+        let HandshakeMessage::Finished { md5_hash, sha_hash } = msg else {
+            return Err(SslError::UnexpectedMessage { expected: "client finished" });
+        };
+        let (exp_md5, exp_sha) = self.expected_client_finished.expect("computed above");
+        if md5_hash != exp_md5 || sha_hash != exp_sha {
+            return Err(SslError::BadFinished);
+        }
+        let (_, cycles) = measure(|| self.transcript.absorb(&fin_bytes));
+        self.note_crypto(6, "finish_mac", cycles);
+        self.steps.add(SERVER_STEP_NAMES[6], sw.elapsed());
+
+        let mut out = Vec::new();
+        if !self.resumed {
+            let _ = self.send_ccs_and_finished(&mut out)?;
+        }
+
+        // Step 9: server_flush — cache the session, wipe transient secrets.
+        let sw = Stopwatch::start();
+        self.config.store(self.session_id.clone(), self.master.clone(), self.suite);
+        let (_, cycles) = measure(|| {
+            // OPENSSL_cleanse-equivalent: overwrite transient key material.
+            if let Some(km) = &mut self.key_material {
+                km.client_mac.fill(0);
+            }
+            sslperf_profile::counters::count("OPENSSL_cleanse", 1);
+        });
+        self.note_crypto(9, "cleanse", cycles);
+        self.key_material = None;
+        self.steps.add(SERVER_STEP_NAMES[9], sw.elapsed());
+
+        self.state = State::Established;
+        Ok(out)
+    }
+
+    /// Steps 7–8: send change-cipher-spec, then the server finished message
+    /// under the new keys.
+    fn send_ccs_and_finished(
+        &mut self,
+        out: &mut Vec<u8>,
+    ) -> Result<([u8; 16], [u8; 20]), SslError> {
+        // Step 7: send_cipher_spec.
+        let sw = Stopwatch::start();
+        if self.key_material.is_none() {
+            self.generate_key_block(7)?;
+        }
+        out.extend(self.records.seal(ContentType::ChangeCipherSpec, &[1])?);
+        let km = self.key_material.clone().expect("generated above");
+        let write_cipher = self.suite.new_cipher(&km.server_key, &km.server_iv)?;
+        self.records.activate_write(write_cipher, self.suite.mac_alg(), km.server_mac.clone());
+        self.steps.add(SERVER_STEP_NAMES[7], sw.elapsed());
+
+        // Step 8: send_finished.
+        let sw = Stopwatch::start();
+        let (hashes, cycles) =
+            measure(|| self.transcript.finished_hashes(&SENDER_SERVER, &self.master));
+        self.note_crypto(8, "final_finish_mac", cycles);
+        let (md5_hash, sha_hash) = hashes;
+        let fin = HandshakeMessage::Finished { md5_hash, sha_hash }.encode();
+        let (_, cycles) = measure(|| self.transcript.absorb(&fin));
+        self.note_crypto(8, "finish_mac", cycles);
+        let (sealed, cycles) = {
+            let records = &mut self.records;
+            measure(|| records.seal(ContentType::Handshake, &fin))
+        };
+        self.note_crypto(8, "pri_encryption_and_mac", cycles);
+        out.extend(sealed?);
+        self.steps.add(SERVER_STEP_NAMES[8], sw.elapsed());
+        // Returns the *client* finished hashes expected later in resumed mode.
+        let expected = self.transcript.finished_hashes(&SENDER_CLIENT, &self.master);
+        Ok(expected)
+    }
+
+    fn generate_key_block(&mut self, step: usize) -> Result<(), SslError> {
+        let suite = self.suite;
+        let (block, cycles) = measure(|| {
+            kdf::key_block(
+                &self.master,
+                &self.server_random,
+                &self.client_random,
+                suite.key_block_len(),
+            )
+        });
+        self.note_crypto(step, "gen_key_block", cycles);
+        self.key_material = Some(KeyMaterial::parse(
+            &block,
+            suite.mac_alg().output_len(),
+            suite.key_len(),
+            suite.iv_len(),
+        ));
+        Ok(())
+    }
+
+    /// Encrypts application data into records (bulk-data phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes.
+    pub fn seal(&mut self, data: &[u8]) -> Result<Vec<u8>, SslError> {
+        if self.state != State::Established {
+            return Err(SslError::NotReady("handshake incomplete"));
+        }
+        self.records.seal(ContentType::ApplicationData, data)
+    }
+
+    /// Decrypts application-data records, concatenating their payloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes,
+    /// [`SslError::PeerAlert`] when the peer closed the session, or
+    /// record-layer errors.
+    pub fn open(&mut self, wire: &[u8]) -> Result<Vec<u8>, SslError> {
+        if self.state != State::Established {
+            return Err(SslError::NotReady("handshake incomplete"));
+        }
+        let mut out = Vec::new();
+        for (ct, data) in self.records.open_all(wire)? {
+            match ct {
+                ContentType::ApplicationData => out.extend(data),
+                ContentType::Alert => {
+                    return Err(SslError::PeerAlert(crate::alert::Alert::from_bytes(&data)?));
+                }
+                _ => return Err(SslError::UnexpectedMessage { expected: "application data" }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Ends the session with a `close_notify` alert record (the "End
+    /// Session" arrow of the paper's Figure 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes.
+    pub fn close(&mut self) -> Result<Vec<u8>, SslError> {
+        if self.state != State::Established {
+            return Err(SslError::NotReady("handshake incomplete"));
+        }
+        self.records
+            .seal(ContentType::Alert, &crate::alert::Alert::close_notify().to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::server_config;
+
+    #[test]
+    fn config_accessors() {
+        let config = server_config();
+        assert_eq!(config.key().modulus().bit_len(), 512);
+        // Cache starts empty or has entries from other tests (shared);
+        // clear and check.
+        config.clear_session_cache();
+        assert_eq!(config.cached_sessions(), 0);
+    }
+
+    #[test]
+    fn server_rejects_out_of_order_calls() {
+        let config = server_config();
+        let mut server = SslServer::new(config, SslRng::from_seed(b"s"));
+        assert!(matches!(
+            server.process_client_flight(&[]),
+            Err(SslError::UnexpectedMessage { .. })
+        ));
+        assert!(matches!(server.seal(b"x"), Err(SslError::NotReady(_))));
+        assert!(matches!(server.open(b"x"), Err(SslError::NotReady(_))));
+    }
+
+    #[test]
+    fn step_zero_recorded_at_construction() {
+        let config = server_config();
+        let server = SslServer::new(config, SslRng::from_seed(b"s"));
+        assert!(server.steps().get("init").is_some());
+        assert!(server.crypto().get("init_finished_mac").is_some());
+        assert!(!server.is_established());
+    }
+
+    #[test]
+    fn garbage_flight_is_rejected() {
+        let config = server_config();
+        let mut server = SslServer::new(config, SslRng::from_seed(b"s"));
+        assert!(server.process_client_hello(&[0xff; 40]).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Cipher suites: the RSA key-exchange suites the paper evaluates.
+
+use crate::SslError;
+use sslperf_ciphers::{Aes, Cbc, Des, Des3, Rc4};
+use sslperf_hashes::HashAlg;
+use std::fmt;
+
+/// The cipher suites supported by this implementation (all RSA key
+/// exchange, as in the paper's experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CipherSuite {
+    /// `SSL_RSA_WITH_3DES_EDE_CBC_SHA` — the paper's headline suite
+    /// (`DES-CBC3-SHA`).
+    RsaDesCbc3Sha,
+    /// `SSL_RSA_WITH_DES_CBC_SHA`.
+    RsaDesSha,
+    /// `TLS_RSA_WITH_AES_128_CBC_SHA` (available via OpenSSL in 2004).
+    RsaAes128Sha,
+    /// `TLS_RSA_WITH_AES_256_CBC_SHA`.
+    RsaAes256Sha,
+    /// `SSL_RSA_WITH_RC4_128_MD5`.
+    RsaRc4Md5,
+    /// `SSL_RSA_WITH_RC4_128_SHA`.
+    RsaRc4Sha,
+}
+
+impl CipherSuite {
+    /// Every supported suite, preference-ordered as a 2004 server would be
+    /// (3DES first — the study's configuration).
+    pub const ALL: [CipherSuite; 6] = [
+        CipherSuite::RsaDesCbc3Sha,
+        CipherSuite::RsaAes256Sha,
+        CipherSuite::RsaAes128Sha,
+        CipherSuite::RsaDesSha,
+        CipherSuite::RsaRc4Sha,
+        CipherSuite::RsaRc4Md5,
+    ];
+
+    /// The two-byte wire identifier (IANA registry values).
+    #[must_use]
+    pub const fn wire_id(self) -> u16 {
+        match self {
+            CipherSuite::RsaDesCbc3Sha => 0x000a,
+            CipherSuite::RsaDesSha => 0x0009,
+            CipherSuite::RsaAes128Sha => 0x002f,
+            CipherSuite::RsaAes256Sha => 0x0035,
+            CipherSuite::RsaRc4Md5 => 0x0004,
+            CipherSuite::RsaRc4Sha => 0x0005,
+        }
+    }
+
+    /// Parses a wire identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NoCommonCipher`] for an unknown id.
+    pub fn from_wire_id(id: u16) -> Result<Self, SslError> {
+        Self::ALL
+            .into_iter()
+            .find(|s| s.wire_id() == id)
+            .ok_or(SslError::NoCommonCipher)
+    }
+
+    /// OpenSSL-style display name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            CipherSuite::RsaDesCbc3Sha => "DES-CBC3-SHA",
+            CipherSuite::RsaDesSha => "DES-CBC-SHA",
+            CipherSuite::RsaAes128Sha => "AES128-SHA",
+            CipherSuite::RsaAes256Sha => "AES256-SHA",
+            CipherSuite::RsaRc4Md5 => "RC4-MD5",
+            CipherSuite::RsaRc4Sha => "RC4-SHA",
+        }
+    }
+
+    /// MAC hash algorithm.
+    #[must_use]
+    pub const fn mac_alg(self) -> HashAlg {
+        match self {
+            CipherSuite::RsaRc4Md5 => HashAlg::Md5,
+            _ => HashAlg::Sha1,
+        }
+    }
+
+    /// Bulk-cipher key length in bytes.
+    #[must_use]
+    pub const fn key_len(self) -> usize {
+        match self {
+            CipherSuite::RsaDesCbc3Sha => 24,
+            CipherSuite::RsaDesSha => 8,
+            CipherSuite::RsaAes128Sha => 16,
+            CipherSuite::RsaAes256Sha => 32,
+            CipherSuite::RsaRc4Md5 | CipherSuite::RsaRc4Sha => 16,
+        }
+    }
+
+    /// IV length in bytes (zero for the stream cipher).
+    #[must_use]
+    pub const fn iv_len(self) -> usize {
+        match self {
+            CipherSuite::RsaDesCbc3Sha | CipherSuite::RsaDesSha => 8,
+            CipherSuite::RsaAes128Sha | CipherSuite::RsaAes256Sha => 16,
+            CipherSuite::RsaRc4Md5 | CipherSuite::RsaRc4Sha => 0,
+        }
+    }
+
+    /// Block length in bytes (`None` for the stream cipher).
+    #[must_use]
+    pub const fn block_len(self) -> Option<usize> {
+        match self {
+            CipherSuite::RsaDesCbc3Sha | CipherSuite::RsaDesSha => Some(8),
+            CipherSuite::RsaAes128Sha | CipherSuite::RsaAes256Sha => Some(16),
+            CipherSuite::RsaRc4Md5 | CipherSuite::RsaRc4Sha => None,
+        }
+    }
+
+    /// Bytes of key block this suite consumes:
+    /// `2·mac_len + 2·key_len + 2·iv_len`.
+    #[must_use]
+    pub fn key_block_len(self) -> usize {
+        2 * self.mac_alg().output_len() + 2 * self.key_len() + 2 * self.iv_len()
+    }
+
+    /// Instantiates the bulk cipher for one direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Cipher`] if `key`/`iv` have the wrong length for
+    /// the suite.
+    pub fn new_cipher(self, key: &[u8], iv: &[u8]) -> Result<BulkCipher, SslError> {
+        let cipher = match self {
+            CipherSuite::RsaDesCbc3Sha => {
+                BulkCipher::Des3Cbc(Cbc::new(Des3::new(key)?, iv.to_vec())?)
+            }
+            CipherSuite::RsaDesSha => BulkCipher::DesCbc(Cbc::new(Des::new(key)?, iv.to_vec())?),
+            CipherSuite::RsaAes128Sha | CipherSuite::RsaAes256Sha => {
+                BulkCipher::AesCbc(Cbc::new(Aes::new(key)?, iv.to_vec())?)
+            }
+            CipherSuite::RsaRc4Md5 | CipherSuite::RsaRc4Sha => BulkCipher::Rc4(Rc4::new(key)?),
+        };
+        Ok(cipher)
+    }
+}
+
+impl fmt::Display for CipherSuite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A directional bulk cipher instance (write or read state).
+#[derive(Debug, Clone)]
+pub enum BulkCipher {
+    /// 3DES-EDE in CBC mode.
+    Des3Cbc(Cbc<Des3>),
+    /// Single DES in CBC mode.
+    DesCbc(Cbc<Des>),
+    /// AES (128 or 256) in CBC mode.
+    AesCbc(Cbc<Aes>),
+    /// RC4 stream cipher.
+    Rc4(Rc4),
+}
+
+impl BulkCipher {
+    /// Block length, or `None` for the stream cipher.
+    #[must_use]
+    pub fn block_len(&self) -> Option<usize> {
+        match self {
+            BulkCipher::Des3Cbc(c) => Some(c.block_len()),
+            BulkCipher::DesCbc(c) => Some(c.block_len()),
+            BulkCipher::AesCbc(c) => Some(c.block_len()),
+            BulkCipher::Rc4(_) => None,
+        }
+    }
+
+    /// Encrypts in place. `data` must be block-aligned for CBC variants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Cipher`] on a length violation.
+    pub fn encrypt(&mut self, data: &mut [u8]) -> Result<(), SslError> {
+        match self {
+            BulkCipher::Des3Cbc(c) => c.encrypt(data)?,
+            BulkCipher::DesCbc(c) => c.encrypt(data)?,
+            BulkCipher::AesCbc(c) => c.encrypt(data)?,
+            BulkCipher::Rc4(c) => c.process(data),
+        }
+        Ok(())
+    }
+
+    /// Decrypts in place. `data` must be block-aligned for CBC variants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Cipher`] on a length violation.
+    pub fn decrypt(&mut self, data: &mut [u8]) -> Result<(), SslError> {
+        match self {
+            BulkCipher::Des3Cbc(c) => c.decrypt(data)?,
+            BulkCipher::DesCbc(c) => c.decrypt(data)?,
+            BulkCipher::AesCbc(c) => c.decrypt(data)?,
+            BulkCipher::Rc4(c) => c.process(data),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_ids_round_trip() {
+        for suite in CipherSuite::ALL {
+            assert_eq!(CipherSuite::from_wire_id(suite.wire_id()).unwrap(), suite);
+        }
+        assert_eq!(CipherSuite::from_wire_id(0xffff), Err(SslError::NoCommonCipher));
+    }
+
+    #[test]
+    fn headline_suite_matches_paper() {
+        let s = CipherSuite::RsaDesCbc3Sha;
+        assert_eq!(s.name(), "DES-CBC3-SHA");
+        assert_eq!(s.mac_alg(), HashAlg::Sha1);
+        assert_eq!(s.key_len(), 24);
+        assert_eq!(s.iv_len(), 8);
+        assert_eq!(s.block_len(), Some(8));
+        // 2*20 MAC + 2*24 key + 2*8 IV = 104
+        assert_eq!(s.key_block_len(), 104);
+    }
+
+    #[test]
+    fn key_block_lengths() {
+        assert_eq!(CipherSuite::RsaRc4Md5.key_block_len(), 2 * 16 + 2 * 16);
+        assert_eq!(CipherSuite::RsaAes128Sha.key_block_len(), 2 * 20 + 2 * 16 + 2 * 16);
+        assert_eq!(CipherSuite::RsaAes256Sha.key_block_len(), 2 * 20 + 2 * 32 + 2 * 16);
+    }
+
+    #[test]
+    fn ciphers_instantiate_and_round_trip() {
+        for suite in CipherSuite::ALL {
+            let key = vec![0x11u8; suite.key_len()];
+            let iv = vec![0x22u8; suite.iv_len()];
+            let mut enc = suite.new_cipher(&key, &iv).unwrap();
+            let mut dec = suite.new_cipher(&key, &iv).unwrap();
+            let block = suite.block_len().unwrap_or(1);
+            let mut data = vec![0x33u8; block * 4];
+            let original = data.clone();
+            enc.encrypt(&mut data).unwrap();
+            assert_ne!(data, original, "{suite}");
+            dec.decrypt(&mut data).unwrap();
+            assert_eq!(data, original, "{suite}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_length_fails() {
+        assert!(CipherSuite::RsaAes128Sha.new_cipher(&[0u8; 8], &[0u8; 16]).is_err());
+        assert!(CipherSuite::RsaDesCbc3Sha.new_cipher(&[0u8; 24], &[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CipherSuite::RsaRc4Md5.to_string(), "RC4-MD5");
+        assert_eq!(CipherSuite::RsaAes256Sha.to_string(), "AES256-SHA");
+    }
+}

@@ -1,0 +1,150 @@
+//! Handshake transcript hashing and the SSLv3 finished hashes.
+//!
+//! As the paper explains (§4.2), OpenSSL folds every handshake message into
+//! running MD5 and SHA-1 states as it is sent or received — that is why
+//! `finish_mac` shows up in almost every step of Table 2 — and finalizes
+//! them with the `CLNT`/`SRVR` sender labels for the finished messages.
+
+use sslperf_hashes::{Md5, Sha1};
+use sslperf_profile::counters;
+
+/// The sender label for the client's finished hash (`CLNT`).
+pub const SENDER_CLIENT: [u8; 4] = *b"CLNT";
+/// The sender label for the server's finished hash (`SRVR`).
+pub const SENDER_SERVER: [u8; 4] = *b"SRVR";
+
+const PAD1: u8 = 0x36;
+const PAD2: u8 = 0x5c;
+
+/// Running MD5+SHA-1 hashes over all handshake messages.
+#[derive(Debug, Clone)]
+pub struct Transcript {
+    md5: Md5,
+    sha1: Sha1,
+}
+
+impl Default for Transcript {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transcript {
+    /// Initializes both digests (the paper's `init_finished_mac`).
+    #[must_use]
+    pub fn new() -> Self {
+        counters::count("init_finished_mac", 1);
+        Transcript { md5: Md5::new(), sha1: Sha1::new() }
+    }
+
+    /// Absorbs an encoded handshake message (the paper's `finish_mac`,
+    /// called on every send and receive).
+    pub fn absorb(&mut self, message_bytes: &[u8]) {
+        counters::count("finish_mac", message_bytes.len() as u64);
+        self.md5.update(message_bytes);
+        self.sha1.update(message_bytes);
+    }
+
+    /// Computes the finished hashes for `sender` without disturbing the
+    /// running state (the paper's `final_finish_mac`):
+    ///
+    /// ```text
+    /// h = H(transcript ‖ sender ‖ master ‖ pad₁)
+    /// finished_H = H(master ‖ pad₂ ‖ h)
+    /// ```
+    #[must_use]
+    pub fn finished_hashes(&self, sender: &[u8; 4], master: &[u8]) -> ([u8; 16], [u8; 20]) {
+        counters::count("final_finish_mac", 1);
+        // MD5 side: 48 pad bytes.
+        let mut inner_md5 = self.md5.clone();
+        inner_md5.update(sender);
+        inner_md5.update(master);
+        inner_md5.update(&[PAD1; 48]);
+        let mut outer_md5 = Md5::new();
+        outer_md5.update(master);
+        outer_md5.update(&[PAD2; 48]);
+        outer_md5.update(&inner_md5.finalize());
+        // SHA-1 side: 40 pad bytes.
+        let mut inner_sha = self.sha1.clone();
+        inner_sha.update(sender);
+        inner_sha.update(master);
+        inner_sha.update(&[PAD1; 40]);
+        let mut outer_sha = Sha1::new();
+        outer_sha.update(master);
+        outer_sha.update(&[PAD2; 40]);
+        outer_sha.update(&inner_sha.finalize());
+        (outer_md5.finalize(), outer_sha.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_transcript_same_hashes() {
+        let mut a = Transcript::new();
+        let mut b = Transcript::new();
+        for msg in [b"msg-one".as_slice(), b"msg-two"] {
+            a.absorb(msg);
+            b.absorb(msg);
+        }
+        assert_eq!(
+            a.finished_hashes(&SENDER_CLIENT, b"master"),
+            b.finished_hashes(&SENDER_CLIENT, b"master")
+        );
+    }
+
+    #[test]
+    fn sender_label_changes_hashes() {
+        let mut t = Transcript::new();
+        t.absorb(b"hello");
+        let client = t.finished_hashes(&SENDER_CLIENT, b"master");
+        let server = t.finished_hashes(&SENDER_SERVER, b"master");
+        assert_ne!(client.0, server.0);
+        assert_ne!(client.1, server.1);
+    }
+
+    #[test]
+    fn master_secret_changes_hashes() {
+        let mut t = Transcript::new();
+        t.absorb(b"hello");
+        assert_ne!(
+            t.finished_hashes(&SENDER_CLIENT, b"master-a").0,
+            t.finished_hashes(&SENDER_CLIENT, b"master-b").0
+        );
+    }
+
+    #[test]
+    fn finished_does_not_disturb_running_state() {
+        let mut t = Transcript::new();
+        t.absorb(b"one");
+        let before = t.finished_hashes(&SENDER_CLIENT, b"m");
+        let again = t.finished_hashes(&SENDER_CLIENT, b"m");
+        assert_eq!(before, again, "finished_hashes must be repeatable");
+        t.absorb(b"two");
+        let after = t.finished_hashes(&SENDER_CLIENT, b"m");
+        assert_ne!(before, after, "absorbing changes the transcript");
+    }
+
+    #[test]
+    fn absorb_order_matters() {
+        let mut ab = Transcript::new();
+        ab.absorb(b"a");
+        ab.absorb(b"b");
+        let mut ba = Transcript::new();
+        ba.absorb(b"b");
+        ba.absorb(b"a");
+        assert_ne!(
+            ab.finished_hashes(&SENDER_CLIENT, b"m"),
+            ba.finished_hashes(&SENDER_CLIENT, b"m")
+        );
+        // But chunking does not matter (streaming property).
+        let mut chunked = Transcript::new();
+        chunked.absorb(b"ab");
+        assert_eq!(
+            ab.finished_hashes(&SENDER_CLIENT, b"m"),
+            chunked.finished_hashes(&SENDER_CLIENT, b"m")
+        );
+    }
+}

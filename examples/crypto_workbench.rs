@@ -1,0 +1,26 @@
+//! The crypto-operation anatomy: Figure 3 and Tables 4–12 — everything the
+//! paper measures below the protocol layer, including the ISA-level
+//! instruction mixes from the simulator.
+//!
+//! Run with: `cargo run --release --example crypto_workbench [--quick]`
+
+use sslperf::experiments::{arch, hashes, rsa, symmetric};
+use sslperf::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ctx = if quick { Context::quick() } else { Context::paper() };
+
+    println!("{}", symmetric::fig3(&ctx));
+    println!("{}", symmetric::table4());
+    println!();
+    println!("{}", symmetric::table5(&ctx));
+    println!("{}", symmetric::table6(&ctx));
+    println!("{}", rsa::table7(&ctx));
+    println!("{}", rsa::table8(&ctx));
+    println!("{}", arch::table9());
+    println!();
+    println!("{}", hashes::table10(&ctx));
+    println!("{}", arch::table11(&ctx));
+    println!("{}", arch::table12(&ctx));
+}

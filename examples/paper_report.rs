@@ -1,0 +1,21 @@
+//! Regenerates every table and figure of the paper in one run — the
+//! harness behind `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run --release --example paper_report [--quick]`
+
+use sslperf::experiments;
+use sslperf::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ctx = if quick { Context::quick() } else { Context::paper() };
+    println!(
+        "Anatomy and Performance of SSL Processing (ISPASS 2005) — full reproduction\n\
+         context: RSA-{} server key, {} iterations, suite {}\n",
+        ctx.key_bits(),
+        ctx.iterations(),
+        ctx.suite()
+    );
+    let report = experiments::run_all(&ctx);
+    println!("{report}");
+}

@@ -1,0 +1,55 @@
+//! Reproduces the paper's web-server study: Table 1 (component breakdown
+//! of an HTTPS transaction) and Figure 2 (crypto-library split vs request
+//! file size), on the in-memory Apache+mod_ssl stand-in.
+//!
+//! Run with: `cargo run --release --example secure_web_server [--quick]`
+
+use sslperf::experiments::webserver;
+use sslperf::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ctx = if quick { Context::quick() } else { Context::paper() };
+
+    println!("{}", webserver::table1(&ctx));
+    println!();
+    println!("{}", webserver::fig2(&ctx));
+
+    // A qualitative sweep the paper's intro motivates: banking-style (tiny
+    // responses, handshake-dominated) vs B2B-style (large transfers,
+    // bulk-encryption-dominated) workloads.
+    println!("Workload character sweep (DES-CBC3-SHA):");
+    let server = SecureWebServer::new(ctx.server_config(), ctx.suite());
+    ctx.server_config().clear_session_cache();
+    for (label, size) in [("banking (1 KB)", 1024), ("portal (16 KB)", 16 * 1024), ("B2B (128 KB)", 128 * 1024)] {
+        let report = server.run_with_session(size, size as u64, None).expect("transaction");
+        println!(
+            "  {label:<16} ssl={:5.1}%  public-key share of crypto={:5.1}%  private={:5.1}%",
+            report.ssl_percent(),
+            report.crypto_categories.percent("public"),
+            report.crypto_categories.percent("private"),
+        );
+    }
+
+    // The paper's driver methodology: concurrent clients keeping the server
+    // >90% loaded, with and without session reuse.
+    println!("\nLoaded-server runs (4 clients × 8 transactions, 1 KB):");
+    use sslperf::websim::loadgen;
+    ctx.server_config().clear_session_cache();
+    let fresh = loadgen::run_loaded(&server, 1024, 4, 8).expect("load run");
+    println!(
+        "  all-fresh sessions:  {:.1} transactions/s ({} txns, crypto {})",
+        fresh.transactions_per_second(),
+        fresh.transactions,
+        fresh.components.cycles("libcrypto"),
+    );
+    ctx.server_config().clear_session_cache();
+    let reused = loadgen::run_with_resumption(&server, 1024, 4, 7).expect("mixed run");
+    println!(
+        "  1 full + 7 resumed:  {:.1} transactions/s ({} txns, {} resumed, crypto {})",
+        reused.transactions_per_second(),
+        reused.transactions,
+        reused.resumed,
+        reused.components.cycles("libcrypto"),
+    );
+}

@@ -1,0 +1,19 @@
+//! # sslperf — Anatomy and Performance of SSL Processing, reproduced in Rust
+//!
+//! This is the façade crate for the workspace reproducing Zhao, Iyer,
+//! Makineni and Bhuyan, *Anatomy and Performance of SSL Processing*
+//! (ISPASS 2005). It re-exports [`sslperf_core`], whose documentation is the
+//! entry point for the whole system.
+//!
+//! # Examples
+//!
+//! ```
+//! use sslperf::prelude::*;
+//!
+//! let suite = CipherSuite::RsaDesCbc3Sha;
+//! assert_eq!(suite.name(), "DES-CBC3-SHA");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sslperf_core::*;

@@ -1,0 +1,89 @@
+//! Cross-crate integration: certificates, RSA and the bignum substrate as
+//! a downstream user would combine them.
+
+use sslperf::bignum::{Bn, MontCtx};
+use sslperf::prelude::*;
+use sslperf::rsa::x509::Certificate;
+use std::sync::OnceLock;
+
+fn ca_key() -> &'static RsaPrivateKey {
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = SslRng::from_seed(b"cert-integration-ca");
+        RsaPrivateKey::generate(512, &mut rng).expect("keygen")
+    })
+}
+
+#[test]
+fn certificate_chain_of_trust() {
+    let ca = ca_key();
+    let mut rng = SslRng::from_seed(b"leaf-key");
+    let leaf = RsaPrivateKey::generate(256, &mut rng).expect("keygen");
+
+    let cert = Certificate::issue("www.shop.test", leaf.public_key(), "Test CA", ca, 2004, 2008)
+        .expect("issue");
+    // Round-trip the wire form, verify against the CA, then use the
+    // certified key for an RSA exchange — the ClientKeyExchange pattern.
+    let parsed = Certificate::from_bytes(&cert.to_bytes()).expect("parse");
+    parsed.verify(ca.public_key()).expect("chain verifies");
+    assert_eq!(parsed.subject(), "www.shop.test");
+    assert_eq!(parsed.issuer(), "Test CA");
+    assert!(parsed.valid_at(2005));
+
+    let certified = parsed.public_key().expect("embedded key");
+    let mut client_rng = SslRng::from_seed(b"exchange");
+    let ciphertext = certified.encrypt_pkcs1(b"pre-master!", &mut client_rng).expect("encrypt");
+    assert_eq!(leaf.decrypt_pkcs1(&ciphertext).expect("decrypt"), b"pre-master!");
+}
+
+#[test]
+fn forged_certificate_caught() {
+    let ca = ca_key();
+    let mut rng = SslRng::from_seed(b"mallory");
+    let mallory = RsaPrivateKey::generate(512, &mut rng).expect("keygen");
+    // Mallory self-signs a certificate claiming the CA as issuer.
+    let forged =
+        Certificate::issue("www.shop.test", mallory.public_key(), "Test CA", &mallory, 2004, 2008)
+            .expect("issue");
+    assert!(forged.verify(ca.public_key()).is_err(), "CA signature check must fail");
+}
+
+#[test]
+fn rsa_homomorphism_under_raw_ops() {
+    // Textbook RSA is multiplicatively homomorphic — a good end-to-end
+    // algebra check across rsa + bignum.
+    let key = ca_key();
+    let n = key.modulus();
+    let m1 = Bn::from_u64(123_456_789);
+    let m2 = Bn::from_u64(987_654_321);
+    let c1 = key.public_key().raw_encrypt(&m1).expect("in range");
+    let c2 = key.public_key().raw_encrypt(&m2).expect("in range");
+    let c_product = c1.mod_mul(&c2, n);
+    let decrypted = key.raw_decrypt(&c_product).expect("in range");
+    assert_eq!(decrypted, m1.mod_mul(&m2, n));
+}
+
+#[test]
+fn montgomery_context_matches_public_operation() {
+    let key = ca_key();
+    let ctx = MontCtx::new(key.modulus()).expect("odd modulus");
+    let m = Bn::from_u64(0x1122_3344_5566_7788);
+    let via_ctx = ctx.mod_exp(&m, key.public_key().exponent());
+    let via_key = key.public_key().raw_encrypt(&m).expect("in range");
+    assert_eq!(via_ctx, via_key);
+}
+
+#[test]
+fn signature_binds_message_and_key() {
+    let key = ca_key();
+    let sig = key.sign_pkcs1(HashAlg::Sha1, b"release-v1.0.tar.gz").expect("sign");
+    key.public_key().verify_pkcs1(HashAlg::Sha1, b"release-v1.0.tar.gz", &sig).expect("verifies");
+    // Different message fails.
+    assert!(key.public_key().verify_pkcs1(HashAlg::Sha1, b"release-v1.1.tar.gz", &sig).is_err());
+    // Different key fails.
+    let mut rng = SslRng::from_seed(b"other-key");
+    let other = RsaPrivateKey::generate(512, &mut rng).expect("keygen");
+    assert!(other.public_key().verify_pkcs1(HashAlg::Sha1, b"release-v1.0.tar.gz", &sig).is_err());
+    // Different hash algorithm fails.
+    assert!(key.public_key().verify_pkcs1(HashAlg::Md5, b"release-v1.0.tar.gz", &sig).is_err());
+}

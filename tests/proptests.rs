@@ -1,0 +1,181 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sslperf::bignum::Bn;
+use sslperf::prelude::*;
+
+fn bn_from(words: &[u32]) -> Bn {
+    Bn::from_words(words)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- bignum ring axioms ----
+
+    #[test]
+    fn add_commutes(a in vec(any::<u32>(), 0..8), b in vec(any::<u32>(), 0..8)) {
+        let (a, b) = (bn_from(&a), bn_from(&b));
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_then_sub_is_identity(a in vec(any::<u32>(), 0..8), b in vec(any::<u32>(), 0..8)) {
+        let (a, b) = (bn_from(&a), bn_from(&b));
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes(
+        a in vec(any::<u32>(), 0..6),
+        b in vec(any::<u32>(), 0..6),
+        c in vec(any::<u32>(), 0..6),
+    ) {
+        let (a, b, c) = (bn_from(&a), bn_from(&b), bn_from(&c));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn division_reconstructs(a in vec(any::<u32>(), 0..10), b in vec(1u32.., 1..6)) {
+        let (a, b) = (bn_from(&a), bn_from(&b));
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let product = Bn::from_u64(a).mul(&Bn::from_u64(b));
+        let expect = u128::from(a) * u128::from(b);
+        let got = u128::from_str_radix(&product.to_hex(), 16).expect("hex parses");
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mod_exp_matches_naive(base in any::<u64>(), exp in 0u32..64, modulus in 3u64..1_000_000) {
+        let m = Bn::from_u64(modulus | 1); // odd
+        let got = Bn::from_u64(base).mod_exp(&Bn::from_u64(u64::from(exp)), &m);
+        let expect = Bn::from_u64(base).mod_exp_simple(&Bn::from_u64(u64::from(exp)), &m);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bytes_round_trip(bytes in vec(any::<u8>(), 0..64)) {
+        let bn = Bn::from_bytes_be(&bytes);
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        prop_assert_eq!(bn.to_bytes_be(), &bytes[skip..]);
+    }
+
+    // ---- ciphers ----
+
+    #[test]
+    fn aes_round_trips(key in vec(any::<u8>(), 16..=16), block in vec(any::<u8>(), 16..=16)) {
+        let aes = Aes::new(&key).expect("16-byte key");
+        let mut buf: [u8; 16] = block.clone().try_into().expect("16 bytes");
+        aes.encrypt_block(&mut buf);
+        aes.decrypt_block(&mut buf);
+        prop_assert_eq!(buf.to_vec(), block);
+    }
+
+    #[test]
+    fn des3_round_trips(key in vec(any::<u8>(), 24..=24), block in vec(any::<u8>(), 8..=8)) {
+        let des3 = Des3::new(&key).expect("24-byte key");
+        let mut buf: [u8; 8] = block.clone().try_into().expect("8 bytes");
+        des3.encrypt_block(&mut buf);
+        des3.decrypt_block(&mut buf);
+        prop_assert_eq!(buf.to_vec(), block);
+    }
+
+    #[test]
+    fn cbc_round_trips(
+        key in vec(any::<u8>(), 16..=16),
+        iv in vec(any::<u8>(), 16..=16),
+        blocks in 1usize..8,
+        seed in any::<u8>(),
+    ) {
+        let data: Vec<u8> = (0..blocks * 16).map(|i| seed.wrapping_add(i as u8)).collect();
+        let mut enc = Cbc::new(Aes::new(&key).expect("key"), iv.clone()).expect("iv");
+        let mut dec = Cbc::new(Aes::new(&key).expect("key"), iv).expect("iv");
+        let mut buf = data.clone();
+        enc.encrypt(&mut buf).expect("aligned");
+        dec.decrypt(&mut buf).expect("aligned");
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn rc4_is_involutive(key in vec(any::<u8>(), 1..64), data in vec(any::<u8>(), 0..256)) {
+        let mut a = Rc4::new(&key).expect("key");
+        let mut b = Rc4::new(&key).expect("key");
+        let mut buf = data.clone();
+        a.process(&mut buf);
+        b.process(&mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    // ---- hashes ----
+
+    #[test]
+    fn streaming_equals_oneshot(data in vec(any::<u8>(), 0..512), cut in any::<prop::sample::Index>()) {
+        let split = cut.index(data.len() + 1);
+        let mut md5 = Md5::new();
+        md5.update(&data[..split]);
+        md5.update(&data[split..]);
+        prop_assert_eq!(md5.finalize(), Md5::digest(&data));
+        let mut sha = Sha1::new();
+        sha.update(&data[..split]);
+        sha.update(&data[split..]);
+        prop_assert_eq!(sha.finalize(), Sha1::digest(&data));
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_keyed(
+        key in vec(any::<u8>(), 0..100),
+        data in vec(any::<u8>(), 0..200),
+    ) {
+        let a = Hmac::mac(HashAlg::Sha1, &key, &data);
+        let b = Hmac::mac(HashAlg::Sha1, &key, &data);
+        prop_assert_eq!(&a, &b);
+        let mut other_key = key.clone();
+        other_key.push(1);
+        prop_assert_ne!(a, Hmac::mac(HashAlg::Sha1, &other_key, &data));
+    }
+
+    // ---- record layer ----
+
+    #[test]
+    fn record_layer_round_trips_any_payload(
+        payload in vec(any::<u8>(), 0..4096),
+        suite_idx in 0usize..6,
+    ) {
+        let suite = CipherSuite::ALL[suite_idx];
+        let key = vec![0x42u8; suite.key_len()];
+        let iv = vec![0x17u8; suite.iv_len()];
+        let mac = vec![0x5au8; suite.mac_alg().output_len()];
+        let mut tx = sslperf::ssl::RecordLayer::new();
+        tx.activate_write(suite.new_cipher(&key, &iv).expect("cipher"), suite.mac_alg(), mac.clone());
+        let mut rx = sslperf::ssl::RecordLayer::new();
+        rx.activate_read(suite.new_cipher(&key, &iv).expect("cipher"), suite.mac_alg(), mac);
+        let wire = tx.seal(sslperf::ssl::ContentType::ApplicationData, &payload).expect("seal");
+        let opened = rx.open_all(&wire).expect("open");
+        let glued: Vec<u8> = opened.into_iter().flat_map(|(_, d)| d).collect();
+        prop_assert_eq!(glued, payload);
+    }
+
+    // ---- SSLv3 KDF ----
+
+    #[test]
+    fn kdf_output_deterministic_and_sensitive(
+        secret in vec(any::<u8>(), 1..64),
+        r1 in vec(any::<u8>(), 32..=32),
+        r2 in vec(any::<u8>(), 32..=32),
+    ) {
+        let a = sslperf::ssl::kdf::derive(&secret, &r1, &r2, 64);
+        prop_assert_eq!(&a, &sslperf::ssl::kdf::derive(&secret, &r1, &r2, 64));
+        let mut secret2 = secret.clone();
+        secret2[0] ^= 1;
+        prop_assert_ne!(a, sslperf::ssl::kdf::derive(&secret2, &r1, &r2, 64));
+    }
+}
