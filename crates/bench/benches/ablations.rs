@@ -141,8 +141,7 @@ fn ablate_crypto_engine(c: &mut Criterion) {
             // The engine overlaps MAC with the encryption of the data part,
             // then encrypts the trailing MAC+padding (paper Figure 6).
             let (tag, encrypted_data) = std::thread::scope(|s| {
-                let mac_task =
-                    s.spawn(|| ssl3_mac::compute(HashAlg::Sha1, &secret, 1, 23, &data));
+                let mac_task = s.spawn(|| ssl3_mac::compute(HashAlg::Sha1, &secret, 1, 23, &data));
                 let mut buf = data.clone();
                 cbc.encrypt(&mut buf).expect("aligned");
                 (mac_task.join().expect("mac thread"), buf)

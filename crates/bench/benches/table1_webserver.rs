@@ -37,9 +37,8 @@ fn bench_resumed_transaction(c: &mut Criterion) {
         let mut seed = 1000u64;
         b.iter(|| {
             seed += 1;
-            let report = server
-                .run_with_session(1024, seed, Some(session.clone()))
-                .expect("transaction");
+            let report =
+                server.run_with_session(1024, seed, Some(session.clone())).expect("transaction");
             assert!(report.resumed);
             black_box(report);
         });

@@ -148,5 +148,12 @@ fn bench_cbc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_key_setup, bench_aes_phases, bench_des_phases, bench_bulk, bench_cbc);
+criterion_group!(
+    benches,
+    bench_key_setup,
+    bench_aes_phases,
+    bench_des_phases,
+    bench_bulk,
+    bench_cbc
+);
 criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Real-socket serving workloads: full and resumed HTTPS transactions
+//! against the `sslperf-net` worker-pool server, plus the handshake-only
+//! connect path. The in-memory `table1_webserver` benches time the same
+//! anatomy without a kernel socket in the loop; the delta is the serving
+//! substrate's overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sslperf_core::net::{ServerOptions, TcpSslServer};
+use sslperf_core::prelude::*;
+use sslperf_core::ssl::ClientSession;
+use sslperf_core::websim::http::{HttpRequest, HttpResponse};
+use std::hint::black_box;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+
+const FILE_SIZE: usize = 1024;
+
+/// One shared server for every bench in this target.
+fn server() -> &'static TcpSslServer {
+    static SERVER: OnceLock<TcpSslServer> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let mut rng = SslRng::from_seed(b"bench-tcp-server");
+        let key = RsaPrivateKey::generate(1024, &mut rng).expect("keygen");
+        TcpSslServer::start(key, "bench.sslperf.test", &ServerOptions::default())
+            .expect("server start")
+    })
+}
+
+/// Connects, handshakes (resuming when a session is given), fetches one
+/// document, and closes; returns the session for later resumption.
+fn transaction(addr: SocketAddr, seed: u64, session: Option<&ClientSession>) -> ClientSession {
+    let rng = SslRng::from_seed(format!("bench-tcp-client-{seed}").as_bytes());
+    let mut client = match session {
+        Some(s) => SslClient::resuming(s.clone(), rng),
+        None => SslClient::new(CipherSuite::RsaDesCbc3Sha, rng),
+    };
+    let mut socket = TcpStream::connect(addr).expect("connect");
+    socket.set_nodelay(true).expect("nodelay");
+    client.handshake_transport(&mut socket).expect("handshake");
+    let request = HttpRequest::get(&format!("/doc_{FILE_SIZE}.bin"));
+    client.send(&mut socket, &request.to_bytes()).expect("request");
+    let mut body = Vec::new();
+    let response = loop {
+        body.extend(client.recv(&mut socket).expect("response record"));
+        if let Ok(response) = HttpResponse::parse(&body) {
+            break response;
+        }
+    };
+    assert_eq!(response.body().len(), FILE_SIZE);
+    let session = client.session().expect("established");
+    client.close_transport(&mut socket).expect("close");
+    session
+}
+
+fn bench_full_transaction(c: &mut Criterion) {
+    let addr = server().local_addr();
+    let mut group = c.benchmark_group("tcp_serving/full");
+    group.sample_size(10);
+    group.bench_function("handshake+1KB", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(transaction(addr, seed, None));
+        });
+    });
+    group.finish();
+}
+
+fn bench_resumed_transaction(c: &mut Criterion) {
+    let addr = server().local_addr();
+    let session = transaction(addr, 999_999, None);
+    let mut group = c.benchmark_group("tcp_serving/resumed");
+    group.sample_size(20);
+    group.bench_function("resume+1KB", |b| {
+        let mut seed = 1_000_000u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(transaction(addr, seed, Some(&session)));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_transaction, bench_resumed_transaction);
+criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! | `table10_hashes` | Table 10 (MD5/SHA-1 phases, MACs) |
 //! | `table11_isasim` | Tables 9, 11, 12 (ISA simulation kernels) |
 //! | `ablations` | DESIGN.md §6 design-choice ablations |
+//! | `tcp_serving` | §3–4 loaded server over real sockets (`sslperf-net`) |
 //!
 //! The printed *tables* themselves come from
 //! `cargo run --release --example paper_report`; these benches provide the
@@ -52,9 +53,8 @@ pub fn key(bits: usize) -> &'static RsaPrivateKey {
 #[must_use]
 pub fn server_config() -> &'static ServerConfig {
     static CONFIG: OnceLock<ServerConfig> = OnceLock::new();
-    CONFIG.get_or_init(|| {
-        ServerConfig::new(key(1024).clone(), "bench.sslperf.test").expect("config")
-    })
+    CONFIG
+        .get_or_init(|| ServerConfig::new(key(1024).clone(), "bench.sslperf.test").expect("config"))
 }
 
 /// Runs one full handshake against `config`, returning the established
@@ -69,8 +69,7 @@ pub fn handshake(
     suite: CipherSuite,
     seed: u64,
 ) -> (SslClient, SslServer<'_>) {
-    let mut client =
-        SslClient::new(suite, SslRng::from_seed(format!("bench-c-{seed}").as_bytes()));
+    let mut client = SslClient::new(suite, SslRng::from_seed(format!("bench-c-{seed}").as_bytes()));
     let mut server =
         SslServer::new(config, SslRng::from_seed(format!("bench-s-{seed}").as_bytes()));
     let f1 = client.hello().expect("hello");

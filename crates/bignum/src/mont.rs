@@ -331,10 +331,7 @@ mod tests {
         let n = Bn::from_u64(101);
         let ctx = MontCtx::new(&n).unwrap();
         let exp = bn("123456789abcdef0123456789abcdef0");
-        assert_eq!(
-            ctx.mod_exp(&Bn::from_u64(3), &exp),
-            Bn::from_u64(3).mod_exp_simple(&exp, &n)
-        );
+        assert_eq!(ctx.mod_exp(&Bn::from_u64(3), &exp), Bn::from_u64(3).mod_exp_simple(&exp, &n));
     }
 
     #[test]

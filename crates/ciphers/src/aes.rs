@@ -105,8 +105,18 @@ pub(crate) fn sbox_table() -> &'static [u8; 256] {
     &tables().sbox
 }
 
-const RCON: [u32; 10] =
-    [0x0100_0000, 0x0200_0000, 0x0400_0000, 0x0800_0000, 0x1000_0000, 0x2000_0000, 0x4000_0000, 0x8000_0000, 0x1b00_0000, 0x3600_0000];
+const RCON: [u32; 10] = [
+    0x0100_0000,
+    0x0200_0000,
+    0x0400_0000,
+    0x0800_0000,
+    0x1000_0000,
+    0x2000_0000,
+    0x4000_0000,
+    0x8000_0000,
+    0x1b00_0000,
+    0x3600_0000,
+];
 
 fn sub_word(w: u32) -> u32 {
     let t = tables();
@@ -407,8 +417,7 @@ mod tests {
     fn fips197_aes128() {
         let key = from_hex("000102030405060708090a0b0c0d0e0f");
         let aes = Aes::new(&key).unwrap();
-        let mut block: [u8; 16] =
-            from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
         aes.encrypt_block(&mut block);
         assert_eq!(block.to_vec(), from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
         aes.decrypt_block(&mut block);
@@ -421,8 +430,7 @@ mod tests {
         let key = from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
         let aes = Aes::new(&key).unwrap();
         assert_eq!(aes.rounds(), 12);
-        let mut block: [u8; 16] =
-            from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
         aes.encrypt_block(&mut block);
         assert_eq!(block.to_vec(), from_hex("dda97ca4864cdfe06eaf70a0ec0d7191"));
     }
@@ -433,8 +441,7 @@ mod tests {
         let key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
         let aes = Aes::new(&key).unwrap();
         assert_eq!(aes.rounds(), 14);
-        let mut block: [u8; 16] =
-            from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
         aes.encrypt_block(&mut block);
         assert_eq!(block.to_vec(), from_hex("8ea2b7ca516745bfeafc49904b496089"));
         aes.decrypt_block(&mut block);
@@ -446,8 +453,7 @@ mod tests {
     fn fips197_appendix_b() {
         let key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
         let aes = Aes::new(&key).unwrap();
-        let mut block: [u8; 16] =
-            from_hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let mut block: [u8; 16] = from_hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
         aes.encrypt_block(&mut block);
         assert_eq!(block.to_vec(), from_hex("3925841d02dc09fbdc118597196a0b32"));
     }

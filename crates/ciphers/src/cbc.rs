@@ -205,14 +205,8 @@ mod tests {
     fn rejects_misaligned_data_and_iv() {
         let mut cbc = Cbc::new(Aes::new(&[0u8; 16]).unwrap(), vec![0u8; 16]).unwrap();
         let mut bad = [0u8; 15];
-        assert_eq!(
-            cbc.encrypt(&mut bad),
-            Err(CipherError::InvalidDataLen { got: 15, block: 16 })
-        );
-        assert_eq!(
-            cbc.decrypt(&mut bad),
-            Err(CipherError::InvalidDataLen { got: 15, block: 16 })
-        );
+        assert_eq!(cbc.encrypt(&mut bad), Err(CipherError::InvalidDataLen { got: 15, block: 16 }));
+        assert_eq!(cbc.decrypt(&mut bad), Err(CipherError::InvalidDataLen { got: 15, block: 16 }));
         assert!(Cbc::new(Aes::new(&[0u8; 16]).unwrap(), vec![0u8; 8]).is_err());
     }
 

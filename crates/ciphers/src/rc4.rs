@@ -5,7 +5,7 @@
 //! generation loop that reads the table three times and updates it twice,
 //! with AND/ADD/XOR as the main operations.
 
-use crate::{CipherError};
+use crate::CipherError;
 use sslperf_profile::counters;
 
 /// RC4 keystream generator and in-place cipher.

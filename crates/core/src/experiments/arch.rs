@@ -1,6 +1,7 @@
 //! Tables 9, 11 and 12: architectural characteristics of the crypto
 //! operations, via the ISA simulator plus native throughput measurement.
 
+use crate::experiments::ExperimentError;
 use crate::Context;
 use sslperf_ciphers::{Aes, BlockCipher, Des, Des3, Rc4};
 use sslperf_hashes::{Md5, Sha1};
@@ -105,13 +106,13 @@ fn throughput(bytes: usize, cycles: u64) -> f64 {
     bytes as f64 * REF_HZ / cycles as f64 / 1e6
 }
 
-fn native_bulk_throughput(ctx: &Context, name: &str) -> f64 {
+fn native_bulk_throughput(ctx: &Context, name: &str) -> Result<f64, ExperimentError> {
     let s = (ctx.iterations() as u32).clamp(2, 8);
     let size = 64 * 1024;
     let mut buf = vec![0x42u8; size];
     let cycles = match name {
         "AES" => {
-            let aes = Aes::new(&[7u8; 16]).expect("valid key");
+            let aes = Aes::new(&[7u8; 16])?;
             measure_min(s, 1, || {
                 for b in buf.chunks_exact_mut(16) {
                     aes.encrypt_block(b);
@@ -119,7 +120,7 @@ fn native_bulk_throughput(ctx: &Context, name: &str) -> f64 {
             })
         }
         "DES" => {
-            let des = Des::new(&[7u8; 8]).expect("valid key");
+            let des = Des::new(&[7u8; 8])?;
             measure_min(s, 1, || {
                 for b in buf.chunks_exact_mut(8) {
                     des.encrypt_block(b);
@@ -127,7 +128,7 @@ fn native_bulk_throughput(ctx: &Context, name: &str) -> f64 {
             })
         }
         "3DES" => {
-            let des3 = Des3::new(&[7u8; 24]).expect("valid key");
+            let des3 = Des3::new(&[7u8; 24])?;
             measure_min(s, 1, || {
                 for b in buf.chunks_exact_mut(8) {
                     des3.encrypt_block(b);
@@ -135,7 +136,7 @@ fn native_bulk_throughput(ctx: &Context, name: &str) -> f64 {
             })
         }
         "RC4" => {
-            let mut rc4 = Rc4::new(&[7u8; 16]).expect("valid key");
+            let mut rc4 = Rc4::new(&[7u8; 16])?;
             measure_min(s, 1, || {
                 rc4.process(&mut buf);
             })
@@ -148,22 +149,21 @@ fn native_bulk_throughput(ctx: &Context, name: &str) -> f64 {
         }),
         _ => unreachable!("RSA handled separately"),
     };
-    throughput(size, cycles.get())
+    Ok(throughput(size, cycles.get()))
 }
 
 /// Builds the composite RSA instruction profile: counts the word-kernel
 /// calls of a real 1024-bit decryption, then prices each kernel with a
 /// linear model fitted from two IR simulations (setup + per-word cost).
-fn rsa_arch_row(ctx: &Context) -> ArchRow {
+fn rsa_arch_row(ctx: &Context) -> Result<ArchRow, ExperimentError> {
     let key = ctx.key_1024();
     let mut rng = ctx.rng("arch-rsa");
-    let cipher =
-        key.public_key().encrypt_pkcs1(b"probe", &mut rng).expect("message fits");
+    let cipher = key.public_key().encrypt_pkcs1(b"probe", &mut rng)?;
     let mut scratch = PhaseSet::new();
     let mut rng2 = ctx.rng("arch-rsa-run");
-    let (_, snap) = counters::counted(|| {
-        key.decrypt_instrumented(&cipher, &mut rng2, &mut scratch).expect("decrypts")
-    });
+    let (counted, snap) =
+        counters::counted(|| key.decrypt_instrumented(&cipher, &mut rng2, &mut scratch));
+    counted?;
 
     let mut total = RunStats::default();
     // Linear model per kernel: stats(n words) = setup + n * per_word.
@@ -216,22 +216,21 @@ fn rsa_arch_row(ctx: &Context) -> ArchRow {
         black_box(key.decrypt_pkcs1(&cipher)).ok();
     });
     let bytes = key.modulus_bytes();
-    ArchRow {
+    Ok(ArchRow {
         name: "RSA",
         cpi: total.cpi(),
         path_length: total.instructions as f64 / bytes as f64,
         throughput_mbps: throughput(bytes, cycles.get()),
         mix: total.mix,
-    }
+    })
 }
 
 /// Runs the Table 11 experiment.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a simulation or decryption fails.
-#[must_use]
-pub fn table11(ctx: &Context) -> Table11 {
+/// Propagates cipher construction and RSA failures.
+pub fn table11(ctx: &Context) -> Result<Table11, ExperimentError> {
     let mut rows = Vec::new();
     // Symmetric and hash kernels: simulate enough payload for stable rates.
     let aes = kernels::aes::simulate(8);
@@ -239,7 +238,7 @@ pub fn table11(ctx: &Context) -> Table11 {
         name: "AES",
         cpi: aes.cpi(),
         path_length: aes.instructions as f64 / (8.0 * 16.0),
-        throughput_mbps: native_bulk_throughput(ctx, "AES"),
+        throughput_mbps: native_bulk_throughput(ctx, "AES")?,
         mix: aes.mix,
     });
     let des = kernels::des::simulate_des(8);
@@ -247,7 +246,7 @@ pub fn table11(ctx: &Context) -> Table11 {
         name: "DES",
         cpi: des.cpi(),
         path_length: des.instructions as f64 / (8.0 * 8.0),
-        throughput_mbps: native_bulk_throughput(ctx, "DES"),
+        throughput_mbps: native_bulk_throughput(ctx, "DES")?,
         mix: des.mix,
     });
     let des3 = kernels::des::simulate_des3(8);
@@ -255,7 +254,7 @@ pub fn table11(ctx: &Context) -> Table11 {
         name: "3DES",
         cpi: des3.cpi(),
         path_length: des3.instructions as f64 / (8.0 * 8.0),
-        throughput_mbps: native_bulk_throughput(ctx, "3DES"),
+        throughput_mbps: native_bulk_throughput(ctx, "3DES")?,
         mix: des3.mix,
     });
     let rc4 = kernels::rc4::simulate(b"archkey", 512);
@@ -263,16 +262,16 @@ pub fn table11(ctx: &Context) -> Table11 {
         name: "RC4",
         cpi: rc4.cpi(),
         path_length: rc4.instructions as f64 / 512.0,
-        throughput_mbps: native_bulk_throughput(ctx, "RC4"),
+        throughput_mbps: native_bulk_throughput(ctx, "RC4")?,
         mix: rc4.mix,
     });
-    rows.push(rsa_arch_row(ctx));
+    rows.push(rsa_arch_row(ctx)?);
     let md5 = kernels::md5::simulate(8);
     rows.push(ArchRow {
         name: "MD5",
         cpi: md5.cpi(),
         path_length: md5.instructions as f64 / (8.0 * 64.0),
-        throughput_mbps: native_bulk_throughput(ctx, "MD5"),
+        throughput_mbps: native_bulk_throughput(ctx, "MD5")?,
         mix: md5.mix,
     });
     let sha1 = kernels::sha1::simulate(8);
@@ -280,13 +279,13 @@ pub fn table11(ctx: &Context) -> Table11 {
         name: "SHA-1",
         cpi: sha1.cpi(),
         path_length: sha1.instructions as f64 / (8.0 * 64.0),
-        throughput_mbps: native_bulk_throughput(ctx, "SHA-1"),
+        throughput_mbps: native_bulk_throughput(ctx, "SHA-1")?,
         mix: sha1.mix,
     });
     // Keep paper column order.
     let order = |name: &str| ALGORITHMS.iter().position(|n| *n == name).unwrap_or(usize::MAX);
     rows.sort_by_key(|r| order(r.name));
-    Table11 { rows }
+    Ok(Table11 { rows })
 }
 
 /// Table 12: the top-ten dynamic instructions per algorithm.
@@ -300,11 +299,7 @@ impl Table12 {
     /// The top-ten mix for one algorithm.
     #[must_use]
     pub fn top_ten(&self, name: &str) -> Vec<(&'static str, f64)> {
-        self.rows
-            .iter()
-            .find(|r| r.name == name)
-            .map(|r| r.mix.top(10))
-            .unwrap_or_default()
+        self.rows.iter().find(|r| r.name == name).map(|r| r.mix.top(10)).unwrap_or_default()
     }
 }
 
@@ -321,10 +316,7 @@ impl fmt::Display for Table12 {
         for rank in 0..10 {
             let mut row = vec![format!("{}", rank + 1)];
             for top in &tops {
-                row.push(
-                    top.get(rank)
-                        .map_or_else(String::new, |(m, p)| format!("{m} {p:.1}")),
-                );
+                row.push(top.get(rank).map_or_else(String::new, |(m, p)| format!("{m} {p:.1}")));
             }
             t.row(&row);
         }
@@ -344,9 +336,12 @@ impl fmt::Display for Table12 {
 }
 
 /// Runs the Table 12 experiment (shares the Table 11 simulations).
-#[must_use]
-pub fn table12(ctx: &Context) -> Table12 {
-    Table12 { rows: table11(ctx).rows }
+///
+/// # Errors
+///
+/// Propagates cipher construction and RSA failures.
+pub fn table12(ctx: &Context) -> Result<Table12, ExperimentError> {
+    Ok(Table12 { rows: table11(ctx)?.rows })
 }
 
 #[cfg(test)]
@@ -367,7 +362,7 @@ mod tests {
     #[test]
     fn table11_path_length_ordering() {
         let _serial = crate::test_ctx::timing_lock();
-        let t11 = table11(ctx());
+        let t11 = table11(ctx()).expect("table11");
         let pl = |n: &str| t11.row(n).expect("row").path_length;
         assert!(pl("AES") < pl("DES"), "AES shorter than DES per byte");
         assert!(pl("DES") < pl("3DES"), "DES shorter than 3DES");
@@ -380,7 +375,7 @@ mod tests {
         let _serial = crate::test_ctx::timing_lock();
         assert!(
             crate::test_ctx::eventually(3, || {
-                let t11 = table11(ctx());
+                let t11 = table11(ctx()).expect("table11");
                 let tp = |n: &str| t11.row(n).expect("row").throughput_mbps;
                 tp("RC4") > tp("3DES")
                     && tp("AES") > tp("3DES")
@@ -394,7 +389,7 @@ mod tests {
     #[test]
     fn table11_cpi_range_sane() {
         let _serial = crate::test_ctx::timing_lock();
-        let t11 = table11(ctx());
+        let t11 = table11(ctx()).expect("table11");
         for row in &t11.rows {
             assert!(
                 (0.3..2.5).contains(&row.cpi),
@@ -412,7 +407,7 @@ mod tests {
     #[test]
     fn table12_column_leaders() {
         let _serial = crate::test_ctx::timing_lock();
-        let t12 = table12(ctx());
+        let t12 = table12(ctx()).expect("table12");
         assert_eq!(t12.top_ten("RC4")[0].0, "movl");
         assert_eq!(t12.top_ten("AES")[0].0, "movl");
         let des_top = t12.top_ten("DES")[0].0;

@@ -1,0 +1,125 @@
+//! The loaded-server experiment: the paper's serving scenario on real
+//! sockets.
+//!
+//! Table 1 and Figure 2 time the SSL pipeline in-process; this experiment
+//! closes the loop by standing up [`sslperf_net::TcpSslServer`] (worker
+//! pool plus sharded session cache) on a loopback socket and driving it
+//! with the concurrent socket load generator from `sslperf-websim`. The
+//! rendered report shows transaction throughput, handshake and
+//! transaction latency percentiles, and the session-cache hit rate that
+//! §4.1's re-negotiation optimisation depends on.
+
+use crate::experiments::{pct, ExperimentError};
+use crate::Context;
+use sslperf_net::{ServerOptions, TcpSslServer};
+use sslperf_rsa::RsaPrivateKey;
+use sslperf_websim::loadgen::{run_socket_load, SocketLoadOptions, SocketLoadReport};
+use std::fmt;
+
+/// Results of one loaded-server run.
+#[derive(Debug)]
+pub struct NetLoad {
+    /// Client-side load report (throughput and latency percentiles).
+    pub report: SocketLoadReport,
+    /// Session-cache lookups that found a cached session.
+    pub cache_hits: u64,
+    /// Session-cache lookups that found nothing.
+    pub cache_misses: u64,
+    /// Server-side handshakes that ran the full RSA key exchange.
+    pub full_handshakes: u64,
+    /// Server-side handshakes resumed from the cache.
+    pub resumed_handshakes: u64,
+}
+
+impl NetLoad {
+    /// Cache hits as a share of all resumption-attempt lookups.
+    #[must_use]
+    pub fn cache_hit_percent(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for NetLoad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Loaded server (real sockets, worker pool, shared session cache)")?;
+        writeln!(f, "===============================================================")?;
+        writeln!(f, "{}", self.report)?;
+        writeln!(
+            f,
+            "  session cache:       {} hits / {} misses ({}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            pct(self.cache_hit_percent())
+        )?;
+        writeln!(
+            f,
+            "  server handshakes:   {} full, {} resumed",
+            self.full_handshakes, self.resumed_handshakes
+        )?;
+        writeln!(
+            f,
+            "Paper context: §4.1 — session reuse skips the RSA private-key operation,\n\
+             the single largest cost of the transaction (Tables 2–3)."
+        )
+    }
+}
+
+/// Runs the loaded-server experiment: starts a TCP server sized from the
+/// context, drives it with concurrent resuming clients, and collects both
+/// client-side latency and server-side cache statistics.
+///
+/// # Errors
+///
+/// Propagates key generation, serving and load-generation failures.
+pub fn loaded_server(ctx: &Context) -> Result<NetLoad, ExperimentError> {
+    let mut rng = ctx.rng("netload-server-key");
+    let key = RsaPrivateKey::generate(ctx.key_bits(), &mut rng)?;
+    let server = TcpSslServer::start(key, "www.sslperf.test", &ServerOptions::default())?;
+
+    let options = SocketLoadOptions {
+        clients: 8,
+        transactions_per_client: ctx.iterations().clamp(2, 16),
+        warmup_per_client: 1,
+        resume: true,
+        file_size: 1024,
+        suite: ctx.suite(),
+    };
+    let report = run_socket_load(server.local_addr(), &options)?;
+
+    let cache = server.session_cache();
+    let (cache_hits, cache_misses) = (cache.hits(), cache.misses());
+    let stats = server.stats();
+    let (full, resumed) = (stats.full_handshakes(), stats.resumed_handshakes());
+    server.shutdown();
+
+    Ok(NetLoad {
+        report,
+        cache_hits,
+        cache_misses,
+        full_handshakes: full,
+        resumed_handshakes: resumed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_ctx::ctx;
+
+    #[test]
+    fn loaded_server_resumes_and_reports() {
+        let nl = loaded_server(ctx()).expect("loaded server");
+        assert!(nl.report.transactions > 0, "measured transactions");
+        assert!(nl.cache_hits > 0, "resumption must hit the shared cache");
+        assert!(nl.resumed_handshakes > 0, "server must see resumed handshakes");
+        let rendered = nl.to_string();
+        assert!(rendered.contains("transactions/s"), "throughput line: {rendered}");
+        assert!(rendered.contains("p50"), "percentile lines: {rendered}");
+        assert!(rendered.contains("session cache"), "cache line: {rendered}");
+    }
+}

@@ -1,6 +1,6 @@
 //! Figure 3 and Tables 4–6: the anatomy of the symmetric ciphers.
 
-use crate::experiments::pct;
+use crate::experiments::{pct, ExperimentError};
 use crate::Context;
 use sslperf_ciphers::characteristics::{characteristics, Algorithm};
 use sslperf_ciphers::{Aes, BlockCipher, Des, Des3, Rc4};
@@ -56,29 +56,43 @@ impl fmt::Display for Fig3 {
 
 /// Measures the cheapest stable cost of a key setup and of encrypting
 /// `size` bytes, returning setup/(setup+kernel) in percent.
-fn setup_share(ctx: &Context, alg: Algorithm, size: usize) -> f64 {
+fn setup_share(ctx: &Context, alg: Algorithm, size: usize) -> Result<f64, ExperimentError> {
     let s = samples(ctx);
     let key16 = [0x5au8; 16];
     let key8 = [0x5au8; 8];
     let key24 = [0x5au8; 24];
+    // Validate each key once up front; the timing closures cannot
+    // propagate, so they discard the (now known-absent) error.
     let setup = match alg {
-        Algorithm::Aes => measure_min(s, 20, || {
-            black_box(Aes::new(&key16).expect("valid key"));
-        }),
-        Algorithm::Des => measure_min(s, 20, || {
-            black_box(Des::new(&key8).expect("valid key"));
-        }),
-        Algorithm::TripleDes => measure_min(s, 20, || {
-            black_box(Des3::new(&key24).expect("valid key"));
-        }),
-        Algorithm::Rc4 => measure_min(s, 20, || {
-            black_box(Rc4::new(&key16).expect("valid key"));
-        }),
+        Algorithm::Aes => {
+            Aes::new(&key16)?;
+            measure_min(s, 20, || {
+                black_box(Aes::new(&key16).ok());
+            })
+        }
+        Algorithm::Des => {
+            Des::new(&key8)?;
+            measure_min(s, 20, || {
+                black_box(Des::new(&key8).ok());
+            })
+        }
+        Algorithm::TripleDes => {
+            Des3::new(&key24)?;
+            measure_min(s, 20, || {
+                black_box(Des3::new(&key24).ok());
+            })
+        }
+        Algorithm::Rc4 => {
+            Rc4::new(&key16)?;
+            measure_min(s, 20, || {
+                black_box(Rc4::new(&key16).ok());
+            })
+        }
     };
     let mut buf = vec![0x33u8; size];
     let kernel = match alg {
         Algorithm::Aes => {
-            let aes = Aes::new(&key16).expect("valid key");
+            let aes = Aes::new(&key16)?;
             measure_min(s, 2, || {
                 for block in buf.chunks_exact_mut(16) {
                     aes.encrypt_block(block);
@@ -86,7 +100,7 @@ fn setup_share(ctx: &Context, alg: Algorithm, size: usize) -> f64 {
             })
         }
         Algorithm::Des => {
-            let des = Des::new(&key8).expect("valid key");
+            let des = Des::new(&key8)?;
             measure_min(s, 2, || {
                 for block in buf.chunks_exact_mut(8) {
                     des.encrypt_block(block);
@@ -94,7 +108,7 @@ fn setup_share(ctx: &Context, alg: Algorithm, size: usize) -> f64 {
             })
         }
         Algorithm::TripleDes => {
-            let des3 = Des3::new(&key24).expect("valid key");
+            let des3 = Des3::new(&key24)?;
             measure_min(s, 2, || {
                 for block in buf.chunks_exact_mut(8) {
                     des3.encrypt_block(block);
@@ -102,26 +116,29 @@ fn setup_share(ctx: &Context, alg: Algorithm, size: usize) -> f64 {
             })
         }
         Algorithm::Rc4 => {
-            let mut rc4 = Rc4::new(&key16).expect("valid key");
+            let mut rc4 = Rc4::new(&key16)?;
             measure_min(s, 2, || {
                 rc4.process(&mut buf);
             })
         }
     };
     let setup_cycles = setup.get() as f64;
-    setup_cycles * 100.0 / (setup_cycles + kernel.get() as f64)
+    Ok(setup_cycles * 100.0 / (setup_cycles + kernel.get() as f64))
 }
 
 /// Runs the Figure 3 experiment.
-#[must_use]
-pub fn fig3(ctx: &Context) -> Fig3 {
+///
+/// # Errors
+///
+/// Propagates cipher construction failures.
+pub fn fig3(ctx: &Context) -> Result<Fig3, ExperimentError> {
     let mut points = Vec::new();
     for alg in Algorithm::ALL {
         for &size in &FIG3_SIZES {
-            points.push((alg, size, setup_share(ctx, alg, size)));
+            points.push((alg, size, setup_share(ctx, alg, size)?));
         }
     }
-    Fig3 { points }
+    Ok(Fig3 { points })
 }
 
 /// The static Table 4 (derived from the implementations).
@@ -159,10 +176,7 @@ impl fmt::Display for Table4 {
             c.iter().map(|x| format!("{},{},{}b", x.tables.0, x.tables.1, x.tables.2)).collect(),
         ));
         t.row(&row("Rounds", c.iter().map(|x| x.rounds.to_string()).collect()));
-        t.row(&row(
-            "Table Lookups",
-            c.iter().map(|x| x.lookups_per_round.to_string()).collect(),
-        ));
+        t.row(&row("Table Lookups", c.iter().map(|x| x.lookups_per_round.to_string()).collect()));
         write!(f, "{t}")
     }
 }
@@ -214,12 +228,15 @@ impl fmt::Display for Table5 {
 
 /// Runs the Table 5 experiment: times the three parts of the AES block
 /// operation separately for both key sizes.
-#[must_use]
-pub fn table5(ctx: &Context) -> Table5 {
+///
+/// # Errors
+///
+/// Propagates cipher construction failures.
+pub fn table5(ctx: &Context) -> Result<Table5, ExperimentError> {
     let s = samples(ctx);
     let iters = 2000;
-    let measure_parts = |key: &[u8]| -> (f64, f64, f64) {
-        let aes = Aes::new(key).expect("valid key");
+    let measure_parts = |key: &[u8]| -> Result<(f64, f64, f64), ExperimentError> {
+        let aes = Aes::new(key)?;
         let block = [0x7eu8; 16];
         let state = aes.add_initial_round_key(&block);
         let after_rounds = aes.main_rounds(state);
@@ -234,17 +251,17 @@ pub fn table5(ctx: &Context) -> Table5 {
             aes.final_round(black_box(after_rounds), &mut out);
             black_box(&out);
         });
-        (part1.get() as f64, part2.get() as f64, part3.get() as f64)
+        Ok((part1.get() as f64, part2.get() as f64, part3.get() as f64))
     };
-    let (a1, a2, a3) = measure_parts(&[0x11; 16]);
-    let (b1, b2, b3) = measure_parts(&[0x22; 32]);
-    Table5 {
+    let (a1, a2, a3) = measure_parts(&[0x11; 16])?;
+    let (b1, b2, b3) = measure_parts(&[0x22; 32])?;
+    Ok(Table5 {
         parts: vec![
             ("Map block to state, add initial round key", a1, b1),
             ("Main rounds", a2, b2),
             ("Last round and map state to bytes", a3, b3),
         ],
-    }
+    })
 }
 
 /// DES/3DES block-operation breakdown (Table 6).
@@ -296,14 +313,17 @@ impl fmt::Display for Table6 {
 }
 
 /// Runs the Table 6 experiment: times IP, the substitution rounds, and FP.
-#[must_use]
-pub fn table6(ctx: &Context) -> Table6 {
+///
+/// # Errors
+///
+/// Propagates cipher construction failures.
+pub fn table6(ctx: &Context) -> Result<Table6, ExperimentError> {
     let s = samples(ctx);
     let iters = 2000;
     let block = *b"DESperf!";
-    let des = Des::new(&[0x13, 0x34, 0x57, 0x79, 0x9b, 0xbc, 0xdf, 0xf1]).expect("valid key");
+    let des = Des::new(&[0x13, 0x34, 0x57, 0x79, 0x9b, 0xbc, 0xdf, 0xf1])?;
     let key24: Vec<u8> = (0..24).collect();
-    let des3 = Des3::new(&key24).expect("valid key");
+    let des3 = Des3::new(&key24)?;
     let (l, r) = Des::initial_permutation(&block);
     let (dl, dr) = des.substitution_rounds(l, r, false);
     let (tl, tr) = des3.substitution_rounds(l, r, false);
@@ -327,13 +347,13 @@ pub fn table6(ctx: &Context) -> Table6 {
         black_box(&out);
     });
 
-    Table6 {
+    Ok(Table6 {
         parts: vec![
             ("IP", ip.get() as f64, ip.get() as f64),
             ("Substitution", des_rounds.get() as f64, des3_rounds.get() as f64),
             ("FP", fp_des.get() as f64, fp_des3.get() as f64),
         ],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -346,7 +366,7 @@ mod tests {
         let _serial = crate::test_ctx::timing_lock();
         assert!(
             crate::test_ctx::eventually(3, || {
-                let f3 = fig3(ctx());
+                let f3 = fig3(ctx()).expect("fig3");
                 let rc4 = f3.setup_percent(Algorithm::Rc4, 1024).expect("measured");
                 [Algorithm::Aes, Algorithm::Des, Algorithm::TripleDes]
                     .into_iter()
@@ -361,7 +381,7 @@ mod tests {
         let _serial = crate::test_ctx::timing_lock();
         assert!(
             crate::test_ctx::eventually(3, || {
-                let f3 = fig3(ctx());
+                let f3 = fig3(ctx()).expect("fig3");
                 Algorithm::ALL.into_iter().all(|alg| {
                     let small = f3.setup_percent(alg, 1024).expect("measured");
                     let large = f3.setup_percent(alg, 32_768).expect("measured");
@@ -370,7 +390,7 @@ mod tests {
             }),
             "key-setup share must fall with data size for every algorithm"
         );
-        assert!(fig3(ctx()).to_string().contains("RC4"));
+        assert!(fig3(ctx()).expect("fig3").to_string().contains("RC4"));
     }
 
     #[test]
@@ -384,27 +404,31 @@ mod tests {
     #[test]
     fn table5_main_rounds_dominate() {
         let _serial = crate::test_ctx::timing_lock();
-        let t5 = table5(ctx());
-        let rendered = t5.to_string();
-        assert!(rendered.contains("Main rounds"));
-        let main_128 = t5.parts[1].1;
-        let total: f64 = t5.parts.iter().map(|(_, a, _)| a).sum();
-        assert!(main_128 / total > 0.4, "main rounds {:.1}%", main_128 * 100.0 / total);
-        // 256-bit key has more rounds, so part 2 grows.
-        assert!(t5.parts[1].2 > t5.parts[1].1, "256-bit main rounds must cost more");
+        assert!(table5(ctx()).expect("table5").to_string().contains("Main rounds"));
+        assert!(
+            crate::test_ctx::eventually(3, || {
+                let t5 = table5(ctx()).expect("table5");
+                let main_128 = t5.parts[1].1;
+                let total: f64 = t5.parts.iter().map(|(_, a, _)| a).sum();
+                // 256-bit key has more rounds, so part 2 grows.
+                main_128 / total > 0.4 && t5.parts[1].2 > t5.parts[1].1
+            }),
+            "main rounds must dominate and cost more at 256-bit keys"
+        );
     }
 
     #[test]
     fn table6_substitution_dominates_and_triples() {
         let _serial = crate::test_ctx::timing_lock();
-        let t6 = table6(ctx());
         assert!(
-            t6.des_substitution_percent() > 50.0,
-            "substitution {:.1}%",
-            t6.des_substitution_percent()
+            crate::test_ctx::eventually(3, || {
+                let t6 = table6(ctx()).expect("table6");
+                let (_, des_sub, des3_sub) =
+                    t6.parts.iter().find(|(n, _, _)| *n == "Substitution").expect("row");
+                // 3DES rounds ≈ 3× DES rounds.
+                t6.des_substitution_percent() > 50.0 && des3_sub > &(des_sub * 2.0)
+            }),
+            "substitution must dominate DES and triple under 3DES"
         );
-        let (_, des_sub, des3_sub) =
-            t6.parts.iter().find(|(n, _, _)| *n == "Substitution").expect("row");
-        assert!(des3_sub > &(des_sub * 2.0), "3DES rounds ≈ 3× DES rounds");
     }
 }

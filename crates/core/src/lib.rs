@@ -21,15 +21,21 @@
 //! | Table 10 (MD5/SHA-1 phase breakdown) | [`experiments::hashes::table10`] |
 //! | Table 11 (CPI, path length, throughput) | [`experiments::arch::table11`] |
 //! | Table 12 (top-ten instructions) | [`experiments::arch::table12`] |
+//! | §4 loaded server (real sockets) | [`experiments::netload::loaded_server`] |
+//!
+//! Use [`experiments::run_report`] with an [`experiments::ExperimentId`]
+//! to run a selection, or [`experiments::run_all_reports`] for the whole
+//! paper.
 //!
 //! # Examples
 //!
 //! ```no_run
 //! use sslperf_core::{experiments, Context};
 //!
-//! let ctx = Context::quick();
-//! let t6 = experiments::symmetric::table6(&ctx);
+//! let ctx = Context::builder().key_bits(512).iterations(2).build()?;
+//! let t6 = experiments::symmetric::table6(&ctx)?;
 //! println!("{t6}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! (Marked `no_run` only because key generation takes a few seconds; the
@@ -46,6 +52,7 @@ pub use sslperf_bignum as bignum;
 pub use sslperf_ciphers as ciphers;
 pub use sslperf_hashes as hashes;
 pub use sslperf_isasim as isasim;
+pub use sslperf_net as net;
 pub use sslperf_profile as profile;
 pub use sslperf_rng as rng;
 pub use sslperf_rsa as rsa;
@@ -55,19 +62,142 @@ pub use sslperf_websim as websim;
 /// Commonly used types, one `use` away.
 pub mod prelude {
     pub use crate::experiments;
-    pub use crate::Context;
+    pub use crate::experiments::{ExperimentError, ExperimentId, Report};
+    pub use crate::{Context, ContextBuilder, ContextError};
     pub use sslperf_ciphers::{Aes, BlockCipher, Cbc, Des, Des3, Rc4};
     pub use sslperf_hashes::{HashAlg, Hasher, Hmac, Md5, Sha1};
+    pub use sslperf_net::{ServerOptions, ShardedSessionCache, TcpSslServer};
     pub use sslperf_profile::{Cycles, PhaseSet, Table};
     pub use sslperf_rng::SslRng;
     pub use sslperf_rsa::{RsaPrivateKey, RsaPublicKey};
-    pub use sslperf_ssl::{CipherSuite, ServerConfig, SslClient, SslServer};
+    pub use sslperf_ssl::{CipherSuite, ServerConfig, SessionCache, SslClient, SslServer};
     pub use sslperf_websim::SecureWebServer;
 }
 
 use sslperf_rng::SslRng;
-use sslperf_rsa::RsaPrivateKey;
-use sslperf_ssl::{CipherSuite, ServerConfig};
+use sslperf_rsa::{RsaError, RsaPrivateKey};
+use sslperf_ssl::{CipherSuite, ServerConfig, SslError};
+use std::fmt;
+
+/// Why a [`Context`] could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContextError {
+    /// The builder was given zero iterations.
+    ZeroIterations,
+    /// RSA key generation failed for the requested size.
+    Rsa(RsaError),
+    /// The shared server configuration could not be constructed.
+    Ssl(SslError),
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextError::ZeroIterations => write!(f, "need at least one iteration"),
+            ContextError::Rsa(e) => write!(f, "server key generation failed: {e}"),
+            ContextError::Ssl(e) => write!(f, "server configuration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContextError {}
+
+impl From<RsaError> for ContextError {
+    fn from(e: RsaError) -> Self {
+        ContextError::Rsa(e)
+    }
+}
+
+impl From<SslError> for ContextError {
+    fn from(e: SslError) -> Self {
+        ContextError::Ssl(e)
+    }
+}
+
+/// Configures and builds a [`Context`]; obtained from
+/// [`Context::builder`].
+///
+/// Every knob has the paper's default: a 1024-bit server key, 10
+/// measurement iterations, DES-CBC3-SHA, and a fixed key-generation seed
+/// so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct ContextBuilder {
+    key_bits: usize,
+    iterations: usize,
+    suite: CipherSuite,
+    seed: Vec<u8>,
+}
+
+impl Default for ContextBuilder {
+    fn default() -> Self {
+        ContextBuilder {
+            key_bits: 1024,
+            iterations: 10,
+            suite: CipherSuite::RsaDesCbc3Sha,
+            seed: b"sslperf-context-server-key".to_vec(),
+        }
+    }
+}
+
+impl ContextBuilder {
+    /// Server key size in bits (Table 7 always measures both 512 and
+    /// 1024 regardless).
+    #[must_use]
+    pub fn key_bits(mut self, bits: usize) -> Self {
+        self.key_bits = bits;
+        self
+    }
+
+    /// Measurement repetitions per experiment.
+    #[must_use]
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Cipher suite under study.
+    #[must_use]
+    pub fn suite(mut self, suite: CipherSuite) -> Self {
+        self.suite = suite;
+        self
+    }
+
+    /// Seed for the deterministic key-generation RNG.
+    #[must_use]
+    pub fn seed(mut self, seed: &[u8]) -> Self {
+        self.seed = seed.to_vec();
+        self
+    }
+
+    /// Generates the RSA fixtures and the server configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ContextError::ZeroIterations`] when `iterations` is zero, and
+    /// key-generation or configuration failures otherwise.
+    pub fn build(self) -> Result<Context, ContextError> {
+        if self.iterations == 0 {
+            return Err(ContextError::ZeroIterations);
+        }
+        let mut rng = SslRng::from_seed(&self.seed);
+        let key_512 = RsaPrivateKey::generate(512, &mut rng)?;
+        let key_1024 = RsaPrivateKey::generate(1024, &mut rng)?;
+        let server_key = match self.key_bits {
+            512 => key_512.clone(),
+            1024 => key_1024.clone(),
+            bits => RsaPrivateKey::generate(bits, &mut rng)?,
+        };
+        let server_config = ServerConfig::new(server_key, "www.sslperf.test")?;
+        Ok(Context {
+            key_bits: self.key_bits,
+            iterations: self.iterations,
+            suite: self.suite,
+            server_config,
+            key_512,
+            key_1024,
+        })
+    }
+}
 
 /// Shared experiment configuration and fixtures.
 ///
@@ -84,46 +214,44 @@ pub struct Context {
 }
 
 impl Context {
+    /// Starts configuring a context; see [`ContextBuilder`] for the knobs
+    /// and defaults.
+    #[must_use]
+    pub fn builder() -> ContextBuilder {
+        ContextBuilder::default()
+    }
+
     /// The paper's configuration: RSA-1024, DES-CBC3-SHA, enough iterations
     /// for stable numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if key generation fails (not observed in practice).
     #[must_use]
     pub fn paper() -> Self {
-        Self::with_settings(1024, 10)
+        Self::builder().build().expect("paper context")
     }
 
     /// A fast configuration for tests: RSA-512 server key, few iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if key generation fails (not observed in practice).
     #[must_use]
     pub fn quick() -> Self {
-        Self::with_settings(512, 2)
+        Self::builder().key_bits(512).iterations(2).build().expect("quick context")
     }
 
-    /// Custom key size (for the server key; Table 7 always measures both
-    /// 512 and 1024) and measurement repetition count.
+    /// Custom key size and measurement repetition count.
     ///
     /// # Panics
     ///
     /// Panics if key generation fails (not observed in practice) or
     /// `iterations` is zero.
+    #[deprecated(since = "0.2.0", note = "use Context::builder(), which returns Result")]
     #[must_use]
     pub fn with_settings(key_bits: usize, iterations: usize) -> Self {
-        assert!(iterations > 0, "need at least one iteration");
-        let mut rng = SslRng::from_seed(b"sslperf-context-server-key");
-        let key_512 = RsaPrivateKey::generate(512, &mut rng).expect("512-bit keygen");
-        let key_1024 = RsaPrivateKey::generate(1024, &mut rng).expect("1024-bit keygen");
-        let server_key = match key_bits {
-            512 => key_512.clone(),
-            1024 => key_1024.clone(),
-            bits => RsaPrivateKey::generate(bits, &mut rng).expect("keygen"),
-        };
-        let server_config = ServerConfig::new(server_key, "www.sslperf.test").expect("config");
-        Context {
-            key_bits,
-            iterations,
-            suite: CipherSuite::RsaDesCbc3Sha,
-            server_config,
-            key_512,
-            key_1024,
-        }
+        Self::builder().key_bits(key_bits).iterations(iterations).build().expect("context settings")
     }
 
     /// The server key size in bits.
@@ -213,6 +341,13 @@ mod tests {
         assert_eq!(ctx.suite().name(), "DES-CBC3-SHA");
         assert_eq!(ctx.key_512().modulus().bit_len(), 512);
         assert_eq!(ctx.key_1024().modulus().bit_len(), 1024);
+    }
+
+    #[test]
+    fn builder_rejects_zero_iterations() {
+        let err = Context::builder().iterations(0).build().expect_err("must fail");
+        assert_eq!(err, ContextError::ZeroIterations);
+        assert!(err.to_string().contains("iteration"));
     }
 
     #[test]

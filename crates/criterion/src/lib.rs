@@ -1,0 +1,216 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so its
+//! dependencies resolve to in-tree sources. This crate implements the
+//! criterion surface the benches actually use: benchmark groups, sample
+//! sizes, throughput annotation, `bench_function`/`bench_with_input`, and
+//! the `criterion_group!`/`criterion_main!` macros. Each benchmark runs a
+//! warmup pass plus `sample_size` timed samples and prints mean/min times
+//! (and MB/s when byte throughput is set); there is no statistical
+//! analysis or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration annotation used to derive throughput rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter, rendered as
+    /// `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { full: format!("{function}/{parameter}") }
+    }
+
+    /// An id that is just the parameter's rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = start.elapsed();
+        drop(out);
+    }
+}
+
+/// A named set of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates the work done per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `routine` under this group with the given id.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.full, routine);
+        self
+    }
+
+    /// Runs `routine` with a borrowed input value.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.run(&id.full, |b| routine(b, input));
+        self
+    }
+
+    /// Finishes the group. Reporting happens per-benchmark, so this only
+    /// marks the group boundary in the output.
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn run<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher); // warmup, untimed
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+            total += bencher.elapsed;
+            min = min.min(bencher.elapsed);
+        }
+        let mean = total / self.sample_size as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                let mbps = n as f64 / mean.as_secs_f64() / 1e6;
+                format!("  {mbps:.1} MB/s")
+            }
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                let eps = n as f64 / mean.as_secs_f64();
+                format!("  {eps:.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {mean:?}, min {min:?} over {} samples{rate}",
+            self.name, self.sample_size
+        );
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 100, throughput: None, _criterion: self }
+    }
+}
+
+/// Bundles benchmark functions under one name for `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim/sample");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0u64..n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    criterion_group!(shim_benches, sample_bench);
+
+    #[test]
+    fn group_runs_all_forms() {
+        shim_benches();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("MD5", 64).full, "MD5/64");
+        assert_eq!(BenchmarkId::from_parameter(16).full, "16");
+        assert_eq!(BenchmarkId::from("x").full, "x");
+        assert_eq!(BenchmarkId::from(String::from("y")).full, "y");
+    }
+}

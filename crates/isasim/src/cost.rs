@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn register_ops_are_half_cycle() {
-        assert_eq!(instruction_cost(&Instr::Alu(AluOp::Xor, Reg::Eax.into(), Reg::Ebx.into())), 0.5);
+        assert_eq!(
+            instruction_cost(&Instr::Alu(AluOp::Xor, Reg::Eax.into(), Reg::Ebx.into())),
+            0.5
+        );
         assert_eq!(instruction_cost(&Instr::Nop), 0.5);
         assert_eq!(instruction_cost(&Instr::Bswap(Reg::Eax)), 0.5);
     }

@@ -316,7 +316,12 @@ impl Program {
     }
 
     /// Emits an ALU instruction.
-    pub fn alu(&mut self, op: AluOp, dst: impl Into<Operand>, src: impl Into<Operand>) -> &mut Self {
+    pub fn alu(
+        &mut self,
+        op: AluOp,
+        dst: impl Into<Operand>,
+        src: impl Into<Operand>,
+    ) -> &mut Self {
         self.push(Instr::Alu(op, dst.into(), src.into()))
     }
 

@@ -103,8 +103,8 @@ pub fn sub_words_program(words: usize) -> Program {
     let top = p.here();
     p.mov(Reg::Eax, mem(Reg::Ebx, 0)); // a
     p.alu(AluOp::Sub, Reg::Eax, Reg::Esi); // a - borrow
-    // New borrow from this subtraction: (a < borrow) → captured below by
-    // comparing against bp too. Compute via two subl + cmpl sequence:
+                                           // New borrow from this subtraction: (a < borrow) → captured below by
+                                           // comparing against bp too. Compute via two subl + cmpl sequence:
     p.mov(Reg::Ebp, mem(Reg::Ebx, 0));
     p.alu(AluOp::Cmp, Reg::Ebp, Reg::Esi); // sets carry if a < borrow
     p.mov(Reg::Esi, 0u32);
@@ -234,7 +234,9 @@ mod tests {
     use sslperf_bignum::words as native;
 
     fn pattern(n: usize, seed: u32) -> Vec<u32> {
-        (0..n as u32).map(|i| seed.wrapping_mul(0x9e37_79b9).wrapping_add(i.wrapping_mul(0x85eb_ca6b))).collect()
+        (0..n as u32)
+            .map(|i| seed.wrapping_mul(0x9e37_79b9).wrapping_add(i.wrapping_mul(0x85eb_ca6b)))
+            .collect()
     }
 
     #[test]

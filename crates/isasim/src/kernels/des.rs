@@ -30,7 +30,8 @@ fn emit_permutation(p: &mut Program, table: &[u8; 64]) {
     p.mov(Reg::Eax, 0u32);
     p.mov(Reg::Edx, 0u32);
     for (k, &src) in table.iter().enumerate() {
-        let (src_reg, bit_in_word) = if src <= 32 { (Reg::Esi, src - 1) } else { (Reg::Edi, src - 33) };
+        let (src_reg, bit_in_word) =
+            if src <= 32 { (Reg::Esi, src - 1) } else { (Reg::Edi, src - 33) };
         let dst_reg = if k < 32 { Reg::Eax } else { Reg::Edx };
         let dst_bit = (k % 32) as u8; // 0 = MSB position
         p.mov(Reg::Ebx, src_reg);

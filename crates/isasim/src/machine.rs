@@ -155,9 +155,7 @@ impl Machine {
         if a + 4 > self.memory.len() {
             return Err(SimError::OutOfBounds { addr });
         }
-        Ok(u32::from_le_bytes(
-            self.memory[a..a + 4].try_into().expect("bounds checked"),
-        ))
+        Ok(u32::from_le_bytes(self.memory[a..a + 4].try_into().expect("bounds checked")))
     }
 
     fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {

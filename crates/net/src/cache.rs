@@ -1,0 +1,211 @@
+//! A sharded, bounded session cache for multi-threaded serving.
+//!
+//! The default [`SimpleSessionCache`](sslperf_ssl::SimpleSessionCache)
+//! funnels every connection through one mutex; under a worker pool that
+//! lock is the first thing to contend. [`ShardedSessionCache`] stripes the
+//! id space over N independently locked shards (FNV-1a of the session id
+//! picks the shard), bounds each shard with least-recently-used eviction,
+//! and counts hits and misses so load generators can report resumption
+//! rates.
+
+use sslperf_ssl::{CachedSession, SessionCache};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-shard state: the id map plus a logical clock for LRU stamps.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<Vec<u8>, Entry>,
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    session: CachedSession,
+    stamp: u64,
+}
+
+/// Mutex-striped LRU session cache; see the module docs.
+#[derive(Debug)]
+pub struct ShardedSessionCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedSessionCache {
+    /// A cache with `shards` stripes holding at most `capacity_per_shard`
+    /// sessions each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either parameter is zero.
+    #[must_use]
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(capacity_per_shard > 0, "shards must hold at least one session");
+        ShardedSessionCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Which shard a session id maps to (FNV-1a over the id bytes,
+    /// xor-folded — the hash's low bits alone cluster on structured ids).
+    #[must_use]
+    pub fn shard_index(&self, id: &[u8]) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in id {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= h >> 32;
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Sessions currently held by shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    #[must_use]
+    pub fn shard_len(&self, index: usize) -> usize {
+        self.shards[index].lock().expect("shard lock").entries.len()
+    }
+
+    /// Lookups that found a cached session.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty-id lookups that found nothing (evicted, tampered, or
+    /// never stored).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resets the hit/miss counters (entries are untouched).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl SessionCache for ShardedSessionCache {
+    fn lookup(&self, id: &[u8]) -> Option<CachedSession> {
+        if id.is_empty() {
+            // No id offered: not a resumption attempt, not a miss.
+            return None;
+        }
+        let mut shard = self.shards[self.shard_index(id)].lock().expect("shard lock");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        match shard.entries.get_mut(id) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.session.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, id: Vec<u8>, session: CachedSession) {
+        let mut shard = self.shards[self.shard_index(&id)].lock().expect("shard lock");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        shard.entries.insert(id, Entry { session, stamp });
+        if shard.entries.len() > self.capacity_per_shard {
+            let oldest = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(id, _)| id.clone())
+                .expect("non-empty over capacity");
+            shard.entries.remove(&oldest);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("shard lock").entries.len()).sum()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shard lock").entries.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sslperf_ssl::CipherSuite;
+
+    fn session(n: u8) -> CachedSession {
+        CachedSession { master: vec![n; 48], suite: CipherSuite::RsaDesCbc3Sha }
+    }
+
+    #[test]
+    fn ids_spread_over_shards() {
+        let cache = ShardedSessionCache::new(8, 64);
+        for i in 0..64u8 {
+            cache.store(vec![i; 32], session(i));
+        }
+        assert_eq!(cache.len(), 64);
+        let populated = (0..8).filter(|&s| cache.shard_len(s) > 0).count();
+        assert!(populated >= 4, "FNV should touch most shards, got {populated}");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ShardedSessionCache::new(1, 2);
+        cache.store(vec![1], session(1));
+        cache.store(vec![2], session(2));
+        // Touch id 1 so id 2 becomes the LRU entry, then overflow.
+        assert!(cache.lookup(&[1]).is_some());
+        cache.store(vec![3], session(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&[1]).is_some(), "recently used survives");
+        assert!(cache.lookup(&[2]).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&[3]).is_some(), "new entry present");
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = ShardedSessionCache::new(4, 8);
+        cache.store(vec![7; 32], session(7));
+        assert!(cache.lookup(&[7; 32]).is_some());
+        assert!(cache.lookup(&[8; 32]).is_none());
+        assert!(cache.lookup(&[]).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1), "empty id is not a miss");
+        cache.reset_stats();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache = ShardedSessionCache::new(4, 8);
+        for i in 0..16u8 {
+            cache.store(vec![i; 16], session(i));
+        }
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Real-socket SSL serving layer.
+//!
+//! The paper measures a loaded Apache/mod_ssl server; the in-memory
+//! experiments in `sslperf-websim` reproduce its cost anatomy, and this
+//! crate supplies the missing serving substrate: a TCP listener with a
+//! fixed worker thread pool ([`TcpSslServer`]), per-connection instrumented
+//! SSLv3 sessions over [`sslperf_ssl::Transport`], and a sharded LRU
+//! session cache ([`ShardedSessionCache`]) that makes §4.1's session
+//! re-negotiation work across connections — the baseline every scaling
+//! experiment (batching, parallel crypto, sharding) gets measured against.
+//!
+//! # Examples
+//!
+//! ```
+//! use sslperf_net::{ServerOptions, TcpSslServer};
+//! use sslperf_rng::SslRng;
+//! use sslperf_rsa::RsaPrivateKey;
+//! use sslperf_ssl::{CipherSuite, SslClient};
+//! use std::net::TcpStream;
+//!
+//! let mut rng = SslRng::from_seed(b"net-doc");
+//! let key = RsaPrivateKey::generate(512, &mut rng)?;
+//! let server = TcpSslServer::start(key, "doc.example", &ServerOptions::default())?;
+//!
+//! let mut socket = TcpStream::connect(server.local_addr())?;
+//! let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"c"));
+//! client.handshake_transport(&mut socket)?;
+//! client.close_transport(&mut socket)?;
+//!
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod server;
+
+pub use cache::ShardedSessionCache;
+pub use server::{ServerOptions, ServerStats, TcpSslServer};

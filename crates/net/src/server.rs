@@ -1,0 +1,312 @@
+//! The TCP serving front-end: listener, worker pool, per-connection SSL.
+//!
+//! One listener thread accepts sockets and queues them on a channel; a
+//! fixed pool of worker threads pops connections, runs the instrumented
+//! SSLv3 handshake over the socket ([`Transport`] backend
+//! `std::net::TcpStream`), and serves HTTP documents until the client
+//! sends `close_notify` or disconnects. Session state lands in the shared
+//! [`ShardedSessionCache`], so a client reconnecting on any worker resumes
+//! without the RSA private-key operation — the cross-connection version of
+//! the paper's §4.1 session re-negotiation.
+
+use crate::cache::ShardedSessionCache;
+use sslperf_rng::SslRng;
+use sslperf_rsa::RsaPrivateKey;
+use sslperf_ssl::{ServerConfig, SslError, SslServer};
+use sslperf_websim::http::{synthesize_document, HttpRequest, HttpResponse};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tunables for [`TcpSslServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Address to bind; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Shards in the session cache.
+    pub cache_shards: usize,
+    /// Sessions each shard retains before LRU eviction.
+    pub cache_capacity_per_shard: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            cache_shards: 8,
+            cache_capacity_per_shard: 1024,
+        }
+    }
+}
+
+/// Monotonic serving counters, shared across workers.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    transactions: AtomicU64,
+    full_handshakes: AtomicU64,
+    resumed_handshakes: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServerStats {
+    /// Connections whose handshake completed.
+    #[must_use]
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// HTTP request/response exchanges served.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.transactions.load(Ordering::Relaxed)
+    }
+
+    /// Handshakes that ran the full RSA key exchange.
+    #[must_use]
+    pub fn full_handshakes(&self) -> u64 {
+        self.full_handshakes.load(Ordering::Relaxed)
+    }
+
+    /// Handshakes resumed from the session cache.
+    #[must_use]
+    pub fn resumed_handshakes(&self) -> u64 {
+        self.resumed_handshakes.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped on protocol or transport errors.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+/// A running SSL web server on a real socket.
+///
+/// Started with [`TcpSslServer::start`]; serves until
+/// [`TcpSslServer::shutdown`] (or drop, which also stops the threads).
+#[derive(Debug)]
+pub struct TcpSslServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    cache: Arc<ShardedSessionCache>,
+    config: Arc<ServerConfig>,
+}
+
+impl TcpSslServer {
+    /// Binds the listener, installs a sharded session cache into the
+    /// server configuration, and spawns the listener plus worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Io`] when the bind fails and certificate errors
+    /// from [`ServerConfig::with_cache`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options.workers` is zero.
+    pub fn start(
+        key: RsaPrivateKey,
+        name: &str,
+        options: &ServerOptions,
+    ) -> Result<Self, SslError> {
+        assert!(options.workers > 0, "at least one worker");
+        let cache = Arc::new(ShardedSessionCache::new(
+            options.cache_shards,
+            options.cache_capacity_per_shard,
+        ));
+        let config = Arc::new(ServerConfig::with_cache(key, name, Box::new(Arc::clone(&cache)))?);
+        let listener = TcpListener::bind(&options.addr).map_err(|e| SslError::Io(e.to_string()))?;
+        let addr = listener.local_addr().map_err(|e| SslError::Io(e.to_string()))?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let workers = (0..options.workers)
+            .map(|_| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let config = Arc::clone(&config);
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || worker_loop(&conn_rx, &config, &stats))
+            })
+            .collect();
+
+        let listener_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&listener, &conn_tx, &stop))
+        };
+
+        Ok(TcpSslServer {
+            addr,
+            stop,
+            listener: Some(listener_thread),
+            workers,
+            stats,
+            cache,
+            config,
+        })
+    }
+
+    /// The bound address clients should connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving counters.
+    #[must_use]
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The sharded session cache (hit/miss counters live here).
+    #[must_use]
+    pub fn session_cache(&self) -> &Arc<ShardedSessionCache> {
+        &self.cache
+    }
+
+    /// The underlying SSL server configuration.
+    #[must_use]
+    pub fn config(&self) -> &Arc<ServerConfig> {
+        &self.config
+    }
+
+    /// Stops accepting, drains queued connections, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call so the listener sees the flag; dropping
+        // the listener's sender then releases the workers.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for TcpSslServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, conn_tx: &Sender<TcpStream>, stop: &AtomicBool) {
+    // Owning conn_tx here means worker queues close exactly when the
+    // accept loop exits.
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if conn_tx.send(stream).is_err() {
+            break;
+        }
+    }
+}
+
+fn worker_loop(conn_rx: &Mutex<Receiver<TcpStream>>, config: &ServerConfig, stats: &ServerStats) {
+    static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
+    loop {
+        let stream = {
+            let rx = conn_rx.lock().expect("connection queue lock");
+            rx.recv()
+        };
+        let Ok(stream) = stream else { return };
+        let conn_id = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
+        serve_connection(config, stats, stream, conn_id);
+    }
+}
+
+/// Runs one connection to completion: handshake, then HTTP transactions
+/// until `close_notify` or disconnect.
+fn serve_connection(config: &ServerConfig, stats: &ServerStats, stream: TcpStream, conn_id: u64) {
+    // Handshake flights are small back-to-back writes; Nagle + delayed
+    // ACK would add ~40ms stalls to every resumed transaction.
+    let _ = stream.set_nodelay(true);
+    let mut transport = stream;
+    // Session ids come from this rng; the connection counter keeps them
+    // unique across the process.
+    let rng = SslRng::from_seed(format!("sslperf-net-conn-{conn_id}").as_bytes());
+    let mut server = SslServer::new(config, rng);
+    if server.handshake_transport(&mut transport).is_err() {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    stats.connections.fetch_add(1, Ordering::Relaxed);
+    if server.resumed() {
+        stats.resumed_handshakes.fetch_add(1, Ordering::Relaxed);
+    } else {
+        stats.full_handshakes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    loop {
+        let payload = match server.recv(&mut transport) {
+            Ok(payload) => payload,
+            Err(SslError::PeerAlert(alert)) if alert.is_close_notify() => {
+                let _ = server.close_transport(&mut transport);
+                return;
+            }
+            Err(SslError::Io(_)) => return, // disconnect without close_notify
+            Err(_) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let response = match HttpRequest::parse(&payload) {
+            Ok(request) => respond(&request),
+            Err(_) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        if server.send(&mut transport, &response.to_bytes()).is_err() {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        stats.transactions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn respond(request: &HttpRequest) -> HttpResponse {
+    match document_size(request.path()) {
+        Some(size) => HttpResponse::ok(synthesize_document(request.path(), size)),
+        None => HttpResponse::not_found(),
+    }
+}
+
+/// Parses the size out of the `/doc_{size}.bin` paths the load generator
+/// and the websim experiments request.
+fn document_size(path: &str) -> Option<usize> {
+    let rest = path.strip_prefix("/doc_")?;
+    let digits = rest.strip_suffix(".bin")?;
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_size_parses_loadgen_paths() {
+        assert_eq!(document_size("/doc_1024.bin"), Some(1024));
+        assert_eq!(document_size("/doc_0.bin"), Some(0));
+        assert_eq!(document_size("/index.html"), None);
+        assert_eq!(document_size("/doc_x.bin"), None);
+    }
+}

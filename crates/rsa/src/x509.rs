@@ -129,7 +129,10 @@ impl Certificate {
     /// Returns [`RsaError::KeyGeneration`] if the embedded modulus is
     /// degenerate (even or trivial).
     pub fn public_key(&self) -> Result<RsaPublicKey, RsaError> {
-        RsaPublicKey::from_parts(Bn::from_bytes_be(&self.modulus), Bn::from_bytes_be(&self.exponent))
+        RsaPublicKey::from_parts(
+            Bn::from_bytes_be(&self.modulus),
+            Bn::from_bytes_be(&self.exponent),
+        )
     }
 
     /// The to-be-signed body (everything except the signature).

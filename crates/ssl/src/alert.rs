@@ -89,9 +89,7 @@ impl Alert {
         let description = match error {
             SslError::MacMismatch | SslError::BadPadding => AlertDescription::BadRecordMac,
             SslError::UnexpectedMessage { .. } => AlertDescription::UnexpectedMessage,
-            SslError::BadFinished | SslError::NoCommonCipher => {
-                AlertDescription::HandshakeFailure
-            }
+            SslError::BadFinished | SslError::NoCommonCipher => AlertDescription::HandshakeFailure,
             SslError::Rsa(_) => AlertDescription::BadCertificate,
             SslError::UnsupportedVersion { .. } => AlertDescription::IllegalParameter,
             _ => return None,
@@ -150,7 +148,8 @@ mod tests {
             AlertDescription::BadCertificate,
             AlertDescription::IllegalParameter,
         ] {
-            for alert in [Alert::fatal(desc), Alert { level: AlertLevel::Warning, description: desc }]
+            for alert in
+                [Alert::fatal(desc), Alert { level: AlertLevel::Warning, description: desc }]
             {
                 assert_eq!(Alert::from_bytes(&alert.to_bytes()).unwrap(), alert);
             }

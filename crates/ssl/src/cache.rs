@@ -1,0 +1,141 @@
+//! Pluggable server-side session caches.
+//!
+//! Session re-negotiation is the optimization §4.1 of the paper
+//! highlights: a cache hit replaces the RSA private-key operation with a
+//! master-secret lookup. [`ServerConfig`](crate::ServerConfig) consults a
+//! [`SessionCache`] on every client hello; the default
+//! [`SimpleSessionCache`] is a single-lock hash map, while serving layers
+//! can install sharded or bounded implementations via
+//! [`ServerConfig::with_cache`](crate::ServerConfig::with_cache).
+
+use crate::CipherSuite;
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::sync::{Arc, Mutex};
+
+/// The resumable state stored per session id: the master secret and the
+/// suite it was negotiated under.
+#[derive(Debug, Clone)]
+pub struct CachedSession {
+    /// The 48-byte SSLv3 master secret.
+    pub master: Vec<u8>,
+    /// The negotiated cipher suite.
+    pub suite: CipherSuite,
+}
+
+/// A thread-safe map from session id to resumable session state.
+///
+/// Implementations use interior mutability: the server configuration is
+/// shared immutably across connections.
+pub trait SessionCache: Send + Sync + Debug {
+    /// The session stored under `id`, if any. An empty id never matches.
+    fn lookup(&self, id: &[u8]) -> Option<CachedSession>;
+
+    /// Stores (or replaces) the session under `id`.
+    fn store(&self, id: Vec<u8>, session: CachedSession);
+
+    /// Number of resumable sessions currently cached.
+    fn len(&self) -> usize;
+
+    /// True when no sessions are cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached session (forces full handshakes).
+    fn clear(&self);
+}
+
+/// Shared cache handles delegate, so an `Arc<C>` can be installed into a
+/// [`ServerConfig`](crate::ServerConfig) while the owner keeps a handle
+/// for statistics.
+impl<C: SessionCache> SessionCache for Arc<C> {
+    fn lookup(&self, id: &[u8]) -> Option<CachedSession> {
+        (**self).lookup(id)
+    }
+
+    fn store(&self, id: Vec<u8>, session: CachedSession) {
+        (**self).store(id, session);
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn clear(&self) {
+        (**self).clear();
+    }
+}
+
+/// The default cache: one mutex around one hash map, unbounded.
+#[derive(Debug, Default)]
+pub struct SimpleSessionCache {
+    map: Mutex<HashMap<Vec<u8>, CachedSession>>,
+}
+
+impl SimpleSessionCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SessionCache for SimpleSessionCache {
+    fn lookup(&self, id: &[u8]) -> Option<CachedSession> {
+        if id.is_empty() {
+            return None;
+        }
+        self.map.lock().expect("cache lock").get(id).cloned()
+    }
+
+    fn store(&self, id: Vec<u8>, session: CachedSession) {
+        self.map.lock().expect("cache lock").insert(id, session);
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(n: u8) -> CachedSession {
+        CachedSession { master: vec![n; 48], suite: CipherSuite::RsaDesCbc3Sha }
+    }
+
+    #[test]
+    fn simple_cache_roundtrip() {
+        let cache = SimpleSessionCache::new();
+        assert!(cache.is_empty());
+        cache.store(vec![1; 32], session(7));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&[1; 32]).expect("hit").master, vec![7; 48]);
+        assert!(cache.lookup(&[2; 32]).is_none());
+        cache.clear();
+        assert!(cache.lookup(&[1; 32]).is_none());
+    }
+
+    #[test]
+    fn empty_id_never_matches() {
+        let cache = SimpleSessionCache::new();
+        cache.store(Vec::new(), session(1));
+        assert!(cache.lookup(&[]).is_none());
+    }
+
+    #[test]
+    fn arc_handle_delegates() {
+        let cache = Arc::new(SimpleSessionCache::new());
+        let handle: Box<dyn SessionCache> = Box::new(Arc::clone(&cache));
+        handle.store(vec![9], session(9));
+        assert_eq!(cache.len(), 1);
+        handle.clear();
+        assert!(cache.is_empty());
+    }
+}

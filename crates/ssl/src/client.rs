@@ -4,6 +4,7 @@ use crate::kdf::{self, KeyMaterial};
 use crate::messages::{HandshakeMessage, SessionId};
 use crate::record::{ContentType, RecordLayer};
 use crate::transcript::{Transcript, SENDER_CLIENT, SENDER_SERVER};
+use crate::transport::{read_record, Transport};
 use crate::{CipherSuite, SslError, VERSION};
 use sslperf_rng::SslRng;
 use sslperf_rsa::x509::Certificate;
@@ -27,6 +28,14 @@ impl ClientSession {
     #[must_use]
     pub fn suite(&self) -> CipherSuite {
         self.suite
+    }
+
+    /// A copy of this session offering a different id — what a stale or
+    /// tampered client would present. The server must treat it as a cache
+    /// miss and fall back to a full handshake.
+    #[must_use]
+    pub fn with_id(&self, id: Vec<u8>) -> Self {
+        ClientSession { id, master: self.master.clone(), suite: self.suite }
     }
 }
 
@@ -138,10 +147,8 @@ impl SslClient {
         }
         let random = self.rng.bytes(32);
         self.client_random.copy_from_slice(&random);
-        let offered_id = self
-            .resume
-            .as_ref()
-            .map_or_else(SessionId::empty, |s| SessionId::new(s.id.clone()));
+        let offered_id =
+            self.resume.as_ref().map_or_else(SessionId::empty, |s| SessionId::new(s.id.clone()));
         let hello = HandshakeMessage::ClientHello {
             random: self.client_random,
             session_id: offered_id,
@@ -364,8 +371,72 @@ impl SslClient {
         if self.state != State::Established {
             return Err(SslError::NotReady("handshake incomplete"));
         }
-        self.records
-            .seal(ContentType::Alert, &crate::alert::Alert::close_notify().to_bytes())
+        self.records.seal(ContentType::Alert, &crate::alert::Alert::close_notify().to_bytes())
+    }
+
+    /// Drives the whole client side of the handshake over a
+    /// [`Transport`], attempting resumption when constructed with
+    /// [`SslClient::resuming`]: the flight-based state machine unchanged,
+    /// with records read from and written to the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Io`] on transport failures plus every error the
+    /// flight-based methods can return.
+    pub fn handshake_transport<T: Transport>(&mut self, transport: &mut T) -> Result<(), SslError> {
+        let hello = self.hello()?;
+        transport.send(&hello)?;
+        // Both server replies are three records: hello ‖ certificate ‖
+        // done (full) or hello ‖ CCS ‖ finished (resumed).
+        let mut flight = Vec::new();
+        for _ in 0..3 {
+            flight.extend(read_record(transport)?);
+        }
+        let reply = self.process_server_flight(&flight)?;
+        transport.send(&reply)?;
+        if !self.resumed {
+            let mut finish = Vec::new();
+            for _ in 0..2 {
+                finish.extend(read_record(transport)?);
+            }
+            self.process_server_finish(&finish)?;
+        }
+        Ok(())
+    }
+
+    /// Seals application data and writes the records to the transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes and
+    /// [`SslError::Io`] on transport failures.
+    pub fn send<T: Transport>(&mut self, transport: &mut T, data: &[u8]) -> Result<(), SslError> {
+        let wire = self.seal(data)?;
+        transport.send(&wire)
+    }
+
+    /// Reads one record from the transport and returns its decrypted
+    /// application payload. Large messages span several records; callers
+    /// with framing (e.g. HTTP Content-Length) loop until satisfied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::PeerAlert`] when the peer closed the session,
+    /// [`SslError::Io`] on transport failures, or record-layer errors.
+    pub fn recv<T: Transport>(&mut self, transport: &mut T) -> Result<Vec<u8>, SslError> {
+        let record = read_record(transport)?;
+        self.open(&record)
+    }
+
+    /// Sends the `close_notify` alert over the transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes and
+    /// [`SslError::Io`] on transport failures.
+    pub fn close_transport<T: Transport>(&mut self, transport: &mut T) -> Result<(), SslError> {
+        let wire = self.close()?;
+        transport.send(&wire)
     }
 }
 

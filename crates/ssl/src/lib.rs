@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod alert;
+pub mod cache;
 mod client;
 pub mod kdf;
 pub mod mac;
@@ -65,12 +66,15 @@ mod record;
 mod server;
 mod suites;
 mod transcript;
+pub mod transport;
 
+pub use cache::{CachedSession, SessionCache, SimpleSessionCache};
 pub use client::{ClientSession, SslClient};
 pub use messages::{HandshakeType, SessionId};
 pub use record::{ContentType, RecordLayer, MAX_FRAGMENT};
 pub use server::{ServerConfig, SslServer, SERVER_STEP_NAMES};
 pub use suites::{BulkCipher, CipherSuite};
+pub use transport::{duplex_pair, read_record, DuplexTransport, Transport};
 
 use sslperf_ciphers::CipherError;
 use sslperf_rsa::RsaError;
@@ -112,6 +116,9 @@ pub enum SslError {
     NotReady(&'static str),
     /// The peer sent an alert (including orderly `close_notify` closure).
     PeerAlert(alert::Alert),
+    /// The underlying transport failed (stringified so the error type
+    /// stays `Clone + Eq`).
+    Io(String),
 }
 
 impl fmt::Display for SslError {
@@ -132,6 +139,7 @@ impl fmt::Display for SslError {
             SslError::Cipher(e) => write!(f, "cipher failure: {e}"),
             SslError::NotReady(what) => write!(f, "connection not ready: {what}"),
             SslError::PeerAlert(alert) => write!(f, "peer sent {alert}"),
+            SslError::Io(what) => write!(f, "transport failure: {what}"),
         }
     }
 }

@@ -56,9 +56,8 @@ impl ConnState {
             return Ok(fragment.to_vec());
         };
         let alg = self.mac_alg.expect("mac set whenever cipher is");
-        let (tag, mac_cycles) = measure(|| {
-            mac::compute(alg, &self.mac_secret, self.seq, content_type as u8, fragment)
-        });
+        let (tag, mac_cycles) =
+            measure(|| mac::compute(alg, &self.mac_secret, self.seq, content_type as u8, fragment));
         self.crypto.add("mac", mac_cycles);
         self.seq += 1;
         let mut body = Vec::with_capacity(fragment.len() + tag.len() + 16);
@@ -78,11 +77,7 @@ impl ConnState {
         Ok(body)
     }
 
-    fn unprotect(
-        &mut self,
-        content_type: ContentType,
-        body: &[u8],
-    ) -> Result<Vec<u8>, SslError> {
+    fn unprotect(&mut self, content_type: ContentType, body: &[u8]) -> Result<Vec<u8>, SslError> {
         let Some(cipher) = &mut self.cipher else {
             self.seq += 1;
             return Ok(body.to_vec());
@@ -376,10 +371,7 @@ mod tests {
     fn wrong_version_rejected() {
         let mut rx = RecordLayer::new();
         let bad = [22u8, 3, 1, 0, 0];
-        assert_eq!(
-            rx.open_one(&bad),
-            Err(SslError::UnsupportedVersion { major: 3, minor: 1 })
-        );
+        assert_eq!(rx.open_one(&bad), Err(SslError::UnsupportedVersion { major: 3, minor: 1 }));
     }
 
     #[test]

@@ -1,15 +1,15 @@
 //! The instrumented SSL v3 server, partitioned into the paper's ten steps.
 
+use crate::cache::{CachedSession, SessionCache, SimpleSessionCache};
 use crate::kdf::{self, KeyMaterial};
 use crate::messages::{HandshakeMessage, SessionId};
 use crate::record::{ContentType, RecordLayer};
 use crate::transcript::{Transcript, SENDER_CLIENT, SENDER_SERVER};
+use crate::transport::{read_record, Transport};
 use crate::{CipherSuite, SslError};
 use sslperf_profile::{measure, Cycles, PhaseSet, Stopwatch};
 use sslperf_rng::SslRng;
 use sslperf_rsa::{x509::Certificate, RsaPrivateKey};
-use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// The ten server-side handshake steps of the paper's Table 2.
 pub const SERVER_STEP_NAMES: [&str; 10] = [
@@ -25,12 +25,6 @@ pub const SERVER_STEP_NAMES: [&str; 10] = [
     "server_flush",
 ];
 
-#[derive(Debug, Clone)]
-struct CachedSession {
-    master: Vec<u8>,
-    suite: CipherSuite,
-}
-
 /// Long-lived server configuration: the RSA key, the certificate, and the
 /// session cache shared by every connection (session re-negotiation is the
 /// optimization §4.1 highlights).
@@ -38,18 +32,33 @@ struct CachedSession {
 pub struct ServerConfig {
     key: RsaPrivateKey,
     cert_wire: Vec<u8>,
-    cache: Mutex<HashMap<Vec<u8>, CachedSession>>,
+    cache: Box<dyn SessionCache>,
 }
 
 impl ServerConfig {
-    /// Builds a configuration with a fresh self-signed certificate.
+    /// Builds a configuration with a fresh self-signed certificate and the
+    /// default single-lock [`SimpleSessionCache`].
     ///
     /// # Errors
     ///
     /// Propagates certificate-signing failures.
     pub fn new(key: RsaPrivateKey, name: &str) -> Result<Self, SslError> {
+        Self::with_cache(key, name, Box::new(SimpleSessionCache::new()))
+    }
+
+    /// Builds a configuration with a caller-supplied session cache (e.g. a
+    /// sharded, bounded one for a multi-threaded serving layer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates certificate-signing failures.
+    pub fn with_cache(
+        key: RsaPrivateKey,
+        name: &str,
+        cache: Box<dyn SessionCache>,
+    ) -> Result<Self, SslError> {
         let cert = Certificate::self_signed(name, &key, 2004, 2010)?;
-        Ok(ServerConfig { key, cert_wire: cert.to_bytes(), cache: Mutex::new(HashMap::new()) })
+        Ok(ServerConfig { key, cert_wire: cert.to_bytes(), cache })
     }
 
     /// The server's private key.
@@ -58,34 +67,29 @@ impl ServerConfig {
         &self.key
     }
 
+    /// The installed session cache.
+    #[must_use]
+    pub fn session_cache(&self) -> &dyn SessionCache {
+        self.cache.as_ref()
+    }
+
     /// Number of cached (resumable) sessions.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache lock is poisoned.
     #[must_use]
     pub fn cached_sessions(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.cache.len()
     }
 
     /// Drops all cached sessions (forces full handshakes).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache lock is poisoned.
     pub fn clear_session_cache(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        self.cache.clear();
     }
 
     fn lookup(&self, id: &[u8]) -> Option<CachedSession> {
-        if id.is_empty() {
-            return None;
-        }
-        self.cache.lock().expect("cache lock").get(id).cloned()
+        self.cache.lookup(id)
     }
 
     fn store(&self, id: Vec<u8>, master: Vec<u8>, suite: CipherSuite) {
-        self.cache.lock().expect("cache lock").insert(id, CachedSession { master, suite });
+        self.cache.store(id, CachedSession { master, suite });
     }
 }
 
@@ -522,8 +526,69 @@ impl<'a> SslServer<'a> {
         if self.state != State::Established {
             return Err(SslError::NotReady("handshake incomplete"));
         }
-        self.records
-            .seal(ContentType::Alert, &crate::alert::Alert::close_notify().to_bytes())
+        self.records.seal(ContentType::Alert, &crate::alert::Alert::close_notify().to_bytes())
+    }
+
+    /// Drives the whole server side of the handshake over a [`Transport`],
+    /// full or resumed: the flight-based state machine unchanged, with
+    /// records read from and written to the stream instead of caller
+    /// buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Io`] on transport failures plus every error the
+    /// flight-based methods can return.
+    pub fn handshake_transport<T: Transport>(&mut self, transport: &mut T) -> Result<(), SslError> {
+        let hello = read_record(transport)?;
+        let reply = self.process_client_hello(&hello)?;
+        transport.send(&reply)?;
+        // Full handshake: key-exchange ‖ CCS ‖ finished. Resumed: CCS ‖
+        // finished only.
+        let record_count = if self.resumed { 2 } else { 3 };
+        let mut flight = Vec::new();
+        for _ in 0..record_count {
+            flight.extend(read_record(transport)?);
+        }
+        let reply = self.process_client_flight(&flight)?;
+        if !reply.is_empty() {
+            transport.send(&reply)?;
+        }
+        Ok(())
+    }
+
+    /// Seals application data and writes the records to the transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes and
+    /// [`SslError::Io`] on transport failures.
+    pub fn send<T: Transport>(&mut self, transport: &mut T, data: &[u8]) -> Result<(), SslError> {
+        let wire = self.seal(data)?;
+        transport.send(&wire)
+    }
+
+    /// Reads one record from the transport and returns its decrypted
+    /// application payload. Large messages span several records; callers
+    /// with framing (e.g. HTTP Content-Length) loop until satisfied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::PeerAlert`] when the peer closed the session,
+    /// [`SslError::Io`] on transport failures, or record-layer errors.
+    pub fn recv<T: Transport>(&mut self, transport: &mut T) -> Result<Vec<u8>, SslError> {
+        let record = read_record(transport)?;
+        self.open(&record)
+    }
+
+    /// Sends the `close_notify` alert over the transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes and
+    /// [`SslError::Io`] on transport failures.
+    pub fn close_transport<T: Transport>(&mut self, transport: &mut T) -> Result<(), SslError> {
+        let wire = self.close()?;
+        transport.send(&wire)
     }
 }
 
@@ -568,5 +633,42 @@ mod tests {
         let config = server_config();
         let mut server = SslServer::new(config, SslRng::from_seed(b"s"));
         assert!(server.process_client_hello(&[0xff; 40]).is_err());
+    }
+
+    #[test]
+    fn transport_handshake_full_then_resumed() {
+        use crate::transport::duplex_pair;
+        use crate::{CipherSuite, SslClient};
+
+        let config = server_config();
+        config.clear_session_cache();
+
+        // Full handshake plus one application-data round trip.
+        let (mut ct, mut st) = duplex_pair();
+        let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"tc1"));
+        let server_thread = std::thread::spawn(move || {
+            let mut server = SslServer::new(config, SslRng::from_seed(b"ts1"));
+            server.handshake_transport(&mut st).expect("server handshake");
+            let request = server.recv(&mut st).expect("request");
+            server.send(&mut st, &request).expect("echo");
+            server.resumed()
+        });
+        client.handshake_transport(&mut ct).expect("client handshake");
+        client.send(&mut ct, b"over the wire").expect("send");
+        assert_eq!(client.recv(&mut ct).expect("echo"), b"over the wire");
+        assert!(!server_thread.join().expect("server thread"));
+        let session = client.session().expect("established");
+
+        // Resumed handshake against the same config.
+        let (mut ct, mut st) = duplex_pair();
+        let mut client = SslClient::resuming(session, SslRng::from_seed(b"tc2"));
+        let server_thread = std::thread::spawn(move || {
+            let mut server = SslServer::new(config, SslRng::from_seed(b"ts2"));
+            server.handshake_transport(&mut st).expect("server handshake");
+            server.resumed()
+        });
+        client.handshake_transport(&mut ct).expect("resumed handshake");
+        assert!(client.resumed());
+        assert!(server_thread.join().expect("server thread"));
     }
 }

@@ -55,10 +55,7 @@ impl CipherSuite {
     ///
     /// Returns [`SslError::NoCommonCipher`] for an unknown id.
     pub fn from_wire_id(id: u16) -> Result<Self, SslError> {
-        Self::ALL
-            .into_iter()
-            .find(|s| s.wire_id() == id)
-            .ok_or(SslError::NoCommonCipher)
+        Self::ALL.into_iter().find(|s| s.wire_id() == id).ok_or(SslError::NoCommonCipher)
     }
 
     /// OpenSSL-style display name.

@@ -1,0 +1,219 @@
+//! Blocking byte-stream transports carrying SSL records.
+//!
+//! The handshake state machines are flight-based and operate on
+//! caller-owned buffers; [`Transport`] is the I/O seam underneath them.
+//! [`SslServer::handshake_transport`](crate::SslServer::handshake_transport)
+//! and [`SslClient::handshake_transport`](crate::SslClient::handshake_transport)
+//! drive a full or resumed handshake over any implementation, so the
+//! in-memory [`duplex_pair`] used by tests and the experiments and a real
+//! [`std::net::TcpStream`] are interchangeable backends.
+//!
+//! Records cross a transport exactly as they appear on the wire: the
+//! cleartext five-byte header (`type ‖ version ‖ length`) followed by the
+//! possibly-encrypted body, which is what [`read_record`] reassembles.
+
+use crate::SslError;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Size of the cleartext record header: content type, two version bytes,
+/// and the big-endian body length.
+pub const RECORD_HEADER_LEN: usize = 5;
+
+/// A blocking, ordered, reliable byte stream.
+///
+/// Implementations must deliver bytes in order and block until the
+/// requested amount is available (or the peer is gone).
+pub trait Transport {
+    /// Writes the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Io`] when the peer is unreachable.
+    fn send(&mut self, buf: &[u8]) -> Result<(), SslError>;
+
+    /// Fills the whole buffer, blocking until enough bytes arrive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Io`] on end-of-stream or transport failure.
+    fn recv_exact(&mut self, buf: &mut [u8]) -> Result<(), SslError>;
+}
+
+/// Reads one complete SSL record (header and body) from the transport.
+///
+/// The returned buffer is the record exactly as framed on the wire, ready
+/// for `RecordLayer::open_one`/`open_all`.
+///
+/// # Errors
+///
+/// Returns [`SslError::Io`] on stream errors and
+/// [`SslError::Decode`] when the header announces an oversized body.
+pub fn read_record<T: Transport + ?Sized>(transport: &mut T) -> Result<Vec<u8>, SslError> {
+    let mut header = [0u8; RECORD_HEADER_LEN];
+    transport.recv_exact(&mut header)?;
+    let body_len = usize::from(header[3]) << 8 | usize::from(header[4]);
+    // An encrypted body carries MAC and padding on top of MAX_FRAGMENT.
+    if body_len > crate::MAX_FRAGMENT + 1024 {
+        return Err(SslError::Decode("record length"));
+    }
+    let mut record = vec![0u8; RECORD_HEADER_LEN + body_len];
+    record[..RECORD_HEADER_LEN].copy_from_slice(&header);
+    transport.recv_exact(&mut record[RECORD_HEADER_LEN..])?;
+    Ok(record)
+}
+
+impl Transport for TcpStream {
+    fn send(&mut self, buf: &[u8]) -> Result<(), SslError> {
+        self.write_all(buf).and_then(|()| self.flush()).map_err(|e| SslError::Io(e.to_string()))
+    }
+
+    fn recv_exact(&mut self, buf: &mut [u8]) -> Result<(), SslError> {
+        self.read_exact(buf).map_err(|e| SslError::Io(e.to_string()))
+    }
+}
+
+/// One direction of an in-memory duplex: a byte queue plus a closed flag.
+#[derive(Debug, Default)]
+struct HalfPipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct PipeState {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+impl HalfPipe {
+    fn push(&self, buf: &[u8]) -> Result<(), SslError> {
+        let mut state = self.state.lock().expect("pipe lock");
+        if state.closed {
+            return Err(SslError::Io("peer closed the duplex".into()));
+        }
+        state.data.extend(buf);
+        self.readable.notify_all();
+        Ok(())
+    }
+
+    fn pull_exact(&self, buf: &mut [u8]) -> Result<(), SslError> {
+        let mut state = self.state.lock().expect("pipe lock");
+        while state.data.len() < buf.len() {
+            if state.closed {
+                return Err(SslError::Io("end of stream on duplex".into()));
+            }
+            state = self.readable.wait(state).expect("pipe lock");
+        }
+        for slot in buf.iter_mut() {
+            *slot = state.data.pop_front().expect("length checked");
+        }
+        Ok(())
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("pipe lock").closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One end of an in-memory, thread-safe duplex byte stream.
+///
+/// Created in connected pairs by [`duplex_pair`]. Dropping an end closes
+/// its outgoing direction, so the peer's blocked reads fail with
+/// [`SslError::Io`] instead of hanging.
+#[derive(Debug)]
+pub struct DuplexTransport {
+    outgoing: Arc<HalfPipe>,
+    incoming: Arc<HalfPipe>,
+}
+
+/// A connected pair of in-memory transports: bytes sent on one end arrive
+/// on the other, in both directions.
+#[must_use]
+pub fn duplex_pair() -> (DuplexTransport, DuplexTransport) {
+    let a_to_b = Arc::new(HalfPipe::default());
+    let b_to_a = Arc::new(HalfPipe::default());
+    (
+        DuplexTransport { outgoing: Arc::clone(&a_to_b), incoming: Arc::clone(&b_to_a) },
+        DuplexTransport { outgoing: b_to_a, incoming: a_to_b },
+    )
+}
+
+impl Transport for DuplexTransport {
+    fn send(&mut self, buf: &[u8]) -> Result<(), SslError> {
+        self.outgoing.push(buf)
+    }
+
+    fn recv_exact(&mut self, buf: &mut [u8]) -> Result<(), SslError> {
+        self.incoming.pull_exact(buf)
+    }
+}
+
+impl Drop for DuplexTransport {
+    fn drop(&mut self) {
+        // Close both directions: the peer's pending reads fail (no more
+        // bytes will come) and its writes fail (no reader remains).
+        self.outgoing.close();
+        self.incoming.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_carries_bytes_both_ways() {
+        let (mut a, mut b) = duplex_pair();
+        a.send(b"ping").unwrap();
+        b.send(b"pong!").unwrap();
+        let mut buf = [0u8; 4];
+        b.recv_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        let mut buf = [0u8; 5];
+        a.recv_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong!");
+    }
+
+    #[test]
+    fn recv_blocks_until_enough_bytes() {
+        let (mut a, mut b) = duplex_pair();
+        let writer = std::thread::spawn(move || {
+            a.send(b"he").unwrap();
+            a.send(b"llo").unwrap();
+        });
+        let mut buf = [0u8; 5];
+        b.recv_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_io_error() {
+        let (a, mut b) = duplex_pair();
+        drop(a);
+        let mut buf = [0u8; 1];
+        assert!(matches!(b.recv_exact(&mut buf), Err(SslError::Io(_))));
+        assert!(matches!(b.send(b"x"), Err(SslError::Io(_))));
+    }
+
+    #[test]
+    fn read_record_reassembles_header_and_body() {
+        let (mut a, mut b) = duplex_pair();
+        // A fake 3-byte record: type 23, version 3.0, length 3.
+        a.send(&[23, 3, 0, 0, 3]).unwrap();
+        a.send(b"abc").unwrap();
+        let record = read_record(&mut b).unwrap();
+        assert_eq!(record, [23, 3, 0, 0, 3, b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn read_record_rejects_oversized_length() {
+        let (mut a, mut b) = duplex_pair();
+        a.send(&[23, 3, 0, 0xff, 0xff]).unwrap();
+        assert!(matches!(read_record(&mut b), Err(SslError::Decode(_))));
+    }
+}

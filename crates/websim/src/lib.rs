@@ -303,8 +303,7 @@ mod tests {
         let small = server.run_transaction(1024, 4, None).unwrap();
         let large = server.run_transaction(32 * 1024, 5, None).unwrap();
         assert!(
-            large.crypto_categories.percent("private")
-                > small.crypto_categories.percent("private"),
+            large.crypto_categories.percent("private") > small.crypto_categories.percent("private"),
             "bulk encryption share must grow with the file"
         );
     }

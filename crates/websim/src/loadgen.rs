@@ -7,9 +7,13 @@
 //! full/resumed workload behind the paper's session re-negotiation
 //! discussion (§4.1).
 
+use crate::http::{HttpRequest, HttpResponse};
 use crate::{SecureWebServer, TransactionReport};
 use sslperf_profile::{Cycles, PhaseSet, Stopwatch};
-use sslperf_ssl::SslError;
+use sslperf_ssl::{CipherSuite, SslError};
+use std::fmt;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 /// Aggregate results of a load run.
 #[derive(Debug)]
@@ -113,6 +117,233 @@ pub fn run_with_resumption(
         }
     }
     Ok(LoadReport { transactions, wall: sw.elapsed(), components, resumed })
+}
+
+/// Tunables for [`run_socket_load`].
+#[derive(Debug, Clone)]
+pub struct SocketLoadOptions {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Measured transactions each client performs.
+    pub transactions_per_client: usize,
+    /// Unmeasured transactions each client runs first (connection setup,
+    /// cache warmup).
+    pub warmup_per_client: usize,
+    /// When true, every transaction after a client's first offers its
+    /// previous session id for resumption; when false every handshake is
+    /// full.
+    pub resume: bool,
+    /// Document size requested per transaction.
+    pub file_size: usize,
+    /// Cipher suite every client offers.
+    pub suite: CipherSuite,
+}
+
+impl Default for SocketLoadOptions {
+    fn default() -> Self {
+        SocketLoadOptions {
+            clients: 8,
+            transactions_per_client: 8,
+            warmup_per_client: 1,
+            resume: true,
+            file_size: 1024,
+            suite: CipherSuite::RsaDesCbc3Sha,
+        }
+    }
+}
+
+/// Latency distribution over the measured transactions of a socket run.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+}
+
+impl LatencyPercentiles {
+    fn from_sorted(sorted: &[Duration]) -> Self {
+        let at = |q: f64| {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        LatencyPercentiles { p50: at(0.50), p95: at(0.95), p99: at(0.99) }
+    }
+}
+
+impl fmt::Display for LatencyPercentiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p50 {:?}  p95 {:?}  p99 {:?}", self.p50, self.p95, self.p99)
+    }
+}
+
+/// Results of a socket-backed load run against a real TCP server.
+#[derive(Debug)]
+pub struct SocketLoadReport {
+    /// Measured transactions completed (warmup excluded).
+    pub transactions: usize,
+    /// Wall-clock time for the measured phase.
+    pub wall: Duration,
+    /// Measured transactions that resumed a cached session.
+    pub resumed: usize,
+    /// Handshake-only latency distribution.
+    pub handshake_latency: LatencyPercentiles,
+    /// Full-transaction (connect through close) latency distribution.
+    pub transaction_latency: LatencyPercentiles,
+}
+
+impl SocketLoadReport {
+    /// Measured transactions per wall-clock second.
+    #[must_use]
+    pub fn transactions_per_second(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.transactions as f64 / self.wall.as_secs_f64()
+    }
+}
+
+impl fmt::Display for SocketLoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "socket load: {} transactions in {:?} ({:.1} transactions/s)",
+            self.transactions,
+            self.wall,
+            self.transactions_per_second()
+        )?;
+        writeln!(f, "  resumed handshakes: {}/{}", self.resumed, self.transactions)?;
+        writeln!(f, "  handshake latency:   {}", self.handshake_latency)?;
+        write!(f, "  transaction latency: {}", self.transaction_latency)
+    }
+}
+
+/// Drives a TCP SSL server with concurrent client threads over real
+/// sockets, one connection per transaction (the paper's §3.1 driver, on
+/// the wire instead of in memory).
+///
+/// Each client performs `warmup_per_client` unmeasured transactions, then
+/// `transactions_per_client` measured ones; with
+/// [`SocketLoadOptions::resume`] set, each transaction after a client's
+/// first reconnects offering the previous session id, exercising the
+/// server's cross-connection session cache.
+///
+/// # Errors
+///
+/// Returns the first SSL or transport failure from any client.
+pub fn run_socket_load(
+    addr: SocketAddr,
+    options: &SocketLoadOptions,
+) -> Result<SocketLoadReport, SslError> {
+    let start = Instant::now();
+    let results: Vec<Result<Vec<TxnSample>, SslError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|c| scope.spawn(move || socket_client(addr, options, c)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall = start.elapsed();
+
+    let mut samples = Vec::new();
+    for result in results {
+        samples.extend(result?);
+    }
+    let transactions = samples.len();
+    let resumed = samples.iter().filter(|s| s.resumed).count();
+    let mut handshakes: Vec<Duration> = samples.iter().map(|s| s.handshake).collect();
+    let mut totals: Vec<Duration> = samples.iter().map(|s| s.total).collect();
+    handshakes.sort_unstable();
+    totals.sort_unstable();
+    Ok(SocketLoadReport {
+        transactions,
+        wall,
+        resumed,
+        handshake_latency: LatencyPercentiles::from_sorted(&handshakes),
+        transaction_latency: LatencyPercentiles::from_sorted(&totals),
+    })
+}
+
+struct TxnSample {
+    handshake: Duration,
+    total: Duration,
+    resumed: bool,
+}
+
+/// One client thread: sequential transactions, session carried across
+/// connections when resumption is on.
+fn socket_client(
+    addr: SocketAddr,
+    options: &SocketLoadOptions,
+    client_index: usize,
+) -> Result<Vec<TxnSample>, SslError> {
+    use sslperf_rng::SslRng;
+    use sslperf_ssl::{ClientSession, SslClient};
+
+    let total = options.warmup_per_client + options.transactions_per_client;
+    let mut samples = Vec::with_capacity(options.transactions_per_client);
+    let mut session: Option<ClientSession> = None;
+    for txn in 0..total {
+        let rng = SslRng::from_seed(
+            &[
+                b"socket-loadgen".as_slice(),
+                &(client_index as u64).to_le_bytes(),
+                &(txn as u64).to_le_bytes(),
+            ]
+            .concat(),
+        );
+        let mut client = match session.take() {
+            Some(s) if options.resume => SslClient::resuming(s, rng),
+            _ => SslClient::new(options.suite, rng),
+        };
+
+        let start = Instant::now();
+        let mut socket = TcpStream::connect(addr).map_err(|e| SslError::Io(e.to_string()))?;
+        // Without this, Nagle + delayed ACK stall the request that follows
+        // a resumed handshake's back-to-back small writes by ~40ms.
+        socket.set_nodelay(true).map_err(|e| SslError::Io(e.to_string()))?;
+        client.handshake_transport(&mut socket)?;
+        let handshake = start.elapsed();
+
+        let path = format!("/doc_{}.bin", options.file_size);
+        client.send(&mut socket, &HttpRequest::get(&path).to_bytes())?;
+        let response = read_response(&mut client, &mut socket, options.file_size)?;
+        if response.status() != 200 || response.body().len() != options.file_size {
+            return Err(SslError::Decode("unexpected http response"));
+        }
+        client.close_transport(&mut socket)?;
+        let elapsed = start.elapsed();
+
+        let resumed = client.resumed();
+        session = client.session();
+        if txn >= options.warmup_per_client {
+            samples.push(TxnSample { handshake, total: elapsed, resumed });
+        }
+    }
+    Ok(samples)
+}
+
+/// Accumulates records until the response's Content-Length is satisfied
+/// (documents larger than one record fragment span several).
+fn read_response(
+    client: &mut sslperf_ssl::SslClient,
+    socket: &mut TcpStream,
+    file_size: usize,
+) -> Result<HttpResponse, SslError> {
+    let max_records = file_size / sslperf_ssl::MAX_FRAGMENT + 4;
+    let mut buf = Vec::new();
+    for _ in 0..max_records {
+        buf.extend(client.recv(socket)?);
+        if let Ok(response) = HttpResponse::parse(&buf) {
+            return Ok(response);
+        }
+    }
+    // One final parse so the caller sees the real decode error.
+    HttpResponse::parse(&buf)
 }
 
 fn establish_session(

@@ -7,20 +7,21 @@
 use sslperf::experiments::{arch, hashes, rsa, symmetric};
 use sslperf::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
     let ctx = if quick { Context::quick() } else { Context::paper() };
 
-    println!("{}", symmetric::fig3(&ctx));
+    println!("{}", symmetric::fig3(&ctx)?);
     println!("{}", symmetric::table4());
     println!();
-    println!("{}", symmetric::table5(&ctx));
-    println!("{}", symmetric::table6(&ctx));
-    println!("{}", rsa::table7(&ctx));
-    println!("{}", rsa::table8(&ctx));
+    println!("{}", symmetric::table5(&ctx)?);
+    println!("{}", symmetric::table6(&ctx)?);
+    println!("{}", rsa::table7(&ctx)?);
+    println!("{}", rsa::table8(&ctx)?);
     println!("{}", arch::table9());
     println!();
     println!("{}", hashes::table10(&ctx));
-    println!("{}", arch::table11(&ctx));
-    println!("{}", arch::table12(&ctx));
+    println!("{}", arch::table11(&ctx)?);
+    println!("{}", arch::table12(&ctx)?);
+    Ok(())
 }

@@ -4,17 +4,20 @@
 //!
 //! Run with: `cargo run --release --example handshake_anatomy [--quick]`
 
-use sslperf::prelude::*;
 use sslperf::experiments::{handshake, webserver};
+use sslperf::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
-    println!("Building experiment context ({})…", if quick { "quick: RSA-512" } else { "paper: RSA-1024" });
+    println!(
+        "Building experiment context ({})…",
+        if quick { "quick: RSA-512" } else { "paper: RSA-1024" }
+    );
     let ctx = if quick { Context::quick() } else { Context::paper() };
 
-    let t2 = handshake::table2(&ctx);
+    let t2 = handshake::table2(&ctx)?;
     println!("\n{t2}");
-    let t3 = handshake::table3(&ctx);
+    let t3 = handshake::table3(&ctx)?;
     println!("\n{t3}");
 
     // Session resumption: the optimization the paper highlights —
@@ -46,4 +49,5 @@ fn main() {
     );
 
     let _ = webserver::PAPER_TABLE1; // (referenced so the module link is obvious)
+    Ok(())
 }

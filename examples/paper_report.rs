@@ -6,9 +6,13 @@
 use sslperf::experiments;
 use sslperf::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let ctx = if quick { Context::quick() } else { Context::paper() };
+    let ctx = if quick {
+        Context::builder().key_bits(512).iterations(2).build()?
+    } else {
+        Context::builder().build()?
+    };
     println!(
         "Anatomy and Performance of SSL Processing (ISPASS 2005) — full reproduction\n\
          context: RSA-{} server key, {} iterations, suite {}\n",
@@ -16,6 +20,9 @@ fn main() {
         ctx.iterations(),
         ctx.suite()
     );
-    let report = experiments::run_all(&ctx);
-    println!("{report}");
+    for (id, report) in experiments::run_all_reports(&ctx)? {
+        println!("[{id}]");
+        println!("{report}");
+    }
+    Ok(())
 }

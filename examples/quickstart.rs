@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let response = vec![0x42u8; 20_000]; // spans two records
     let wire = server.seal(&response)?;
     assert_eq!(client.open(&wire)?, response);
-    println!("bulk data round-tripped: {} request bytes, {} response bytes\n", request.len(), response.len());
+    println!(
+        "bulk data round-tripped: {} request bytes, {} response bytes\n",
+        request.len(),
+        response.len()
+    );
 
     // 4. The instrumentation the paper is about: per-step handshake costs.
     println!("Server handshake anatomy (Table 2 shape):");

@@ -7,13 +7,13 @@
 use sslperf::experiments::webserver;
 use sslperf::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
     let ctx = if quick { Context::quick() } else { Context::paper() };
 
-    println!("{}", webserver::table1(&ctx));
+    println!("{}", webserver::table1(&ctx)?);
     println!();
-    println!("{}", webserver::fig2(&ctx));
+    println!("{}", webserver::fig2(&ctx)?);
 
     // A qualitative sweep the paper's intro motivates: banking-style (tiny
     // responses, handshake-dominated) vs B2B-style (large transfers,
@@ -21,7 +21,9 @@ fn main() {
     println!("Workload character sweep (DES-CBC3-SHA):");
     let server = SecureWebServer::new(ctx.server_config(), ctx.suite());
     ctx.server_config().clear_session_cache();
-    for (label, size) in [("banking (1 KB)", 1024), ("portal (16 KB)", 16 * 1024), ("B2B (128 KB)", 128 * 1024)] {
+    for (label, size) in
+        [("banking (1 KB)", 1024), ("portal (16 KB)", 16 * 1024), ("B2B (128 KB)", 128 * 1024)]
+    {
         let report = server.run_with_session(size, size as u64, None).expect("transaction");
         println!(
             "  {label:<16} ssl={:5.1}%  public-key share of crypto={:5.1}%  private={:5.1}%",
@@ -52,4 +54,5 @@ fn main() {
         reused.resumed,
         reused.components.cycles("libcrypto"),
     );
+    Ok(())
 }

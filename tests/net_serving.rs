@@ -1,0 +1,207 @@
+//! Integration coverage for the real-socket serving engine: the sharded
+//! session cache, cross-connection resumption over both the in-memory and
+//! the TCP transport, tampered-id fallback, and the end-to-end loaded run
+//! that reproduces the paper's §3 measurement scenario.
+
+use sslperf::prelude::*;
+use sslperf::ssl::duplex_pair;
+use sslperf::websim::loadgen::{run_socket_load, SocketLoadOptions};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// A deterministic 512-bit key (`RsaPrivateKey` is deliberately not
+/// `Clone`, so each server regenerates from the fixed seed).
+fn key() -> RsaPrivateKey {
+    let mut rng = SslRng::from_seed(b"net-serving-tests");
+    RsaPrivateKey::generate(512, &mut rng).expect("keygen")
+}
+
+fn start_server() -> TcpSslServer {
+    TcpSslServer::start(key(), "net.sslperf.test", &ServerOptions::default()).expect("server start")
+}
+
+/// Server-side counters update after the worker finishes its half of the
+/// exchange, which the client does not wait for; poll briefly.
+fn eventually(mut f: impl FnMut() -> bool) -> bool {
+    for _ in 0..200 {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    false
+}
+
+fn tcp_handshake(server: &TcpSslServer, client: &mut SslClient) -> TcpStream {
+    let mut socket = TcpStream::connect(server.local_addr()).expect("connect");
+    socket.set_nodelay(true).expect("nodelay");
+    client.handshake_transport(&mut socket).expect("handshake");
+    socket
+}
+
+#[test]
+fn sharded_cache_spreads_sessions_and_counts_lookups() {
+    let cache = ShardedSessionCache::new(8, 64);
+    for i in 0..64u8 {
+        let session =
+            sslperf::ssl::CachedSession { master: vec![i; 48], suite: CipherSuite::RsaDesCbc3Sha };
+        cache.store(vec![i; 32], session);
+    }
+    assert_eq!(cache.len(), 64);
+    let populated = (0..cache.shard_count()).filter(|&s| cache.shard_len(s) > 0).count();
+    assert!(populated >= 4, "sessions must spread over shards, got {populated}");
+    assert!(cache.lookup(&[0; 32]).is_some());
+    assert!(cache.lookup(&[99; 32]).is_none());
+    assert_eq!((cache.hits(), cache.misses()), (1, 1));
+}
+
+#[test]
+fn sharded_cache_evicts_in_lru_order() {
+    let cache = ShardedSessionCache::new(1, 3);
+    let session = |n: u8| sslperf::ssl::CachedSession {
+        master: vec![n; 48],
+        suite: CipherSuite::RsaDesCbc3Sha,
+    };
+    cache.store(vec![1], session(1));
+    cache.store(vec![2], session(2));
+    cache.store(vec![3], session(3));
+    // Touch 1 and 2; 3 becomes least recently used, then overflow twice.
+    assert!(cache.lookup(&[1]).is_some());
+    assert!(cache.lookup(&[2]).is_some());
+    cache.store(vec![4], session(4));
+    assert!(cache.lookup(&[3]).is_none(), "LRU entry 3 evicted first");
+    cache.store(vec![5], session(5));
+    assert!(cache.lookup(&[1]).is_none(), "then the next-oldest touch");
+    assert!(cache.lookup(&[2]).is_some());
+    assert!(cache.lookup(&[4]).is_some());
+    assert!(cache.lookup(&[5]).is_some());
+}
+
+#[test]
+fn resumption_hits_shared_cache_over_in_memory_transport() {
+    let cache = Arc::new(ShardedSessionCache::new(4, 16));
+    let config = Arc::new(
+        ServerConfig::with_cache(key(), "mem.sslperf.test", Box::new(Arc::clone(&cache)))
+            .expect("config"),
+    );
+
+    let (mut ct, mut st) = duplex_pair();
+    let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"mem-c1"));
+    let server_config = Arc::clone(&config);
+    let server_thread = std::thread::spawn(move || {
+        let mut server = SslServer::new(&server_config, SslRng::from_seed(b"mem-s1"));
+        server.handshake_transport(&mut st).expect("server handshake");
+        server.resumed()
+    });
+    client.handshake_transport(&mut ct).expect("client handshake");
+    assert!(!server_thread.join().expect("server thread"), "first handshake is full");
+    let session = client.session().expect("established");
+    assert_eq!(cache.len(), 1, "session stored in the shared cache");
+
+    // "Reconnect": a fresh duplex pair, fresh state machines, same cache.
+    let (mut ct, mut st) = duplex_pair();
+    let mut client = SslClient::resuming(session, SslRng::from_seed(b"mem-c2"));
+    let server_config = Arc::clone(&config);
+    let server_thread = std::thread::spawn(move || {
+        let mut server = SslServer::new(&server_config, SslRng::from_seed(b"mem-s2"));
+        server.handshake_transport(&mut st).expect("server handshake");
+        server.resumed()
+    });
+    client.handshake_transport(&mut ct).expect("resumed handshake");
+    assert!(client.resumed());
+    assert!(server_thread.join().expect("server thread"), "server resumed from cache");
+    assert!(cache.hits() >= 1, "resumption must count as a cache hit");
+}
+
+#[test]
+fn resumption_hits_after_tcp_reconnect() {
+    let server = start_server();
+    let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"tcp-c1"));
+    let mut socket = tcp_handshake(&server, &mut client);
+    assert!(!client.resumed());
+    let session = client.session().expect("established");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+
+    let mut client = SslClient::resuming(session, SslRng::from_seed(b"tcp-c2"));
+    let mut socket = tcp_handshake(&server, &mut client);
+    assert!(client.resumed(), "second connection resumes across the socket");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+
+    assert!(server.session_cache().hits() >= 1);
+    let stats = server.stats();
+    assert!(
+        eventually(|| stats.full_handshakes() == 1 && stats.resumed_handshakes() == 1),
+        "one full + one resumed, got {} + {}",
+        stats.full_handshakes(),
+        stats.resumed_handshakes()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn tampered_session_id_misses_and_falls_back_to_full() {
+    let server = start_server();
+    let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"tam-c1"));
+    let mut socket = tcp_handshake(&server, &mut client);
+    let session = client.session().expect("established");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+
+    let tampered = session.with_id(vec![0xA5; session.id().len()]);
+    let mut client = SslClient::resuming(tampered, SslRng::from_seed(b"tam-c2"));
+    let mut socket = tcp_handshake(&server, &mut client);
+    assert!(!client.resumed(), "unknown id must fall back to a full handshake");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+
+    assert!(server.session_cache().misses() >= 1, "tampered id counts as a miss");
+    assert!(
+        eventually(|| server.stats().full_handshakes() == 2),
+        "both handshakes were full, got {}",
+        server.stats().full_handshakes()
+    );
+    assert_eq!(server.stats().resumed_handshakes(), 0);
+    server.shutdown();
+}
+
+/// The acceptance scenario: ≥64 transactions from ≥8 concurrent client
+/// threads against the TCP server on loopback, with a nonzero resumption
+/// hit rate and a report carrying throughput plus latency percentiles.
+#[test]
+fn loaded_server_end_to_end() {
+    let server = start_server();
+    let options = SocketLoadOptions {
+        clients: 8,
+        transactions_per_client: 8,
+        warmup_per_client: 1,
+        resume: true,
+        file_size: 1024,
+        suite: CipherSuite::RsaDesCbc3Sha,
+    };
+    let report = run_socket_load(server.local_addr(), &options).expect("load run");
+
+    assert_eq!(report.transactions, 64, "8 clients × 8 measured transactions");
+    assert!(report.resumed > 0, "resumption must happen under load");
+    assert!(report.transactions_per_second() > 0.0);
+    assert!(server.session_cache().hits() > 0, "session-resumption hit rate > 0");
+
+    let rendered = report.to_string();
+    assert!(rendered.contains("transactions/s"), "throughput line: {rendered}");
+    for marker in ["p50", "p95", "p99"] {
+        assert!(rendered.contains(marker), "missing {marker}: {rendered}");
+    }
+    assert!(rendered.contains("handshake latency"), "handshake percentiles: {rendered}");
+    assert!(rendered.contains("transaction latency"), "transaction percentiles: {rendered}");
+
+    let stats = server.stats();
+    assert!(
+        eventually(|| stats.transactions() >= 64 + 8),
+        "warmups serve too, got {}",
+        stats.transactions()
+    );
+    assert!(stats.resumed_handshakes() > 0);
+    assert_eq!(stats.errors(), 0, "clean run");
+    server.shutdown();
+}
