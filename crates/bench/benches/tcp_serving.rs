@@ -81,5 +81,69 @@ fn bench_resumed_transaction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_transaction, bench_resumed_transaction);
+/// Steady-state bulk serving on one live connection: 64 KiB documents
+/// (four records each way at most), no handshake in the loop. The two
+/// variants time the legacy Vec-per-record client path against the
+/// zero-copy buffered path, so the record pipeline's allocation savings
+/// show up directly instead of hiding under handshake cost.
+fn bench_bulk_records(c: &mut Criterion) {
+    const BULK_SIZE: usize = 65536;
+    let addr = server().local_addr();
+    let mut group = c.benchmark_group("tcp_serving/bulk");
+    group.sample_size(30);
+
+    let connect = |seed: u64| {
+        let rng = SslRng::from_seed(format!("bench-tcp-bulk-{seed}").as_bytes());
+        let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, rng);
+        let mut socket = TcpStream::connect(addr).expect("connect");
+        socket.set_nodelay(true).expect("nodelay");
+        client.handshake_transport(&mut socket).expect("handshake");
+        (client, socket)
+    };
+    let request = HttpRequest::get(&format!("/doc_{BULK_SIZE}.bin")).to_bytes();
+
+    group.bench_function("64KB legacy Vec API", |b| {
+        let (mut client, mut socket) = connect(1);
+        let mut body = Vec::new();
+        b.iter(|| {
+            client.send(&mut socket, &request).expect("request");
+            body.clear();
+            loop {
+                body.extend(client.recv(&mut socket).expect("response record"));
+                if let Ok(response) = HttpResponse::parse(&body) {
+                    assert_eq!(response.body().len(), BULK_SIZE);
+                    break;
+                }
+            }
+            black_box(body.len());
+        });
+        client.close_transport(&mut socket).expect("close");
+    });
+
+    group.bench_function("64KB buffered zero-copy", |b| {
+        let (mut client, mut socket) = connect(2);
+        let mut tx_buf = sslperf_core::ssl::RecordBuffer::with_record_capacity();
+        let mut rx_buf = sslperf_core::ssl::RecordBuffer::with_record_capacity();
+        let mut body = Vec::new();
+        b.iter(|| {
+            client.send_buffered(&mut socket, &request, &mut tx_buf).expect("request");
+            body.clear();
+            loop {
+                let range =
+                    client.recv_buffered(&mut socket, &mut rx_buf).expect("response record");
+                body.extend_from_slice(&rx_buf.as_slice()[range]);
+                if let Ok(response) = HttpResponse::parse(&body) {
+                    assert_eq!(response.body().len(), BULK_SIZE);
+                    break;
+                }
+            }
+            black_box(body.len());
+        });
+        client.close_transport(&mut socket).expect("close");
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_transaction, bench_resumed_transaction, bench_bulk_records);
 criterion_main!(benches);

@@ -7,6 +7,11 @@
 
 use crate::{BlockCipher, CipherError};
 
+/// Largest block length supported by the chaining buffers (AES's 16 bytes).
+/// Keeping the chaining state on the stack lets `decrypt` run without heap
+/// allocation, which the record layer's in-place pipeline depends on.
+const MAX_BLOCK: usize = 16;
+
 /// A CBC-mode wrapper owning the cipher and the running IV.
 ///
 /// # Examples
@@ -39,7 +44,7 @@ impl<C: BlockCipher> Cbc<C> {
     /// Returns [`CipherError::InvalidDataLen`] if `iv` is not exactly one
     /// block long.
     pub fn new(cipher: C, iv: Vec<u8>) -> Result<Self, CipherError> {
-        if iv.len() != cipher.block_len() {
+        if iv.len() != cipher.block_len() || iv.len() > MAX_BLOCK {
             return Err(CipherError::InvalidDataLen { got: iv.len(), block: cipher.block_len() });
         }
         Ok(Cbc { cipher, iv })
@@ -96,16 +101,18 @@ impl<C: BlockCipher> Cbc<C> {
         if !data.len().is_multiple_of(block) {
             return Err(CipherError::InvalidDataLen { got: data.len(), block });
         }
-        let mut prev = self.iv.clone();
+        let mut prev = [0u8; MAX_BLOCK];
+        prev[..block].copy_from_slice(&self.iv);
+        let mut cipher_block = [0u8; MAX_BLOCK];
         for chunk in data.chunks_mut(block) {
-            let cipher_block = chunk.to_vec();
+            cipher_block[..block].copy_from_slice(chunk);
             self.cipher.decrypt_block(chunk);
-            for (b, pv) in chunk.iter_mut().zip(&prev) {
+            for (b, pv) in chunk.iter_mut().zip(&prev[..block]) {
                 *b ^= pv;
             }
-            prev = cipher_block;
+            prev[..block].copy_from_slice(&cipher_block[..block]);
         }
-        self.iv = prev;
+        self.iv.copy_from_slice(&prev[..block]);
         Ok(())
     }
 }

@@ -249,6 +249,7 @@ impl Context {
     /// Panics if key generation fails (not observed in practice) or
     /// `iterations` is zero.
     #[deprecated(since = "0.2.0", note = "use Context::builder(), which returns Result")]
+    #[doc(hidden)]
     #[must_use]
     pub fn with_settings(key_bits: usize, iterations: usize) -> Self {
         Self::builder().key_bits(key_bits).iterations(iterations).build().expect("context settings")

@@ -59,10 +59,26 @@ impl Hmac {
     /// Produces the authentication tag.
     #[must_use]
     pub fn finalize(self) -> Vec<u8> {
-        let inner_digest = self.inner.finalize();
+        let alg = self.inner.alg();
+        let mut tag = vec![0u8; alg.output_len()];
+        self.finalize_into(&mut tag);
+        tag
+    }
+
+    /// Like [`Hmac::finalize`], but writes the tag into `out` without heap
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out` is exactly [`HashAlg::output_len`] bytes.
+    pub fn finalize_into(self, out: &mut [u8]) {
+        let alg = self.inner.alg();
+        let mut inner_digest = [0u8; 20];
+        let inner_digest = &mut inner_digest[..alg.output_len()];
+        self.inner.finalize_into(inner_digest);
         let mut outer = self.outer;
-        outer.update(&inner_digest);
-        outer.finalize()
+        outer.update(inner_digest);
+        outer.finalize_into(out);
     }
 
     /// One-shot convenience: MAC of `data` under `key`.
@@ -134,6 +150,17 @@ mod tests {
         m.update(b"ab");
         m.update(b"cd");
         assert_eq!(m.finalize(), Hmac::mac(HashAlg::Md5, b"k", b"abcd"));
+    }
+
+    #[test]
+    fn finalize_into_matches_finalize() {
+        for alg in [HashAlg::Md5, HashAlg::Sha1] {
+            let mut m = Hmac::new(alg, b"key");
+            m.update(b"message");
+            let mut tag = vec![0u8; alg.output_len()];
+            m.clone().finalize_into(&mut tag);
+            assert_eq!(tag, m.finalize());
+        }
     }
 
     #[test]

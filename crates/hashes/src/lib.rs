@@ -155,6 +155,20 @@ impl Hasher {
         }
     }
 
+    /// Like [`Hasher::finalize`], but writes the digest into `out` without
+    /// heap allocation — the record layer's zero-copy MAC path depends on
+    /// this.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out` is exactly [`HashAlg::output_len`] bytes.
+    pub fn finalize_into(self, out: &mut [u8]) {
+        match self.inner {
+            HasherInner::Md5(h) => out.copy_from_slice(&h.finalize()),
+            HasherInner::Sha1(h) => out.copy_from_slice(&h.finalize()),
+        }
+    }
+
     /// One-shot convenience: digest `data` with `alg`.
     #[must_use]
     pub fn digest(alg: HashAlg, data: &[u8]) -> Vec<u8> {
@@ -187,6 +201,17 @@ mod tests {
     fn hasher_reports_alg() {
         assert_eq!(Hasher::new(HashAlg::Md5).alg(), HashAlg::Md5);
         assert_eq!(Hasher::new(HashAlg::Sha1).alg(), HashAlg::Sha1);
+    }
+
+    #[test]
+    fn finalize_into_matches_finalize() {
+        for alg in [HashAlg::Md5, HashAlg::Sha1] {
+            let mut h = Hasher::new(alg);
+            h.update(b"abc");
+            let mut out = vec![0u8; alg.output_len()];
+            h.clone().finalize_into(&mut out);
+            assert_eq!(out, h.finalize());
+        }
     }
 
     #[test]

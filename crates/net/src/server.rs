@@ -12,7 +12,7 @@
 use crate::cache::ShardedSessionCache;
 use sslperf_rng::SslRng;
 use sslperf_rsa::RsaPrivateKey;
-use sslperf_ssl::{ServerConfig, SslError, SslServer};
+use sslperf_ssl::{RecordBuffer, ServerConfig, SslError, SslServer};
 use sslperf_websim::http::{synthesize_document, HttpRequest, HttpResponse};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -255,9 +255,14 @@ fn serve_connection(config: &ServerConfig, stats: &ServerStats, stream: TcpStrea
         stats.full_handshakes.fetch_add(1, Ordering::Relaxed);
     }
 
+    // One reusable buffer pair per connection: every record of the
+    // session is received, decrypted, sealed and sent inside these two
+    // allocations (the zero-copy record pipeline).
+    let mut rx_buf = RecordBuffer::with_record_capacity();
+    let mut tx_buf = RecordBuffer::with_record_capacity();
     loop {
-        let payload = match server.recv(&mut transport) {
-            Ok(payload) => payload,
+        let payload_range = match server.recv_buffered(&mut transport, &mut rx_buf) {
+            Ok(range) => range,
             Err(SslError::PeerAlert(alert)) if alert.is_close_notify() => {
                 let _ = server.close_transport(&mut transport);
                 return;
@@ -268,14 +273,14 @@ fn serve_connection(config: &ServerConfig, stats: &ServerStats, stream: TcpStrea
                 return;
             }
         };
-        let response = match HttpRequest::parse(&payload) {
+        let response = match HttpRequest::parse(&rx_buf.as_slice()[payload_range]) {
             Ok(request) => respond(&request),
             Err(_) => {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         };
-        if server.send(&mut transport, &response.to_bytes()).is_err() {
+        if server.send_buffered(&mut transport, &response.to_bytes(), &mut tx_buf).is_err() {
             stats.errors.fetch_add(1, Ordering::Relaxed);
             return;
         }

@@ -2,12 +2,13 @@
 
 use crate::kdf::{self, KeyMaterial};
 use crate::messages::{HandshakeMessage, SessionId};
-use crate::record::{ContentType, RecordLayer};
+use crate::record::{ContentType, RecordBuffer, RecordLayer};
 use crate::transcript::{Transcript, SENDER_CLIENT, SENDER_SERVER};
-use crate::transport::{read_record, Transport};
+use crate::transport::{read_record, read_record_into, Transport};
 use crate::{CipherSuite, SslError, VERSION};
 use sslperf_rng::SslRng;
 use sslperf_rsa::x509::Certificate;
+use std::ops::Range;
 
 /// A resumable session handle returned by [`SslClient::session`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -337,6 +338,40 @@ impl SslClient {
         self.records.seal(ContentType::ApplicationData, data)
     }
 
+    /// Encrypts application data into a reusable [`RecordBuffer`] without
+    /// allocating (bulk-data phase, zero-copy path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes.
+    pub fn seal_into(&mut self, data: &[u8], out: &mut RecordBuffer) -> Result<(), SslError> {
+        if self.state != State::Established {
+            return Err(SslError::NotReady("handshake incomplete"));
+        }
+        self.records.seal_into(ContentType::ApplicationData, data, out)
+    }
+
+    /// Decrypts the single application-data record in `buf` in place,
+    /// returning the range of `buf` holding the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes,
+    /// [`SslError::PeerAlert`] when the peer closed the session, or
+    /// record-layer errors.
+    pub fn open_in_place(&mut self, buf: &mut RecordBuffer) -> Result<Range<usize>, SslError> {
+        if self.state != State::Established {
+            return Err(SslError::NotReady("handshake incomplete"));
+        }
+        match self.records.open_in_place(buf)? {
+            (ContentType::ApplicationData, range) => Ok(range),
+            (ContentType::Alert, range) => {
+                Err(SslError::PeerAlert(crate::alert::Alert::from_bytes(&buf.as_slice()[range])?))
+            }
+            _ => Err(SslError::UnexpectedMessage { expected: "application data" }),
+        }
+    }
+
     /// Decrypts application-data records, concatenating their payloads.
     ///
     /// # Errors
@@ -426,6 +461,41 @@ impl SslClient {
     pub fn recv<T: Transport>(&mut self, transport: &mut T) -> Result<Vec<u8>, SslError> {
         let record = read_record(transport)?;
         self.open(&record)
+    }
+
+    /// Seals application data into the caller's [`RecordBuffer`] and writes
+    /// the records to the transport — the zero-allocation send path when
+    /// `buf` is reused across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes and
+    /// [`SslError::Io`] on transport failures.
+    pub fn send_buffered<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        data: &[u8],
+        buf: &mut RecordBuffer,
+    ) -> Result<(), SslError> {
+        self.seal_into(data, buf)?;
+        transport.send(buf.as_slice())
+    }
+
+    /// Reads one record into the caller's [`RecordBuffer`], decrypts it in
+    /// place and returns the plaintext range — the zero-allocation receive
+    /// path when `buf` is reused across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::PeerAlert`] when the peer closed the session,
+    /// [`SslError::Io`] on transport failures, or record-layer errors.
+    pub fn recv_buffered<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        buf: &mut RecordBuffer,
+    ) -> Result<Range<usize>, SslError> {
+        read_record_into(transport, buf)?;
+        self.open_in_place(buf)
     }
 
     /// Sends the `close_notify` alert over the transport.

@@ -71,10 +71,10 @@ pub mod transport;
 pub use cache::{CachedSession, SessionCache, SimpleSessionCache};
 pub use client::{ClientSession, SslClient};
 pub use messages::{HandshakeType, SessionId};
-pub use record::{ContentType, RecordLayer, MAX_FRAGMENT};
+pub use record::{ContentType, RecordBuffer, RecordLayer, MAX_FRAGMENT, MAX_RECORD_BODY};
 pub use server::{ServerConfig, SslServer, SERVER_STEP_NAMES};
 pub use suites::{BulkCipher, CipherSuite};
-pub use transport::{duplex_pair, read_record, DuplexTransport, Transport};
+pub use transport::{duplex_pair, read_record, read_record_into, DuplexTransport, Transport};
 
 use sslperf_ciphers::CipherError;
 use sslperf_rsa::RsaError;

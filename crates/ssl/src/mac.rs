@@ -7,8 +7,12 @@
 use sslperf_hashes::{HashAlg, Hasher};
 use sslperf_profile::counters;
 
-const PAD1: u8 = 0x36;
-const PAD2: u8 = 0x5c;
+const PAD1: [u8; 48] = [0x36; 48];
+const PAD2: [u8; 48] = [0x5c; 48];
+
+/// Largest MAC the record layer handles (SHA-1's 20 bytes); sizes the
+/// stack buffers in [`compute_into`] and [`verify`].
+pub const MAX_MAC_LEN: usize = 20;
 
 /// Pad length for the SSLv3 MAC: 48 bytes for MD5, 40 for SHA-1.
 #[must_use]
@@ -35,22 +39,43 @@ pub fn pad_len(alg: HashAlg) -> usize {
 /// ```
 #[must_use]
 pub fn compute(alg: HashAlg, secret: &[u8], seq: u64, content_type: u8, data: &[u8]) -> Vec<u8> {
+    let mut tag = vec![0u8; alg.output_len()];
+    compute_into(alg, secret, seq, content_type, data, &mut tag);
+    tag
+}
+
+/// Computes the SSLv3 record MAC into a caller-provided slice, without heap
+/// allocation — the primitive behind the record layer's in-place pipeline.
+///
+/// # Panics
+///
+/// Panics unless `tag` is exactly [`HashAlg::output_len`] bytes.
+pub fn compute_into(
+    alg: HashAlg,
+    secret: &[u8],
+    seq: u64,
+    content_type: u8,
+    data: &[u8],
+    tag: &mut [u8],
+) {
     counters::count("ssl3_mac", data.len() as u64);
     let n = pad_len(alg);
     let mut inner = Hasher::new(alg);
     inner.update(secret);
-    inner.update(&vec![PAD1; n]);
+    inner.update(&PAD1[..n]);
     inner.update(&seq.to_be_bytes());
     inner.update(&[content_type]);
     inner.update(&(data.len() as u16).to_be_bytes());
     inner.update(data);
-    let inner_digest = inner.finalize();
+    let mut inner_digest = [0u8; MAX_MAC_LEN];
+    let inner_digest = &mut inner_digest[..alg.output_len()];
+    inner.finalize_into(inner_digest);
 
     let mut outer = Hasher::new(alg);
     outer.update(secret);
-    outer.update(&vec![PAD2; n]);
-    outer.update(&inner_digest);
-    outer.finalize()
+    outer.update(&PAD2[..n]);
+    outer.update(inner_digest);
+    outer.finalize_into(tag);
 }
 
 /// Verifies a record MAC in (non-constant-time) comparison.
@@ -63,7 +88,13 @@ pub fn verify(
     data: &[u8],
     tag: &[u8],
 ) -> bool {
-    compute(alg, secret, seq, content_type, data) == tag
+    if tag.len() != alg.output_len() {
+        return false;
+    }
+    let mut expected = [0u8; MAX_MAC_LEN];
+    let expected = &mut expected[..alg.output_len()];
+    compute_into(alg, secret, seq, content_type, data, expected);
+    expected as &[u8] == tag
 }
 
 #[cfg(test)]
@@ -107,6 +138,21 @@ mod tests {
         let mut bad = tag.clone();
         bad[0] ^= 1;
         assert!(!verify(HashAlg::Md5, b"secret", 9, 23, b"payload", &bad));
+    }
+
+    #[test]
+    fn compute_into_matches_compute() {
+        for alg in [HashAlg::Md5, HashAlg::Sha1] {
+            let mut tag = vec![0u8; alg.output_len()];
+            compute_into(alg, b"secret", 7, 23, b"payload", &mut tag);
+            assert_eq!(tag, compute(alg, b"secret", 7, 23, b"payload"));
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length_tag() {
+        let tag = compute(HashAlg::Sha1, b"k", 0, 23, b"x");
+        assert!(!verify(HashAlg::Sha1, b"k", 0, 23, b"x", &tag[..19]));
     }
 
     #[test]

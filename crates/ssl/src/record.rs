@@ -5,12 +5,106 @@
 //! direction keeps its own sequence number and (for CBC) running IV, both
 //! reset when a `ChangeCipherSpec` activates new keys.
 
+use crate::transport::RECORD_HEADER_LEN;
 use crate::{mac, BulkCipher, SslError, VERSION};
 use sslperf_hashes::HashAlg;
 use sslperf_profile::{measure, PhaseSet};
+use std::ops::Range;
 
 /// Maximum plaintext fragment per record (2¹⁴ bytes, per the SSL3 spec).
 pub const MAX_FRAGMENT: usize = 16_384;
+
+/// Maximum record body on the wire: a full fragment plus the SSLv3
+/// allowance of 2048 bytes for MAC and padding (the spec's
+/// `SSLCiphertext.length` bound). Anything longer is a framing error.
+pub const MAX_RECORD_BODY: usize = MAX_FRAGMENT + 2048;
+
+/// A reusable, connection-lifetime buffer for wire-format records.
+///
+/// The zero-copy pipeline ([`RecordLayer::seal_into`],
+/// [`RecordLayer::open_in_place`], `read_record_into`) seals, transports and
+/// opens records inside one of these; once warmed to record capacity, the
+/// steady-state data path performs no heap allocation at all (proved by the
+/// `alloc_budget` integration test).
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_ssl::{ContentType, RecordBuffer, RecordLayer};
+///
+/// let mut tx = RecordLayer::new();
+/// let mut rx = RecordLayer::new();
+/// let mut buf = RecordBuffer::with_record_capacity();
+/// tx.seal_into(ContentType::Handshake, b"hello", &mut buf).unwrap();
+/// let (ct, range) = rx.open_in_place(&mut buf).unwrap();
+/// assert_eq!(ct, ContentType::Handshake);
+/// assert_eq!(&buf.as_slice()[range], b"hello");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RecordBuffer {
+    buf: Vec<u8>,
+}
+
+impl RecordBuffer {
+    /// An empty buffer; it grows on first use and keeps its capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A buffer pre-sized for one maximum record (header plus
+    /// [`MAX_RECORD_BODY`]), so even the first record allocates nothing.
+    #[must_use]
+    pub fn with_record_capacity() -> Self {
+        RecordBuffer { buf: Vec::with_capacity(RECORD_HEADER_LEN + MAX_RECORD_BODY) }
+    }
+
+    /// Empties the buffer, keeping its capacity for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Bytes currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The held bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends raw bytes (e.g. a record received out-of-band).
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Consumes the buffer, returning the underlying vector.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Mutable access to the backing vector for in-crate fill paths
+    /// (`read_record_into`).
+    pub(crate) fn vec_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for RecordBuffer {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
 
 /// Record content types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,66 +144,85 @@ struct ConnState {
 }
 
 impl ConnState {
-    fn protect(&mut self, content_type: ContentType, fragment: &[u8]) -> Result<Vec<u8>, SslError> {
+    /// Protects the fragment sitting at `buf[body_start..]` in place:
+    /// appends the MAC (and, for block ciphers, SSLv3 padding) and encrypts
+    /// the whole body within `buf`. With the null cipher the plaintext is
+    /// already the wire body and nothing is copied.
+    fn protect_in_place(
+        &mut self,
+        content_type: ContentType,
+        buf: &mut Vec<u8>,
+        body_start: usize,
+    ) -> Result<(), SslError> {
         let Some(cipher) = &mut self.cipher else {
             self.seq += 1;
-            return Ok(fragment.to_vec());
+            return Ok(());
         };
         let alg = self.mac_alg.expect("mac set whenever cipher is");
-        let (tag, mac_cycles) =
-            measure(|| mac::compute(alg, &self.mac_secret, self.seq, content_type as u8, fragment));
+        let data_len = buf.len() - body_start;
+        buf.resize(buf.len() + alg.output_len(), 0);
+        let (data, tag) = buf[body_start..].split_at_mut(data_len);
+        let ((), mac_cycles) = measure(|| {
+            mac::compute_into(alg, &self.mac_secret, self.seq, content_type as u8, data, tag);
+        });
         self.crypto.add("mac", mac_cycles);
         self.seq += 1;
-        let mut body = Vec::with_capacity(fragment.len() + tag.len() + 16);
-        body.extend_from_slice(fragment);
-        body.extend_from_slice(&tag);
         if let Some(block) = cipher.block_len() {
             // SSLv3 padding: pad to a block multiple; last byte is the count
             // of padding bytes preceding it.
-            let overshoot = (body.len() + 1) % block;
+            let body_len = buf.len() - body_start;
+            let overshoot = (body_len + 1) % block;
             let pad = if overshoot == 0 { 0 } else { block - overshoot };
-            body.resize(body.len() + pad, 0);
-            body.push(pad as u8);
+            buf.resize(buf.len() + pad, 0);
+            buf.push(pad as u8);
         }
-        let (result, cipher_cycles) = measure(|| cipher.encrypt(&mut body));
+        let (result, cipher_cycles) = measure(|| cipher.encrypt(&mut buf[body_start..]));
         self.crypto.add("cipher", cipher_cycles);
         result?;
-        Ok(body)
+        Ok(())
     }
 
-    fn unprotect(&mut self, content_type: ContentType, body: &[u8]) -> Result<Vec<u8>, SslError> {
+    /// Unprotects a wire-format record body in place: decrypts, strips
+    /// padding and verifies the MAC without allocating. On success the
+    /// plaintext occupies `body[..returned_len]`. With the null cipher the
+    /// body already is the plaintext and nothing is touched.
+    fn unprotect_in_place(
+        &mut self,
+        content_type: ContentType,
+        body: &mut [u8],
+    ) -> Result<usize, SslError> {
         let Some(cipher) = &mut self.cipher else {
             self.seq += 1;
-            return Ok(body.to_vec());
+            return Ok(body.len());
         };
         let alg = self.mac_alg.expect("mac set whenever cipher is");
-        let mut plain = body.to_vec();
-        let (result, cipher_cycles) = measure(|| cipher.decrypt(&mut plain));
+        let (result, cipher_cycles) = measure(|| cipher.decrypt(body));
         self.crypto.add("cipher", cipher_cycles);
         result?;
+        let mut plain_len = body.len();
         if let Some(block) = cipher.block_len() {
-            if plain.is_empty() || !plain.len().is_multiple_of(block) {
+            if plain_len == 0 || !plain_len.is_multiple_of(block) {
                 return Err(SslError::BadPadding);
             }
-            let pad = *plain.last().expect("nonempty") as usize;
-            if pad + 1 > plain.len() || pad >= block {
+            let pad = body[plain_len - 1] as usize;
+            if pad + 1 > plain_len || pad >= block {
                 return Err(SslError::BadPadding);
             }
-            plain.truncate(plain.len() - pad - 1);
+            plain_len -= pad + 1;
         }
         let mac_len = alg.output_len();
-        if plain.len() < mac_len {
+        if plain_len < mac_len {
             return Err(SslError::Decode("record shorter than MAC"));
         }
-        let data_len = plain.len() - mac_len;
+        let data_len = plain_len - mac_len;
         let (ok, mac_cycles) = measure(|| {
             mac::verify(
                 alg,
                 &self.mac_secret,
                 self.seq,
                 content_type as u8,
-                &plain[..data_len],
-                &plain[data_len..],
+                &body[..data_len],
+                &body[data_len..plain_len],
             )
         });
         self.crypto.add("mac", mac_cycles);
@@ -117,7 +230,14 @@ impl ConnState {
         if !ok {
             return Err(SslError::MacMismatch);
         }
-        plain.truncate(data_len);
+        Ok(data_len)
+    }
+
+    /// Legacy allocating shim over [`ConnState::unprotect_in_place`].
+    fn unprotect(&mut self, content_type: ContentType, body: &[u8]) -> Result<Vec<u8>, SslError> {
+        let mut plain = body.to_vec();
+        let len = self.unprotect_in_place(content_type, &mut plain)?;
+        plain.truncate(len);
         Ok(plain)
     }
 }
@@ -195,21 +315,43 @@ impl RecordLayer {
         self.read.cipher.is_some()
     }
 
+    /// Seals `payload` as one or more records of `content_type` into a
+    /// reusable [`RecordBuffer`], MACing and encrypting in place. The buffer
+    /// is cleared first; once warmed to capacity, sealing allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cipher failures (which indicate internal length bugs).
+    pub fn seal_into(
+        &mut self,
+        content_type: ContentType,
+        payload: &[u8],
+        out: &mut RecordBuffer,
+    ) -> Result<(), SslError> {
+        out.buf.clear();
+        out.buf.reserve(payload.len() + 64);
+        let mut chunks = payload.chunks(MAX_FRAGMENT);
+        // An empty payload still produces one (empty) record.
+        let first: &[u8] = if payload.is_empty() { &[] } else { chunks.next().expect("nonempty") };
+        self.seal_one(content_type, first, &mut out.buf)?;
+        for chunk in chunks {
+            self.seal_one(content_type, chunk, &mut out.buf)?;
+        }
+        Ok(())
+    }
+
     /// Seals `payload` as one or more records of `content_type`.
+    ///
+    /// Allocating shim over [`RecordLayer::seal_into`]; the wire bytes are
+    /// identical.
     ///
     /// # Errors
     ///
     /// Propagates cipher failures (which indicate internal length bugs).
     pub fn seal(&mut self, content_type: ContentType, payload: &[u8]) -> Result<Vec<u8>, SslError> {
-        let mut out = Vec::with_capacity(payload.len() + 64);
-        let mut chunks = payload.chunks(MAX_FRAGMENT);
-        // An empty payload still produces one (empty) record.
-        let first: &[u8] = if payload.is_empty() { &[] } else { chunks.next().expect("nonempty") };
-        self.seal_one(content_type, first, &mut out)?;
-        for chunk in chunks {
-            self.seal_one(content_type, chunk, &mut out)?;
-        }
-        Ok(out)
+        let mut out = RecordBuffer::new();
+        self.seal_into(content_type, payload, &mut out)?;
+        Ok(out.into_vec())
     }
 
     fn seal_one(
@@ -218,25 +360,36 @@ impl RecordLayer {
         fragment: &[u8],
         out: &mut Vec<u8>,
     ) -> Result<(), SslError> {
-        let body = self.write.protect(content_type, fragment)?;
-        out.push(content_type as u8);
-        out.push(VERSION.0);
-        out.push(VERSION.1);
-        out.extend_from_slice(&(body.len() as u16).to_be_bytes());
-        out.extend_from_slice(&body);
+        let header_start = out.len();
+        // Header with a length placeholder, patched once the body is sealed.
+        out.extend_from_slice(&[content_type as u8, VERSION.0, VERSION.1, 0, 0]);
+        let body_start = out.len();
+        out.extend_from_slice(fragment);
+        self.write.protect_in_place(content_type, out, body_start)?;
+        let body_len = (out.len() - body_start) as u16;
+        out[header_start + 3..header_start + RECORD_HEADER_LEN]
+            .copy_from_slice(&body_len.to_be_bytes());
         Ok(())
     }
 
-    /// Opens the first record in `input`, returning its type, plaintext and
-    /// the bytes consumed.
+    /// Opens the single record held in `buf`, decrypting and verifying in
+    /// place. Returns the content type and the range of `buf` holding the
+    /// plaintext; nothing is allocated.
+    ///
+    /// The buffer must frame exactly one record (what `read_record_into`
+    /// produces); trailing bytes are a framing error.
     ///
     /// # Errors
     ///
     /// Returns [`SslError::Decode`] on framing errors,
     /// [`SslError::BadPadding`]/[`SslError::MacMismatch`] on protection
     /// failures.
-    pub fn open_one(&mut self, input: &[u8]) -> Result<(ContentType, Vec<u8>, usize), SslError> {
-        if input.len() < 5 {
+    pub fn open_in_place(
+        &mut self,
+        buf: &mut RecordBuffer,
+    ) -> Result<(ContentType, Range<usize>), SslError> {
+        let input = &mut buf.buf;
+        if input.len() < RECORD_HEADER_LEN {
             return Err(SslError::Decode("record header"));
         }
         let content_type = ContentType::from_u8(input[0])?;
@@ -244,11 +397,47 @@ impl RecordLayer {
             return Err(SslError::UnsupportedVersion { major: input[1], minor: input[2] });
         }
         let len = u16::from_be_bytes([input[3], input[4]]) as usize;
-        if input.len() < 5 + len {
+        if input.len() < RECORD_HEADER_LEN + len {
             return Err(SslError::Decode("record body"));
         }
-        let plain = self.read.unprotect(content_type, &input[5..5 + len])?;
-        Ok((content_type, plain, 5 + len))
+        if input.len() > RECORD_HEADER_LEN + len {
+            return Err(SslError::Decode("trailing bytes after record"));
+        }
+        let plain_len = self.read.unprotect_in_place(
+            content_type,
+            &mut input[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len],
+        )?;
+        Ok((content_type, RECORD_HEADER_LEN..RECORD_HEADER_LEN + plain_len))
+    }
+
+    /// Opens the first record in `input`, returning its type, plaintext and
+    /// the bytes consumed.
+    ///
+    /// Allocating shim over the in-place path; unlike
+    /// [`RecordLayer::open_in_place`] it tolerates further records after the
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Decode`] on framing errors,
+    /// [`SslError::BadPadding`]/[`SslError::MacMismatch`] on protection
+    /// failures.
+    pub fn open_one(&mut self, input: &[u8]) -> Result<(ContentType, Vec<u8>, usize), SslError> {
+        if input.len() < RECORD_HEADER_LEN {
+            return Err(SslError::Decode("record header"));
+        }
+        let content_type = ContentType::from_u8(input[0])?;
+        if (input[1], input[2]) != VERSION {
+            return Err(SslError::UnsupportedVersion { major: input[1], minor: input[2] });
+        }
+        let len = u16::from_be_bytes([input[3], input[4]]) as usize;
+        if input.len() < RECORD_HEADER_LEN + len {
+            return Err(SslError::Decode("record body"));
+        }
+        let plain = self
+            .read
+            .unprotect(content_type, &input[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len])?;
+        Ok((content_type, plain, RECORD_HEADER_LEN + len))
     }
 
     /// Opens every record in `input`.
@@ -372,6 +561,92 @@ mod tests {
         let mut rx = RecordLayer::new();
         let bad = [22u8, 3, 1, 0, 0];
         assert_eq!(rx.open_one(&bad), Err(SslError::UnsupportedVersion { major: 3, minor: 1 }));
+    }
+
+    #[test]
+    fn seal_into_matches_legacy_seal_bytes() {
+        for suite in CipherSuite::ALL {
+            let (mut legacy_tx, _) = protected_pair(suite);
+            let (mut new_tx, _) = protected_pair(suite);
+            let mut buf = RecordBuffer::new();
+            for len in [0usize, 1, 100, MAX_FRAGMENT + 1] {
+                let data = vec![0x5au8; len];
+                let wire = legacy_tx.seal(ContentType::ApplicationData, &data).unwrap();
+                new_tx.seal_into(ContentType::ApplicationData, &data, &mut buf).unwrap();
+                assert_eq!(buf.as_slice(), &wire[..], "{suite} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn open_in_place_round_trips_every_suite() {
+        for suite in CipherSuite::ALL {
+            let (mut tx, mut rx) = protected_pair(suite);
+            let mut buf = RecordBuffer::with_record_capacity();
+            for len in [0usize, 1, 7, 8, 15, 16, 100, 1000] {
+                let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+                tx.seal_into(ContentType::ApplicationData, &data, &mut buf).unwrap();
+                let (ct, range) = rx.open_in_place(&mut buf).unwrap();
+                assert_eq!(ct, ContentType::ApplicationData);
+                assert_eq!(&buf.as_slice()[range], &data[..], "{suite} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn null_cipher_open_in_place_borrows_without_copy() {
+        let mut tx = RecordLayer::new();
+        let mut rx = RecordLayer::new();
+        let mut buf = RecordBuffer::new();
+        tx.seal_into(ContentType::Handshake, b"plaintext", &mut buf).unwrap();
+        assert_eq!(&buf.as_slice()[..3], &[22, 3, 0]);
+        let (ct, range) = rx.open_in_place(&mut buf).unwrap();
+        assert_eq!(ct, ContentType::Handshake);
+        // The plaintext sits right after the header: no copy was made.
+        assert_eq!(range, 5..5 + b"plaintext".len());
+        assert_eq!(&buf.as_slice()[range], b"plaintext");
+    }
+
+    #[test]
+    fn open_in_place_rejects_trailing_bytes() {
+        let (mut tx, mut rx) = protected_pair(CipherSuite::RsaRc4Sha);
+        let mut buf = RecordBuffer::new();
+        tx.seal_into(ContentType::ApplicationData, b"one", &mut buf).unwrap();
+        buf.extend_from_slice(&[0u8]);
+        assert_eq!(
+            rx.open_in_place(&mut buf),
+            Err(SslError::Decode("trailing bytes after record"))
+        );
+    }
+
+    #[test]
+    fn open_in_place_tampered_record_fails() {
+        let (mut tx, mut rx) = protected_pair(CipherSuite::RsaDesCbc3Sha);
+        let mut buf = RecordBuffer::new();
+        tx.seal_into(ContentType::ApplicationData, b"important data", &mut buf).unwrap();
+        let wire: Vec<u8> = buf.as_slice().to_vec();
+        let mut tampered = RecordBuffer::new();
+        let mut bytes = wire;
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        tampered.extend_from_slice(&bytes);
+        let err = rx.open_in_place(&mut tampered).unwrap_err();
+        assert!(matches!(err, SslError::MacMismatch | SslError::BadPadding));
+    }
+
+    #[test]
+    fn record_buffer_basics() {
+        let mut buf = RecordBuffer::with_record_capacity();
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+        buf.extend_from_slice(b"abc");
+        assert_eq!(buf.as_slice(), b"abc");
+        assert_eq!(buf.as_ref(), b"abc");
+        assert_eq!(buf.len(), 3);
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.extend_from_slice(b"xyz");
+        assert_eq!(buf.into_vec(), b"xyz");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! cleartext five-byte header (`type ‖ version ‖ length`) followed by the
 //! possibly-encrypted body, which is what [`read_record`] reassembles.
 
-use crate::SslError;
+use crate::{RecordBuffer, SslError};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -42,27 +42,49 @@ pub trait Transport {
     fn recv_exact(&mut self, buf: &mut [u8]) -> Result<(), SslError>;
 }
 
-/// Reads one complete SSL record (header and body) from the transport.
+/// Reads one complete SSL record (header and body) into a reusable
+/// [`RecordBuffer`], ready for `RecordLayer::open_in_place`.
 ///
-/// The returned buffer is the record exactly as framed on the wire, ready
-/// for `RecordLayer::open_one`/`open_all`.
+/// The length prefix is validated against the SSLv3 maximum record body
+/// ([`MAX_RECORD_BODY`](crate::MAX_RECORD_BODY), 2¹⁴ + 2048 bytes) *before*
+/// any body bytes are read or buffered, so a hostile peer cannot force an
+/// oversized read. Once the buffer is warmed to record capacity, this path
+/// performs no heap allocation.
 ///
 /// # Errors
 ///
-/// Returns [`SslError::Io`] on stream errors and
-/// [`SslError::Decode`] when the header announces an oversized body.
-pub fn read_record<T: Transport + ?Sized>(transport: &mut T) -> Result<Vec<u8>, SslError> {
-    let mut header = [0u8; RECORD_HEADER_LEN];
-    transport.recv_exact(&mut header)?;
-    let body_len = usize::from(header[3]) << 8 | usize::from(header[4]);
-    // An encrypted body carries MAC and padding on top of MAX_FRAGMENT.
-    if body_len > crate::MAX_FRAGMENT + 1024 {
+/// Returns [`SslError::Io`] on stream errors and [`SslError::Decode`] when
+/// the header announces an oversized body.
+pub fn read_record_into<T: Transport + ?Sized>(
+    transport: &mut T,
+    buf: &mut RecordBuffer,
+) -> Result<(), SslError> {
+    let vec = buf.vec_mut();
+    vec.clear();
+    vec.resize(RECORD_HEADER_LEN, 0);
+    transport.recv_exact(&mut vec[..])?;
+    let body_len = usize::from(vec[3]) << 8 | usize::from(vec[4]);
+    if body_len > crate::MAX_RECORD_BODY {
         return Err(SslError::Decode("record length"));
     }
-    let mut record = vec![0u8; RECORD_HEADER_LEN + body_len];
-    record[..RECORD_HEADER_LEN].copy_from_slice(&header);
-    transport.recv_exact(&mut record[RECORD_HEADER_LEN..])?;
-    Ok(record)
+    vec.resize(RECORD_HEADER_LEN + body_len, 0);
+    transport.recv_exact(&mut vec[RECORD_HEADER_LEN..])?;
+    Ok(())
+}
+
+/// Reads one complete SSL record (header and body) from the transport.
+///
+/// Allocating shim over [`read_record_into`]: the returned buffer is the
+/// record exactly as framed on the wire, ready for
+/// `RecordLayer::open_one`/`open_all`.
+///
+/// # Errors
+///
+/// As [`read_record_into`].
+pub fn read_record<T: Transport + ?Sized>(transport: &mut T) -> Result<Vec<u8>, SslError> {
+    let mut buf = RecordBuffer::new();
+    read_record_into(transport, &mut buf)?;
+    Ok(buf.into_vec())
 }
 
 impl Transport for TcpStream {
@@ -215,5 +237,38 @@ mod tests {
         let (mut a, mut b) = duplex_pair();
         a.send(&[23, 3, 0, 0xff, 0xff]).unwrap();
         assert!(matches!(read_record(&mut b), Err(SslError::Decode(_))));
+    }
+
+    #[test]
+    fn read_record_enforces_ssl3_maximum_body() {
+        use crate::MAX_RECORD_BODY;
+        // Exactly the SSLv3 bound (2^14 + 2048) is accepted...
+        let (mut a, mut b) = duplex_pair();
+        let len = MAX_RECORD_BODY as u16;
+        a.send(&[23, 3, 0, (len >> 8) as u8, len as u8]).unwrap();
+        a.send(&vec![0u8; MAX_RECORD_BODY]).unwrap();
+        let mut buf = RecordBuffer::new();
+        read_record_into(&mut b, &mut buf).unwrap();
+        assert_eq!(buf.len(), RECORD_HEADER_LEN + MAX_RECORD_BODY);
+
+        // ...one byte more is rejected before any body byte is read.
+        let (mut a, mut b) = duplex_pair();
+        let len = (MAX_RECORD_BODY + 1) as u16;
+        a.send(&[23, 3, 0, (len >> 8) as u8, len as u8]).unwrap();
+        assert_eq!(read_record_into(&mut b, &mut buf), Err(SslError::Decode("record length")));
+    }
+
+    #[test]
+    fn read_record_into_reuses_the_buffer() {
+        let (mut a, mut b) = duplex_pair();
+        let mut buf = RecordBuffer::new();
+        a.send(&[23, 3, 0, 0, 3]).unwrap();
+        a.send(b"abc").unwrap();
+        read_record_into(&mut b, &mut buf).unwrap();
+        assert_eq!(buf.as_slice(), [23, 3, 0, 0, 3, b'a', b'b', b'c']);
+        a.send(&[22, 3, 0, 0, 1]).unwrap();
+        a.send(b"z").unwrap();
+        read_record_into(&mut b, &mut buf).unwrap();
+        assert_eq!(buf.as_slice(), [22, 3, 0, 0, 1, b'z']);
     }
 }

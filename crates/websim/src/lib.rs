@@ -29,7 +29,7 @@ pub mod loadgen;
 use costs::CostModel;
 use sslperf_profile::{measure, Cycles, PhaseSet, Stopwatch};
 use sslperf_rng::SslRng;
-use sslperf_ssl::{CipherSuite, ServerConfig, SslClient, SslError, SslServer};
+use sslperf_ssl::{CipherSuite, RecordBuffer, ServerConfig, SslClient, SslError, SslServer};
 
 /// Component labels in the paper's Table 1 order.
 pub const COMPONENT_NAMES: [&str; 5] = ["libcrypto", "libssl", "httpd", "vmlinux", "other"];
@@ -159,31 +159,37 @@ impl<'a> SecureWebServer<'a> {
             client.process_server_finish(&flight4)?;
         }
 
-        // --- HTTP request over the secure channel. ---
+        // --- HTTP request over the secure channel (zero-copy pipeline:
+        // the request is sealed, "transported" and opened inside one
+        // buffer, the response inside another). ---
         let path = format!("/doc_{file_size}.bin");
-        let request_wire = client.seal(http::HttpRequest::get(&path).to_bytes().as_slice())?;
-        wire_bytes += request_wire.len();
+        let mut request_buf = RecordBuffer::new();
+        client.seal_into(http::HttpRequest::get(&path).to_bytes().as_slice(), &mut request_buf)?;
+        wire_bytes += request_buf.len();
 
         let sw = Stopwatch::start();
-        let request_plain = server.open(&request_wire)?;
+        let request_range = server.open_in_place(&mut request_buf)?;
         ssl_total += sw.elapsed();
+        let request_plain = &request_buf.as_slice()[request_range];
 
         // httpd work: parse the request, build the response (real work,
         // measured).
         let (response_bytes, httpd_cycles) = measure(|| {
-            let request = http::HttpRequest::parse(&request_plain)?;
+            let request = http::HttpRequest::parse(request_plain)?;
             let body = http::synthesize_document(request.path(), file_size);
             Ok::<_, SslError>(http::HttpResponse::ok(body).to_bytes())
         });
         let response_bytes = response_bytes?;
         components.add("httpd", httpd_cycles);
 
-        // Encrypt and "send" the response.
+        // Encrypt and "send" the response (may span several records, which
+        // the client-side legacy opener reassembles).
         let sw = Stopwatch::start();
-        let response_wire = server.seal(&response_bytes)?;
+        let mut response_buf = RecordBuffer::new();
+        server.seal_into(&response_bytes, &mut response_buf)?;
         ssl_total += sw.elapsed();
-        wire_bytes += response_wire.len();
-        let received = client.open(&response_wire)?;
+        wire_bytes += response_buf.len();
+        let received = client.open(response_buf.as_slice())?;
         debug_assert_eq!(received.len(), response_bytes.len());
 
         // --- Component accounting. ---

@@ -287,6 +287,10 @@ fn socket_client(
     let total = options.warmup_per_client + options.transactions_per_client;
     let mut samples = Vec::with_capacity(options.transactions_per_client);
     let mut session: Option<ClientSession> = None;
+    // One record-buffer pair for the whole client thread: the bulk-data
+    // phase of every transaction runs through the zero-copy pipeline.
+    let mut tx_buf = sslperf_ssl::RecordBuffer::with_record_capacity();
+    let mut rx_buf = sslperf_ssl::RecordBuffer::with_record_capacity();
     for txn in 0..total {
         let rng = SslRng::from_seed(
             &[
@@ -310,8 +314,8 @@ fn socket_client(
         let handshake = start.elapsed();
 
         let path = format!("/doc_{}.bin", options.file_size);
-        client.send(&mut socket, &HttpRequest::get(&path).to_bytes())?;
-        let response = read_response(&mut client, &mut socket, options.file_size)?;
+        client.send_buffered(&mut socket, &HttpRequest::get(&path).to_bytes(), &mut tx_buf)?;
+        let response = read_response(&mut client, &mut socket, options.file_size, &mut rx_buf)?;
         if response.status() != 200 || response.body().len() != options.file_size {
             return Err(SslError::Decode("unexpected http response"));
         }
@@ -328,16 +332,20 @@ fn socket_client(
 }
 
 /// Accumulates records until the response's Content-Length is satisfied
-/// (documents larger than one record fragment span several).
+/// (documents larger than one record fragment span several). Each record is
+/// received and decrypted in place inside the reusable `record_buf`; only
+/// the plaintext is appended to the assembly buffer.
 fn read_response(
     client: &mut sslperf_ssl::SslClient,
     socket: &mut TcpStream,
     file_size: usize,
+    record_buf: &mut sslperf_ssl::RecordBuffer,
 ) -> Result<HttpResponse, SslError> {
     let max_records = file_size / sslperf_ssl::MAX_FRAGMENT + 4;
     let mut buf = Vec::new();
     for _ in 0..max_records {
-        buf.extend(client.recv(socket)?);
+        let range = client.recv_buffered(socket, record_buf)?;
+        buf.extend_from_slice(&record_buf.as_slice()[range]);
         if let Ok(response) = HttpResponse::parse(&buf) {
             return Ok(response);
         }
