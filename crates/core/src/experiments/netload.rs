@@ -1,24 +1,28 @@
 //! The loaded-server experiment: the paper's serving scenario on real
-//! sockets.
+//! sockets, in both serving architectures.
 //!
 //! Table 1 and Figure 2 time the SSL pipeline in-process; this experiment
-//! closes the loop by standing up [`sslperf_net::TcpSslServer`] (worker
-//! pool plus sharded session cache) on a loopback socket and driving it
-//! with the concurrent socket load generator from `sslperf-websim`. The
-//! rendered report shows transaction throughput, handshake and
-//! transaction latency percentiles, and the session-cache hit rate that
-//! §4.1's re-negotiation optimisation depends on.
+//! closes the loop by standing up the real-socket serving layer on
+//! loopback and driving it with the concurrent socket load generator from
+//! `sslperf-websim` — once with the worker-pool server
+//! ([`sslperf_net::TcpSslServer`], one blocking thread per connection)
+//! and once with the event-loop server
+//! ([`sslperf_net::EventLoopServer`], many non-blocking connections per
+//! shard thread over the sans-io engine). The rendered report shows both
+//! modes side by side: transaction throughput, handshake and transaction
+//! latency percentiles, and the session-cache hit rate that §4.1's
+//! re-negotiation optimisation depends on.
 
 use crate::experiments::{pct, ExperimentError};
 use crate::Context;
-use sslperf_net::{ServerOptions, TcpSslServer};
+use sslperf_net::{EventLoopServer, ServerOptions, TcpSslServer};
 use sslperf_rsa::RsaPrivateKey;
 use sslperf_websim::loadgen::{run_socket_load, SocketLoadOptions, SocketLoadReport};
 use std::fmt;
 
-/// Results of one loaded-server run.
+/// Client- and server-side results for one serving mode.
 #[derive(Debug)]
-pub struct NetLoad {
+pub struct ModeLoad {
     /// Client-side load report (throughput and latency percentiles).
     pub report: SocketLoadReport,
     /// Session-cache lookups that found a cached session.
@@ -31,7 +35,7 @@ pub struct NetLoad {
     pub resumed_handshakes: u64,
 }
 
-impl NetLoad {
+impl ModeLoad {
     /// Cache hits as a share of all resumption-attempt lookups.
     #[must_use]
     pub fn cache_hit_percent(&self) -> f64 {
@@ -44,10 +48,8 @@ impl NetLoad {
     }
 }
 
-impl fmt::Display for NetLoad {
+impl fmt::Display for ModeLoad {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Loaded server (real sockets, worker pool, shared session cache)")?;
-        writeln!(f, "===============================================================")?;
         writeln!(f, "{}", self.report)?;
         writeln!(
             f,
@@ -56,31 +58,68 @@ impl fmt::Display for NetLoad {
             self.cache_misses,
             pct(self.cache_hit_percent())
         )?;
-        writeln!(
+        write!(
             f,
             "  server handshakes:   {} full, {} resumed",
             self.full_handshakes, self.resumed_handshakes
-        )?;
-        writeln!(
-            f,
-            "Paper context: §4.1 — session reuse skips the RSA private-key operation,\n\
-             the single largest cost of the transaction (Tables 2–3)."
         )
     }
 }
 
-/// Runs the loaded-server experiment: starts a TCP server sized from the
-/// context, drives it with concurrent resuming clients, and collects both
-/// client-side latency and server-side cache statistics.
+/// Results of one loaded-server run: both serving modes under the same
+/// client workload.
+#[derive(Debug)]
+pub struct NetLoad {
+    /// The worker-pool server (one blocking thread per connection).
+    pub pool: ModeLoad,
+    /// The event-loop server (non-blocking shards over the sans-io engine).
+    pub event_loop: ModeLoad,
+}
+
+impl fmt::Display for NetLoad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Loaded server (real sockets, shared session cache)")?;
+        writeln!(f, "==================================================")?;
+        writeln!(f, "[worker pool]")?;
+        writeln!(f, "{}", self.pool)?;
+        writeln!(f, "[event loop]")?;
+        writeln!(f, "{}", self.event_loop)?;
+        writeln!(
+            f,
+            "Paper context: §4.1 — session reuse skips the RSA private-key operation,\n\
+             the single largest cost of the transaction (Tables 2–3). The two serving\n\
+             modes pay the same per-transaction SSL cost; the event loop decouples\n\
+             concurrent connections from thread count."
+        )
+    }
+}
+
+/// Drives one already-started server and collects its mode report.
+fn drive(
+    addr: std::net::SocketAddr,
+    options: &SocketLoadOptions,
+    cache: &sslperf_net::ShardedSessionCache,
+    stats: &sslperf_net::ServerStats,
+) -> Result<ModeLoad, ExperimentError> {
+    let report = run_socket_load(addr, options)?;
+    Ok(ModeLoad {
+        report,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        full_handshakes: stats.full_handshakes(),
+        resumed_handshakes: stats.resumed_handshakes(),
+    })
+}
+
+/// Runs the loaded-server experiment: starts each serving mode in turn
+/// sized from the context, drives it with the same concurrent resuming
+/// client workload, and collects both client-side latency and server-side
+/// cache statistics for a side-by-side comparison.
 ///
 /// # Errors
 ///
 /// Propagates key generation, serving and load-generation failures.
 pub fn loaded_server(ctx: &Context) -> Result<NetLoad, ExperimentError> {
-    let mut rng = ctx.rng("netload-server-key");
-    let key = RsaPrivateKey::generate(ctx.key_bits(), &mut rng)?;
-    let server = TcpSslServer::start(key, "www.sslperf.test", &ServerOptions::default())?;
-
     let options = SocketLoadOptions {
         clients: 8,
         transactions_per_client: ctx.iterations().clamp(2, 16),
@@ -89,21 +128,20 @@ pub fn loaded_server(ctx: &Context) -> Result<NetLoad, ExperimentError> {
         file_size: 1024,
         suite: ctx.suite(),
     };
-    let report = run_socket_load(server.local_addr(), &options)?;
 
-    let cache = server.session_cache();
-    let (cache_hits, cache_misses) = (cache.hits(), cache.misses());
-    let stats = server.stats();
-    let (full, resumed) = (stats.full_handshakes(), stats.resumed_handshakes());
+    let mut rng = ctx.rng("netload-server-key");
+    let key = RsaPrivateKey::generate(ctx.key_bits(), &mut rng)?;
+    let server = TcpSslServer::start(key, "www.sslperf.test", &ServerOptions::default())?;
+    let pool = drive(server.local_addr(), &options, server.session_cache(), server.stats())?;
     server.shutdown();
 
-    Ok(NetLoad {
-        report,
-        cache_hits,
-        cache_misses,
-        full_handshakes: full,
-        resumed_handshakes: resumed,
-    })
+    let mut rng = ctx.rng("netload-eventloop-key");
+    let key = RsaPrivateKey::generate(ctx.key_bits(), &mut rng)?;
+    let server = EventLoopServer::start(key, "www.sslperf.test", &ServerOptions::default())?;
+    let event_loop = drive(server.local_addr(), &options, server.session_cache(), server.stats())?;
+    server.shutdown();
+
+    Ok(NetLoad { pool, event_loop })
 }
 
 #[cfg(test)]
@@ -114,12 +152,16 @@ mod tests {
     #[test]
     fn loaded_server_resumes_and_reports() {
         let nl = loaded_server(ctx()).expect("loaded server");
-        assert!(nl.report.transactions > 0, "measured transactions");
-        assert!(nl.cache_hits > 0, "resumption must hit the shared cache");
-        assert!(nl.resumed_handshakes > 0, "server must see resumed handshakes");
+        for (mode, load) in [("pool", &nl.pool), ("event loop", &nl.event_loop)] {
+            assert!(load.report.transactions > 0, "{mode}: measured transactions");
+            assert!(load.cache_hits > 0, "{mode}: resumption must hit the shared cache");
+            assert!(load.resumed_handshakes > 0, "{mode}: server must see resumed handshakes");
+        }
         let rendered = nl.to_string();
         assert!(rendered.contains("transactions/s"), "throughput line: {rendered}");
         assert!(rendered.contains("p50"), "percentile lines: {rendered}");
         assert!(rendered.contains("session cache"), "cache line: {rendered}");
+        assert!(rendered.contains("[worker pool]"), "pool section: {rendered}");
+        assert!(rendered.contains("[event loop]"), "event-loop section: {rendered}");
     }
 }

@@ -1,0 +1,409 @@
+//! Event-driven serving mode: many connections multiplexed per thread.
+//!
+//! The worker-pool server ([`crate::TcpSslServer`]) dedicates one blocking
+//! thread to each in-flight connection, so its concurrency ceiling is the
+//! worker count. [`EventLoopServer`] instead runs a small number of *shard*
+//! threads, each sweeping a set of non-blocking sockets: every connection
+//! holds a sans-io [`ServerEngine`] plus its socket, and a shard makes
+//! whatever progress each socket's readiness allows — partial reads feed
+//! the engine byte-by-byte, partial writes drain its outbound buffer, and
+//! the engine's own buffering reassembles records and handshake messages
+//! split across arbitrary TCP boundaries. One shard comfortably carries
+//! an order of magnitude more concurrent handshakes than a pool worker,
+//! which is the C10k argument the paper's serving analysis leads to.
+//!
+//! There is no async runtime and no `poll(2)` binding here (the workspace
+//! forbids unsafe code and external deps): readiness is discovered by
+//! attempting the syscall and treating `WouldBlock` as "not ready", with a
+//! short sleep when a full sweep makes no progress. That costs a bounded
+//! idle latency (~0.5 ms) but keeps the loop dependency-free while
+//! preserving the architecture under study.
+//!
+//! Stalled connections are evicted by per-connection deadlines (the same
+//! [`ServerOptions::io_timeout`] knob the pool uses for socket timeouts):
+//! a connection that neither delivers nor accepts bytes before its
+//! deadline is counted in [`ServerStats::timeouts`] and closed with an
+//! alert — fatal `handshake_failure` mid-handshake (a slowloris suspect),
+//! orderly `close_notify` once established.
+
+use crate::cache::ShardedSessionCache;
+use crate::server::{alert_for_close, respond, ServerOptions, ServerStats};
+use sslperf_rng::SslRng;
+use sslperf_rsa::RsaPrivateKey;
+use sslperf_ssl::alert::{Alert, AlertDescription};
+use sslperf_ssl::{Engine, ServerConfig, ServerEngine, SslError, SslServer};
+use sslperf_websim::http::HttpRequest;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long an idle shard sleeps before re-sweeping its sockets.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Per-sweep read buffer; one per shard thread, reused by every
+/// connection it owns.
+const SCRATCH_LEN: usize = 16 * 1024;
+
+/// A running SSL web server in event-loop mode.
+///
+/// Started with [`EventLoopServer::start`]; serves until
+/// [`EventLoopServer::shutdown`] (or drop). Shares [`ServerOptions`],
+/// [`ServerStats`], and the sharded session cache with the worker-pool
+/// mode so experiments can compare the two architectures directly.
+#[derive(Debug)]
+pub struct EventLoopServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shards: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    cache: Arc<ShardedSessionCache>,
+    config: Arc<ServerConfig>,
+}
+
+impl EventLoopServer {
+    /// Binds a non-blocking listener, installs a sharded session cache
+    /// into the server configuration, and spawns `options.shards` event
+    /// loop threads, each accepting from the shared listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Io`] when the bind fails and certificate errors
+    /// from [`ServerConfig::with_cache`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options.shards` is zero.
+    pub fn start(
+        key: RsaPrivateKey,
+        name: &str,
+        options: &ServerOptions,
+    ) -> Result<Self, SslError> {
+        assert!(options.shards > 0, "at least one shard");
+        let cache = Arc::new(ShardedSessionCache::new(
+            options.cache_shards,
+            options.cache_capacity_per_shard,
+        ));
+        let config = Arc::new(ServerConfig::with_cache(key, name, Box::new(Arc::clone(&cache)))?);
+        let listener = TcpListener::bind(&options.addr).map_err(|e| SslError::Io(e.to_string()))?;
+        listener.set_nonblocking(true).map_err(|e| SslError::Io(e.to_string()))?;
+        let addr = listener.local_addr().map_err(|e| SslError::Io(e.to_string()))?;
+        let listener = Arc::new(listener);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let io_timeout = options.io_timeout;
+        let shards = (0..options.shards)
+            .map(|shard| {
+                let listener = Arc::clone(&listener);
+                let config = Arc::clone(&config);
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    shard_loop(shard, &listener, &config, &stats, &stop, io_timeout);
+                })
+            })
+            .collect();
+
+        Ok(EventLoopServer { addr, stop, shards, stats, cache, config })
+    }
+
+    /// The bound address clients should connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving counters.
+    #[must_use]
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The sharded session cache (hit/miss counters live here).
+    #[must_use]
+    pub fn session_cache(&self) -> &Arc<ShardedSessionCache> {
+        &self.cache
+    }
+
+    /// The underlying SSL server configuration.
+    #[must_use]
+    pub fn config(&self) -> &Arc<ServerConfig> {
+        &self.config
+    }
+
+    /// Stops accepting, closes every in-flight connection, and joins the
+    /// shard threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The listener is non-blocking, so shards notice the flag on their
+        // next sweep without any unblocking trick.
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
+        }
+    }
+}
+
+impl Drop for EventLoopServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// One shard: accepts new sockets and sweeps every connection it owns,
+/// sleeping only when a full pass made no progress anywhere.
+fn shard_loop(
+    shard: usize,
+    listener: &TcpListener,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+    io_timeout: Option<Duration>,
+) {
+    let mut conns: Vec<Conn<'_>> = Vec::new();
+    let mut scratch = vec![0u8; SCRATCH_LEN];
+    let mut seq: u64 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        let mut progress = false;
+        // Accept burst: drain the backlog, then get back to serving.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    seq += 1;
+                    if let Some(conn) = Conn::accept(stream, config, shard, seq, io_timeout) {
+                        conns.push(conn);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        let now = Instant::now();
+        conns.retain_mut(|conn| {
+            progress |= conn.pump(stats, &mut scratch, now);
+            !conn.done
+        });
+        if !progress {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// One multiplexed connection: a non-blocking socket plus the sans-io
+/// engine holding its handshake/record state between readiness events.
+struct Conn<'a> {
+    stream: TcpStream,
+    engine: ServerEngine<'a>,
+    /// Evict when `Instant::now()` passes this without traffic.
+    deadline: Option<Instant>,
+    io_timeout: Option<Duration>,
+    /// Whether the completed handshake has been counted in the stats.
+    counted: bool,
+    /// Closing: no more reads, just flush the outbound buffer (which ends
+    /// with an alert) and finish.
+    draining: bool,
+    /// Finished; the shard drops the connection on its next sweep.
+    done: bool,
+}
+
+impl<'a> Conn<'a> {
+    /// Wraps a freshly accepted socket. Returns `None` when socket setup
+    /// fails (the peer is already gone).
+    fn accept(
+        stream: TcpStream,
+        config: &'a ServerConfig,
+        shard: usize,
+        seq: u64,
+        io_timeout: Option<Duration>,
+    ) -> Option<Self> {
+        stream.set_nonblocking(true).ok()?;
+        let _ = stream.set_nodelay(true);
+        let rng = SslRng::from_seed(format!("sslperf-eventloop-{shard}-{seq}").as_bytes());
+        let engine = Engine::new(SslServer::new(config, rng)).ok()?;
+        Some(Conn {
+            stream,
+            engine,
+            deadline: io_timeout.map(|t| Instant::now() + t),
+            io_timeout,
+            counted: false,
+            draining: false,
+            done: false,
+        })
+    }
+
+    /// Pushes the deadline out after any successful read or write.
+    fn touch(&mut self, now: Instant) {
+        self.deadline = self.io_timeout.map(|t| now + t);
+    }
+
+    /// Makes whatever progress the socket allows: deadline check, read +
+    /// feed, request serving, write. Returns true when anything moved.
+    fn pump(&mut self, stats: &ServerStats, scratch: &mut [u8], now: Instant) -> bool {
+        let mut progress = false;
+
+        // Deadline eviction (the event-loop half of the slowloris guard).
+        if !self.draining && !self.done {
+            if let Some(deadline) = self.deadline {
+                if now >= deadline {
+                    stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    let alert = if self.engine.is_established() {
+                        Alert::close_notify()
+                    } else {
+                        Alert::fatal(AlertDescription::HandshakeFailure)
+                    };
+                    if self.engine.queue_alert(alert).is_ok() {
+                        stats.alerts_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.draining = true;
+                    progress = true;
+                }
+            }
+        }
+
+        // Read phase: pull whatever the socket has and feed the engine.
+        while !self.draining && !self.done {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.done = true;
+                }
+                Ok(n) => {
+                    progress = true;
+                    self.touch(now);
+                    self.feed_bytes(&scratch[..n], stats);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => self.done = true,
+            }
+        }
+
+        // Serve any complete requests that arrived exactly on a previous
+        // sweep's bytes (feed_bytes drains eagerly, this is the catch-all).
+        if !self.draining && !self.done && self.engine.is_established() {
+            self.drain_requests(stats);
+        }
+
+        // Write phase: flush the engine's outbound buffer as far as the
+        // socket accepts, keeping the rest queued for the next sweep.
+        while !self.done && self.engine.wants_write() {
+            match self.stream.write(self.engine.output()) {
+                Ok(0) => self.done = true,
+                Ok(n) => {
+                    progress = true;
+                    self.engine.consume_output(n);
+                    self.touch(now);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => self.done = true,
+            }
+        }
+
+        // A draining connection is finished once its goodbye is flushed.
+        if self.draining && !self.engine.wants_write() {
+            self.done = true;
+        }
+        progress
+    }
+
+    /// Feeds freshly read bytes through the engine, serving requests as
+    /// they complete so the inbound buffer keeps making room.
+    fn feed_bytes(&mut self, bytes: &[u8], stats: &ServerStats) {
+        let mut offset = 0;
+        while offset < bytes.len() && !self.draining {
+            match self.engine.feed(&bytes[offset..]) {
+                Ok(0) => {
+                    // Inbound buffer full of unserved records: drain, then
+                    // retry. No movement means the connection is stuck.
+                    let before = self.engine.unconsumed();
+                    self.drain_requests(stats);
+                    if self.draining || self.engine.unconsumed() == before {
+                        break;
+                    }
+                }
+                Ok(consumed) => {
+                    offset += consumed;
+                    self.note_established(stats);
+                    if self.engine.is_established() {
+                        self.drain_requests(stats);
+                    }
+                }
+                Err(e) => {
+                    self.fail(&e, stats);
+                }
+            }
+        }
+    }
+
+    /// Counts the handshake once, the first sweep that sees it complete.
+    fn note_established(&mut self, stats: &ServerStats) {
+        if self.counted || !self.engine.is_established() {
+            return;
+        }
+        self.counted = true;
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        if self.engine.machine().resumed() {
+            stats.resumed_handshakes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.full_handshakes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Opens every complete buffered application record and seals a
+    /// response for each — the HTTP transaction loop, event-loop style.
+    fn drain_requests(&mut self, stats: &ServerStats) {
+        while !self.draining {
+            match self.engine.open_next() {
+                Ok(Some(range)) => {
+                    let response = match HttpRequest::parse(&self.engine.buffered()[range]) {
+                        Ok(request) => respond(&request),
+                        Err(e) => {
+                            self.fail(&e, stats);
+                            return;
+                        }
+                    };
+                    if let Err(e) = self.engine.seal(&response.to_bytes()) {
+                        self.fail(&e, stats);
+                        return;
+                    }
+                    stats.transactions.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    self.fail(&e, stats);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Starts an orderly close after `error`: count it, queue the proper
+    /// alert (close_notify reply, fatal alert, or silence for transport
+    /// failures), and switch to draining.
+    fn fail(&mut self, error: &SslError, stats: &ServerStats) {
+        match error {
+            SslError::PeerAlert(alert) if alert.is_close_notify() => {
+                if self.engine.queue_close_notify().is_ok() {
+                    stats.alerts_sent.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            SslError::Io(_) => {}
+            _ => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(alert) = alert_for_close(error, self.engine.is_established()) {
+                    if self.engine.queue_alert(alert).is_ok() {
+                        stats.alerts_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        self.draining = true;
+    }
+}

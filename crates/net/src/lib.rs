@@ -2,9 +2,12 @@
 //!
 //! The paper measures a loaded Apache/mod_ssl server; the in-memory
 //! experiments in `sslperf-websim` reproduce its cost anatomy, and this
-//! crate supplies the missing serving substrate: a TCP listener with a
-//! fixed worker thread pool ([`TcpSslServer`]), per-connection instrumented
-//! SSLv3 sessions over [`sslperf_ssl::Transport`], and a sharded LRU
+//! crate supplies the missing serving substrate in two architectures: a
+//! TCP listener with a fixed worker thread pool ([`TcpSslServer`], one
+//! blocking thread per connection over [`sslperf_ssl::Transport`]) and an
+//! event-driven loop ([`EventLoopServer`], many non-blocking sockets per
+//! shard thread driven through the sans-io
+//! [`ServerEngine`](sslperf_ssl::ServerEngine)). Both share a sharded LRU
 //! session cache ([`ShardedSessionCache`]) that makes §4.1's session
 //! re-negotiation work across connections — the baseline every scaling
 //! experiment (batching, parallel crypto, sharding) gets measured against.
@@ -35,7 +38,9 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod eventloop;
 mod server;
 
 pub use cache::ShardedSessionCache;
+pub use eventloop::EventLoopServer;
 pub use server::{ServerOptions, ServerStats, TcpSslServer};

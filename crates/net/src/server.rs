@@ -12,21 +12,30 @@
 use crate::cache::ShardedSessionCache;
 use sslperf_rng::SslRng;
 use sslperf_rsa::RsaPrivateKey;
-use sslperf_ssl::{RecordBuffer, ServerConfig, SslError, SslServer};
+use sslperf_ssl::alert::{Alert, AlertDescription};
+use sslperf_ssl::{RecordBuffer, ServerConfig, SslError, SslServer, Transport};
 use sslperf_websim::http::{synthesize_document, HttpRequest, HttpResponse};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// Tunables for [`TcpSslServer::start`].
+/// Tunables shared by both serving modes ([`TcpSslServer::start`] and
+/// [`EventLoopServer::start`](crate::EventLoopServer::start)).
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Address to bind; port 0 picks a free port.
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Worker threads handling connections (pool mode).
     pub workers: usize,
+    /// Event-loop shard threads multiplexing connections (event-loop mode).
+    pub shards: usize,
+    /// One knob for both modes' slowloris guard: socket read/write
+    /// timeouts on pool workers, per-connection idle/handshake deadlines
+    /// on event-loop shards. `None` waits forever.
+    pub io_timeout: Option<Duration>,
     /// Shards in the session cache.
     pub cache_shards: usize,
     /// Sessions each shard retains before LRU eviction.
@@ -38,6 +47,8 @@ impl Default for ServerOptions {
         ServerOptions {
             addr: "127.0.0.1:0".into(),
             workers: 4,
+            shards: 2,
+            io_timeout: Some(Duration::from_secs(30)),
             cache_shards: 8,
             cache_capacity_per_shard: 1024,
         }
@@ -47,11 +58,13 @@ impl Default for ServerOptions {
 /// Monotonic serving counters, shared across workers.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    connections: AtomicU64,
-    transactions: AtomicU64,
-    full_handshakes: AtomicU64,
-    resumed_handshakes: AtomicU64,
-    errors: AtomicU64,
+    pub(crate) connections: AtomicU64,
+    pub(crate) transactions: AtomicU64,
+    pub(crate) full_handshakes: AtomicU64,
+    pub(crate) resumed_handshakes: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) alerts_sent: AtomicU64,
 }
 
 impl ServerStats {
@@ -83,6 +96,45 @@ impl ServerStats {
     #[must_use]
     pub fn errors(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Connections evicted after stalling past the I/O timeout (the
+    /// slowloris guard; not double-counted in [`ServerStats::errors`]).
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Alert records sent before closing, including orderly `close_notify`
+    /// replies — every error path says goodbye on the wire.
+    #[must_use]
+    pub fn alerts_sent(&self) -> u64 {
+        self.alerts_sent.load(Ordering::Relaxed)
+    }
+}
+
+/// The alert to send before closing a connection that hit `error`.
+///
+/// Timeouts get an orderly `close_notify` when established (an idle but
+/// healthy client) and a fatal `handshake_failure` mid-handshake (a
+/// slowloris suspect). Hard transport failures and peer-initiated alerts
+/// get none — there is nobody left to tell. Everything else maps through
+/// [`Alert::for_error`], defaulting to a fatal `illegal_parameter` for
+/// decode-class errors the mapping leaves out.
+pub(crate) fn alert_for_close(error: &SslError, established: bool) -> Option<Alert> {
+    if error.is_timeout() {
+        return Some(if established {
+            Alert::close_notify()
+        } else {
+            Alert::fatal(AlertDescription::HandshakeFailure)
+        });
+    }
+    match error {
+        SslError::Io(_) | SslError::PeerAlert(_) => None,
+        _ => Some(
+            Alert::for_error(error)
+                .unwrap_or_else(|| Alert::fatal(AlertDescription::IllegalParameter)),
+        ),
     }
 }
 
@@ -132,12 +184,13 @@ impl TcpSslServer {
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
 
+        let io_timeout = options.io_timeout;
         let workers = (0..options.workers)
             .map(|_| {
                 let conn_rx = Arc::clone(&conn_rx);
                 let config = Arc::clone(&config);
                 let stats = Arc::clone(&stats);
-                std::thread::spawn(move || worker_loop(&conn_rx, &config, &stats))
+                std::thread::spawn(move || worker_loop(&conn_rx, &config, &stats, io_timeout))
             })
             .collect();
 
@@ -220,7 +273,12 @@ fn accept_loop(listener: &TcpListener, conn_tx: &Sender<TcpStream>, stop: &Atomi
     }
 }
 
-fn worker_loop(conn_rx: &Mutex<Receiver<TcpStream>>, config: &ServerConfig, stats: &ServerStats) {
+fn worker_loop(
+    conn_rx: &Mutex<Receiver<TcpStream>>,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    io_timeout: Option<Duration>,
+) {
     static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
     loop {
         let stream = {
@@ -229,23 +287,55 @@ fn worker_loop(conn_rx: &Mutex<Receiver<TcpStream>>, config: &ServerConfig, stat
         };
         let Ok(stream) = stream else { return };
         let conn_id = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
-        serve_connection(config, stats, stream, conn_id);
+        serve_connection(config, stats, stream, conn_id, io_timeout);
+    }
+}
+
+/// Best-effort alert before closing on `error`; counts what actually made
+/// it onto the wire.
+fn send_closing_alert(
+    server: &mut SslServer<'_>,
+    transport: &mut TcpStream,
+    error: &SslError,
+    stats: &ServerStats,
+) {
+    if let Some(alert) = alert_for_close(error, server.is_established()) {
+        if let Ok(wire) = server.seal_alert(&alert) {
+            if Transport::send(transport, &wire).is_ok() {
+                stats.alerts_sent.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
 /// Runs one connection to completion: handshake, then HTTP transactions
 /// until `close_notify` or disconnect.
-fn serve_connection(config: &ServerConfig, stats: &ServerStats, stream: TcpStream, conn_id: u64) {
+fn serve_connection(
+    config: &ServerConfig,
+    stats: &ServerStats,
+    stream: TcpStream,
+    conn_id: u64,
+    io_timeout: Option<Duration>,
+) {
     // Handshake flights are small back-to-back writes; Nagle + delayed
     // ACK would add ~40ms stalls to every resumed transaction.
     let _ = stream.set_nodelay(true);
+    // Slowloris guard: a client trickling or withholding bytes cannot pin
+    // this worker past the timeout.
+    let _ = stream.set_read_timeout(io_timeout);
+    let _ = stream.set_write_timeout(io_timeout);
     let mut transport = stream;
     // Session ids come from this rng; the connection counter keeps them
     // unique across the process.
     let rng = SslRng::from_seed(format!("sslperf-net-conn-{conn_id}").as_bytes());
     let mut server = SslServer::new(config, rng);
-    if server.handshake_transport(&mut transport).is_err() {
-        stats.errors.fetch_add(1, Ordering::Relaxed);
+    if let Err(e) = server.handshake_transport(&mut transport) {
+        if e.is_timeout() {
+            stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        send_closing_alert(&mut server, &mut transport, &e, stats);
         return;
     }
     stats.connections.fetch_add(1, Ordering::Relaxed);
@@ -264,19 +354,32 @@ fn serve_connection(config: &ServerConfig, stats: &ServerStats, stream: TcpStrea
         let payload_range = match server.recv_buffered(&mut transport, &mut rx_buf) {
             Ok(range) => range,
             Err(SslError::PeerAlert(alert)) if alert.is_close_notify() => {
-                let _ = server.close_transport(&mut transport);
+                if server.close_transport(&mut transport).is_ok() {
+                    stats.alerts_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            Err(e) if e.is_timeout() => {
+                stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                send_closing_alert(&mut server, &mut transport, &e, stats);
                 return;
             }
             Err(SslError::Io(_)) => return, // disconnect without close_notify
-            Err(_) => {
+            Err(e) => {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
+                send_closing_alert(&mut server, &mut transport, &e, stats);
                 return;
             }
         };
         let response = match HttpRequest::parse(&rx_buf.as_slice()[payload_range]) {
             Ok(request) => respond(&request),
             Err(_) => {
+                // Application-level garbage over a healthy session: close
+                // the SSL layer in an orderly way.
                 stats.errors.fetch_add(1, Ordering::Relaxed);
+                if server.close_transport(&mut transport).is_ok() {
+                    stats.alerts_sent.fetch_add(1, Ordering::Relaxed);
+                }
                 return;
             }
         };
@@ -288,7 +391,7 @@ fn serve_connection(config: &ServerConfig, stats: &ServerStats, stream: TcpStrea
     }
 }
 
-fn respond(request: &HttpRequest) -> HttpResponse {
+pub(crate) fn respond(request: &HttpRequest) -> HttpResponse {
     match document_size(request.path()) {
         Some(size) => HttpResponse::ok(synthesize_document(request.path(), size)),
         None => HttpResponse::not_found(),
@@ -297,7 +400,7 @@ fn respond(request: &HttpRequest) -> HttpResponse {
 
 /// Parses the size out of the `/doc_{size}.bin` paths the load generator
 /// and the websim experiments request.
-fn document_size(path: &str) -> Option<usize> {
+pub(crate) fn document_size(path: &str) -> Option<usize> {
     let rest = path.strip_prefix("/doc_")?;
     let digits = rest.strip_suffix(".bin")?;
     digits.parse().ok()

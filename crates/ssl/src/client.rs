@@ -1,13 +1,20 @@
 //! The SSL v3 client state machine.
+//!
+//! The handshake logic lives in per-message handlers driven by the sans-io
+//! [`Engine`](crate::Engine); the flight-based `process_*` methods and the
+//! blocking [`SslClient::handshake_transport`] driver are thin wrappers
+//! over it, producing byte-identical wire traffic.
 
+use crate::engine::{Engine, EngineDriven};
 use crate::kdf::{self, KeyMaterial};
 use crate::messages::{HandshakeMessage, SessionId};
 use crate::record::{ContentType, RecordBuffer, RecordLayer};
 use crate::transcript::{Transcript, SENDER_CLIENT, SENDER_SERVER};
 use crate::transport::{read_record, read_record_into, Transport};
 use crate::{CipherSuite, SslError, VERSION};
+use sslperf_profile::Cycles;
 use sslperf_rng::SslRng;
-use sslperf_rsa::x509::Certificate;
+use sslperf_rsa::{x509::Certificate, RsaPublicKey};
 use std::ops::Range;
 
 /// A resumable session handle returned by [`SslClient::session`].
@@ -43,8 +50,11 @@ impl ClientSession {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     Start,
-    AwaitServerFlight,
-    AwaitServerFinish,
+    AwaitServerHello,
+    AwaitCertificate,
+    AwaitServerHelloDone,
+    AwaitServerCcs,
+    AwaitServerFinished,
     Established,
 }
 
@@ -64,6 +74,9 @@ pub struct SslClient {
     resume: Option<ClientSession>,
     resumed: bool,
     expected_server_finished: Option<([u8; 16], [u8; 20])>,
+    /// The verified key from the server certificate, held between the
+    /// certificate and hello-done messages of a full handshake.
+    server_key: Option<RsaPublicKey>,
 }
 
 impl SslClient {
@@ -95,6 +108,7 @@ impl SslClient {
             resume: None,
             resumed: false,
             expected_server_finished: None,
+            server_key: None,
         }
     }
 
@@ -158,7 +172,7 @@ impl SslClient {
         .encode();
         self.transcript.absorb(&hello);
         let out = self.records.seal(ContentType::Handshake, &hello)?;
-        self.state = State::AwaitServerFlight;
+        self.state = State::AwaitServerHello;
         Ok(out)
     }
 
@@ -174,81 +188,20 @@ impl SslClient {
     ///
     /// Returns decode, RSA, certificate or sequencing errors.
     pub fn process_server_flight(&mut self, flight: &[u8]) -> Result<Vec<u8>, SslError> {
-        if self.state != State::AwaitServerFlight {
+        if self.state != State::AwaitServerHello {
             return Err(SslError::UnexpectedMessage { expected: "nothing (bad state)" });
         }
-        let mut rest = flight;
-
-        // Server hello.
-        let (ct, hello_bytes, used) = self.records.open_one(rest)?;
-        rest = &rest[used..];
-        if ct != ContentType::Handshake {
-            return Err(SslError::UnexpectedMessage { expected: "server hello" });
-        }
-        let (msg, _) = HandshakeMessage::decode(&hello_bytes)?;
-        let HandshakeMessage::ServerHello { random, session_id, suite } = msg else {
-            return Err(SslError::UnexpectedMessage { expected: "server hello" });
+        let out = {
+            let mut engine = Engine::attach(&mut *self);
+            engine.feed_flight(flight)?;
+            engine.drain_output()
         };
-        self.server_random = random;
-        self.suite = CipherSuite::from_wire_id(suite)?;
-        if !self.offered.contains(&self.suite) {
-            return Err(SslError::NoCommonCipher);
+        match self.state {
+            // Full handshake paused awaiting the server's CCS ‖ finished,
+            // or resumed handshake complete — both are full flights.
+            State::AwaitServerCcs | State::Established => Ok(out),
+            _ => Err(SslError::Decode("record header")),
         }
-        self.transcript.absorb(&hello_bytes);
-        let offered = self.resume.as_ref().map(|s| s.id.clone()).unwrap_or_default();
-        self.resumed = !offered.is_empty() && offered == session_id.as_bytes();
-        self.session_id = session_id.as_bytes().to_vec();
-
-        if self.resumed {
-            let session = self.resume.clone().expect("resumed implies offer");
-            self.master = session.master;
-            // Server sends CCS ‖ finished right away.
-            self.read_server_ccs_and_finished(rest)?;
-            let mut out = Vec::new();
-            self.send_ccs_and_finished(&mut out)?;
-            self.state = State::Established;
-            return Ok(out);
-        }
-
-        // Certificate.
-        let (ct, cert_bytes, used) = self.records.open_one(rest)?;
-        rest = &rest[used..];
-        if ct != ContentType::Handshake {
-            return Err(SslError::UnexpectedMessage { expected: "certificate" });
-        }
-        let (msg, _) = HandshakeMessage::decode(&cert_bytes)?;
-        let HandshakeMessage::Certificate { cert } = msg else {
-            return Err(SslError::UnexpectedMessage { expected: "certificate" });
-        };
-        self.transcript.absorb(&cert_bytes);
-        let certificate = Certificate::from_bytes(&cert)?;
-        let server_key = certificate.public_key()?;
-        // Self-signed chain: verify the signature with the embedded key.
-        certificate.verify(&server_key)?;
-
-        // Server hello done.
-        let (ct, done_bytes, _used) = self.records.open_one(rest)?;
-        if ct != ContentType::Handshake {
-            return Err(SslError::UnexpectedMessage { expected: "server hello done" });
-        }
-        let (msg, _) = HandshakeMessage::decode(&done_bytes)?;
-        if msg != HandshakeMessage::ServerHelloDone {
-            return Err(SslError::UnexpectedMessage { expected: "server hello done" });
-        }
-        self.transcript.absorb(&done_bytes);
-
-        // Client key exchange: 48-byte pre-master = version ‖ 46 random.
-        let mut pre_master = vec![VERSION.0, VERSION.1];
-        pre_master.extend(self.rng.bytes(46));
-        let encrypted = server_key.encrypt_pkcs1(&pre_master, &mut self.rng)?;
-        let kx = HandshakeMessage::ClientKeyExchange { encrypted_pre_master: encrypted }.encode();
-        self.transcript.absorb(&kx);
-        let mut out = self.records.seal(ContentType::Handshake, &kx)?;
-        self.master = kdf::master_secret(&pre_master, &self.client_random, &self.server_random);
-
-        self.send_ccs_and_finished(&mut out)?;
-        self.state = State::AwaitServerFinish;
-        Ok(out)
     }
 
     /// Processes the server's final CCS ‖ finished flight of a full
@@ -258,10 +211,115 @@ impl SslClient {
     ///
     /// Returns [`SslError::BadFinished`] on a transcript mismatch.
     pub fn process_server_finish(&mut self, flight: &[u8]) -> Result<(), SslError> {
-        if self.state != State::AwaitServerFinish {
+        // Only valid mid-full-handshake: the client flight was sent (which
+        // sets the expectation) and the server's CCS is still pending.
+        if self.state != State::AwaitServerCcs || self.expected_server_finished.is_none() {
             return Err(SslError::UnexpectedMessage { expected: "nothing (bad state)" });
         }
-        self.read_server_ccs_and_finished(flight)?;
+        {
+            let mut engine = Engine::attach(&mut *self);
+            engine.feed_flight(flight)?;
+        }
+        if self.state != State::Established {
+            return Err(SslError::Decode("record header"));
+        }
+        Ok(())
+    }
+
+    fn on_server_hello(&mut self, msg: &[u8]) -> Result<(), SslError> {
+        let (decoded, _) = HandshakeMessage::decode(msg)?;
+        let HandshakeMessage::ServerHello { random, session_id, suite } = decoded else {
+            return Err(SslError::UnexpectedMessage { expected: "server hello" });
+        };
+        self.server_random = random;
+        self.suite = CipherSuite::from_wire_id(suite)?;
+        if !self.offered.contains(&self.suite) {
+            return Err(SslError::NoCommonCipher);
+        }
+        self.transcript.absorb(msg);
+        let offered = self.resume.as_ref().map(|s| s.id.clone()).unwrap_or_default();
+        self.resumed = !offered.is_empty() && offered == session_id.as_bytes();
+        self.session_id = session_id.as_bytes().to_vec();
+        if self.resumed {
+            // Server sends CCS ‖ finished right away under the cached master.
+            self.master = self.resume.clone().expect("resumed implies offer").master;
+            self.state = State::AwaitServerCcs;
+        } else {
+            self.state = State::AwaitCertificate;
+        }
+        Ok(())
+    }
+
+    fn on_certificate(&mut self, msg: &[u8]) -> Result<(), SslError> {
+        let (decoded, _) = HandshakeMessage::decode(msg)?;
+        let HandshakeMessage::Certificate { cert } = decoded else {
+            return Err(SslError::UnexpectedMessage { expected: "certificate" });
+        };
+        self.transcript.absorb(msg);
+        let certificate = Certificate::from_bytes(&cert)?;
+        let server_key = certificate.public_key()?;
+        // Self-signed chain: verify the signature with the embedded key.
+        certificate.verify(&server_key)?;
+        self.server_key = Some(server_key);
+        self.state = State::AwaitServerHelloDone;
+        Ok(())
+    }
+
+    fn on_server_hello_done(&mut self, msg: &[u8], out: &mut Vec<u8>) -> Result<(), SslError> {
+        let (decoded, _) = HandshakeMessage::decode(msg)?;
+        if decoded != HandshakeMessage::ServerHelloDone {
+            return Err(SslError::UnexpectedMessage { expected: "server hello done" });
+        }
+        self.transcript.absorb(msg);
+
+        // Client key exchange: 48-byte pre-master = version ‖ 46 random,
+        // encrypted to the key proven by the certificate we just verified.
+        let server_key = self.server_key.take().expect("certificate precedes hello done");
+        let mut pre_master = vec![VERSION.0, VERSION.1];
+        pre_master.extend(self.rng.bytes(46));
+        let encrypted = server_key.encrypt_pkcs1(&pre_master, &mut self.rng)?;
+        let kx = HandshakeMessage::ClientKeyExchange { encrypted_pre_master: encrypted }.encode();
+        self.transcript.absorb(&kx);
+        out.extend(self.records.seal(ContentType::Handshake, &kx)?);
+        self.master = kdf::master_secret(&pre_master, &self.client_random, &self.server_random);
+
+        self.send_ccs_and_finished(out)?;
+        self.state = State::AwaitServerCcs;
+        Ok(())
+    }
+
+    fn on_server_ccs(&mut self, body: &[u8]) -> Result<(), SslError> {
+        if body != [1] {
+            return Err(SslError::UnexpectedMessage { expected: "change cipher spec" });
+        }
+        let km = self.key_material();
+        let read = self.suite.new_cipher(&km.server_key, &km.server_iv)?;
+        self.records.activate_read(read, self.suite.mac_alg(), km.server_mac.clone());
+        // In the resumed flow the server finishes first: expectation is the
+        // transcript as it stands now.
+        let expected = self
+            .expected_server_finished
+            .take()
+            .unwrap_or_else(|| self.transcript.finished_hashes(&SENDER_SERVER, &self.master));
+        self.expected_server_finished = Some(expected);
+        self.state = State::AwaitServerFinished;
+        Ok(())
+    }
+
+    fn on_server_finished(&mut self, msg: &[u8], out: &mut Vec<u8>) -> Result<(), SslError> {
+        let (decoded, _) = HandshakeMessage::decode(msg)?;
+        let HandshakeMessage::Finished { md5_hash, sha_hash } = decoded else {
+            return Err(SslError::UnexpectedMessage { expected: "server finished" });
+        };
+        let expected = self.expected_server_finished.take().expect("set at CCS");
+        if (md5_hash, sha_hash) != expected {
+            return Err(SslError::BadFinished);
+        }
+        self.transcript.absorb(msg);
+        if self.resumed {
+            // Abbreviated handshake: the client answers CCS ‖ finished.
+            self.send_ccs_and_finished(out)?;
+        }
         self.state = State::Established;
         Ok(())
     }
@@ -294,35 +352,6 @@ impl SslClient {
         // handshake ordering).
         self.expected_server_finished =
             Some(self.transcript.finished_hashes(&SENDER_SERVER, &self.master));
-        Ok(())
-    }
-
-    fn read_server_ccs_and_finished(&mut self, flight: &[u8]) -> Result<(), SslError> {
-        let (ct, ccs, used) = self.records.open_one(flight)?;
-        if ct != ContentType::ChangeCipherSpec || ccs != [1] {
-            return Err(SslError::UnexpectedMessage { expected: "change cipher spec" });
-        }
-        let km = self.key_material();
-        let read = self.suite.new_cipher(&km.server_key, &km.server_iv)?;
-        self.records.activate_read(read, self.suite.mac_alg(), km.server_mac.clone());
-        // In the resumed flow the server finishes first: expectation is the
-        // transcript as it stands now.
-        let expected = self
-            .expected_server_finished
-            .take()
-            .unwrap_or_else(|| self.transcript.finished_hashes(&SENDER_SERVER, &self.master));
-        let (ct, fin_bytes, _) = self.records.open_one(&flight[used..])?;
-        if ct != ContentType::Handshake {
-            return Err(SslError::UnexpectedMessage { expected: "server finished" });
-        }
-        let (msg, _) = HandshakeMessage::decode(&fin_bytes)?;
-        let HandshakeMessage::Finished { md5_hash, sha_hash } = msg else {
-            return Err(SslError::UnexpectedMessage { expected: "server finished" });
-        };
-        if (md5_hash, sha_hash) != expected {
-            return Err(SslError::BadFinished);
-        }
-        self.transcript.absorb(&fin_bytes);
         Ok(())
     }
 
@@ -409,32 +438,33 @@ impl SslClient {
         self.records.seal(ContentType::Alert, &crate::alert::Alert::close_notify().to_bytes())
     }
 
+    /// Seals an alert record in whatever cipher state the connection is in
+    /// — usable mid-handshake, so error paths can say why they are closing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates record-layer failures.
+    pub fn seal_alert(&mut self, alert: &crate::alert::Alert) -> Result<Vec<u8>, SslError> {
+        self.records.seal(ContentType::Alert, &alert.to_bytes())
+    }
+
     /// Drives the whole client side of the handshake over a
     /// [`Transport`], attempting resumption when constructed with
-    /// [`SslClient::resuming`]: the flight-based state machine unchanged,
-    /// with records read from and written to the stream.
+    /// [`SslClient::resuming`]: one sans-io [`Engine`] fed one record per
+    /// read, with replies flushed as soon as they are complete.
     ///
     /// # Errors
     ///
     /// Returns [`SslError::Io`] on transport failures plus every error the
     /// flight-based methods can return.
     pub fn handshake_transport<T: Transport>(&mut self, transport: &mut T) -> Result<(), SslError> {
-        let hello = self.hello()?;
-        transport.send(&hello)?;
-        // Both server replies are three records: hello ‖ certificate ‖
-        // done (full) or hello ‖ CCS ‖ finished (resumed).
-        let mut flight = Vec::new();
-        for _ in 0..3 {
-            flight.extend(read_record(transport)?);
-        }
-        let reply = self.process_server_flight(&flight)?;
-        transport.send(&reply)?;
-        if !self.resumed {
-            let mut finish = Vec::new();
-            for _ in 0..2 {
-                finish.extend(read_record(transport)?);
-            }
-            self.process_server_finish(&finish)?;
+        let mut buf = RecordBuffer::new();
+        let mut engine = Engine::new(&mut *self)?;
+        engine.flush_to(transport)?;
+        while !engine.is_established() {
+            read_record_into(transport, &mut buf)?;
+            engine.feed(buf.as_slice())?;
+            engine.flush_to(transport)?;
         }
         Ok(())
     }
@@ -507,6 +537,46 @@ impl SslClient {
     pub fn close_transport<T: Transport>(&mut self, transport: &mut T) -> Result<(), SslError> {
         let wire = self.close()?;
         transport.send(&wire)
+    }
+}
+
+impl EngineDriven for SslClient {
+    fn start(&mut self, out: &mut Vec<u8>) -> Result<(), SslError> {
+        let hello = self.hello()?;
+        out.extend(hello);
+        Ok(())
+    }
+
+    fn on_handshake_message(
+        &mut self,
+        msg: &[u8],
+        _open_cycles: Cycles,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SslError> {
+        match self.state {
+            State::AwaitServerHello => self.on_server_hello(msg),
+            State::AwaitCertificate => self.on_certificate(msg),
+            State::AwaitServerHelloDone => self.on_server_hello_done(msg, out),
+            State::AwaitServerFinished => self.on_server_finished(msg, out),
+            State::Start | State::AwaitServerCcs | State::Established => {
+                Err(SslError::UnexpectedMessage { expected: "change cipher spec" })
+            }
+        }
+    }
+
+    fn on_change_cipher_spec(&mut self, body: &[u8], _open_cycles: Cycles) -> Result<(), SslError> {
+        if self.state != State::AwaitServerCcs {
+            return Err(SslError::UnexpectedMessage { expected: "handshake message" });
+        }
+        self.on_server_ccs(body)
+    }
+
+    fn record_layer(&mut self) -> &mut RecordLayer {
+        &mut self.records
+    }
+
+    fn handshake_done(&self) -> bool {
+        self.state == State::Established
     }
 }
 

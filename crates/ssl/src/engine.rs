@@ -1,0 +1,561 @@
+//! The sans-io handshake engine: byte-oriented SSL connections decoupled
+//! from any I/O driver.
+//!
+//! [`Engine`] wraps a handshake state machine ([`SslClient`] or
+//! [`SslServer`]) behind a purely byte-oriented API: the caller pushes
+//! whatever bytes the transport produced with [`Engine::feed`] — a single
+//! byte, half a record, or three coalesced flights — and drains whatever
+//! the connection wants to send with [`Engine::take_output`] /
+//! [`Engine::output`]. The engine owns the per-connection
+//! [`RecordBuffer`]s, reassembles records from arbitrary read boundaries,
+//! and reassembles handshake *messages* across record boundaries, so
+//! handshake messages fragmented over many TCP reads and multiple messages
+//! coalesced into one record both work.
+//!
+//! Every driver in the workspace is a thin loop over this type:
+//!
+//! * the flight-based `process_*` methods feed one peer flight and drain
+//!   the reply,
+//! * the blocking `handshake_transport` drivers feed one record per
+//!   [`read_record_into`](crate::read_record_into) call,
+//! * the event-loop server feeds whatever a non-blocking `read` returned.
+//!
+//! Post-handshake, [`Engine::seal`] appends application-data records to the
+//! outbound buffer and [`Engine::open_next`] decrypts buffered records in
+//! place — the zero-allocation record pipeline, driver-agnostic.
+//!
+//! # Examples
+//!
+//! ```
+//! use sslperf_rng::SslRng;
+//! use sslperf_rsa::RsaPrivateKey;
+//! use sslperf_ssl::{CipherSuite, ClientEngine, Engine, ServerConfig, SslClient, SslServer};
+//!
+//! let mut rng = SslRng::from_seed(b"engine-doc");
+//! let key = RsaPrivateKey::generate(512, &mut rng)?;
+//! let config = ServerConfig::new(key, "doc.example")?;
+//!
+//! let mut client: ClientEngine =
+//!     Engine::new(SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"c")))?;
+//! let mut server = Engine::new(SslServer::new(&config, SslRng::from_seed(b"s")))?;
+//!
+//! // Shuttle bytes until both sides are established — byte counts per
+//! // hop are the driver's business, not the engine's.
+//! let mut wire = [0u8; 4096];
+//! while !(client.is_established() && server.is_established()) {
+//!     let n = client.take_output(&mut wire);
+//!     server.feed(&wire[..n])?;
+//!     let n = server.take_output(&mut wire);
+//!     client.feed(&wire[..n])?;
+//! }
+//!
+//! client.seal(b"GET / HTTP/1.0\r\n\r\n")?;
+//! let n = client.take_output(&mut wire);
+//! server.feed(&wire[..n])?;
+//! let range = server.open_next()?.expect("one full record buffered");
+//! assert_eq!(&server.buffered()[range], b"GET / HTTP/1.0\r\n\r\n");
+//! # Ok::<(), sslperf_ssl::SslError>(())
+//! ```
+
+use crate::alert::Alert;
+use crate::record::{ContentType, RecordBuffer, RecordLayer};
+use crate::transport::{Transport, RECORD_HEADER_LEN};
+use crate::{SslClient, SslError, SslServer, MAX_RECORD_BODY, VERSION};
+use sslperf_profile::{measure, Cycles};
+use std::ops::Range;
+
+/// Inbound buffering cap: two maximum records. [`Engine::feed`] consumes at
+/// most this much un-processed input, returning a shorter `consumed` count
+/// when the caller must first drain application records — natural
+/// backpressure for event-loop drivers.
+const HIGH_WATER: usize = 2 * (RECORD_HEADER_LEN + MAX_RECORD_BODY);
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for crate::SslClient {}
+    impl Sealed for crate::SslServer<'_> {}
+    impl<M: Sealed + ?Sized> Sealed for &mut M {}
+}
+
+/// A handshake state machine an [`Engine`] can drive (sealed: implemented
+/// by [`SslClient`] and [`SslServer`], plus mutable references to either so
+/// the blocking and flight-based drivers can borrow a machine they own).
+///
+/// The engine handles record framing and handshake-message reassembly;
+/// implementations only see whole messages, in order, plus the cycles the
+/// engine spent opening the record each message arrived in (so the paper's
+/// per-step attribution survives the sans-io split).
+pub trait EngineDriven: sealed::Sealed {
+    /// Emits any connection-opening bytes (the client hello flight; servers
+    /// emit nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns state-machine errors (e.g. called on a used connection).
+    fn start(&mut self, out: &mut Vec<u8>) -> Result<(), SslError>;
+
+    /// Handles one complete handshake message (4-byte header included),
+    /// appending any reply records to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode, crypto, and sequencing errors.
+    fn on_handshake_message(
+        &mut self,
+        msg: &[u8],
+        open_cycles: Cycles,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SslError>;
+
+    /// Handles a change-cipher-spec record body.
+    ///
+    /// # Errors
+    ///
+    /// Returns sequencing errors when the CCS is unexpected or malformed.
+    fn on_change_cipher_spec(&mut self, body: &[u8], open_cycles: Cycles) -> Result<(), SslError>;
+
+    /// The connection's record layer (shared by handshake and bulk phases,
+    /// so sequence numbers and cipher states stay consistent).
+    fn record_layer(&mut self) -> &mut RecordLayer;
+
+    /// True once the handshake completed.
+    fn handshake_done(&self) -> bool;
+}
+
+impl<M: EngineDriven + ?Sized> EngineDriven for &mut M {
+    fn start(&mut self, out: &mut Vec<u8>) -> Result<(), SslError> {
+        (**self).start(out)
+    }
+
+    fn on_handshake_message(
+        &mut self,
+        msg: &[u8],
+        open_cycles: Cycles,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SslError> {
+        (**self).on_handshake_message(msg, open_cycles, out)
+    }
+
+    fn on_change_cipher_spec(&mut self, body: &[u8], open_cycles: Cycles) -> Result<(), SslError> {
+        (**self).on_change_cipher_spec(body, open_cycles)
+    }
+
+    fn record_layer(&mut self) -> &mut RecordLayer {
+        (**self).record_layer()
+    }
+
+    fn handshake_done(&self) -> bool {
+        (**self).handshake_done()
+    }
+}
+
+/// A client-side sans-io connection.
+pub type ClientEngine = Engine<SslClient>;
+
+/// A server-side sans-io connection.
+pub type ServerEngine<'a> = Engine<SslServer<'a>>;
+
+/// A driver-agnostic SSL connection: byte-oriented I/O over a handshake
+/// state machine. See the [module docs](self) for the API shape and an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct Engine<M: EngineDriven> {
+    machine: M,
+    /// Raw inbound bytes; `in_pos` marks how far records were consumed.
+    inbox: RecordBuffer,
+    in_pos: usize,
+    /// Decrypted handshake-record payloads awaiting message reassembly.
+    msgs: Vec<u8>,
+    msg_pos: usize,
+    /// Sealed outbound records; `out_pos` marks how far the driver wrote.
+    outbox: RecordBuffer,
+    out_pos: usize,
+    failed: Option<SslError>,
+}
+
+impl<M: EngineDriven> Engine<M> {
+    /// Wraps a fresh state machine and emits its opening bytes (the client
+    /// hello; nothing for servers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates state-machine errors from the opening flight.
+    pub fn new(machine: M) -> Result<Self, SslError> {
+        let mut engine = Self::attach(machine);
+        let result = engine.machine.start(engine.outbox.vec_mut());
+        if let Err(e) = result {
+            engine.failed = Some(e.clone());
+            return Err(e);
+        }
+        Ok(engine)
+    }
+
+    /// Wraps a machine mid-state without emitting anything — used by the
+    /// flight-based wrappers, which manage the opening flight themselves.
+    pub(crate) fn attach(machine: M) -> Self {
+        Engine {
+            machine,
+            inbox: RecordBuffer::new(),
+            in_pos: 0,
+            msgs: Vec::new(),
+            msg_pos: 0,
+            outbox: RecordBuffer::new(),
+            out_pos: 0,
+            failed: None,
+        }
+    }
+
+    /// The wrapped state machine (step timings, suite, session handles).
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Mutable access to the wrapped state machine.
+    pub fn machine_mut(&mut self) -> &mut M {
+        &mut self.machine
+    }
+
+    /// Unwraps the engine, returning the state machine.
+    pub fn into_machine(self) -> M {
+        self.machine
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.machine.handshake_done()
+    }
+
+    /// The error that poisoned this connection, if any.
+    pub fn last_error(&self) -> Option<&SslError> {
+        self.failed.as_ref()
+    }
+
+    /// True while the connection can make progress from more peer bytes.
+    pub fn wants_read(&self) -> bool {
+        self.failed.is_none()
+    }
+
+    /// True while sealed bytes are waiting to be written to the peer.
+    pub fn wants_write(&self) -> bool {
+        self.pending_output() > 0
+    }
+
+    /// Bytes currently waiting in the outbound buffer.
+    pub fn pending_output(&self) -> usize {
+        self.outbox.len() - self.out_pos
+    }
+
+    /// The outbound bytes waiting to be written. Pair with
+    /// [`Engine::consume_output`] after a (possibly partial) write.
+    pub fn output(&self) -> &[u8] {
+        &self.outbox.as_slice()[self.out_pos..]
+    }
+
+    /// Marks `n` outbound bytes as written (a partial `write` consumes a
+    /// prefix; the rest stays queued).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`Engine::pending_output`].
+    pub fn consume_output(&mut self, n: usize) {
+        assert!(n <= self.pending_output(), "consumed more output than pending");
+        self.out_pos += n;
+        if self.out_pos == self.outbox.len() {
+            self.outbox.clear();
+            self.out_pos = 0;
+        }
+    }
+
+    /// Copies pending outbound bytes into `out`, consuming them. Returns
+    /// the number of bytes copied (0 when nothing is pending).
+    pub fn take_output(&mut self, out: &mut [u8]) -> usize {
+        let n = self.pending_output().min(out.len());
+        out[..n].copy_from_slice(&self.output()[..n]);
+        self.consume_output(n);
+        n
+    }
+
+    /// Bytes buffered but not yet opened (a partial record, or application
+    /// records awaiting [`Engine::open_next`]).
+    pub fn unconsumed(&self) -> usize {
+        self.inbox.len() - self.in_pos
+    }
+
+    /// The inbound buffer; ranges returned by [`Engine::open_next`] index
+    /// into this slice and stay valid until the next [`Engine::feed`].
+    pub fn buffered(&self) -> &[u8] {
+        self.inbox.as_slice()
+    }
+
+    /// Feeds transport bytes into the connection, driving the handshake as
+    /// far as the bytes allow. Returns how many bytes were consumed — less
+    /// than `bytes.len()` when the inbound buffer is full of application
+    /// records the caller has not yet drained with [`Engine::open_next`].
+    ///
+    /// # Errors
+    ///
+    /// Returns handshake, record-layer, and [`SslError::PeerAlert`] errors;
+    /// any error poisons the connection (see [`Engine::last_error`]).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<usize, SslError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        // Compact: drop consumed record bytes so the buffer never grows
+        // past the high-water mark (a drain is a memmove, not an alloc).
+        if self.in_pos > 0 {
+            if self.in_pos == self.inbox.len() {
+                self.inbox.clear();
+            } else {
+                self.inbox.vec_mut().drain(..self.in_pos);
+            }
+            self.in_pos = 0;
+        }
+        let space = HIGH_WATER.saturating_sub(self.inbox.len());
+        let take = bytes.len().min(space);
+        self.inbox.extend_from_slice(&bytes[..take]);
+        if !self.machine.handshake_done() {
+            if let Err(e) = self.drive() {
+                self.failed = Some(e.clone());
+                return Err(e);
+            }
+        }
+        Ok(take)
+    }
+
+    /// Frames and opens handshake-phase records from the inbox until the
+    /// handshake completes or the bytes run out mid-record.
+    fn drive(&mut self) -> Result<(), SslError> {
+        while !self.machine.handshake_done() {
+            let Some(total) = self.peek_record_len()? else { return Ok(()) };
+            let record = &mut self.inbox.vec_mut()[self.in_pos..self.in_pos + total];
+            let (opened, open_cycles) = measure(|| self.machine.record_layer().open_slice(record));
+            let (ct, range) = opened?;
+            let start = self.in_pos;
+            self.in_pos += total;
+            match ct {
+                ContentType::Handshake => {
+                    let payload = start + range.start..start + range.end;
+                    self.msgs.extend_from_slice(&self.inbox.as_slice()[payload]);
+                    self.pump_messages(open_cycles)?;
+                }
+                ContentType::ChangeCipherSpec => {
+                    let body = &self.inbox.as_slice()[start + range.start..start + range.end];
+                    // Split borrows: body comes from inbox, the machine is a
+                    // separate field.
+                    let body: &[u8] = body;
+                    self.machine.on_change_cipher_spec(body, open_cycles)?;
+                }
+                ContentType::Alert => {
+                    let body = &self.inbox.as_slice()[start + range.start..start + range.end];
+                    return Err(SslError::PeerAlert(Alert::from_bytes(body)?));
+                }
+                ContentType::ApplicationData => {
+                    return Err(SslError::UnexpectedMessage { expected: "handshake message" });
+                }
+            }
+        }
+        // Handshake messages may not dangle past the finished exchange.
+        if self.msg_pos < self.msgs.len() {
+            return Err(SslError::Decode("trailing handshake data"));
+        }
+        self.msgs.clear();
+        self.msg_pos = 0;
+        Ok(())
+    }
+
+    /// Dispatches every complete handshake message sitting in the
+    /// reassembly buffer. The record-open cycles are attributed to the
+    /// first message only (the others came "for free" in the same record).
+    fn pump_messages(&mut self, mut open_cycles: Cycles) -> Result<(), SslError> {
+        while !self.machine.handshake_done() {
+            let avail = &self.msgs[self.msg_pos..];
+            if avail.len() < 4 {
+                break;
+            }
+            let body_len =
+                usize::from(avail[1]) << 16 | usize::from(avail[2]) << 8 | usize::from(avail[3]);
+            let msg_len = 4 + body_len;
+            if avail.len() < msg_len {
+                break;
+            }
+            let msg = &self.msgs[self.msg_pos..self.msg_pos + msg_len];
+            self.machine.on_handshake_message(msg, open_cycles, self.outbox.vec_mut())?;
+            open_cycles = Cycles::ZERO;
+            self.msg_pos += msg_len;
+        }
+        if self.msg_pos == self.msgs.len() {
+            self.msgs.clear();
+            self.msg_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Returns the total wire length of the record at `in_pos`, or `None`
+    /// when the buffered bytes end mid-header or mid-body.
+    fn peek_record_len(&self) -> Result<Option<usize>, SslError> {
+        let avail = &self.inbox.as_slice()[self.in_pos..];
+        if avail.len() < RECORD_HEADER_LEN {
+            return Ok(None);
+        }
+        ContentType::from_u8(avail[0])?;
+        if (avail[1], avail[2]) != VERSION {
+            return Err(SslError::UnsupportedVersion { major: avail[1], minor: avail[2] });
+        }
+        let body_len = usize::from(avail[3]) << 8 | usize::from(avail[4]);
+        if body_len > MAX_RECORD_BODY {
+            return Err(SslError::Decode("record length"));
+        }
+        if avail.len() < RECORD_HEADER_LEN + body_len {
+            return Ok(None);
+        }
+        Ok(Some(RECORD_HEADER_LEN + body_len))
+    }
+
+    /// Seals application data into the outbound buffer (bulk-data phase).
+    /// Allocation-free once the buffer is warmed to capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] before the handshake completes.
+    pub fn seal(&mut self, data: &[u8]) -> Result<(), SslError> {
+        if !self.machine.handshake_done() {
+            return Err(SslError::NotReady("handshake incomplete"));
+        }
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        self.compact_outbox();
+        self.machine.record_layer().seal_append(
+            ContentType::ApplicationData,
+            data,
+            self.outbox.vec_mut(),
+        )
+    }
+
+    fn compact_outbox(&mut self) {
+        if self.out_pos > 0 {
+            if self.out_pos == self.outbox.len() {
+                self.outbox.clear();
+            } else {
+                self.outbox.vec_mut().drain(..self.out_pos);
+            }
+            self.out_pos = 0;
+        }
+    }
+
+    /// Opens the next complete buffered application-data record in place,
+    /// returning the plaintext range into [`Engine::buffered`] (valid until
+    /// the next [`Engine::feed`]). `Ok(None)` means more bytes are needed.
+    /// Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::PeerAlert`] when the peer sent an alert
+    /// (including orderly `close_notify` closure), [`SslError::NotReady`]
+    /// before the handshake completes, and record-layer errors. Any error
+    /// poisons the connection.
+    pub fn open_next(&mut self) -> Result<Option<Range<usize>>, SslError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if !self.machine.handshake_done() {
+            return Err(SslError::NotReady("handshake incomplete"));
+        }
+        let result = self.open_next_inner();
+        if let Err(e) = &result {
+            self.failed = Some(e.clone());
+        }
+        result
+    }
+
+    fn open_next_inner(&mut self) -> Result<Option<Range<usize>>, SslError> {
+        let Some(total) = self.peek_record_len()? else { return Ok(None) };
+        let start = self.in_pos;
+        let record = &mut self.inbox.vec_mut()[start..start + total];
+        let (ct, range) = self.machine.record_layer().open_slice(record)?;
+        self.in_pos += total;
+        let abs = start + range.start..start + range.end;
+        match ct {
+            ContentType::ApplicationData => Ok(Some(abs)),
+            ContentType::Alert => {
+                Err(SslError::PeerAlert(Alert::from_bytes(&self.inbox.as_slice()[abs])?))
+            }
+            _ => Err(SslError::UnexpectedMessage { expected: "application data" }),
+        }
+    }
+
+    /// Queues a `close_notify` alert record (the orderly "End Session").
+    /// Works even on a poisoned connection, so drivers can say goodbye
+    /// after an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates record-layer failures.
+    pub fn queue_close_notify(&mut self) -> Result<(), SslError> {
+        self.queue_alert(Alert::close_notify())
+    }
+
+    /// Queues an alert record. Works even on a poisoned connection — this
+    /// is how drivers send the fatal alert describing the error that
+    /// poisoned it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates record-layer failures.
+    pub fn queue_alert(&mut self, alert: Alert) -> Result<(), SslError> {
+        self.compact_outbox();
+        self.machine.record_layer().seal_append(
+            ContentType::Alert,
+            &alert.to_bytes(),
+            self.outbox.vec_mut(),
+        )
+    }
+
+    /// Feeds a whole flight, erroring on a truncated trailing record — the
+    /// contract of the flight-based `process_*` wrappers.
+    pub(crate) fn feed_flight(&mut self, flight: &[u8]) -> Result<(), SslError> {
+        let mut off = 0;
+        while off < flight.len() {
+            let n = self.feed(&flight[off..])?;
+            if n == 0 {
+                break;
+            }
+            off += n;
+        }
+        if !self.machine.handshake_done() && self.unconsumed() > 0 {
+            let err = if self.unconsumed() < RECORD_HEADER_LEN {
+                SslError::Decode("record header")
+            } else {
+                SslError::Decode("record body")
+            };
+            self.failed = Some(err.clone());
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Takes the entire pending output as a vector (flight wrappers).
+    pub(crate) fn drain_output(&mut self) -> Vec<u8> {
+        let out = self.output().to_vec();
+        let n = self.pending_output();
+        self.consume_output(n);
+        out
+    }
+
+    /// Writes all pending output to a blocking transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::Io`] on transport failures.
+    pub(crate) fn flush_to<T: Transport + ?Sized>(
+        &mut self,
+        transport: &mut T,
+    ) -> Result<(), SslError> {
+        if self.pending_output() > 0 {
+            transport.send(self.output())?;
+            let n = self.pending_output();
+            self.consume_output(n);
+        }
+        Ok(())
+    }
+}

@@ -59,6 +59,7 @@
 pub mod alert;
 pub mod cache;
 mod client;
+mod engine;
 pub mod kdf;
 pub mod mac;
 mod messages;
@@ -70,6 +71,7 @@ pub mod transport;
 
 pub use cache::{CachedSession, SessionCache, SimpleSessionCache};
 pub use client::{ClientSession, SslClient};
+pub use engine::{ClientEngine, Engine, EngineDriven, ServerEngine};
 pub use messages::{HandshakeType, SessionId};
 pub use record::{ContentType, RecordBuffer, RecordLayer, MAX_FRAGMENT, MAX_RECORD_BODY};
 pub use server::{ServerConfig, SslServer, SERVER_STEP_NAMES};
@@ -119,6 +121,16 @@ pub enum SslError {
     /// The underlying transport failed (stringified so the error type
     /// stays `Clone + Eq`).
     Io(String),
+}
+
+impl SslError {
+    /// True when this is an I/O error caused by a socket read/write
+    /// timeout (the slowloris guard in the serving layer), as opposed to a
+    /// protocol violation or a hard transport failure.
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SslError::Io(what) if what.starts_with("timed out"))
+    }
 }
 
 impl fmt::Display for SslError {

@@ -121,7 +121,7 @@ pub enum ContentType {
 }
 
 impl ContentType {
-    fn from_u8(v: u8) -> Result<Self, SslError> {
+    pub(crate) fn from_u8(v: u8) -> Result<Self, SslError> {
         Ok(match v {
             20 => ContentType::ChangeCipherSpec,
             21 => ContentType::Alert,
@@ -329,13 +329,25 @@ impl RecordLayer {
         out: &mut RecordBuffer,
     ) -> Result<(), SslError> {
         out.buf.clear();
-        out.buf.reserve(payload.len() + 64);
+        self.seal_append(content_type, payload, &mut out.buf)
+    }
+
+    /// Seals `payload` as one or more records *appended* to `out` (nothing
+    /// is cleared), so several flights or records can accumulate in one
+    /// outbound buffer. Allocation-free once `out` is at capacity.
+    pub(crate) fn seal_append(
+        &mut self,
+        content_type: ContentType,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), SslError> {
+        out.reserve(payload.len() + 64);
         let mut chunks = payload.chunks(MAX_FRAGMENT);
         // An empty payload still produces one (empty) record.
         let first: &[u8] = if payload.is_empty() { &[] } else { chunks.next().expect("nonempty") };
-        self.seal_one(content_type, first, &mut out.buf)?;
+        self.seal_one(content_type, first, out)?;
         for chunk in chunks {
-            self.seal_one(content_type, chunk, &mut out.buf)?;
+            self.seal_one(content_type, chunk, out)?;
         }
         Ok(())
     }
@@ -388,24 +400,34 @@ impl RecordLayer {
         &mut self,
         buf: &mut RecordBuffer,
     ) -> Result<(ContentType, Range<usize>), SslError> {
-        let input = &mut buf.buf;
-        if input.len() < RECORD_HEADER_LEN {
+        self.open_slice(&mut buf.buf)
+    }
+
+    /// Opens exactly one record framed by `record` (a slice of a larger
+    /// inbound buffer), decrypting and verifying in place without
+    /// allocating. Returns the content type and the plaintext range
+    /// *relative to the slice*.
+    pub(crate) fn open_slice(
+        &mut self,
+        record: &mut [u8],
+    ) -> Result<(ContentType, Range<usize>), SslError> {
+        if record.len() < RECORD_HEADER_LEN {
             return Err(SslError::Decode("record header"));
         }
-        let content_type = ContentType::from_u8(input[0])?;
-        if (input[1], input[2]) != VERSION {
-            return Err(SslError::UnsupportedVersion { major: input[1], minor: input[2] });
+        let content_type = ContentType::from_u8(record[0])?;
+        if (record[1], record[2]) != VERSION {
+            return Err(SslError::UnsupportedVersion { major: record[1], minor: record[2] });
         }
-        let len = u16::from_be_bytes([input[3], input[4]]) as usize;
-        if input.len() < RECORD_HEADER_LEN + len {
+        let len = u16::from_be_bytes([record[3], record[4]]) as usize;
+        if record.len() < RECORD_HEADER_LEN + len {
             return Err(SslError::Decode("record body"));
         }
-        if input.len() > RECORD_HEADER_LEN + len {
+        if record.len() > RECORD_HEADER_LEN + len {
             return Err(SslError::Decode("trailing bytes after record"));
         }
         let plain_len = self.read.unprotect_in_place(
             content_type,
-            &mut input[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len],
+            &mut record[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len],
         )?;
         Ok((content_type, RECORD_HEADER_LEN..RECORD_HEADER_LEN + plain_len))
     }

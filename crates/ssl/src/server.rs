@@ -1,6 +1,16 @@
 //! The instrumented SSL v3 server, partitioned into the paper's ten steps.
+//!
+//! The handshake logic lives in per-message handlers driven by the sans-io
+//! [`Engine`](crate::Engine); the flight-based `process_*` methods and the
+//! blocking [`SslServer::handshake_transport`] driver are thin wrappers
+//! over it, producing byte-identical wire traffic. Step timing survives the
+//! split: the engine reports the cycles it spent opening each record, and
+//! the handlers fold them into the step the record belongs to, so a step
+//! that spans several readiness events (e.g. step 6's CCS + finished) still
+//! lands in [`SslServer::steps`] as one entry.
 
 use crate::cache::{CachedSession, SessionCache, SimpleSessionCache};
+use crate::engine::{Engine, EngineDriven};
 use crate::kdf::{self, KeyMaterial};
 use crate::messages::{HandshakeMessage, SessionId};
 use crate::record::{ContentType, RecordBuffer, RecordLayer};
@@ -97,7 +107,9 @@ impl ServerConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     AwaitClientHello,
-    AwaitClientFlight,
+    AwaitClientKx,
+    AwaitClientCcs,
+    AwaitClientFinished,
     Established,
 }
 
@@ -123,6 +135,10 @@ pub struct SslServer<'a> {
     /// Client finished hashes computed ahead of reading the message.
     expected_client_finished: Option<([u8; 16], [u8; 20])>,
     key_material: Option<KeyMaterial>,
+    /// Step 6 (`get_finished`) spans two records (CCS then finished), which
+    /// an event-driven driver may deliver in separate readiness events;
+    /// the partial timing accumulates here until the step completes.
+    step6: Cycles,
     steps: PhaseSet,
     crypto: PhaseSet,
     crypto_detail: Vec<(usize, &'static str, Cycles)>,
@@ -149,6 +165,7 @@ impl<'a> SslServer<'a> {
             resumed: false,
             expected_client_finished: None,
             key_material: None,
+            step6: Cycles::ZERO,
             steps: PhaseSet::new(),
             crypto: PhaseSet::new(),
             crypto_detail: Vec::new(),
@@ -220,18 +237,31 @@ impl<'a> SslServer<'a> {
         if self.state != State::AwaitClientHello {
             return Err(SslError::UnexpectedMessage { expected: "nothing (bad state)" });
         }
-
-        // Step 1: get_client_hello.
-        let sw = Stopwatch::start();
-        let records = self.records.open_all(flight)?;
-        let [(ContentType::Handshake, hello_bytes)] = &records[..] else {
-            return Err(SslError::UnexpectedMessage { expected: "client hello record" });
+        let out = {
+            let mut engine = Engine::attach(&mut *self);
+            engine.feed_flight(flight)?;
+            engine.drain_output()
         };
-        let (msg, consumed) = HandshakeMessage::decode(hello_bytes)?;
-        if consumed != hello_bytes.len() {
+        match self.state {
+            State::AwaitClientKx | State::AwaitClientCcs => Ok(out),
+            _ => Err(SslError::UnexpectedMessage { expected: "client hello record" }),
+        }
+    }
+
+    /// Steps 1–4, driven by one reassembled client-hello message.
+    fn on_client_hello(
+        &mut self,
+        msg: &[u8],
+        open_cycles: Cycles,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SslError> {
+        // Step 1: get_client_hello (record opening measured by the engine).
+        let sw = Stopwatch::start();
+        let (decoded, consumed) = HandshakeMessage::decode(msg)?;
+        if consumed != msg.len() {
             return Err(SslError::Decode("extra bytes after client hello"));
         }
-        let HandshakeMessage::ClientHello { random, session_id, suites } = msg else {
+        let HandshakeMessage::ClientHello { random, session_id, suites } = decoded else {
             return Err(SslError::UnexpectedMessage { expected: "client hello" });
         };
         self.client_random = random;
@@ -253,9 +283,9 @@ impl<'a> SslServer<'a> {
             self.note_crypto(1, "rand_pseudo_bytes", cycles);
             self.session_id = sid;
         }
-        let (_, cycles) = measure(|| self.transcript.absorb(hello_bytes));
+        let (_, cycles) = measure(|| self.transcript.absorb(msg));
         self.note_crypto(1, "finish_mac", cycles);
-        self.steps.add(SERVER_STEP_NAMES[1], sw.elapsed());
+        self.steps.add(SERVER_STEP_NAMES[1], sw.elapsed() + open_cycles);
 
         // Step 2: send_server_hello.
         let sw = Stopwatch::start();
@@ -270,15 +300,15 @@ impl<'a> SslServer<'a> {
         .encode();
         let (_, cycles) = measure(|| self.transcript.absorb(&hello));
         self.note_crypto(2, "finish_mac", cycles);
-        let mut out = self.records.seal(ContentType::Handshake, &hello)?;
+        out.extend(self.records.seal(ContentType::Handshake, &hello)?);
         self.steps.add(SERVER_STEP_NAMES[2], sw.elapsed());
 
         if self.resumed {
             // Abbreviated handshake: CCS + finished immediately.
-            let finished = self.send_ccs_and_finished(&mut out)?;
+            let finished = self.send_ccs_and_finished(out)?;
             self.expected_client_finished = Some(finished);
-            self.state = State::AwaitClientFlight;
-            return Ok(out);
+            self.state = State::AwaitClientCcs;
+            return Ok(());
         }
 
         // Step 3: send_server_cert (X509 encoding charged as crypto).
@@ -304,8 +334,8 @@ impl<'a> SslServer<'a> {
         out.extend(self.records.seal(ContentType::Handshake, &done)?);
         self.steps.add(SERVER_STEP_NAMES[4], sw.elapsed());
 
-        self.state = State::AwaitClientFlight;
-        Ok(out)
+        self.state = State::AwaitClientKx;
+        Ok(())
     }
 
     /// Processes the client's second flight. For a full handshake that is
@@ -317,51 +347,56 @@ impl<'a> SslServer<'a> {
     ///
     /// Returns RSA, MAC, decode or [`SslError::BadFinished`] errors.
     pub fn process_client_flight(&mut self, flight: &[u8]) -> Result<Vec<u8>, SslError> {
-        if self.state != State::AwaitClientFlight {
+        if !matches!(self.state, State::AwaitClientKx | State::AwaitClientCcs) {
             return Err(SslError::UnexpectedMessage { expected: "nothing (bad state)" });
         }
-        let mut rest = flight;
-
-        if !self.resumed {
-            // Step 5: get_client_kx — RSA-decrypt the pre-master, derive the
-            // master secret.
-            let sw = Stopwatch::start();
-            let (ct, kx_bytes, used) = self.records.open_one(rest)?;
-            rest = &rest[used..];
-            if ct != ContentType::Handshake {
-                return Err(SslError::UnexpectedMessage { expected: "client key exchange" });
-            }
-            let (msg, _) = HandshakeMessage::decode(&kx_bytes)?;
-            let HandshakeMessage::ClientKeyExchange { encrypted_pre_master } = msg else {
-                return Err(SslError::UnexpectedMessage { expected: "client key exchange" });
-            };
-            let (pre_master, cycles) = {
-                let key = &self.config.key;
-                let mut scratch = PhaseSet::new();
-                let mut rng = self.rng.clone();
-                measure(|| key.decrypt_instrumented(&encrypted_pre_master, &mut rng, &mut scratch))
-            };
-            self.note_crypto(5, "rsa_private_decryption", cycles);
-            let pre_master = pre_master?;
-            if pre_master.len() != 48 || pre_master[0] != crate::VERSION.0 {
-                return Err(SslError::Decode("pre-master secret"));
-            }
-            let (master, cycles) = measure(|| {
-                kdf::master_secret(&pre_master, &self.client_random, &self.server_random)
-            });
-            self.note_crypto(5, "gen_master_secret", cycles);
-            self.master = master;
-            let (_, cycles) = measure(|| self.transcript.absorb(&kx_bytes));
-            self.note_crypto(5, "finish_mac", cycles);
-            self.steps.add(SERVER_STEP_NAMES[5], sw.elapsed());
+        let out = {
+            let mut engine = Engine::attach(&mut *self);
+            engine.feed_flight(flight)?;
+            engine.drain_output()
+        };
+        if self.state != State::Established {
+            return Err(SslError::Decode("record header"));
         }
+        Ok(out)
+    }
 
-        // Step 6a: read client CCS, generate the key block, pre-compute the
-        // client finished hashes.
+    /// Step 5: get_client_kx — RSA-decrypt the pre-master, derive the
+    /// master secret.
+    fn on_client_kx(&mut self, msg: &[u8], open_cycles: Cycles) -> Result<(), SslError> {
         let sw = Stopwatch::start();
-        let (ct, ccs, used) = self.records.open_one(rest)?;
-        rest = &rest[used..];
-        if ct != ContentType::ChangeCipherSpec || ccs != [1] {
+        let (decoded, _) = HandshakeMessage::decode(msg)?;
+        let HandshakeMessage::ClientKeyExchange { encrypted_pre_master } = decoded else {
+            return Err(SslError::UnexpectedMessage { expected: "client key exchange" });
+        };
+        let (pre_master, cycles) = {
+            let key = &self.config.key;
+            let mut scratch = PhaseSet::new();
+            let mut rng = self.rng.clone();
+            measure(|| key.decrypt_instrumented(&encrypted_pre_master, &mut rng, &mut scratch))
+        };
+        self.note_crypto(5, "rsa_private_decryption", cycles);
+        let pre_master = pre_master?;
+        if pre_master.len() != 48 || pre_master[0] != crate::VERSION.0 {
+            return Err(SslError::Decode("pre-master secret"));
+        }
+        let (master, cycles) =
+            measure(|| kdf::master_secret(&pre_master, &self.client_random, &self.server_random));
+        self.note_crypto(5, "gen_master_secret", cycles);
+        self.master = master;
+        let (_, cycles) = measure(|| self.transcript.absorb(msg));
+        self.note_crypto(5, "finish_mac", cycles);
+        self.steps.add(SERVER_STEP_NAMES[5], sw.elapsed() + open_cycles);
+        self.state = State::AwaitClientCcs;
+        Ok(())
+    }
+
+    /// Step 6a: the client's CCS — generate the key block, switch the read
+    /// cipher, pre-compute the expected finished hashes. Timing accumulates
+    /// in `step6` until the finished message completes the step.
+    fn on_client_ccs(&mut self, body: &[u8], open_cycles: Cycles) -> Result<(), SslError> {
+        let sw = Stopwatch::start();
+        if body != [1] {
             return Err(SslError::UnexpectedMessage { expected: "change cipher spec" });
         }
         if self.key_material.is_none() {
@@ -376,33 +411,38 @@ impl<'a> SslServer<'a> {
             self.note_crypto(6, "final_finish_mac", cycles);
             self.expected_client_finished = Some(expected);
         }
+        self.step6 += sw.elapsed() + open_cycles;
+        self.state = State::AwaitClientFinished;
+        Ok(())
+    }
 
-        // Step 6b: read and verify the client finished message (first
-        // encrypted record: pri_decryption + mac inside open_one).
-        let ((ct, fin_bytes, _used), cycles) = {
-            let records = &mut self.records;
-            let (result, cycles) = measure(|| records.open_one(rest));
-            (result?, cycles)
-        };
-        self.note_crypto(6, "pri_decryption_and_mac", cycles);
-        if ct != ContentType::Handshake {
+    /// Step 6b plus steps 7–9: verify the client finished (its record-open
+    /// cycles are the step's `pri_decryption_and_mac`), answer with
+    /// CCS ‖ finished on a full handshake, flush the session to the cache.
+    fn on_client_finished(
+        &mut self,
+        msg: &[u8],
+        open_cycles: Cycles,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SslError> {
+        let sw = Stopwatch::start();
+        self.note_crypto(6, "pri_decryption_and_mac", open_cycles);
+        let (decoded, _) = HandshakeMessage::decode(msg)?;
+        let HandshakeMessage::Finished { md5_hash, sha_hash } = decoded else {
             return Err(SslError::UnexpectedMessage { expected: "client finished" });
-        }
-        let (msg, _) = HandshakeMessage::decode(&fin_bytes)?;
-        let HandshakeMessage::Finished { md5_hash, sha_hash } = msg else {
-            return Err(SslError::UnexpectedMessage { expected: "client finished" });
         };
-        let (exp_md5, exp_sha) = self.expected_client_finished.expect("computed above");
+        let (exp_md5, exp_sha) = self.expected_client_finished.expect("computed at CCS");
         if md5_hash != exp_md5 || sha_hash != exp_sha {
             return Err(SslError::BadFinished);
         }
-        let (_, cycles) = measure(|| self.transcript.absorb(&fin_bytes));
+        let (_, cycles) = measure(|| self.transcript.absorb(msg));
         self.note_crypto(6, "finish_mac", cycles);
-        self.steps.add(SERVER_STEP_NAMES[6], sw.elapsed());
+        let step6 = self.step6 + sw.elapsed() + open_cycles;
+        self.step6 = Cycles::ZERO;
+        self.steps.add(SERVER_STEP_NAMES[6], step6);
 
-        let mut out = Vec::new();
         if !self.resumed {
-            let _ = self.send_ccs_and_finished(&mut out)?;
+            let _ = self.send_ccs_and_finished(out)?;
         }
 
         // Step 9: server_flush — cache the session, wipe transient secrets.
@@ -420,7 +460,7 @@ impl<'a> SslServer<'a> {
         self.steps.add(SERVER_STEP_NAMES[9], sw.elapsed());
 
         self.state = State::Established;
-        Ok(out)
+        Ok(())
     }
 
     /// Steps 7–8: send change-cipher-spec, then the server finished message
@@ -564,29 +604,31 @@ impl<'a> SslServer<'a> {
         self.records.seal(ContentType::Alert, &crate::alert::Alert::close_notify().to_bytes())
     }
 
+    /// Seals an alert record in whatever cipher state the connection is in
+    /// — usable mid-handshake, so error paths can say why they are closing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates record-layer failures.
+    pub fn seal_alert(&mut self, alert: &crate::alert::Alert) -> Result<Vec<u8>, SslError> {
+        self.records.seal(ContentType::Alert, &alert.to_bytes())
+    }
+
     /// Drives the whole server side of the handshake over a [`Transport`],
-    /// full or resumed: the flight-based state machine unchanged, with
-    /// records read from and written to the stream instead of caller
-    /// buffers.
+    /// full or resumed: one sans-io [`Engine`] fed one record per read,
+    /// with replies flushed as soon as they are complete.
     ///
     /// # Errors
     ///
     /// Returns [`SslError::Io`] on transport failures plus every error the
     /// flight-based methods can return.
     pub fn handshake_transport<T: Transport>(&mut self, transport: &mut T) -> Result<(), SslError> {
-        let hello = read_record(transport)?;
-        let reply = self.process_client_hello(&hello)?;
-        transport.send(&reply)?;
-        // Full handshake: key-exchange ‖ CCS ‖ finished. Resumed: CCS ‖
-        // finished only.
-        let record_count = if self.resumed { 2 } else { 3 };
-        let mut flight = Vec::new();
-        for _ in 0..record_count {
-            flight.extend(read_record(transport)?);
-        }
-        let reply = self.process_client_flight(&flight)?;
-        if !reply.is_empty() {
-            transport.send(&reply)?;
+        let mut buf = RecordBuffer::new();
+        let mut engine = Engine::attach(&mut *self);
+        while !engine.is_established() {
+            read_record_into(transport, &mut buf)?;
+            engine.feed(buf.as_slice())?;
+            engine.flush_to(transport)?;
         }
         Ok(())
     }
@@ -660,6 +702,44 @@ impl<'a> SslServer<'a> {
     pub fn close_transport<T: Transport>(&mut self, transport: &mut T) -> Result<(), SslError> {
         let wire = self.close()?;
         transport.send(&wire)
+    }
+}
+
+impl EngineDriven for SslServer<'_> {
+    fn start(&mut self, _out: &mut Vec<u8>) -> Result<(), SslError> {
+        // The client speaks first; step 0 already ran at construction.
+        Ok(())
+    }
+
+    fn on_handshake_message(
+        &mut self,
+        msg: &[u8],
+        open_cycles: Cycles,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SslError> {
+        match self.state {
+            State::AwaitClientHello => self.on_client_hello(msg, open_cycles, out),
+            State::AwaitClientKx => self.on_client_kx(msg, open_cycles),
+            State::AwaitClientFinished => self.on_client_finished(msg, open_cycles, out),
+            State::AwaitClientCcs | State::Established => {
+                Err(SslError::UnexpectedMessage { expected: "change cipher spec" })
+            }
+        }
+    }
+
+    fn on_change_cipher_spec(&mut self, body: &[u8], open_cycles: Cycles) -> Result<(), SslError> {
+        if self.state != State::AwaitClientCcs {
+            return Err(SslError::UnexpectedMessage { expected: "handshake message" });
+        }
+        self.on_client_ccs(body, open_cycles)
+    }
+
+    fn record_layer(&mut self) -> &mut RecordLayer {
+        &mut self.records
+    }
+
+    fn handshake_done(&self) -> bool {
+        self.state == State::Established
     }
 }
 

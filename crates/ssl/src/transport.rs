@@ -87,13 +87,25 @@ pub fn read_record<T: Transport + ?Sized>(transport: &mut T) -> Result<Vec<u8>, 
     Ok(buf.into_vec())
 }
 
+/// Maps a socket error, marking read/write timeouts (`WouldBlock` on Unix,
+/// `TimedOut` on Windows) so [`SslError::is_timeout`] can tell a stalled
+/// peer from a dead one.
+fn io_error(e: &std::io::Error) -> SslError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            SslError::Io(format!("timed out: {e}"))
+        }
+        _ => SslError::Io(e.to_string()),
+    }
+}
+
 impl Transport for TcpStream {
     fn send(&mut self, buf: &[u8]) -> Result<(), SslError> {
-        self.write_all(buf).and_then(|()| self.flush()).map_err(|e| SslError::Io(e.to_string()))
+        self.write_all(buf).and_then(|()| self.flush()).map_err(|e| io_error(&e))
     }
 
     fn recv_exact(&mut self, buf: &mut [u8]) -> Result<(), SslError> {
-        self.read_exact(buf).map_err(|e| SslError::Io(e.to_string()))
+        self.read_exact(buf).map_err(|e| io_error(&e))
     }
 }
 

@@ -268,6 +268,235 @@ pub fn run_socket_load(
     })
 }
 
+/// Tunables for [`run_event_load`].
+#[derive(Debug, Clone)]
+pub struct EventLoadOptions {
+    /// Concurrent connections, all driven from one generator thread.
+    pub connections: usize,
+    /// Document size requested on each connection.
+    pub file_size: usize,
+    /// Cipher suite every client offers.
+    pub suite: CipherSuite,
+    /// When true, no client sends its HTTP request until *every* client
+    /// has completed its handshake — so all connections are provably open
+    /// and established at the same instant (the concurrency proof the
+    /// event-loop server's C10k claim rests on).
+    pub hold_until_all_established: bool,
+    /// Abort the run if it has not completed within this budget.
+    pub deadline: Duration,
+}
+
+impl Default for EventLoadOptions {
+    fn default() -> Self {
+        EventLoadOptions {
+            connections: 16,
+            file_size: 1024,
+            suite: CipherSuite::RsaDesCbc3Sha,
+            hold_until_all_established: true,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Results of an event-driven load run.
+#[derive(Debug)]
+pub struct EventLoadReport {
+    /// Connections that completed a full HTTP transaction.
+    pub transactions: usize,
+    /// Largest number of simultaneously established connections observed.
+    pub peak_established: usize,
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+    /// Handshake latency distribution (connect to Finished verified).
+    pub handshake_latency: LatencyPercentiles,
+}
+
+/// Drives many concurrent non-blocking client connections from a single
+/// thread, each a sans-io [`ClientEngine`](sslperf_ssl::ClientEngine) fed
+/// by readiness sweeps — the client-side mirror of the event-loop server.
+///
+/// Unlike [`run_socket_load`] (one blocking thread per client), the
+/// connection count here is limited only by sockets, so it can hold far
+/// more connections open simultaneously than the generator has threads;
+/// with [`EventLoadOptions::hold_until_all_established`] the run proves
+/// all of them were established at once via
+/// [`EventLoadReport::peak_established`].
+///
+/// # Errors
+///
+/// Returns the first SSL or transport failure from any connection, and
+/// [`SslError::Io`] (`"timed out: …"`) when the deadline expires.
+pub fn run_event_load(
+    addr: SocketAddr,
+    options: &EventLoadOptions,
+) -> Result<EventLoadReport, SslError> {
+    use sslperf_rng::SslRng;
+    use sslperf_ssl::{Engine, SslClient};
+
+    let start = Instant::now();
+    let mut clients = Vec::with_capacity(options.connections);
+    for i in 0..options.connections {
+        let stream = TcpStream::connect(addr).map_err(|e| SslError::Io(e.to_string()))?;
+        stream.set_nodelay(true).map_err(|e| SslError::Io(e.to_string()))?;
+        stream.set_nonblocking(true).map_err(|e| SslError::Io(e.to_string()))?;
+        let rng = SslRng::from_seed(format!("event-loadgen-{i}").as_bytes());
+        let engine = Engine::new(SslClient::new(options.suite, rng))?;
+        clients.push(EventClient {
+            stream,
+            engine,
+            started: Instant::now(),
+            handshake: None,
+            response: Vec::new(),
+            request_sent: false,
+            closing: false,
+            done: false,
+            ok: false,
+        });
+    }
+
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut peak_established = 0;
+    while !clients.iter().all(|c| c.done) {
+        if start.elapsed() > options.deadline {
+            return Err(SslError::Io("timed out: event load deadline expired".into()));
+        }
+        let all_established = clients.iter().all(|c| c.done || c.engine.is_established());
+        let release = !options.hold_until_all_established || all_established;
+        let mut progress = false;
+        for client in &mut clients {
+            progress |= client.pump(release, options.file_size, &mut scratch)?;
+        }
+        let established_now =
+            clients.iter().filter(|c| !c.done && c.engine.is_established()).count();
+        peak_established = peak_established.max(established_now);
+        if !progress {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+    let wall = start.elapsed();
+
+    let transactions = clients.iter().filter(|c| c.ok).count();
+    let mut handshakes: Vec<Duration> = clients.iter().filter_map(|c| c.handshake).collect();
+    handshakes.sort_unstable();
+    Ok(EventLoadReport {
+        transactions,
+        peak_established,
+        wall,
+        handshake_latency: LatencyPercentiles::from_sorted(&handshakes),
+    })
+}
+
+/// One multiplexed client connection of [`run_event_load`].
+struct EventClient {
+    stream: TcpStream,
+    engine: sslperf_ssl::ClientEngine,
+    started: Instant,
+    handshake: Option<Duration>,
+    response: Vec<u8>,
+    request_sent: bool,
+    closing: bool,
+    done: bool,
+    ok: bool,
+}
+
+impl EventClient {
+    /// Makes whatever progress the socket allows. Returns true when
+    /// anything moved.
+    fn pump(
+        &mut self,
+        release: bool,
+        file_size: usize,
+        scratch: &mut [u8],
+    ) -> Result<bool, SslError> {
+        use std::io::{ErrorKind, Read, Write};
+
+        if self.done {
+            return Ok(false);
+        }
+        let mut progress = false;
+
+        // Read phase (skipped once closing: the goodbye is queued, only
+        // the flush remains).
+        while !self.closing {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    return Err(SslError::Io("server closed before the transaction ended".into()))
+                }
+                Ok(n) => {
+                    progress = true;
+                    let mut offset = 0;
+                    while offset < n {
+                        let consumed = self.engine.feed(&scratch[offset..n])?;
+                        offset += consumed;
+                        self.process(release, file_size)?;
+                        if consumed == 0 && offset < n {
+                            return Err(SslError::Decode("record backlog"));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(SslError::Io(e.to_string())),
+            }
+        }
+        self.process(release, file_size)?;
+
+        // Write phase: handshake flights, the request, or the goodbye.
+        while self.engine.wants_write() {
+            match self.stream.write(self.engine.output()) {
+                Ok(0) => return Err(SslError::Io("server closed during write".into())),
+                Ok(n) => {
+                    progress = true;
+                    self.engine.consume_output(n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(SslError::Io(e.to_string())),
+            }
+        }
+
+        if self.closing && !self.engine.wants_write() {
+            self.done = true;
+            progress = true;
+        }
+        Ok(progress)
+    }
+
+    /// Advances the transaction state machine on the freshly fed bytes:
+    /// note the handshake, send the request once released, assemble and
+    /// check the response, then queue the orderly close.
+    fn process(&mut self, release: bool, file_size: usize) -> Result<(), SslError> {
+        if !self.engine.is_established() || self.closing {
+            return Ok(());
+        }
+        if self.handshake.is_none() {
+            self.handshake = Some(self.started.elapsed());
+        }
+        if !release {
+            return Ok(());
+        }
+        if !self.request_sent {
+            let path = format!("/doc_{file_size}.bin");
+            self.engine.seal(&HttpRequest::get(&path).to_bytes())?;
+            self.request_sent = true;
+            return Ok(());
+        }
+        while let Some(range) = self.engine.open_next()? {
+            self.response.extend_from_slice(&self.engine.buffered()[range]);
+            if let Ok(response) = HttpResponse::parse(&self.response) {
+                if response.status() != 200 || response.body().len() != file_size {
+                    return Err(SslError::Decode("unexpected http response"));
+                }
+                self.ok = true;
+                self.engine.queue_close_notify()?;
+                self.closing = true;
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
 struct TxnSample {
     handshake: Duration,
     total: Duration,

@@ -208,3 +208,74 @@ fn steady_state_record_processing_allocates_nothing() {
     );
     assert!(legacy > 0, "legacy Vec API is expected to allocate");
 }
+
+/// The sans-io engine path — the event-loop server's per-record pipeline
+/// (`seal` → `take_output` → `feed` → `open_next`) — holds the same
+/// zero-allocation budget once its buffers are warmed: feed compaction is
+/// a `drain` (memmove), sealing appends into the warmed outbox, and
+/// opening is in place.
+#[test]
+fn engine_steady_state_allocates_nothing() {
+    const WARMUP: usize = 4;
+    const MEASURED: u64 = 100;
+    use sslperf::prelude::{ServerConfig, SslClient, SslRng, SslServer};
+    use sslperf::rsa::RsaPrivateKey;
+    use sslperf::ssl::Engine;
+
+    let payload = vec![0xa5u8; 1024];
+    let mut rng = SslRng::from_seed(b"alloc-budget-engine-key");
+    let key = RsaPrivateKey::generate(512, &mut rng).expect("keygen");
+    let config = ServerConfig::new(key, "alloc.test").expect("config");
+
+    let mut client =
+        Engine::new(SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"abe-c")))
+            .expect("client engine");
+    let mut server =
+        Engine::new(SslServer::new(&config, SslRng::from_seed(b"abe-s"))).expect("server engine");
+
+    // Handshake: shuttle whole flights until both sides are established.
+    let mut wire = vec![0u8; 8 * 1024];
+    while !(client.is_established() && server.is_established()) {
+        let n = client.take_output(&mut wire);
+        let mut offset = 0;
+        while offset < n {
+            offset += server.feed(&wire[offset..n]).expect("server feed");
+        }
+        let n = server.take_output(&mut wire);
+        let mut offset = 0;
+        while offset < n {
+            offset += client.feed(&wire[offset..n]).expect("client feed");
+        }
+    }
+
+    let exchange = |client: &mut sslperf::ssl::ClientEngine,
+                    server: &mut sslperf::ssl::ServerEngine<'_>,
+                    wire: &mut [u8]| {
+        client.seal(&payload).expect("client seal");
+        let n = client.take_output(wire);
+        assert_eq!(server.feed(&wire[..n]).expect("server feed"), n);
+        let range = server.open_next().expect("server open").expect("complete record");
+        assert_eq!(&server.buffered()[range], &payload[..]);
+        server.seal(&payload).expect("server seal");
+        let n = server.take_output(wire);
+        assert_eq!(client.feed(&wire[..n]).expect("client feed"), n);
+        let range = client.open_next().expect("client open").expect("complete record");
+        assert_eq!(&client.buffered()[range], &payload[..]);
+    };
+
+    for _ in 0..WARMUP {
+        exchange(&mut client, &mut server, &mut wire);
+    }
+    let ((), delta) = allocations_during(|| {
+        for _ in 0..MEASURED {
+            exchange(&mut client, &mut server, &mut wire);
+        }
+    });
+    assert_eq!(
+        delta,
+        0,
+        "engine path: {delta} allocations over {MEASURED} round trips \
+         ({} per record) — the sans-io pipeline must not allocate in steady state",
+        delta as f64 / (2 * MEASURED) as f64
+    );
+}

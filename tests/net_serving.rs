@@ -1,13 +1,19 @@
 //! Integration coverage for the real-socket serving engine: the sharded
 //! session cache, cross-connection resumption over both the in-memory and
-//! the TCP transport, tampered-id fallback, and the end-to-end loaded run
-//! that reproduces the paper's §3 measurement scenario.
+//! the TCP transport, tampered-id fallback, the end-to-end loaded run
+//! that reproduces the paper's §3 measurement scenario, and the
+//! event-loop serving mode (concurrency beyond thread count, slowloris
+//! eviction, cache overflow under concurrent resumption).
 
 use sslperf::prelude::*;
 use sslperf::ssl::duplex_pair;
-use sslperf::websim::loadgen::{run_socket_load, SocketLoadOptions};
+use sslperf::websim::loadgen::{
+    run_event_load, run_socket_load, EventLoadOptions, SocketLoadOptions,
+};
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A deterministic 512-bit key (`RsaPrivateKey` is deliberately not
 /// `Clone`, so each server regenerates from the fixed seed).
@@ -202,6 +208,187 @@ fn loaded_server_end_to_end() {
         stats.transactions()
     );
     assert!(stats.resumed_handshakes() > 0);
+    assert_eq!(stats.errors(), 0, "clean run");
+    server.shutdown();
+}
+
+// ---- event-loop serving mode ----
+
+/// The C10k acceptance test: 2 shard threads hold 16 concurrent
+/// established connections open *simultaneously* (8× the thread count —
+/// impossible for a 2-worker pool, whose concurrency ceiling is 2), then
+/// serve all of them.
+#[test]
+fn event_loop_holds_8x_more_connections_than_threads() {
+    let options = ServerOptions { shards: 2, ..ServerOptions::default() };
+    let server = EventLoopServer::start(key(), "net.sslperf.test", &options).expect("server start");
+
+    let load = EventLoadOptions {
+        connections: 16,
+        file_size: 1024,
+        suite: CipherSuite::RsaDesCbc3Sha,
+        hold_until_all_established: true,
+        deadline: Duration::from_secs(60),
+    };
+    let report = run_event_load(server.local_addr(), &load).expect("event load");
+
+    assert_eq!(
+        report.peak_established, 16,
+        "all 16 connections must be established at the same instant"
+    );
+    assert!(report.peak_established >= 8 * options.shards, "≥8× concurrency over thread count");
+    assert_eq!(report.transactions, 16, "every connection completes its transaction");
+
+    let stats = server.stats();
+    assert!(eventually(|| stats.connections() == 16), "got {}", stats.connections());
+    assert_eq!(stats.full_handshakes(), 16);
+    assert_eq!(stats.errors(), 0, "clean run");
+    assert_eq!(stats.timeouts(), 0);
+    server.shutdown();
+}
+
+/// Reads one plaintext alert record `(level, description)` off a raw
+/// socket (pre-CCS alerts are unencrypted).
+fn read_plaintext_alert(socket: &mut TcpStream) -> (u8, u8) {
+    let mut header = [0u8; 5];
+    socket.read_exact(&mut header).expect("alert header");
+    assert_eq!(header[0], 21, "content type must be alert, got {}", header[0]);
+    assert_eq!((header[1], header[2]), (3, 0), "SSLv3 version");
+    assert_eq!(u16::from_be_bytes([header[3], header[4]]), 2, "alert body length");
+    let mut body = [0u8; 2];
+    socket.read_exact(&mut body).expect("alert body");
+    (body[0], body[1])
+}
+
+/// A client that connects and then stalls mid-handshake is evicted by the
+/// event loop's deadline: counted as a timeout (not an error) and told
+/// goodbye with a fatal `handshake_failure` alert before the close.
+#[test]
+fn event_loop_evicts_stalled_client_with_alert() {
+    let options = ServerOptions {
+        shards: 1,
+        io_timeout: Some(Duration::from_millis(200)),
+        ..ServerOptions::default()
+    };
+    let server = EventLoopServer::start(key(), "net.sslperf.test", &options).expect("server start");
+
+    let mut socket = TcpStream::connect(server.local_addr()).expect("connect");
+    socket.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    // A teasing partial record header, then silence: the slowloris shape.
+    socket.write_all(&[22, 3, 0]).expect("partial header");
+
+    let (level, description) = read_plaintext_alert(&mut socket);
+    assert_eq!((level, description), (2, 40), "fatal handshake_failure");
+    // The server closes after the alert drains.
+    let mut rest = [0u8; 16];
+    assert_eq!(socket.read(&mut rest).expect("eof"), 0, "socket closed after alert");
+
+    let stats = server.stats();
+    assert!(eventually(|| stats.timeouts() == 1), "got {}", stats.timeouts());
+    assert_eq!(stats.errors(), 0, "a stall is a timeout, not a protocol error");
+    assert!(stats.alerts_sent() >= 1);
+    server.shutdown();
+}
+
+/// The pool applies the same knob through socket timeouts: a silent
+/// client unblocks the worker, counts as a timeout, and gets the same
+/// fatal alert.
+#[test]
+fn pool_times_out_stalled_client_with_alert() {
+    let options = ServerOptions {
+        workers: 1,
+        io_timeout: Some(Duration::from_millis(200)),
+        ..ServerOptions::default()
+    };
+    let server = TcpSslServer::start(key(), "net.sslperf.test", &options).expect("server start");
+
+    let mut socket = TcpStream::connect(server.local_addr()).expect("connect");
+    socket.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+
+    let (level, description) = read_plaintext_alert(&mut socket);
+    assert_eq!((level, description), (2, 40), "fatal handshake_failure");
+
+    let stats = server.stats();
+    assert!(eventually(|| stats.timeouts() == 1), "got {}", stats.timeouts());
+    assert_eq!(stats.errors(), 0);
+    assert!(stats.alerts_sent() >= 1);
+    server.shutdown();
+}
+
+/// A protocol violation (garbage instead of a client hello) is an error,
+/// not a timeout, and still gets a proper alert before the close — in
+/// both serving modes.
+#[test]
+fn garbage_hello_gets_alert_in_both_modes() {
+    let pool_options = ServerOptions { workers: 1, ..ServerOptions::default() };
+    let pool = TcpSslServer::start(key(), "net.sslperf.test", &pool_options).expect("pool start");
+    let el_options = ServerOptions { shards: 1, ..ServerOptions::default() };
+    let event_loop =
+        EventLoopServer::start(key(), "net.sslperf.test", &el_options).expect("event-loop start");
+
+    // A well-framed handshake record carrying one complete message of an
+    // unknown type — an immediate protocol violation, not a stall.
+    let garbage = [22, 3, 0, 0, 4, 0xde, 0x00, 0x00, 0x00];
+    for (addr, stats) in
+        [(pool.local_addr(), pool.stats()), (event_loop.local_addr(), event_loop.stats())]
+    {
+        let mut socket = TcpStream::connect(addr).expect("connect");
+        socket.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+        socket.write_all(&garbage).expect("garbage");
+        let (level, _) = read_plaintext_alert(&mut socket);
+        assert_eq!(level, 2, "fatal alert");
+        assert!(eventually(|| stats.errors() == 1), "got {}", stats.errors());
+        assert!(eventually(|| stats.alerts_sent() >= 1));
+        assert_eq!(stats.timeouts(), 0, "a violation is an error, not a timeout");
+    }
+    pool.shutdown();
+    event_loop.shutdown();
+}
+
+/// Concurrent resuming clients against an event-loop server with a tiny
+/// session cache: eviction churn forces full-handshake fallbacks, and the
+/// hit/miss and full/resumed counters stay exactly consistent.
+#[test]
+fn event_loop_cache_overflow_under_concurrent_resumption() {
+    const CLIENTS: usize = 4;
+    const TXN: usize = 4;
+    const WARMUP: usize = 1;
+    let options = ServerOptions {
+        shards: 2,
+        cache_shards: 1,
+        cache_capacity_per_shard: 2, // smaller than the client count
+        ..ServerOptions::default()
+    };
+    let server = EventLoopServer::start(key(), "net.sslperf.test", &options).expect("server start");
+
+    let load = SocketLoadOptions {
+        clients: CLIENTS,
+        transactions_per_client: TXN,
+        warmup_per_client: WARMUP,
+        resume: true,
+        file_size: 1024,
+        suite: CipherSuite::RsaDesCbc3Sha,
+    };
+    let report = run_socket_load(server.local_addr(), &load).expect("load run");
+    assert_eq!(report.transactions, CLIENTS * TXN);
+
+    let cache = server.session_cache();
+    let stats = server.stats();
+    let connections = (CLIENTS * (TXN + WARMUP)) as u64;
+    assert!(eventually(|| stats.connections() == connections), "got {}", stats.connections());
+    // Every transaction after a client's first offers a session id: one
+    // cache lookup each, hit or miss — nothing lost, nothing double.
+    let offers = (CLIENTS * (TXN + WARMUP - 1)) as u64;
+    assert_eq!(cache.hits() + cache.misses(), offers, "every offer is exactly one lookup");
+    assert!(cache.misses() > 0, "a 2-entry cache must evict under 4 concurrent clients");
+    // The server resumes exactly when the lookup hit.
+    assert_eq!(stats.resumed_handshakes(), cache.hits(), "resumed == cache hits");
+    assert_eq!(
+        stats.full_handshakes() + stats.resumed_handshakes(),
+        connections,
+        "full + resumed covers every connection"
+    );
+    assert!(cache.len() <= 2, "capacity holds under churn");
     assert_eq!(stats.errors(), 0, "clean run");
     server.shutdown();
 }
