@@ -196,11 +196,104 @@ fn bench_concurrency(c: &mut Criterion) {
     event_loop.shutdown();
 }
 
+/// Crypto-offload ablation at 64× concurrency: the same 128-connection
+/// full-handshake batch against the worker-pool server (inline RSA), the
+/// event-loop server decrypting inline on its shards, and the event-loop
+/// server handing decryptions to 1, 2, and 4 crypto workers. Inline, a
+/// shard serialises every queued handshake behind the ~90% RSA step;
+/// offloaded, the shard keeps sweeping while workers decrypt, so tail
+/// handshake latency (p99) drops as workers are added. Each arm's
+/// measured percentiles and throughput go to stderr — those are the
+/// numbers recorded in EXPERIMENTS.md.
+fn bench_crypto_offload(c: &mut Criterion) {
+    const THREADS: usize = 2;
+    const CONNECTIONS: usize = THREADS * 64;
+    let mut rng = SslRng::from_seed(b"bench-tcp-offload");
+    let key = RsaPrivateKey::generate(512, &mut rng).expect("keygen");
+    let load = EventLoadOptions {
+        connections: CONNECTIONS,
+        file_size: FILE_SIZE,
+        suite: CipherSuite::RsaDesCbc3Sha,
+        // Keep the pool arm runnable with THREADS workers (see
+        // bench_concurrency); every arm still opens all sockets at once.
+        hold_until_all_established: false,
+        deadline: Duration::from_secs(120),
+    };
+
+    let mut group = c.benchmark_group("tcp_serving/crypto_offload");
+    group.sample_size(10);
+    // (label, event loop?, crypto workers)
+    let arms: [(&str, bool, usize); 5] = [
+        ("pool_inline", false, 0),
+        ("event_loop_inline", true, 0),
+        ("event_loop_1w", true, 1),
+        ("event_loop_2w", true, 2),
+        ("event_loop_4w", true, 4),
+    ];
+    for (label, event_loop, crypto_workers) in arms {
+        let options = ServerOptions {
+            workers: THREADS,
+            shards: THREADS,
+            crypto_workers,
+            ..ServerOptions::default()
+        };
+        let (addr, _pool_server, el_server);
+        if event_loop {
+            let server = EventLoopServer::start(key.clone(), "bench.sslperf.test", &options)
+                .expect("event-loop start");
+            addr = server.local_addr();
+            el_server = Some(server);
+            _pool_server = None;
+        } else {
+            let server = TcpSslServer::start(key.clone(), "bench.sslperf.test", &options)
+                .expect("pool start");
+            addr = server.local_addr();
+            _pool_server = Some(server);
+            el_server = None;
+        }
+
+        // One measured run per arm: its percentiles are the ablation table.
+        let report = run_event_load(addr, &load).expect("event load");
+        let hs = &report.handshake_latency;
+        eprintln!(
+            "crypto_offload/{label}/{CONNECTIONS}conn: {:.1} tx/s, handshake p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms{}",
+            report.transactions_per_second(),
+            hs.p50.as_secs_f64() * 1e3,
+            hs.p95.as_secs_f64() * 1e3,
+            hs.p99.as_secs_f64() * 1e3,
+            el_server
+                .as_ref()
+                .map(|s| format!(
+                    ", {} jobs, queue depth max {}",
+                    s.stats().crypto_jobs(),
+                    s.stats().crypto_queue_depth_max()
+                ))
+                .unwrap_or_default(),
+        );
+
+        group.bench_function(format!("{label}/{CONNECTIONS}conn"), |b| {
+            b.iter(|| {
+                let report = run_event_load(addr, &load).expect("event load");
+                assert_eq!(report.transactions, CONNECTIONS);
+                black_box(report.handshake_latency.p99);
+            });
+        });
+        if let Some(server) = el_server {
+            server.shutdown();
+        }
+        if let Some(server) = _pool_server {
+            server.shutdown();
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_full_transaction,
     bench_resumed_transaction,
     bench_bulk_records,
-    bench_concurrency
+    bench_concurrency,
+    bench_crypto_offload
 );
 criterion_main!(benches);

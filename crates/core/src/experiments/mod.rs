@@ -114,11 +114,14 @@ pub enum ExperimentId {
     /// Loaded server over real sockets with a worker pool and shared
     /// session cache.
     LoadedServer,
+    /// Crypto-offload ablation: inline RSA vs the event-loop crypto
+    /// worker pool at 1/2/4 workers (§5 "parallel crypto engines").
+    CryptoOffload,
 }
 
 impl ExperimentId {
     /// Every experiment, in paper order.
-    pub const ALL: [ExperimentId; 16] = [
+    pub const ALL: [ExperimentId; 17] = [
         ExperimentId::Table1,
         ExperimentId::Fig2,
         ExperimentId::Table2,
@@ -135,6 +138,7 @@ impl ExperimentId {
         ExperimentId::Table12,
         ExperimentId::SuiteSweep,
         ExperimentId::LoadedServer,
+        ExperimentId::CryptoOffload,
     ];
 
     /// The human-readable name ("Table 1", "Figure 3", ...).
@@ -157,6 +161,7 @@ impl ExperimentId {
             ExperimentId::Table12 => "Table 12",
             ExperimentId::SuiteSweep => "Suite sweep",
             ExperimentId::LoadedServer => "Loaded server",
+            ExperimentId::CryptoOffload => "Crypto offload",
         }
     }
 }
@@ -217,6 +222,7 @@ pub fn run_report(ctx: &Context, id: ExperimentId) -> Result<Report, ExperimentE
         ExperimentId::Table12 => arch::table12(ctx)?.to_string(),
         ExperimentId::SuiteSweep => webserver::suite_sweep(ctx)?.to_string(),
         ExperimentId::LoadedServer => netload::loaded_server(ctx)?.to_string(),
+        ExperimentId::CryptoOffload => netload::crypto_offload(ctx)?.to_string(),
     };
     Ok(Report { id, rendered })
 }

@@ -17,8 +17,12 @@ use crate::experiments::{pct, ExperimentError};
 use crate::Context;
 use sslperf_net::{EventLoopServer, ServerOptions, TcpSslServer};
 use sslperf_rsa::RsaPrivateKey;
-use sslperf_websim::loadgen::{run_socket_load, SocketLoadOptions, SocketLoadReport};
+use sslperf_websim::loadgen::{
+    run_event_load, run_socket_load, EventLoadOptions, EventLoadReport, SocketLoadOptions,
+    SocketLoadReport,
+};
 use std::fmt;
+use std::time::Duration;
 
 /// Client- and server-side results for one serving mode.
 #[derive(Debug)]
@@ -144,6 +148,145 @@ pub fn loaded_server(ctx: &Context) -> Result<NetLoad, ExperimentError> {
     Ok(NetLoad { pool, event_loop })
 }
 
+/// One arm of the crypto-offload ablation: a serving configuration under
+/// the same all-at-once handshake burst.
+#[derive(Debug)]
+pub struct OffloadArm {
+    /// Human-readable configuration name.
+    pub label: String,
+    /// Crypto workers behind the event loop (`0` = decrypt inline).
+    pub crypto_workers: usize,
+    /// Client-side results (throughput, handshake latency percentiles).
+    pub report: EventLoadReport,
+    /// RSA jobs the pool accepted (0 for the inline arms).
+    pub crypto_jobs: u64,
+    /// High-water mark of the job queue.
+    pub crypto_queue_depth_max: u64,
+}
+
+/// Results of the crypto-offload ablation: worker-pool inline vs
+/// event-loop inline vs event-loop with 1/2/4 parallel crypto engines.
+#[derive(Debug)]
+pub struct CryptoOffload {
+    /// Concurrent connections each arm was hit with.
+    pub connections: usize,
+    /// The measured arms, in presentation order.
+    pub arms: Vec<OffloadArm>,
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+impl fmt::Display for CryptoOffload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Crypto-offload ablation ({} concurrent handshakes)", self.connections)?;
+        writeln!(f, "=================================================")?;
+        writeln!(
+            f,
+            "{:<28} {:>8} {:>9} {:>9} {:>9} {:>6} {:>6}",
+            "configuration", "tx/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "jobs", "depth"
+        )?;
+        for arm in &self.arms {
+            let hs = &arm.report.handshake_latency;
+            writeln!(
+                f,
+                "{:<28} {:>8.1} {:>9} {:>9} {:>9} {:>6} {:>6}",
+                arm.label,
+                arm.report.transactions_per_second(),
+                ms(hs.p50),
+                ms(hs.p95),
+                ms(hs.p99),
+                arm.crypto_jobs,
+                arm.crypto_queue_depth_max,
+            )?;
+        }
+        write!(
+            f,
+            "Paper context: §5 — parallel crypto engines. One event-loop shard decrypting\n\
+             inline serialises every handshake behind the ~90% RSA step (head-of-line\n\
+             blocking); handing the decryption to a crypto worker pool lets the shard\n\
+             keep sweeping, so tail latency drops as workers are added."
+        )
+    }
+}
+
+/// Measures one serving configuration under the shared handshake burst.
+fn offload_arm(
+    ctx: &Context,
+    label: String,
+    crypto_workers: usize,
+    event_loop: bool,
+    options: &EventLoadOptions,
+    connections: usize,
+) -> Result<OffloadArm, ExperimentError> {
+    let mut rng = ctx.rng(&label);
+    let key = RsaPrivateKey::generate(ctx.key_bits(), &mut rng)?;
+    if event_loop {
+        let server_options = ServerOptions { crypto_workers, ..ServerOptions::default() };
+        let server = EventLoopServer::start(key, "www.sslperf.test", &server_options)?;
+        let report = run_event_load(server.local_addr(), options)?;
+        let (jobs, depth) = (server.stats().crypto_jobs(), server.stats().crypto_queue_depth_max());
+        server.shutdown();
+        Ok(OffloadArm {
+            label,
+            crypto_workers,
+            report,
+            crypto_jobs: jobs,
+            crypto_queue_depth_max: depth,
+        })
+    } else {
+        // The pool server parks one blocking thread per held connection, so
+        // it needs as many workers as the burst has sockets.
+        let server_options = ServerOptions { workers: connections, ..ServerOptions::default() };
+        let server = TcpSslServer::start(key, "www.sslperf.test", &server_options)?;
+        let report = run_event_load(server.local_addr(), options)?;
+        server.shutdown();
+        Ok(OffloadArm { label, crypto_workers, report, crypto_jobs: 0, crypto_queue_depth_max: 0 })
+    }
+}
+
+/// Runs the crypto-offload ablation: the same all-at-once concurrent
+/// handshake burst against the worker-pool server (inline RSA), the
+/// event-loop server decrypting inline, and the event-loop server backed
+/// by 1, 2 and 4 crypto workers.
+///
+/// # Errors
+///
+/// Propagates key generation, serving and load-generation failures.
+pub fn crypto_offload(ctx: &Context) -> Result<CryptoOffload, ExperimentError> {
+    let connections = (ctx.iterations() * 4).clamp(8, 64);
+    let options = EventLoadOptions {
+        connections,
+        file_size: 1024,
+        suite: ctx.suite(),
+        hold_until_all_established: true,
+        deadline: Duration::from_secs(60),
+    };
+
+    let mut arms = Vec::new();
+    arms.push(offload_arm(
+        ctx,
+        format!("pool-inline ({connections} thr)"),
+        0,
+        false,
+        &options,
+        connections,
+    )?);
+    arms.push(offload_arm(ctx, "event-loop inline".into(), 0, true, &options, connections)?);
+    for workers in [1usize, 2, 4] {
+        arms.push(offload_arm(
+            ctx,
+            format!("event-loop +{workers} crypto"),
+            workers,
+            true,
+            &options,
+            connections,
+        )?);
+    }
+    Ok(CryptoOffload { connections, arms })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +306,32 @@ mod tests {
         assert!(rendered.contains("session cache"), "cache line: {rendered}");
         assert!(rendered.contains("[worker pool]"), "pool section: {rendered}");
         assert!(rendered.contains("[event loop]"), "event-loop section: {rendered}");
+    }
+
+    #[test]
+    fn crypto_offload_runs_all_arms() {
+        let co = crypto_offload(ctx()).expect("crypto offload ablation");
+        assert_eq!(co.arms.len(), 5, "pool-inline, el-inline, +1/+2/+4 workers");
+        for arm in &co.arms {
+            assert_eq!(
+                arm.report.transactions, co.connections,
+                "{}: every connection transacts",
+                arm.label
+            );
+            if arm.crypto_workers == 0 {
+                assert_eq!(arm.crypto_jobs, 0, "{}: inline arms submit no jobs", arm.label);
+            } else {
+                assert_eq!(
+                    arm.crypto_jobs, co.connections as u64,
+                    "{}: one RSA job per full handshake",
+                    arm.label
+                );
+                assert!(arm.crypto_queue_depth_max >= 1, "{}: queue was used", arm.label);
+            }
+        }
+        let rendered = co.to_string();
+        assert!(rendered.contains("configuration"), "table header: {rendered}");
+        assert!(rendered.contains("event-loop +2 crypto"), "offload arm row: {rendered}");
+        assert!(rendered.contains("parallel crypto engines"), "paper context: {rendered}");
     }
 }

@@ -1,0 +1,267 @@
+//! The crypto worker pool: parallel RSA engines for the event-loop server.
+//!
+//! The paper's §5 observes that ~90% of a full handshake is one RSA
+//! private-key decryption and proposes parallel crypto engines as the
+//! server-side fix. [`CryptoPool`] is that fix for the event-loop
+//! architecture: a small set of worker threads draining a **bounded** MPMC
+//! job queue. A shard that hits the RSA boundary takes the suspended
+//! [`CryptoJob`] from the connection's engine, submits it here, and keeps
+//! sweeping its other sockets; the executed result comes back on the
+//! shard's reply channel and resumes the handshake exactly where it
+//! suspended.
+//!
+//! Backpressure: the queue is a `sync_channel` of fixed depth. Submission
+//! never blocks — [`CryptoPool::try_submit`] hands the job back on a full
+//! queue so the shard can park it on the connection and retry next sweep,
+//! keeping the event loop latency-bounded even when the pool is saturated.
+//! Shutdown drops the sender side; workers drain what is queued and exit.
+
+use crate::server::ServerStats;
+use sslperf_ssl::{CryptoDone, CryptoJob, ServerConfig};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Queue slots per worker: deep enough that a handshake burst keeps the
+/// workers saturated without bouncing jobs back to the shards (a parked
+/// job waits a whole sweep before retrying), shallow enough that the
+/// queue stays bounded and saturation still surfaces as backpressure.
+const QUEUE_DEPTH_PER_WORKER: usize = 32;
+
+/// One queued decrypt request: the suspended job plus the routing needed
+/// to get the result back to the owning connection.
+struct CryptoTask {
+    /// Shard-local connection id, echoed back with the result.
+    conn: u64,
+    job: CryptoJob,
+    /// The submitting shard's reply channel.
+    reply: Sender<(u64, CryptoDone)>,
+}
+
+/// N worker threads draining a bounded MPMC queue of [`CryptoJob`]s.
+///
+/// Shared by every shard of an [`EventLoopServer`](crate::EventLoopServer)
+/// started with [`ServerOptions::crypto_workers`](crate::ServerOptions)
+/// &gt; 0. Workers execute jobs against the shared [`ServerConfig`]'s
+/// private key and update the crypto counters in [`ServerStats`].
+#[derive(Debug)]
+pub struct CryptoPool {
+    tx: Option<SyncSender<CryptoTask>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+}
+
+impl CryptoPool {
+    /// Spawns `workers` threads sharing one bounded queue (MPMC through
+    /// the same mutex-guarded receiver idiom the worker-pool server uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    #[must_use]
+    pub fn start(workers: usize, config: Arc<ServerConfig>, stats: Arc<ServerStats>) -> Self {
+        assert!(workers > 0, "at least one crypto worker");
+        let (tx, rx) = mpsc::sync_channel::<CryptoTask>(workers * QUEUE_DEPTH_PER_WORKER);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let config = Arc::clone(&config);
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || worker_loop(&rx, &config, &stats))
+            })
+            .collect();
+        CryptoPool { tx: Some(tx), workers, stats }
+    }
+
+    /// Submits a job without blocking. On a full queue the job comes back
+    /// as `Err` so the caller can park it and retry — the backpressure
+    /// contract that keeps shards sweeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job when the queue is full or the pool is shut down.
+    // The Err variant is the job handed back for parking — a payload, not
+    // an error condition — so its size is inherent to the contract.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(
+        &self,
+        conn: u64,
+        job: CryptoJob,
+        reply: &Sender<(u64, CryptoDone)>,
+    ) -> Result<(), CryptoJob> {
+        let Some(tx) = &self.tx else { return Err(job) };
+        let task = CryptoTask { conn, job, reply: reply.clone() };
+        // Count the depth *before* the send: a worker may dequeue (and
+        // decrement) the instant the task lands, and the counter must
+        // never underflow.
+        let depth = self.stats.crypto_queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match tx.try_send(task) {
+            Ok(()) => {
+                self.stats.crypto_jobs.fetch_add(1, Ordering::Relaxed);
+                self.stats.crypto_queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(task) | TrySendError::Disconnected(task)) => {
+                self.stats.crypto_queue_depth.fetch_sub(1, Ordering::Relaxed);
+                Err(task.job)
+            }
+        }
+    }
+
+    /// Stops accepting jobs, lets workers drain the queue, and joins them.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        // Dropping the sender disconnects the queue; workers exit once the
+        // backlog is drained.
+        self.tx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for CryptoPool {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<CryptoTask>>, config: &ServerConfig, stats: &ServerStats) {
+    loop {
+        let task = {
+            let rx = rx.lock().expect("crypto queue lock");
+            rx.recv()
+        };
+        let Ok(task) = task else { return };
+        stats.crypto_queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let done = task.job.execute(config.key());
+        stats.crypto_queue_wait_cycles.fetch_add(done.queue_wait().get(), Ordering::Relaxed);
+        stats.crypto_exec_cycles.fetch_add(done.exec().get(), Ordering::Relaxed);
+        // A send failure means the shard is gone; the result is moot.
+        let _ = task.reply.send((task.conn, done));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sslperf_rng::SslRng;
+    use sslperf_rsa::RsaPrivateKey;
+    use sslperf_ssl::{CipherSuite, Engine, SslClient, SslServer};
+
+    fn config() -> Arc<ServerConfig> {
+        let mut rng = SslRng::from_seed(b"cryptopool-test-key");
+        let key = RsaPrivateKey::generate(512, &mut rng).expect("keygen");
+        Arc::new(ServerConfig::new(key, "pool.test").expect("config"))
+    }
+
+    /// Drives an offloaded engine handshake through the pool end to end.
+    #[test]
+    fn pool_executes_suspended_jobs() {
+        let config = config();
+        let stats = Arc::new(ServerStats::default());
+        let pool = CryptoPool::start(2, Arc::clone(&config), Arc::clone(&stats));
+        let (reply_tx, reply_rx) = mpsc::channel();
+
+        let mut client =
+            Engine::new(SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"cp-c")))
+                .expect("client engine");
+        let mut server = Engine::new(SslServer::new(&config, SslRng::from_seed(b"cp-s")))
+            .expect("server engine");
+        server.set_crypto_offload(true);
+
+        let mut wire = vec![0u8; 16 * 1024];
+        let mut spins = 0;
+        while !(client.is_established() && server.is_established()) {
+            let n = client.take_output(&mut wire);
+            let mut offset = 0;
+            while offset < n {
+                offset += server.feed(&wire[offset..n]).expect("server feed");
+            }
+            if let Some(job) = server.take_crypto_job() {
+                pool.try_submit(7, job, &reply_tx).expect("queue has room");
+            }
+            if server.crypto_pending() {
+                let (conn, done) = reply_rx.recv().expect("pool reply");
+                assert_eq!(conn, 7);
+                server.complete_crypto(done).expect("resume");
+            }
+            let n = server.take_output(&mut wire);
+            let mut offset = 0;
+            while offset < n {
+                offset += client.feed(&wire[offset..n]).expect("client feed");
+            }
+            spins += 1;
+            assert!(spins < 16, "handshake did not converge");
+        }
+        assert_eq!(stats.crypto_jobs(), 1);
+        assert!(stats.crypto_queue_depth_max() >= 1);
+        pool.shutdown();
+    }
+
+    /// A full queue hands the job back instead of blocking the caller.
+    #[test]
+    fn full_queue_returns_job_for_parking() {
+        let config = config();
+        let stats = Arc::new(ServerStats::default());
+        let pool = CryptoPool::start(1, Arc::clone(&config), Arc::clone(&stats));
+        let (reply_tx, reply_rx) = mpsc::channel();
+
+        // Saturate: 1 worker × QUEUE_DEPTH_PER_WORKER slots, plus however
+        // many the worker dequeues while we enqueue; keep submitting fresh
+        // jobs until one bounces.
+        let mut submitted = 0u64;
+        let bounced = loop {
+            let (_, job) = suspended_job(&config, submitted);
+            match pool.try_submit(submitted, job, &reply_tx) {
+                Ok(()) => submitted += 1,
+                Err(job) => break job,
+            }
+            assert!(submitted < 256, "queue never filled");
+        };
+        // The bounced job is intact: executing it directly still works.
+        let done = bounced.execute(config.key());
+        assert!(done.exec().get() > 0);
+        // Every accepted job eventually completes and replies.
+        for _ in 0..submitted {
+            let _ = reply_rx.recv().expect("reply for accepted job");
+        }
+        assert_eq!(stats.crypto_jobs(), submitted);
+        pool.shutdown();
+    }
+
+    /// Builds a server engine suspended at the RSA boundary and returns
+    /// its crypto job.
+    fn suspended_job(config: &Arc<ServerConfig>, seq: u64) -> (Engine<SslServer<'_>>, CryptoJob) {
+        let seed = format!("cp-fq-c-{seq}");
+        let mut client = Engine::new(SslClient::new(
+            CipherSuite::RsaDesCbc3Sha,
+            SslRng::from_seed(seed.as_bytes()),
+        ))
+        .expect("client engine");
+        let seed = format!("cp-fq-s-{seq}");
+        let mut server = Engine::new(SslServer::new(config, SslRng::from_seed(seed.as_bytes())))
+            .expect("server engine");
+        server.set_crypto_offload(true);
+        let mut wire = vec![0u8; 16 * 1024];
+        while !server.crypto_pending() {
+            let n = client.take_output(&mut wire);
+            let mut offset = 0;
+            while offset < n {
+                offset += server.feed(&wire[offset..n]).expect("server feed");
+            }
+            let n = server.take_output(&mut wire);
+            let mut offset = 0;
+            while offset < n {
+                offset += client.feed(&wire[offset..n]).expect("client feed");
+            }
+        }
+        let job = server.take_crypto_job().expect("suspended job");
+        (server, job)
+    }
+}

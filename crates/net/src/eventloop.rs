@@ -27,15 +27,17 @@
 //! orderly `close_notify` once established.
 
 use crate::cache::ShardedSessionCache;
+use crate::cryptopool::CryptoPool;
 use crate::server::{alert_for_close, respond, ServerOptions, ServerStats};
 use sslperf_rng::SslRng;
 use sslperf_rsa::RsaPrivateKey;
 use sslperf_ssl::alert::{Alert, AlertDescription};
-use sslperf_ssl::{Engine, ServerConfig, ServerEngine, SslError, SslServer};
+use sslperf_ssl::{CryptoDone, CryptoJob, Engine, ServerConfig, ServerEngine, SslError, SslServer};
 use sslperf_websim::http::HttpRequest;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -61,6 +63,8 @@ pub struct EventLoopServer {
     stats: Arc<ServerStats>,
     cache: Arc<ShardedSessionCache>,
     config: Arc<ServerConfig>,
+    /// The RSA offload pool, present when `crypto_workers > 0`.
+    pool: Option<Arc<CryptoPool>>,
 }
 
 impl EventLoopServer {
@@ -95,19 +99,35 @@ impl EventLoopServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let io_timeout = options.io_timeout;
+        let pool = (options.crypto_workers > 0).then(|| {
+            Arc::new(CryptoPool::start(
+                options.crypto_workers,
+                Arc::clone(&config),
+                Arc::clone(&stats),
+            ))
+        });
         let shards = (0..options.shards)
             .map(|shard| {
                 let listener = Arc::clone(&listener);
                 let config = Arc::clone(&config);
                 let stats = Arc::clone(&stats);
                 let stop = Arc::clone(&stop);
+                let pool = pool.clone();
                 std::thread::spawn(move || {
-                    shard_loop(shard, &listener, &config, &stats, &stop, io_timeout);
+                    shard_loop(
+                        shard,
+                        &listener,
+                        &config,
+                        &stats,
+                        &stop,
+                        io_timeout,
+                        pool.as_deref(),
+                    );
                 })
             })
             .collect();
 
-        Ok(EventLoopServer { addr, stop, shards, stats, cache, config })
+        Ok(EventLoopServer { addr, stop, shards, stats, cache, config, pool })
     }
 
     /// The bound address clients should connect to.
@@ -147,6 +167,9 @@ impl EventLoopServer {
         for shard in self.shards.drain(..) {
             let _ = shard.join();
         }
+        // With every shard joined this is the last pool handle; dropping
+        // it drains the queue and joins the crypto workers.
+        self.pool = None;
     }
 }
 
@@ -156,8 +179,18 @@ impl Drop for EventLoopServer {
     }
 }
 
+/// A shard's handle to the crypto offload machinery: the shared pool plus
+/// this shard's reply channel for executed jobs.
+struct Offload<'p> {
+    pool: &'p CryptoPool,
+    reply: Sender<(u64, CryptoDone)>,
+}
+
 /// One shard: accepts new sockets and sweeps every connection it owns,
-/// sleeping only when a full pass made no progress anywhere.
+/// sleeping only when a full pass made no progress anywhere. With a
+/// crypto pool attached, RSA decryptions leave the sweep as jobs and
+/// return through the shard's reply channel — one stalled handshake no
+/// longer blocks the whole shard.
 fn shard_loop(
     shard: usize,
     listener: &TcpListener,
@@ -165,10 +198,13 @@ fn shard_loop(
     stats: &ServerStats,
     stop: &AtomicBool,
     io_timeout: Option<Duration>,
+    pool: Option<&CryptoPool>,
 ) {
     let mut conns: Vec<Conn<'_>> = Vec::new();
     let mut scratch = vec![0u8; SCRATCH_LEN];
     let mut seq: u64 = 0;
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, CryptoDone)>();
+    let offload = pool.map(|pool| Offload { pool, reply: reply_tx });
     while !stop.load(Ordering::SeqCst) {
         let mut progress = false;
         // Accept burst: drain the backlog, then get back to serving.
@@ -177,7 +213,9 @@ fn shard_loop(
                 Ok((stream, _)) => {
                     progress = true;
                     seq += 1;
-                    if let Some(conn) = Conn::accept(stream, config, shard, seq, io_timeout) {
+                    if let Some(conn) =
+                        Conn::accept(stream, config, shard, seq, io_timeout, offload.is_some())
+                    {
                         conns.push(conn);
                     }
                 }
@@ -185,14 +223,40 @@ fn shard_loop(
                 Err(_) => break,
             }
         }
+        // Route executed crypto jobs back to their connections first, so
+        // the pump below can flush the resumed handshake's flight.
+        while let Ok((id, done)) = reply_rx.try_recv() {
+            progress = true;
+            route_reply(&mut conns, id, done, stats);
+        }
         let now = Instant::now();
         conns.retain_mut(|conn| {
-            progress |= conn.pump(stats, &mut scratch, now);
+            progress |= conn.pump(stats, &mut scratch, now, offload.as_ref());
             !conn.done
         });
         if !progress {
-            std::thread::sleep(IDLE_SLEEP);
+            // With jobs in flight, park on the reply channel instead of a
+            // flat sleep: the shard wakes the instant a decrypt lands
+            // rather than up to IDLE_SLEEP later — the difference between
+            // offloaded and inline tail latency when crypto is the
+            // bottleneck.
+            if conns.iter().any(|c| c.inflight) {
+                if let Ok((id, done)) = reply_rx.recv_timeout(IDLE_SLEEP) {
+                    route_reply(&mut conns, id, done, stats);
+                }
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
         }
+    }
+}
+
+/// Hands an executed crypto result to the connection that submitted it.
+/// A missing id means the connection was evicted mid-decrypt; the result
+/// is dropped.
+fn route_reply(conns: &mut [Conn<'_>], id: u64, done: CryptoDone, stats: &ServerStats) {
+    if let Some(conn) = conns.iter_mut().find(|c| c.id == id) {
+        conn.finish_crypto(done, stats);
     }
 }
 
@@ -201,11 +265,17 @@ fn shard_loop(
 struct Conn<'a> {
     stream: TcpStream,
     engine: ServerEngine<'a>,
+    /// Shard-local id: routes crypto-pool replies back to this connection.
+    id: u64,
     /// Evict when `Instant::now()` passes this without traffic.
     deadline: Option<Instant>,
     io_timeout: Option<Duration>,
     /// Whether the completed handshake has been counted in the stats.
     counted: bool,
+    /// A crypto job is queued or executing; its result has not come back.
+    inflight: bool,
+    /// A job the pool bounced (queue full); resubmitted next sweep.
+    parked: Option<CryptoJob>,
     /// Closing: no more reads, just flush the outbound buffer (which ends
     /// with an alert) and finish.
     draining: bool,
@@ -222,17 +292,22 @@ impl<'a> Conn<'a> {
         shard: usize,
         seq: u64,
         io_timeout: Option<Duration>,
+        offload: bool,
     ) -> Option<Self> {
         stream.set_nonblocking(true).ok()?;
         let _ = stream.set_nodelay(true);
         let rng = SslRng::from_seed(format!("sslperf-eventloop-{shard}-{seq}").as_bytes());
-        let engine = Engine::new(SslServer::new(config, rng)).ok()?;
+        let mut engine = Engine::new(SslServer::new(config, rng)).ok()?;
+        engine.set_crypto_offload(offload);
         Some(Conn {
             stream,
             engine,
+            id: seq,
             deadline: io_timeout.map(|t| Instant::now() + t),
             io_timeout,
             counted: false,
+            inflight: false,
+            parked: None,
             draining: false,
             done: false,
         })
@@ -243,10 +318,20 @@ impl<'a> Conn<'a> {
         self.deadline = self.io_timeout.map(|t| now + t);
     }
 
-    /// Makes whatever progress the socket allows: deadline check, read +
-    /// feed, request serving, write. Returns true when anything moved.
-    fn pump(&mut self, stats: &ServerStats, scratch: &mut [u8], now: Instant) -> bool {
+    /// Makes whatever progress the socket allows: deadline check, parked
+    /// crypto-job retry, read + feed, job submission, request serving,
+    /// write. Returns true when anything moved.
+    fn pump(
+        &mut self,
+        stats: &ServerStats,
+        scratch: &mut [u8],
+        now: Instant,
+        offload: Option<&Offload<'_>>,
+    ) -> bool {
         let mut progress = false;
+
+        // Resubmit a job the pool bounced on an earlier sweep.
+        progress |= self.submit_crypto(offload);
 
         // Deadline eviction (the event-loop half of the slowloris guard).
         if !self.draining && !self.done {
@@ -283,6 +368,10 @@ impl<'a> Conn<'a> {
                 Err(_) => self.done = true,
             }
         }
+
+        // The bytes just fed may have suspended the engine at the RSA
+        // boundary: hand the job to the pool and keep sweeping.
+        progress |= self.submit_crypto(offload);
 
         // Serve any complete requests that arrived exactly on a previous
         // sweep's bytes (feed_bytes drains eagerly, this is the catch-all).
@@ -339,6 +428,53 @@ impl<'a> Conn<'a> {
                     self.fail(&e, stats);
                 }
             }
+        }
+    }
+
+    /// Moves a suspended RSA decryption to the crypto pool: resubmits a
+    /// parked job first, otherwise takes a freshly suspended one from the
+    /// engine. A bounced job parks on the connection for the next sweep.
+    /// Returns true when a job entered the queue.
+    fn submit_crypto(&mut self, offload: Option<&Offload<'_>>) -> bool {
+        let Some(offload) = offload else { return false };
+        if self.draining || self.done || self.inflight {
+            return false;
+        }
+        let job = match self.parked.take() {
+            Some(job) => job,
+            None => match self.engine.take_crypto_job() {
+                Some(job) => job,
+                None => return false,
+            },
+        };
+        match offload.pool.try_submit(self.id, job, &offload.reply) {
+            Ok(()) => {
+                self.inflight = true;
+                true
+            }
+            Err(job) => {
+                self.parked = Some(job);
+                false
+            }
+        }
+    }
+
+    /// Resumes the handshake with an executed crypto result: the engine
+    /// picks up exactly where it suspended, and the response flight the
+    /// resume produced is flushed by the next write phase.
+    fn finish_crypto(&mut self, done: CryptoDone, stats: &ServerStats) {
+        self.inflight = false;
+        if self.draining || self.done {
+            return;
+        }
+        match self.engine.complete_crypto(done) {
+            Ok(()) => {
+                self.note_established(stats);
+                if self.engine.is_established() {
+                    self.drain_requests(stats);
+                }
+            }
+            Err(e) => self.fail(&e, stats),
         }
     }
 

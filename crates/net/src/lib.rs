@@ -38,9 +38,11 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod cryptopool;
 mod eventloop;
 mod server;
 
 pub use cache::ShardedSessionCache;
+pub use cryptopool::CryptoPool;
 pub use eventloop::EventLoopServer;
 pub use server::{ServerOptions, ServerStats, TcpSslServer};

@@ -10,6 +10,7 @@
 //! the paper's §4.1 session re-negotiation.
 
 use crate::cache::ShardedSessionCache;
+use sslperf_profile::Cycles;
 use sslperf_rng::SslRng;
 use sslperf_rsa::RsaPrivateKey;
 use sslperf_ssl::alert::{Alert, AlertDescription};
@@ -40,6 +41,12 @@ pub struct ServerOptions {
     pub cache_shards: usize,
     /// Sessions each shard retains before LRU eviction.
     pub cache_capacity_per_shard: usize,
+    /// Crypto worker threads for the event-loop mode's RSA offload pool
+    /// (the paper's §5 "parallel crypto engines"). `0` — the default —
+    /// keeps every decryption inline on its shard; the pool mode always
+    /// decrypts inline regardless, so the two architectures stay
+    /// comparable.
+    pub crypto_workers: usize,
 }
 
 impl Default for ServerOptions {
@@ -51,6 +58,7 @@ impl Default for ServerOptions {
             io_timeout: Some(Duration::from_secs(30)),
             cache_shards: 8,
             cache_capacity_per_shard: 1024,
+            crypto_workers: 0,
         }
     }
 }
@@ -65,6 +73,12 @@ pub struct ServerStats {
     pub(crate) errors: AtomicU64,
     pub(crate) timeouts: AtomicU64,
     pub(crate) alerts_sent: AtomicU64,
+    pub(crate) crypto_jobs: AtomicU64,
+    /// Jobs currently queued or executing (transient; feeds the max).
+    pub(crate) crypto_queue_depth: AtomicU64,
+    pub(crate) crypto_queue_depth_max: AtomicU64,
+    pub(crate) crypto_queue_wait_cycles: AtomicU64,
+    pub(crate) crypto_exec_cycles: AtomicU64,
 }
 
 impl ServerStats {
@@ -110,6 +124,32 @@ impl ServerStats {
     #[must_use]
     pub fn alerts_sent(&self) -> u64 {
         self.alerts_sent.load(Ordering::Relaxed)
+    }
+
+    /// RSA decrypt jobs submitted to the crypto pool (0 in inline modes).
+    #[must_use]
+    pub fn crypto_jobs(&self) -> u64 {
+        self.crypto_jobs.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of in-flight crypto jobs (queued + executing) —
+    /// how deep the parallel-engine backlog ever got.
+    #[must_use]
+    pub fn crypto_queue_depth_max(&self) -> u64 {
+        self.crypto_queue_depth_max.load(Ordering::Relaxed)
+    }
+
+    /// Total cycles jobs spent waiting in the crypto queue before a
+    /// worker picked them up.
+    #[must_use]
+    pub fn crypto_queue_wait(&self) -> Cycles {
+        Cycles::new(self.crypto_queue_wait_cycles.load(Ordering::Relaxed))
+    }
+
+    /// Total cycles workers spent executing RSA decryptions.
+    #[must_use]
+    pub fn crypto_exec(&self) -> Cycles {
+        Cycles::new(self.crypto_exec_cycles.load(Ordering::Relaxed))
     }
 }
 

@@ -5,7 +5,7 @@
 //! blocking [`SslClient::handshake_transport`] driver are thin wrappers
 //! over it, producing byte-identical wire traffic.
 
-use crate::engine::{Engine, EngineDriven};
+use crate::engine::{Engine, EngineDriven, MachineStep};
 use crate::kdf::{self, KeyMaterial};
 use crate::messages::{HandshakeMessage, SessionId};
 use crate::record::{ContentType, RecordBuffer, RecordLayer};
@@ -552,7 +552,7 @@ impl EngineDriven for SslClient {
         msg: &[u8],
         _open_cycles: Cycles,
         out: &mut Vec<u8>,
-    ) -> Result<(), SslError> {
+    ) -> Result<MachineStep, SslError> {
         match self.state {
             State::AwaitServerHello => self.on_server_hello(msg),
             State::AwaitCertificate => self.on_certificate(msg),
@@ -561,7 +561,8 @@ impl EngineDriven for SslClient {
             State::Start | State::AwaitServerCcs | State::Established => {
                 Err(SslError::UnexpectedMessage { expected: "change cipher spec" })
             }
-        }
+        }?;
+        Ok(MachineStep::Continue)
     }
 
     fn on_change_cipher_spec(&mut self, body: &[u8], _open_cycles: Cycles) -> Result<(), SslError> {

@@ -61,7 +61,9 @@ use crate::alert::Alert;
 use crate::record::{ContentType, RecordBuffer, RecordLayer};
 use crate::transport::{Transport, RECORD_HEADER_LEN};
 use crate::{SslClient, SslError, SslServer, MAX_RECORD_BODY, VERSION};
-use sslperf_profile::{measure, Cycles};
+use sslperf_profile::{measure, Cycles, PhaseSet, Stopwatch};
+use sslperf_rng::SslRng;
+use sslperf_rsa::{RsaError, RsaPrivateKey};
 use std::ops::Range;
 
 /// Inbound buffering cap: two maximum records. [`Engine::feed`] consumes at
@@ -75,6 +77,87 @@ mod sealed {
     impl Sealed for crate::SslClient {}
     impl Sealed for crate::SslServer<'_> {}
     impl<M: Sealed + ?Sized> Sealed for &mut M {}
+}
+
+/// What a state machine did with one handshake message: kept going, or
+/// suspended on a crypto operation the driver must run out-of-band.
+#[derive(Debug)]
+pub enum MachineStep {
+    /// The message was fully handled; keep pumping.
+    Continue,
+    /// The machine parked itself on an expensive private-key operation.
+    /// The driver executes the job (inline or on a worker pool) and hands
+    /// the result back through [`Engine::complete_crypto`]. Boxed: the
+    /// job carries the full RNG state, which would otherwise dominate the
+    /// size of every step result.
+    PendingCrypto(Box<CryptoJob>),
+}
+
+/// An opaque RSA pre-master decrypt request, detached from the connection
+/// so a crypto worker pool can execute it while the event loop keeps
+/// sweeping other sockets.
+///
+/// The job carries a clone of the connection's seeded [`SslRng`] for the
+/// blinding draw — the same clone the inline path hands to
+/// `decrypt_instrumented` and then discards — so offloaded handshakes stay
+/// byte-identical to inline ones: the connection's own rng stream never
+/// advances during the decrypt, and RSA blinding cancels out of the
+/// plaintext regardless of which worker (or which cached blinding state)
+/// performs it.
+#[derive(Debug)]
+pub struct CryptoJob {
+    encrypted_pre_master: Vec<u8>,
+    rng: SslRng,
+    /// Started at suspension; elapsed time when execution begins is the
+    /// queue wait the Table 2 ledger attributes separately.
+    submitted: Stopwatch,
+}
+
+impl CryptoJob {
+    pub(crate) fn new(encrypted_pre_master: Vec<u8>, rng: SslRng) -> Self {
+        CryptoJob { encrypted_pre_master, rng, submitted: Stopwatch::start() }
+    }
+
+    /// Runs the private-key decryption. Callable from any thread; the
+    /// result must go back to the owning engine via
+    /// [`Engine::complete_crypto`].
+    #[must_use]
+    pub fn execute(mut self, key: &RsaPrivateKey) -> CryptoDone {
+        let queue_wait = self.submitted.elapsed();
+        let mut scratch = PhaseSet::new();
+        let (pre_master, exec) = measure(|| {
+            key.decrypt_instrumented(&self.encrypted_pre_master, &mut self.rng, &mut scratch)
+        });
+        CryptoDone { pre_master, queue_wait, exec }
+    }
+}
+
+/// The result of an executed [`CryptoJob`], carrying the timing split the
+/// step-5 ledger needs: how long the job sat queued vs how long the RSA
+/// computation itself ran.
+#[derive(Debug)]
+pub struct CryptoDone {
+    pre_master: Result<Vec<u8>, RsaError>,
+    queue_wait: Cycles,
+    exec: Cycles,
+}
+
+impl CryptoDone {
+    /// Cycles between suspension and the start of execution (queue wait).
+    #[must_use]
+    pub fn queue_wait(&self) -> Cycles {
+        self.queue_wait
+    }
+
+    /// Cycles the RSA private-key computation itself took.
+    #[must_use]
+    pub fn exec(&self) -> Cycles {
+        self.exec
+    }
+
+    pub(crate) fn into_parts(self) -> (Result<Vec<u8>, RsaError>, Cycles, Cycles) {
+        (self.pre_master, self.queue_wait, self.exec)
+    }
 }
 
 /// A handshake state machine an [`Engine`] can drive (sealed: implemented
@@ -95,7 +178,9 @@ pub trait EngineDriven: sealed::Sealed {
     fn start(&mut self, out: &mut Vec<u8>) -> Result<(), SslError>;
 
     /// Handles one complete handshake message (4-byte header included),
-    /// appending any reply records to `out`.
+    /// appending any reply records to `out`. Returns
+    /// [`MachineStep::PendingCrypto`] when the machine suspended on an
+    /// out-of-band crypto operation (offload mode only).
     ///
     /// # Errors
     ///
@@ -105,7 +190,27 @@ pub trait EngineDriven: sealed::Sealed {
         msg: &[u8],
         open_cycles: Cycles,
         out: &mut Vec<u8>,
-    ) -> Result<(), SslError>;
+    ) -> Result<MachineStep, SslError>;
+
+    /// Resumes a handshake suspended at [`MachineStep::PendingCrypto`] with
+    /// the executed job's result. The default rejects the call: only
+    /// machines that can suspend (the server) override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] when no crypto operation is pending,
+    /// plus the validation errors of the resumed step.
+    fn complete_crypto(&mut self, done: CryptoDone, out: &mut Vec<u8>) -> Result<(), SslError> {
+        let _ = (done, out);
+        Err(SslError::NotReady("machine does not suspend on crypto"))
+    }
+
+    /// Switches crypto offloading on or off. Off (the default, and a no-op
+    /// for machines that never suspend) keeps every crypto operation
+    /// inline, which is what the blocking and flight-based drivers want.
+    fn set_crypto_offload(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
 
     /// Handles a change-cipher-spec record body.
     ///
@@ -132,8 +237,16 @@ impl<M: EngineDriven + ?Sized> EngineDriven for &mut M {
         msg: &[u8],
         open_cycles: Cycles,
         out: &mut Vec<u8>,
-    ) -> Result<(), SslError> {
+    ) -> Result<MachineStep, SslError> {
         (**self).on_handshake_message(msg, open_cycles, out)
+    }
+
+    fn complete_crypto(&mut self, done: CryptoDone, out: &mut Vec<u8>) -> Result<(), SslError> {
+        (**self).complete_crypto(done, out)
+    }
+
+    fn set_crypto_offload(&mut self, enabled: bool) {
+        (**self).set_crypto_offload(enabled);
     }
 
     fn on_change_cipher_spec(&mut self, body: &[u8], open_cycles: Cycles) -> Result<(), SslError> {
@@ -171,6 +284,12 @@ pub struct Engine<M: EngineDriven> {
     outbox: RecordBuffer,
     out_pos: usize,
     failed: Option<SslError>,
+    /// A job the machine suspended on, not yet taken by the driver.
+    pending_job: Option<CryptoJob>,
+    /// True from suspension until [`Engine::complete_crypto`]; while set,
+    /// fed bytes buffer (bounded by the high-water mark) but no records
+    /// are opened, preserving strict message order across the suspension.
+    awaiting_crypto: bool,
 }
 
 impl<M: EngineDriven> Engine<M> {
@@ -202,6 +321,8 @@ impl<M: EngineDriven> Engine<M> {
             outbox: RecordBuffer::new(),
             out_pos: 0,
             failed: None,
+            pending_job: None,
+            awaiting_crypto: false,
         }
     }
 
@@ -292,6 +413,15 @@ impl<M: EngineDriven> Engine<M> {
     /// than `bytes.len()` when the inbound buffer is full of application
     /// records the caller has not yet drained with [`Engine::open_next`].
     ///
+    /// Besides progress (`Ok`) and poison (`Err`), a feed can leave the
+    /// connection in a third state: *pending crypto*. When the machine is
+    /// in offload mode (see [`Engine::set_crypto_offload`]) and hits its
+    /// RSA private-key operation, the handshake suspends —
+    /// [`Engine::crypto_pending`] turns true and [`Engine::take_crypto_job`]
+    /// yields the [`CryptoJob`] to execute out-of-band. Until
+    /// [`Engine::complete_crypto`] delivers the result, further fed bytes
+    /// buffer (bounded by the high-water mark) without being processed.
+    ///
     /// # Errors
     ///
     /// Returns handshake, record-layer, and [`SslError::PeerAlert`] errors;
@@ -322,10 +452,71 @@ impl<M: EngineDriven> Engine<M> {
         Ok(take)
     }
 
+    /// Switches the wrapped machine's crypto offloading on or off. While
+    /// on, the server's RSA pre-master decryption suspends the handshake
+    /// as a [`CryptoJob`] instead of running inline. A no-op for machines
+    /// that never suspend (the client).
+    pub fn set_crypto_offload(&mut self, enabled: bool) {
+        self.machine.set_crypto_offload(enabled);
+    }
+
+    /// True while the handshake is suspended on an out-of-band crypto
+    /// operation (between a feed that hit the RSA boundary and the
+    /// matching [`Engine::complete_crypto`]).
+    #[must_use]
+    pub fn crypto_pending(&self) -> bool {
+        self.awaiting_crypto
+    }
+
+    /// Takes the suspended crypto job, if one is waiting to be executed.
+    /// The engine stays suspended until [`Engine::complete_crypto`].
+    pub fn take_crypto_job(&mut self) -> Option<CryptoJob> {
+        self.pending_job.take()
+    }
+
+    /// Delivers an executed [`CryptoJob`]'s result, resuming the handshake
+    /// exactly where it suspended: the machine finishes its step, then the
+    /// engine re-drives any records that buffered during the suspension
+    /// (typically the client's CCS ‖ finished flight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SslError::NotReady`] when no crypto operation is pending,
+    /// plus every error the resumed handshake steps can produce; errors
+    /// poison the connection like any feed error.
+    pub fn complete_crypto(&mut self, done: CryptoDone) -> Result<(), SslError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if !self.awaiting_crypto {
+            return Err(SslError::NotReady("no crypto operation pending"));
+        }
+        self.awaiting_crypto = false;
+        self.pending_job = None;
+        // Pump first: a message coalesced into the key-exchange record may
+        // already sit reassembled; drive() only pumps after opening a new
+        // record.
+        let result = self
+            .machine
+            .complete_crypto(done, self.outbox.vec_mut())
+            .and_then(|()| self.pump_messages(Cycles::ZERO))
+            .and_then(|()| self.drive());
+        if let Err(e) = result {
+            self.failed = Some(e.clone());
+            return Err(e);
+        }
+        Ok(())
+    }
+
     /// Frames and opens handshake-phase records from the inbox until the
     /// handshake completes or the bytes run out mid-record.
     fn drive(&mut self) -> Result<(), SslError> {
         while !self.machine.handshake_done() {
+            if self.awaiting_crypto {
+                // Suspended: later flights (the client's CCS ‖ finished)
+                // buffer until the crypto result arrives.
+                return Ok(());
+            }
             let Some(total) = self.peek_record_len()? else { return Ok(()) };
             let record = &mut self.inbox.vec_mut()[self.in_pos..self.in_pos + total];
             let (opened, open_cycles) = measure(|| self.machine.record_layer().open_slice(record));
@@ -367,7 +558,7 @@ impl<M: EngineDriven> Engine<M> {
     /// reassembly buffer. The record-open cycles are attributed to the
     /// first message only (the others came "for free" in the same record).
     fn pump_messages(&mut self, mut open_cycles: Cycles) -> Result<(), SslError> {
-        while !self.machine.handshake_done() {
+        while !self.machine.handshake_done() && !self.awaiting_crypto {
             let avail = &self.msgs[self.msg_pos..];
             if avail.len() < 4 {
                 break;
@@ -379,7 +570,13 @@ impl<M: EngineDriven> Engine<M> {
                 break;
             }
             let msg = &self.msgs[self.msg_pos..self.msg_pos + msg_len];
-            self.machine.on_handshake_message(msg, open_cycles, self.outbox.vec_mut())?;
+            match self.machine.on_handshake_message(msg, open_cycles, self.outbox.vec_mut())? {
+                MachineStep::Continue => {}
+                MachineStep::PendingCrypto(job) => {
+                    self.pending_job = Some(*job);
+                    self.awaiting_crypto = true;
+                }
+            }
             open_cycles = Cycles::ZERO;
             self.msg_pos += msg_len;
         }

@@ -71,7 +71,9 @@ pub mod transport;
 
 pub use cache::{CachedSession, SessionCache, SimpleSessionCache};
 pub use client::{ClientSession, SslClient};
-pub use engine::{ClientEngine, Engine, EngineDriven, ServerEngine};
+pub use engine::{
+    ClientEngine, CryptoDone, CryptoJob, Engine, EngineDriven, MachineStep, ServerEngine,
+};
 pub use messages::{HandshakeType, SessionId};
 pub use record::{ContentType, RecordBuffer, RecordLayer, MAX_FRAGMENT, MAX_RECORD_BODY};
 pub use server::{ServerConfig, SslServer, SERVER_STEP_NAMES};

@@ -10,7 +10,7 @@
 //! lands in [`SslServer::steps`] as one entry.
 
 use crate::cache::{CachedSession, SessionCache, SimpleSessionCache};
-use crate::engine::{Engine, EngineDriven};
+use crate::engine::{CryptoDone, CryptoJob, Engine, EngineDriven, MachineStep};
 use crate::kdf::{self, KeyMaterial};
 use crate::messages::{HandshakeMessage, SessionId};
 use crate::record::{ContentType, RecordBuffer, RecordLayer};
@@ -108,6 +108,9 @@ impl ServerConfig {
 enum State {
     AwaitClientHello,
     AwaitClientKx,
+    /// Offload mode: suspended mid-step-5, waiting for the executed
+    /// [`CryptoJob`]'s result.
+    AwaitKxCrypto,
     AwaitClientCcs,
     AwaitClientFinished,
     Established,
@@ -139,6 +142,12 @@ pub struct SslServer<'a> {
     /// an event-driven driver may deliver in separate readiness events;
     /// the partial timing accumulates here until the step completes.
     step6: Cycles,
+    /// When true, step 5's RSA decryption suspends as a [`CryptoJob`]
+    /// instead of running inline (set through the engine's
+    /// `set_crypto_offload`).
+    offload: bool,
+    /// Step 5's pre-suspension cycles, held until the job result lands.
+    kx_partial: Cycles,
     steps: PhaseSet,
     crypto: PhaseSet,
     crypto_detail: Vec<(usize, &'static str, Cycles)>,
@@ -166,6 +175,8 @@ impl<'a> SslServer<'a> {
             expected_client_finished: None,
             key_material: None,
             step6: Cycles::ZERO,
+            offload: false,
+            kx_partial: Cycles::ZERO,
             steps: PhaseSet::new(),
             crypto: PhaseSet::new(),
             crypto_detail: Vec::new(),
@@ -362,13 +373,30 @@ impl<'a> SslServer<'a> {
     }
 
     /// Step 5: get_client_kx — RSA-decrypt the pre-master, derive the
-    /// master secret.
-    fn on_client_kx(&mut self, msg: &[u8], open_cycles: Cycles) -> Result<(), SslError> {
+    /// master secret. In offload mode the decryption suspends as a
+    /// [`CryptoJob`] and the step concludes in
+    /// [`SslServer::finish_client_kx`].
+    fn on_client_kx(&mut self, msg: &[u8], open_cycles: Cycles) -> Result<MachineStep, SslError> {
         let sw = Stopwatch::start();
         let (decoded, _) = HandshakeMessage::decode(msg)?;
         let HandshakeMessage::ClientKeyExchange { encrypted_pre_master } = decoded else {
             return Err(SslError::UnexpectedMessage { expected: "client key exchange" });
         };
+        if self.offload {
+            // Absorb at suspension time — order-safe, since the finished
+            // hashes are only computed later at the client's CCS. The rng
+            // clone carries the blinding draw out-of-band; the inline path
+            // below clones and discards the very same state, which is why
+            // both paths stay byte-identical.
+            let (_, cycles) = measure(|| self.transcript.absorb(msg));
+            self.note_crypto(5, "finish_mac", cycles);
+            self.kx_partial = sw.elapsed() + open_cycles;
+            self.state = State::AwaitKxCrypto;
+            return Ok(MachineStep::PendingCrypto(Box::new(CryptoJob::new(
+                encrypted_pre_master,
+                self.rng.clone(),
+            ))));
+        }
         let (pre_master, cycles) = {
             let key = &self.config.key;
             let mut scratch = PhaseSet::new();
@@ -377,17 +405,41 @@ impl<'a> SslServer<'a> {
         };
         self.note_crypto(5, "rsa_private_decryption", cycles);
         let pre_master = pre_master?;
-        if pre_master.len() != 48 || pre_master[0] != crate::VERSION.0 {
-            return Err(SslError::Decode("pre-master secret"));
-        }
-        let (master, cycles) =
-            measure(|| kdf::master_secret(&pre_master, &self.client_random, &self.server_random));
-        self.note_crypto(5, "gen_master_secret", cycles);
-        self.master = master;
+        self.derive_master(&pre_master)?;
         let (_, cycles) = measure(|| self.transcript.absorb(msg));
         self.note_crypto(5, "finish_mac", cycles);
         self.steps.add(SERVER_STEP_NAMES[5], sw.elapsed() + open_cycles);
         self.state = State::AwaitClientCcs;
+        Ok(MachineStep::Continue)
+    }
+
+    /// Step 5's conclusion in offload mode: validate the decrypted
+    /// pre-master and derive the master secret, attributing queue wait and
+    /// execution separately in the crypto ledger.
+    fn finish_client_kx(&mut self, done: CryptoDone) -> Result<(), SslError> {
+        let sw = Stopwatch::start();
+        let (pre_master, queue_wait, exec) = done.into_parts();
+        self.note_crypto(5, "rsa_queue_wait", queue_wait);
+        self.note_crypto(5, "rsa_private_decryption", exec);
+        let pre_master = pre_master?;
+        self.derive_master(&pre_master)?;
+        let total = self.kx_partial + queue_wait + exec + sw.elapsed();
+        self.kx_partial = Cycles::ZERO;
+        self.steps.add(SERVER_STEP_NAMES[5], total);
+        self.state = State::AwaitClientCcs;
+        Ok(())
+    }
+
+    /// Validates the pre-master block and derives the master secret (the
+    /// shared tail of both step-5 paths).
+    fn derive_master(&mut self, pre_master: &[u8]) -> Result<(), SslError> {
+        if pre_master.len() != 48 || pre_master[0] != crate::VERSION.0 {
+            return Err(SslError::Decode("pre-master secret"));
+        }
+        let (master, cycles) =
+            measure(|| kdf::master_secret(pre_master, &self.client_random, &self.server_random));
+        self.note_crypto(5, "gen_master_secret", cycles);
+        self.master = master;
         Ok(())
     }
 
@@ -716,15 +768,33 @@ impl EngineDriven for SslServer<'_> {
         msg: &[u8],
         open_cycles: Cycles,
         out: &mut Vec<u8>,
-    ) -> Result<(), SslError> {
+    ) -> Result<MachineStep, SslError> {
         match self.state {
-            State::AwaitClientHello => self.on_client_hello(msg, open_cycles, out),
+            State::AwaitClientHello => {
+                self.on_client_hello(msg, open_cycles, out).map(|()| MachineStep::Continue)
+            }
             State::AwaitClientKx => self.on_client_kx(msg, open_cycles),
-            State::AwaitClientFinished => self.on_client_finished(msg, open_cycles, out),
+            State::AwaitClientFinished => {
+                self.on_client_finished(msg, open_cycles, out).map(|()| MachineStep::Continue)
+            }
+            State::AwaitKxCrypto => {
+                Err(SslError::UnexpectedMessage { expected: "crypto completion" })
+            }
             State::AwaitClientCcs | State::Established => {
                 Err(SslError::UnexpectedMessage { expected: "change cipher spec" })
             }
         }
+    }
+
+    fn complete_crypto(&mut self, done: CryptoDone, _out: &mut Vec<u8>) -> Result<(), SslError> {
+        if self.state != State::AwaitKxCrypto {
+            return Err(SslError::NotReady("no crypto operation pending"));
+        }
+        self.finish_client_kx(done)
+    }
+
+    fn set_crypto_offload(&mut self, enabled: bool) {
+        self.offload = enabled;
     }
 
     fn on_change_cipher_spec(&mut self, body: &[u8], open_cycles: Cycles) -> Result<(), SslError> {

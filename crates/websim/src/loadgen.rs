@@ -311,6 +311,18 @@ pub struct EventLoadReport {
     pub handshake_latency: LatencyPercentiles,
 }
 
+impl EventLoadReport {
+    /// Completed transactions per wall-clock second.
+    #[must_use]
+    pub fn transactions_per_second(&self) -> f64 {
+        if self.wall.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.transactions as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
 /// Drives many concurrent non-blocking client connections from a single
 /// thread, each a sans-io [`ClientEngine`](sslperf_ssl::ClientEngine) fed
 /// by readiness sweeps — the client-side mirror of the event-loop server.

@@ -279,3 +279,151 @@ fn engine_steady_state_allocates_nothing() {
         delta as f64 / (2 * MEASURED) as f64
     );
 }
+
+/// An engine that went through the crypto-offload suspension
+/// (`take_crypto_job` → out-of-band `execute` → `complete_crypto`) ends
+/// up in the same steady state as an inline one: zero allocations per
+/// application-data record once warmed. Suspension must not leave any
+/// lazily-growing state behind.
+#[test]
+fn offloaded_engine_steady_state_allocates_nothing() {
+    const WARMUP: usize = 4;
+    const MEASURED: u64 = 100;
+    use sslperf::prelude::{ServerConfig, SslClient, SslRng, SslServer};
+    use sslperf::rsa::RsaPrivateKey;
+    use sslperf::ssl::Engine;
+
+    let payload = vec![0xa5u8; 1024];
+    let mut rng = SslRng::from_seed(b"alloc-budget-offload-key");
+    let key = RsaPrivateKey::generate(512, &mut rng).expect("keygen");
+    let config = ServerConfig::new(key, "alloc.test").expect("config");
+
+    let mut client =
+        Engine::new(SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"abo-c")))
+            .expect("client engine");
+    let mut server =
+        Engine::new(SslServer::new(&config, SslRng::from_seed(b"abo-s"))).expect("server engine");
+    server.set_crypto_offload(true);
+
+    // Handshake with the RSA step executed out-of-band, as a shard's
+    // crypto pool would.
+    let mut wire = vec![0u8; 8 * 1024];
+    let mut suspensions = 0;
+    while !(client.is_established() && server.is_established()) {
+        let n = client.take_output(&mut wire);
+        let mut offset = 0;
+        while offset < n {
+            offset += server.feed(&wire[offset..n]).expect("server feed");
+        }
+        if let Some(job) = server.take_crypto_job() {
+            suspensions += 1;
+            server.complete_crypto(job.execute(config.key())).expect("resume");
+        }
+        let n = server.take_output(&mut wire);
+        let mut offset = 0;
+        while offset < n {
+            offset += client.feed(&wire[offset..n]).expect("client feed");
+        }
+    }
+    assert_eq!(suspensions, 1, "exactly one RSA suspension per full handshake");
+
+    let exchange = |client: &mut sslperf::ssl::ClientEngine,
+                    server: &mut sslperf::ssl::ServerEngine<'_>,
+                    wire: &mut [u8]| {
+        client.seal(&payload).expect("client seal");
+        let n = client.take_output(wire);
+        assert_eq!(server.feed(&wire[..n]).expect("server feed"), n);
+        let range = server.open_next().expect("server open").expect("complete record");
+        assert_eq!(&server.buffered()[range], &payload[..]);
+        server.seal(&payload).expect("server seal");
+        let n = server.take_output(wire);
+        assert_eq!(client.feed(&wire[..n]).expect("client feed"), n);
+        let range = client.open_next().expect("client open").expect("complete record");
+        assert_eq!(&client.buffered()[range], &payload[..]);
+    };
+
+    for _ in 0..WARMUP {
+        exchange(&mut client, &mut server, &mut wire);
+    }
+    let ((), delta) = allocations_during(|| {
+        for _ in 0..MEASURED {
+            exchange(&mut client, &mut server, &mut wire);
+        }
+    });
+    assert_eq!(
+        delta,
+        0,
+        "offloaded engine path: {delta} allocations over {MEASURED} round trips \
+         ({} per record) — suspension must not break the steady-state budget",
+        delta as f64 / (2 * MEASURED) as f64
+    );
+}
+
+/// The crypto job cycle itself (`take_crypto_job` → `execute` →
+/// `complete_crypto`) allocates, but boundedly: the RSA decryption's
+/// bignum temporaries plus the finish of the handshake. Pinning a ceiling
+/// keeps an accidental per-job allocation regression (say, a cloned
+/// transcript or a re-grown buffer) from hiding inside the pool's noise.
+#[test]
+fn crypto_job_cycle_allocation_is_bounded() {
+    use sslperf::prelude::{ServerConfig, SslClient, SslRng, SslServer};
+    use sslperf::rsa::RsaPrivateKey;
+    use sslperf::ssl::Engine;
+
+    let mut rng = SslRng::from_seed(b"alloc-budget-job-key");
+    let key = RsaPrivateKey::generate(512, &mut rng).expect("keygen");
+    let config = ServerConfig::new(key, "alloc.test").expect("config");
+
+    // Drives a fresh pair up to the server's RSA suspension and returns
+    // both engines plus the pending client flight still to be fed.
+    let suspend = |seq: u32| {
+        let c_seed = format!("abj-c-{seq}");
+        let s_seed = format!("abj-s-{seq}");
+        let mut client = Engine::new(SslClient::new(
+            CipherSuite::RsaDesCbc3Sha,
+            SslRng::from_seed(c_seed.as_bytes()),
+        ))
+        .expect("client engine");
+        let mut server = Engine::new(SslServer::new(&config, SslRng::from_seed(s_seed.as_bytes())))
+            .expect("server engine");
+        server.set_crypto_offload(true);
+        let mut wire = vec![0u8; 8 * 1024];
+        while !server.crypto_pending() {
+            let n = client.take_output(&mut wire);
+            let mut offset = 0;
+            while offset < n {
+                offset += server.feed(&wire[offset..n]).expect("server feed");
+            }
+            let n = server.take_output(&mut wire);
+            let mut offset = 0;
+            while offset < n {
+                offset += client.feed(&wire[offset..n]).expect("client feed");
+            }
+        }
+        (client, server)
+    };
+
+    // Warm allocator pools and lazy statics with a throwaway cycle.
+    let (_c, mut server) = suspend(0);
+    let job = server.take_crypto_job().expect("job");
+    server.complete_crypto(job.execute(config.key())).expect("resume");
+
+    // Measure one take → execute → complete cycle on a fresh suspension.
+    let (_c, mut server) = suspend(1);
+    let ((), per_job) = allocations_during(|| {
+        let job = server.take_crypto_job().expect("job");
+        let done = job.execute(config.key());
+        server.complete_crypto(done).expect("resume");
+    });
+    println!("crypto job cycle: {per_job} allocations (512-bit key)");
+    assert!(per_job > 0, "an RSA decryption cannot be allocation-free");
+    // Measured ~2,800 (bignum temporaries of the blinded CRT decryption
+    // plus the Finished exchange); ~3× headroom so only a structural
+    // regression — not allocator jitter — trips this.
+    const CEILING: u64 = 8_000;
+    assert!(
+        per_job <= CEILING,
+        "crypto job cycle allocated {per_job} times (ceiling {CEILING}) — \
+         a per-job allocation regression"
+    );
+}

@@ -241,6 +241,70 @@ fn blocking_transport_driver_is_byte_identical() {
     assert_eq!(s2c, reference.s2c, "server transport wire");
 }
 
+/// The crypto-offload path: the server engine suspends at the RSA
+/// boundary, the job executes out-of-band, and the resumed handshake
+/// still puts byte-identical flights on the wire — the determinism
+/// contract the event-loop pool relies on.
+#[test]
+fn offloaded_handshake_is_byte_identical() {
+    for chunk in [1usize, 7, usize::MAX] {
+        let suite = CipherSuite::RsaDesCbc3Sha;
+        let reference = reference(suite);
+        let (mut client, mut server) = engines(suite);
+        server.set_crypto_offload(true);
+
+        let (mut c2s, mut s2c) = (Vec::new(), Vec::new());
+        let mut suspensions = 0;
+        let mut stalls = 0;
+        while !(client.is_established() && server.is_established()) {
+            let before = (c2s.len(), s2c.len());
+            shuttle(&mut client, &mut server, chunk, &mut c2s);
+            if server.crypto_pending() {
+                // Out-of-band execution: the same decrypt the inline path
+                // runs, carried by the job (blinding state included).
+                let job = server.take_crypto_job().expect("suspended job");
+                assert!(server.crypto_pending(), "engine stays suspended until completion");
+                assert!(server.take_crypto_job().is_none(), "the job is taken exactly once");
+                let done = job.execute(config().key());
+                assert!(done.exec().get() > 0, "execution time is measured");
+                server.complete_crypto(done).expect("resume");
+                suspensions += 1;
+            }
+            shuttle(&mut server, &mut client, chunk, &mut s2c);
+            if (c2s.len(), s2c.len()) == before {
+                stalls += 1;
+                assert!(stalls < 4, "offloaded handshake stalled (chunk {chunk})");
+            }
+        }
+        assert_eq!(suspensions, 1, "exactly one RSA suspension per full handshake");
+        assert_eq!(c2s, reference.c2s, "offloaded client wire (chunk {chunk})");
+        assert_eq!(s2c, reference.s2c, "offloaded server wire (chunk {chunk})");
+
+        // Same keys ⇒ same sealed bytes, both directions.
+        client.seal(b"probe").expect("client seal");
+        assert_eq!(client.output(), &reference.client_probe[..], "client record");
+        server.seal(b"probe").expect("server seal");
+        assert_eq!(server.output(), &reference.server_probe[..], "server record");
+
+        // The step-5 ledger attributes queue wait and execution separately.
+        let detail = server.machine().crypto_detail();
+        let names: Vec<&str> = detail.iter().map(|(_, name, _)| *name).collect();
+        assert!(names.contains(&"rsa_queue_wait"), "queue wait attributed: {names:?}");
+        assert!(names.contains(&"rsa_private_decryption"), "exec attributed: {names:?}");
+    }
+}
+
+/// Completing crypto that was never requested is an orderly error, not a
+/// poisoned engine.
+#[test]
+fn complete_crypto_without_suspension_errors() {
+    let (_, mut server) = engines(CipherSuite::RsaDesCbc3Sha);
+    server.set_crypto_offload(true);
+    assert!(!server.crypto_pending());
+    assert!(server.take_crypto_job().is_none());
+    assert!(server.last_error().is_none(), "querying jobs must not poison");
+}
+
 /// Resumed handshakes work through the engine too, and garbage poisons a
 /// connection exactly once while alerts still go out.
 #[test]

@@ -345,6 +345,245 @@ fn garbage_hello_gets_alert_in_both_modes() {
     event_loop.shutdown();
 }
 
+// ---- fatal alerts on the wire ----
+//
+// Every fatal alert description the stack can emit, provoked from the
+// client side and asserted on a real socket. The one exception is
+// `decompression_failure` (30): this SSLv3 subset negotiates no
+// compression methods at all, so no input can make decompression run,
+// let alone fail — the codec round-trip in `sslperf-ssl`'s alert tests
+// is the only place that description can appear.
+
+/// Frames a complete handshake message as one plaintext record.
+fn handshake_record(msg: &[u8]) -> Vec<u8> {
+    let mut record = vec![22, 3, 0];
+    record.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+    record.extend_from_slice(msg);
+    record
+}
+
+/// Hand-crafts a ClientHello record: protocol version, fixed 32-byte
+/// random, empty session id, and the given cipher-suite wire ids.
+fn client_hello_record(version: (u8, u8), suites: &[u16]) -> Vec<u8> {
+    let mut body = vec![version.0, version.1];
+    body.extend_from_slice(&[0x5a; 32]);
+    body.push(0); // empty session id
+    body.extend_from_slice(&((suites.len() * 2) as u16).to_be_bytes());
+    for suite in suites {
+        body.extend_from_slice(&suite.to_be_bytes());
+    }
+    let mut msg = vec![1]; // client hello
+    msg.extend_from_slice(&(body.len() as u32).to_be_bytes()[1..]);
+    msg.extend_from_slice(&body);
+    handshake_record(&msg)
+}
+
+/// Reads one full record off the socket: `(content type, body)`.
+fn read_record_raw(socket: &mut TcpStream) -> (u8, Vec<u8>) {
+    let mut header = [0u8; 5];
+    socket.read_exact(&mut header).expect("record header");
+    assert_eq!((header[1], header[2]), (3, 0), "SSLv3 version");
+    let len = u16::from_be_bytes([header[3], header[4]]) as usize;
+    let mut body = vec![0u8; len];
+    socket.read_exact(&mut body).expect("record body");
+    (header[0], body)
+}
+
+/// Reads past the server's handshake flight to the plaintext alert that
+/// follows it; returns `(level, description)`.
+fn read_alert_after_flight(socket: &mut TcpStream) -> (u8, u8) {
+    loop {
+        let (content_type, body) = read_record_raw(socket);
+        if content_type == 22 {
+            continue; // server hello ‖ certificate ‖ hello done
+        }
+        assert_eq!(content_type, 21, "expected an alert record");
+        assert_eq!(body.len(), 2, "alert body length");
+        return (body[0], body[1]);
+    }
+}
+
+/// A hello offering a protocol version the server does not speak maps to
+/// `UnsupportedVersion` and a fatal `illegal_parameter` (47) — pinned
+/// down to the exact record bytes. The error poisons the engine, and the
+/// alert is queued *on the poisoned engine* and still drains to the wire
+/// before the close: the "alert still queued" path.
+#[test]
+fn version_mismatch_gets_exact_illegal_parameter_bytes() {
+    let pool_options = ServerOptions { workers: 1, ..ServerOptions::default() };
+    let pool = TcpSslServer::start(key(), "net.sslperf.test", &pool_options).expect("pool start");
+    let el_options = ServerOptions { shards: 1, ..ServerOptions::default() };
+    let event_loop =
+        EventLoopServer::start(key(), "net.sslperf.test", &el_options).expect("event-loop start");
+
+    for (addr, stats) in
+        [(pool.local_addr(), pool.stats()), (event_loop.local_addr(), event_loop.stats())]
+    {
+        let mut socket = TcpStream::connect(addr).expect("connect");
+        socket.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+        socket.write_all(&client_hello_record((2, 0), &[0x000a])).expect("hello");
+        let mut wire = [0u8; 7];
+        socket.read_exact(&mut wire).expect("alert record");
+        assert_eq!(wire, [21, 3, 0, 0, 2, 2, 47], "fatal illegal_parameter, byte-exact");
+        let mut rest = [0u8; 16];
+        assert_eq!(socket.read(&mut rest).expect("eof"), 0, "closed after the queued alert");
+        assert!(eventually(|| stats.errors() == 1), "got {}", stats.errors());
+        assert!(eventually(|| stats.alerts_sent() >= 1));
+    }
+    pool.shutdown();
+    event_loop.shutdown();
+}
+
+/// A well-formed hello offering only suites the server does not implement
+/// maps to `NoCommonCipher` and a fatal `handshake_failure` (40).
+#[test]
+fn no_common_cipher_gets_handshake_failure_alert() {
+    let pool_options = ServerOptions { workers: 1, ..ServerOptions::default() };
+    let pool = TcpSslServer::start(key(), "net.sslperf.test", &pool_options).expect("pool start");
+    let el_options = ServerOptions { shards: 1, ..ServerOptions::default() };
+    let event_loop =
+        EventLoopServer::start(key(), "net.sslperf.test", &el_options).expect("event-loop start");
+
+    for addr in [pool.local_addr(), event_loop.local_addr()] {
+        let mut socket = TcpStream::connect(addr).expect("connect");
+        socket.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+        socket.write_all(&client_hello_record((3, 0), &[0x00ff, 0x1234])).expect("hello");
+        let (level, description) = read_plaintext_alert(&mut socket);
+        assert_eq!((level, description), (2, 40), "fatal handshake_failure");
+    }
+    pool.shutdown();
+    event_loop.shutdown();
+}
+
+/// Application data before the handshake finishes is out of sequence:
+/// `UnexpectedMessage` and a fatal `unexpected_message` (10).
+#[test]
+fn application_data_mid_handshake_gets_unexpected_message_alert() {
+    let pool_options = ServerOptions { workers: 1, ..ServerOptions::default() };
+    let pool = TcpSslServer::start(key(), "net.sslperf.test", &pool_options).expect("pool start");
+    let el_options = ServerOptions { shards: 1, ..ServerOptions::default() };
+    let event_loop =
+        EventLoopServer::start(key(), "net.sslperf.test", &el_options).expect("event-loop start");
+
+    for addr in [pool.local_addr(), event_loop.local_addr()] {
+        let mut socket = TcpStream::connect(addr).expect("connect");
+        socket.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+        // A well-framed application-data record where a hello must come.
+        socket.write_all(&[23, 3, 0, 0, 4, 1, 2, 3, 4]).expect("early data");
+        let (level, description) = read_plaintext_alert(&mut socket);
+        assert_eq!((level, description), (2, 10), "fatal unexpected_message");
+    }
+    pool.shutdown();
+    event_loop.shutdown();
+}
+
+/// A ClientKeyExchange whose RSA ciphertext is garbage fails the private
+/// decryption: `SslError::Rsa` and a fatal `bad_certificate` (42). Run
+/// against the pool, the inline event loop, and the offloading event
+/// loop — in the last, the failure comes back from a crypto worker via
+/// `complete_crypto`, poisoning the engine *after* the pool round-trip,
+/// and the alert must still reach the wire.
+#[test]
+fn garbage_key_exchange_gets_bad_certificate_alert() {
+    let pool_options = ServerOptions { workers: 1, ..ServerOptions::default() };
+    let pool = TcpSslServer::start(key(), "net.sslperf.test", &pool_options).expect("pool start");
+    let el_options = ServerOptions { shards: 1, ..ServerOptions::default() };
+    let inline =
+        EventLoopServer::start(key(), "net.sslperf.test", &el_options).expect("event-loop start");
+    let off_options = ServerOptions { shards: 1, crypto_workers: 2, ..ServerOptions::default() };
+    let offload =
+        EventLoopServer::start(key(), "net.sslperf.test", &off_options).expect("offload start");
+
+    // Key exchange: type 16, u16-length-prefixed 64-byte "ciphertext".
+    let mut kx_body = 64u16.to_be_bytes().to_vec();
+    kx_body.extend_from_slice(&[0x42; 64]);
+    let mut kx_msg = vec![16];
+    kx_msg.extend_from_slice(&(kx_body.len() as u32).to_be_bytes()[1..]);
+    kx_msg.extend_from_slice(&kx_body);
+    let kx_record = handshake_record(&kx_msg);
+
+    for addr in [pool.local_addr(), inline.local_addr(), offload.local_addr()] {
+        let mut socket = TcpStream::connect(addr).expect("connect");
+        socket.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+        socket.write_all(&client_hello_record((3, 0), &[0x000a])).expect("hello");
+        socket.write_all(&kx_record).expect("key exchange");
+        let (level, description) = read_alert_after_flight(&mut socket);
+        assert_eq!((level, description), (2, 42), "fatal bad_certificate");
+    }
+    // The offloading server really did route the doomed decrypt through
+    // its crypto pool before the error poisoned the engine.
+    let stats = offload.stats();
+    assert!(eventually(|| stats.crypto_jobs() == 1), "got {}", stats.crypto_jobs());
+    assert!(eventually(|| stats.errors() == 1), "got {}", stats.errors());
+    pool.shutdown();
+    inline.shutdown();
+    offload.shutdown();
+}
+
+/// Tampering with an established connection's ciphertext fails record
+/// verification: `BadRecordMac`/`BadPadding` and a fatal
+/// `bad_record_mac` (20). Post-handshake the alert itself travels
+/// encrypted, so the established client decrypts and surfaces it as
+/// `SslError::PeerAlert`.
+#[test]
+fn tampered_ciphertext_gets_bad_record_mac_alert() {
+    use sslperf::ssl::alert::{AlertDescription, AlertLevel};
+    use sslperf::ssl::SslError;
+
+    let server = start_server();
+    let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"mac-c1"));
+    let mut socket = tcp_handshake(&server, &mut client);
+    socket.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+
+    // A forged application-data record: right framing, three whole DES
+    // blocks of garbage that cannot carry a valid MAC.
+    socket.write_all(&[23, 3, 0, 0, 24]).expect("forged header");
+    socket.write_all(&[0x5a; 24]).expect("forged body");
+
+    let error = client.recv(&mut socket).expect_err("server must reject the forgery");
+    match error {
+        SslError::PeerAlert(alert) => {
+            assert_eq!(alert.level, AlertLevel::Fatal);
+            assert_eq!(alert.description, AlertDescription::BadRecordMac);
+        }
+        other => panic!("expected a peer alert, got {other}"),
+    }
+    let stats = server.stats();
+    assert!(eventually(|| stats.errors() == 1), "got {}", stats.errors());
+    assert!(eventually(|| stats.alerts_sent() >= 1));
+    server.shutdown();
+}
+
+/// The crypto-offload serving path end to end: an event-loop server with
+/// 2 crypto workers holds 16 concurrent connections, routes every RSA
+/// decryption through the pool, and serves all transactions cleanly with
+/// the queue-wait/execution split accounted.
+#[test]
+fn event_loop_offload_serves_concurrent_connections() {
+    let options = ServerOptions { shards: 2, crypto_workers: 2, ..ServerOptions::default() };
+    let server = EventLoopServer::start(key(), "net.sslperf.test", &options).expect("server start");
+
+    let load = EventLoadOptions {
+        connections: 16,
+        file_size: 1024,
+        suite: CipherSuite::RsaDesCbc3Sha,
+        hold_until_all_established: true,
+        deadline: Duration::from_secs(60),
+    };
+    let report = run_event_load(server.local_addr(), &load).expect("event load");
+    assert_eq!(report.peak_established, 16, "held concurrently while decrypts were pooled");
+    assert_eq!(report.transactions, 16);
+
+    let stats = server.stats();
+    assert!(eventually(|| stats.full_handshakes() == 16), "got {}", stats.full_handshakes());
+    assert_eq!(stats.crypto_jobs(), 16, "one pooled decrypt per full handshake");
+    assert!(stats.crypto_queue_depth_max() >= 1);
+    assert!(stats.crypto_queue_wait().get() > 0, "queue wait attributed");
+    assert!(stats.crypto_exec().get() > 0, "execution attributed");
+    assert_eq!(stats.errors(), 0, "clean run");
+    server.shutdown();
+}
+
 /// Concurrent resuming clients against an event-loop server with a tiny
 /// session cache: eviction churn forces full-handshake fallbacks, and the
 /// hit/miss and full/resumed counters stay exactly consistent.

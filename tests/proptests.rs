@@ -236,4 +236,125 @@ proptest! {
         secret2[0] ^= 1;
         prop_assert_ne!(a, sslperf::ssl::kdf::derive(&secret2, &r1, &r2, 64));
     }
+
+    // ---- adversarial bignum shapes ----
+    //
+    // The random-word generators above rarely produce the operand shapes
+    // that break schoolbook division and Montgomery reduction in practice:
+    // divisors longer than dividends, limbs of all ones (maximum carry
+    // propagation), and operands straddling word boundaries (2^32k ± ε).
+    // These strategies construct exactly those shapes.
+
+    /// Divisor one word longer than the dividend: the quotient must be
+    /// zero and the remainder the dividend itself, with no scratch-space
+    /// under/overflow in the normalisation step.
+    #[test]
+    fn division_by_longer_divisor_is_identity(
+        a in vec(any::<u32>(), 0..6),
+        extra in 1u32..,
+    ) {
+        let dividend = bn_from(&a);
+        let mut wider = a.clone();
+        wider.push(extra); // strictly one word longer, top word nonzero
+        let divisor = bn_from(&wider);
+        prop_assume!(!divisor.is_zero());
+        let (q, r) = dividend.div_rem(&divisor);
+        prop_assert!(q.is_zero(), "quotient must be zero: {}", q.to_hex());
+        prop_assert_eq!(r, dividend);
+    }
+
+    /// All-ones limbs everywhere: dividend and divisor both 2^32k - 1
+    /// shapes, the maximum-carry stress for the trial-digit loop.
+    #[test]
+    fn division_survives_all_ones_limbs(a_len in 1usize..10, b_len in 1usize..6) {
+        let a = bn_from(&vec![u32::MAX; a_len]);
+        let b = bn_from(&vec![u32::MAX; b_len]);
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        // (2^(32k)-1) mod (2^(32j)-1) = 2^(32*(k mod j))-1: check against
+        // the closed form.
+        let expect_r = bn_from(&vec![u32::MAX; a_len % b_len]);
+        prop_assert_eq!(a.mod_op(&b), expect_r);
+    }
+
+    /// Operands straddling word boundaries (2^32k ± ε for tiny ε): the
+    /// shapes where a sloppy normalisation or borrow drops a limb.
+    #[test]
+    fn division_at_word_boundaries_reconstructs(
+        k in 1usize..8,
+        j in 1usize..5,
+        eps_a in 0u32..3,
+        eps_b in 1u32..3,
+        sign_a in any::<bool>(),
+        sign_b in any::<bool>(),
+    ) {
+        let boundary = |words: usize, eps: u32, plus: bool| {
+            let mut v = vec![0u32; words];
+            v.push(1); // 2^(32*words)
+            let base = bn_from(&v);
+            let eps = Bn::from_u64(u64::from(eps));
+            if plus { base.add(&eps) } else { base.sub(&eps) }
+        };
+        let a = boundary(k, eps_a, sign_a);
+        let b = boundary(j, eps_b, sign_b);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        // Word-sized divisor path must agree with the general path.
+        let (qw, rw) = a.div_rem_word(3);
+        prop_assert_eq!(qw.mul(&Bn::from_u64(3)).add(&Bn::from_u64(u64::from(rw))), a);
+        prop_assert_eq!(a.mod_word(3), rw);
+    }
+
+    /// Montgomery multiply equals plain modular multiply on adversarial
+    /// moduli: all-ones limbs (2^32k - 1 is odd) and boundary+1 shapes.
+    #[test]
+    fn mont_mul_matches_mod_mul_on_adversarial_moduli(
+        n_len in 1usize..6,
+        a in vec(any::<u32>(), 0..6),
+        b in vec(any::<u32>(), 0..6),
+        boundary_modulus in any::<bool>(),
+    ) {
+        use sslperf::bignum::MontCtx;
+        let n = if boundary_modulus {
+            // 2^(32k) + 1: odd, single high limb, zeros in between.
+            let mut v = vec![1u32];
+            v.extend(std::iter::repeat_n(0, n_len.saturating_sub(1)));
+            v.push(1);
+            bn_from(&v)
+        } else {
+            bn_from(&vec![u32::MAX; n_len]) // 2^(32k) - 1: odd, all ones
+        };
+        prop_assume!(!n.is_one());
+        let ctx = MontCtx::new(&n).expect("odd modulus");
+        let (a, b) = (bn_from(&a).mod_op(&n), bn_from(&b).mod_op(&n));
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        prop_assert_eq!(ctx.from_mont(&ctx.mont_mul(&am, &bm)), a.mod_mul(&b, &n));
+        prop_assert_eq!(ctx.from_mont(&ctx.mont_sqr(&am)), a.mod_mul(&a, &n));
+        // Round trip: to_mont then from_mont is the identity on residues.
+        prop_assert_eq!(ctx.from_mont(&am), a);
+    }
+
+    /// Montgomery exponentiation (square-and-multiply and windowed) agrees
+    /// with the naive oracle on the same adversarial moduli.
+    #[test]
+    fn mont_exp_matches_naive_on_adversarial_moduli(
+        n_len in 1usize..4,
+        base in vec(any::<u32>(), 0..4),
+        exp in vec(any::<u32>(), 0..3),
+        window in 2u32..6,
+    ) {
+        use sslperf::bignum::MontCtx;
+        let n = bn_from(&vec![u32::MAX; n_len]);
+        prop_assume!(!n.is_one());
+        let ctx = MontCtx::new(&n).expect("odd modulus");
+        let base = bn_from(&base).mod_op(&n);
+        let exp = bn_from(&exp);
+        let expect = base.mod_exp_simple(&exp, &n);
+        prop_assert_eq!(ctx.mod_exp(&base, &exp), expect.clone());
+        prop_assert_eq!(ctx.mod_exp_window(&base, &exp, window), expect);
+    }
 }
