@@ -117,11 +117,14 @@ pub enum ExperimentId {
     /// Crypto-offload ablation: inline RSA vs the event-loop crypto
     /// worker pool at 1/2/4 workers (§5 "parallel crypto engines").
     CryptoOffload,
+    /// Tables 1-3 measured live from the serving layer's metrics registry
+    /// instead of the in-process pipeline.
+    LiveAnatomy,
 }
 
 impl ExperimentId {
     /// Every experiment, in paper order.
-    pub const ALL: [ExperimentId; 17] = [
+    pub const ALL: [ExperimentId; 18] = [
         ExperimentId::Table1,
         ExperimentId::Fig2,
         ExperimentId::Table2,
@@ -139,6 +142,7 @@ impl ExperimentId {
         ExperimentId::SuiteSweep,
         ExperimentId::LoadedServer,
         ExperimentId::CryptoOffload,
+        ExperimentId::LiveAnatomy,
     ];
 
     /// The human-readable name ("Table 1", "Figure 3", ...).
@@ -162,6 +166,7 @@ impl ExperimentId {
             ExperimentId::SuiteSweep => "Suite sweep",
             ExperimentId::LoadedServer => "Loaded server",
             ExperimentId::CryptoOffload => "Crypto offload",
+            ExperimentId::LiveAnatomy => "Live anatomy",
         }
     }
 }
@@ -223,6 +228,7 @@ pub fn run_report(ctx: &Context, id: ExperimentId) -> Result<Report, ExperimentE
         ExperimentId::SuiteSweep => webserver::suite_sweep(ctx)?.to_string(),
         ExperimentId::LoadedServer => netload::loaded_server(ctx)?.to_string(),
         ExperimentId::CryptoOffload => netload::crypto_offload(ctx)?.to_string(),
+        ExperimentId::LiveAnatomy => netload::live_anatomy(ctx)?.to_string(),
     };
     Ok(Report { id, rendered })
 }

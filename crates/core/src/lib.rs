@@ -66,7 +66,10 @@ pub mod prelude {
     pub use crate::{Context, ContextBuilder, ContextError};
     pub use sslperf_ciphers::{Aes, BlockCipher, Cbc, Des, Des3, Rc4};
     pub use sslperf_hashes::{HashAlg, Hasher, Hmac, Md5, Sha1};
-    pub use sslperf_net::{EventLoopServer, ServerOptions, ShardedSessionCache, TcpSslServer};
+    pub use sslperf_net::{
+        EventLoopServer, MetricsSnapshot, ServerMetrics, ServerOptions, ShardedSessionCache,
+        TcpSslServer,
+    };
     pub use sslperf_profile::{Cycles, PhaseSet, Table};
     pub use sslperf_rng::SslRng;
     pub use sslperf_rsa::{RsaPrivateKey, RsaPublicKey};

@@ -91,7 +91,7 @@ const KEY: u32 = 0x3000;
 /// The RC4 key-schedule algorithm (KSA): 256 swaps over the state table,
 /// with the wrapping key pointer the paper's Figure 3 charges to "key
 /// setup". Register contract: none (all set up internally); `key_len`
-/// bytes are read cyclically from [`KEY`].
+/// bytes are read cyclically from the key region (`KEY`).
 ///
 /// # Panics
 ///

@@ -5,13 +5,16 @@
 //! lock is the first thing to contend. [`ShardedSessionCache`] stripes the
 //! id space over N independently locked shards (FNV-1a of the session id
 //! picks the shard), bounds each shard with least-recently-used eviction,
-//! and counts hits and misses so load generators can report resumption
-//! rates.
+//! optionally expires sessions by age ([`ShardedSessionCache::with_ttl`] —
+//! an expired entry is removed on lookup and counts as a miss, forcing the
+//! client back through a full handshake), and counts hits and misses so
+//! load generators can report resumption rates.
 
 use sslperf_ssl::{CachedSession, SessionCache};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Per-shard state: the id map plus a logical clock for LRU stamps.
 #[derive(Debug, Default)]
@@ -24,6 +27,10 @@ struct Shard {
 struct Entry {
     session: CachedSession,
     stamp: u64,
+    /// When the session was stored; compared against the cache TTL on
+    /// lookup (refreshing a hit does *not* reset it — session lifetime is
+    /// measured from key establishment, not last use).
+    created: Instant,
 }
 
 /// Mutex-striped LRU session cache; see the module docs.
@@ -31,26 +38,46 @@ struct Entry {
 pub struct ShardedSessionCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    /// Session lifetime: entries older than this are removed on lookup and
+    /// count as misses. `None` (the default) never expires by age.
+    ttl: Option<Duration>,
     hits: AtomicU64,
     misses: AtomicU64,
+    expired: AtomicU64,
 }
 
 impl ShardedSessionCache {
     /// A cache with `shards` stripes holding at most `capacity_per_shard`
-    /// sessions each.
+    /// sessions each and no age-based expiry.
     ///
     /// # Panics
     ///
     /// Panics when either parameter is zero.
     #[must_use]
     pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        Self::with_ttl(shards, capacity_per_shard, None)
+    }
+
+    /// A cache whose sessions additionally expire `ttl` after being
+    /// stored. An expired entry behaves exactly like an absent one — the
+    /// lookup counts as a miss, the entry is removed, and the client falls
+    /// back to a full handshake — which is SSL's defense against
+    /// indefinitely resumable master secrets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` or `capacity_per_shard` is zero.
+    #[must_use]
+    pub fn with_ttl(shards: usize, capacity_per_shard: usize, ttl: Option<Duration>) -> Self {
         assert!(shards > 0, "at least one shard");
         assert!(capacity_per_shard > 0, "shards must hold at least one session");
         ShardedSessionCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             capacity_per_shard,
+            ttl,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
         }
     }
 
@@ -89,17 +116,25 @@ impl ShardedSessionCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Non-empty-id lookups that found nothing (evicted, tampered, or
-    /// never stored).
+    /// Non-empty-id lookups that found nothing (evicted, expired,
+    /// tampered, or never stored).
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Resets the hit/miss counters (entries are untouched).
+    /// Lookups that found an entry past the session TTL (a subset of
+    /// [`ShardedSessionCache::misses`]).
+    #[must_use]
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Resets the hit/miss/expired counters (entries are untouched).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.expired.store(0, Ordering::Relaxed);
     }
 }
 
@@ -112,6 +147,16 @@ impl SessionCache for ShardedSessionCache {
         let mut shard = self.shards[self.shard_index(id)].lock().expect("shard lock");
         shard.clock += 1;
         let stamp = shard.clock;
+        let expired = shard
+            .entries
+            .get(id)
+            .is_some_and(|e| self.ttl.is_some_and(|ttl| e.created.elapsed() >= ttl));
+        if expired {
+            shard.entries.remove(id);
+            self.expired.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         match shard.entries.get_mut(id) {
             Some(entry) => {
                 entry.stamp = stamp;
@@ -129,7 +174,7 @@ impl SessionCache for ShardedSessionCache {
         let mut shard = self.shards[self.shard_index(&id)].lock().expect("shard lock");
         shard.clock += 1;
         let stamp = shard.clock;
-        shard.entries.insert(id, Entry { session, stamp });
+        shard.entries.insert(id, Entry { session, stamp, created: Instant::now() });
         if shard.entries.len() > self.capacity_per_shard {
             let oldest = shard
                 .entries
@@ -196,6 +241,37 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses()), (1, 1), "empty id is not a miss");
         cache.reset_stats();
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn ttl_expires_entries_on_lookup() {
+        let cache = ShardedSessionCache::with_ttl(2, 8, Some(Duration::ZERO));
+        cache.store(vec![1; 16], session(1));
+        assert_eq!(cache.len(), 1);
+        // Zero TTL: already expired by lookup time — removed, counted as a
+        // miss, and flagged in the expired counter.
+        assert!(cache.lookup(&[1; 16]).is_none());
+        assert_eq!(cache.len(), 0, "expired entry is removed");
+        assert_eq!((cache.hits(), cache.misses(), cache.expired()), (0, 1, 1));
+        // A second lookup is a plain miss, not another expiry.
+        assert!(cache.lookup(&[1; 16]).is_none());
+        assert_eq!((cache.misses(), cache.expired()), (2, 1));
+    }
+
+    #[test]
+    fn ttl_keeps_fresh_entries() {
+        let cache = ShardedSessionCache::with_ttl(2, 8, Some(Duration::from_secs(3600)));
+        cache.store(vec![2; 16], session(2));
+        assert!(cache.lookup(&[2; 16]).is_some(), "fresh entry survives");
+        assert_eq!((cache.hits(), cache.misses(), cache.expired()), (1, 0, 0));
+    }
+
+    #[test]
+    fn no_ttl_never_expires() {
+        let cache = ShardedSessionCache::new(1, 4);
+        cache.store(vec![3; 16], session(3));
+        assert!(cache.lookup(&[3; 16]).is_some());
+        assert_eq!(cache.expired(), 0);
     }
 
     #[test]

@@ -28,7 +28,9 @@
 
 use crate::cache::ShardedSessionCache;
 use crate::cryptopool::CryptoPool;
-use crate::server::{alert_for_close, respond, ServerOptions, ServerStats};
+use crate::metrics::ServerMetrics;
+use crate::server::{alert_for_close, serve_request, ServerOptions, ServerStats};
+use sslperf_profile::measure;
 use sslperf_rng::SslRng;
 use sslperf_rsa::RsaPrivateKey;
 use sslperf_ssl::alert::{Alert, AlertDescription};
@@ -65,6 +67,7 @@ pub struct EventLoopServer {
     config: Arc<ServerConfig>,
     /// The RSA offload pool, present when `crypto_workers > 0`.
     pool: Option<Arc<CryptoPool>>,
+    metrics: Option<Arc<ServerMetrics>>,
 }
 
 impl EventLoopServer {
@@ -86,9 +89,10 @@ impl EventLoopServer {
         options: &ServerOptions,
     ) -> Result<Self, SslError> {
         assert!(options.shards > 0, "at least one shard");
-        let cache = Arc::new(ShardedSessionCache::new(
+        let cache = Arc::new(ShardedSessionCache::with_ttl(
             options.cache_shards,
             options.cache_capacity_per_shard,
+            options.session_ttl,
         ));
         let config = Arc::new(ServerConfig::with_cache(key, name, Box::new(Arc::clone(&cache)))?);
         let listener = TcpListener::bind(&options.addr).map_err(|e| SslError::Io(e.to_string()))?;
@@ -106,6 +110,7 @@ impl EventLoopServer {
                 Arc::clone(&stats),
             ))
         });
+        let metrics = options.metrics.then(|| Arc::new(ServerMetrics::new()));
         let shards = (0..options.shards)
             .map(|shard| {
                 let listener = Arc::clone(&listener);
@@ -113,6 +118,7 @@ impl EventLoopServer {
                 let stats = Arc::clone(&stats);
                 let stop = Arc::clone(&stop);
                 let pool = pool.clone();
+                let metrics = metrics.clone();
                 std::thread::spawn(move || {
                     shard_loop(
                         shard,
@@ -122,12 +128,13 @@ impl EventLoopServer {
                         &stop,
                         io_timeout,
                         pool.as_deref(),
+                        metrics.as_deref(),
                     );
                 })
             })
             .collect();
 
-        Ok(EventLoopServer { addr, stop, shards, stats, cache, config, pool })
+        Ok(EventLoopServer { addr, stop, shards, stats, cache, config, pool, metrics })
     }
 
     /// The bound address clients should connect to.
@@ -152,6 +159,13 @@ impl EventLoopServer {
     #[must_use]
     pub fn config(&self) -> &Arc<ServerConfig> {
         &self.config
+    }
+
+    /// The live anatomy registry, present when
+    /// [`ServerOptions::metrics`] was set.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&ServerMetrics> {
+        self.metrics.as_deref()
     }
 
     /// Stops accepting, closes every in-flight connection, and joins the
@@ -191,6 +205,9 @@ struct Offload<'p> {
 /// crypto pool attached, RSA decryptions leave the sweep as jobs and
 /// return through the shard's reply channel — one stalled handshake no
 /// longer blocks the whole shard.
+// One parameter per shared serving facility; bundling them would only
+// re-create this list as a struct.
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
     shard: usize,
     listener: &TcpListener,
@@ -199,6 +216,7 @@ fn shard_loop(
     stop: &AtomicBool,
     io_timeout: Option<Duration>,
     pool: Option<&CryptoPool>,
+    metrics: Option<&ServerMetrics>,
 ) {
     let mut conns: Vec<Conn<'_>> = Vec::new();
     let mut scratch = vec![0u8; SCRATCH_LEN];
@@ -213,9 +231,15 @@ fn shard_loop(
                 Ok((stream, _)) => {
                     progress = true;
                     seq += 1;
-                    if let Some(conn) =
-                        Conn::accept(stream, config, shard, seq, io_timeout, offload.is_some())
-                    {
+                    if let Some(conn) = Conn::accept(
+                        stream,
+                        config,
+                        shard,
+                        seq,
+                        io_timeout,
+                        offload.is_some(),
+                        metrics,
+                    ) {
                         conns.push(conn);
                     }
                 }
@@ -281,6 +305,8 @@ struct Conn<'a> {
     draining: bool,
     /// Finished; the shard drops the connection on its next sweep.
     done: bool,
+    /// The live anatomy registry, when the server enabled it.
+    metrics: Option<&'a ServerMetrics>,
 }
 
 impl<'a> Conn<'a> {
@@ -293,6 +319,7 @@ impl<'a> Conn<'a> {
         seq: u64,
         io_timeout: Option<Duration>,
         offload: bool,
+        metrics: Option<&'a ServerMetrics>,
     ) -> Option<Self> {
         stream.set_nonblocking(true).ok()?;
         let _ = stream.set_nodelay(true);
@@ -310,12 +337,20 @@ impl<'a> Conn<'a> {
             parked: None,
             draining: false,
             done: false,
+            metrics,
         })
     }
 
     /// Pushes the deadline out after any successful read or write.
     fn touch(&mut self, now: Instant) {
         self.deadline = self.io_timeout.map(|t| now + t);
+    }
+
+    /// True while this connection's RSA decryption is queued, executing,
+    /// parked for resubmission, or suspended in the engine — time that
+    /// must not count against the client's `io_timeout`.
+    fn crypto_pending(&self) -> bool {
+        self.inflight || self.parked.is_some() || self.engine.crypto_pending()
     }
 
     /// Makes whatever progress the socket allows: deadline check, parked
@@ -334,20 +369,30 @@ impl<'a> Conn<'a> {
         progress |= self.submit_crypto(offload);
 
         // Deadline eviction (the event-loop half of the slowloris guard).
+        // A connection whose RSA job sits in the crypto queue is stalled on
+        // *us*, not the client: evicting it would count a spurious timeout
+        // and deliver the executed result to a dead slot. Defer the
+        // deadline instead, and count the deferral so saturation stays
+        // visible in the stats.
         if !self.draining && !self.done {
             if let Some(deadline) = self.deadline {
                 if now >= deadline {
-                    stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                    let alert = if self.engine.is_established() {
-                        Alert::close_notify()
+                    if self.crypto_pending() {
+                        stats.crypto_deadline_deferrals.fetch_add(1, Ordering::Relaxed);
+                        self.touch(now);
                     } else {
-                        Alert::fatal(AlertDescription::HandshakeFailure)
-                    };
-                    if self.engine.queue_alert(alert).is_ok() {
-                        stats.alerts_sent.fetch_add(1, Ordering::Relaxed);
+                        stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        let alert = if self.engine.is_established() {
+                            Alert::close_notify()
+                        } else {
+                            Alert::fatal(AlertDescription::HandshakeFailure)
+                        };
+                        if self.engine.queue_alert(alert).is_ok() {
+                            stats.alerts_sent.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.draining = true;
+                        progress = true;
                     }
-                    self.draining = true;
-                    progress = true;
                 }
             }
         }
@@ -464,8 +509,15 @@ impl<'a> Conn<'a> {
     /// resume produced is flushed by the next write phase.
     fn finish_crypto(&mut self, done: CryptoDone, stats: &ServerStats) {
         self.inflight = false;
+        // The queue wait is over; the client's timeout window restarts
+        // now rather than from its last pre-suspension byte.
+        self.touch(Instant::now());
         if self.draining || self.done {
             return;
+        }
+        if let Some(m) = self.metrics {
+            let depth = stats.crypto_queue_depth.load(Ordering::Relaxed);
+            m.note_pool_job(depth, done.queue_wait(), done.exec());
         }
         match self.engine.complete_crypto(done) {
             Ok(()) => {
@@ -490,24 +542,45 @@ impl<'a> Conn<'a> {
         } else {
             stats.full_handshakes.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(m) = self.metrics {
+            m.note_handshake(&self.engine.machine().ledger());
+        }
     }
 
     /// Opens every complete buffered application record and seals a
     /// response for each — the HTTP transaction loop, event-loop style.
+    ///
+    /// With metrics on, each open and seal is timed end-to-end (pure
+    /// compute here — the sans-io engine never touches the socket), and
+    /// the crypto-kernel share is read as the delta of the record layer's
+    /// monotone crypto counter around the call.
     fn drain_requests(&mut self, stats: &ServerStats) {
         while !self.draining {
-            match self.engine.open_next() {
+            let crypto_before = self.engine.machine().record_crypto_cycles();
+            let (opened, open_cycles) = measure(|| self.engine.open_next());
+            match opened {
                 Ok(Some(range)) => {
+                    if let Some(m) = self.metrics {
+                        let crypto = self.engine.machine().record_crypto_cycles() - crypto_before;
+                        m.note_record_open(range.len(), open_cycles, crypto);
+                    }
                     let response = match HttpRequest::parse(&self.engine.buffered()[range]) {
-                        Ok(request) => respond(&request),
+                        Ok(request) => serve_request(&request, self.metrics),
                         Err(e) => {
                             self.fail(&e, stats);
                             return;
                         }
                     };
-                    if let Err(e) = self.engine.seal(&response.to_bytes()) {
+                    let body = response.to_bytes();
+                    let crypto_before = self.engine.machine().record_crypto_cycles();
+                    let (sealed, seal_cycles) = measure(|| self.engine.seal(&body));
+                    if let Err(e) = sealed {
                         self.fail(&e, stats);
                         return;
+                    }
+                    if let Some(m) = self.metrics {
+                        let crypto = self.engine.machine().record_crypto_cycles() - crypto_before;
+                        m.note_record_seal(body.len(), seal_cycles, crypto);
                     }
                     stats.transactions.fetch_add(1, Ordering::Relaxed);
                 }

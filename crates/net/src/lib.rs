@@ -40,9 +40,11 @@
 mod cache;
 mod cryptopool;
 mod eventloop;
+mod metrics;
 mod server;
 
 pub use cache::ShardedSessionCache;
 pub use cryptopool::CryptoPool;
 pub use eventloop::EventLoopServer;
+pub use metrics::{MetricsSnapshot, ServerMetrics, StepSnapshot};
 pub use server::{ServerOptions, ServerStats, TcpSslServer};

@@ -1,0 +1,525 @@
+//! Live handshake-anatomy metrics for the serving layer.
+//!
+//! The paper's Tables 1–3 come from profiling an Apache/mod_ssl server
+//! under load; [`ServerMetrics`] reproduces that anatomy *live* from real
+//! sockets instead of post-hoc from a profiler. Every connection feeds its
+//! per-step handshake ledger ([`HandshakeLedger`]) and per-record crypto
+//! cycles into one shared registry built from the lock-cheap primitives in
+//! `sslperf-metrics`: atomic counters for totals, log-linear histograms
+//! for latency quantiles (p50/p95/p99 without storing samples). Recording
+//! is a handful of relaxed atomic adds — no locks, no allocation — so the
+//! steady-state record path stays zero-copy *and* zero-alloc with metrics
+//! enabled.
+//!
+//! [`ServerMetrics::snapshot`] freezes the registry into a
+//! [`MetricsSnapshot`], whose [`render`](MetricsSnapshot::render) lays the
+//! live data out in the paper's shapes: Table 2 (step latency shares of
+//! the full handshake), Table 3 (crypto share of handshake processing),
+//! and Table 1 (libcrypto/libssl/other split per transaction). The same
+//! text is served over `GET /metrics` when
+//! [`ServerOptions::metrics`](crate::ServerOptions::metrics) is on — the
+//! exposition-endpoint pattern, minus any wire-format commitments.
+
+use sslperf_metrics::{Gauge, Histogram, HistogramSnapshot};
+use sslperf_profile::{Align, Cycles, Table};
+use sslperf_ssl::{HandshakeLedger, SERVER_STEP_NAMES};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The shared, lock-cheap metrics registry for one running server.
+///
+/// Handed to every shard/worker as `Option<&ServerMetrics>`; `None` keeps
+/// the serving paths free of even the atomic adds. All recording methods
+/// take `&self` and are safe to call from any thread.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Per-step handshake latency, full handshakes only (Table 2 rows).
+    steps: [Histogram; 10],
+    /// Step 5's offload split: cycles queued in the crypto pool.
+    rsa_queue_wait: Histogram,
+    /// Step 5's offload split: cycles executing the RSA private decryption.
+    rsa_private_decryption: Histogram,
+    /// End-to-end handshake cycles, full key exchange.
+    full_handshake: Histogram,
+    /// End-to-end handshake cycles, session resumption.
+    resumed_handshake: Histogram,
+    /// Crypto cycles summed over full handshakes (Table 3 numerator).
+    full_crypto_cycles: AtomicU64,
+    /// Crypto cycles summed over resumed handshakes.
+    resumed_crypto_cycles: AtomicU64,
+    /// Application records decrypted / encrypted after the handshake.
+    records_opened: AtomicU64,
+    records_sealed: AtomicU64,
+    /// Application payload bytes through the record layer.
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    /// Cycles in the record layer's open / seal paths (libssl + libcrypto).
+    open_cycles: AtomicU64,
+    seal_cycles: AtomicU64,
+    /// Cycles inside cipher + MAC kernels during open/seal (libcrypto only).
+    record_crypto_cycles: AtomicU64,
+    /// Cycles synthesizing HTTP responses (the paper's "other").
+    respond_cycles: AtomicU64,
+    /// HTTP transactions measured into the counters above.
+    transactions: AtomicU64,
+    /// Crypto-pool backlog at submission time (gauge tracks the max).
+    pool_queue_depth: Gauge,
+    /// Per-job crypto-pool queue wait / execution cycles.
+    pool_wait: Histogram,
+    pool_exec: Histogram,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ServerMetrics {
+            steps: std::array::from_fn(|_| Histogram::new()),
+            rsa_queue_wait: Histogram::new(),
+            rsa_private_decryption: Histogram::new(),
+            full_handshake: Histogram::new(),
+            resumed_handshake: Histogram::new(),
+            full_crypto_cycles: AtomicU64::new(0),
+            resumed_crypto_cycles: AtomicU64::new(0),
+            records_opened: AtomicU64::new(0),
+            records_sealed: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            open_cycles: AtomicU64::new(0),
+            seal_cycles: AtomicU64::new(0),
+            record_crypto_cycles: AtomicU64::new(0),
+            respond_cycles: AtomicU64::new(0),
+            transactions: AtomicU64::new(0),
+            pool_queue_depth: Gauge::new(),
+            pool_wait: Histogram::new(),
+            pool_exec: Histogram::new(),
+        }
+    }
+
+    /// Feeds one completed handshake's anatomy into the registry.
+    ///
+    /// Full handshakes populate the per-step histograms and the Table 3
+    /// crypto accumulators; resumed handshakes only record their
+    /// end-to-end latency (their step mix is not the paper's Table 2).
+    pub fn note_handshake(&self, ledger: &HandshakeLedger) {
+        if ledger.resumed {
+            self.resumed_handshake.record(ledger.total.get());
+            self.resumed_crypto_cycles.fetch_add(ledger.crypto.get(), Ordering::Relaxed);
+            return;
+        }
+        self.full_handshake.record(ledger.total.get());
+        self.full_crypto_cycles.fetch_add(ledger.crypto.get(), Ordering::Relaxed);
+        for (hist, (_, cycles)) in self.steps.iter().zip(ledger.steps.iter()) {
+            hist.record(cycles.get());
+        }
+        if ledger.rsa_queue_wait.get() > 0 {
+            self.rsa_queue_wait.record(ledger.rsa_queue_wait.get());
+        }
+        if ledger.rsa_private_decryption.get() > 0 {
+            self.rsa_private_decryption.record(ledger.rsa_private_decryption.get());
+        }
+    }
+
+    /// Records one application record decrypted on the read path:
+    /// `payload` plaintext bytes, `cycles` across the whole open, of which
+    /// `crypto` were inside cipher + MAC kernels.
+    pub fn note_record_open(&self, payload: usize, cycles: Cycles, crypto: Cycles) {
+        self.records_opened.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(payload as u64, Ordering::Relaxed);
+        self.open_cycles.fetch_add(cycles.get(), Ordering::Relaxed);
+        self.record_crypto_cycles.fetch_add(crypto.get(), Ordering::Relaxed);
+    }
+
+    /// Records one application record sealed on the write path (same
+    /// accounting as [`ServerMetrics::note_record_open`]).
+    pub fn note_record_seal(&self, payload: usize, cycles: Cycles, crypto: Cycles) {
+        self.records_sealed.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(payload as u64, Ordering::Relaxed);
+        self.seal_cycles.fetch_add(cycles.get(), Ordering::Relaxed);
+        self.record_crypto_cycles.fetch_add(crypto.get(), Ordering::Relaxed);
+    }
+
+    /// Records one HTTP transaction: the cycles spent synthesizing the
+    /// response (the paper's non-SSL "other" share).
+    pub fn note_response(&self, cycles: Cycles) {
+        self.transactions.fetch_add(1, Ordering::Relaxed);
+        self.respond_cycles.fetch_add(cycles.get(), Ordering::Relaxed);
+    }
+
+    /// Records one executed crypto-pool job: a backlog-depth sample taken
+    /// as the result lands, queue wait, and execution cycles.
+    pub fn note_pool_job(&self, depth: u64, wait: Cycles, exec: Cycles) {
+        self.pool_queue_depth.set(depth);
+        self.pool_wait.record(wait.get());
+        self.pool_exec.record(exec.get());
+    }
+
+    /// Freezes the registry into an owned, renderable snapshot.
+    ///
+    /// Counters are read individually with relaxed ordering, so a snapshot
+    /// taken while traffic is in flight is approximate at record
+    /// granularity — fine for an exposition endpoint.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            steps: std::array::from_fn(|i| StepSnapshot {
+                name: SERVER_STEP_NAMES[i],
+                latency: self.steps[i].snapshot(),
+            }),
+            rsa_queue_wait: self.rsa_queue_wait.snapshot(),
+            rsa_private_decryption: self.rsa_private_decryption.snapshot(),
+            full_handshake: self.full_handshake.snapshot(),
+            resumed_handshake: self.resumed_handshake.snapshot(),
+            full_crypto_cycles: self.full_crypto_cycles.load(Ordering::Relaxed),
+            resumed_crypto_cycles: self.resumed_crypto_cycles.load(Ordering::Relaxed),
+            records_opened: self.records_opened.load(Ordering::Relaxed),
+            records_sealed: self.records_sealed.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            open_cycles: self.open_cycles.load(Ordering::Relaxed),
+            seal_cycles: self.seal_cycles.load(Ordering::Relaxed),
+            record_crypto_cycles: self.record_crypto_cycles.load(Ordering::Relaxed),
+            respond_cycles: self.respond_cycles.load(Ordering::Relaxed),
+            transactions: self.transactions.load(Ordering::Relaxed),
+            pool_queue_depth_max: self.pool_queue_depth.max(),
+            pool_wait: self.pool_wait.snapshot(),
+            pool_exec: self.pool_exec.snapshot(),
+        }
+    }
+}
+
+/// One handshake step's frozen latency distribution.
+#[derive(Debug, Clone)]
+pub struct StepSnapshot {
+    /// The step's name from [`SERVER_STEP_NAMES`].
+    pub name: &'static str,
+    /// Cycle latency distribution across full handshakes.
+    pub latency: HistogramSnapshot,
+}
+
+/// A point-in-time copy of a [`ServerMetrics`] registry.
+///
+/// All fields are plain owned data; [`MetricsSnapshot::render`] lays them
+/// out in the paper's table shapes.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Per-step latency across full handshakes, in paper order (Table 2).
+    pub steps: [StepSnapshot; 10],
+    /// Step 5's crypto-pool queue wait (empty when decrypting inline).
+    pub rsa_queue_wait: HistogramSnapshot,
+    /// Step 5's RSA private decryption execution time.
+    pub rsa_private_decryption: HistogramSnapshot,
+    /// End-to-end full-handshake latency.
+    pub full_handshake: HistogramSnapshot,
+    /// End-to-end resumed-handshake latency.
+    pub resumed_handshake: HistogramSnapshot,
+    /// Crypto cycles summed over full handshakes (Table 3 numerator).
+    pub full_crypto_cycles: u64,
+    /// Crypto cycles summed over resumed handshakes.
+    pub resumed_crypto_cycles: u64,
+    /// Application records decrypted after the handshake.
+    pub records_opened: u64,
+    /// Application records sealed after the handshake.
+    pub records_sealed: u64,
+    /// Plaintext bytes received through the record layer.
+    pub bytes_in: u64,
+    /// Plaintext bytes sent through the record layer.
+    pub bytes_out: u64,
+    /// Total cycles in the record-open path.
+    pub open_cycles: u64,
+    /// Total cycles in the record-seal path.
+    pub seal_cycles: u64,
+    /// Cycles inside cipher + MAC kernels during open/seal.
+    pub record_crypto_cycles: u64,
+    /// Cycles synthesizing HTTP responses.
+    pub respond_cycles: u64,
+    /// HTTP transactions measured.
+    pub transactions: u64,
+    /// High-water mark of the crypto-pool backlog.
+    pub pool_queue_depth_max: u64,
+    /// Per-job crypto-pool queue wait distribution.
+    pub pool_wait: HistogramSnapshot,
+    /// Per-job crypto-pool execution distribution.
+    pub pool_exec: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Crypto's share of full-handshake processing, in percent — the live
+    /// Table 3 number (the paper reports ~91% at 1024-bit keys).
+    #[must_use]
+    pub fn handshake_crypto_percent(&self) -> f64 {
+        percent(self.full_crypto_cycles, self.full_handshake.sum())
+    }
+
+    /// One step's share of full-handshake cycles, in percent (a Table 2
+    /// cell). Unknown step names return 0.
+    #[must_use]
+    pub fn step_percent(&self, name: &str) -> f64 {
+        let total = self.full_handshake.sum();
+        self.steps.iter().find(|s| s.name == name).map_or(0.0, |s| percent(s.latency.sum(), total))
+    }
+
+    /// Cycles per transaction attributed to libcrypto (cipher, hash, RSA
+    /// kernels): the amortized handshake crypto plus bulk record crypto.
+    #[must_use]
+    pub fn libcrypto_cycles_per_transaction(&self) -> u64 {
+        let handshake = self.full_crypto_cycles + self.resumed_crypto_cycles;
+        per(handshake + self.record_crypto_cycles, self.transactions)
+    }
+
+    /// Cycles per transaction attributed to libssl (protocol framing, MAC
+    /// scheduling, state machines): handshake and record-path cycles that
+    /// were *not* inside crypto kernels.
+    #[must_use]
+    pub fn libssl_cycles_per_transaction(&self) -> u64 {
+        let handshake = (self.full_handshake.sum() + self.resumed_handshake.sum())
+            .saturating_sub(self.full_crypto_cycles + self.resumed_crypto_cycles);
+        let records =
+            (self.open_cycles + self.seal_cycles).saturating_sub(self.record_crypto_cycles);
+        per(handshake + records, self.transactions)
+    }
+
+    /// Cycles per transaction outside SSL entirely (the HTTP layer).
+    #[must_use]
+    pub fn other_cycles_per_transaction(&self) -> u64 {
+        per(self.respond_cycles, self.transactions)
+    }
+
+    /// Renders the snapshot as the paper's three tables plus the serving
+    /// quantiles — the text served on `GET /metrics`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+
+        // Table 2: where full-handshake time goes, step by step.
+        let mut steps = Table::new("Live Table 2: full-handshake step latencies");
+        steps.columns(&[
+            ("step", Align::Left),
+            ("count", Align::Right),
+            ("mean kc", Align::Right),
+            ("p95 kc", Align::Right),
+            ("share %", Align::Right),
+        ]);
+        for (i, step) in self.steps.iter().enumerate() {
+            steps.row(&[
+                format!("{}. {}", i + 1, step.name),
+                step.latency.count().to_string(),
+                kilo(step.latency.mean()),
+                kilo(step.latency.p95()),
+                format!("{:.1}", self.step_percent(step.name)),
+            ]);
+        }
+        out.push_str(&steps.to_string());
+
+        // Step 5's offload split, when the crypto pool was in play.
+        if self.rsa_queue_wait.count() > 0 || self.rsa_private_decryption.count() > 0 {
+            let mut rsa = Table::new("Step 5 offload split");
+            rsa.columns(&[
+                ("phase", Align::Left),
+                ("count", Align::Right),
+                ("mean kc", Align::Right),
+                ("p95 kc", Align::Right),
+            ]);
+            for (name, h) in [
+                ("rsa_queue_wait", &self.rsa_queue_wait),
+                ("rsa_private_decryption", &self.rsa_private_decryption),
+            ] {
+                rsa.row(&[name.to_string(), h.count().to_string(), kilo(h.mean()), kilo(h.p95())]);
+            }
+            out.push('\n');
+            out.push_str(&rsa.to_string());
+        }
+
+        // Table 3: crypto's share of handshake processing.
+        let mut crypto = Table::new("Live Table 3: crypto share of handshake");
+        crypto.columns(&[
+            ("handshake", Align::Left),
+            ("count", Align::Right),
+            ("total kc", Align::Right),
+            ("crypto kc", Align::Right),
+            ("crypto %", Align::Right),
+        ]);
+        crypto.row(&[
+            "full".to_string(),
+            self.full_handshake.count().to_string(),
+            kilo(self.full_handshake.sum()),
+            kilo(self.full_crypto_cycles),
+            format!("{:.1}", self.handshake_crypto_percent()),
+        ]);
+        crypto.row(&[
+            "resumed".to_string(),
+            self.resumed_handshake.count().to_string(),
+            kilo(self.resumed_handshake.sum()),
+            kilo(self.resumed_crypto_cycles),
+            format!("{:.1}", percent(self.resumed_crypto_cycles, self.resumed_handshake.sum())),
+        ]);
+        out.push('\n');
+        out.push_str(&crypto.to_string());
+
+        // Table 1: the per-transaction library split.
+        let split = [
+            ("libcrypto", self.libcrypto_cycles_per_transaction()),
+            ("libssl", self.libssl_cycles_per_transaction()),
+            ("other", self.other_cycles_per_transaction()),
+        ];
+        let total: u64 = split.iter().map(|(_, c)| *c).sum();
+        let mut table1 = Table::new("Live Table 1: cycles per transaction by library");
+        table1.columns(&[
+            ("library", Align::Left),
+            ("kc/txn", Align::Right),
+            ("share %", Align::Right),
+        ]);
+        for (name, cycles) in split {
+            table1.row(&[name.to_string(), kilo(cycles), format!("{:.1}", percent(cycles, total))]);
+        }
+        out.push('\n');
+        out.push_str(&table1.to_string());
+
+        // Serving quantiles and record-path totals.
+        let mut quant = Table::new("Serving quantiles and totals");
+        quant.columns(&[
+            ("metric", Align::Left),
+            ("count", Align::Right),
+            ("p50 kc", Align::Right),
+            ("p95 kc", Align::Right),
+            ("p99 kc", Align::Right),
+        ]);
+        for (name, h) in [
+            ("full_handshake", &self.full_handshake),
+            ("resumed_handshake", &self.resumed_handshake),
+            ("pool_queue_wait", &self.pool_wait),
+            ("pool_exec", &self.pool_exec),
+        ] {
+            quant.row(&[
+                name.to_string(),
+                h.count().to_string(),
+                kilo(h.p50()),
+                kilo(h.p95()),
+                kilo(h.p99()),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&quant.to_string());
+        out.push_str(&format!(
+            "\ntransactions {} | records in/out {}/{} | bytes in/out {}/{} | \
+             pool depth max {}\n",
+            self.transactions,
+            self.records_opened,
+            self.records_sealed,
+            self.bytes_in,
+            self.bytes_out,
+            self.pool_queue_depth_max,
+        ));
+        out
+    }
+}
+
+/// `part / whole` in percent; 0 when the denominator is empty.
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Integer average; 0 when the denominator is empty.
+fn per(total: u64, count: u64) -> u64 {
+    total.checked_div(count).unwrap_or(0)
+}
+
+/// Cycles rendered in thousands, one decimal.
+fn kilo(cycles: u64) -> String {
+    format!("{:.1}", cycles as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(resumed: bool, step_cost: u64, crypto: u64) -> HandshakeLedger {
+        HandshakeLedger {
+            resumed,
+            steps: std::array::from_fn(|i| (SERVER_STEP_NAMES[i], Cycles::new(step_cost))),
+            total: Cycles::new(step_cost * 10),
+            crypto: Cycles::new(crypto),
+            rsa_queue_wait: Cycles::new(0),
+            rsa_private_decryption: Cycles::new(crypto / 2),
+        }
+    }
+
+    #[test]
+    fn full_handshake_populates_steps_and_crypto_share() {
+        let m = ServerMetrics::new();
+        m.note_handshake(&ledger(false, 100, 900));
+        let snap = m.snapshot();
+        assert_eq!(snap.full_handshake.count(), 1);
+        assert_eq!(snap.full_handshake.sum(), 1000);
+        assert_eq!(snap.full_crypto_cycles, 900);
+        assert!((snap.handshake_crypto_percent() - 90.0).abs() < 1e-9);
+        for step in &snap.steps {
+            assert_eq!(step.latency.count(), 1, "step {}", step.name);
+        }
+        assert_eq!(snap.rsa_private_decryption.count(), 1);
+        assert_eq!(snap.rsa_queue_wait.count(), 0);
+    }
+
+    #[test]
+    fn resumed_handshake_skips_step_histograms() {
+        let m = ServerMetrics::new();
+        m.note_handshake(&ledger(true, 10, 50));
+        let snap = m.snapshot();
+        assert_eq!(snap.resumed_handshake.count(), 1);
+        assert_eq!(snap.full_handshake.count(), 0);
+        assert_eq!(snap.resumed_crypto_cycles, 50);
+        for step in &snap.steps {
+            assert_eq!(step.latency.count(), 0);
+        }
+    }
+
+    #[test]
+    fn per_transaction_split_accounts_every_cycle_once() {
+        let m = ServerMetrics::new();
+        m.note_handshake(&ledger(false, 100, 800));
+        m.note_record_open(64, Cycles::new(300), Cycles::new(200));
+        m.note_record_seal(128, Cycles::new(500), Cycles::new(400));
+        m.note_response(Cycles::new(250));
+        m.note_response(Cycles::new(150));
+        let snap = m.snapshot();
+        assert_eq!(snap.transactions, 2);
+        // libcrypto: (800 handshake + 600 record) / 2 txns.
+        assert_eq!(snap.libcrypto_cycles_per_transaction(), 700);
+        // libssl: (1000-800 handshake) + (800-600 record) = 400 / 2.
+        assert_eq!(snap.libssl_cycles_per_transaction(), 200);
+        assert_eq!(snap.other_cycles_per_transaction(), 200);
+        assert_eq!(snap.bytes_in, 64);
+        assert_eq!(snap.bytes_out, 128);
+    }
+
+    #[test]
+    fn render_contains_all_three_tables() {
+        let m = ServerMetrics::new();
+        m.note_handshake(&ledger(false, 100, 850));
+        m.note_pool_job(3, Cycles::new(40), Cycles::new(400));
+        m.note_response(Cycles::new(10));
+        let text = m.snapshot().render();
+        assert!(text.contains("Live Table 1"), "{text}");
+        assert!(text.contains("Live Table 2"), "{text}");
+        assert!(text.contains("Live Table 3"), "{text}");
+        assert!(text.contains("get_client_kx"), "{text}");
+        assert!(text.contains("Step 5 offload split"), "{text}");
+        assert!(text.contains("pool depth max 3"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_division_blowups() {
+        let text = ServerMetrics::new().snapshot().render();
+        assert!(text.contains("Live Table 2"));
+        assert_eq!(ServerMetrics::new().snapshot().handshake_crypto_percent(), 0.0);
+    }
+}

@@ -10,7 +10,8 @@
 //! the paper's §4.1 session re-negotiation.
 
 use crate::cache::ShardedSessionCache;
-use sslperf_profile::Cycles;
+use crate::metrics::ServerMetrics;
+use sslperf_profile::{measure, Cycles};
 use sslperf_rng::SslRng;
 use sslperf_rsa::RsaPrivateKey;
 use sslperf_ssl::alert::{Alert, AlertDescription};
@@ -47,6 +48,18 @@ pub struct ServerOptions {
     /// decrypts inline regardless, so the two architectures stay
     /// comparable.
     pub crypto_workers: usize,
+    /// Session lifetime for the cache: sessions older than this are
+    /// treated as cache misses (full handshake) and removed on lookup.
+    /// `None` — the default — never expires sessions by age.
+    pub session_ttl: Option<Duration>,
+    /// When true, every connection feeds its handshake-step ledger and
+    /// record-path crypto cycles into a [`ServerMetrics`] registry
+    /// (retrieved with [`TcpSslServer::metrics`] /
+    /// [`EventLoopServer::metrics`](crate::EventLoopServer::metrics)), and
+    /// `GET /metrics` returns the rendered
+    /// [`MetricsSnapshot`](crate::MetricsSnapshot) instead of a document.
+    /// Off by default: the anatomy costs a few atomics per record.
+    pub metrics: bool,
 }
 
 impl Default for ServerOptions {
@@ -59,6 +72,8 @@ impl Default for ServerOptions {
             cache_shards: 8,
             cache_capacity_per_shard: 1024,
             crypto_workers: 0,
+            session_ttl: None,
+            metrics: false,
         }
     }
 }
@@ -79,6 +94,9 @@ pub struct ServerStats {
     pub(crate) crypto_queue_depth_max: AtomicU64,
     pub(crate) crypto_queue_wait_cycles: AtomicU64,
     pub(crate) crypto_exec_cycles: AtomicU64,
+    /// Deadline expiries forgiven because the connection was waiting on
+    /// the crypto pool, not on the client.
+    pub(crate) crypto_deadline_deferrals: AtomicU64,
 }
 
 impl ServerStats {
@@ -151,6 +169,17 @@ impl ServerStats {
     pub fn crypto_exec(&self) -> Cycles {
         Cycles::new(self.crypto_exec_cycles.load(Ordering::Relaxed))
     }
+
+    /// Event-loop deadline expiries that were *deferred* rather than
+    /// evicted because the connection's RSA job was queued, executing, or
+    /// parked — crypto-pool wait is the server's latency, not the
+    /// client's, so it must not trip the slowloris guard. A nonzero value
+    /// under load means the pool is saturated enough that queue wait
+    /// exceeds [`ServerOptions::io_timeout`].
+    #[must_use]
+    pub fn crypto_deadline_deferrals(&self) -> u64 {
+        self.crypto_deadline_deferrals.load(Ordering::Relaxed)
+    }
 }
 
 /// The alert to send before closing a connection that hit `error`.
@@ -191,6 +220,7 @@ pub struct TcpSslServer {
     stats: Arc<ServerStats>,
     cache: Arc<ShardedSessionCache>,
     config: Arc<ServerConfig>,
+    metrics: Option<Arc<ServerMetrics>>,
 }
 
 impl TcpSslServer {
@@ -211,9 +241,10 @@ impl TcpSslServer {
         options: &ServerOptions,
     ) -> Result<Self, SslError> {
         assert!(options.workers > 0, "at least one worker");
-        let cache = Arc::new(ShardedSessionCache::new(
+        let cache = Arc::new(ShardedSessionCache::with_ttl(
             options.cache_shards,
             options.cache_capacity_per_shard,
+            options.session_ttl,
         ));
         let config = Arc::new(ServerConfig::with_cache(key, name, Box::new(Arc::clone(&cache)))?);
         let listener = TcpListener::bind(&options.addr).map_err(|e| SslError::Io(e.to_string()))?;
@@ -225,12 +256,16 @@ impl TcpSslServer {
         let conn_rx = Arc::new(Mutex::new(conn_rx));
 
         let io_timeout = options.io_timeout;
+        let metrics = options.metrics.then(|| Arc::new(ServerMetrics::new()));
         let workers = (0..options.workers)
             .map(|_| {
                 let conn_rx = Arc::clone(&conn_rx);
                 let config = Arc::clone(&config);
                 let stats = Arc::clone(&stats);
-                std::thread::spawn(move || worker_loop(&conn_rx, &config, &stats, io_timeout))
+                let metrics = metrics.clone();
+                std::thread::spawn(move || {
+                    worker_loop(&conn_rx, &config, &stats, io_timeout, metrics.as_deref());
+                })
             })
             .collect();
 
@@ -247,6 +282,7 @@ impl TcpSslServer {
             stats,
             cache,
             config,
+            metrics,
         })
     }
 
@@ -272,6 +308,13 @@ impl TcpSslServer {
     #[must_use]
     pub fn config(&self) -> &Arc<ServerConfig> {
         &self.config
+    }
+
+    /// The live anatomy registry, present when
+    /// [`ServerOptions::metrics`] was set.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&ServerMetrics> {
+        self.metrics.as_deref()
     }
 
     /// Stops accepting, drains queued connections, and joins every thread.
@@ -318,6 +361,7 @@ fn worker_loop(
     config: &ServerConfig,
     stats: &ServerStats,
     io_timeout: Option<Duration>,
+    metrics: Option<&ServerMetrics>,
 ) {
     static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
     loop {
@@ -327,7 +371,7 @@ fn worker_loop(
         };
         let Ok(stream) = stream else { return };
         let conn_id = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
-        serve_connection(config, stats, stream, conn_id, io_timeout);
+        serve_connection(config, stats, stream, conn_id, io_timeout, metrics);
     }
 }
 
@@ -356,6 +400,7 @@ fn serve_connection(
     stream: TcpStream,
     conn_id: u64,
     io_timeout: Option<Duration>,
+    metrics: Option<&ServerMetrics>,
 ) {
     // Handshake flights are small back-to-back writes; Nagle + delayed
     // ACK would add ~40ms stalls to every resumed transaction.
@@ -384,6 +429,9 @@ fn serve_connection(
     } else {
         stats.full_handshakes.fetch_add(1, Ordering::Relaxed);
     }
+    if let Some(m) = metrics {
+        m.note_handshake(&server.ledger());
+    }
 
     // One reusable buffer pair per connection: every record of the
     // session is received, decrypted, sealed and sent inside these two
@@ -391,6 +439,12 @@ fn serve_connection(
     let mut rx_buf = RecordBuffer::with_record_capacity();
     let mut tx_buf = RecordBuffer::with_record_capacity();
     loop {
+        // Pool-mode record timing: recv/send block on the socket, so
+        // wall-clock around them measures the client, not the server. The
+        // crypto-kernel delta is clean either way, so pool records report
+        // crypto cycles for both the total and crypto columns (the
+        // event-loop mode, being sans-io, measures both properly).
+        let crypto_before = server.record_crypto_cycles();
         let payload_range = match server.recv_buffered(&mut transport, &mut rx_buf) {
             Ok(range) => range,
             Err(SslError::PeerAlert(alert)) if alert.is_close_notify() => {
@@ -411,8 +465,12 @@ fn serve_connection(
                 return;
             }
         };
+        if let Some(m) = metrics {
+            let crypto = server.record_crypto_cycles() - crypto_before;
+            m.note_record_open(payload_range.len(), crypto, crypto);
+        }
         let response = match HttpRequest::parse(&rx_buf.as_slice()[payload_range]) {
-            Ok(request) => respond(&request),
+            Ok(request) => serve_request(&request, metrics),
             Err(_) => {
                 // Application-level garbage over a healthy session: close
                 // the SSL layer in an orderly way.
@@ -423,12 +481,38 @@ fn serve_connection(
                 return;
             }
         };
-        if server.send_buffered(&mut transport, &response.to_bytes(), &mut tx_buf).is_err() {
+        let body = response.to_bytes();
+        let crypto_before = server.record_crypto_cycles();
+        if server.send_buffered(&mut transport, &body, &mut tx_buf).is_err() {
             stats.errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        if let Some(m) = metrics {
+            let crypto = server.record_crypto_cycles() - crypto_before;
+            m.note_record_seal(body.len(), crypto, crypto);
+        }
         stats.transactions.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Builds the response for one parsed request: the live-metrics exposition
+/// for `GET /metrics` when the registry is on, the synthesized document
+/// otherwise. Document synthesis is measured into the registry's "other"
+/// bucket (Table 1's non-SSL share); the exposition itself is not — it is
+/// observability, not workload.
+pub(crate) fn serve_request(
+    request: &HttpRequest,
+    metrics: Option<&ServerMetrics>,
+) -> HttpResponse {
+    if let Some(m) = metrics {
+        if request.path() == "/metrics" {
+            return HttpResponse::ok(m.snapshot().render().into_bytes());
+        }
+        let (response, cycles) = measure(|| respond(request));
+        m.note_response(cycles);
+        return response;
+    }
+    respond(request)
 }
 
 pub(crate) fn respond(request: &HttpRequest) -> HttpResponse {

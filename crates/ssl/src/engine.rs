@@ -269,7 +269,7 @@ pub type ClientEngine = Engine<SslClient>;
 pub type ServerEngine<'a> = Engine<SslServer<'a>>;
 
 /// A driver-agnostic SSL connection: byte-oriented I/O over a handshake
-/// state machine. See the [module docs](self) for the API shape and an
+/// state machine. See the module-level docs for the API shape and an
 /// end-to-end example.
 #[derive(Debug)]
 pub struct Engine<M: EngineDriven> {

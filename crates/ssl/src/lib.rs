@@ -76,7 +76,7 @@ pub use engine::{
 };
 pub use messages::{HandshakeType, SessionId};
 pub use record::{ContentType, RecordBuffer, RecordLayer, MAX_FRAGMENT, MAX_RECORD_BODY};
-pub use server::{ServerConfig, SslServer, SERVER_STEP_NAMES};
+pub use server::{HandshakeLedger, ServerConfig, SslServer, SERVER_STEP_NAMES};
 pub use suites::{BulkCipher, CipherSuite};
 pub use transport::{duplex_pair, read_record, read_record_into, DuplexTransport, Transport};
 

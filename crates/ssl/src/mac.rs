@@ -78,7 +78,13 @@ pub fn compute_into(
     outer.finalize_into(tag);
 }
 
-/// Verifies a record MAC in (non-constant-time) comparison.
+/// Verifies a record MAC in constant time.
+///
+/// The tag comparison XOR-folds every byte before a single final check, so
+/// the time taken is independent of *where* a forged tag first differs —
+/// the remote-timing side channel a short-circuiting `==` would leak. A
+/// wrong-length tag is still rejected up front: the length is public
+/// (it is on the wire), so that branch reveals nothing.
 #[must_use]
 pub fn verify(
     alg: HashAlg,
@@ -94,7 +100,19 @@ pub fn verify(
     let mut expected = [0u8; MAX_MAC_LEN];
     let expected = &mut expected[..alg.output_len()];
     compute_into(alg, secret, seq, content_type, data, expected);
-    expected as &[u8] == tag
+    ct_eq(expected, tag)
+}
+
+/// Constant-time slice equality for equal-length inputs: accumulates the
+/// XOR of every byte pair and compares the fold once at the end.
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    // black_box keeps the optimizer from reintroducing an early exit.
+    sslperf_profile::black_box(diff) == 0
 }
 
 #[cfg(test)]

@@ -186,6 +186,12 @@ impl ConnState {
     /// padding and verifies the MAC without allocating. On success the
     /// plaintext occupies `body[..returned_len]`. With the null cipher the
     /// body already is the plaintext and nothing is touched.
+    ///
+    /// Bad padding and a bad MAC are deliberately indistinguishable: both
+    /// still run the MAC (over a deterministic slice) and both surface as
+    /// [`SslError::MacMismatch`], so neither the error value nor the time
+    /// taken gives a decryption oracle (Vaudenay-style padding attacks).
+    /// The only early exits depend on the *public* ciphertext length.
     fn unprotect_in_place(
         &mut self,
         content_type: ContentType,
@@ -199,20 +205,30 @@ impl ConnState {
         let (result, cipher_cycles) = measure(|| cipher.decrypt(body));
         self.crypto.add("cipher", cipher_cycles);
         result?;
+        let mac_len = alg.output_len();
         let mut plain_len = body.len();
+        let mut pad_ok = true;
         if let Some(block) = cipher.block_len() {
+            // Length checks first: the ciphertext length is on the wire,
+            // so rejecting on it leaks nothing about the plaintext.
             if plain_len == 0 || !plain_len.is_multiple_of(block) {
-                return Err(SslError::BadPadding);
+                return Err(SslError::MacMismatch);
             }
             let pad = body[plain_len - 1] as usize;
-            if pad + 1 > plain_len || pad >= block {
-                return Err(SslError::BadPadding);
+            if pad < block && pad + 1 + mac_len <= plain_len {
+                plain_len -= pad + 1;
+            } else {
+                // Invalid padding (or padding that would swallow the MAC):
+                // proceed as if the pad were zero-length so the MAC below
+                // runs over a slice derived only from the public length,
+                // then fail with the same error as a MAC mismatch.
+                pad_ok = false;
+                plain_len -= 1;
             }
-            plain_len -= pad + 1;
         }
-        let mac_len = alg.output_len();
         if plain_len < mac_len {
-            return Err(SslError::Decode("record shorter than MAC"));
+            // Public-length condition: too short to carry a MAC at all.
+            return Err(SslError::MacMismatch);
         }
         let data_len = plain_len - mac_len;
         let (ok, mac_cycles) = measure(|| {
@@ -227,7 +243,7 @@ impl ConnState {
         });
         self.crypto.add("mac", mac_cycles);
         self.seq += 1;
-        if !ok {
+        if !ok || !pad_ok {
             return Err(SslError::MacMismatch);
         }
         Ok(data_len)
@@ -301,6 +317,15 @@ impl RecordLayer {
         let mut total = self.write.crypto.clone();
         total.merge(&self.read.crypto);
         total
+    }
+
+    /// Total of [`RecordLayer::crypto_phases`] without building the merged
+    /// set — no allocation, so per-record instrumentation (the live
+    /// metrics registry reads the delta after every open/seal) keeps the
+    /// steady-state record path at zero bytes per record.
+    #[must_use]
+    pub fn crypto_total(&self) -> sslperf_profile::Cycles {
+        self.write.crypto.total() + self.read.crypto.total()
     }
 
     /// True once outbound records are encrypted.
@@ -393,9 +418,9 @@ impl RecordLayer {
     ///
     /// # Errors
     ///
-    /// Returns [`SslError::Decode`] on framing errors,
-    /// [`SslError::BadPadding`]/[`SslError::MacMismatch`] on protection
-    /// failures.
+    /// Returns [`SslError::Decode`] on framing errors and a uniform
+    /// [`SslError::MacMismatch`] on protection failures (bad padding is
+    /// deliberately not distinguished from a bad MAC).
     pub fn open_in_place(
         &mut self,
         buf: &mut RecordBuffer,
@@ -441,9 +466,9 @@ impl RecordLayer {
     ///
     /// # Errors
     ///
-    /// Returns [`SslError::Decode`] on framing errors,
-    /// [`SslError::BadPadding`]/[`SslError::MacMismatch`] on protection
-    /// failures.
+    /// Returns [`SslError::Decode`] on framing errors and a uniform
+    /// [`SslError::MacMismatch`] on protection failures (bad padding is
+    /// deliberately not distinguished from a bad MAC).
     pub fn open_one(&mut self, input: &[u8]) -> Result<(ContentType, Vec<u8>, usize), SslError> {
         if input.len() < RECORD_HEADER_LEN {
             return Err(SslError::Decode("record header"));
@@ -654,6 +679,60 @@ mod tests {
         tampered.extend_from_slice(&bytes);
         let err = rx.open_in_place(&mut tampered).unwrap_err();
         assert!(matches!(err, SslError::MacMismatch | SslError::BadPadding));
+    }
+
+    /// Flips the byte at `index` and opens the record, returning the error
+    /// and how many MAC verifications the opener paid for.
+    fn open_tampered(
+        suite: CipherSuite,
+        payload: &[u8],
+        tamper: impl Fn(&[u8]) -> usize,
+    ) -> (SslError, u64) {
+        let (mut tx, mut rx) = protected_pair(suite);
+        let mut wire = tx.seal(ContentType::ApplicationData, payload).unwrap();
+        let index = tamper(&wire);
+        wire[index] ^= 0x80;
+        let err = rx.open_all(&wire).unwrap_err();
+        let macs = rx.crypto_phases().get("mac").map_or(0, |p| p.hits());
+        (err, macs)
+    }
+
+    #[test]
+    fn bad_padding_and_bad_mac_are_indistinguishable() {
+        // A 50-byte payload + 20-byte MAC spans several CBC blocks with a
+        // nonzero pad. Corrupting the last byte of the *penultimate*
+        // ciphertext block flips the decrypted pad-length byte (CBC
+        // malleability) so the padding check fails; corrupting an early
+        // block garbles data under valid padding so only the MAC fails.
+        let payload = [0x5au8; 50];
+        for suite in [CipherSuite::RsaDesCbc3Sha, CipherSuite::RsaAes128Sha] {
+            let block = suite.iv_len();
+            let (pad_err, pad_macs) = open_tampered(suite, &payload, |wire| wire.len() - block - 1);
+            let (mac_err, mac_macs) = open_tampered(suite, &payload, |_| RECORD_HEADER_LEN);
+            // One uniform error for both failure modes — no decryption
+            // oracle in the error value...
+            assert_eq!(pad_err, SslError::MacMismatch, "{suite}");
+            assert_eq!(mac_err, SslError::MacMismatch, "{suite}");
+            // ...and the MAC is paid for in both, so none in the timing
+            // either (pre-fix, bad padding skipped the MAC entirely).
+            assert_eq!(pad_macs, 1, "{suite}: MAC must run on bad padding");
+            assert_eq!(mac_macs, 1, "{suite}: MAC must run on bad MAC");
+        }
+    }
+
+    #[test]
+    fn oversized_pad_claim_fails_uniformly() {
+        // A decrypted pad byte claiming more padding than the record holds
+        // must not short-circuit differently from a plain MAC failure.
+        let (mut tx, mut rx) = protected_pair(CipherSuite::RsaAes256Sha);
+        let mut wire = tx.seal(ContentType::ApplicationData, b"x").unwrap();
+        // Flip a bit in the penultimate ciphertext block's last byte: the
+        // pad-length byte decrypts to pad ^ 0x80 >= block.
+        let block = 16;
+        let idx = wire.len() - block - 1;
+        wire[idx] ^= 0x80;
+        assert_eq!(rx.open_all(&wire).unwrap_err(), SslError::MacMismatch);
+        assert_eq!(rx.crypto_phases().get("mac").map_or(0, |p| p.hits()), 1);
     }
 
     #[test]

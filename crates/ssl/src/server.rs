@@ -36,6 +36,33 @@ pub const SERVER_STEP_NAMES: [&str; 10] = [
     "server_flush",
 ];
 
+/// One connection's handshake anatomy, exported after establishment.
+///
+/// This is the per-connection row behind the paper's Tables 2 and 3: step
+/// latencies in paper order, the handshake's total and crypto cycles, and
+/// the two halves of step 5 under crypto offload (queue wait vs. the RSA
+/// private decryption itself). Produced by [`SslServer::ledger`]; consumed
+/// by the serving layer's live metrics registry.
+#[derive(Debug, Clone)]
+pub struct HandshakeLedger {
+    /// True when the handshake resumed a cached session (steps 5/6 carry
+    /// no RSA work in that case).
+    pub resumed: bool,
+    /// `(step name, cycles)` for the ten steps of
+    /// [`SERVER_STEP_NAMES`], in paper order.
+    pub steps: [(&'static str, Cycles); 10],
+    /// Sum of all step latencies — the handshake's total cost.
+    pub total: Cycles,
+    /// Cycles spent inside crypto functions during the handshake
+    /// (Table 3's "crypto" share).
+    pub crypto: Cycles,
+    /// Step 5 offload split: cycles the RSA job waited in the crypto
+    /// pool's queue (zero when decrypting inline).
+    pub rsa_queue_wait: Cycles,
+    /// Step 5 offload split: cycles executing the RSA private decryption.
+    pub rsa_private_decryption: Cycles,
+}
+
 /// Long-lived server configuration: the RSA key, the certificate, and the
 /// session cache shared by every connection (session re-negotiation is the
 /// optimization §4.1 highlights).
@@ -215,6 +242,34 @@ impl<'a> SslServer<'a> {
     #[must_use]
     pub fn record_crypto(&self) -> PhaseSet {
         self.records.crypto_phases()
+    }
+
+    /// Total of [`SslServer::record_crypto`] without allocating — safe to
+    /// read per record, which is how the serving layer attributes bulk
+    /// crypto cycles as a running delta.
+    #[must_use]
+    pub fn record_crypto_cycles(&self) -> Cycles {
+        self.records.crypto_total()
+    }
+
+    /// Exports this connection's handshake anatomy in the paper's shape:
+    /// the ten step latencies of Table 2 in order, the crypto totals of
+    /// Table 3, and step 5's offload split. Meaningful once the handshake
+    /// is established; a live metrics layer feeds one of these per
+    /// connection into its aggregate histograms.
+    #[must_use]
+    pub fn ledger(&self) -> HandshakeLedger {
+        let steps = std::array::from_fn(|i| {
+            (SERVER_STEP_NAMES[i], self.steps.cycles(SERVER_STEP_NAMES[i]))
+        });
+        HandshakeLedger {
+            resumed: self.resumed,
+            steps,
+            total: self.steps.total(),
+            crypto: self.crypto.total(),
+            rsa_queue_wait: self.crypto.cycles("rsa_queue_wait"),
+            rsa_private_decryption: self.crypto.cycles("rsa_private_decryption"),
+        }
     }
 
     /// The negotiated cipher suite.

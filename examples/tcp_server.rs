@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SslRng::from_seed(b"tcp-server-example");
     let key = RsaPrivateKey::generate(key_bits, &mut rng)?;
 
-    let options = ServerOptions { workers: 4, ..ServerOptions::default() };
+    let options = ServerOptions { workers: 4, metrics: true, ..ServerOptions::default() };
     let server = TcpSslServer::start(key, "www.sslperf.test", &options)?;
     println!(
         "Serving on https://{} with {} workers ({} session-cache shards)\n",
@@ -60,6 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.resumed_handshakes(),
         stats.errors()
     );
+
+    // The live-anatomy registry: the same text a client would get from
+    // `GET /metrics` over an established SSL connection.
+    let snapshot = server.metrics().expect("metrics enabled above").snapshot();
+    println!("\n{}", snapshot.render());
     server.shutdown();
     Ok(())
 }

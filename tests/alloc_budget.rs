@@ -427,3 +427,97 @@ fn crypto_job_cycle_allocation_is_bounded() {
          a per-job allocation regression"
     );
 }
+
+/// The live metrics registry must not break the steady-state budget: an
+/// engine exchange that records every open/seal/response into a
+/// [`ServerMetrics`] — exactly what the event-loop server does per record
+/// when `ServerOptions::metrics` is on — still allocates nothing. The
+/// registry is atomic adds into preallocated histograms; a regression
+/// here (say, a label map or a lazily grown bucket) would silently tax
+/// every record served.
+#[test]
+fn metrics_recording_keeps_engine_steady_state_allocation_free() {
+    const WARMUP: usize = 4;
+    const MEASURED: u64 = 100;
+    use sslperf::net::ServerMetrics;
+    use sslperf::prelude::{ServerConfig, SslClient, SslRng, SslServer};
+    use sslperf::profile::measure;
+    use sslperf::rsa::RsaPrivateKey;
+    use sslperf::ssl::Engine;
+
+    let payload = vec![0xa5u8; 1024];
+    let mut rng = SslRng::from_seed(b"alloc-budget-metrics-key");
+    let key = RsaPrivateKey::generate(512, &mut rng).expect("keygen");
+    let config = ServerConfig::new(key, "alloc.test").expect("config");
+    let metrics = ServerMetrics::new();
+
+    let mut client =
+        Engine::new(SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"abm-c")))
+            .expect("client engine");
+    let mut server =
+        Engine::new(SslServer::new(&config, SslRng::from_seed(b"abm-s"))).expect("server engine");
+
+    let mut wire = vec![0u8; 8 * 1024];
+    while !(client.is_established() && server.is_established()) {
+        let n = client.take_output(&mut wire);
+        let mut offset = 0;
+        while offset < n {
+            offset += server.feed(&wire[offset..n]).expect("server feed");
+        }
+        let n = server.take_output(&mut wire);
+        let mut offset = 0;
+        while offset < n {
+            offset += client.feed(&wire[offset..n]).expect("client feed");
+        }
+    }
+    metrics.note_handshake(&server.machine().ledger());
+
+    // One server-side transaction with the full metrics accounting the
+    // event-loop serving path performs: measured open, response timing,
+    // measured seal, crypto-cycle deltas from the record layer.
+    let exchange = |client: &mut sslperf::ssl::ClientEngine,
+                    server: &mut sslperf::ssl::ServerEngine<'_>,
+                    wire: &mut [u8],
+                    metrics: &ServerMetrics| {
+        client.seal(&payload).expect("client seal");
+        let n = client.take_output(wire);
+        assert_eq!(server.feed(&wire[..n]).expect("server feed"), n);
+        let crypto_before = server.machine().record_crypto_cycles();
+        let (range, open_cycles) = measure(|| server.open_next());
+        let range = range.expect("server open").expect("complete record");
+        let open_crypto = server.machine().record_crypto_cycles() - crypto_before;
+        metrics.note_record_open(range.len(), open_cycles, open_crypto);
+        let ((), respond_cycles) = measure(|| assert_eq!(range.len(), payload.len()));
+        metrics.note_response(respond_cycles);
+        let crypto_before = server.machine().record_crypto_cycles();
+        let ((), seal_cycles) = measure(|| server.seal(&payload).expect("server seal"));
+        let seal_crypto = server.machine().record_crypto_cycles() - crypto_before;
+        metrics.note_record_seal(payload.len(), seal_cycles, seal_crypto);
+        let n = server.take_output(wire);
+        assert_eq!(client.feed(&wire[..n]).expect("client feed"), n);
+        let range = client.open_next().expect("client open").expect("complete record");
+        assert_eq!(&client.buffered()[range], &payload[..]);
+    };
+
+    for _ in 0..WARMUP {
+        exchange(&mut client, &mut server, &mut wire, &metrics);
+    }
+    let ((), delta) = allocations_during(|| {
+        for _ in 0..MEASURED {
+            exchange(&mut client, &mut server, &mut wire, &metrics);
+        }
+    });
+    assert_eq!(
+        delta,
+        0,
+        "metrics-instrumented engine path: {delta} allocations over {MEASURED} round trips \
+         ({} per record) — recording must be atomic adds only",
+        delta as f64 / (2 * MEASURED) as f64
+    );
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.records_opened, (WARMUP as u64) + MEASURED);
+    assert_eq!(snap.records_sealed, (WARMUP as u64) + MEASURED);
+    assert_eq!(snap.transactions, (WARMUP as u64) + MEASURED);
+    assert_eq!(snap.full_handshake.count(), 1, "the handshake ledger was fed");
+}

@@ -1,0 +1,177 @@
+//! Acceptance coverage for the live handshake-anatomy metrics layer:
+//! dozens of real-socket transactions through the event-loop server with
+//! crypto offload feed the [`ServerMetrics`] registry, and the frozen
+//! snapshot must reproduce the paper's anatomy — every handshake step
+//! observed, crypto dominating the full handshake with the RSA step
+//! (step 5, `get_client_kx`) the single largest, and monotone latency
+//! quantiles. The `GET /metrics` exposition endpoint is exercised over a
+//! live SSL connection.
+
+use sslperf::net::{EventLoopServer, ServerOptions, TcpSslServer};
+use sslperf::prelude::*;
+use sslperf::websim::loadgen::{run_socket_load, SocketLoadOptions};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// 1024-bit key: large enough that the RSA private decryption dominates
+/// the handshake the way the paper's Table 3 shows, small enough that the
+/// run stays fast.
+fn key() -> RsaPrivateKey {
+    let mut rng = SslRng::from_seed(b"metrics-live-tests");
+    RsaPrivateKey::generate(1024, &mut rng).expect("keygen")
+}
+
+/// Server-side counters update after the worker finishes its half of the
+/// exchange, which the client does not wait for; poll briefly.
+fn eventually(mut f: impl FnMut() -> bool) -> bool {
+    for _ in 0..200 {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// The tentpole acceptance scenario: ≥64 live transactions through the
+/// event-loop server with crypto offload and metrics on, asserted against
+/// the frozen snapshot.
+#[test]
+fn live_anatomy_reproduces_paper_shape_from_real_sockets() {
+    const CLIENTS: usize = 8;
+    const TXN: usize = 8;
+    const WARMUP: usize = 1;
+    let options =
+        ServerOptions { shards: 2, crypto_workers: 2, metrics: true, ..ServerOptions::default() };
+    let server =
+        EventLoopServer::start(key(), "metrics.sslperf.test", &options).expect("server start");
+
+    let load = SocketLoadOptions {
+        clients: CLIENTS,
+        transactions_per_client: TXN,
+        warmup_per_client: WARMUP,
+        resume: true,
+        file_size: 1024,
+        suite: CipherSuite::RsaDesCbc3Sha,
+    };
+    let report = run_socket_load(server.local_addr(), &load).expect("load run");
+    assert_eq!(report.transactions, CLIENTS * TXN, "64 measured transactions");
+
+    let stats = server.stats();
+    let connections = (CLIENTS * (TXN + WARMUP)) as u64;
+    assert!(eventually(|| stats.transactions() >= connections), "got {}", stats.transactions());
+    assert_eq!(stats.errors(), 0, "clean run");
+
+    let metrics = server.metrics().expect("metrics enabled");
+    let snap = metrics.snapshot();
+
+    // Transaction counters: every served request was measured.
+    assert!(snap.transactions >= connections, "txns measured: {}", snap.transactions);
+    assert!(snap.records_opened >= connections, "opened: {}", snap.records_opened);
+    assert!(snap.records_sealed >= connections, "sealed: {}", snap.records_sealed);
+    assert!(snap.bytes_in > 0 && snap.bytes_out > 0);
+    assert!(snap.open_cycles > 0 && snap.seal_cycles > 0, "record timing present");
+    assert!(snap.record_crypto_cycles > 0, "record crypto attributed");
+
+    // Handshake ledgers: every full handshake populated all ten steps.
+    let fulls = stats.full_handshakes();
+    assert!(fulls >= CLIENTS as u64, "each client's first connection is full");
+    assert_eq!(snap.full_handshake.count(), fulls, "one ledger per full handshake");
+    assert_eq!(snap.resumed_handshake.count(), stats.resumed_handshakes());
+    for step in &snap.steps {
+        assert_eq!(step.latency.count(), fulls, "step {} observed per handshake", step.name);
+        assert!(step.latency.sum() > 0, "step {} has non-zero latency", step.name);
+    }
+
+    // Table 3 live: crypto dominates the full handshake, and step 5 (the
+    // RSA private decryption, `get_client_kx`) is the single largest step.
+    let crypto_pct = snap.handshake_crypto_percent();
+    assert!(crypto_pct >= 85.0, "crypto share {crypto_pct:.1}% must dominate (paper: ~90%)");
+    let kx = snap.step_percent("get_client_kx");
+    for step in &snap.steps {
+        if step.name != "get_client_kx" {
+            assert!(
+                snap.step_percent(step.name) <= kx,
+                "step 5 must be the largest: {} ({:.1}%) vs get_client_kx ({kx:.1}%)",
+                step.name,
+                snap.step_percent(step.name),
+            );
+        }
+    }
+
+    // Offload split: every full handshake routed its RSA decryption
+    // through the pool, and the execution half was attributed.
+    assert_eq!(stats.crypto_jobs(), fulls, "one pooled decrypt per full handshake");
+    assert_eq!(snap.rsa_private_decryption.count(), fulls);
+    assert!(snap.rsa_private_decryption.sum() > 0);
+    assert_eq!(snap.pool_exec.count(), fulls, "per-job pool metrics recorded");
+
+    // Quantiles are monotone by construction — pinned here because the
+    // paper-shaped report sorts on them.
+    for h in [&snap.full_handshake, &snap.resumed_handshake, &snap.pool_exec] {
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99(), "p50 <= p95 <= p99");
+    }
+
+    // The rendered exposition carries all three paper tables.
+    let text = snap.render();
+    for marker in ["Live Table 1", "Live Table 2", "Live Table 3", "get_client_kx"] {
+        assert!(text.contains(marker), "missing {marker}:\n{text}");
+    }
+    server.shutdown();
+}
+
+/// `GET /metrics` over a live SSL connection returns the rendered
+/// snapshot instead of a synthesized document — and only when the
+/// registry is enabled.
+#[test]
+fn metrics_endpoint_serves_rendered_snapshot() {
+    let options = ServerOptions { workers: 2, metrics: true, ..ServerOptions::default() };
+    let server =
+        TcpSslServer::start(key(), "metrics.sslperf.test", &options).expect("server start");
+
+    // First transaction: a normal document, so the registry has content.
+    let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"mx-c1"));
+    let mut socket = TcpStream::connect(server.local_addr()).expect("connect");
+    client.handshake_transport(&mut socket).expect("handshake");
+    client
+        .send(&mut socket, b"GET /doc_512.bin HTTP/1.0\r\nHost: metrics\r\n\r\n")
+        .expect("request");
+    let doc = client.recv(&mut socket).expect("response");
+    assert!(doc.starts_with(b"HTTP/1.0 200"), "document served");
+
+    // Second request on the same session: the exposition endpoint.
+    client
+        .send(&mut socket, b"GET /metrics HTTP/1.0\r\nHost: metrics\r\n\r\n")
+        .expect("metrics request");
+    let body = client.recv(&mut socket).expect("metrics response");
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.starts_with("HTTP/1.0 200"), "metrics served over SSL: {text}");
+    for marker in ["Live Table 1", "Live Table 2", "Live Table 3"] {
+        assert!(text.contains(marker), "missing {marker}:\n{text}");
+    }
+    // The handshake that carried this very connection is in the tables.
+    assert!(text.contains("full"), "handshake row rendered:\n{text}");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+
+    let snap = server.metrics().expect("metrics enabled").snapshot();
+    assert_eq!(snap.full_handshake.count(), 1);
+    assert!(snap.transactions >= 1, "the document transaction was measured");
+    server.shutdown();
+
+    // Control: with metrics off, /metrics is just an unknown document path.
+    let server = TcpSslServer::start(key(), "metrics.sslperf.test", &ServerOptions::default())
+        .expect("server start");
+    assert!(server.metrics().is_none(), "registry absent by default");
+    let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"mx-c2"));
+    let mut socket = TcpStream::connect(server.local_addr()).expect("connect");
+    client.handshake_transport(&mut socket).expect("handshake");
+    client.send(&mut socket, b"GET /metrics HTTP/1.0\r\nHost: metrics\r\n\r\n").expect("request");
+    let body = client.recv(&mut socket).expect("response");
+    assert!(
+        String::from_utf8_lossy(&body).starts_with("HTTP/1.0 404"),
+        "plain server knows no /metrics"
+    );
+    client.close_transport(&mut socket).expect("close");
+    server.shutdown();
+}

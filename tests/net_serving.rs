@@ -631,3 +631,172 @@ fn event_loop_cache_overflow_under_concurrent_resumption() {
     assert_eq!(stats.errors(), 0, "clean run");
     server.shutdown();
 }
+
+/// The record layer must not leak *which* check failed on a protected
+/// record: a tampered padding byte and a tampered MAC/ciphertext byte
+/// must produce byte-identical fatal alerts on the wire. Two identically
+/// seeded client/server pairs (same keys, same sequence state) each seal
+/// the same application record; one copy has its pad-length byte flipped
+/// (through CBC, the last byte of the penultimate ciphertext block), the
+/// other its first ciphertext byte (a MAC failure with intact padding).
+/// Both must fail as `MacMismatch`, and the alert each server would send
+/// must be the same bytes — a padding oracle would differ in either the
+/// error or the alert.
+#[test]
+fn tampered_pad_and_tampered_mac_alerts_are_byte_identical() {
+    use sslperf::ssl::alert::Alert;
+    use sslperf::ssl::{Engine, SslError};
+
+    let config = ServerConfig::new(key(), "oracle.sslperf.test").expect("config");
+
+    // Drives one identically-seeded pair to established and returns the
+    // engines; identical seeds give identical session keys and residues.
+    let establish = || {
+        let mut client =
+            Engine::new(SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"orc-c")))
+                .expect("client engine");
+        let mut server = Engine::new(SslServer::new(&config, SslRng::from_seed(b"orc-s")))
+            .expect("server engine");
+        let mut wire = vec![0u8; 8 * 1024];
+        while !(client.is_established() && server.is_established()) {
+            let n = client.take_output(&mut wire);
+            let mut offset = 0;
+            while offset < n {
+                offset += server.feed(&wire[offset..n]).expect("server feed");
+            }
+            let n = server.take_output(&mut wire);
+            let mut offset = 0;
+            while offset < n {
+                offset += client.feed(&wire[offset..n]).expect("client feed");
+            }
+        }
+        (client, server)
+    };
+
+    // Seals one application record and returns the wire bytes.
+    let sealed = |client: &mut sslperf::ssl::ClientEngine| {
+        client.seal(b"GET /doc_64.bin HTTP/1.0\r\n\r\n").expect("seal");
+        let mut wire = vec![0u8; 4 * 1024];
+        let n = client.take_output(&mut wire);
+        wire.truncate(n);
+        wire
+    };
+
+    let (mut client_a, mut server_a) = establish();
+    let (mut client_b, mut server_b) = establish();
+    let mut pad_tampered = sealed(&mut client_a);
+    let mac_wire = sealed(&mut client_b);
+    assert_eq!(pad_tampered, mac_wire, "identical seeds must seal identical records");
+    let mut mac_tampered = mac_wire;
+
+    // Pad tamper: flip the top bit of the penultimate block's last byte;
+    // CBC decryption flips the same bit of the final plaintext byte — the
+    // pad length — making the padding check fail.
+    let n = pad_tampered.len();
+    pad_tampered[n - 8 - 1] ^= 0x80;
+    // MAC tamper: garble the first ciphertext byte; padding at the tail
+    // decrypts intact, the MAC over the garbled payload does not.
+    mac_tampered[5] ^= 0x80;
+    assert_ne!(pad_tampered, mac_tampered, "the two tampers are different corruptions");
+
+    let alert_for = |server: &mut sslperf::ssl::ServerEngine<'_>, wire: &[u8]| {
+        server.feed(wire).expect("feed is pre-crypto, must accept the bytes");
+        let error = server.open_next().expect_err("tampered record must fail");
+        assert_eq!(error, SslError::MacMismatch, "uniform error for pad and MAC tampers");
+        let alert = Alert::for_error(&error).expect("fatal alert for MacMismatch");
+        server.queue_alert(alert).expect("queue alert");
+        let mut out = vec![0u8; 1024];
+        let n = server.take_output(&mut out);
+        out.truncate(n);
+        out
+    };
+
+    let pad_alert = alert_for(&mut server_a, &pad_tampered);
+    let mac_alert = alert_for(&mut server_b, &mac_tampered);
+    assert!(!pad_alert.is_empty(), "an alert record must go on the wire");
+    assert_eq!(
+        pad_alert, mac_alert,
+        "bad-padding and bad-MAC must be indistinguishable on the wire"
+    );
+}
+
+/// A saturated crypto pool must not get its handshakes evicted by the
+/// I/O deadline: with a 2048-bit key (~6 ms per decrypt), one crypto
+/// worker, and 32 simultaneous connections, the queue tail waits far
+/// longer than the 75 ms `io_timeout` — yet every handshake completes,
+/// because time spent waiting on the pool is excluded from the client's
+/// I/O deadline (counted in `crypto_deadline_deferrals` instead).
+#[test]
+fn saturated_crypto_pool_does_not_evict_waiting_handshakes() {
+    const CONNECTIONS: usize = 32;
+    let mut rng = SslRng::from_seed(b"net-serving-slow-key");
+    let key = RsaPrivateKey::generate(2048, &mut rng).expect("keygen");
+    let options = ServerOptions {
+        shards: 2,
+        crypto_workers: 1,
+        io_timeout: Some(Duration::from_millis(75)),
+        ..ServerOptions::default()
+    };
+    let server = EventLoopServer::start(key, "net.sslperf.test", &options).expect("server start");
+
+    // No establishment barrier: holding requests back would make early
+    // clients *idle* past io_timeout (a legitimate eviction). The pressure
+    // under test is the crypto backlog itself — the tail of 32 queued
+    // decrypts waits ~190 ms, far past the 75 ms deadline, while each
+    // client stays responsive on the wire.
+    let load = EventLoadOptions {
+        connections: CONNECTIONS,
+        file_size: 1024,
+        suite: CipherSuite::RsaDesCbc3Sha,
+        hold_until_all_established: false,
+        deadline: Duration::from_secs(60),
+    };
+    let report = run_event_load(server.local_addr(), &load).expect("event load");
+    assert_eq!(report.transactions, CONNECTIONS, "every connection served");
+
+    let stats = server.stats();
+    assert!(
+        eventually(|| stats.full_handshakes() == CONNECTIONS as u64),
+        "got {}",
+        stats.full_handshakes()
+    );
+    assert_eq!(stats.crypto_jobs(), CONNECTIONS as u64, "every decrypt went through the pool");
+    assert_eq!(stats.timeouts(), 0, "pool queue wait must not count against io_timeout");
+    assert_eq!(stats.errors(), 0, "clean run");
+    assert!(
+        stats.crypto_deadline_deferrals() >= 1,
+        "the single worker's backlog must have pushed at least one deadline"
+    );
+    server.shutdown();
+}
+
+/// Session-cache TTL end to end: a session stored by a full handshake
+/// expires after `session_ttl`, so a resumption attempt after the TTL
+/// falls back to a full handshake (expiry-on-lookup counts as a miss,
+/// never a hit on stale keys).
+#[test]
+fn expired_session_falls_back_to_full_handshake_over_tcp() {
+    let options =
+        ServerOptions { session_ttl: Some(Duration::from_millis(50)), ..ServerOptions::default() };
+    let server = TcpSslServer::start(key(), "net.sslperf.test", &options).expect("server start");
+
+    let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"ttl-c1"));
+    let socket = tcp_handshake(&server, &mut client);
+    let session = client.session().expect("established");
+    drop(socket);
+    assert!(eventually(|| server.session_cache().len() == 1), "session stored");
+
+    std::thread::sleep(Duration::from_millis(120));
+
+    let mut client = SslClient::resuming(session, SslRng::from_seed(b"ttl-c2"));
+    let _socket = tcp_handshake(&server, &mut client);
+    assert!(!client.resumed(), "an expired session must not resume");
+
+    let cache = server.session_cache();
+    let stats = server.stats();
+    assert!(eventually(|| stats.full_handshakes() == 2), "got {}", stats.full_handshakes());
+    assert_eq!(stats.resumed_handshakes(), 0);
+    assert!(cache.expired() >= 1, "expiry-on-lookup must be counted");
+    assert_eq!(cache.hits(), 0, "a stale entry must never count as a hit");
+    server.shutdown();
+}
