@@ -288,12 +288,79 @@ fn bench_crypto_offload(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched-RSA ablation: the event-loop server with 2 crypto workers
+/// under a saturating all-at-once handshake burst, with the pool's batch
+/// collector capped at 1, 2, 4, and 8 jobs per batch. One shard keeps
+/// submission concentrated so the crypto queue actually backs up — the
+/// regime where the collector finds siblings to combine. Each arm's
+/// throughput, handshake percentiles, and amortized cycles per RSA
+/// decrypt (total pool execution cycles over jobs executed) go to stderr;
+/// those are the numbers recorded in EXPERIMENTS.md and `BENCH_6.json`.
+fn bench_batch_rsa(c: &mut Criterion) {
+    const CONNECTIONS: usize = 64;
+    let mut rng = SslRng::from_seed(b"bench-tcp-batch");
+    let key = RsaPrivateKey::generate(512, &mut rng).expect("keygen");
+    let load = EventLoadOptions {
+        connections: CONNECTIONS,
+        file_size: FILE_SIZE,
+        suite: CipherSuite::RsaDesCbc3Sha,
+        // The barrier opens every socket before any transacts: all 64
+        // ClientKeyExchanges land together and the crypto queue saturates.
+        hold_until_all_established: true,
+        deadline: Duration::from_secs(120),
+    };
+
+    let mut group = c.benchmark_group("tcp_serving/batch_rsa");
+    group.sample_size(10);
+    for batch_max in [1usize, 2, 4, 8] {
+        let options = ServerOptions::builder()
+            .shards(1)
+            .crypto_workers(2)
+            .batch_max(batch_max)
+            .build()
+            .expect("valid batch configuration");
+        let server = EventLoopServer::start(key.clone(), "bench.sslperf.test", &options)
+            .expect("event-loop start");
+        let addr = server.local_addr();
+
+        // One measured run per arm: its percentiles and the pool's cycle
+        // accounting are the ablation table.
+        let report = run_event_load(addr, &load).expect("event load");
+        let stats = server.stats();
+        let jobs = stats.crypto_jobs().max(1);
+        let hs = &report.handshake_latency;
+        eprintln!(
+            "batch_rsa/b{batch_max}/{CONNECTIONS}conn: {:.1} tx/s, handshake p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms, \
+             {} jobs in {} batches ({} batched), {} kc/decrypt amortized",
+            report.transactions_per_second(),
+            hs.p50.as_secs_f64() * 1e3,
+            hs.p95.as_secs_f64() * 1e3,
+            hs.p99.as_secs_f64() * 1e3,
+            stats.crypto_jobs(),
+            stats.crypto_batches(),
+            stats.crypto_batched_jobs(),
+            stats.crypto_exec().get() / jobs / 1000,
+        );
+
+        group.bench_function(format!("b{batch_max}/{CONNECTIONS}conn"), |b| {
+            b.iter(|| {
+                let report = run_event_load(addr, &load).expect("event load");
+                assert_eq!(report.transactions, CONNECTIONS);
+                black_box(report.handshake_latency.p99);
+            });
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_full_transaction,
     bench_resumed_transaction,
     bench_bulk_records,
     bench_concurrency,
-    bench_crypto_offload
+    bench_crypto_offload,
+    bench_batch_rsa
 );
 criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! Machine-readable benchmark report: `BENCH_6.json`.
+//!
+//! Runs the batched-RSA serving ablation (the fast, single-run variant of
+//! `benches/tcp_serving.rs`'s `batch_rsa` group) plus the in-process RSA
+//! kernel comparison, and writes the results as JSON so CI can diff runs
+//! against each other. One command, from the repository root:
+//!
+//! ```text
+//! cargo run --release -p sslperf-bench --bin bench_report
+//! ```
+//!
+//! writes `BENCH_6.json` in the current directory (pass a path argument to
+//! write elsewhere). `scripts/check_bench_json.py` validates the schema
+//! and flags throughput regressions against the previous report.
+
+#![forbid(unsafe_code)]
+
+use sslperf_core::net::{EventLoopServer, ServerOptions};
+use sslperf_core::prelude::*;
+use sslperf_core::profile::measure;
+use sslperf_core::rsa::BatchCipher;
+use sslperf_core::websim::loadgen::{run_event_load, EventLoadOptions};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Concurrent connections each serving arm is hit with.
+const CONNECTIONS: usize = 64;
+/// Key size for the serving arms (kept small so the report runs in
+/// seconds; the kernel section uses the paper's 1024-bit size).
+const SERVING_KEY_BITS: usize = 512;
+/// Key size for the solo-vs-amortized kernel numbers.
+const KERNEL_KEY_BITS: usize = 1024;
+/// Decrypts sampled for the solo kernel baseline.
+const KERNEL_SAMPLES: usize = 8;
+
+/// One serving arm's measurements.
+struct Arm {
+    label: String,
+    crypto_workers: usize,
+    batch_max: usize,
+    tx_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    cycles_per_decrypt: u64,
+    batches: u64,
+    batched_jobs: u64,
+}
+
+/// Cycles per decrypt when `batch` ciphertexts share one batched call.
+struct Amortized {
+    batch: usize,
+    cycles_per_decrypt: u64,
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_6.json".into());
+
+    eprintln!("[bench_report] RSA kernel: solo vs batched ({KERNEL_KEY_BITS}-bit)");
+    let (solo, amortized) = kernel_numbers();
+
+    eprintln!("[bench_report] serving arms: {CONNECTIONS} connections, {SERVING_KEY_BITS}-bit key");
+    let mut arms = Vec::new();
+    for batch_max in [1usize, 2, 4, 8] {
+        arms.push(serving_arm(batch_max));
+        let arm = arms.last().expect("just pushed");
+        eprintln!(
+            "[bench_report]   {}: {:.1} tx/s, p50 {:.2}ms p99 {:.2}ms, {} kc/decrypt",
+            arm.label,
+            arm.tx_per_sec,
+            arm.p50_ms,
+            arm.p99_ms,
+            arm.cycles_per_decrypt / 1000,
+        );
+    }
+
+    let json = render_json(solo, &amortized, &arms);
+    std::fs::write(&out, json).expect("write report");
+    eprintln!("[bench_report] wrote {out}");
+}
+
+/// Measures the in-process RSA kernel: the best-of-N solo decrypt cost
+/// against the per-job cost when 2/4/8 ciphertexts go through one
+/// `decrypt_batch` call (shared blinding, shared Montgomery scratch,
+/// interleaved CRT halves).
+fn kernel_numbers() -> (u64, Vec<Amortized>) {
+    let mut rng = SslRng::from_seed(b"bench-report-kernel");
+    let key = RsaPrivateKey::generate(KERNEL_KEY_BITS, &mut rng).expect("keygen");
+    let ciphers: Vec<Vec<u8>> = (0..KERNEL_SAMPLES)
+        .map(|i| {
+            let msg = format!("bench-report-pm-{i}");
+            key.public_key().encrypt_pkcs1(msg.as_bytes(), &mut rng).expect("encrypt")
+        })
+        .collect();
+
+    // Warm the blinding cache so neither path pays one-time setup.
+    let _ = key.decrypt_pkcs1(&ciphers[0]).expect("warmup decrypt");
+
+    let solo = ciphers
+        .iter()
+        .map(|c| {
+            let (plain, cycles) = measure(|| key.decrypt_pkcs1(c));
+            plain.expect("solo decrypt");
+            cycles.get()
+        })
+        .min()
+        .expect("samples");
+
+    let amortized = [2usize, 4, 8]
+        .into_iter()
+        .map(|batch| {
+            let items: Vec<BatchCipher> =
+                ciphers.iter().cycle().take(batch).map(|c| BatchCipher::new(c.clone())).collect();
+            let (results, cycles) = measure(|| key.decrypt_batch(&items, &mut rng));
+            for r in results {
+                r.expect("batched decrypt");
+            }
+            Amortized { batch, cycles_per_decrypt: cycles.get() / batch as u64 }
+        })
+        .collect();
+    (solo, amortized)
+}
+
+/// Runs one serving arm: the event-loop server with two crypto workers
+/// and the given batch cap under a saturating all-at-once burst.
+fn serving_arm(batch_max: usize) -> Arm {
+    let crypto_workers = 2;
+    let mut rng = SslRng::from_seed(b"bench-report-serving");
+    let key = RsaPrivateKey::generate(SERVING_KEY_BITS, &mut rng).expect("keygen");
+    let options = ServerOptions::builder()
+        .shards(1)
+        .crypto_workers(crypto_workers)
+        .batch_max(batch_max)
+        .build()
+        .expect("valid arm configuration");
+    let server = EventLoopServer::start(key, "bench.sslperf.test", &options).expect("server start");
+    let load = EventLoadOptions {
+        connections: CONNECTIONS,
+        file_size: 1024,
+        suite: CipherSuite::RsaDesCbc3Sha,
+        hold_until_all_established: true,
+        deadline: Duration::from_secs(120),
+    };
+    let report = run_event_load(server.local_addr(), &load).expect("event load");
+    let stats = server.stats();
+    let jobs = stats.crypto_jobs().max(1);
+    let arm = Arm {
+        label: format!("event_loop_{crypto_workers}w_b{batch_max}"),
+        crypto_workers,
+        batch_max,
+        tx_per_sec: report.transactions_per_second(),
+        p50_ms: report.handshake_latency.p50.as_secs_f64() * 1e3,
+        p95_ms: report.handshake_latency.p95.as_secs_f64() * 1e3,
+        p99_ms: report.handshake_latency.p99.as_secs_f64() * 1e3,
+        cycles_per_decrypt: stats.crypto_exec().get() / jobs,
+        batches: stats.crypto_batches(),
+        batched_jobs: stats.crypto_batched_jobs(),
+    };
+    server.shutdown();
+    arm
+}
+
+/// Hand-rolled JSON (the workspace carries no serde); every number is
+/// emitted with enough precision for the regression diff.
+fn render_json(solo: u64, amortized: &[Amortized], arms: &[Arm]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"sslperf-bench-report/v1\",\n");
+    s.push_str("  \"issue\": 6,\n");
+    s.push_str("  \"rsa\": {\n");
+    let _ = writeln!(s, "    \"key_bits\": {KERNEL_KEY_BITS},");
+    let _ = writeln!(s, "    \"solo_cycles_per_decrypt\": {solo},");
+    s.push_str("    \"amortized\": [\n");
+    for (i, a) in amortized.iter().enumerate() {
+        let comma = if i + 1 < amortized.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"batch\": {}, \"cycles_per_decrypt\": {}}}{comma}",
+            a.batch, a.cycles_per_decrypt
+        );
+    }
+    s.push_str("    ]\n  },\n");
+    s.push_str("  \"serving\": {\n");
+    let _ = writeln!(s, "    \"connections\": {CONNECTIONS},");
+    let _ = writeln!(s, "    \"key_bits\": {SERVING_KEY_BITS},");
+    s.push_str("    \"arms\": [\n");
+    for (i, arm) in arms.iter().enumerate() {
+        let comma = if i + 1 < arms.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"label\": \"{}\", \"crypto_workers\": {}, \"batch_max\": {}, \
+             \"tx_per_sec\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"cycles_per_decrypt\": {}, \"batches\": {}, \"batched_jobs\": {}}}{comma}",
+            arm.label,
+            arm.crypto_workers,
+            arm.batch_max,
+            arm.tx_per_sec,
+            arm.p50_ms,
+            arm.p95_ms,
+            arm.p99_ms,
+            arm.cycles_per_decrypt,
+            arm.batches,
+            arm.batched_jobs,
+        );
+    }
+    s.push_str("    ]\n  }\n}\n");
+    s
+}

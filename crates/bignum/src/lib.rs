@@ -37,7 +37,7 @@ mod prime;
 pub mod words;
 
 pub use gcd::ExtendedGcd;
-pub use mont::MontCtx;
+pub use mont::{MontCtx, MontScratch};
 pub use prime::{generate_prime, is_probable_prime, EntropySource};
 
 use std::cmp::Ordering;

@@ -186,6 +186,180 @@ impl MontCtx {
     }
 }
 
+/// Reusable work buffers for Montgomery arithmetic — the batch-friendly
+/// face of [`MontCtx`].
+///
+/// Every [`MontCtx::mod_exp`] call allocates a fresh double-width product
+/// buffer per multiplication (~1300 of them for an RSA-half exponent) plus
+/// a 16-entry window table. A batched caller — the RSA batch-decrypt path,
+/// which runs the same-modulus exponentiation once per job — passes one
+/// `MontScratch` instead and [`MontCtx::mod_exp_scratch`] reuses these
+/// buffers across every multiplication *and* across every exponentiation
+/// sharing the scratch, leaving one allocation per result. The buffers
+/// grow to the largest modulus seen and are modulus-agnostic, so a single
+/// scratch serves both CRT halves (`mod p`, then `mod q`).
+///
+/// # Examples
+///
+/// ```
+/// use sslperf_bignum::{Bn, MontCtx, MontScratch};
+///
+/// let n = Bn::from_u64(1_000_003);
+/// let ctx = MontCtx::new(&n)?;
+/// let mut scratch = MontScratch::new();
+/// let base = Bn::from_u64(2);
+/// let exp = Bn::from_u64(20);
+/// assert_eq!(ctx.mod_exp_scratch(&base, &exp, &mut scratch), ctx.mod_exp(&base, &exp));
+/// # Ok::<(), sslperf_bignum::BnError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MontScratch {
+    /// Double-width product buffer fed to the reduction.
+    prod: Vec<u32>,
+    /// Destination for the conditional final subtraction.
+    diff: Vec<u32>,
+    /// The modulus zero-padded to the minuend's length.
+    npad: Vec<u32>,
+    /// The 2^w-entry window table, entries overwritten in place.
+    table: Vec<Bn>,
+    /// Ping-pong accumulators for the square-and-multiply loop.
+    acc: Bn,
+    acc2: Bn,
+}
+
+impl MontScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MontCtx {
+    /// Schoolbook product of `a` and `b` written into `prod` (resized, no
+    /// allocation once grown).
+    fn mul_buf(a: &Bn, b: &Bn, prod: &mut Vec<u32>) {
+        counters::count("BN_mul", a.words.len() as u64);
+        prod.clear();
+        prod.resize(a.words.len() + b.words.len(), 0);
+        for (i, &w) in b.words.iter().enumerate() {
+            let carry = bn_mul_add_words(&mut prod[i..i + a.words.len()], &a.words, w);
+            prod[i + a.words.len()] = carry;
+        }
+    }
+
+    /// Montgomery reduction of the double-width value in `t`, result
+    /// written into `out` — the allocation-free twin of [`MontCtx::redc`].
+    fn redc_buf(&self, t: &mut Vec<u32>, out: &mut Bn, diff: &mut Vec<u32>, npad: &mut Vec<u32>) {
+        counters::count("BN_from_montgomery", self.k as u64);
+        t.resize(2 * self.k + 1, 0);
+        for i in 0..self.k {
+            let m = t[i].wrapping_mul(self.n0);
+            let carry = bn_mul_add_words(&mut t[i..i + self.k], &self.n.words, m);
+            let mut c = u64::from(carry);
+            let mut idx = i + self.k;
+            while c != 0 {
+                let s = u64::from(t[idx]) + c;
+                t[idx] = s as u32;
+                c = s >> 32;
+                idx += 1;
+            }
+        }
+        out.words.clear();
+        out.words.extend_from_slice(&t[self.k..]);
+        out.normalize();
+        if *out >= self.n {
+            diff.clear();
+            diff.resize(out.words.len(), 0);
+            npad.clear();
+            npad.extend_from_slice(&self.n.words);
+            npad.resize(out.words.len(), 0);
+            let borrow = bn_sub_words(diff, &out.words, npad);
+            debug_assert_eq!(borrow, 0);
+            std::mem::swap(&mut out.words, diff);
+            out.normalize();
+        }
+    }
+
+    /// `a·b·R⁻¹ mod n` into `out`, using only the given buffers.
+    fn mont_mul_buf(
+        &self,
+        a: &Bn,
+        b: &Bn,
+        out: &mut Bn,
+        prod: &mut Vec<u32>,
+        diff: &mut Vec<u32>,
+        npad: &mut Vec<u32>,
+    ) {
+        Self::mul_buf(a, b, prod);
+        self.redc_buf(prod, out, diff, npad);
+    }
+
+    /// Computes `base^exp mod n`, reusing `scratch` for every intermediate
+    /// buffer and sizing the window to the exponent (OpenSSL's
+    /// `BN_window_bits_for_exponent_size`), so a 4-bit Fiat-tree exponent
+    /// does not pay for a 16-entry table build.
+    ///
+    /// Returns the same value as [`MontCtx::mod_exp`]; the difference is
+    /// purely allocator traffic and table sizing. In steady state the only
+    /// allocation is the returned result, which is what makes batched RSA
+    /// decryption's repeated same-modulus exponentiations cheap to
+    /// interleave.
+    #[must_use]
+    pub fn mod_exp_scratch(&self, base: &Bn, exp: &Bn, scratch: &mut MontScratch) -> Bn {
+        if exp.is_zero() {
+            return if self.n.is_one() { Bn::zero() } else { Bn::one() };
+        }
+        let window: usize = match exp.bit_len() {
+            0..=23 => 1,
+            24..=79 => 3,
+            80..=239 => 4,
+            240..=671 => 5,
+            _ => 6,
+        };
+        counters::count("BN_mod_exp", exp.bit_len() as u64);
+        let MontScratch { prod, diff, npad, table, acc, acc2 } = scratch;
+        let table_len = 1usize << window;
+        if table.len() < table_len {
+            table.resize_with(table_len, Bn::zero);
+        }
+        // table[0] = 1·R, table[1] = g = base·R, table[i] = table[i-1]·g.
+        let one_mont = self.to_mont(&Bn::one());
+        table[0].copy_from(&one_mont);
+        let g = self.to_mont(base);
+        table[1].copy_from(&g);
+        for i in 2..table_len {
+            let (lo, hi) = table.split_at_mut(i);
+            self.mont_mul_buf(&lo[i - 1], &g, &mut hi[0], prod, diff, npad);
+        }
+
+        let bits = exp.bit_len();
+        let chunks = bits.div_ceil(window);
+        acc.copy_from(&table[0]);
+        for chunk_idx in (0..chunks).rev() {
+            if chunk_idx != chunks - 1 {
+                for _ in 0..window {
+                    self.mont_mul_buf(acc, acc, acc2, prod, diff, npad);
+                    std::mem::swap(acc, acc2);
+                }
+            }
+            let mut idx = 0usize;
+            for b in (0..window).rev() {
+                let bit_pos = chunk_idx * window + b;
+                idx = (idx << 1) | usize::from(exp.bit(bit_pos));
+            }
+            if idx != 0 {
+                self.mont_mul_buf(acc, &table[idx], acc2, prod, diff, npad);
+                std::mem::swap(acc, acc2);
+            }
+        }
+        prod.clear();
+        prod.extend_from_slice(&acc.words);
+        self.redc_buf(prod, acc2, diff, npad);
+        acc2.clone()
+    }
+}
+
 impl Bn {
     /// Computes `self^exp mod m` via a throwaway Montgomery context for odd
     /// `m`, falling back to binary square-and-multiply for even moduli.
@@ -332,6 +506,51 @@ mod tests {
         let ctx = MontCtx::new(&n).unwrap();
         let exp = bn("123456789abcdef0123456789abcdef0");
         assert_eq!(ctx.mod_exp(&Bn::from_u64(3), &exp), Bn::from_u64(3).mod_exp_simple(&exp, &n));
+    }
+
+    #[test]
+    fn scratch_exponentiation_matches_allocating_path() {
+        let n = bn("c0ffee0000000000000000000000000000000000000000000000000000000061");
+        let ctx = MontCtx::new(&n).unwrap();
+        let mut scratch = MontScratch::new();
+        for (base, exp) in [
+            ("2", "10001"),
+            ("123456789abcdef", "fedcba9876543210"),
+            ("0", "5"),
+            ("1", "ffffffffffffffff"),
+            ("deadbeef", "0"),
+        ] {
+            let base = bn(base);
+            let exp = bn(exp);
+            assert_eq!(
+                ctx.mod_exp_scratch(&base, &exp, &mut scratch),
+                ctx.mod_exp(&base, &exp),
+                "base {base:?} exp {exp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_scratch_serves_multiple_moduli() {
+        // The batch decrypt path interleaves mod-p and mod-q halves through
+        // one scratch; buffers must not leak state across moduli.
+        let p = bn("ffffffffffffffc5");
+        let q = bn("fffffffffffffffffffffffffffffff1");
+        let ctx_p = MontCtx::new(&p).unwrap();
+        let ctx_q = MontCtx::new(&q).unwrap();
+        let mut scratch = MontScratch::new();
+        let base = bn("123456789abcdef");
+        let exp = bn("abcdef123");
+        for _ in 0..3 {
+            assert_eq!(
+                ctx_p.mod_exp_scratch(&base, &exp, &mut scratch),
+                ctx_p.mod_exp(&base, &exp)
+            );
+            assert_eq!(
+                ctx_q.mod_exp_scratch(&base, &exp, &mut scratch),
+                ctx_q.mod_exp(&base, &exp)
+            );
+        }
     }
 
     #[test]

@@ -156,12 +156,18 @@ pub struct OffloadArm {
     pub label: String,
     /// Crypto workers behind the event loop (`0` = decrypt inline).
     pub crypto_workers: usize,
+    /// Most RSA jobs one crypto-pool batch may combine (1 = unbatched).
+    pub batch_max: usize,
     /// Client-side results (throughput, handshake latency percentiles).
     pub report: EventLoadReport,
     /// RSA jobs the pool accepted (0 for the inline arms).
     pub crypto_jobs: u64,
     /// High-water mark of the job queue.
     pub crypto_queue_depth_max: u64,
+    /// Decrypt batches the pool executed (solo jobs count as batches of 1).
+    pub crypto_batches: u64,
+    /// Jobs that ran inside a real batch (size >= 2).
+    pub crypto_batched_jobs: u64,
 }
 
 /// Results of the crypto-offload ablation: worker-pool inline vs
@@ -184,14 +190,14 @@ impl fmt::Display for CryptoOffload {
         writeln!(f, "=================================================")?;
         writeln!(
             f,
-            "{:<28} {:>8} {:>9} {:>9} {:>9} {:>6} {:>6}",
-            "configuration", "tx/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "jobs", "depth"
+            "{:<28} {:>8} {:>9} {:>9} {:>9} {:>6} {:>6} {:>8}",
+            "configuration", "tx/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "jobs", "depth", "batched"
         )?;
         for arm in &self.arms {
             let hs = &arm.report.handshake_latency;
             writeln!(
                 f,
-                "{:<28} {:>8.1} {:>9} {:>9} {:>9} {:>6} {:>6}",
+                "{:<28} {:>8.1} {:>9} {:>9} {:>9} {:>6} {:>6} {:>8}",
                 arm.label,
                 arm.report.transactions_per_second(),
                 ms(hs.p50),
@@ -199,6 +205,7 @@ impl fmt::Display for CryptoOffload {
                 ms(hs.p99),
                 arm.crypto_jobs,
                 arm.crypto_queue_depth_max,
+                arm.crypto_batched_jobs,
             )?;
         }
         write!(
@@ -206,7 +213,8 @@ impl fmt::Display for CryptoOffload {
             "Paper context: §5 — parallel crypto engines. One event-loop shard decrypting\n\
              inline serialises every handshake behind the ~90% RSA step (head-of-line\n\
              blocking); handing the decryption to a crypto worker pool lets the shard\n\
-             keep sweeping, so tail latency drops as workers are added."
+             keep sweeping, so tail latency drops as workers are added. The batched arm\n\
+             additionally combines queued decryptions so per-job cost amortises."
         )
     }
 }
@@ -216,6 +224,7 @@ fn offload_arm(
     ctx: &Context,
     label: String,
     crypto_workers: usize,
+    batch_max: usize,
     event_loop: bool,
     options: &EventLoadOptions,
     connections: usize,
@@ -223,26 +232,47 @@ fn offload_arm(
     let mut rng = ctx.rng(&label);
     let key = RsaPrivateKey::generate(ctx.key_bits(), &mut rng)?;
     if event_loop {
-        let server_options = ServerOptions { crypto_workers, ..ServerOptions::default() };
+        let server_options = ServerOptions::builder()
+            .crypto_workers(crypto_workers)
+            .batch_max(batch_max)
+            .build()
+            .expect("ablation arms are valid configurations");
         let server = EventLoopServer::start(key, "www.sslperf.test", &server_options)?;
         let report = run_event_load(server.local_addr(), options)?;
-        let (jobs, depth) = (server.stats().crypto_jobs(), server.stats().crypto_queue_depth_max());
+        let stats = server.stats();
+        let (jobs, depth) = (stats.crypto_jobs(), stats.crypto_queue_depth_max());
+        let (batches, batched) = (stats.crypto_batches(), stats.crypto_batched_jobs());
         server.shutdown();
         Ok(OffloadArm {
             label,
             crypto_workers,
+            batch_max,
             report,
             crypto_jobs: jobs,
             crypto_queue_depth_max: depth,
+            crypto_batches: batches,
+            crypto_batched_jobs: batched,
         })
     } else {
         // The pool server parks one blocking thread per held connection, so
         // it needs as many workers as the burst has sockets.
-        let server_options = ServerOptions { workers: connections, ..ServerOptions::default() };
+        let server_options = ServerOptions::builder()
+            .workers(connections)
+            .build()
+            .expect("ablation arms are valid configurations");
         let server = TcpSslServer::start(key, "www.sslperf.test", &server_options)?;
         let report = run_event_load(server.local_addr(), options)?;
         server.shutdown();
-        Ok(OffloadArm { label, crypto_workers, report, crypto_jobs: 0, crypto_queue_depth_max: 0 })
+        Ok(OffloadArm {
+            label,
+            crypto_workers,
+            batch_max,
+            report,
+            crypto_jobs: 0,
+            crypto_queue_depth_max: 0,
+            crypto_batches: 0,
+            crypto_batched_jobs: 0,
+        })
     }
 }
 
@@ -269,21 +299,34 @@ pub fn crypto_offload(ctx: &Context) -> Result<CryptoOffload, ExperimentError> {
         ctx,
         format!("pool-inline ({connections} thr)"),
         0,
+        1,
         false,
         &options,
         connections,
     )?);
-    arms.push(offload_arm(ctx, "event-loop inline".into(), 0, true, &options, connections)?);
+    arms.push(offload_arm(ctx, "event-loop inline".into(), 0, 1, true, &options, connections)?);
     for workers in [1usize, 2, 4] {
         arms.push(offload_arm(
             ctx,
             format!("event-loop +{workers} crypto"),
             workers,
+            1,
             true,
             &options,
             connections,
         )?);
     }
+    // The batching arm: same pool as "+2 crypto", but the collector may
+    // combine up to 4 queued decryptions into one amortized batch.
+    arms.push(offload_arm(
+        ctx,
+        "event-loop +2 crypto b4".into(),
+        2,
+        4,
+        true,
+        &options,
+        connections,
+    )?);
     Ok(CryptoOffload { connections, arms })
 }
 
@@ -330,8 +373,11 @@ pub fn live_anatomy(ctx: &Context) -> Result<LiveAnatomy, ExperimentError> {
     };
     let mut rng = ctx.rng("netload-anatomy-key");
     let key = RsaPrivateKey::generate(ctx.key_bits(), &mut rng)?;
-    let server_options =
-        ServerOptions { crypto_workers: 2, metrics: true, ..ServerOptions::default() };
+    let server_options = ServerOptions::builder()
+        .crypto_workers(2)
+        .metrics(true)
+        .build()
+        .expect("valid live-anatomy server options");
     let server = EventLoopServer::start(key, "www.sslperf.test", &server_options)?;
     run_socket_load(server.local_addr(), &options)?;
     let snapshot = server.metrics().expect("metrics enabled by options").snapshot();
@@ -384,7 +430,7 @@ mod tests {
     #[test]
     fn crypto_offload_runs_all_arms() {
         let co = crypto_offload(ctx()).expect("crypto offload ablation");
-        assert_eq!(co.arms.len(), 5, "pool-inline, el-inline, +1/+2/+4 workers");
+        assert_eq!(co.arms.len(), 6, "pool-inline, el-inline, +1/+2/+4 workers, batched");
         for arm in &co.arms {
             assert_eq!(
                 arm.report.transactions, co.connections,
@@ -400,11 +446,22 @@ mod tests {
                     arm.label
                 );
                 assert!(arm.crypto_queue_depth_max >= 1, "{}: queue was used", arm.label);
+                assert!(arm.crypto_batches >= 1, "{}: pool executed batches", arm.label);
+            }
+            if arm.batch_max == 1 {
+                assert_eq!(
+                    arm.crypto_batched_jobs, 0,
+                    "{}: unbatched arms never combine jobs",
+                    arm.label
+                );
             }
         }
+        let batched = co.arms.last().expect("batched arm present");
+        assert_eq!(batched.batch_max, 4, "last arm batches up to 4");
         let rendered = co.to_string();
         assert!(rendered.contains("configuration"), "table header: {rendered}");
         assert!(rendered.contains("event-loop +2 crypto"), "offload arm row: {rendered}");
+        assert!(rendered.contains("event-loop +2 crypto b4"), "batched arm row: {rendered}");
         assert!(rendered.contains("parallel crypto engines"), "paper context: {rendered}");
     }
 }

@@ -189,9 +189,19 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&self, v: u64) {
-        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.record_n(v, 1);
+    }
+
+    /// Records the same observation `n` times with one set of atomic adds —
+    /// a batch of jobs sharing an amortized per-job cost records the cost
+    /// once, weighted by the batch size.
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v * n, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -378,6 +388,23 @@ mod tests {
         assert!((950..=1000).contains(&p95), "p95={p95}");
         assert!((990..=1000).contains(&p99), "p99={p99}");
         assert_eq!(s.mean(), 500);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_n(500, 4);
+        a.record_n(9, 0); // no-op
+        for _ in 0..4 {
+            b.record(500);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.count(), sb.count());
+        assert_eq!(sa.sum(), sb.sum());
+        assert_eq!(sa.max(), sb.max());
+        assert_eq!(sa.p50(), sb.p50());
+        assert_eq!(sa.p99(), sb.p99());
     }
 
     #[test]

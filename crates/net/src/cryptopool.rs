@@ -11,23 +11,61 @@
 //! suspended.
 //!
 //! Backpressure: the queue is a `sync_channel` of fixed depth. Submission
-//! never blocks — [`CryptoPool::try_submit`] hands the job back on a full
-//! queue so the shard can park it on the connection and retry next sweep,
-//! keeping the event loop latency-bounded even when the pool is saturated.
-//! Shutdown drops the sender side; workers drain what is queued and exit.
+//! never blocks — [`CryptoPool::try_submit`] hands the job back inside a
+//! [`SubmitError`] so the shard can park it and retry on a full queue
+//! ([`SubmitError::QueueFull`]) or fail the connection when the pool is
+//! gone ([`SubmitError::ShutDown`]). Shutdown drops the sender side;
+//! workers drain what is queued and exit.
+//!
+//! Batching ([`CryptoPool::start_batched`]): the worker that wins the
+//! receiver mutex acts as the *collector* — it takes the first job
+//! blocking, then keeps draining up to `batch_max` jobs, waiting at most
+//! `batch_deadline` after the first. Holding the receiver lock for that
+//! window is deliberate: it concentrates queued jobs into one batch
+//! instead of scattering them across workers, and the deadline bounds the
+//! latency cost at light load. Execution happens *outside* the lock via
+//! [`CryptoJob::execute_batch`], which shares one blinding acquisition and
+//! one scratch context across the batch; each job's result fans back to
+//! its own shard's reply channel. A `batch_max` of 1 skips collection
+//! entirely and behaves exactly like the unbatched pool.
 
+use crate::metrics::ServerMetrics;
 use crate::server::ServerStats;
 use sslperf_ssl::{CryptoDone, CryptoJob, ServerConfig};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Queue slots per worker: deep enough that a handshake burst keeps the
 /// workers saturated without bouncing jobs back to the shards (a parked
 /// job waits a whole sweep before retrying), shallow enough that the
 /// queue stays bounded and saturation still surfaces as backpressure.
 const QUEUE_DEPTH_PER_WORKER: usize = 32;
+
+/// Why [`CryptoPool::try_submit`] did not accept a job. Both variants hand
+/// the job back, but they demand different reactions from the event loop:
+/// a full queue is transient (park the job on the connection and retry
+/// next sweep), a shut-down pool is permanent (fail the connection — a
+/// parked job would wait forever).
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded queue had no free slot; back off and retry.
+    QueueFull(CryptoJob),
+    /// The pool has stopped accepting jobs and will never drain this one.
+    ShutDown(CryptoJob),
+}
+
+impl SubmitError {
+    /// Recovers the job for parking or inline execution.
+    #[must_use]
+    pub fn into_job(self) -> CryptoJob {
+        match self {
+            SubmitError::QueueFull(job) | SubmitError::ShutDown(job) => job,
+        }
+    }
+}
 
 /// One queued decrypt request: the suspended job plus the routing needed
 /// to get the result back to the owning connection.
@@ -44,7 +82,9 @@ struct CryptoTask {
 /// Shared by every shard of an [`EventLoopServer`](crate::EventLoopServer)
 /// started with [`ServerOptions::crypto_workers`](crate::ServerOptions)
 /// &gt; 0. Workers execute jobs against the shared [`ServerConfig`]'s
-/// private key and update the crypto counters in [`ServerStats`].
+/// private key and update the crypto counters in [`ServerStats`]; with
+/// [`ServerOptions::batch_max`](crate::ServerOptions) &gt; 1 they collect
+/// queued jobs into amortized decrypt batches first.
 #[derive(Debug)]
 pub struct CryptoPool {
     tx: Option<SyncSender<CryptoTask>>,
@@ -53,15 +93,40 @@ pub struct CryptoPool {
 }
 
 impl CryptoPool {
-    /// Spawns `workers` threads sharing one bounded queue (MPMC through
-    /// the same mutex-guarded receiver idiom the worker-pool server uses).
+    /// Spawns `workers` threads sharing one bounded queue, executing every
+    /// job solo — [`CryptoPool::start_batched`] with a `batch_max` of 1.
     ///
     /// # Panics
     ///
     /// Panics when `workers` is zero.
     #[must_use]
     pub fn start(workers: usize, config: Arc<ServerConfig>, stats: Arc<ServerStats>) -> Self {
+        Self::start_batched(workers, 1, Duration::ZERO, config, stats, None)
+    }
+
+    /// Spawns `workers` threads sharing one bounded queue (MPMC through
+    /// the same mutex-guarded receiver idiom the worker-pool server uses),
+    /// collecting up to `batch_max` queued jobs into each decrypt batch
+    /// and waiting at most `batch_deadline` after the first job of a
+    /// batch. Per-batch anatomy (size, amortized vs. solo cycles) lands in
+    /// `metrics` when provided.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` or `batch_max` is zero (the builder's
+    /// [`OptionsError`](crate::OptionsError) catches both earlier for
+    /// server-configured pools).
+    #[must_use]
+    pub fn start_batched(
+        workers: usize,
+        batch_max: usize,
+        batch_deadline: Duration,
+        config: Arc<ServerConfig>,
+        stats: Arc<ServerStats>,
+        metrics: Option<Arc<ServerMetrics>>,
+    ) -> Self {
         assert!(workers > 0, "at least one crypto worker");
+        assert!(batch_max > 0, "a batch holds at least one job");
         let (tx, rx) = mpsc::sync_channel::<CryptoTask>(workers * QUEUE_DEPTH_PER_WORKER);
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers)
@@ -69,29 +134,35 @@ impl CryptoPool {
                 let rx = Arc::clone(&rx);
                 let config = Arc::clone(&config);
                 let stats = Arc::clone(&stats);
-                std::thread::spawn(move || worker_loop(&rx, &config, &stats))
+                let metrics = metrics.clone();
+                std::thread::spawn(move || {
+                    worker_loop(&rx, batch_max, batch_deadline, &config, &stats, metrics.as_deref())
+                })
             })
             .collect();
         CryptoPool { tx: Some(tx), workers, stats }
     }
 
-    /// Submits a job without blocking. On a full queue the job comes back
-    /// as `Err` so the caller can park it and retry — the backpressure
-    /// contract that keeps shards sweeping.
+    /// Submits a job without blocking. The job always comes back inside
+    /// the error on refusal — the backpressure contract that keeps shards
+    /// sweeping.
     ///
     /// # Errors
     ///
-    /// Returns the job when the queue is full or the pool is shut down.
-    // The Err variant is the job handed back for parking — a payload, not
-    // an error condition — so its size is inherent to the contract.
+    /// [`SubmitError::QueueFull`] when every slot is taken (transient:
+    /// park and retry); [`SubmitError::ShutDown`] when the pool no longer
+    /// accepts jobs (permanent: fail the connection).
+    // The error variants carry the job handed back for parking — a
+    // payload, not an error condition — so their size is inherent to the
+    // contract.
     #[allow(clippy::result_large_err)]
     pub fn try_submit(
         &self,
         conn: u64,
         job: CryptoJob,
         reply: &Sender<(u64, CryptoDone)>,
-    ) -> Result<(), CryptoJob> {
-        let Some(tx) = &self.tx else { return Err(job) };
+    ) -> Result<(), SubmitError> {
+        let Some(tx) = &self.tx else { return Err(SubmitError::ShutDown(job)) };
         let task = CryptoTask { conn, job, reply: reply.clone() };
         // Count the depth *before* the send: a worker may dequeue (and
         // decrement) the instant the task lands, and the counter must
@@ -103,9 +174,12 @@ impl CryptoPool {
                 self.stats.crypto_queue_depth_max.fetch_max(depth, Ordering::Relaxed);
                 Ok(())
             }
-            Err(TrySendError::Full(task) | TrySendError::Disconnected(task)) => {
+            Err(err) => {
                 self.stats.crypto_queue_depth.fetch_sub(1, Ordering::Relaxed);
-                Err(task.job)
+                match err {
+                    TrySendError::Full(task) => Err(SubmitError::QueueFull(task.job)),
+                    TrySendError::Disconnected(task) => Err(SubmitError::ShutDown(task.job)),
+                }
             }
         }
     }
@@ -131,19 +205,84 @@ impl Drop for CryptoPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<CryptoTask>>, config: &ServerConfig, stats: &ServerStats) {
+/// Collects one batch off the queue while holding the receiver lock: the
+/// first job blocking, then up to `batch_max - 1` more within
+/// `batch_deadline` of the first. Returns an empty vec when the queue is
+/// disconnected and drained. With `batch_max == 1` no batch clock starts
+/// and jobs flow exactly as in the unbatched pool.
+fn collect_batch(
+    rx: &Mutex<Receiver<CryptoTask>>,
+    batch_max: usize,
+    batch_deadline: Duration,
+    stats: &ServerStats,
+) -> Vec<CryptoTask> {
+    let rx = rx.lock().expect("crypto queue lock");
+    let Ok(first) = rx.recv() else { return Vec::new() };
+    stats.crypto_queue_depth.fetch_sub(1, Ordering::Relaxed);
+    let mut batch = Vec::with_capacity(batch_max);
+    batch.push(first);
+    if batch_max > 1 {
+        batch[0].job.collect();
+        let deadline = Instant::now() + batch_deadline;
+        while batch.len() < batch_max {
+            // Drain whatever is already queued first; only wait out the
+            // deadline when the queue runs dry.
+            let task = match rx.try_recv() {
+                Ok(task) => task,
+                Err(_) => {
+                    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                        break;
+                    };
+                    match rx.recv_timeout(remaining) {
+                        Ok(task) => task,
+                        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            };
+            stats.crypto_queue_depth.fetch_sub(1, Ordering::Relaxed);
+            let mut task = task;
+            task.job.collect();
+            batch.push(task);
+        }
+    }
+    batch
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<CryptoTask>>,
+    batch_max: usize,
+    batch_deadline: Duration,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    metrics: Option<&ServerMetrics>,
+) {
     loop {
-        let task = {
-            let rx = rx.lock().expect("crypto queue lock");
-            rx.recv()
+        let batch = collect_batch(rx, batch_max, batch_deadline, stats);
+        if batch.is_empty() {
+            return;
+        }
+        let size = batch.len();
+        stats.crypto_batches.fetch_add(1, Ordering::Relaxed);
+        if size > 1 {
+            stats.crypto_batched_jobs.fetch_add(size as u64, Ordering::Relaxed);
+        }
+        let (mut tasks, jobs): (Vec<_>, Vec<_>) =
+            batch.into_iter().map(|t| ((t.conn, t.reply), t.job)).unzip();
+        let dones = if size == 1 {
+            vec![jobs.into_iter().next().expect("size checked").execute(config.key())]
+        } else {
+            CryptoJob::execute_batch(jobs, config.key())
         };
-        let Ok(task) = task else { return };
-        stats.crypto_queue_depth.fetch_sub(1, Ordering::Relaxed);
-        let done = task.job.execute(config.key());
-        stats.crypto_queue_wait_cycles.fetch_add(done.queue_wait().get(), Ordering::Relaxed);
-        stats.crypto_exec_cycles.fetch_add(done.exec().get(), Ordering::Relaxed);
-        // A send failure means the shard is gone; the result is moot.
-        let _ = task.reply.send((task.conn, done));
+        if let (Some(metrics), Some(done)) = (metrics, dones.first()) {
+            metrics.note_crypto_batch(size, done.exec());
+        }
+        for ((conn, reply), done) in tasks.drain(..).zip(dones) {
+            stats.crypto_queue_wait_cycles.fetch_add(done.queue_wait().get(), Ordering::Relaxed);
+            stats.crypto_batch_wait_cycles.fetch_add(done.batch_wait().get(), Ordering::Relaxed);
+            stats.crypto_exec_cycles.fetch_add(done.exec().get(), Ordering::Relaxed);
+            // A send failure means the shard is gone; the result is moot.
+            let _ = reply.send((conn, done));
+        }
     }
 }
 
@@ -201,6 +340,10 @@ mod tests {
         }
         assert_eq!(stats.crypto_jobs(), 1);
         assert!(stats.crypto_queue_depth_max() >= 1);
+        // An unbatched pool reports one batch per job, all solo.
+        assert_eq!(stats.crypto_batches(), 1);
+        assert_eq!(stats.crypto_batched_jobs(), 0);
+        assert_eq!(stats.crypto_batch_wait(), sslperf_profile::Cycles::ZERO);
         pool.shutdown();
     }
 
@@ -220,7 +363,8 @@ mod tests {
             let (_, job) = suspended_job(&config, submitted);
             match pool.try_submit(submitted, job, &reply_tx) {
                 Ok(()) => submitted += 1,
-                Err(job) => break job,
+                Err(SubmitError::QueueFull(job)) => break job,
+                Err(SubmitError::ShutDown(_)) => panic!("pool is running"),
             }
             assert!(submitted < 256, "queue never filled");
         };
@@ -233,6 +377,65 @@ mod tests {
         }
         assert_eq!(stats.crypto_jobs(), submitted);
         pool.shutdown();
+    }
+
+    /// A batched pool combines queued jobs and each result still resumes
+    /// its own handshake (results route by connection id).
+    #[test]
+    fn batched_pool_combines_queued_jobs() {
+        let config = config();
+        let stats = Arc::new(ServerStats::default());
+        // One worker so every job lands in the same collector; a generous
+        // deadline so the whole burst combines deterministically.
+        let pool = CryptoPool::start_batched(
+            1,
+            4,
+            Duration::from_millis(200),
+            Arc::clone(&config),
+            Arc::clone(&stats),
+            None,
+        );
+        let (reply_tx, reply_rx) = mpsc::channel();
+
+        let mut engines = Vec::new();
+        for seq in 0..4u64 {
+            let (server, job) = suspended_job(&config, seq);
+            pool.try_submit(seq, job, &reply_tx).expect("queue has room");
+            engines.push((seq, server));
+        }
+        for _ in 0..4 {
+            let (conn, done) = reply_rx.recv().expect("batched reply");
+            let (_, server) = engines.iter_mut().find(|(seq, _)| *seq == conn).expect("known conn");
+            server.complete_crypto(done).expect("resume with batched result");
+        }
+        assert_eq!(stats.crypto_jobs(), 4);
+        assert!(stats.crypto_batches() >= 1);
+        assert!(stats.crypto_batched_jobs() >= 2, "at least one real batch formed");
+        pool.shutdown();
+    }
+
+    /// Submitting into a shut-down pool reports `ShutDown`, not
+    /// `QueueFull` — the event loop must fail the connection, not park it.
+    #[test]
+    fn shutdown_pool_reports_shutdown_distinctly() {
+        let config = config();
+        let stats = Arc::new(ServerStats::default());
+        let mut pool = CryptoPool::start(1, Arc::clone(&config), Arc::clone(&stats));
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        // Simulate shutdown without consuming the pool (stop_workers is
+        // what `shutdown` and `Drop` both call).
+        pool.stop_workers();
+        let (_, job) = suspended_job(&config, 99);
+        match pool.try_submit(99, job, &reply_tx) {
+            Err(SubmitError::ShutDown(job)) => {
+                // The job survives for a caller that wants inline fallback.
+                let done = job.execute(config.key());
+                assert!(done.exec().get() > 0);
+            }
+            Err(SubmitError::QueueFull(_)) => panic!("shutdown must not report full"),
+            Ok(()) => panic!("shutdown pool accepted a job"),
+        }
+        assert_eq!(stats.crypto_jobs(), 0);
     }
 
     /// Builds a server engine suspended at the RSA boundary and returns

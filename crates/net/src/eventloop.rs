@@ -27,7 +27,7 @@
 //! orderly `close_notify` once established.
 
 use crate::cache::ShardedSessionCache;
-use crate::cryptopool::CryptoPool;
+use crate::cryptopool::{CryptoPool, SubmitError};
 use crate::metrics::ServerMetrics;
 use crate::server::{alert_for_close, serve_request, ServerOptions, ServerStats};
 use sslperf_profile::measure;
@@ -103,14 +103,17 @@ impl EventLoopServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let io_timeout = options.io_timeout;
+        let metrics = options.metrics.then(|| Arc::new(ServerMetrics::new()));
         let pool = (options.crypto_workers > 0).then(|| {
-            Arc::new(CryptoPool::start(
+            Arc::new(CryptoPool::start_batched(
                 options.crypto_workers,
+                options.batch_max,
+                options.batch_deadline,
                 Arc::clone(&config),
                 Arc::clone(&stats),
+                metrics.clone(),
             ))
         });
-        let metrics = options.metrics.then(|| Arc::new(ServerMetrics::new()));
         let shards = (0..options.shards)
             .map(|shard| {
                 let listener = Arc::clone(&listener);
@@ -366,7 +369,7 @@ impl<'a> Conn<'a> {
         let mut progress = false;
 
         // Resubmit a job the pool bounced on an earlier sweep.
-        progress |= self.submit_crypto(offload);
+        progress |= self.submit_crypto(offload, stats);
 
         // Deadline eviction (the event-loop half of the slowloris guard).
         // A connection whose RSA job sits in the crypto queue is stalled on
@@ -416,7 +419,7 @@ impl<'a> Conn<'a> {
 
         // The bytes just fed may have suspended the engine at the RSA
         // boundary: hand the job to the pool and keep sweeping.
-        progress |= self.submit_crypto(offload);
+        progress |= self.submit_crypto(offload, stats);
 
         // Serve any complete requests that arrived exactly on a previous
         // sweep's bytes (feed_bytes drains eagerly, this is the catch-all).
@@ -478,9 +481,11 @@ impl<'a> Conn<'a> {
 
     /// Moves a suspended RSA decryption to the crypto pool: resubmits a
     /// parked job first, otherwise takes a freshly suspended one from the
-    /// engine. A bounced job parks on the connection for the next sweep.
-    /// Returns true when a job entered the queue.
-    fn submit_crypto(&mut self, offload: Option<&Offload<'_>>) -> bool {
+    /// engine. A bounced job parks on the connection for the next sweep;
+    /// a shut-down pool fails the connection outright — parking would
+    /// wait on a queue that will never drain. Returns true when a job
+    /// entered the queue (or the connection transitioned to draining).
+    fn submit_crypto(&mut self, offload: Option<&Offload<'_>>, stats: &ServerStats) -> bool {
         let Some(offload) = offload else { return false };
         if self.draining || self.done || self.inflight {
             return false;
@@ -497,9 +502,21 @@ impl<'a> Conn<'a> {
                 self.inflight = true;
                 true
             }
-            Err(job) => {
+            Err(SubmitError::QueueFull(job)) => {
                 self.parked = Some(job);
                 false
+            }
+            Err(SubmitError::ShutDown(_)) => {
+                // The handshake can never resume: its decrypt has nowhere
+                // to run. Fail fast with a fatal alert (SSLv3 has no
+                // internal_error description) instead of retrying forever.
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                if self.engine.queue_alert(Alert::fatal(AlertDescription::HandshakeFailure)).is_ok()
+                {
+                    stats.alerts_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                self.draining = true;
+                true
             }
         }
     }
@@ -517,7 +534,7 @@ impl<'a> Conn<'a> {
         }
         if let Some(m) = self.metrics {
             let depth = stats.crypto_queue_depth.load(Ordering::Relaxed);
-            m.note_pool_job(depth, done.queue_wait(), done.exec());
+            m.note_pool_job(depth, done.queue_wait(), done.batch_wait(), done.exec());
         }
         match self.engine.complete_crypto(done) {
             Ok(()) => {

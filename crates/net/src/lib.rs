@@ -44,7 +44,7 @@ mod metrics;
 mod server;
 
 pub use cache::ShardedSessionCache;
-pub use cryptopool::CryptoPool;
+pub use cryptopool::{CryptoPool, SubmitError};
 pub use eventloop::EventLoopServer;
 pub use metrics::{MetricsSnapshot, ServerMetrics, StepSnapshot};
-pub use server::{ServerOptions, ServerStats, TcpSslServer};
+pub use server::{OptionsError, ServerOptions, ServerOptionsBuilder, ServerStats, TcpSslServer};

@@ -66,6 +66,14 @@ pub struct ServerMetrics {
     /// Per-job crypto-pool queue wait / execution cycles.
     pool_wait: Histogram,
     pool_exec: Histogram,
+    /// Per-job cycles spent collected-but-waiting for batch siblings.
+    pool_batch_wait: Histogram,
+    /// Jobs per executed crypto-pool batch (1 = solo execution).
+    batch_size: Histogram,
+    /// Cycles per RSA decrypt when executed solo (batch of one).
+    exec_solo: Histogram,
+    /// Amortized cycles per RSA decrypt inside batches of two or more.
+    exec_amortized: Histogram,
 }
 
 impl Default for ServerMetrics {
@@ -98,6 +106,10 @@ impl ServerMetrics {
             pool_queue_depth: Gauge::new(),
             pool_wait: Histogram::new(),
             pool_exec: Histogram::new(),
+            pool_batch_wait: Histogram::new(),
+            batch_size: Histogram::new(),
+            exec_solo: Histogram::new(),
+            exec_amortized: Histogram::new(),
         }
     }
 
@@ -152,11 +164,26 @@ impl ServerMetrics {
     }
 
     /// Records one executed crypto-pool job: a backlog-depth sample taken
-    /// as the result lands, queue wait, and execution cycles.
-    pub fn note_pool_job(&self, depth: u64, wait: Cycles, exec: Cycles) {
+    /// as the result lands, queue wait, batch wait, and execution cycles.
+    pub fn note_pool_job(&self, depth: u64, wait: Cycles, batch_wait: Cycles, exec: Cycles) {
         self.pool_queue_depth.set(depth);
         self.pool_wait.record(wait.get());
+        self.pool_batch_wait.record(batch_wait.get());
         self.pool_exec.record(exec.get());
+    }
+
+    /// Records one executed crypto-pool batch: its size, and the per-decrypt
+    /// execution cost — into the solo histogram for a batch of one, into
+    /// the amortized histogram (weighted by size, so quantiles are
+    /// per-job) for real batches. The solo-vs-amortized split is the batch
+    /// ablation's headline number.
+    pub fn note_crypto_batch(&self, size: usize, per_job_exec: Cycles) {
+        self.batch_size.record(size as u64);
+        if size <= 1 {
+            self.exec_solo.record(per_job_exec.get());
+        } else {
+            self.exec_amortized.record_n(per_job_exec.get(), size as u64);
+        }
     }
 
     /// Freezes the registry into an owned, renderable snapshot.
@@ -189,6 +216,10 @@ impl ServerMetrics {
             pool_queue_depth_max: self.pool_queue_depth.max(),
             pool_wait: self.pool_wait.snapshot(),
             pool_exec: self.pool_exec.snapshot(),
+            pool_batch_wait: self.pool_batch_wait.snapshot(),
+            batch_size: self.batch_size.snapshot(),
+            exec_solo: self.exec_solo.snapshot(),
+            exec_amortized: self.exec_amortized.snapshot(),
         }
     }
 }
@@ -246,6 +277,14 @@ pub struct MetricsSnapshot {
     pub pool_wait: HistogramSnapshot,
     /// Per-job crypto-pool execution distribution.
     pub pool_exec: HistogramSnapshot,
+    /// Per-job batch-assembly wait distribution.
+    pub pool_batch_wait: HistogramSnapshot,
+    /// Jobs per executed crypto-pool batch (1 = solo).
+    pub batch_size: HistogramSnapshot,
+    /// Cycles per RSA decrypt executed solo.
+    pub exec_solo: HistogramSnapshot,
+    /// Amortized cycles per RSA decrypt inside real batches.
+    pub exec_amortized: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -393,6 +432,7 @@ impl MetricsSnapshot {
             ("full_handshake", &self.full_handshake),
             ("resumed_handshake", &self.resumed_handshake),
             ("pool_queue_wait", &self.pool_wait),
+            ("pool_batch_wait", &self.pool_batch_wait),
             ("pool_exec", &self.pool_exec),
         ] {
             quant.row(&[
@@ -405,6 +445,40 @@ impl MetricsSnapshot {
         }
         out.push('\n');
         out.push_str(&quant.to_string());
+
+        // Batch-RSA amortization, when the pool ran with batching.
+        if self.batch_size.count() > 0 {
+            let mut batch = Table::new("Crypto-pool batching");
+            batch.columns(&[
+                ("metric", Align::Left),
+                ("count", Align::Right),
+                ("mean", Align::Right),
+                ("p95", Align::Right),
+            ]);
+            let mean_size = if self.batch_size.count() == 0 {
+                0.0
+            } else {
+                self.batch_size.sum() as f64 / self.batch_size.count() as f64
+            };
+            batch.row(&[
+                "batch_size (jobs)".to_string(),
+                self.batch_size.count().to_string(),
+                format!("{mean_size:.2}"),
+                self.batch_size.p95().to_string(),
+            ]);
+            for (name, h) in
+                [("exec_solo kc", &self.exec_solo), ("exec_amortized kc", &self.exec_amortized)]
+            {
+                batch.row(&[
+                    name.to_string(),
+                    h.count().to_string(),
+                    kilo(h.mean()),
+                    kilo(h.p95()),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&batch.to_string());
+        }
         out.push_str(&format!(
             "\ntransactions {} | records in/out {}/{} | bytes in/out {}/{} | \
              pool depth max {}\n",
@@ -449,6 +523,7 @@ mod tests {
             total: Cycles::new(step_cost * 10),
             crypto: Cycles::new(crypto),
             rsa_queue_wait: Cycles::new(0),
+            rsa_batch_wait: Cycles::new(0),
             rsa_private_decryption: Cycles::new(crypto / 2),
         }
     }
@@ -505,7 +580,7 @@ mod tests {
     fn render_contains_all_three_tables() {
         let m = ServerMetrics::new();
         m.note_handshake(&ledger(false, 100, 850));
-        m.note_pool_job(3, Cycles::new(40), Cycles::new(400));
+        m.note_pool_job(3, Cycles::new(40), Cycles::new(5), Cycles::new(400));
         m.note_response(Cycles::new(10));
         let text = m.snapshot().render();
         assert!(text.contains("Live Table 1"), "{text}");

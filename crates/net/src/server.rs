@@ -60,7 +60,23 @@ pub struct ServerOptions {
     /// [`MetricsSnapshot`](crate::MetricsSnapshot) instead of a document.
     /// Off by default: the anatomy costs a few atomics per record.
     pub metrics: bool,
+    /// Most RSA jobs one crypto-pool batch may combine. `1` — the default
+    /// — executes every job solo, exactly as before batching existed.
+    /// Values above 1 require `crypto_workers > 0` and let the pool's
+    /// collector drain up to this many queued jobs into one
+    /// amortized decrypt batch.
+    pub batch_max: usize,
+    /// Longest a batch collector waits for sibling jobs after the first
+    /// one, before executing a partial batch. Small by design (~200µs
+    /// default) so p50 latency at low load does not pay for throughput at
+    /// high load; irrelevant when `batch_max` is 1.
+    pub batch_deadline: Duration,
 }
+
+/// Default batch-collection deadline: long enough for a saturated queue to
+/// fill a batch (jobs are already waiting), short enough to be noise next
+/// to an RSA decrypt when traffic is light.
+pub(crate) const DEFAULT_BATCH_DEADLINE: Duration = Duration::from_micros(200);
 
 impl Default for ServerOptions {
     fn default() -> Self {
@@ -74,7 +90,168 @@ impl Default for ServerOptions {
             crypto_workers: 0,
             session_ttl: None,
             metrics: false,
+            batch_max: 1,
+            batch_deadline: DEFAULT_BATCH_DEADLINE,
         }
+    }
+}
+
+impl ServerOptions {
+    /// Starts a validated, fluent construction of [`ServerOptions`] —
+    /// plain struct literals keep working, but the builder rejects
+    /// inconsistent combinations (zero workers, batching without a crypto
+    /// pool) at build time instead of panicking at server start.
+    #[must_use]
+    pub fn builder() -> ServerOptionsBuilder {
+        ServerOptionsBuilder { options: ServerOptions::default() }
+    }
+}
+
+/// Why a [`ServerOptionsBuilder`] refused to produce options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OptionsError {
+    /// `workers` was zero — the pool server needs at least one.
+    ZeroWorkers,
+    /// `shards` was zero — the event-loop server needs at least one.
+    ZeroShards,
+    /// `cache_shards` was zero — the session cache needs at least one.
+    ZeroCacheShards,
+    /// `batch_max` was zero — a batch holds at least one job.
+    ZeroBatch,
+    /// `batch_max > 1` with `crypto_workers == 0`: batching happens in the
+    /// crypto pool's collector, so there is nothing to batch inline.
+    BatchWithoutPool,
+}
+
+impl std::fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            OptionsError::ZeroWorkers => "workers must be at least 1",
+            OptionsError::ZeroShards => "shards must be at least 1",
+            OptionsError::ZeroCacheShards => "cache_shards must be at least 1",
+            OptionsError::ZeroBatch => "batch_max must be at least 1",
+            OptionsError::BatchWithoutPool => {
+                "batch_max > 1 requires crypto_workers > 0 (batching runs in the crypto pool)"
+            }
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
+/// Fluent, validated construction of [`ServerOptions`]; see
+/// [`ServerOptions::builder`]. Every setter mirrors the field of the same
+/// name; [`ServerOptionsBuilder::build`] validates the combination.
+#[derive(Debug, Clone)]
+pub struct ServerOptionsBuilder {
+    options: ServerOptions,
+}
+
+impl ServerOptionsBuilder {
+    /// Address to bind; port 0 picks a free port.
+    #[must_use]
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.options.addr = addr.into();
+        self
+    }
+
+    /// Worker threads handling connections (pool mode).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.options.workers = workers;
+        self
+    }
+
+    /// Event-loop shard threads multiplexing connections.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.options.shards = shards;
+        self
+    }
+
+    /// Socket timeouts / event-loop deadlines; `None` waits forever.
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.options.io_timeout = timeout;
+        self
+    }
+
+    /// Shards in the session cache.
+    #[must_use]
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.options.cache_shards = shards;
+        self
+    }
+
+    /// Sessions each cache shard retains before LRU eviction.
+    #[must_use]
+    pub fn cache_capacity_per_shard(mut self, capacity: usize) -> Self {
+        self.options.cache_capacity_per_shard = capacity;
+        self
+    }
+
+    /// Crypto worker threads for the event-loop RSA offload pool.
+    #[must_use]
+    pub fn crypto_workers(mut self, workers: usize) -> Self {
+        self.options.crypto_workers = workers;
+        self
+    }
+
+    /// Session lifetime for the cache; `None` never expires by age.
+    #[must_use]
+    pub fn session_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.options.session_ttl = ttl;
+        self
+    }
+
+    /// Enables the live handshake-anatomy metrics registry.
+    #[must_use]
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.options.metrics = enabled;
+        self
+    }
+
+    /// Most RSA jobs one crypto-pool batch may combine (default 1).
+    #[must_use]
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.options.batch_max = batch_max;
+        self
+    }
+
+    /// Longest a batch collector waits for sibling jobs.
+    #[must_use]
+    pub fn batch_deadline(mut self, deadline: Duration) -> Self {
+        self.options.batch_deadline = deadline;
+        self
+    }
+
+    /// Validates the combination and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`OptionsError`] violated: zero `workers`,
+    /// `shards` or `cache_shards`; zero `batch_max`; or `batch_max > 1`
+    /// without a crypto pool to batch in.
+    pub fn build(self) -> Result<ServerOptions, OptionsError> {
+        let o = &self.options;
+        if o.workers == 0 {
+            return Err(OptionsError::ZeroWorkers);
+        }
+        if o.shards == 0 {
+            return Err(OptionsError::ZeroShards);
+        }
+        if o.cache_shards == 0 {
+            return Err(OptionsError::ZeroCacheShards);
+        }
+        if o.batch_max == 0 {
+            return Err(OptionsError::ZeroBatch);
+        }
+        if o.batch_max > 1 && o.crypto_workers == 0 {
+            return Err(OptionsError::BatchWithoutPool);
+        }
+        Ok(self.options)
     }
 }
 
@@ -97,6 +274,12 @@ pub struct ServerStats {
     /// Deadline expiries forgiven because the connection was waiting on
     /// the crypto pool, not on the client.
     pub(crate) crypto_deadline_deferrals: AtomicU64,
+    /// Batches the crypto pool executed (each counts 1, whatever its size).
+    pub(crate) crypto_batches: AtomicU64,
+    /// Jobs executed inside batches of two or more.
+    pub(crate) crypto_batched_jobs: AtomicU64,
+    /// Total cycles jobs spent collected-but-waiting for batch siblings.
+    pub(crate) crypto_batch_wait_cycles: AtomicU64,
 }
 
 impl ServerStats {
@@ -179,6 +362,28 @@ impl ServerStats {
     #[must_use]
     pub fn crypto_deadline_deferrals(&self) -> u64 {
         self.crypto_deadline_deferrals.load(Ordering::Relaxed)
+    }
+
+    /// Batches the crypto pool executed — one per collector drain, whether
+    /// it gathered one job or `batch_max`.
+    #[must_use]
+    pub fn crypto_batches(&self) -> u64 {
+        self.crypto_batches.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that ran inside a real batch (two or more combined). Solo
+    /// executions are `crypto_jobs - crypto_batched_jobs`.
+    #[must_use]
+    pub fn crypto_batched_jobs(&self) -> u64 {
+        self.crypto_batched_jobs.load(Ordering::Relaxed)
+    }
+
+    /// Total cycles jobs spent collected-but-waiting for their batch to
+    /// assemble (bounded per job by
+    /// [`ServerOptions::batch_deadline`]).
+    #[must_use]
+    pub fn crypto_batch_wait(&self) -> Cycles {
+        Cycles::new(self.crypto_batch_wait_cycles.load(Ordering::Relaxed))
     }
 }
 
@@ -540,5 +745,88 @@ mod tests {
         assert_eq!(document_size("/doc_0.bin"), Some(0));
         assert_eq!(document_size("/index.html"), None);
         assert_eq!(document_size("/doc_x.bin"), None);
+    }
+
+    #[test]
+    fn builder_defaults_match_field_construction() {
+        let built = ServerOptions::builder().build().expect("defaults are valid");
+        let fields = ServerOptions::default();
+        assert_eq!(built.addr, fields.addr);
+        assert_eq!(built.workers, fields.workers);
+        assert_eq!(built.shards, fields.shards);
+        assert_eq!(built.crypto_workers, fields.crypto_workers);
+        assert_eq!(built.batch_max, fields.batch_max);
+        assert_eq!(built.batch_deadline, fields.batch_deadline);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let options = ServerOptions::builder()
+            .addr("127.0.0.1:4433")
+            .workers(3)
+            .shards(2)
+            .io_timeout(Some(Duration::from_secs(5)))
+            .cache_shards(4)
+            .cache_capacity_per_shard(64)
+            .crypto_workers(2)
+            .session_ttl(Some(Duration::from_secs(30)))
+            .metrics(true)
+            .batch_max(4)
+            .batch_deadline(Duration::from_micros(250))
+            .build()
+            .expect("valid combination");
+        assert_eq!(options.addr, "127.0.0.1:4433");
+        assert_eq!(options.workers, 3);
+        assert_eq!(options.shards, 2);
+        assert_eq!(options.io_timeout, Some(Duration::from_secs(5)));
+        assert_eq!(options.cache_shards, 4);
+        assert_eq!(options.cache_capacity_per_shard, 64);
+        assert_eq!(options.crypto_workers, 2);
+        assert_eq!(options.session_ttl, Some(Duration::from_secs(30)));
+        assert!(options.metrics);
+        assert_eq!(options.batch_max, 4);
+        assert_eq!(options.batch_deadline, Duration::from_micros(250));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        assert_eq!(
+            ServerOptions::builder().workers(0).build().unwrap_err(),
+            OptionsError::ZeroWorkers
+        );
+        assert_eq!(
+            ServerOptions::builder().shards(0).build().unwrap_err(),
+            OptionsError::ZeroShards
+        );
+        assert_eq!(
+            ServerOptions::builder().cache_shards(0).build().unwrap_err(),
+            OptionsError::ZeroCacheShards
+        );
+        assert_eq!(
+            ServerOptions::builder().batch_max(0).build().unwrap_err(),
+            OptionsError::ZeroBatch
+        );
+        // Batching needs a pool to batch in.
+        assert_eq!(
+            ServerOptions::builder().crypto_workers(0).batch_max(2).build().unwrap_err(),
+            OptionsError::BatchWithoutPool
+        );
+        // batch_max == 1 without a pool stays legal: that is the inline
+        // (unbatched, un-offloaded) baseline every experiment starts from.
+        assert!(ServerOptions::builder().crypto_workers(0).batch_max(1).build().is_ok());
+    }
+
+    #[test]
+    fn options_error_displays_are_actionable() {
+        for (err, needle) in [
+            (OptionsError::ZeroWorkers, "worker"),
+            (OptionsError::ZeroShards, "shard"),
+            (OptionsError::ZeroCacheShards, "cache"),
+            (OptionsError::ZeroBatch, "batch_max"),
+            (OptionsError::BatchWithoutPool, "crypto_workers"),
+        ] {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{err:?} display {text:?} lacks {needle:?}");
+        }
     }
 }

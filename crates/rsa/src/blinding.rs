@@ -57,11 +57,27 @@ impl Blinding {
     /// factors so the next call uses a fresh mask.
     #[must_use = "the unblinded plaintext is the result of the decryption"]
     pub fn unblind(&mut self, m: &Bn) -> Bn {
+        let result = self.unblind_shared(m);
+        self.rotate();
+        result
+    }
+
+    /// Unmasks a plaintext **without** rotating the factors, so several
+    /// values blinded under the same mask — a batch sharing one blinding
+    /// acquisition — can all be unmasked; call [`Blinding::rotate`] once
+    /// when the batch is done.
+    #[must_use = "the unblinded plaintext is the result of the decryption"]
+    pub fn unblind_shared(&self, m: &Bn) -> Bn {
         counters::count("blinding_convert", 1);
-        let result = m.mod_mul(&self.unblind, &self.n);
+        m.mod_mul(&self.unblind, &self.n)
+    }
+
+    /// Squares the stored factors so the next use gets a fresh mask —
+    /// OpenSSL's `BN_BLINDING_update`, split out of [`Blinding::unblind`]
+    /// for batch use (one rotation per batch, not per job).
+    pub fn rotate(&mut self) {
         self.factor = self.factor.mod_mul(&self.factor.clone(), &self.n);
         self.unblind = self.unblind.mod_mul(&self.unblind.clone(), &self.n);
-        result
     }
 }
 

@@ -22,7 +22,7 @@ use sslperf_profile::counters;
 pub struct RsaPublicKey {
     n: Bn,
     e: Bn,
-    mont_n: MontCtx,
+    pub(crate) mont_n: MontCtx,
 }
 
 impl RsaPublicKey {
@@ -68,18 +68,18 @@ impl RsaPublicKey {
 /// key rather than per operation).
 #[derive(Debug)]
 pub struct RsaPrivateKey {
-    public: RsaPublicKey,
-    d: Bn,
-    p: Bn,
-    q: Bn,
+    pub(crate) public: RsaPublicKey,
+    pub(crate) d: Bn,
+    pub(crate) p: Bn,
+    pub(crate) q: Bn,
     /// `d mod (p-1)`.
-    dp: Bn,
+    pub(crate) dp: Bn,
     /// `d mod (q-1)`.
-    dq: Bn,
+    pub(crate) dq: Bn,
     /// `q⁻¹ mod p` (Garner's coefficient).
-    qinv: Bn,
-    mont_p: MontCtx,
-    mont_q: MontCtx,
+    pub(crate) qinv: Bn,
+    pub(crate) mont_p: MontCtx,
+    pub(crate) mont_q: MontCtx,
     pub(crate) blinding: std::sync::Mutex<Option<Blinding>>,
 }
 

@@ -41,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod blinding;
 mod decrypt;
 mod keys;
 pub mod pkcs1;
 pub mod x509;
 
+pub use batch::BatchCipher;
 pub use blinding::Blinding;
 pub use decrypt::STEP_NAMES;
 pub use keys::{RsaPrivateKey, RsaPublicKey};
@@ -70,6 +72,10 @@ pub enum RsaError {
     KeyGeneration,
     /// Requested key size is too small to hold any padded message.
     KeyTooSmall,
+    /// A batch decrypt could not combine this job with its siblings
+    /// (exponents not pairwise coprime / not invertible, or a combined
+    /// value had no modular inverse).
+    BatchCombine,
 }
 
 impl fmt::Display for RsaError {
@@ -81,6 +87,7 @@ impl fmt::Display for RsaError {
             RsaError::BadSignature => "signature verification failed",
             RsaError::KeyGeneration => "key generation failed",
             RsaError::KeyTooSmall => "modulus too small",
+            RsaError::BatchCombine => "batch decrypt could not combine the jobs",
         };
         f.write_str(msg)
     }

@@ -63,7 +63,7 @@ use crate::transport::{Transport, RECORD_HEADER_LEN};
 use crate::{SslClient, SslError, SslServer, MAX_RECORD_BODY, VERSION};
 use sslperf_profile::{measure, Cycles, PhaseSet, Stopwatch};
 use sslperf_rng::SslRng;
-use sslperf_rsa::{RsaError, RsaPrivateKey};
+use sslperf_rsa::{BatchCipher, RsaError, RsaPrivateKey};
 use std::ops::Range;
 
 /// Inbound buffering cap: two maximum records. [`Engine::feed`] consumes at
@@ -111,11 +111,34 @@ pub struct CryptoJob {
     /// Started at suspension; elapsed time when execution begins is the
     /// queue wait the Table 2 ledger attributes separately.
     submitted: Stopwatch,
+    /// Set by [`CryptoJob::collect`] when a batching collector dequeues the
+    /// job: the frozen queue wait, plus a stopwatch for the extra time the
+    /// job spends waiting for the rest of its batch to assemble.
+    collected: Option<(Cycles, Stopwatch)>,
 }
 
 impl CryptoJob {
     pub(crate) fn new(encrypted_pre_master: Vec<u8>, rng: SslRng) -> Self {
-        CryptoJob { encrypted_pre_master, rng, submitted: Stopwatch::start() }
+        CryptoJob { encrypted_pre_master, rng, submitted: Stopwatch::start(), collected: None }
+    }
+
+    /// Marks the moment a batching collector pulled this job off the queue:
+    /// freezes the queue wait and starts the batch-wait clock, so the
+    /// step-5 ledger can attribute "waiting for batch siblings" separately
+    /// from "waiting for a worker". Jobs executed without batching never
+    /// call this and report a zero batch wait.
+    pub fn collect(&mut self) {
+        if self.collected.is_none() {
+            self.collected = Some((self.submitted.elapsed(), Stopwatch::start()));
+        }
+    }
+
+    /// Splits the wait so far into `(queue_wait, batch_wait)`.
+    fn waits(&self) -> (Cycles, Cycles) {
+        match &self.collected {
+            Some((queue_wait, batching)) => (*queue_wait, batching.elapsed()),
+            None => (self.submitted.elapsed(), Cycles::default()),
+        }
     }
 
     /// Runs the private-key decryption. Callable from any thread; the
@@ -123,22 +146,58 @@ impl CryptoJob {
     /// [`Engine::complete_crypto`].
     #[must_use]
     pub fn execute(mut self, key: &RsaPrivateKey) -> CryptoDone {
-        let queue_wait = self.submitted.elapsed();
+        let (queue_wait, batch_wait) = self.waits();
         let mut scratch = PhaseSet::new();
         let (pre_master, exec) = measure(|| {
             key.decrypt_instrumented(&self.encrypted_pre_master, &mut self.rng, &mut scratch)
         });
-        CryptoDone { pre_master, queue_wait, exec }
+        CryptoDone { pre_master, queue_wait, batch_wait, exec }
+    }
+
+    /// Runs a whole batch of jobs through [`RsaPrivateKey::decrypt_batch`],
+    /// one [`CryptoDone`] per job in order.
+    ///
+    /// The batch shares one blinding acquisition and one scratch context
+    /// (see the `sslperf-rsa` batch module); the first job's rng seeds the
+    /// blinding draw on a cache miss, exactly as that job's own
+    /// [`CryptoJob::execute`] would have — connection rng streams never
+    /// advance either way, so wire flights stay byte-identical. Each done
+    /// reports the *amortized* exec cost (total batch cycles / batch size):
+    /// summed over jobs it equals what the batch actually cost, which keeps
+    /// the ledger's step-5 totals honest.
+    #[must_use]
+    pub fn execute_batch(jobs: Vec<CryptoJob>, key: &RsaPrivateKey) -> Vec<CryptoDone> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let waits: Vec<(Cycles, Cycles)> = jobs.iter().map(CryptoJob::waits).collect();
+        let mut jobs = jobs;
+        let mut rng = jobs[0].rng.clone();
+        let items: Vec<BatchCipher> =
+            jobs.drain(..).map(|job| BatchCipher::new(job.encrypted_pre_master)).collect();
+        let (results, total) = measure(|| key.decrypt_batch(&items, &mut rng));
+        let amortized = Cycles::new(total.get() / items.len() as u64);
+        results
+            .into_iter()
+            .zip(waits)
+            .map(|(pre_master, (queue_wait, batch_wait))| CryptoDone {
+                pre_master,
+                queue_wait,
+                batch_wait,
+                exec: amortized,
+            })
+            .collect()
     }
 }
 
 /// The result of an executed [`CryptoJob`], carrying the timing split the
-/// step-5 ledger needs: how long the job sat queued vs how long the RSA
-/// computation itself ran.
+/// step-5 ledger needs: how long the job sat queued, how long it waited
+/// for batch siblings, and how long the RSA computation itself ran.
 #[derive(Debug)]
 pub struct CryptoDone {
     pre_master: Result<Vec<u8>, RsaError>,
     queue_wait: Cycles,
+    batch_wait: Cycles,
     exec: Cycles,
 }
 
@@ -149,14 +208,22 @@ impl CryptoDone {
         self.queue_wait
     }
 
-    /// Cycles the RSA private-key computation itself took.
+    /// Cycles spent collected-but-waiting for the rest of the batch to
+    /// assemble. Zero for jobs executed without batching.
+    #[must_use]
+    pub fn batch_wait(&self) -> Cycles {
+        self.batch_wait
+    }
+
+    /// Cycles the RSA private-key computation itself took (amortized over
+    /// the batch when the job was executed as part of one).
     #[must_use]
     pub fn exec(&self) -> Cycles {
         self.exec
     }
 
-    pub(crate) fn into_parts(self) -> (Result<Vec<u8>, RsaError>, Cycles, Cycles) {
-        (self.pre_master, self.queue_wait, self.exec)
+    pub(crate) fn into_parts(self) -> (Result<Vec<u8>, RsaError>, Cycles, Cycles, Cycles) {
+        (self.pre_master, self.queue_wait, self.batch_wait, self.exec)
     }
 }
 

@@ -59,7 +59,11 @@ pub struct HandshakeLedger {
     /// Step 5 offload split: cycles the RSA job waited in the crypto
     /// pool's queue (zero when decrypting inline).
     pub rsa_queue_wait: Cycles,
-    /// Step 5 offload split: cycles executing the RSA private decryption.
+    /// Step 5 offload split: cycles the job spent collected-but-waiting
+    /// for the rest of its batch to assemble (zero without batching).
+    pub rsa_batch_wait: Cycles,
+    /// Step 5 offload split: cycles executing the RSA private decryption
+    /// (amortized across the batch when batched).
     pub rsa_private_decryption: Cycles,
 }
 
@@ -268,6 +272,7 @@ impl<'a> SslServer<'a> {
             total: self.steps.total(),
             crypto: self.crypto.total(),
             rsa_queue_wait: self.crypto.cycles("rsa_queue_wait"),
+            rsa_batch_wait: self.crypto.cycles("rsa_batch_wait"),
             rsa_private_decryption: self.crypto.cycles("rsa_private_decryption"),
         }
     }
@@ -473,12 +478,13 @@ impl<'a> SslServer<'a> {
     /// execution separately in the crypto ledger.
     fn finish_client_kx(&mut self, done: CryptoDone) -> Result<(), SslError> {
         let sw = Stopwatch::start();
-        let (pre_master, queue_wait, exec) = done.into_parts();
+        let (pre_master, queue_wait, batch_wait, exec) = done.into_parts();
         self.note_crypto(5, "rsa_queue_wait", queue_wait);
+        self.note_crypto(5, "rsa_batch_wait", batch_wait);
         self.note_crypto(5, "rsa_private_decryption", exec);
         let pre_master = pre_master?;
         self.derive_master(&pre_master)?;
-        let total = self.kx_partial + queue_wait + exec + sw.elapsed();
+        let total = self.kx_partial + queue_wait + batch_wait + exec + sw.elapsed();
         self.kx_partial = Cycles::ZERO;
         self.steps.add(SERVER_STEP_NAMES[5], total);
         self.state = State::AwaitClientCcs;

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SslRng::from_seed(b"tcp-server-example");
     let key = RsaPrivateKey::generate(key_bits, &mut rng)?;
 
-    let options = ServerOptions { workers: 4, metrics: true, ..ServerOptions::default() };
+    let options = ServerOptions::builder().workers(4).metrics(true).build()?;
     let server = TcpSslServer::start(key, "www.sslperf.test", &options)?;
     println!(
         "Serving on https://{} with {} workers ({} session-cache shards)\n",

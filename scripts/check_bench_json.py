@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validate a bench_report JSON file and diff it against the previous one.
+
+Usage:
+    python3 scripts/check_bench_json.py NEW.json [--baseline-dir DIR]
+                                                 [--threshold PCT]
+
+The file must follow the `sslperf-bench-report/v1` schema emitted by
+`cargo run --release -p sslperf-bench --bin bench_report`. If the
+baseline directory holds an earlier `BENCH_<n>.json` (highest <n> below
+the new report's issue number, or below infinity when the new file is
+not a checked-in BENCH_<n>.json), each serving arm present in both
+reports is compared: a throughput drop of more than --threshold percent
+(default 30, generous because CI hosts are noisy and single-core) fails
+the check. When no baseline exists the diff is skipped with a notice —
+the first recorded report can't regress against anything.
+
+Exit status: 0 = schema valid and no regression; 1 = schema violation
+or regression.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA = "sslperf-bench-report/v1"
+
+ARM_FIELDS = {
+    "label": str,
+    "crypto_workers": int,
+    "batch_max": int,
+    "tx_per_sec": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "p99_ms": (int, float),
+    "cycles_per_decrypt": int,
+    "batches": int,
+    "batched_jobs": int,
+}
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def validate(report, path):
+    expect(isinstance(report, dict), f"{path}: top level must be an object")
+    expect(report.get("schema") == SCHEMA,
+           f"{path}: schema must be {SCHEMA!r}, got {report.get('schema')!r}")
+    expect(isinstance(report.get("issue"), int), f"{path}: 'issue' must be an integer")
+
+    rsa = report.get("rsa")
+    expect(isinstance(rsa, dict), f"{path}: 'rsa' must be an object")
+    expect(isinstance(rsa.get("key_bits"), int), f"{path}: rsa.key_bits must be an integer")
+    expect(isinstance(rsa.get("solo_cycles_per_decrypt"), int) and rsa["solo_cycles_per_decrypt"] > 0,
+           f"{path}: rsa.solo_cycles_per_decrypt must be a positive integer")
+    amortized = rsa.get("amortized")
+    expect(isinstance(amortized, list) and amortized,
+           f"{path}: rsa.amortized must be a non-empty array")
+    for entry in amortized:
+        expect(isinstance(entry, dict) and isinstance(entry.get("batch"), int)
+               and entry["batch"] >= 2
+               and isinstance(entry.get("cycles_per_decrypt"), int)
+               and entry["cycles_per_decrypt"] > 0,
+               f"{path}: rsa.amortized entries need batch >= 2 and positive cycles_per_decrypt")
+
+    serving = report.get("serving")
+    expect(isinstance(serving, dict), f"{path}: 'serving' must be an object")
+    expect(isinstance(serving.get("connections"), int) and serving["connections"] > 0,
+           f"{path}: serving.connections must be a positive integer")
+    expect(isinstance(serving.get("key_bits"), int), f"{path}: serving.key_bits must be an integer")
+    arms = serving.get("arms")
+    expect(isinstance(arms, list) and arms, f"{path}: serving.arms must be a non-empty array")
+    labels = set()
+    for arm in arms:
+        expect(isinstance(arm, dict), f"{path}: each serving arm must be an object")
+        for field, ty in ARM_FIELDS.items():
+            expect(isinstance(arm.get(field), ty) and not isinstance(arm.get(field), bool),
+                   f"{path}: arm {arm.get('label')!r}: field {field!r} missing or wrong type")
+        expect(arm["batch_max"] >= 1, f"{path}: arm {arm['label']!r}: batch_max must be >= 1")
+        expect(arm["tx_per_sec"] > 0, f"{path}: arm {arm['label']!r}: tx_per_sec must be positive")
+        expect(arm["p50_ms"] <= arm["p95_ms"] <= arm["p99_ms"],
+               f"{path}: arm {arm['label']!r}: latency quantiles must be monotone")
+        expect(arm["label"] not in labels, f"{path}: duplicate arm label {arm['label']!r}")
+        labels.add(arm["label"])
+
+
+def find_baseline(baseline_dir, new_path, new_issue):
+    """Latest BENCH_<n>.json strictly before the new report."""
+    new_resolved = new_path.resolve()
+    candidates = []
+    for p in baseline_dir.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", p.name)
+        if not m or p.resolve() == new_resolved:
+            continue
+        n = int(m.group(1))
+        if n < new_issue:
+            candidates.append((n, p))
+    return max(candidates)[1] if candidates else None
+
+
+def diff(old, new, threshold):
+    old_arms = {arm["label"]: arm for arm in old["serving"]["arms"]}
+    regressed = False
+    for arm in new["serving"]["arms"]:
+        base = old_arms.get(arm["label"])
+        if base is None:
+            print(f"  {arm['label']}: new arm, no baseline")
+            continue
+        delta = (arm["tx_per_sec"] - base["tx_per_sec"]) / base["tx_per_sec"] * 100.0
+        marker = ""
+        if delta < -threshold:
+            marker = f"  <-- regression beyond {threshold:.0f}%"
+            regressed = True
+        print(f"  {arm['label']}: {base['tx_per_sec']:.1f} -> {arm['tx_per_sec']:.1f} tx/s "
+              f"({delta:+.1f}%){marker}")
+    return regressed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", type=Path, help="new bench report JSON to check")
+    ap.add_argument("--baseline-dir", type=Path, default=None,
+                    help="directory holding previous BENCH_*.json (default: report's directory)")
+    ap.add_argument("--threshold", type=float, default=30.0,
+                    help="max allowed tx/s drop per arm, percent (default 30)")
+    args = ap.parse_args()
+
+    try:
+        new = json.loads(args.report.read_text())
+    except FileNotFoundError:
+        fail(f"{args.report}: not found")
+    except json.JSONDecodeError as e:
+        fail(f"{args.report}: invalid JSON: {e}")
+
+    validate(new, args.report)
+    print(f"check_bench_json: {args.report}: schema {SCHEMA} OK "
+          f"({len(new['serving']['arms'])} serving arms)")
+
+    baseline_dir = args.baseline_dir or args.report.parent
+    # A scratch report (not BENCH_<n>.json) compares against every
+    # checked-in report; a checked-in one only against earlier issues.
+    m = re.fullmatch(r"BENCH_(\d+)\.json", args.report.name)
+    new_issue = int(m.group(1)) if m else sys.maxsize
+    baseline = find_baseline(baseline_dir, args.report, new_issue)
+    if baseline is None:
+        print("check_bench_json: no earlier BENCH_*.json baseline — diff skipped")
+        return
+
+    try:
+        old = json.loads(baseline.read_text())
+        validate(old, baseline)
+    except (json.JSONDecodeError, SystemExit):
+        fail(f"{baseline}: baseline unreadable or schema-invalid")
+
+    print(f"check_bench_json: diffing against {baseline} (threshold {args.threshold:.0f}%)")
+    if diff(old, new, args.threshold):
+        fail("throughput regression against baseline")
+    print("check_bench_json: no regression")
+
+
+if __name__ == "__main__":
+    main()

@@ -428,6 +428,80 @@ fn crypto_job_cycle_allocation_is_bounded() {
     );
 }
 
+/// The batched crypto cycle (`take_crypto_job` ×4 → `execute_batch` →
+/// `complete_crypto` ×4) holds the same per-job allocation ceiling as the
+/// solo cycle: batching shares one blinding acquisition and one scratch
+/// context, so combining jobs must never *add* allocations per job. A
+/// regression here (say, per-item context cloning inside the batch) would
+/// silently erase the amortization the collector exists to buy.
+#[test]
+fn batched_crypto_cycle_allocation_is_bounded() {
+    use sslperf::prelude::{ServerConfig, SslClient, SslRng, SslServer};
+    use sslperf::rsa::RsaPrivateKey;
+    use sslperf::ssl::{CryptoJob, Engine};
+
+    const BATCH: usize = 4;
+
+    let mut rng = SslRng::from_seed(b"alloc-budget-batch-key");
+    let key = RsaPrivateKey::generate(512, &mut rng).expect("keygen");
+    let config = ServerConfig::new(key, "alloc.test").expect("config");
+
+    let suspend = |seq: u32| {
+        let c_seed = format!("abb-c-{seq}");
+        let s_seed = format!("abb-s-{seq}");
+        let mut client = Engine::new(SslClient::new(
+            CipherSuite::RsaDesCbc3Sha,
+            SslRng::from_seed(c_seed.as_bytes()),
+        ))
+        .expect("client engine");
+        let mut server = Engine::new(SslServer::new(&config, SslRng::from_seed(s_seed.as_bytes())))
+            .expect("server engine");
+        server.set_crypto_offload(true);
+        let mut wire = vec![0u8; 8 * 1024];
+        while !server.crypto_pending() {
+            let n = client.take_output(&mut wire);
+            let mut offset = 0;
+            while offset < n {
+                offset += server.feed(&wire[offset..n]).expect("server feed");
+            }
+            let n = server.take_output(&mut wire);
+            let mut offset = 0;
+            while offset < n {
+                offset += client.feed(&wire[offset..n]).expect("client feed");
+            }
+        }
+        (client, server)
+    };
+
+    // Warm allocator pools, lazy statics, and the key's blinding cache.
+    let (_c, mut server) = suspend(0);
+    let job = server.take_crypto_job().expect("job");
+    server.complete_crypto(job.execute(config.key())).expect("resume");
+
+    // Measure one full batch cycle over fresh suspensions.
+    let mut pairs: Vec<_> = (1..=BATCH as u32).map(suspend).collect();
+    let ((), total) = allocations_during(|| {
+        let jobs: Vec<CryptoJob> =
+            pairs.iter_mut().map(|(_, s)| s.take_crypto_job().expect("job")).collect();
+        let dones = CryptoJob::execute_batch(jobs, config.key());
+        for ((_, server), done) in pairs.iter_mut().zip(dones) {
+            server.complete_crypto(done).expect("resume with batched result");
+        }
+    });
+    let per_job = total / BATCH as u64;
+    println!("batched crypto cycle: {total} allocations / {BATCH} jobs = {per_job} per job");
+    assert!(total > 0, "an RSA batch cannot be allocation-free");
+    // The solo cycle's ceiling (see crypto_job_cycle_allocation_is_bounded)
+    // applies per job: sharing blinding and scratch must keep the batch at
+    // or below the solo budget.
+    const PER_JOB_CEILING: u64 = 8_000;
+    assert!(
+        per_job <= PER_JOB_CEILING,
+        "batched crypto cycle allocated {per_job} times per job \
+         (ceiling {PER_JOB_CEILING}) — batching must not add per-job allocations"
+    );
+}
+
 /// The live metrics registry must not break the steady-state budget: an
 /// engine exchange that records every open/seal/response into a
 /// [`ServerMetrics`] — exactly what the event-loop server does per record

@@ -770,6 +770,144 @@ fn saturated_crypto_pool_does_not_evict_waiting_handshakes() {
     server.shutdown();
 }
 
+/// A [`Transport`] wrapper that logs every byte received from the peer,
+/// so a test can compare the server's exact wire output across runs.
+struct TappedStream {
+    inner: TcpStream,
+    rx: Vec<u8>,
+}
+
+impl sslperf::ssl::Transport for TappedStream {
+    fn send(&mut self, buf: &[u8]) -> Result<(), sslperf::ssl::SslError> {
+        self.inner.send(buf)
+    }
+
+    fn recv_exact(&mut self, buf: &mut [u8]) -> Result<(), sslperf::ssl::SslError> {
+        self.inner.recv_exact(buf)?;
+        self.rx.extend_from_slice(buf);
+        Ok(())
+    }
+}
+
+/// Batching must be invisible on the wire: the same seeded clients against
+/// the same seeded server produce byte-identical server flights whether
+/// the crypto pool decrypts solo (`batch_max = 1`) or combines the whole
+/// burst (`batch_max = 4`). The batched run must also actually batch —
+/// otherwise this proves nothing.
+///
+/// All four clients share one seed, so every client flight is
+/// byte-identical and a server connection's output depends only on its
+/// accept order (which seeds the per-connection server rng). Comparing the
+/// *sorted* received streams then cancels accept-order nondeterminism.
+#[test]
+fn batched_flights_are_byte_identical_to_unbatched() {
+    const CLIENTS: usize = 4;
+
+    // Runs one arm: 4 concurrent identically-seeded clients, each logging
+    // the server's byte stream; returns the sorted streams plus how many
+    // jobs ran inside real batches.
+    let run_arm = |batch_max: usize| -> (Vec<Vec<u8>>, u64) {
+        let options = ServerOptions::builder()
+            .shards(1)
+            .crypto_workers(1)
+            .batch_max(batch_max)
+            // Generous: the single collector must see the whole burst.
+            .batch_deadline(Duration::from_millis(500))
+            .build()
+            .expect("valid batch options");
+        let server =
+            EventLoopServer::start(key(), "net.sslperf.test", &options).expect("server start");
+        let addr = server.local_addr();
+
+        let streams: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut client = SslClient::new(
+                            CipherSuite::RsaDesCbc3Sha,
+                            SslRng::from_seed(b"batch-wire-client"),
+                        );
+                        let inner = TcpStream::connect(addr).expect("connect");
+                        inner.set_nodelay(true).expect("nodelay");
+                        let mut socket = TappedStream { inner, rx: Vec::new() };
+                        client.handshake_transport(&mut socket).expect("handshake");
+                        client.close_transport(&mut socket).expect("close");
+                        socket.rx
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+
+        let stats = server.stats();
+        assert_eq!(stats.crypto_jobs(), CLIENTS as u64, "every decrypt pooled");
+        assert_eq!(stats.errors(), 0, "clean run");
+        let batched_jobs = stats.crypto_batched_jobs();
+        server.shutdown();
+        let mut streams = streams;
+        streams.sort();
+        (streams, batched_jobs)
+    };
+
+    let (solo_streams, solo_batched) = run_arm(1);
+    let (batch_streams, batch_batched) = run_arm(4);
+    assert_eq!(solo_batched, 0, "batch_max = 1 must never combine jobs");
+    assert!(
+        batch_batched >= 2,
+        "the batched arm must combine at least one real batch, combined {batch_batched}"
+    );
+    assert_eq!(
+        solo_streams, batch_streams,
+        "server flights must be byte-identical with batching on and off"
+    );
+}
+
+/// A concurrent burst through a batching pool end to end: every
+/// connection transacts, every decrypt goes through the pool, real
+/// batches form, and the batch-wait share of the queue time is accounted.
+#[test]
+fn event_loop_batch_burst_serves_and_accounts() {
+    const CONNECTIONS: usize = 16;
+    let options = ServerOptions::builder()
+        .shards(2)
+        .crypto_workers(2)
+        .batch_max(4)
+        // Wide enough that the barrier burst reliably forms batches.
+        .batch_deadline(Duration::from_millis(50))
+        .build()
+        .expect("valid batch options");
+    let server = EventLoopServer::start(key(), "net.sslperf.test", &options).expect("server start");
+
+    let load = EventLoadOptions {
+        connections: CONNECTIONS,
+        file_size: 1024,
+        suite: CipherSuite::RsaDesCbc3Sha,
+        hold_until_all_established: true,
+        deadline: Duration::from_secs(60),
+    };
+    let report = run_event_load(server.local_addr(), &load).expect("event load");
+    assert_eq!(report.peak_established, CONNECTIONS, "held concurrently");
+    assert_eq!(report.transactions, CONNECTIONS);
+
+    let stats = server.stats();
+    assert!(
+        eventually(|| stats.full_handshakes() == CONNECTIONS as u64),
+        "got {}",
+        stats.full_handshakes()
+    );
+    assert_eq!(stats.crypto_jobs(), CONNECTIONS as u64, "one pooled decrypt per handshake");
+    assert!(stats.crypto_batches() >= 1, "the pool executed batches");
+    assert!(
+        stats.crypto_batches() < CONNECTIONS as u64,
+        "some jobs must have combined: {} batches for {CONNECTIONS} jobs",
+        stats.crypto_batches()
+    );
+    assert!(stats.crypto_batched_jobs() >= 2, "at least one real batch formed");
+    assert!(stats.crypto_batch_wait().get() > 0, "collector wait must be attributed to batch_wait");
+    assert_eq!(stats.errors(), 0, "clean run");
+    server.shutdown();
+}
+
 /// Session-cache TTL end to end: a session stored by a full handshake
 /// expires after `session_ttl`, so a resumption attempt after the TTL
 /// falls back to a full handshake (expiry-on-lookup counts as a miss,

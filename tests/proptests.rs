@@ -358,3 +358,66 @@ proptest! {
         prop_assert_eq!(ctx.mod_exp_window(&base, &exp, window), expect);
     }
 }
+
+// ---- batched RSA decryption ----
+
+/// One deterministic 512-bit key shared by every batch case (keygen per
+/// case would dominate the runtime).
+fn batch_key() -> &'static sslperf::rsa::RsaPrivateKey {
+    use std::sync::OnceLock;
+    static KEY: OnceLock<sslperf::rsa::RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = SslRng::from_seed(b"proptest-batch-key");
+        sslperf::rsa::RsaPrivateKey::generate(512, &mut rng).expect("keygen")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `decrypt_batch` is byte-identical to sequential `decrypt_pkcs1` at
+    /// every batch size the collector can form (1..=8), including mixed
+    /// batches where one corrupted ciphertext must fail alone — every
+    /// other slot still decrypts to its exact plaintext.
+    #[test]
+    fn batched_decrypt_matches_sequential(
+        size in 1usize..=8,
+        corrupt_sel in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        use sslperf::rsa::BatchCipher;
+        let key = batch_key();
+        let mut rng = SslRng::from_seed(format!("pt-batch-enc-{seed}").as_bytes());
+        let plains: Vec<Vec<u8>> =
+            (0..size).map(|i| format!("pre-master-{seed}-{i}").into_bytes()).collect();
+        let mut ciphers: Vec<Vec<u8>> = plains
+            .iter()
+            .map(|m| key.public_key().encrypt_pkcs1(m, &mut rng).expect("encrypt"))
+            .collect();
+        // Selector below `size` corrupts that slot; the upper half of the
+        // range leaves the batch clean.
+        let corrupt = (corrupt_sel < size).then_some(corrupt_sel);
+        if let Some(i) = corrupt {
+            // Flip low bits: the value stays in range, the padding breaks.
+            let last = ciphers[i].len() - 1;
+            ciphers[i][last] ^= 0x5a;
+        }
+
+        let items: Vec<BatchCipher> =
+            ciphers.iter().map(|c| BatchCipher::new(c.clone())).collect();
+        let mut batch_rng = SslRng::from_seed(format!("pt-batch-rng-{seed}").as_bytes());
+        let batched = key.decrypt_batch(&items, &mut batch_rng);
+        prop_assert_eq!(batched.len(), size);
+
+        for (i, result) in batched.iter().enumerate() {
+            // The oracle: the solo path on the identical (possibly
+            // corrupted) ciphertext.
+            let sequential = key.decrypt_pkcs1(&ciphers[i]);
+            prop_assert_eq!(result, &sequential);
+            if corrupt != Some(i) {
+                // A good slot must survive a corrupt sibling.
+                prop_assert_eq!(result.as_deref(), Ok(&plains[i][..]));
+            }
+        }
+    }
+}
