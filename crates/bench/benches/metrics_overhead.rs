@@ -22,6 +22,10 @@ fn ledger() -> HandshakeLedger {
         rsa_queue_wait: Cycles::new(90_000),
         rsa_batch_wait: Cycles::new(12_000),
         rsa_private_decryption: Cycles::new(1_900_000),
+        ticket_issued: false,
+        ticket_accepted: false,
+        ticket_rejected: false,
+        ticket_expired: false,
     }
 }
 

@@ -1,15 +1,16 @@
-//! Machine-readable benchmark report: `BENCH_6.json`.
+//! Machine-readable benchmark report: `BENCH_7.json`.
 //!
 //! Runs the batched-RSA serving ablation (the fast, single-run variant of
-//! `benches/tcp_serving.rs`'s `batch_rsa` group) plus the in-process RSA
-//! kernel comparison, and writes the results as JSON so CI can diff runs
-//! against each other. One command, from the repository root:
+//! `benches/tcp_serving.rs`'s `batch_rsa` group), a ticket-resumption
+//! serving arm, the in-process RSA kernel comparison, and the bulk-path
+//! record-sealing cost, and writes the results as JSON so CI can diff
+//! runs against each other. One command, from the repository root:
 //!
 //! ```text
 //! cargo run --release -p sslperf-bench --bin bench_report
 //! ```
 //!
-//! writes `BENCH_6.json` in the current directory (pass a path argument to
+//! writes `BENCH_7.json` in the current directory (pass a path argument to
 //! write elsewhere). `scripts/check_bench_json.py` validates the schema
 //! and flags throughput regressions against the previous report.
 
@@ -19,8 +20,12 @@ use sslperf_core::net::{EventLoopServer, ServerOptions};
 use sslperf_core::prelude::*;
 use sslperf_core::profile::measure;
 use sslperf_core::rsa::BatchCipher;
-use sslperf_core::websim::loadgen::{run_event_load, EventLoadOptions};
+use sslperf_core::ssl::{ContentType, RecordBuffer, RecordLayer, MAX_FRAGMENT};
+use sslperf_core::websim::loadgen::{
+    run_event_load, run_socket_load, EventLoadOptions, SocketLoadOptions,
+};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Concurrent connections each serving arm is hit with.
@@ -32,6 +37,8 @@ const SERVING_KEY_BITS: usize = 512;
 const KERNEL_KEY_BITS: usize = 1024;
 /// Decrypts sampled for the solo kernel baseline.
 const KERNEL_SAMPLES: usize = 8;
+/// Seals sampled per suite for the bulk-path cycles/record number.
+const BULK_SAMPLES: usize = 8;
 
 /// One serving arm's measurements.
 struct Arm {
@@ -45,6 +52,9 @@ struct Arm {
     cycles_per_decrypt: u64,
     batches: u64,
     batched_jobs: u64,
+    resumed_handshakes: u64,
+    tickets_issued: u64,
+    tickets_accepted: u64,
 }
 
 /// Cycles per decrypt when `batch` ciphertexts share one batched call.
@@ -53,11 +63,23 @@ struct Amortized {
     cycles_per_decrypt: u64,
 }
 
+/// Bulk-path record-sealing cost for one cipher suite.
+struct BulkPath {
+    suite: &'static str,
+    cycles_per_record: u64,
+}
+
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_6.json".into());
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_7.json".into());
 
     eprintln!("[bench_report] RSA kernel: solo vs batched ({KERNEL_KEY_BITS}-bit)");
     let (solo, amortized) = kernel_numbers();
+
+    eprintln!("[bench_report] bulk path: cycles per {MAX_FRAGMENT}-byte record");
+    let bulk = bulk_numbers();
+    for b in &bulk {
+        eprintln!("[bench_report]   {}: {} kc/record", b.suite, b.cycles_per_record / 1000);
+    }
 
     eprintln!("[bench_report] serving arms: {CONNECTIONS} connections, {SERVING_KEY_BITS}-bit key");
     let mut arms = Vec::new();
@@ -73,8 +95,14 @@ fn main() {
             arm.cycles_per_decrypt / 1000,
         );
     }
+    arms.push(ticket_arm());
+    let arm = arms.last().expect("just pushed");
+    eprintln!(
+        "[bench_report]   {}: {:.1} tx/s, {} resumed, {} tickets accepted",
+        arm.label, arm.tx_per_sec, arm.resumed_handshakes, arm.tickets_accepted,
+    );
 
-    let json = render_json(solo, &amortized, &arms);
+    let json = render_json(solo, &amortized, &bulk, &arms);
     std::fs::write(&out, json).expect("write report");
     eprintln!("[bench_report] wrote {out}");
 }
@@ -121,6 +149,39 @@ fn kernel_numbers() -> (u64, Vec<Amortized>) {
     (solo, amortized)
 }
 
+/// Measures the bulk data path: the minimum cost to seal one full
+/// MAC-then-encrypt record through the record layer, per suite family
+/// (3DES block, AES block, RC4 stream).
+fn bulk_numbers() -> Vec<BulkPath> {
+    let mut rng = SslRng::from_seed(b"bench-report-bulk");
+    let payload = vec![0xA5u8; MAX_FRAGMENT];
+    [CipherSuite::RsaDesCbc3Sha, CipherSuite::RsaAes128Sha, CipherSuite::RsaRc4Md5]
+        .into_iter()
+        .map(|suite| {
+            let key = rng.bytes(suite.key_len());
+            let iv = rng.bytes(suite.iv_len());
+            let mac = rng.bytes(suite.mac_alg().output_len());
+            let mut records = RecordLayer::new();
+            let cipher = suite.new_cipher(&key, &iv).expect("suite cipher");
+            records.activate_write(cipher, suite.mac_alg(), mac);
+            let mut out = RecordBuffer::with_record_capacity();
+            // Warm the buffer to capacity so sealing allocates nothing.
+            records.seal_into(ContentType::ApplicationData, &payload, &mut out).expect("warm seal");
+            let cycles_per_record = (0..BULK_SAMPLES)
+                .map(|_| {
+                    let (sealed, cycles) = measure(|| {
+                        records.seal_into(ContentType::ApplicationData, &payload, &mut out)
+                    });
+                    sealed.expect("seal record");
+                    cycles.get()
+                })
+                .min()
+                .expect("samples");
+            BulkPath { suite: suite.name(), cycles_per_record }
+        })
+        .collect()
+}
+
 /// Runs one serving arm: the event-loop server with two crypto workers
 /// and the given batch cap under a saturating all-at-once burst.
 fn serving_arm(batch_max: usize) -> Arm {
@@ -155,6 +216,55 @@ fn serving_arm(batch_max: usize) -> Arm {
         cycles_per_decrypt: stats.crypto_exec().get() / jobs,
         batches: stats.crypto_batches(),
         batched_jobs: stats.crypto_batched_jobs(),
+        resumed_handshakes: stats.resumed_handshakes(),
+        tickets_issued: stats.tickets_issued(),
+        tickets_accepted: stats.tickets_accepted(),
+    };
+    server.shutdown();
+    arm
+}
+
+/// Runs the ticket-resumption serving arm: resuming clients advertising
+/// the session-ticket extension against an event-loop server holding a
+/// ticket keyring, so every handshake after a client's first goes
+/// through the stateless path.
+fn ticket_arm() -> Arm {
+    let crypto_workers = 2;
+    let mut rng = SslRng::from_seed(b"bench-report-tickets");
+    let key = RsaPrivateKey::generate(SERVING_KEY_BITS, &mut rng).expect("keygen");
+    let keyring = Arc::new(TicketKeyring::new(b"bench-report-ticket-keys"));
+    let options = ServerOptions::builder()
+        .shards(1)
+        .crypto_workers(crypto_workers)
+        .ticket_keys(Some(keyring))
+        .build()
+        .expect("valid ticket-arm configuration");
+    let server = EventLoopServer::start(key, "bench.sslperf.test", &options).expect("server start");
+    let load = SocketLoadOptions {
+        clients: 8,
+        transactions_per_client: CONNECTIONS / 8,
+        warmup_per_client: 1,
+        resume: true,
+        file_size: 1024,
+        suite: CipherSuite::RsaDesCbc3Sha,
+        tickets: true,
+    };
+    let report = run_socket_load(server.local_addr(), &load).expect("socket load");
+    let stats = server.stats();
+    let arm = Arm {
+        label: format!("event_loop_{crypto_workers}w_tickets"),
+        crypto_workers,
+        batch_max: 1,
+        tx_per_sec: report.transactions_per_second(),
+        p50_ms: report.handshake_latency.p50.as_secs_f64() * 1e3,
+        p95_ms: report.handshake_latency.p95.as_secs_f64() * 1e3,
+        p99_ms: report.handshake_latency.p99.as_secs_f64() * 1e3,
+        cycles_per_decrypt: stats.crypto_exec().get() / stats.crypto_jobs().max(1),
+        batches: stats.crypto_batches(),
+        batched_jobs: stats.crypto_batched_jobs(),
+        resumed_handshakes: stats.resumed_handshakes(),
+        tickets_issued: stats.tickets_issued(),
+        tickets_accepted: stats.tickets_accepted(),
     };
     server.shutdown();
     arm
@@ -162,11 +272,11 @@ fn serving_arm(batch_max: usize) -> Arm {
 
 /// Hand-rolled JSON (the workspace carries no serde); every number is
 /// emitted with enough precision for the regression diff.
-fn render_json(solo: u64, amortized: &[Amortized], arms: &[Arm]) -> String {
+fn render_json(solo: u64, amortized: &[Amortized], bulk: &[BulkPath], arms: &[Arm]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"sslperf-bench-report/v1\",\n");
-    s.push_str("  \"issue\": 6,\n");
+    s.push_str("  \"issue\": 7,\n");
     s.push_str("  \"rsa\": {\n");
     let _ = writeln!(s, "    \"key_bits\": {KERNEL_KEY_BITS},");
     let _ = writeln!(s, "    \"solo_cycles_per_decrypt\": {solo},");
@@ -180,6 +290,18 @@ fn render_json(solo: u64, amortized: &[Amortized], arms: &[Arm]) -> String {
         );
     }
     s.push_str("    ]\n  },\n");
+    s.push_str("  \"bulk\": {\n");
+    let _ = writeln!(s, "    \"record_bytes\": {MAX_FRAGMENT},");
+    s.push_str("    \"suites\": [\n");
+    for (i, b) in bulk.iter().enumerate() {
+        let comma = if i + 1 < bulk.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"suite\": \"{}\", \"cycles_per_record\": {}}}{comma}",
+            b.suite, b.cycles_per_record
+        );
+    }
+    s.push_str("    ]\n  },\n");
     s.push_str("  \"serving\": {\n");
     let _ = writeln!(s, "    \"connections\": {CONNECTIONS},");
     let _ = writeln!(s, "    \"key_bits\": {SERVING_KEY_BITS},");
@@ -190,7 +312,8 @@ fn render_json(solo: u64, amortized: &[Amortized], arms: &[Arm]) -> String {
             s,
             "      {{\"label\": \"{}\", \"crypto_workers\": {}, \"batch_max\": {}, \
              \"tx_per_sec\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
-             \"cycles_per_decrypt\": {}, \"batches\": {}, \"batched_jobs\": {}}}{comma}",
+             \"cycles_per_decrypt\": {}, \"batches\": {}, \"batched_jobs\": {}, \
+             \"resumed_handshakes\": {}, \"tickets_issued\": {}, \"tickets_accepted\": {}}}{comma}",
             arm.label,
             arm.crypto_workers,
             arm.batch_max,
@@ -201,6 +324,9 @@ fn render_json(solo: u64, amortized: &[Amortized], arms: &[Arm]) -> String {
             arm.cycles_per_decrypt,
             arm.batches,
             arm.batched_jobs,
+            arm.resumed_handshakes,
+            arm.tickets_issued,
+            arm.tickets_accepted,
         );
     }
     s.push_str("    ]\n  }\n}\n");

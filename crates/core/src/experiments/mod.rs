@@ -120,11 +120,14 @@ pub enum ExperimentId {
     /// Tables 1-3 measured live from the serving layer's metrics registry
     /// instead of the in-process pipeline.
     LiveAnatomy,
+    /// Restart survival: stateless-ticket resumption vs the in-memory id
+    /// cache across a full shared-nothing fleet restart.
+    RestartSurvival,
 }
 
 impl ExperimentId {
     /// Every experiment, in paper order.
-    pub const ALL: [ExperimentId; 18] = [
+    pub const ALL: [ExperimentId; 19] = [
         ExperimentId::Table1,
         ExperimentId::Fig2,
         ExperimentId::Table2,
@@ -143,6 +146,7 @@ impl ExperimentId {
         ExperimentId::LoadedServer,
         ExperimentId::CryptoOffload,
         ExperimentId::LiveAnatomy,
+        ExperimentId::RestartSurvival,
     ];
 
     /// The human-readable name ("Table 1", "Figure 3", ...).
@@ -167,6 +171,7 @@ impl ExperimentId {
             ExperimentId::LoadedServer => "Loaded server",
             ExperimentId::CryptoOffload => "Crypto offload",
             ExperimentId::LiveAnatomy => "Live anatomy",
+            ExperimentId::RestartSurvival => "Restart survival",
         }
     }
 }
@@ -229,6 +234,7 @@ pub fn run_report(ctx: &Context, id: ExperimentId) -> Result<Report, ExperimentE
         ExperimentId::LoadedServer => netload::loaded_server(ctx)?.to_string(),
         ExperimentId::CryptoOffload => netload::crypto_offload(ctx)?.to_string(),
         ExperimentId::LiveAnatomy => netload::live_anatomy(ctx)?.to_string(),
+        ExperimentId::RestartSurvival => netload::restart_survival(ctx)?.to_string(),
     };
     Ok(Report { id, rendered })
 }

@@ -15,13 +15,17 @@
 
 use crate::experiments::{pct, ExperimentError};
 use crate::Context;
-use sslperf_net::{EventLoopServer, MetricsSnapshot, ServerOptions, TcpSslServer};
+use sslperf_net::{
+    EventLoopServer, FleetSnapshot, MetricsSnapshot, ServerFleet, ServerOptions, TcpSslServer,
+};
 use sslperf_rsa::RsaPrivateKey;
+use sslperf_ssl::TicketKeyring;
 use sslperf_websim::loadgen::{
-    run_event_load, run_socket_load, EventLoadOptions, EventLoadReport, SocketLoadOptions,
-    SocketLoadReport,
+    run_event_load, run_restart_load, run_socket_load, EventLoadOptions, EventLoadReport,
+    RestartLoadOptions, RestartLoadReport, SocketLoadOptions, SocketLoadReport,
 };
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Client- and server-side results for one serving mode.
@@ -131,6 +135,7 @@ pub fn loaded_server(ctx: &Context) -> Result<NetLoad, ExperimentError> {
         resume: true,
         file_size: 1024,
         suite: ctx.suite(),
+        tickets: false,
     };
 
     let mut rng = ctx.rng("netload-server-key");
@@ -370,6 +375,7 @@ pub fn live_anatomy(ctx: &Context) -> Result<LiveAnatomy, ExperimentError> {
         resume: true,
         file_size: 1024,
         suite: ctx.suite(),
+        tickets: false,
     };
     let mut rng = ctx.rng("netload-anatomy-key");
     let key = RsaPrivateKey::generate(ctx.key_bits(), &mut rng)?;
@@ -384,6 +390,124 @@ pub fn live_anatomy(ctx: &Context) -> Result<LiveAnatomy, ExperimentError> {
     let transactions = server.stats().transactions();
     server.shutdown();
     Ok(LiveAnatomy { transactions, snapshot })
+}
+
+/// One arm of the restart-survival experiment: a resumption mechanism
+/// put through a full-fleet restart.
+#[derive(Debug)]
+pub struct RestartArm {
+    /// Human-readable mechanism name ("session tickets", "id cache").
+    pub label: String,
+    /// Client-side restart-survival report.
+    pub report: RestartLoadReport,
+    /// Fleet-wide server counters, killed instances included.
+    pub fleet: FleetSnapshot,
+}
+
+/// Results of the restart-survival experiment: stateless-ticket
+/// resumption vs the in-memory id cache across a full-fleet restart.
+#[derive(Debug)]
+pub struct RestartSurvival {
+    /// Shared-nothing instances behind the one address.
+    pub instances: usize,
+    /// Client threads (one session each) in both arms.
+    pub clients: usize,
+    /// The encrypted-ticket arm: instances share only the ticket keys.
+    pub ticket: RestartArm,
+    /// The id-cache arm: sessions live in per-instance memory.
+    pub id_cache: RestartArm,
+}
+
+impl fmt::Display for RestartSurvival {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Restart survival ({}-instance shared-nothing fleet, every instance restarted mid-load)",
+            self.instances
+        )?;
+        writeln!(f, "=========================================================")?;
+        writeln!(
+            f,
+            "{:<18} {:>11} {:>9} {:>9} {:>7} {:>8} {:>9}",
+            "resumption via", "established", "resumed", "hit rate", "failed", "issued", "accepted"
+        )?;
+        for arm in [&self.ticket, &self.id_cache] {
+            writeln!(
+                f,
+                "{:<18} {:>11} {:>5}/{:<3} {:>8}% {:>7} {:>8} {:>9}",
+                arm.label,
+                arm.report.established,
+                arm.report.resumed,
+                arm.report.attempted,
+                pct(arm.report.hit_rate()),
+                arm.report.failed,
+                arm.fleet.tickets_issued,
+                arm.fleet.tickets_accepted,
+            )?;
+        }
+        write!(
+            f,
+            "Paper context: §4.1 — session reuse skips the RSA private-key operation, but\n\
+             an in-memory session cache is only as durable as the process that owns it.\n\
+             Sealing the session state into an encrypted client-held ticket keeps the\n\
+             optimisation alive across process boundaries: any instance sharing the\n\
+             ticket keys resumes any other instance's sessions, restarts included."
+        )
+    }
+}
+
+/// Measures one resumption mechanism across a full-fleet restart: starts
+/// an N-instance fleet, lets every client establish a session, kills and
+/// restarts every instance, and reconnects every client.
+fn restart_arm(
+    ctx: &Context,
+    label: &str,
+    instances: usize,
+    clients: usize,
+    keyring: Option<Arc<TicketKeyring>>,
+) -> Result<RestartArm, ExperimentError> {
+    let mut rng = ctx.rng(&format!("restart-survival-{label}"));
+    let key = RsaPrivateKey::generate(ctx.key_bits(), &mut rng)?;
+    let server_options = ServerOptions::builder()
+        .shards(1)
+        .ticket_keys(keyring.clone())
+        .build()
+        .expect("valid restart-survival server options");
+    let mut fleet = ServerFleet::start(key, "www.sslperf.test", instances, &server_options)?;
+    let addr = fleet.local_addr();
+    let options = RestartLoadOptions {
+        clients,
+        tickets: keyring.is_some(),
+        file_size: 1024,
+        suite: ctx.suite(),
+    };
+    let report = run_restart_load(addr, &options, || {
+        for index in 0..instances {
+            fleet.kill(index);
+            fleet.restart(index).expect("restart reuses the validated server configuration");
+        }
+    })?;
+    let snapshot = fleet.aggregated();
+    fleet.shutdown();
+    Ok(RestartArm { label: label.to_string(), report, fleet: snapshot })
+}
+
+/// Runs the restart-survival experiment: the same full-fleet restart
+/// under load, once with stateless session tickets and once with the
+/// per-instance id cache. The ticket arm's hit rate survives the restart
+/// (the credentials live on the client); the id-cache arm's drops to
+/// zero (the credentials died with the instances' memory).
+///
+/// # Errors
+///
+/// Propagates key generation, serving and load-generation failures.
+pub fn restart_survival(ctx: &Context) -> Result<RestartSurvival, ExperimentError> {
+    let instances = 2;
+    let clients = (ctx.iterations() * 2).clamp(4, 16);
+    let keyring = Arc::new(TicketKeyring::new(b"restart-survival-ticket-keys"));
+    let ticket = restart_arm(ctx, "session tickets", instances, clients, Some(keyring))?;
+    let id_cache = restart_arm(ctx, "id cache", instances, clients, None)?;
+    Ok(RestartSurvival { instances, clients, ticket, id_cache })
 }
 
 #[cfg(test)]
@@ -425,6 +549,37 @@ mod tests {
         let rendered = la.to_string();
         assert!(rendered.contains("Live Table 2"), "{rendered}");
         assert!(rendered.contains("aggregated live"), "{rendered}");
+    }
+
+    #[test]
+    fn restart_survival_contrasts_tickets_with_the_id_cache() {
+        let rs = restart_survival(ctx()).expect("restart survival");
+        let ticket = &rs.ticket.report;
+        assert_eq!(ticket.established, rs.clients, "every ticket client establishes");
+        assert!(
+            ticket.hit_rate() >= 90.0,
+            "ticket resumption survives the fleet restart: {:.1}%",
+            ticket.hit_rate()
+        );
+        assert_eq!(ticket.failed, 0, "no ticket client fails outright");
+        assert_eq!(
+            rs.ticket.fleet.tickets_accepted as usize, ticket.resumed,
+            "every resumption went through a ticket"
+        );
+        assert!(
+            rs.ticket.fleet.tickets_issued >= rs.clients as u64,
+            "every full handshake issued a ticket"
+        );
+        let id = &rs.id_cache.report;
+        assert_eq!(id.established, rs.clients, "every id-cache client establishes");
+        assert_eq!(id.resumed, 0, "id-cache sessions die with the instances");
+        assert_eq!(rs.id_cache.fleet.tickets_issued, 0, "no keyring, no tickets");
+        assert_eq!(rs.ticket.fleet.retired_instances, rs.instances, "all instances restarted");
+        let rendered = rs.to_string();
+        assert!(rendered.contains("Restart survival"), "{rendered}");
+        assert!(rendered.contains("session tickets"), "{rendered}");
+        assert!(rendered.contains("id cache"), "{rendered}");
+        assert!(rendered.contains("hit rate"), "{rendered}");
     }
 
     #[test]

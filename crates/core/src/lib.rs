@@ -67,13 +67,16 @@ pub mod prelude {
     pub use sslperf_ciphers::{Aes, BlockCipher, Cbc, Des, Des3, Rc4};
     pub use sslperf_hashes::{HashAlg, Hasher, Hmac, Md5, Sha1};
     pub use sslperf_net::{
-        EventLoopServer, MetricsSnapshot, ServerMetrics, ServerOptions, ShardedSessionCache,
-        TcpSslServer,
+        EventLoopServer, FleetSnapshot, MetricsSnapshot, ServerFleet, ServerMetrics, ServerOptions,
+        ShardedSessionCache, TcpSslServer,
     };
     pub use sslperf_profile::{Cycles, PhaseSet, Table};
     pub use sslperf_rng::SslRng;
     pub use sslperf_rsa::{RsaPrivateKey, RsaPublicKey};
-    pub use sslperf_ssl::{CipherSuite, ServerConfig, SessionCache, SslClient, SslServer};
+    pub use sslperf_ssl::{
+        CipherSuite, ServerConfig, SessionCache, SessionStore, SslClient, SslServer, TicketKeyring,
+        TicketSessionStore,
+    };
     pub use sslperf_websim::SecureWebServer;
 }
 

@@ -29,7 +29,7 @@
 use crate::cache::ShardedSessionCache;
 use crate::cryptopool::{CryptoPool, SubmitError};
 use crate::metrics::ServerMetrics;
-use crate::server::{alert_for_close, serve_request, ServerOptions, ServerStats};
+use crate::server::{alert_for_close, build_config, serve_request, ServerOptions, ServerStats};
 use sslperf_profile::measure;
 use sslperf_rng::SslRng;
 use sslperf_rsa::RsaPrivateKey;
@@ -39,8 +39,8 @@ use sslperf_websim::http::HttpRequest;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Sender};
-use std::sync::Arc;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -50,6 +50,32 @@ const IDLE_SLEEP: Duration = Duration::from_micros(500);
 /// Per-sweep read buffer; one per shard thread, reused by every
 /// connection it owns.
 const SCRATCH_LEN: usize = 16 * 1024;
+
+/// Where a shard gets new sockets from.
+///
+/// A standalone [`EventLoopServer`] owns its listener and every shard
+/// accepts straight off it (`Bound`). Under [`crate::ServerFleet`] the
+/// fleet owns the one bound socket and a fan thread distributes accepted
+/// streams to instances over channels (`Fed`) — the std-only stand-in for
+/// `SO_REUSEPORT`, which needs `setsockopt` and therefore unsafe code.
+#[derive(Debug, Clone)]
+pub(crate) enum Intake {
+    /// Accept directly from a shared non-blocking listener.
+    Bound(Arc<TcpListener>),
+    /// Receive sockets pre-accepted by a fan thread.
+    Fed(Arc<Mutex<Receiver<TcpStream>>>),
+}
+
+impl Intake {
+    /// Takes the next pending socket without blocking, or `None` when the
+    /// backlog is empty (or the source is gone).
+    fn next(&self) -> Option<TcpStream> {
+        match self {
+            Intake::Bound(listener) => listener.accept().ok().map(|(stream, _)| stream),
+            Intake::Fed(feed) => feed.lock().ok()?.try_recv().ok(),
+        }
+    }
+}
 
 /// A running SSL web server in event-loop mode.
 ///
@@ -88,17 +114,40 @@ impl EventLoopServer {
         name: &str,
         options: &ServerOptions,
     ) -> Result<Self, SslError> {
+        let listener = TcpListener::bind(&options.addr).map_err(|e| SslError::Io(e.to_string()))?;
+        listener.set_nonblocking(true).map_err(|e| SslError::Io(e.to_string()))?;
+        let addr = listener.local_addr().map_err(|e| SslError::Io(e.to_string()))?;
+        Self::start_with_intake(key, name, options, Intake::Bound(Arc::new(listener)), addr, "")
+    }
+
+    /// The shared start path: `start` hands it a bound listener, the fleet
+    /// hands it a channel fed by the accept-fan thread. `seed_tag`
+    /// distinguishes the per-connection RNG streams of servers that
+    /// coexist behind one address — without it, two fleet instances would
+    /// draw identical "random" session ids for their nth connections,
+    /// and a fresh full-handshake id could collide with the id another
+    /// instance handed the same client. Empty keeps the standalone
+    /// seeding unchanged.
+    pub(crate) fn start_with_intake(
+        key: RsaPrivateKey,
+        name: &str,
+        options: &ServerOptions,
+        intake: Intake,
+        addr: SocketAddr,
+        seed_tag: &str,
+    ) -> Result<Self, SslError> {
         assert!(options.shards > 0, "at least one shard");
         let cache = Arc::new(ShardedSessionCache::with_ttl(
             options.cache_shards,
             options.cache_capacity_per_shard,
             options.session_ttl,
         ));
-        let config = Arc::new(ServerConfig::with_cache(key, name, Box::new(Arc::clone(&cache)))?);
-        let listener = TcpListener::bind(&options.addr).map_err(|e| SslError::Io(e.to_string()))?;
-        listener.set_nonblocking(true).map_err(|e| SslError::Io(e.to_string()))?;
-        let addr = listener.local_addr().map_err(|e| SslError::Io(e.to_string()))?;
-        let listener = Arc::new(listener);
+        let config = Arc::new(build_config(key, name, &cache, options.ticket_keys.as_ref())?);
+        let seed_prefix: Arc<str> = if seed_tag.is_empty() {
+            Arc::from("sslperf-eventloop")
+        } else {
+            Arc::from(format!("sslperf-eventloop-{seed_tag}"))
+        };
 
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
@@ -116,16 +165,18 @@ impl EventLoopServer {
         });
         let shards = (0..options.shards)
             .map(|shard| {
-                let listener = Arc::clone(&listener);
+                let intake = intake.clone();
                 let config = Arc::clone(&config);
                 let stats = Arc::clone(&stats);
                 let stop = Arc::clone(&stop);
                 let pool = pool.clone();
                 let metrics = metrics.clone();
+                let seed_prefix = Arc::clone(&seed_prefix);
                 std::thread::spawn(move || {
                     shard_loop(
                         shard,
-                        &listener,
+                        &seed_prefix,
+                        &intake,
                         &config,
                         &stats,
                         &stop,
@@ -150,6 +201,12 @@ impl EventLoopServer {
     #[must_use]
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// A shared handle to the counters, so the fleet can keep aggregating
+    /// an instance's numbers after the instance itself is killed.
+    pub(crate) fn stats_arc(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
     }
 
     /// The sharded session cache (hit/miss counters live here).
@@ -213,7 +270,8 @@ struct Offload<'p> {
 #[allow(clippy::too_many_arguments)]
 fn shard_loop(
     shard: usize,
-    listener: &TcpListener,
+    seed_prefix: &str,
+    intake: &Intake,
     config: &ServerConfig,
     stats: &ServerStats,
     stop: &AtomicBool,
@@ -229,25 +287,14 @@ fn shard_loop(
     while !stop.load(Ordering::SeqCst) {
         let mut progress = false;
         // Accept burst: drain the backlog, then get back to serving.
-        loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    progress = true;
-                    seq += 1;
-                    if let Some(conn) = Conn::accept(
-                        stream,
-                        config,
-                        shard,
-                        seq,
-                        io_timeout,
-                        offload.is_some(),
-                        metrics,
-                    ) {
-                        conns.push(conn);
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(_) => break,
+        while let Some(stream) = intake.next() {
+            progress = true;
+            seq += 1;
+            let seed = format!("{seed_prefix}-{shard}-{seq}");
+            if let Some(conn) =
+                Conn::accept(stream, config, seq, &seed, io_timeout, offload.is_some(), metrics)
+            {
+                conns.push(conn);
             }
         }
         // Route executed crypto jobs back to their connections first, so
@@ -318,15 +365,15 @@ impl<'a> Conn<'a> {
     fn accept(
         stream: TcpStream,
         config: &'a ServerConfig,
-        shard: usize,
         seq: u64,
+        seed: &str,
         io_timeout: Option<Duration>,
         offload: bool,
         metrics: Option<&'a ServerMetrics>,
     ) -> Option<Self> {
         stream.set_nonblocking(true).ok()?;
         let _ = stream.set_nodelay(true);
-        let rng = SslRng::from_seed(format!("sslperf-eventloop-{shard}-{seq}").as_bytes());
+        let rng = SslRng::from_seed(seed.as_bytes());
         let mut engine = Engine::new(SslServer::new(config, rng)).ok()?;
         engine.set_crypto_offload(offload);
         Some(Conn {
@@ -554,11 +601,18 @@ impl<'a> Conn<'a> {
         }
         self.counted = true;
         stats.connections.fetch_add(1, Ordering::Relaxed);
-        if self.engine.machine().resumed() {
+        let machine = self.engine.machine();
+        if machine.resumed() {
             stats.resumed_handshakes.fetch_add(1, Ordering::Relaxed);
         } else {
             stats.full_handshakes.fetch_add(1, Ordering::Relaxed);
         }
+        stats.note_ticket_flags(
+            machine.ticket_issued(),
+            machine.ticket_accepted(),
+            machine.ticket_rejected(),
+            machine.ticket_expired(),
+        );
         if let Some(m) = self.metrics {
             m.note_handshake(&self.engine.machine().ledger());
         }

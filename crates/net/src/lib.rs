@@ -40,11 +40,13 @@
 mod cache;
 mod cryptopool;
 mod eventloop;
+mod fleet;
 mod metrics;
 mod server;
 
 pub use cache::ShardedSessionCache;
 pub use cryptopool::{CryptoPool, SubmitError};
 pub use eventloop::EventLoopServer;
+pub use fleet::{FleetSnapshot, ServerFleet};
 pub use metrics::{MetricsSnapshot, ServerMetrics, StepSnapshot};
 pub use server::{OptionsError, ServerOptions, ServerOptionsBuilder, ServerStats, TcpSslServer};

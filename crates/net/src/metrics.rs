@@ -36,6 +36,8 @@ pub struct ServerMetrics {
     steps: [Histogram; 10],
     /// Step 5's offload split: cycles queued in the crypto pool.
     rsa_queue_wait: Histogram,
+    /// Step 5's offload split: cycles parked waiting for batch siblings.
+    rsa_batch_wait: Histogram,
     /// Step 5's offload split: cycles executing the RSA private decryption.
     rsa_private_decryption: Histogram,
     /// End-to-end handshake cycles, full key exchange.
@@ -74,6 +76,11 @@ pub struct ServerMetrics {
     exec_solo: Histogram,
     /// Amortized cycles per RSA decrypt inside batches of two or more.
     exec_amortized: Histogram,
+    /// Session-ticket outcomes (stateless resumption), per handshake.
+    tickets_issued: AtomicU64,
+    tickets_accepted: AtomicU64,
+    tickets_rejected: AtomicU64,
+    tickets_expired: AtomicU64,
 }
 
 impl Default for ServerMetrics {
@@ -89,6 +96,7 @@ impl ServerMetrics {
         ServerMetrics {
             steps: std::array::from_fn(|_| Histogram::new()),
             rsa_queue_wait: Histogram::new(),
+            rsa_batch_wait: Histogram::new(),
             rsa_private_decryption: Histogram::new(),
             full_handshake: Histogram::new(),
             resumed_handshake: Histogram::new(),
@@ -110,6 +118,10 @@ impl ServerMetrics {
             batch_size: Histogram::new(),
             exec_solo: Histogram::new(),
             exec_amortized: Histogram::new(),
+            tickets_issued: AtomicU64::new(0),
+            tickets_accepted: AtomicU64::new(0),
+            tickets_rejected: AtomicU64::new(0),
+            tickets_expired: AtomicU64::new(0),
         }
     }
 
@@ -119,6 +131,10 @@ impl ServerMetrics {
     /// crypto accumulators; resumed handshakes only record their
     /// end-to-end latency (their step mix is not the paper's Table 2).
     pub fn note_handshake(&self, ledger: &HandshakeLedger) {
+        self.tickets_issued.fetch_add(u64::from(ledger.ticket_issued), Ordering::Relaxed);
+        self.tickets_accepted.fetch_add(u64::from(ledger.ticket_accepted), Ordering::Relaxed);
+        self.tickets_rejected.fetch_add(u64::from(ledger.ticket_rejected), Ordering::Relaxed);
+        self.tickets_expired.fetch_add(u64::from(ledger.ticket_expired), Ordering::Relaxed);
         if ledger.resumed {
             self.resumed_handshake.record(ledger.total.get());
             self.resumed_crypto_cycles.fetch_add(ledger.crypto.get(), Ordering::Relaxed);
@@ -131,6 +147,9 @@ impl ServerMetrics {
         }
         if ledger.rsa_queue_wait.get() > 0 {
             self.rsa_queue_wait.record(ledger.rsa_queue_wait.get());
+        }
+        if ledger.rsa_batch_wait.get() > 0 {
+            self.rsa_batch_wait.record(ledger.rsa_batch_wait.get());
         }
         if ledger.rsa_private_decryption.get() > 0 {
             self.rsa_private_decryption.record(ledger.rsa_private_decryption.get());
@@ -199,6 +218,7 @@ impl ServerMetrics {
                 latency: self.steps[i].snapshot(),
             }),
             rsa_queue_wait: self.rsa_queue_wait.snapshot(),
+            rsa_batch_wait: self.rsa_batch_wait.snapshot(),
             rsa_private_decryption: self.rsa_private_decryption.snapshot(),
             full_handshake: self.full_handshake.snapshot(),
             resumed_handshake: self.resumed_handshake.snapshot(),
@@ -220,6 +240,10 @@ impl ServerMetrics {
             batch_size: self.batch_size.snapshot(),
             exec_solo: self.exec_solo.snapshot(),
             exec_amortized: self.exec_amortized.snapshot(),
+            tickets_issued: self.tickets_issued.load(Ordering::Relaxed),
+            tickets_accepted: self.tickets_accepted.load(Ordering::Relaxed),
+            tickets_rejected: self.tickets_rejected.load(Ordering::Relaxed),
+            tickets_expired: self.tickets_expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -243,6 +267,8 @@ pub struct MetricsSnapshot {
     pub steps: [StepSnapshot; 10],
     /// Step 5's crypto-pool queue wait (empty when decrypting inline).
     pub rsa_queue_wait: HistogramSnapshot,
+    /// Step 5's wait for batch siblings (empty without batching).
+    pub rsa_batch_wait: HistogramSnapshot,
     /// Step 5's RSA private decryption execution time.
     pub rsa_private_decryption: HistogramSnapshot,
     /// End-to-end full-handshake latency.
@@ -285,6 +311,14 @@ pub struct MetricsSnapshot {
     pub exec_solo: HistogramSnapshot,
     /// Amortized cycles per RSA decrypt inside real batches.
     pub exec_amortized: HistogramSnapshot,
+    /// Session tickets sealed and sent with NewSessionTicket.
+    pub tickets_issued: u64,
+    /// Session tickets opened successfully (stateless resumptions).
+    pub tickets_accepted: u64,
+    /// Tickets rejected as tampered/undecodable (silent full handshake).
+    pub tickets_rejected: u64,
+    /// Tickets rejected as expired (silent full handshake).
+    pub tickets_expired: u64,
 }
 
 impl MetricsSnapshot {
@@ -355,9 +389,13 @@ impl MetricsSnapshot {
         }
         out.push_str(&steps.to_string());
 
-        // Step 5's offload split, when the crypto pool was in play.
+        // Step 5's offload split, when the crypto pool was in play. With
+        // batching on, the amortization rows break the same step down
+        // further: the wait each decrypt spent collecting batch siblings,
+        // and what a decrypt costs solo versus amortized across a batch —
+        // the Table 2 step-5 cell, re-derived per serving mode.
         if self.rsa_queue_wait.count() > 0 || self.rsa_private_decryption.count() > 0 {
-            let mut rsa = Table::new("Step 5 offload split");
+            let mut rsa = Table::new("Step 5 offload split and batch amortization");
             rsa.columns(&[
                 ("phase", Align::Left),
                 ("count", Align::Right),
@@ -366,8 +404,14 @@ impl MetricsSnapshot {
             ]);
             for (name, h) in [
                 ("rsa_queue_wait", &self.rsa_queue_wait),
+                ("rsa_batch_wait", &self.rsa_batch_wait),
                 ("rsa_private_decryption", &self.rsa_private_decryption),
+                ("exec_solo (per decrypt)", &self.exec_solo),
+                ("exec_amortized (per decrypt)", &self.exec_amortized),
             ] {
+                if name.starts_with("exec") && h.count() == 0 {
+                    continue;
+                }
                 rsa.row(&[name.to_string(), h.count().to_string(), kilo(h.mean()), kilo(h.p95())]);
             }
             out.push('\n');
@@ -489,6 +533,10 @@ impl MetricsSnapshot {
             self.bytes_out,
             self.pool_queue_depth_max,
         ));
+        out.push_str(&format!(
+            "tickets issued/accepted/rejected/expired {}/{}/{}/{}\n",
+            self.tickets_issued, self.tickets_accepted, self.tickets_rejected, self.tickets_expired,
+        ));
         out
     }
 }
@@ -525,6 +573,10 @@ mod tests {
             rsa_queue_wait: Cycles::new(0),
             rsa_batch_wait: Cycles::new(0),
             rsa_private_decryption: Cycles::new(crypto / 2),
+            ticket_issued: false,
+            ticket_accepted: false,
+            ticket_rejected: false,
+            ticket_expired: false,
         }
     }
 
@@ -589,6 +641,33 @@ mod tests {
         assert!(text.contains("get_client_kx"), "{text}");
         assert!(text.contains("Step 5 offload split"), "{text}");
         assert!(text.contains("pool depth max 3"), "{text}");
+    }
+
+    #[test]
+    fn batch_wait_and_ticket_flags_reach_the_snapshot() {
+        let m = ServerMetrics::new();
+        let mut full = ledger(false, 100, 800);
+        full.rsa_queue_wait = Cycles::new(50);
+        full.rsa_batch_wait = Cycles::new(25);
+        full.ticket_issued = true;
+        m.note_handshake(&full);
+        let mut resumed = ledger(true, 10, 40);
+        resumed.ticket_accepted = true;
+        m.note_handshake(&resumed);
+        let mut fallback = ledger(false, 100, 800);
+        fallback.ticket_rejected = true;
+        m.note_handshake(&fallback);
+        let snap = m.snapshot();
+        assert_eq!(snap.rsa_batch_wait.count(), 1);
+        assert_eq!(snap.rsa_batch_wait.sum(), 25);
+        assert_eq!(snap.tickets_issued, 1);
+        assert_eq!(snap.tickets_accepted, 1);
+        assert_eq!(snap.tickets_rejected, 1);
+        assert_eq!(snap.tickets_expired, 0);
+        let text = snap.render();
+        assert!(text.contains("rsa_batch_wait"), "{text}");
+        assert!(text.contains("batch amortization"), "{text}");
+        assert!(text.contains("tickets issued/accepted/rejected/expired 1/1/1/0"), "{text}");
     }
 
     #[test]

@@ -15,7 +15,9 @@ use sslperf_profile::{measure, Cycles};
 use sslperf_rng::SslRng;
 use sslperf_rsa::RsaPrivateKey;
 use sslperf_ssl::alert::{Alert, AlertDescription};
-use sslperf_ssl::{RecordBuffer, ServerConfig, SslError, SslServer, Transport};
+use sslperf_ssl::{
+    RecordBuffer, ServerConfig, SslError, SslServer, TicketKeyring, TicketSessionStore, Transport,
+};
 use sslperf_websim::http::{synthesize_document, HttpRequest, HttpResponse};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -71,6 +73,13 @@ pub struct ServerOptions {
     /// default) so p50 latency at low load does not pay for throughput at
     /// high load; irrelevant when `batch_max` is 1.
     pub batch_deadline: Duration,
+    /// Session-ticket keyring. `None` — the default — serves id-cache
+    /// resumption only, exactly as before tickets existed. With a keyring
+    /// installed the server negotiates the session-ticket extension, and
+    /// every instance sharing the same `Arc` (or a keyring derived from
+    /// the same secret) can resume each other's sessions with no shared
+    /// cache — the shared-nothing multi-instance topology.
+    pub ticket_keys: Option<Arc<TicketKeyring>>,
 }
 
 /// Default batch-collection deadline: long enough for a saturated queue to
@@ -92,6 +101,7 @@ impl Default for ServerOptions {
             metrics: false,
             batch_max: 1,
             batch_deadline: DEFAULT_BATCH_DEADLINE,
+            ticket_keys: None,
         }
     }
 }
@@ -227,6 +237,13 @@ impl ServerOptionsBuilder {
         self
     }
 
+    /// Installs a session-ticket keyring, enabling stateless resumption.
+    #[must_use]
+    pub fn ticket_keys(mut self, keyring: Option<Arc<TicketKeyring>>) -> Self {
+        self.options.ticket_keys = keyring;
+        self
+    }
+
     /// Validates the combination and returns the options.
     ///
     /// # Errors
@@ -280,6 +297,14 @@ pub struct ServerStats {
     pub(crate) crypto_batched_jobs: AtomicU64,
     /// Total cycles jobs spent collected-but-waiting for batch siblings.
     pub(crate) crypto_batch_wait_cycles: AtomicU64,
+    /// NewSessionTickets issued on full handshakes.
+    pub(crate) tickets_issued: AtomicU64,
+    /// Handshakes resumed from a client-presented ticket.
+    pub(crate) tickets_accepted: AtomicU64,
+    /// Tickets rejected as tampered/unknown (fell back to full handshake).
+    pub(crate) tickets_rejected: AtomicU64,
+    /// Tickets rejected as expired (fell back to full handshake).
+    pub(crate) tickets_expired: AtomicU64,
 }
 
 impl ServerStats {
@@ -385,6 +410,73 @@ impl ServerStats {
     pub fn crypto_batch_wait(&self) -> Cycles {
         Cycles::new(self.crypto_batch_wait_cycles.load(Ordering::Relaxed))
     }
+
+    /// NewSessionTickets issued on full handshakes (0 without a keyring).
+    #[must_use]
+    pub fn tickets_issued(&self) -> u64 {
+        self.tickets_issued.load(Ordering::Relaxed)
+    }
+
+    /// Handshakes resumed from a client-presented ticket.
+    #[must_use]
+    pub fn tickets_accepted(&self) -> u64 {
+        self.tickets_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Tickets rejected as tampered or sealed under an unknown key; each
+    /// fell back silently to a full handshake.
+    #[must_use]
+    pub fn tickets_rejected(&self) -> u64 {
+        self.tickets_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Tickets rejected as expired; each fell back silently to a full
+    /// handshake.
+    #[must_use]
+    pub fn tickets_expired(&self) -> u64 {
+        self.tickets_expired.load(Ordering::Relaxed)
+    }
+
+    /// Bumps the ticket counters from one completed handshake's flags.
+    pub(crate) fn note_ticket_flags(
+        &self,
+        issued: bool,
+        accepted: bool,
+        rejected: bool,
+        expired: bool,
+    ) {
+        if issued {
+            self.tickets_issued.fetch_add(1, Ordering::Relaxed);
+        }
+        if accepted {
+            self.tickets_accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        if rejected {
+            self.tickets_rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        if expired {
+            self.tickets_expired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Builds the [`ServerConfig`] both serving modes share: the sharded cache
+/// as the id-keyed store, wrapped by a [`TicketSessionStore`] when a
+/// keyring is installed.
+pub(crate) fn build_config(
+    key: RsaPrivateKey,
+    name: &str,
+    cache: &Arc<ShardedSessionCache>,
+    ticket_keys: Option<&Arc<TicketKeyring>>,
+) -> Result<ServerConfig, SslError> {
+    match ticket_keys {
+        Some(keyring) => ServerConfig::with_store(
+            key,
+            name,
+            Box::new(TicketSessionStore::new(Arc::clone(keyring), Box::new(Arc::clone(cache)))),
+        ),
+        None => ServerConfig::with_cache(key, name, Box::new(Arc::clone(cache))),
+    }
 }
 
 /// The alert to send before closing a connection that hit `error`.
@@ -451,7 +543,7 @@ impl TcpSslServer {
             options.cache_capacity_per_shard,
             options.session_ttl,
         ));
-        let config = Arc::new(ServerConfig::with_cache(key, name, Box::new(Arc::clone(&cache)))?);
+        let config = Arc::new(build_config(key, name, &cache, options.ticket_keys.as_ref())?);
         let listener = TcpListener::bind(&options.addr).map_err(|e| SslError::Io(e.to_string()))?;
         let addr = listener.local_addr().map_err(|e| SslError::Io(e.to_string()))?;
 
@@ -634,6 +726,12 @@ fn serve_connection(
     } else {
         stats.full_handshakes.fetch_add(1, Ordering::Relaxed);
     }
+    stats.note_ticket_flags(
+        server.ticket_issued(),
+        server.ticket_accepted(),
+        server.ticket_rejected(),
+        server.ticket_expired(),
+    );
     if let Some(m) = metrics {
         m.note_handshake(&server.ledger());
     }
@@ -773,6 +871,7 @@ mod tests {
             .metrics(true)
             .batch_max(4)
             .batch_deadline(Duration::from_micros(250))
+            .ticket_keys(Some(Arc::new(TicketKeyring::new(b"builder-secret"))))
             .build()
             .expect("valid combination");
         assert_eq!(options.addr, "127.0.0.1:4433");
@@ -786,6 +885,7 @@ mod tests {
         assert!(options.metrics);
         assert_eq!(options.batch_max, 4);
         assert_eq!(options.batch_deadline, Duration::from_micros(250));
+        assert!(options.ticket_keys.is_some());
     }
 
     #[test]

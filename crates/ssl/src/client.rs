@@ -23,6 +23,9 @@ pub struct ClientSession {
     id: Vec<u8>,
     master: Vec<u8>,
     suite: CipherSuite,
+    /// The server-issued session ticket, when the ticket extension was
+    /// negotiated — the client-held alternative to the server's id cache.
+    ticket: Option<Vec<u8>>,
 }
 
 impl ClientSession {
@@ -38,12 +41,35 @@ impl ClientSession {
         self.suite
     }
 
+    /// The held session ticket, if the server issued one.
+    #[must_use]
+    pub fn ticket(&self) -> Option<&[u8]> {
+        self.ticket.as_deref()
+    }
+
     /// A copy of this session offering a different id — what a stale or
     /// tampered client would present. The server must treat it as a cache
     /// miss and fall back to a full handshake.
     #[must_use]
     pub fn with_id(&self, id: Vec<u8>) -> Self {
-        ClientSession { id, master: self.master.clone(), suite: self.suite }
+        ClientSession {
+            id,
+            master: self.master.clone(),
+            suite: self.suite,
+            ticket: self.ticket.clone(),
+        }
+    }
+
+    /// A copy of this session holding a different ticket — what a
+    /// tampered or stale ticket-holder would present.
+    #[must_use]
+    pub fn with_ticket(&self, ticket: Option<Vec<u8>>) -> Self {
+        ClientSession {
+            id: self.id.clone(),
+            master: self.master.clone(),
+            suite: self.suite,
+            ticket,
+        }
     }
 }
 
@@ -77,6 +103,15 @@ pub struct SslClient {
     /// The verified key from the server certificate, held between the
     /// certificate and hello-done messages of a full handshake.
     server_key: Option<RsaPublicKey>,
+    /// True when the client advertises the session-ticket extension in its
+    /// hello. Off by default: the legacy hello stays byte-identical.
+    tickets_enabled: bool,
+    /// Set by the server hello's extension echo: a NewSessionTicket flight
+    /// precedes the server's CCS.
+    expect_ticket: bool,
+    /// The ticket received on this connection, exported via
+    /// [`SslClient::session`].
+    fresh_ticket: Option<Vec<u8>>,
 }
 
 impl SslClient {
@@ -109,13 +144,29 @@ impl SslClient {
             resumed: false,
             expected_server_finished: None,
             server_key: None,
+            tickets_enabled: false,
+            expect_ticket: false,
+            fresh_ticket: None,
         }
     }
 
-    /// A client that will attempt to resume `session`.
+    /// Enables the session-ticket extension on this client's hello: the
+    /// server (when its store supports tickets) answers a full handshake
+    /// with a NewSessionTicket, and the exported [`SslClient::session`]
+    /// carries the blob for stateless resumption.
+    #[must_use]
+    pub fn with_tickets(mut self) -> Self {
+        self.tickets_enabled = true;
+        self
+    }
+
+    /// A client that will attempt to resume `session` — through its ticket
+    /// when it holds one (the extension re-enables itself), through the
+    /// server's id cache otherwise.
     #[must_use]
     pub fn resuming(session: ClientSession, rng: SslRng) -> Self {
         let mut client = Self::new(session.suite, rng);
+        client.tickets_enabled = session.ticket.is_some();
         client.resume = Some(session);
         client
     }
@@ -139,15 +190,26 @@ impl SslClient {
     }
 
     /// A handle for resuming this session later (only once established).
+    /// Carries the ticket issued on this connection, or — on a
+    /// ticket-based resumption, where the server does not re-issue — the
+    /// still-valid ticket that was presented.
     #[must_use]
     pub fn session(&self) -> Option<ClientSession> {
         if self.state != State::Established {
             return None;
         }
+        let ticket = self.fresh_ticket.clone().or_else(|| {
+            if self.resumed {
+                self.resume.as_ref().and_then(|s| s.ticket.clone())
+            } else {
+                None
+            }
+        });
         Some(ClientSession {
             id: self.session_id.clone(),
             master: self.master.clone(),
             suite: self.suite,
+            ticket,
         })
     }
 
@@ -164,10 +226,16 @@ impl SslClient {
         self.client_random.copy_from_slice(&random);
         let offered_id =
             self.resume.as_ref().map_or_else(SessionId::empty, |s| SessionId::new(s.id.clone()));
+        // Extension data: absent entirely for legacy clients, empty to
+        // advertise support, the held blob to offer a stateless resume.
+        let ticket = self
+            .tickets_enabled
+            .then(|| self.resume.as_ref().and_then(|s| s.ticket.clone()).unwrap_or_default());
         let hello = HandshakeMessage::ClientHello {
             random: self.client_random,
             session_id: offered_id,
             suites: self.offered.iter().map(|s| s.wire_id()).collect(),
+            ticket,
         }
         .encode();
         self.transcript.absorb(&hello);
@@ -228,9 +296,13 @@ impl SslClient {
 
     fn on_server_hello(&mut self, msg: &[u8]) -> Result<(), SslError> {
         let (decoded, _) = HandshakeMessage::decode(msg)?;
-        let HandshakeMessage::ServerHello { random, session_id, suite } = decoded else {
+        let HandshakeMessage::ServerHello { random, session_id, suite, ticket } = decoded else {
             return Err(SslError::UnexpectedMessage { expected: "server hello" });
         };
+        if ticket && !self.tickets_enabled {
+            return Err(SslError::UnexpectedMessage { expected: "no ticket extension" });
+        }
+        self.expect_ticket = ticket;
         self.server_random = random;
         self.suite = CipherSuite::from_wire_id(suite)?;
         if !self.offered.contains(&self.suite) {
@@ -285,6 +357,23 @@ impl SslClient {
 
         self.send_ccs_and_finished(out)?;
         self.state = State::AwaitServerCcs;
+        Ok(())
+    }
+
+    /// The NewSessionTicket flight, arriving in plaintext just before the
+    /// server's CCS when the extension was negotiated on a full handshake.
+    /// Deliberately *not* absorbed into the transcript (the server mirrors
+    /// this), so the finished hashes are unaffected.
+    fn on_new_session_ticket(&mut self, msg: &[u8]) -> Result<(), SslError> {
+        if !self.expect_ticket {
+            return Err(SslError::UnexpectedMessage { expected: "change cipher spec" });
+        }
+        let (decoded, _) = HandshakeMessage::decode(msg)?;
+        let HandshakeMessage::NewSessionTicket { ticket, .. } = decoded else {
+            return Err(SslError::UnexpectedMessage { expected: "new session ticket" });
+        };
+        self.fresh_ticket = Some(ticket);
+        self.expect_ticket = false;
         Ok(())
     }
 
@@ -558,7 +647,8 @@ impl EngineDriven for SslClient {
             State::AwaitCertificate => self.on_certificate(msg),
             State::AwaitServerHelloDone => self.on_server_hello_done(msg, out),
             State::AwaitServerFinished => self.on_server_finished(msg, out),
-            State::Start | State::AwaitServerCcs | State::Established => {
+            State::AwaitServerCcs => self.on_new_session_ticket(msg),
+            State::Start | State::Established => {
                 Err(SslError::UnexpectedMessage { expected: "change cipher spec" })
             }
         }?;

@@ -66,10 +66,13 @@ mod messages;
 mod record;
 mod server;
 mod suites;
+pub mod ticket;
 mod transcript;
 pub mod transport;
 
-pub use cache::{CachedSession, SessionCache, SimpleSessionCache};
+pub use cache::{
+    CachedSession, CachedSessionStore, IssuedTicket, SessionCache, SessionStore, SimpleSessionCache,
+};
 pub use client::{ClientSession, SslClient};
 pub use engine::{
     ClientEngine, CryptoDone, CryptoJob, Engine, EngineDriven, MachineStep, ServerEngine,
@@ -78,6 +81,7 @@ pub use messages::{HandshakeType, SessionId};
 pub use record::{ContentType, RecordBuffer, RecordLayer, MAX_FRAGMENT, MAX_RECORD_BODY};
 pub use server::{HandshakeLedger, ServerConfig, SslServer, SERVER_STEP_NAMES};
 pub use suites::{BulkCipher, CipherSuite};
+pub use ticket::{TicketError, TicketKeyring, TicketSessionStore};
 pub use transport::{duplex_pair, read_record, read_record_into, DuplexTransport, Transport};
 
 use sslperf_ciphers::CipherError;

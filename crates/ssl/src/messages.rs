@@ -7,6 +7,10 @@
 
 use crate::{SslError, VERSION};
 
+/// The hello-extension number for stateless session tickets (the RFC 5077
+/// `session_ticket` value, reused on our SSLv3 hellos).
+pub const EXT_SESSION_TICKET: u16 = 0x0023;
+
 /// Handshake message type codes (RFC-compatible values).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -15,6 +19,8 @@ pub enum HandshakeType {
     ClientHello = 1,
     /// Server hello (2).
     ServerHello = 2,
+    /// New session ticket (4).
+    NewSessionTicket = 4,
     /// Server certificate (11).
     Certificate = 11,
     /// Server hello done (14).
@@ -30,6 +36,7 @@ impl HandshakeType {
         Ok(match v {
             1 => HandshakeType::ClientHello,
             2 => HandshakeType::ServerHello,
+            4 => HandshakeType::NewSessionTicket,
             11 => HandshakeType::Certificate,
             14 => HandshakeType::ServerHelloDone,
             16 => HandshakeType::ClientKeyExchange,
@@ -85,6 +92,10 @@ pub enum HandshakeMessage {
         session_id: SessionId,
         /// Offered suites, preference-ordered wire ids.
         suites: Vec<u16>,
+        /// Session-ticket extension: `None` emits no extension block
+        /// (byte-identical to the pre-extension hello), `Some(vec![])`
+        /// advertises support, `Some(blob)` offers the blob for resumption.
+        ticket: Option<Vec<u8>>,
     },
     /// Server hello: random, chosen session and suite.
     ServerHello {
@@ -94,6 +105,17 @@ pub enum HandshakeMessage {
         session_id: SessionId,
         /// Chosen suite wire id.
         suite: u16,
+        /// True emits an empty session-ticket extension: the server
+        /// accepted the negotiation and will issue a NewSessionTicket.
+        ticket: bool,
+    },
+    /// New session ticket: the post-handshake flight carrying the sealed
+    /// session blob for the client to hold.
+    NewSessionTicket {
+        /// Advertised ticket validity in seconds (a hint).
+        lifetime_hint_secs: u32,
+        /// The opaque sealed ticket.
+        ticket: Vec<u8>,
     },
     /// The server's certificate (opaque bytes of `sslperf_rsa::x509`).
     Certificate {
@@ -123,6 +145,7 @@ impl HandshakeMessage {
         match self {
             HandshakeMessage::ClientHello { .. } => HandshakeType::ClientHello,
             HandshakeMessage::ServerHello { .. } => HandshakeType::ServerHello,
+            HandshakeMessage::NewSessionTicket { .. } => HandshakeType::NewSessionTicket,
             HandshakeMessage::Certificate { .. } => HandshakeType::Certificate,
             HandshakeMessage::ServerHelloDone => HandshakeType::ServerHelloDone,
             HandshakeMessage::ClientKeyExchange { .. } => HandshakeType::ClientKeyExchange,
@@ -145,7 +168,7 @@ impl HandshakeMessage {
     fn encode_body(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            HandshakeMessage::ClientHello { random, session_id, suites } => {
+            HandshakeMessage::ClientHello { random, session_id, suites, ticket } => {
                 out.push(VERSION.0);
                 out.push(VERSION.1);
                 out.extend_from_slice(random);
@@ -155,14 +178,25 @@ impl HandshakeMessage {
                 for s in suites {
                     out.extend_from_slice(&s.to_be_bytes());
                 }
+                if let Some(data) = ticket {
+                    encode_extension_block(&mut out, data);
+                }
             }
-            HandshakeMessage::ServerHello { random, session_id, suite } => {
+            HandshakeMessage::ServerHello { random, session_id, suite, ticket } => {
                 out.push(VERSION.0);
                 out.push(VERSION.1);
                 out.extend_from_slice(random);
                 out.push(session_id.as_bytes().len() as u8);
                 out.extend_from_slice(session_id.as_bytes());
                 out.extend_from_slice(&suite.to_be_bytes());
+                if *ticket {
+                    encode_extension_block(&mut out, &[]);
+                }
+            }
+            HandshakeMessage::NewSessionTicket { lifetime_hint_secs, ticket } => {
+                out.extend_from_slice(&lifetime_hint_secs.to_be_bytes());
+                out.extend_from_slice(&(ticket.len() as u16).to_be_bytes());
+                out.extend_from_slice(ticket);
             }
             HandshakeMessage::Certificate { cert } => {
                 out.extend_from_slice(&(cert.len() as u32).to_be_bytes()[1..]);
@@ -225,7 +259,8 @@ impl HandshakeMessage {
                 for _ in 0..suites_bytes / 2 {
                     suites.push(r.u16()?);
                 }
-                HandshakeMessage::ClientHello { random, session_id, suites }
+                let ticket = decode_extension_block(&mut r)?.map(<[u8]>::to_vec);
+                HandshakeMessage::ClientHello { random, session_id, suites, ticket }
             }
             HandshakeType::ServerHello => {
                 let major = r.u8()?;
@@ -240,7 +275,20 @@ impl HandshakeMessage {
                 }
                 let session_id = SessionId::new(r.bytes(sid_len)?.to_vec());
                 let suite = r.u16()?;
-                HandshakeMessage::ServerHello { random, session_id, suite }
+                let ticket = match decode_extension_block(&mut r)? {
+                    Some([]) => true,
+                    Some(_) => return Err(SslError::Decode("server session ticket extension")),
+                    None => false,
+                };
+                HandshakeMessage::ServerHello { random, session_id, suite, ticket }
+            }
+            HandshakeType::NewSessionTicket => {
+                let lifetime = r.bytes(4)?;
+                let lifetime_hint_secs =
+                    u32::from_be_bytes([lifetime[0], lifetime[1], lifetime[2], lifetime[3]]);
+                let len = r.u16()? as usize;
+                let ticket = r.bytes(len)?.to_vec();
+                HandshakeMessage::NewSessionTicket { lifetime_hint_secs, ticket }
             }
             HandshakeType::Certificate => {
                 let len = r.u24()? as usize;
@@ -266,6 +314,41 @@ impl HandshakeMessage {
         }
         Ok(msg)
     }
+}
+
+/// Appends a TLS-style extension block carrying one session-ticket
+/// extension: `u16 block_len ‖ u16 type ‖ u16 data_len ‖ data`.
+fn encode_extension_block(out: &mut Vec<u8>, ticket_data: &[u8]) {
+    out.extend_from_slice(&((4 + ticket_data.len()) as u16).to_be_bytes());
+    out.extend_from_slice(&EXT_SESSION_TICKET.to_be_bytes());
+    out.extend_from_slice(&(ticket_data.len() as u16).to_be_bytes());
+    out.extend_from_slice(ticket_data);
+}
+
+/// Parses the optional trailing extension block of a hello, returning the
+/// session-ticket extension's data if present. Absent block (legacy hello)
+/// decodes to `None`; unknown extensions are skipped.
+fn decode_extension_block<'a>(r: &mut Reader<'a>) -> Result<Option<&'a [u8]>, SslError> {
+    if r.buf.is_empty() {
+        return Ok(None);
+    }
+    let block_len = r.u16()? as usize;
+    if r.buf.len() != block_len {
+        return Err(SslError::Decode("hello extension block"));
+    }
+    let mut ticket = None;
+    while !r.buf.is_empty() {
+        let ext_type = r.u16()?;
+        let ext_len = r.u16()? as usize;
+        let data = r.bytes(ext_len)?;
+        if ext_type == EXT_SESSION_TICKET {
+            if ticket.is_some() {
+                return Err(SslError::Decode("duplicate session ticket extension"));
+            }
+            ticket = Some(data);
+        }
+    }
+    Ok(ticket)
 }
 
 struct Reader<'a> {
@@ -318,21 +401,125 @@ mod tests {
             random: [7; 32],
             session_id: SessionId::empty(),
             suites: vec![0x000a, 0x0035],
+            ticket: None,
         });
         round_trip(HandshakeMessage::ClientHello {
             random: [9; 32],
             session_id: SessionId::new(vec![1; 32]),
             suites: vec![0x0004],
+            ticket: None,
+        });
+        round_trip(HandshakeMessage::ClientHello {
+            random: [9; 32],
+            session_id: SessionId::empty(),
+            suites: vec![0x0004],
+            ticket: Some(Vec::new()),
+        });
+        round_trip(HandshakeMessage::ClientHello {
+            random: [9; 32],
+            session_id: SessionId::new(vec![2; 32]),
+            suites: vec![0x0004, 0x000a],
+            ticket: Some(vec![0xcd; 96]),
         });
         round_trip(HandshakeMessage::ServerHello {
             random: [1; 32],
             session_id: SessionId::new(vec![5; 16]),
             suite: 0x000a,
+            ticket: false,
+        });
+        round_trip(HandshakeMessage::ServerHello {
+            random: [1; 32],
+            session_id: SessionId::new(vec![5; 32]),
+            suite: 0x000a,
+            ticket: true,
+        });
+        round_trip(HandshakeMessage::NewSessionTicket {
+            lifetime_hint_secs: 3600,
+            ticket: vec![0xef; 120],
         });
         round_trip(HandshakeMessage::Certificate { cert: vec![0xab; 300] });
         round_trip(HandshakeMessage::ServerHelloDone);
         round_trip(HandshakeMessage::ClientKeyExchange { encrypted_pre_master: vec![3; 64] });
         round_trip(HandshakeMessage::Finished { md5_hash: [4; 16], sha_hash: [5; 20] });
+    }
+
+    #[test]
+    fn legacy_hello_has_no_extension_bytes() {
+        // `ticket: None` must encode exactly like the pre-extension codec:
+        // version ‖ random ‖ sid ‖ suites, nothing after.
+        let hello = HandshakeMessage::ClientHello {
+            random: [7; 32],
+            session_id: SessionId::empty(),
+            suites: vec![0x000a],
+            ticket: None,
+        }
+        .encode();
+        assert_eq!(hello.len(), 4 + 2 + 32 + 1 + 2 + 2);
+    }
+
+    #[test]
+    fn unknown_extensions_skipped() {
+        let mut hello = HandshakeMessage::ClientHello {
+            random: [7; 32],
+            session_id: SessionId::empty(),
+            suites: vec![0x000a],
+            ticket: None,
+        }
+        .encode();
+        // Append a block with an unknown extension then the ticket ext.
+        let ext = [
+            0u8, 10, // block len
+            0xff, 0x01, 0, 2, 9, 9, // unknown ext, 2 bytes
+            0x00, 0x23, 0, 0, // session ticket, empty
+        ];
+        hello.extend_from_slice(&ext);
+        let body_len = (hello.len() - 4) as u32;
+        hello[1..4].copy_from_slice(&body_len.to_be_bytes()[1..]);
+        let (msg, _) = HandshakeMessage::decode(&hello).unwrap();
+        match msg {
+            HandshakeMessage::ClientHello { ticket, .. } => assert_eq!(ticket, Some(Vec::new())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_extension_blocks_rejected() {
+        let base = |ext: &[u8]| {
+            let mut hello = HandshakeMessage::ClientHello {
+                random: [7; 32],
+                session_id: SessionId::empty(),
+                suites: vec![0x000a],
+                ticket: None,
+            }
+            .encode();
+            hello.extend_from_slice(ext);
+            let body_len = (hello.len() - 4) as u32;
+            hello[1..4].copy_from_slice(&body_len.to_be_bytes()[1..]);
+            hello
+        };
+        // Block length disagrees with the remaining bytes.
+        assert!(HandshakeMessage::decode(&base(&[0, 9, 0x00, 0x23, 0, 0])).is_err());
+        // Truncated mid-extension-header.
+        assert!(HandshakeMessage::decode(&base(&[0, 2, 0x00, 0x23])).is_err());
+        // Duplicate session-ticket extension.
+        assert!(
+            HandshakeMessage::decode(&base(&[0, 8, 0x00, 0x23, 0, 0, 0x00, 0x23, 0, 0])).is_err()
+        );
+    }
+
+    #[test]
+    fn server_hello_nonempty_ticket_extension_rejected() {
+        let mut hello = HandshakeMessage::ServerHello {
+            random: [1; 32],
+            session_id: SessionId::new(vec![5; 16]),
+            suite: 0x000a,
+            ticket: false,
+        }
+        .encode();
+        hello.extend_from_slice(&[0, 5, 0x00, 0x23, 0, 1, 7]);
+        let body_len = (hello.len() - 4) as u32;
+        hello[1..4].copy_from_slice(&body_len.to_be_bytes()[1..]);
+        assert!(HandshakeMessage::decode(&hello).is_err());
     }
 
     #[test]
@@ -351,6 +538,7 @@ mod tests {
             random: [7; 32],
             session_id: SessionId::empty(),
             suites: vec![0x000a],
+            ticket: None,
         }
         .encode();
         for cut in [0, 1, 3, 10, full.len() - 1] {
@@ -372,6 +560,7 @@ mod tests {
             random: [0; 32],
             session_id: SessionId::empty(),
             suites: vec![1],
+            ticket: None,
         }
         .encode();
         hello[4] = 2; // major version 2

@@ -9,11 +9,14 @@
 //! that spans several readiness events (e.g. step 6's CCS + finished) still
 //! lands in [`SslServer::steps`] as one entry.
 
-use crate::cache::{CachedSession, SessionCache, SimpleSessionCache};
+use crate::cache::{
+    CachedSession, CachedSessionStore, IssuedTicket, SessionCache, SessionStore, SimpleSessionCache,
+};
 use crate::engine::{CryptoDone, CryptoJob, Engine, EngineDriven, MachineStep};
 use crate::kdf::{self, KeyMaterial};
 use crate::messages::{HandshakeMessage, SessionId};
 use crate::record::{ContentType, RecordBuffer, RecordLayer};
+use crate::ticket::TicketError;
 use crate::transcript::{Transcript, SENDER_CLIENT, SENDER_SERVER};
 use crate::transport::{read_record, read_record_into, Transport};
 use crate::{CipherSuite, SslError};
@@ -65,16 +68,27 @@ pub struct HandshakeLedger {
     /// Step 5 offload split: cycles executing the RSA private decryption
     /// (amortized across the batch when batched).
     pub rsa_private_decryption: Cycles,
+    /// True when this full handshake issued a NewSessionTicket.
+    pub ticket_issued: bool,
+    /// True when the handshake resumed from a client-presented ticket.
+    pub ticket_accepted: bool,
+    /// True when a presented ticket was rejected as tampered or unknown
+    /// (the handshake silently continued as full).
+    pub ticket_rejected: bool,
+    /// True when a presented ticket was rejected as expired (the handshake
+    /// silently continued as full).
+    pub ticket_expired: bool,
 }
 
 /// Long-lived server configuration: the RSA key, the certificate, and the
-/// session cache shared by every connection (session re-negotiation is the
-/// optimization §4.1 highlights).
+/// session store shared by every connection (session re-negotiation is the
+/// optimization §4.1 highlights; the store decides whether resumable state
+/// lives in an id-keyed cache, a stateless ticket, or both).
 #[derive(Debug)]
 pub struct ServerConfig {
     key: RsaPrivateKey,
     cert_wire: Vec<u8>,
-    cache: Box<dyn SessionCache>,
+    store: Box<dyn SessionStore>,
 }
 
 impl ServerConfig {
@@ -89,7 +103,8 @@ impl ServerConfig {
     }
 
     /// Builds a configuration with a caller-supplied session cache (e.g. a
-    /// sharded, bounded one for a multi-threaded serving layer).
+    /// sharded, bounded one for a multi-threaded serving layer), wrapped as
+    /// an id-only [`SessionStore`].
     ///
     /// # Errors
     ///
@@ -99,8 +114,23 @@ impl ServerConfig {
         name: &str,
         cache: Box<dyn SessionCache>,
     ) -> Result<Self, SslError> {
+        Self::with_store(key, name, Box::new(CachedSessionStore::new(cache)))
+    }
+
+    /// Builds a configuration with a caller-supplied session store — the
+    /// full abstraction, including ticket issue/accept (e.g.
+    /// [`TicketSessionStore`](crate::ticket::TicketSessionStore)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates certificate-signing failures.
+    pub fn with_store(
+        key: RsaPrivateKey,
+        name: &str,
+        store: Box<dyn SessionStore>,
+    ) -> Result<Self, SslError> {
         let cert = Certificate::self_signed(name, &key, 2004, 2010)?;
-        Ok(ServerConfig { key, cert_wire: cert.to_bytes(), cache })
+        Ok(ServerConfig { key, cert_wire: cert.to_bytes(), store })
     }
 
     /// The server's private key.
@@ -109,29 +139,44 @@ impl ServerConfig {
         &self.key
     }
 
-    /// The installed session cache.
+    /// The installed session store.
     #[must_use]
-    pub fn session_cache(&self) -> &dyn SessionCache {
-        self.cache.as_ref()
+    pub fn session_store(&self) -> &dyn SessionStore {
+        self.store.as_ref()
     }
 
-    /// Number of cached (resumable) sessions.
+    /// Number of cached (resumable) sessions held server-side.
     #[must_use]
     pub fn cached_sessions(&self) -> usize {
-        self.cache.len()
+        self.store.len()
     }
 
-    /// Drops all cached sessions (forces full handshakes).
+    /// Drops all cached sessions (forces full handshakes for id-cache
+    /// peers; outstanding tickets stay valid).
     pub fn clear_session_cache(&self) {
-        self.cache.clear();
+        self.store.clear();
+    }
+
+    /// True when the store can seal and open session tickets.
+    #[must_use]
+    pub fn supports_tickets(&self) -> bool {
+        self.store.supports_tickets()
     }
 
     fn lookup(&self, id: &[u8]) -> Option<CachedSession> {
-        self.cache.lookup(id)
+        self.store.lookup(id)
     }
 
     fn store(&self, id: Vec<u8>, master: Vec<u8>, suite: CipherSuite) {
-        self.cache.store(id, CachedSession { master, suite });
+        self.store.store(id, CachedSession { master, suite });
+    }
+
+    fn issue_ticket(&self, session: &CachedSession) -> Option<IssuedTicket> {
+        self.store.issue_ticket(session)
+    }
+
+    fn accept_ticket(&self, ticket: &[u8]) -> Result<CachedSession, TicketError> {
+        self.store.accept_ticket(ticket)
     }
 }
 
@@ -166,6 +211,14 @@ pub struct SslServer<'a> {
     session_id: Vec<u8>,
     master: Vec<u8>,
     resumed: bool,
+    /// True when the client advertised the session-ticket extension and
+    /// the store can honor it — the connection is stateless: no id-cache
+    /// lookup or store, resumption only through tickets.
+    ticket_negotiated: bool,
+    ticket_issued: bool,
+    ticket_accepted: bool,
+    ticket_rejected: bool,
+    ticket_expired: bool,
     /// Client finished hashes computed ahead of reading the message.
     expected_client_finished: Option<([u8; 16], [u8; 20])>,
     key_material: Option<KeyMaterial>,
@@ -203,6 +256,11 @@ impl<'a> SslServer<'a> {
             session_id: Vec::new(),
             master: Vec::new(),
             resumed: false,
+            ticket_negotiated: false,
+            ticket_issued: false,
+            ticket_accepted: false,
+            ticket_rejected: false,
+            ticket_expired: false,
             expected_client_finished: None,
             key_material: None,
             step6: Cycles::ZERO,
@@ -274,6 +332,10 @@ impl<'a> SslServer<'a> {
             rsa_queue_wait: self.crypto.cycles("rsa_queue_wait"),
             rsa_batch_wait: self.crypto.cycles("rsa_batch_wait"),
             rsa_private_decryption: self.crypto.cycles("rsa_private_decryption"),
+            ticket_issued: self.ticket_issued,
+            ticket_accepted: self.ticket_accepted,
+            ticket_rejected: self.ticket_rejected,
+            ticket_expired: self.ticket_expired,
         }
     }
 
@@ -293,6 +355,37 @@ impl<'a> SslServer<'a> {
     #[must_use]
     pub fn resumed(&self) -> bool {
         self.resumed
+    }
+
+    /// True when the session-ticket extension was negotiated on this
+    /// connection (the client advertised it and the store supports it).
+    #[must_use]
+    pub fn ticket_negotiated(&self) -> bool {
+        self.ticket_negotiated
+    }
+
+    /// True when this handshake issued a NewSessionTicket.
+    #[must_use]
+    pub fn ticket_issued(&self) -> bool {
+        self.ticket_issued
+    }
+
+    /// True when this handshake resumed from a client-presented ticket.
+    #[must_use]
+    pub fn ticket_accepted(&self) -> bool {
+        self.ticket_accepted
+    }
+
+    /// True when a presented ticket was rejected as tampered or unknown.
+    #[must_use]
+    pub fn ticket_rejected(&self) -> bool {
+        self.ticket_rejected
+    }
+
+    /// True when a presented ticket was rejected as expired.
+    #[must_use]
+    pub fn ticket_expired(&self) -> bool {
+        self.ticket_expired
     }
 
     /// Processes the client hello flight and produces the server's reply:
@@ -332,7 +425,7 @@ impl<'a> SslServer<'a> {
         if consumed != msg.len() {
             return Err(SslError::Decode("extra bytes after client hello"));
         }
-        let HandshakeMessage::ClientHello { random, session_id, suites } = decoded else {
+        let HandshakeMessage::ClientHello { random, session_id, suites, ticket } = decoded else {
             return Err(SslError::UnexpectedMessage { expected: "client hello" });
         };
         self.client_random = random;
@@ -341,8 +434,37 @@ impl<'a> SslServer<'a> {
             .into_iter()
             .find(|s| suites.contains(&s.wire_id()))
             .ok_or(SslError::NoCommonCipher)?;
-        // Resumption lookup, then session id assignment.
-        let cached = self.config.lookup(session_id.as_bytes());
+        // Ticket negotiation: the client advertised the extension and the
+        // store can seal/open tickets. Negotiated connections are
+        // stateless — the id cache is never consulted or written.
+        self.ticket_negotiated = ticket.is_some() && self.config.supports_tickets();
+        let cached = if self.ticket_negotiated {
+            // A non-empty blob is an offer to resume; any failure falls
+            // back silently to a full handshake (no alert oracle).
+            match ticket.as_deref() {
+                Some(blob) if !blob.is_empty() && !session_id.is_empty() => {
+                    let (opened, cycles) = measure(|| self.config.accept_ticket(blob));
+                    self.note_crypto(1, "ticket_open", cycles);
+                    match opened {
+                        Ok(session) => {
+                            self.ticket_accepted = true;
+                            Some(session)
+                        }
+                        Err(TicketError::Expired) => {
+                            self.ticket_expired = true;
+                            None
+                        }
+                        Err(TicketError::Invalid) => {
+                            self.ticket_rejected = true;
+                            None
+                        }
+                    }
+                }
+                _ => None,
+            }
+        } else {
+            self.config.lookup(session_id.as_bytes())
+        };
         if let Some(cached) = &cached {
             self.resumed = true;
             self.suite = cached.suite;
@@ -367,6 +489,9 @@ impl<'a> SslServer<'a> {
             random: self.server_random,
             session_id: SessionId::new(self.session_id.clone()),
             suite: self.suite.wire_id(),
+            // An empty extension echo announces a NewSessionTicket flight;
+            // ticket-resumed handshakes reuse the client-held ticket as is.
+            ticket: self.ticket_negotiated && !self.resumed,
         }
         .encode();
         let (_, cycles) = measure(|| self.transcript.absorb(&hello));
@@ -555,12 +680,19 @@ impl<'a> SslServer<'a> {
         self.steps.add(SERVER_STEP_NAMES[6], step6);
 
         if !self.resumed {
+            if self.ticket_negotiated {
+                self.send_new_session_ticket(out)?;
+            }
             let _ = self.send_ccs_and_finished(out)?;
         }
 
-        // Step 9: server_flush — cache the session, wipe transient secrets.
+        // Step 9: server_flush — cache the session (id-cache peers only;
+        // negotiated peers hold their state in the ticket), wipe transient
+        // secrets.
         let sw = Stopwatch::start();
-        self.config.store(self.session_id.clone(), self.master.clone(), self.suite);
+        if !self.ticket_negotiated {
+            self.config.store(self.session_id.clone(), self.master.clone(), self.suite);
+        }
         let (_, cycles) = measure(|| {
             // OPENSSL_cleanse-equivalent: overwrite transient key material.
             if let Some(km) = &mut self.key_material {
@@ -573,6 +705,28 @@ impl<'a> SslServer<'a> {
         self.steps.add(SERVER_STEP_NAMES[9], sw.elapsed());
 
         self.state = State::Established;
+        Ok(())
+    }
+
+    /// Seals the NewSessionTicket flight: the sealed session state the
+    /// client will present instead of a cache-backed session id. Sent in
+    /// plaintext before the server's CCS and deliberately *not* absorbed
+    /// into the transcript (the client mirrors this), so the finished
+    /// hashes — and every non-negotiating flight — are unaffected.
+    fn send_new_session_ticket(&mut self, out: &mut Vec<u8>) -> Result<(), SslError> {
+        let session = CachedSession { master: self.master.clone(), suite: self.suite };
+        let Some(issued) = self.config.issue_ticket(&session) else {
+            return Ok(());
+        };
+        let sw = Stopwatch::start();
+        let nst = HandshakeMessage::NewSessionTicket {
+            lifetime_hint_secs: issued.lifetime_hint_secs,
+            ticket: issued.ticket,
+        }
+        .encode();
+        out.extend(self.records.seal(ContentType::Handshake, &nst)?);
+        self.note_crypto(8, "ticket_seal", sw.elapsed());
+        self.ticket_issued = true;
         Ok(())
     }
 

@@ -137,6 +137,10 @@ pub struct SocketLoadOptions {
     pub file_size: usize,
     /// Cipher suite every client offers.
     pub suite: CipherSuite,
+    /// When true, clients advertise the session-ticket extension, so the
+    /// server hands out encrypted tickets and resumption goes through the
+    /// stateless path instead of the server-side id cache.
+    pub tickets: bool,
 }
 
 impl Default for SocketLoadOptions {
@@ -148,6 +152,7 @@ impl Default for SocketLoadOptions {
             resume: true,
             file_size: 1024,
             suite: CipherSuite::RsaDesCbc3Sha,
+            tickets: false,
         }
     }
 }
@@ -543,6 +548,7 @@ fn socket_client(
         );
         let mut client = match session.take() {
             Some(s) if options.resume => SslClient::resuming(s, rng),
+            _ if options.tickets => SslClient::new(options.suite, rng).with_tickets(),
             _ => SslClient::new(options.suite, rng),
         };
 
@@ -570,6 +576,187 @@ fn socket_client(
         }
     }
     Ok(samples)
+}
+
+/// Tunables for [`run_restart_load`].
+#[derive(Debug, Clone)]
+pub struct RestartLoadOptions {
+    /// Concurrent client threads; each establishes one session before the
+    /// disruption and reconnects with it afterwards.
+    pub clients: usize,
+    /// When true, clients advertise the session-ticket extension and
+    /// resume from the encrypted ticket; when false they rely on the
+    /// server-side id cache.
+    pub tickets: bool,
+    /// Document size requested per transaction.
+    pub file_size: usize,
+    /// Cipher suite every client offers.
+    pub suite: CipherSuite,
+}
+
+impl Default for RestartLoadOptions {
+    fn default() -> Self {
+        RestartLoadOptions {
+            clients: 8,
+            tickets: true,
+            file_size: 1024,
+            suite: CipherSuite::RsaDesCbc3Sha,
+        }
+    }
+}
+
+/// Results of a restart-survival load run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestartLoadReport {
+    /// Sessions established by full handshakes before the disruption.
+    pub established: usize,
+    /// Post-disruption reconnections that offered a saved session.
+    pub attempted: usize,
+    /// Reconnections the server actually resumed.
+    pub resumed: usize,
+    /// Reconnections that failed outright (transport or protocol error).
+    pub failed: usize,
+}
+
+impl RestartLoadReport {
+    /// Post-disruption reconnections that resumed, as a percentage of
+    /// those attempted — the restart-survival headline number.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.resumed as f64 / self.attempted as f64 * 100.0
+        }
+    }
+}
+
+impl fmt::Display for RestartLoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "restart survival: {} established, {}/{} resumed after restart ({}% hit rate), {} failed",
+            self.established,
+            self.resumed,
+            self.attempted,
+            self.hit_rate().round(),
+            self.failed
+        )
+    }
+}
+
+/// The restart-survival workload: every client establishes a session with
+/// a full handshake, the caller's `disrupt` closure kills/restarts server
+/// instances, and every client then reconnects offering its saved
+/// session. The report says how many of those reconnections actually
+/// resumed — with encrypted tickets the credentials live on the client
+/// and survive the restart; with id-cache resumption they die with the
+/// server's memory.
+///
+/// Phase-one failures propagate (nothing is being disrupted yet, so they
+/// are real bugs); phase-two failures are counted in
+/// [`RestartLoadReport::failed`] — a dropped connection is precisely the
+/// kind of damage the disruption is allowed to cause.
+///
+/// # Errors
+///
+/// Returns the first SSL or transport failure from the establishment
+/// phase.
+pub fn run_restart_load(
+    addr: SocketAddr,
+    options: &RestartLoadOptions,
+    disrupt: impl FnOnce(),
+) -> Result<RestartLoadReport, SslError> {
+    use sslperf_ssl::ClientSession;
+
+    // Phase 1: every client performs one full-handshake transaction.
+    let phase1: Vec<Result<Option<ClientSession>, SslError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let seed =
+                        [b"restart-loadgen-full".as_slice(), &(c as u64).to_le_bytes()].concat();
+                    restart_txn(addr, options, None, &seed).map(|(session, _)| session)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let mut sessions = Vec::new();
+    for result in phase1 {
+        if let Some(session) = result? {
+            sessions.push(session);
+        }
+    }
+    let established = sessions.len();
+
+    // The injected failure: the caller kills and/or restarts instances.
+    disrupt();
+
+    // Phase 2: every client reconnects offering its saved session.
+    let phase2: Vec<Result<bool, SslError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(c, session)| {
+                scope.spawn(move || {
+                    let seed =
+                        [b"restart-loadgen-resume".as_slice(), &(c as u64).to_le_bytes()].concat();
+                    restart_txn(addr, options, Some(session), &seed).map(|(_, resumed)| resumed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    let attempted = phase2.len();
+    let mut resumed = 0;
+    let mut failed = 0;
+    for result in phase2 {
+        match result {
+            Ok(true) => resumed += 1,
+            Ok(false) => {}
+            Err(_) => failed += 1,
+        }
+    }
+    Ok(RestartLoadReport { established, attempted, resumed, failed })
+}
+
+/// One restart-survival transaction: connect, handshake (fresh or
+/// resuming), fetch the document, close. Returns the session handle for
+/// a later resumption and whether this handshake resumed.
+fn restart_txn(
+    addr: SocketAddr,
+    options: &RestartLoadOptions,
+    session: Option<sslperf_ssl::ClientSession>,
+    seed: &[u8],
+) -> Result<(Option<sslperf_ssl::ClientSession>, bool), SslError> {
+    use sslperf_rng::SslRng;
+    use sslperf_ssl::SslClient;
+
+    let rng = SslRng::from_seed(seed);
+    let mut client = match session {
+        Some(s) => SslClient::resuming(s, rng),
+        None if options.tickets => SslClient::new(options.suite, rng).with_tickets(),
+        None => SslClient::new(options.suite, rng),
+    };
+
+    let mut socket = TcpStream::connect(addr).map_err(|e| SslError::Io(e.to_string()))?;
+    socket.set_nodelay(true).map_err(|e| SslError::Io(e.to_string()))?;
+    client.handshake_transport(&mut socket)?;
+
+    let mut tx_buf = sslperf_ssl::RecordBuffer::with_record_capacity();
+    let mut rx_buf = sslperf_ssl::RecordBuffer::with_record_capacity();
+    let path = format!("/doc_{}.bin", options.file_size);
+    client.send_buffered(&mut socket, &HttpRequest::get(&path).to_bytes(), &mut tx_buf)?;
+    let response = read_response(&mut client, &mut socket, options.file_size, &mut rx_buf)?;
+    if response.status() != 200 || response.body().len() != options.file_size {
+        return Err(SslError::Decode("unexpected http response"));
+    }
+    client.close_transport(&mut socket)?;
+
+    let resumed = client.resumed();
+    Ok((client.session(), resumed))
 }
 
 /// Accumulates records until the response's Content-Length is satisfied

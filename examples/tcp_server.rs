@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             resume,
             file_size: 1024,
             suite: CipherSuite::RsaDesCbc3Sha,
+            tickets: false,
         };
         let report = run_socket_load(server.local_addr(), &load)?;
         println!("{label}:");

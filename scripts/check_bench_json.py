@@ -40,6 +40,14 @@ ARM_FIELDS = {
     "batched_jobs": int,
 }
 
+# Added in issue 7; optional so earlier reports (BENCH_6 and before)
+# still validate as diff baselines.
+OPTIONAL_ARM_FIELDS = {
+    "resumed_handshakes": int,
+    "tickets_issued": int,
+    "tickets_accepted": int,
+}
+
 
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
@@ -72,6 +80,25 @@ def validate(report, path):
                and entry["cycles_per_decrypt"] > 0,
                f"{path}: rsa.amortized entries need batch >= 2 and positive cycles_per_decrypt")
 
+    # Optional since issue 7: bulk-path record-sealing cost.
+    bulk = report.get("bulk")
+    if bulk is not None:
+        expect(isinstance(bulk, dict), f"{path}: 'bulk' must be an object")
+        expect(isinstance(bulk.get("record_bytes"), int) and bulk["record_bytes"] > 0,
+               f"{path}: bulk.record_bytes must be a positive integer")
+        suites = bulk.get("suites")
+        expect(isinstance(suites, list) and suites,
+               f"{path}: bulk.suites must be a non-empty array")
+        seen = set()
+        for entry in suites:
+            expect(isinstance(entry, dict) and isinstance(entry.get("suite"), str)
+                   and isinstance(entry.get("cycles_per_record"), int)
+                   and not isinstance(entry.get("cycles_per_record"), bool)
+                   and entry["cycles_per_record"] > 0,
+                   f"{path}: bulk.suites entries need a suite name and positive cycles_per_record")
+            expect(entry["suite"] not in seen, f"{path}: duplicate bulk suite {entry['suite']!r}")
+            seen.add(entry["suite"])
+
     serving = report.get("serving")
     expect(isinstance(serving, dict), f"{path}: 'serving' must be an object")
     expect(isinstance(serving.get("connections"), int) and serving["connections"] > 0,
@@ -85,6 +112,11 @@ def validate(report, path):
         for field, ty in ARM_FIELDS.items():
             expect(isinstance(arm.get(field), ty) and not isinstance(arm.get(field), bool),
                    f"{path}: arm {arm.get('label')!r}: field {field!r} missing or wrong type")
+        for field, ty in OPTIONAL_ARM_FIELDS.items():
+            if field in arm:
+                expect(isinstance(arm[field], ty) and not isinstance(arm[field], bool)
+                       and arm[field] >= 0,
+                       f"{path}: arm {arm.get('label')!r}: field {field!r} wrong type or negative")
         expect(arm["batch_max"] >= 1, f"{path}: arm {arm['label']!r}: batch_max must be >= 1")
         expect(arm["tx_per_sec"] > 0, f"{path}: arm {arm['label']!r}: tx_per_sec must be positive")
         expect(arm["p50_ms"] <= arm["p95_ms"] <= arm["p99_ms"],

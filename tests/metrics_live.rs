@@ -53,6 +53,7 @@ fn live_anatomy_reproduces_paper_shape_from_real_sockets() {
         resume: true,
         file_size: 1024,
         suite: CipherSuite::RsaDesCbc3Sha,
+        tickets: false,
     };
     let report = run_socket_load(server.local_addr(), &load).expect("load run");
     assert_eq!(report.transactions, CLIENTS * TXN, "64 measured transactions");

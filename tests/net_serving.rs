@@ -185,6 +185,7 @@ fn loaded_server_end_to_end() {
         resume: true,
         file_size: 1024,
         suite: CipherSuite::RsaDesCbc3Sha,
+        tickets: false,
     };
     let report = run_socket_load(server.local_addr(), &options).expect("load run");
 
@@ -607,6 +608,7 @@ fn event_loop_cache_overflow_under_concurrent_resumption() {
         resume: true,
         file_size: 1024,
         suite: CipherSuite::RsaDesCbc3Sha,
+        tickets: false,
     };
     let report = run_socket_load(server.local_addr(), &load).expect("load run");
     assert_eq!(report.transactions, CLIENTS * TXN);
@@ -937,4 +939,177 @@ fn expired_session_falls_back_to_full_handshake_over_tcp() {
     assert!(cache.expired() >= 1, "expiry-on-lookup must be counted");
     assert_eq!(cache.hits(), 0, "a stale entry must never count as a hit");
     server.shutdown();
+}
+
+// ---- shared-nothing fleet serving ----
+
+fn fleet_options(keyring: Option<Arc<sslperf::ssl::TicketKeyring>>) -> ServerOptions {
+    ServerOptions::builder().shards(1).ticket_keys(keyring).build().expect("valid fleet options")
+}
+
+fn fleet_handshake(fleet: &ServerFleet, client: &mut SslClient) -> TcpStream {
+    let mut socket = TcpStream::connect(fleet.local_addr()).expect("connect");
+    socket.set_nodelay(true).expect("nodelay");
+    client.handshake_transport(&mut socket).expect("handshake");
+    socket
+}
+
+/// The acceptance scenario for stateless resumption: a session established
+/// on instance A (which is then killed) resumes on instance B, which has
+/// never seen it — the encrypted ticket is the only state that travels.
+#[test]
+fn ticket_session_resumes_on_surviving_instance_after_kill() {
+    let keyring = Arc::new(TicketKeyring::new(b"fleet-ticket-keys"));
+    let mut fleet = ServerFleet::start(
+        key(),
+        "net.sslperf.test",
+        2,
+        &fleet_options(Some(Arc::clone(&keyring))),
+    )
+    .expect("fleet start");
+
+    // The fan routes the first connection to instance 0: full handshake,
+    // NewSessionTicket issued under the shared keyring.
+    let mut client =
+        SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"fleet-c1")).with_tickets();
+    let mut socket = fleet_handshake(&fleet, &mut client);
+    assert!(!client.resumed());
+    let session = client.session().expect("established");
+    assert!(session.ticket().is_some(), "full handshake must carry a ticket home");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+    assert!(eventually(|| fleet.aggregated().tickets_issued == 1), "got {:?}", fleet.aggregated());
+
+    // Kill instance 0. With id-based caching the session would now be
+    // gone — its cache entry lived in the dead instance's memory.
+    assert!(fleet.kill(0), "instance 0 goes down");
+    assert_eq!(fleet.live_instances(), 1);
+
+    // Reconnect: the fan routes to surviving instance 1. It has no cache
+    // entry for this session; the ticket alone resumes it.
+    let mut client = SslClient::resuming(session, SslRng::from_seed(b"fleet-c2"));
+    let mut socket = fleet_handshake(&fleet, &mut client);
+    assert!(client.resumed(), "ticket must resume on an instance that never saw the session");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+
+    assert!(
+        eventually(|| {
+            let agg = fleet.aggregated();
+            agg.connections == 2 && agg.resumed_handshakes == 1 && agg.tickets_accepted == 1
+        }),
+        "got {:?}",
+        fleet.aggregated()
+    );
+    let agg = fleet.aggregated();
+    assert_eq!((agg.live_instances, agg.retired_instances), (1, 1));
+    assert_eq!(agg.full_handshakes, 1);
+    assert_eq!((agg.tickets_rejected, agg.tickets_expired), (0, 0));
+    assert!((agg.resumption_hit_rate() - 50.0).abs() < 1e-9);
+    // Shared-nothing means shared *nothing*: no instance ever stored the
+    // session by id.
+    assert_eq!(fleet.instance(1).expect("live instance").session_cache().len(), 0);
+    assert_eq!((keyring.issued(), keyring.accepted()), (1, 1));
+    fleet.shutdown();
+}
+
+/// The id-cache contrast arm: the identical kill/reconnect sequence
+/// without a keyring. The session's cache entry dies with instance 0, so
+/// the surviving instance can only run a full handshake.
+#[test]
+fn id_cache_session_dies_with_its_instance() {
+    let mut fleet = ServerFleet::start(key(), "net.sslperf.test", 2, &fleet_options(None))
+        .expect("fleet start");
+
+    let mut client = SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"fleet-ic1"));
+    let mut socket = fleet_handshake(&fleet, &mut client);
+    let session = client.session().expect("established");
+    assert!(session.ticket().is_none(), "no keyring, no ticket");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+    assert!(
+        eventually(|| fleet.instance(0).is_some_and(|i| i.session_cache().len() == 1)),
+        "instance 0 cached the session by id"
+    );
+
+    assert!(fleet.kill(0));
+
+    let mut client = SslClient::resuming(session, SslRng::from_seed(b"fleet-ic2"));
+    let mut socket = fleet_handshake(&fleet, &mut client);
+    assert!(!client.resumed(), "the cache entry died with instance 0");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+
+    assert!(eventually(|| fleet.aggregated().full_handshakes == 2), "got {:?}", fleet.aggregated());
+    assert_eq!(fleet.aggregated().resumed_handshakes, 0);
+    fleet.shutdown();
+}
+
+/// Restart-survival at the instance level: kill an instance, restart its
+/// slot (fresh process image — empty cache, zeroed stats), and a ticket
+/// sealed before the restart still resumes on it, because the keyring —
+/// not the instance — holds the keys.
+#[test]
+fn restarted_instance_accepts_tickets_sealed_before_restart() {
+    let keyring = Arc::new(TicketKeyring::new(b"fleet-restart-keys"));
+    let mut fleet = ServerFleet::start(
+        key(),
+        "net.sslperf.test",
+        1,
+        &fleet_options(Some(Arc::clone(&keyring))),
+    )
+    .expect("fleet start");
+
+    let mut client =
+        SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(b"fleet-r1")).with_tickets();
+    let mut socket = fleet_handshake(&fleet, &mut client);
+    let session = client.session().expect("established");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+    assert!(eventually(|| fleet.aggregated().tickets_issued == 1));
+
+    assert!(fleet.kill(0));
+    assert_eq!(fleet.live_instances(), 0);
+    fleet.restart(0).expect("restart instance 0");
+    assert_eq!(fleet.live_instances(), 1);
+    assert_eq!(fleet.instance(0).expect("restarted").stats().connections(), 0, "fresh stats");
+
+    let mut client = SslClient::resuming(session, SslRng::from_seed(b"fleet-r2"));
+    let mut socket = fleet_handshake(&fleet, &mut client);
+    assert!(client.resumed(), "ticket survives the instance restart");
+    client.close_transport(&mut socket).expect("close");
+    drop(socket);
+
+    assert!(
+        eventually(|| {
+            let agg = fleet.aggregated();
+            agg.tickets_accepted == 1 && agg.retired_instances == 1 && agg.connections == 2
+        }),
+        "got {:?}",
+        fleet.aggregated()
+    );
+    fleet.shutdown();
+}
+
+/// The accept fan spreads sequential connections round-robin over the
+/// instances, and the aggregate equals the per-instance sums.
+#[test]
+fn accept_fan_round_robins_across_instances() {
+    let fleet = ServerFleet::start(key(), "net.sslperf.test", 2, &fleet_options(None))
+        .expect("fleet start");
+
+    for i in 0..4u8 {
+        let mut client =
+            SslClient::new(CipherSuite::RsaDesCbc3Sha, SslRng::from_seed(&[b'f', b'a', b'n', i]));
+        let mut socket = fleet_handshake(&fleet, &mut client);
+        client.close_transport(&mut socket).expect("close");
+    }
+
+    assert!(eventually(|| fleet.aggregated().connections == 4), "got {:?}", fleet.aggregated());
+    for index in 0..2 {
+        let stats = fleet.instance(index).expect("live").stats();
+        assert_eq!(stats.connections(), 2, "round-robin must give instance {index} exactly half");
+    }
+    assert_eq!(fleet.aggregated().errors, 0, "clean run");
+    fleet.shutdown();
 }

@@ -421,3 +421,104 @@ proptest! {
         }
     }
 }
+
+// ---- session-ticket sealing ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Seal/open round-trips the exact session state for every suite and
+    /// master-secret length, across one key rotation (the previous key
+    /// stays accepted), and the keyring counts both sides.
+    #[test]
+    fn ticket_seal_open_round_trips(
+        suite_idx in 0usize..CipherSuite::ALL.len(),
+        master in vec(any::<u8>(), 1..=64),
+        rotate in any::<bool>(),
+        seed in vec(any::<u8>(), 1..16),
+    ) {
+        use sslperf::ssl::CachedSession;
+        let keyring = TicketKeyring::new(&seed);
+        let session = CachedSession { master, suite: CipherSuite::ALL[suite_idx] };
+        let ticket = keyring.seal(&session);
+        if rotate {
+            keyring.rotate();
+        }
+        let opened = keyring.open(&ticket);
+        prop_assert_eq!(opened, Ok(session));
+        prop_assert_eq!((keyring.issued(), keyring.accepted()), (1, 1));
+        prop_assert_eq!((keyring.rejected(), keyring.expired()), (0, 0));
+    }
+
+    /// A bit flipped anywhere in the ticket — key id, IV, ciphertext, or
+    /// MAC — rejects as `Invalid`: the same clean full-handshake fallback
+    /// as any other bad ticket, never a distinguishable outcome.
+    #[test]
+    fn ticket_bit_flip_anywhere_rejects(
+        suite_idx in 0usize..CipherSuite::ALL.len(),
+        master in vec(any::<u8>(), 1..=64),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        use sslperf::ssl::{CachedSession, TicketError};
+        let keyring = TicketKeyring::new(b"pt-ticket-flip");
+        let session = CachedSession { master, suite: CipherSuite::ALL[suite_idx] };
+        let mut ticket = keyring.seal(&session);
+        let at = flip_byte.index(ticket.len());
+        ticket[at] ^= 1 << flip_bit;
+        prop_assert_eq!(keyring.open(&ticket), Err(TicketError::Invalid));
+        prop_assert_eq!((keyring.accepted(), keyring.rejected()), (0, 1));
+    }
+
+    /// Every proper prefix of a ticket rejects as `Invalid` — truncation
+    /// can never crash the opener or sneak past the MAC.
+    #[test]
+    fn ticket_truncation_rejects(
+        master in vec(any::<u8>(), 1..=64),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        use sslperf::ssl::{CachedSession, TicketError};
+        let keyring = TicketKeyring::new(b"pt-ticket-cut");
+        let session = CachedSession { master, suite: CipherSuite::RsaDesCbc3Sha };
+        let ticket = keyring.seal(&session);
+        let len = cut.index(ticket.len()); // strictly shorter than the ticket
+        prop_assert_eq!(keyring.open(&ticket[..len]), Err(TicketError::Invalid));
+    }
+
+    /// An authentic ticket past its lifetime rejects as `Expired` — the
+    /// caller's fallback is the same silent full handshake, but the
+    /// keyring counts it separately for the metrics split.
+    #[test]
+    fn ticket_expiry_rejects(
+        suite_idx in 0usize..CipherSuite::ALL.len(),
+        master in vec(any::<u8>(), 1..=48),
+    ) {
+        use sslperf::ssl::{CachedSession, TicketError};
+        use std::time::Duration;
+        let keyring = TicketKeyring::with_schedule(b"pt-ticket-old", Duration::ZERO, None);
+        let session = CachedSession { master, suite: CipherSuite::ALL[suite_idx] };
+        let ticket = keyring.seal(&session);
+        // A zero lifetime expires the ticket as soon as the clock advances.
+        std::thread::sleep(Duration::from_millis(2));
+        prop_assert_eq!(keyring.open(&ticket), Err(TicketError::Expired));
+        prop_assert_eq!((keyring.accepted(), keyring.expired()), (0, 1));
+    }
+
+    /// Two rotations retire a ticket's key entirely (current + previous
+    /// acceptance window): an authentic ticket under a forgotten key id
+    /// rejects as `Invalid`, indistinguishable from tampering.
+    #[test]
+    fn ticket_unknown_key_id_rejects(
+        suite_idx in 0usize..CipherSuite::ALL.len(),
+        master in vec(any::<u8>(), 1..=48),
+    ) {
+        use sslperf::ssl::{CachedSession, TicketError};
+        let keyring = TicketKeyring::new(b"pt-ticket-rot");
+        let session = CachedSession { master, suite: CipherSuite::ALL[suite_idx] };
+        let ticket = keyring.seal(&session);
+        keyring.rotate();
+        keyring.rotate();
+        prop_assert_eq!(keyring.open(&ticket), Err(TicketError::Invalid));
+        prop_assert_eq!((keyring.accepted(), keyring.rejected()), (0, 1));
+    }
+}
