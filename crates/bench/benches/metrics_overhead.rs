@@ -8,20 +8,21 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sslperf_core::net::ServerMetrics;
 use sslperf_core::profile::Cycles;
-use sslperf_core::ssl::{HandshakeLedger, SERVER_STEP_NAMES};
+use sslperf_core::ssl::{HandshakeLedger, Protocol, SERVER_STEP_NAMES};
 use std::hint::black_box;
 
 /// A plausibly shaped full-handshake ledger (cycle values in the range a
 /// 1024-bit software handshake actually produces).
 fn ledger() -> HandshakeLedger {
     HandshakeLedger {
+        protocol: Protocol::Ssl3,
         resumed: false,
         steps: std::array::from_fn(|i| (SERVER_STEP_NAMES[i], Cycles::new(40_000 + i as u64))),
         total: Cycles::new(2_600_000),
         crypto: Cycles::new(2_300_000),
-        rsa_queue_wait: Cycles::new(90_000),
-        rsa_batch_wait: Cycles::new(12_000),
-        rsa_private_decryption: Cycles::new(1_900_000),
+        kx_queue_wait: Cycles::new(90_000),
+        kx_batch_wait: Cycles::new(12_000),
+        kx_exec: Cycles::new(1_900_000),
         ticket_issued: false,
         ticket_accepted: false,
         ticket_rejected: false,

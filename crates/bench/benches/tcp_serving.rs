@@ -175,6 +175,7 @@ fn bench_concurrency(c: &mut Criterion) {
             let load = EventLoadOptions {
                 connections,
                 file_size: FILE_SIZE,
+                protocol: Protocol::Ssl3,
                 suite: CipherSuite::RsaDesCbc3Sha,
                 // The pool can only establish `workers` connections at a
                 // time, so the all-at-once barrier would deadlock it; let
@@ -213,6 +214,7 @@ fn bench_crypto_offload(c: &mut Criterion) {
     let load = EventLoadOptions {
         connections: CONNECTIONS,
         file_size: FILE_SIZE,
+        protocol: Protocol::Ssl3,
         suite: CipherSuite::RsaDesCbc3Sha,
         // Keep the pool arm runnable with THREADS workers (see
         // bench_concurrency); every arm still opens all sockets at once.
@@ -303,6 +305,7 @@ fn bench_batch_rsa(c: &mut Criterion) {
     let load = EventLoadOptions {
         connections: CONNECTIONS,
         file_size: FILE_SIZE,
+        protocol: Protocol::Ssl3,
         suite: CipherSuite::RsaDesCbc3Sha,
         // The barrier opens every socket before any transacts: all 64
         // ClientKeyExchanges land together and the crypto queue saturates.

@@ -1,18 +1,22 @@
-//! Machine-readable benchmark report: `BENCH_7.json`.
+//! Machine-readable benchmark report: `BENCH_8.json`.
 //!
 //! Runs the batched-RSA serving ablation (the fast, single-run variant of
 //! `benches/tcp_serving.rs`'s `batch_rsa` group), a ticket-resumption
-//! serving arm, the in-process RSA kernel comparison, and the bulk-path
-//! record-sealing cost, and writes the results as JSON so CI can diff
-//! runs against each other. One command, from the repository root:
+//! serving arm, a TLS 1.3 event-loop serving arm (ephemeral DHE key
+//! exchange through the same crypto pool), the in-process RSA kernel
+//! comparison, and the bulk-path record-sealing cost, and writes the
+//! results as JSON so CI can diff runs against each other. One command,
+//! from the repository root:
 //!
 //! ```text
 //! cargo run --release -p sslperf-bench --bin bench_report
 //! ```
 //!
-//! writes `BENCH_7.json` in the current directory (pass a path argument to
+//! writes `BENCH_8.json` in the current directory (pass a path argument to
 //! write elsewhere). `scripts/check_bench_json.py` validates the schema
-//! and flags throughput regressions against the previous report.
+//! and flags throughput regressions against the previous report; each
+//! serving arm carries a `protocol` field so the SSLv3 arms stay
+//! diffable against `BENCH_7.json`.
 
 #![forbid(unsafe_code)]
 
@@ -43,6 +47,7 @@ const BULK_SAMPLES: usize = 8;
 /// One serving arm's measurements.
 struct Arm {
     label: String,
+    protocol: &'static str,
     crypto_workers: usize,
     batch_max: usize,
     tx_per_sec: f64,
@@ -70,7 +75,7 @@ struct BulkPath {
 }
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_7.json".into());
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_8.json".into());
 
     eprintln!("[bench_report] RSA kernel: solo vs batched ({KERNEL_KEY_BITS}-bit)");
     let (solo, amortized) = kernel_numbers();
@@ -100,6 +105,16 @@ fn main() {
     eprintln!(
         "[bench_report]   {}: {:.1} tx/s, {} resumed, {} tickets accepted",
         arm.label, arm.tx_per_sec, arm.resumed_handshakes, arm.tickets_accepted,
+    );
+    arms.push(tls13_arm());
+    let arm = arms.last().expect("just pushed");
+    eprintln!(
+        "[bench_report]   {}: {:.1} tx/s, p50 {:.2}ms p99 {:.2}ms, {} kc/exchange",
+        arm.label,
+        arm.tx_per_sec,
+        arm.p50_ms,
+        arm.p99_ms,
+        arm.cycles_per_decrypt / 1000,
     );
 
     let json = render_json(solo, &amortized, &bulk, &arms);
@@ -198,6 +213,7 @@ fn serving_arm(batch_max: usize) -> Arm {
     let load = EventLoadOptions {
         connections: CONNECTIONS,
         file_size: 1024,
+        protocol: Protocol::Ssl3,
         suite: CipherSuite::RsaDesCbc3Sha,
         hold_until_all_established: true,
         deadline: Duration::from_secs(120),
@@ -207,6 +223,7 @@ fn serving_arm(batch_max: usize) -> Arm {
     let jobs = stats.crypto_jobs().max(1);
     let arm = Arm {
         label: format!("event_loop_{crypto_workers}w_b{batch_max}"),
+        protocol: Protocol::Ssl3.name(),
         crypto_workers,
         batch_max,
         tx_per_sec: report.transactions_per_second(),
@@ -253,6 +270,51 @@ fn ticket_arm() -> Arm {
     let stats = server.stats();
     let arm = Arm {
         label: format!("event_loop_{crypto_workers}w_tickets"),
+        protocol: Protocol::Ssl3.name(),
+        crypto_workers,
+        batch_max: 1,
+        tx_per_sec: report.transactions_per_second(),
+        p50_ms: report.handshake_latency.p50.as_secs_f64() * 1e3,
+        p95_ms: report.handshake_latency.p95.as_secs_f64() * 1e3,
+        p99_ms: report.handshake_latency.p99.as_secs_f64() * 1e3,
+        cycles_per_decrypt: stats.crypto_exec().get() / stats.crypto_jobs().max(1),
+        batches: stats.crypto_batches(),
+        batched_jobs: stats.crypto_batched_jobs(),
+        resumed_handshakes: stats.resumed_handshakes(),
+        tickets_issued: stats.tickets_issued(),
+        tickets_accepted: stats.tickets_accepted(),
+    };
+    server.shutdown();
+    arm
+}
+
+/// Runs the TLS 1.3 serving arm: the same event-loop server and burst as
+/// the SSLv3 ablation, but the clients handshake with the 1-RTT machine,
+/// so the offloaded crypto job is an ephemeral DHE exponentiation instead
+/// of an RSA decryption.
+fn tls13_arm() -> Arm {
+    let crypto_workers = 2;
+    let mut rng = SslRng::from_seed(b"bench-report-tls13");
+    let key = RsaPrivateKey::generate(SERVING_KEY_BITS, &mut rng).expect("keygen");
+    let options = ServerOptions::builder()
+        .shards(1)
+        .crypto_workers(crypto_workers)
+        .build()
+        .expect("valid tls13-arm configuration");
+    let server = EventLoopServer::start(key, "bench.sslperf.test", &options).expect("server start");
+    let load = EventLoadOptions {
+        connections: CONNECTIONS,
+        file_size: 1024,
+        protocol: Protocol::Tls13,
+        suite: CipherSuite::RsaDesCbc3Sha,
+        hold_until_all_established: true,
+        deadline: Duration::from_secs(120),
+    };
+    let report = run_event_load(server.local_addr(), &load).expect("event load");
+    let stats = server.stats();
+    let arm = Arm {
+        label: "tls13_event_loop".into(),
+        protocol: Protocol::Tls13.name(),
         crypto_workers,
         batch_max: 1,
         tx_per_sec: report.transactions_per_second(),
@@ -276,7 +338,7 @@ fn render_json(solo: u64, amortized: &[Amortized], bulk: &[BulkPath], arms: &[Ar
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"sslperf-bench-report/v1\",\n");
-    s.push_str("  \"issue\": 7,\n");
+    s.push_str("  \"issue\": 8,\n");
     s.push_str("  \"rsa\": {\n");
     let _ = writeln!(s, "    \"key_bits\": {KERNEL_KEY_BITS},");
     let _ = writeln!(s, "    \"solo_cycles_per_decrypt\": {solo},");
@@ -310,11 +372,13 @@ fn render_json(solo: u64, amortized: &[Amortized], bulk: &[BulkPath], arms: &[Ar
         let comma = if i + 1 < arms.len() { "," } else { "" };
         let _ = writeln!(
             s,
-            "      {{\"label\": \"{}\", \"crypto_workers\": {}, \"batch_max\": {}, \
+            "      {{\"label\": \"{}\", \"protocol\": \"{}\", \"crypto_workers\": {}, \
+             \"batch_max\": {}, \
              \"tx_per_sec\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
              \"cycles_per_decrypt\": {}, \"batches\": {}, \"batched_jobs\": {}, \
              \"resumed_handshakes\": {}, \"tickets_issued\": {}, \"tickets_accepted\": {}}}{comma}",
             arm.label,
+            arm.protocol,
             arm.crypto_workers,
             arm.batch_max,
             arm.tx_per_sec,

@@ -123,11 +123,14 @@ pub enum ExperimentId {
     /// Restart survival: stateless-ticket resumption vs the in-memory id
     /// cache across a full shared-nothing fleet restart.
     RestartSurvival,
+    /// Protocol anatomy: SSLv3 vs TLS 1.3 handshake step latencies,
+    /// measured side by side from one live dual-protocol server.
+    ProtocolAnatomy,
 }
 
 impl ExperimentId {
     /// Every experiment, in paper order.
-    pub const ALL: [ExperimentId; 19] = [
+    pub const ALL: [ExperimentId; 20] = [
         ExperimentId::Table1,
         ExperimentId::Fig2,
         ExperimentId::Table2,
@@ -147,6 +150,7 @@ impl ExperimentId {
         ExperimentId::CryptoOffload,
         ExperimentId::LiveAnatomy,
         ExperimentId::RestartSurvival,
+        ExperimentId::ProtocolAnatomy,
     ];
 
     /// The human-readable name ("Table 1", "Figure 3", ...).
@@ -172,6 +176,7 @@ impl ExperimentId {
             ExperimentId::CryptoOffload => "Crypto offload",
             ExperimentId::LiveAnatomy => "Live anatomy",
             ExperimentId::RestartSurvival => "Restart survival",
+            ExperimentId::ProtocolAnatomy => "Protocol anatomy",
         }
     }
 }
@@ -235,6 +240,7 @@ pub fn run_report(ctx: &Context, id: ExperimentId) -> Result<Report, ExperimentE
         ExperimentId::CryptoOffload => netload::crypto_offload(ctx)?.to_string(),
         ExperimentId::LiveAnatomy => netload::live_anatomy(ctx)?.to_string(),
         ExperimentId::RestartSurvival => netload::restart_survival(ctx)?.to_string(),
+        ExperimentId::ProtocolAnatomy => netload::protocol_anatomy(ctx)?.to_string(),
     };
     Ok(Report { id, rendered })
 }

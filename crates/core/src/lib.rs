@@ -74,8 +74,9 @@ pub mod prelude {
     pub use sslperf_rng::SslRng;
     pub use sslperf_rsa::{RsaPrivateKey, RsaPublicKey};
     pub use sslperf_ssl::{
-        CipherSuite, ServerConfig, SessionCache, SessionStore, SslClient, SslServer, TicketKeyring,
-        TicketSessionStore,
+        CipherSuite, ClientConfig, ClientMachine, Protocol, ServerConfig, ServerMachine,
+        SessionCache, SessionStore, SslClient, SslServer, TicketKeyring, TicketSessionStore,
+        Tls13ClientMachine, Tls13ServerMachine,
     };
     pub use sslperf_websim::SecureWebServer;
 }

@@ -73,7 +73,7 @@ impl Hmac {
     /// Panics unless `out` is exactly [`HashAlg::output_len`] bytes.
     pub fn finalize_into(self, out: &mut [u8]) {
         let alg = self.inner.alg();
-        let mut inner_digest = [0u8; 20];
+        let mut inner_digest = [0u8; 32];
         let inner_digest = &mut inner_digest[..alg.output_len()];
         self.inner.finalize_into(inner_digest);
         let mut outer = self.outer;

@@ -7,13 +7,17 @@
 //!
 //! * [`Md5`] — RFC 1321, 128-bit digest.
 //! * [`Sha1`] — FIPS 180-2, 160-bit digest.
+//! * [`Sha256`] — FIPS 180-2, 256-bit digest (for the TLS 1.3-style
+//!   machine's HKDF schedule and transcript hash).
 //! * [`Hasher`]/[`HashAlg`] — run-time algorithm selection, as the SSL layer
 //!   needs both digests side by side.
-//! * [`Hmac`] — RFC 2104 keyed MAC over either hash.
+//! * [`Hmac`] — RFC 2104 keyed MAC over any of the hashes.
+//! * [`hkdf`] — RFC 5869 extract-and-expand over [`Hmac`].
 //!
 //! Block compressions report to [`sslperf_profile::counters`] under the names
-//! `"md5_block"` and `"sha1_block"` (one unit per 64-byte block) so profiling
-//! passes can attribute work without timing individual calls.
+//! `"md5_block"`, `"sha1_block"` and `"sha256_block"` (one unit per 64-byte
+//! block) so profiling passes can attribute work without timing individual
+//! calls.
 //!
 //! # Examples
 //!
@@ -41,34 +45,40 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hkdf;
 mod hmac;
 mod md5;
 mod sha1;
+mod sha256;
 
 pub use hmac::Hmac;
 pub use md5::Md5;
 pub use sha1::Sha1;
+pub use sha256::Sha256;
 
-/// The hash algorithms used by SSL v3.
+/// The hash algorithms used by the SSL v3 and TLS 1.3-style machines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HashAlg {
     /// RFC 1321 MD5 (16-byte digest).
     Md5,
     /// FIPS 180-2 SHA-1 (20-byte digest).
     Sha1,
+    /// FIPS 180-2 SHA-256 (32-byte digest).
+    Sha256,
 }
 
 impl HashAlg {
-    /// Digest length in bytes (16 for MD5, 20 for SHA-1).
+    /// Digest length in bytes (16 for MD5, 20 for SHA-1, 32 for SHA-256).
     #[must_use]
     pub const fn output_len(self) -> usize {
         match self {
             HashAlg::Md5 => 16,
             HashAlg::Sha1 => 20,
+            HashAlg::Sha256 => 32,
         }
     }
 
-    /// Compression block length in bytes (64 for both).
+    /// Compression block length in bytes (64 for all three).
     #[must_use]
     pub const fn block_len(self) -> usize {
         64
@@ -80,6 +90,7 @@ impl HashAlg {
         match self {
             HashAlg::Md5 => "MD5",
             HashAlg::Sha1 => "SHA-1",
+            HashAlg::Sha256 => "SHA-256",
         }
     }
 }
@@ -94,6 +105,7 @@ impl std::fmt::Display for HashAlg {
 enum HasherInner {
     Md5(Md5),
     Sha1(Sha1),
+    Sha256(Sha256),
 }
 
 /// A streaming hasher whose algorithm is chosen at run time.
@@ -124,6 +136,7 @@ impl Hasher {
         let inner = match alg {
             HashAlg::Md5 => HasherInner::Md5(Md5::new()),
             HashAlg::Sha1 => HasherInner::Sha1(Sha1::new()),
+            HashAlg::Sha256 => HasherInner::Sha256(Sha256::new()),
         };
         Hasher { inner }
     }
@@ -134,6 +147,7 @@ impl Hasher {
         match self.inner {
             HasherInner::Md5(_) => HashAlg::Md5,
             HasherInner::Sha1(_) => HashAlg::Sha1,
+            HasherInner::Sha256(_) => HashAlg::Sha256,
         }
     }
 
@@ -142,6 +156,7 @@ impl Hasher {
         match &mut self.inner {
             HasherInner::Md5(h) => h.update(data),
             HasherInner::Sha1(h) => h.update(data),
+            HasherInner::Sha256(h) => h.update(data),
         }
     }
 
@@ -152,6 +167,7 @@ impl Hasher {
         match self.inner {
             HasherInner::Md5(h) => h.finalize().to_vec(),
             HasherInner::Sha1(h) => h.finalize().to_vec(),
+            HasherInner::Sha256(h) => h.finalize().to_vec(),
         }
     }
 
@@ -166,6 +182,7 @@ impl Hasher {
         match self.inner {
             HasherInner::Md5(h) => out.copy_from_slice(&h.finalize()),
             HasherInner::Sha1(h) => out.copy_from_slice(&h.finalize()),
+            HasherInner::Sha256(h) => out.copy_from_slice(&h.finalize()),
         }
     }
 

@@ -34,7 +34,7 @@ use sslperf_profile::measure;
 use sslperf_rng::SslRng;
 use sslperf_rsa::RsaPrivateKey;
 use sslperf_ssl::alert::{Alert, AlertDescription};
-use sslperf_ssl::{CryptoDone, CryptoJob, Engine, ServerConfig, ServerEngine, SslError, SslServer};
+use sslperf_ssl::{CryptoDone, CryptoJob, Engine, ServerConfig, ServerMachine, SslError};
 use sslperf_websim::http::HttpRequest;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -338,7 +338,7 @@ fn route_reply(conns: &mut [Conn<'_>], id: u64, done: CryptoDone, stats: &Server
 /// engine holding its handshake/record state between readiness events.
 struct Conn<'a> {
     stream: TcpStream,
-    engine: ServerEngine<'a>,
+    engine: Engine<ServerMachine<'a>>,
     /// Shard-local id: routes crypto-pool replies back to this connection.
     id: u64,
     /// Evict when `Instant::now()` passes this without traffic.
@@ -374,7 +374,7 @@ impl<'a> Conn<'a> {
         stream.set_nonblocking(true).ok()?;
         let _ = stream.set_nodelay(true);
         let rng = SslRng::from_seed(seed.as_bytes());
-        let mut engine = Engine::new(SslServer::new(config, rng)).ok()?;
+        let mut engine = Engine::new(ServerMachine::new(config, rng)).ok()?;
         engine.set_crypto_offload(offload);
         Some(Conn {
             stream,

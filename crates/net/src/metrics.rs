@@ -22,7 +22,7 @@
 
 use sslperf_metrics::{Gauge, Histogram, HistogramSnapshot};
 use sslperf_profile::{Align, Cycles, Table};
-use sslperf_ssl::{HandshakeLedger, SERVER_STEP_NAMES};
+use sslperf_ssl::{HandshakeLedger, Protocol, SERVER_STEP_NAMES, TLS13_STEP_NAMES};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The shared, lock-cheap metrics registry for one running server.
@@ -32,22 +32,32 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// take `&self` and are safe to call from any thread.
 #[derive(Debug)]
 pub struct ServerMetrics {
-    /// Per-step handshake latency, full handshakes only (Table 2 rows).
+    /// Per-step SSLv3 handshake latency, full handshakes only (Table 2
+    /// rows).
     steps: [Histogram; 10],
-    /// Step 5's offload split: cycles queued in the crypto pool.
-    rsa_queue_wait: Histogram,
-    /// Step 5's offload split: cycles parked waiting for batch siblings.
-    rsa_batch_wait: Histogram,
-    /// Step 5's offload split: cycles executing the RSA private decryption.
-    rsa_private_decryption: Histogram,
-    /// End-to-end handshake cycles, full key exchange.
+    /// Per-step TLS 1.3 handshake latency, keyed by [`TLS13_STEP_NAMES`].
+    tls13_steps: [Histogram; 10],
+    /// Key-exchange offload split (both protocols): cycles queued in the
+    /// crypto pool.
+    kx_queue_wait: Histogram,
+    /// Offload split: cycles parked waiting for batch siblings.
+    kx_batch_wait: Histogram,
+    /// Offload split: cycles executing the private operation (RSA decrypt
+    /// for SSLv3, the DHE exponentiation pair for TLS 1.3).
+    kx_exec: Histogram,
+    /// End-to-end SSLv3 handshake cycles, full key exchange.
     full_handshake: Histogram,
-    /// End-to-end handshake cycles, session resumption.
+    /// End-to-end SSLv3 handshake cycles, session resumption.
     resumed_handshake: Histogram,
-    /// Crypto cycles summed over full handshakes (Table 3 numerator).
+    /// End-to-end TLS 1.3 handshake cycles (always a full key exchange).
+    tls13_full_handshake: Histogram,
+    /// Crypto cycles summed over full SSLv3 handshakes (Table 3
+    /// numerator).
     full_crypto_cycles: AtomicU64,
     /// Crypto cycles summed over resumed handshakes.
     resumed_crypto_cycles: AtomicU64,
+    /// Crypto cycles summed over TLS 1.3 handshakes.
+    tls13_crypto_cycles: AtomicU64,
     /// Application records decrypted / encrypted after the handshake.
     records_opened: AtomicU64,
     records_sealed: AtomicU64,
@@ -95,13 +105,16 @@ impl ServerMetrics {
     pub fn new() -> Self {
         ServerMetrics {
             steps: std::array::from_fn(|_| Histogram::new()),
-            rsa_queue_wait: Histogram::new(),
-            rsa_batch_wait: Histogram::new(),
-            rsa_private_decryption: Histogram::new(),
+            tls13_steps: std::array::from_fn(|_| Histogram::new()),
+            kx_queue_wait: Histogram::new(),
+            kx_batch_wait: Histogram::new(),
+            kx_exec: Histogram::new(),
             full_handshake: Histogram::new(),
             resumed_handshake: Histogram::new(),
+            tls13_full_handshake: Histogram::new(),
             full_crypto_cycles: AtomicU64::new(0),
             resumed_crypto_cycles: AtomicU64::new(0),
+            tls13_crypto_cycles: AtomicU64::new(0),
             records_opened: AtomicU64::new(0),
             records_sealed: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
@@ -127,9 +140,13 @@ impl ServerMetrics {
 
     /// Feeds one completed handshake's anatomy into the registry.
     ///
-    /// Full handshakes populate the per-step histograms and the Table 3
-    /// crypto accumulators; resumed handshakes only record their
-    /// end-to-end latency (their step mix is not the paper's Table 2).
+    /// The ledger routes by protocol: SSLv3 full handshakes populate the
+    /// Table 2 step histograms and the Table 3 crypto accumulators,
+    /// resumed handshakes only record their end-to-end latency (their
+    /// step mix is not the paper's Table 2), and TLS 1.3 handshakes feed
+    /// their own step histograms so the two anatomies render side by
+    /// side. The key-exchange offload split is pooled across protocols —
+    /// it describes the crypto pool, not a protocol.
     pub fn note_handshake(&self, ledger: &HandshakeLedger) {
         self.tickets_issued.fetch_add(u64::from(ledger.ticket_issued), Ordering::Relaxed);
         self.tickets_accepted.fetch_add(u64::from(ledger.ticket_accepted), Ordering::Relaxed);
@@ -140,19 +157,25 @@ impl ServerMetrics {
             self.resumed_crypto_cycles.fetch_add(ledger.crypto.get(), Ordering::Relaxed);
             return;
         }
-        self.full_handshake.record(ledger.total.get());
-        self.full_crypto_cycles.fetch_add(ledger.crypto.get(), Ordering::Relaxed);
-        for (hist, (_, cycles)) in self.steps.iter().zip(ledger.steps.iter()) {
+        let (handshake, crypto, steps) = match ledger.protocol {
+            Protocol::Ssl3 => (&self.full_handshake, &self.full_crypto_cycles, &self.steps),
+            Protocol::Tls13 => {
+                (&self.tls13_full_handshake, &self.tls13_crypto_cycles, &self.tls13_steps)
+            }
+        };
+        handshake.record(ledger.total.get());
+        crypto.fetch_add(ledger.crypto.get(), Ordering::Relaxed);
+        for (hist, (_, cycles)) in steps.iter().zip(ledger.steps.iter()) {
             hist.record(cycles.get());
         }
-        if ledger.rsa_queue_wait.get() > 0 {
-            self.rsa_queue_wait.record(ledger.rsa_queue_wait.get());
+        if ledger.kx_queue_wait.get() > 0 {
+            self.kx_queue_wait.record(ledger.kx_queue_wait.get());
         }
-        if ledger.rsa_batch_wait.get() > 0 {
-            self.rsa_batch_wait.record(ledger.rsa_batch_wait.get());
+        if ledger.kx_batch_wait.get() > 0 {
+            self.kx_batch_wait.record(ledger.kx_batch_wait.get());
         }
-        if ledger.rsa_private_decryption.get() > 0 {
-            self.rsa_private_decryption.record(ledger.rsa_private_decryption.get());
+        if ledger.kx_exec.get() > 0 {
+            self.kx_exec.record(ledger.kx_exec.get());
         }
     }
 
@@ -217,13 +240,19 @@ impl ServerMetrics {
                 name: SERVER_STEP_NAMES[i],
                 latency: self.steps[i].snapshot(),
             }),
-            rsa_queue_wait: self.rsa_queue_wait.snapshot(),
-            rsa_batch_wait: self.rsa_batch_wait.snapshot(),
-            rsa_private_decryption: self.rsa_private_decryption.snapshot(),
+            tls13_steps: std::array::from_fn(|i| StepSnapshot {
+                name: TLS13_STEP_NAMES[i],
+                latency: self.tls13_steps[i].snapshot(),
+            }),
+            kx_queue_wait: self.kx_queue_wait.snapshot(),
+            kx_batch_wait: self.kx_batch_wait.snapshot(),
+            kx_exec: self.kx_exec.snapshot(),
             full_handshake: self.full_handshake.snapshot(),
             resumed_handshake: self.resumed_handshake.snapshot(),
+            tls13_full_handshake: self.tls13_full_handshake.snapshot(),
             full_crypto_cycles: self.full_crypto_cycles.load(Ordering::Relaxed),
             resumed_crypto_cycles: self.resumed_crypto_cycles.load(Ordering::Relaxed),
+            tls13_crypto_cycles: self.tls13_crypto_cycles.load(Ordering::Relaxed),
             records_opened: self.records_opened.load(Ordering::Relaxed),
             records_sealed: self.records_sealed.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
@@ -251,7 +280,8 @@ impl ServerMetrics {
 /// One handshake step's frozen latency distribution.
 #[derive(Debug, Clone)]
 pub struct StepSnapshot {
-    /// The step's name from [`SERVER_STEP_NAMES`].
+    /// The step's name, from [`SERVER_STEP_NAMES`] or
+    /// [`TLS13_STEP_NAMES`] depending on which anatomy it belongs to.
     pub name: &'static str,
     /// Cycle latency distribution across full handshakes.
     pub latency: HistogramSnapshot,
@@ -263,22 +293,32 @@ pub struct StepSnapshot {
 /// out in the paper's table shapes.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
-    /// Per-step latency across full handshakes, in paper order (Table 2).
+    /// Per-step SSLv3 latency across full handshakes, in paper order
+    /// (Table 2).
     pub steps: [StepSnapshot; 10],
-    /// Step 5's crypto-pool queue wait (empty when decrypting inline).
-    pub rsa_queue_wait: HistogramSnapshot,
-    /// Step 5's wait for batch siblings (empty without batching).
-    pub rsa_batch_wait: HistogramSnapshot,
-    /// Step 5's RSA private decryption execution time.
-    pub rsa_private_decryption: HistogramSnapshot,
-    /// End-to-end full-handshake latency.
+    /// Per-step TLS 1.3 latency across handshakes, in wire order.
+    pub tls13_steps: [StepSnapshot; 10],
+    /// Key-exchange crypto-pool queue wait, both protocols (empty when
+    /// running inline).
+    pub kx_queue_wait: HistogramSnapshot,
+    /// Key-exchange wait for batch siblings (empty without batching).
+    pub kx_batch_wait: HistogramSnapshot,
+    /// Key-exchange private-operation execution time (RSA decrypt or DHE
+    /// exponentiation pair).
+    pub kx_exec: HistogramSnapshot,
+    /// End-to-end full SSLv3-handshake latency.
     pub full_handshake: HistogramSnapshot,
     /// End-to-end resumed-handshake latency.
     pub resumed_handshake: HistogramSnapshot,
-    /// Crypto cycles summed over full handshakes (Table 3 numerator).
+    /// End-to-end TLS 1.3 handshake latency.
+    pub tls13_full_handshake: HistogramSnapshot,
+    /// Crypto cycles summed over full SSLv3 handshakes (Table 3
+    /// numerator).
     pub full_crypto_cycles: u64,
     /// Crypto cycles summed over resumed handshakes.
     pub resumed_crypto_cycles: u64,
+    /// Crypto cycles summed over TLS 1.3 handshakes.
+    pub tls13_crypto_cycles: u64,
     /// Application records decrypted after the handshake.
     pub records_opened: u64,
     /// Application records sealed after the handshake.
@@ -337,11 +377,33 @@ impl MetricsSnapshot {
         self.steps.iter().find(|s| s.name == name).map_or(0.0, |s| percent(s.latency.sum(), total))
     }
 
+    /// Crypto's share of TLS 1.3 handshake processing, in percent — the
+    /// side-by-side counterpart to [`handshake_crypto_percent`].
+    ///
+    /// [`handshake_crypto_percent`]: MetricsSnapshot::handshake_crypto_percent
+    #[must_use]
+    pub fn tls13_crypto_percent(&self) -> f64 {
+        percent(self.tls13_crypto_cycles, self.tls13_full_handshake.sum())
+    }
+
+    /// One TLS 1.3 step's share of its handshake cycles, in percent.
+    /// Unknown step names return 0.
+    #[must_use]
+    pub fn tls13_step_percent(&self, name: &str) -> f64 {
+        let total = self.tls13_full_handshake.sum();
+        self.tls13_steps
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0.0, |s| percent(s.latency.sum(), total))
+    }
+
     /// Cycles per transaction attributed to libcrypto (cipher, hash, RSA
-    /// kernels): the amortized handshake crypto plus bulk record crypto.
+    /// and DHE kernels): the amortized handshake crypto plus bulk record
+    /// crypto, across both protocols.
     #[must_use]
     pub fn libcrypto_cycles_per_transaction(&self) -> u64 {
-        let handshake = self.full_crypto_cycles + self.resumed_crypto_cycles;
+        let handshake =
+            self.full_crypto_cycles + self.resumed_crypto_cycles + self.tls13_crypto_cycles;
         per(handshake + self.record_crypto_cycles, self.transactions)
     }
 
@@ -350,8 +412,12 @@ impl MetricsSnapshot {
     /// were *not* inside crypto kernels.
     #[must_use]
     pub fn libssl_cycles_per_transaction(&self) -> u64 {
-        let handshake = (self.full_handshake.sum() + self.resumed_handshake.sum())
-            .saturating_sub(self.full_crypto_cycles + self.resumed_crypto_cycles);
+        let handshake = (self.full_handshake.sum()
+            + self.resumed_handshake.sum()
+            + self.tls13_full_handshake.sum())
+        .saturating_sub(
+            self.full_crypto_cycles + self.resumed_crypto_cycles + self.tls13_crypto_cycles,
+        );
         let records =
             (self.open_cycles + self.seal_cycles).saturating_sub(self.record_crypto_cycles);
         per(handshake + records, self.transactions)
@@ -389,33 +455,59 @@ impl MetricsSnapshot {
         }
         out.push_str(&steps.to_string());
 
-        // Step 5's offload split, when the crypto pool was in play. With
-        // batching on, the amortization rows break the same step down
-        // further: the wait each decrypt spent collecting batch siblings,
-        // and what a decrypt costs solo versus amortized across a batch —
-        // the Table 2 step-5 cell, re-derived per serving mode.
-        if self.rsa_queue_wait.count() > 0 || self.rsa_private_decryption.count() > 0 {
-            let mut rsa = Table::new("Step 5 offload split and batch amortization");
-            rsa.columns(&[
+        // The TLS 1.3 anatomy, side by side, when that machine served
+        // traffic — same columns, its own step names, so the two
+        // handshakes' cost structures line up row for row.
+        if self.tls13_full_handshake.count() > 0 {
+            let mut t13 = Table::new("Live anatomy: TLS 1.3 handshake step latencies");
+            t13.columns(&[
+                ("step", Align::Left),
+                ("count", Align::Right),
+                ("mean kc", Align::Right),
+                ("p95 kc", Align::Right),
+                ("share %", Align::Right),
+            ]);
+            for (i, step) in self.tls13_steps.iter().enumerate() {
+                t13.row(&[
+                    format!("{}. {}", i + 1, step.name),
+                    step.latency.count().to_string(),
+                    kilo(step.latency.mean()),
+                    kilo(step.latency.p95()),
+                    format!("{:.1}", self.tls13_step_percent(step.name)),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&t13.to_string());
+        }
+
+        // The key-exchange offload split, when the crypto pool was in
+        // play: RSA decrypts (SSLv3 step 5) and DHE exponentiations
+        // (TLS 1.3 step 3) share the pool, so the split is pooled. With
+        // batching on, the amortization rows break it down further: the
+        // wait each job spent collecting batch siblings, and what a job
+        // costs solo versus amortized across a batch.
+        if self.kx_queue_wait.count() > 0 || self.kx_exec.count() > 0 {
+            let mut kx = Table::new("Key-exchange offload split and batch amortization");
+            kx.columns(&[
                 ("phase", Align::Left),
                 ("count", Align::Right),
                 ("mean kc", Align::Right),
                 ("p95 kc", Align::Right),
             ]);
             for (name, h) in [
-                ("rsa_queue_wait", &self.rsa_queue_wait),
-                ("rsa_batch_wait", &self.rsa_batch_wait),
-                ("rsa_private_decryption", &self.rsa_private_decryption),
-                ("exec_solo (per decrypt)", &self.exec_solo),
-                ("exec_amortized (per decrypt)", &self.exec_amortized),
+                ("kx_queue_wait", &self.kx_queue_wait),
+                ("kx_batch_wait", &self.kx_batch_wait),
+                ("kx_exec", &self.kx_exec),
+                ("exec_solo (per job)", &self.exec_solo),
+                ("exec_amortized (per job)", &self.exec_amortized),
             ] {
                 if name.starts_with("exec") && h.count() == 0 {
                     continue;
                 }
-                rsa.row(&[name.to_string(), h.count().to_string(), kilo(h.mean()), kilo(h.p95())]);
+                kx.row(&[name.to_string(), h.count().to_string(), kilo(h.mean()), kilo(h.p95())]);
             }
             out.push('\n');
-            out.push_str(&rsa.to_string());
+            out.push_str(&kx.to_string());
         }
 
         // Table 3: crypto's share of handshake processing.
@@ -441,6 +533,15 @@ impl MetricsSnapshot {
             kilo(self.resumed_crypto_cycles),
             format!("{:.1}", percent(self.resumed_crypto_cycles, self.resumed_handshake.sum())),
         ]);
+        if self.tls13_full_handshake.count() > 0 {
+            crypto.row(&[
+                "tls13".to_string(),
+                self.tls13_full_handshake.count().to_string(),
+                kilo(self.tls13_full_handshake.sum()),
+                kilo(self.tls13_crypto_cycles),
+                format!("{:.1}", self.tls13_crypto_percent()),
+            ]);
+        }
         out.push('\n');
         out.push_str(&crypto.to_string());
 
@@ -475,6 +576,7 @@ impl MetricsSnapshot {
         for (name, h) in [
             ("full_handshake", &self.full_handshake),
             ("resumed_handshake", &self.resumed_handshake),
+            ("tls13_handshake", &self.tls13_full_handshake),
             ("pool_queue_wait", &self.pool_wait),
             ("pool_batch_wait", &self.pool_batch_wait),
             ("pool_exec", &self.pool_exec),
@@ -566,13 +668,31 @@ mod tests {
 
     fn ledger(resumed: bool, step_cost: u64, crypto: u64) -> HandshakeLedger {
         HandshakeLedger {
+            protocol: Protocol::Ssl3,
             resumed,
             steps: std::array::from_fn(|i| (SERVER_STEP_NAMES[i], Cycles::new(step_cost))),
             total: Cycles::new(step_cost * 10),
             crypto: Cycles::new(crypto),
-            rsa_queue_wait: Cycles::new(0),
-            rsa_batch_wait: Cycles::new(0),
-            rsa_private_decryption: Cycles::new(crypto / 2),
+            kx_queue_wait: Cycles::new(0),
+            kx_batch_wait: Cycles::new(0),
+            kx_exec: Cycles::new(crypto / 2),
+            ticket_issued: false,
+            ticket_accepted: false,
+            ticket_rejected: false,
+            ticket_expired: false,
+        }
+    }
+
+    fn tls13_ledger(step_cost: u64, crypto: u64) -> HandshakeLedger {
+        HandshakeLedger {
+            protocol: Protocol::Tls13,
+            resumed: false,
+            steps: std::array::from_fn(|i| (TLS13_STEP_NAMES[i], Cycles::new(step_cost))),
+            total: Cycles::new(step_cost * 10),
+            crypto: Cycles::new(crypto),
+            kx_queue_wait: Cycles::new(0),
+            kx_batch_wait: Cycles::new(0),
+            kx_exec: Cycles::new(crypto / 2),
             ticket_issued: false,
             ticket_accepted: false,
             ticket_rejected: false,
@@ -592,8 +712,41 @@ mod tests {
         for step in &snap.steps {
             assert_eq!(step.latency.count(), 1, "step {}", step.name);
         }
-        assert_eq!(snap.rsa_private_decryption.count(), 1);
-        assert_eq!(snap.rsa_queue_wait.count(), 0);
+        assert_eq!(snap.kx_exec.count(), 1);
+        assert_eq!(snap.kx_queue_wait.count(), 0);
+    }
+
+    #[test]
+    fn tls13_ledgers_route_to_their_own_anatomy() {
+        let m = ServerMetrics::new();
+        m.note_handshake(&ledger(false, 100, 900));
+        m.note_handshake(&tls13_ledger(80, 600));
+        let snap = m.snapshot();
+        // Protocols do not bleed into each other's histograms...
+        assert_eq!(snap.full_handshake.count(), 1);
+        assert_eq!(snap.tls13_full_handshake.count(), 1);
+        assert_eq!(snap.tls13_full_handshake.sum(), 800);
+        assert_eq!(snap.full_crypto_cycles, 900);
+        assert_eq!(snap.tls13_crypto_cycles, 600);
+        assert!((snap.tls13_crypto_percent() - 75.0).abs() < 1e-9);
+        assert!((snap.tls13_step_percent("dhe_key_exchange") - 10.0).abs() < 1e-9);
+        for step in &snap.tls13_steps {
+            assert_eq!(step.latency.count(), 1, "tls13 step {}", step.name);
+        }
+        // ...but the pooled key-exchange split sees both.
+        assert_eq!(snap.kx_exec.count(), 2);
+        let text = snap.render();
+        assert!(text.contains("Live anatomy: TLS 1.3"), "{text}");
+        assert!(text.contains("dhe_key_exchange"), "{text}");
+        assert!(text.contains("tls13"), "{text}");
+    }
+
+    #[test]
+    fn tls13_section_absent_without_tls13_traffic() {
+        let m = ServerMetrics::new();
+        m.note_handshake(&ledger(false, 100, 900));
+        let text = m.snapshot().render();
+        assert!(!text.contains("Live anatomy: TLS 1.3"), "{text}");
     }
 
     #[test]
@@ -639,7 +792,7 @@ mod tests {
         assert!(text.contains("Live Table 2"), "{text}");
         assert!(text.contains("Live Table 3"), "{text}");
         assert!(text.contains("get_client_kx"), "{text}");
-        assert!(text.contains("Step 5 offload split"), "{text}");
+        assert!(text.contains("Key-exchange offload split"), "{text}");
         assert!(text.contains("pool depth max 3"), "{text}");
     }
 
@@ -647,8 +800,8 @@ mod tests {
     fn batch_wait_and_ticket_flags_reach_the_snapshot() {
         let m = ServerMetrics::new();
         let mut full = ledger(false, 100, 800);
-        full.rsa_queue_wait = Cycles::new(50);
-        full.rsa_batch_wait = Cycles::new(25);
+        full.kx_queue_wait = Cycles::new(50);
+        full.kx_batch_wait = Cycles::new(25);
         full.ticket_issued = true;
         m.note_handshake(&full);
         let mut resumed = ledger(true, 10, 40);
@@ -658,14 +811,14 @@ mod tests {
         fallback.ticket_rejected = true;
         m.note_handshake(&fallback);
         let snap = m.snapshot();
-        assert_eq!(snap.rsa_batch_wait.count(), 1);
-        assert_eq!(snap.rsa_batch_wait.sum(), 25);
+        assert_eq!(snap.kx_batch_wait.count(), 1);
+        assert_eq!(snap.kx_batch_wait.sum(), 25);
         assert_eq!(snap.tickets_issued, 1);
         assert_eq!(snap.tickets_accepted, 1);
         assert_eq!(snap.tickets_rejected, 1);
         assert_eq!(snap.tickets_expired, 0);
         let text = snap.render();
-        assert!(text.contains("rsa_batch_wait"), "{text}");
+        assert!(text.contains("kx_batch_wait"), "{text}");
         assert!(text.contains("batch amortization"), "{text}");
         assert!(text.contains("tickets issued/accepted/rejected/expired 1/1/1/0"), "{text}");
     }

@@ -76,6 +76,10 @@ mod sealed {
     pub trait Sealed {}
     impl Sealed for crate::SslClient {}
     impl Sealed for crate::SslServer<'_> {}
+    impl Sealed for crate::tls13::Tls13ClientMachine {}
+    impl Sealed for crate::tls13::Tls13ServerMachine<'_> {}
+    impl Sealed for crate::machine::ClientMachine {}
+    impl Sealed for crate::machine::ServerMachine<'_> {}
     impl<M: Sealed + ?Sized> Sealed for &mut M {}
 }
 
@@ -93,20 +97,38 @@ pub enum MachineStep {
     PendingCrypto(Box<CryptoJob>),
 }
 
-/// An opaque RSA pre-master decrypt request, detached from the connection
-/// so a crypto worker pool can execute it while the event loop keeps
-/// sweeping other sockets.
+/// The key-exchange computation a [`CryptoJob`] carries: the one expensive
+/// public-key operation of either protocol's handshake.
+#[derive(Debug)]
+pub enum CryptoOp {
+    /// SSLv3: decrypt the client's encrypted pre-master secret.
+    RsaDecrypt {
+        /// PKCS#1 ciphertext from the ClientKeyExchange message.
+        ciphertext: Vec<u8>,
+    },
+    /// TLS 1.3-style: generate an ephemeral ffdhe2048 key pair and agree
+    /// against the peer's (already range-validated) public value.
+    DheAgree {
+        /// The validated peer public value.
+        peer: sslperf_bignum::Bn,
+    },
+}
+
+/// An opaque key-exchange request, detached from the connection so a
+/// crypto worker pool can execute it while the event loop keeps sweeping
+/// other sockets. Carries either protocol's expensive operation (see
+/// [`CryptoOp`]): RSA decryption for SSLv3, the DHE exponentiations for
+/// TLS 1.3 — both suspend at the same engine point and resume through
+/// [`Engine::complete_crypto`].
 ///
-/// The job carries a clone of the connection's seeded [`SslRng`] for the
-/// blinding draw — the same clone the inline path hands to
-/// `decrypt_instrumented` and then discards — so offloaded handshakes stay
+/// The job carries a clone of the connection's seeded [`SslRng`] — the
+/// same clone the inline path uses and then discards (for the RSA
+/// blinding draw, or the DHE exponent) — so offloaded handshakes stay
 /// byte-identical to inline ones: the connection's own rng stream never
-/// advances during the decrypt, and RSA blinding cancels out of the
-/// plaintext regardless of which worker (or which cached blinding state)
-/// performs it.
+/// advances during the operation regardless of which worker performs it.
 #[derive(Debug)]
 pub struct CryptoJob {
-    encrypted_pre_master: Vec<u8>,
+    op: CryptoOp,
     rng: SslRng,
     /// Started at suspension; elapsed time when execution begins is the
     /// queue wait the Table 2 ledger attributes separately.
@@ -119,7 +141,28 @@ pub struct CryptoJob {
 
 impl CryptoJob {
     pub(crate) fn new(encrypted_pre_master: Vec<u8>, rng: SslRng) -> Self {
-        CryptoJob { encrypted_pre_master, rng, submitted: Stopwatch::start(), collected: None }
+        CryptoJob {
+            op: CryptoOp::RsaDecrypt { ciphertext: encrypted_pre_master },
+            rng,
+            submitted: Stopwatch::start(),
+            collected: None,
+        }
+    }
+
+    pub(crate) fn new_dhe(peer: sslperf_bignum::Bn, rng: SslRng) -> Self {
+        CryptoJob {
+            op: CryptoOp::DheAgree { peer },
+            rng,
+            submitted: Stopwatch::start(),
+            collected: None,
+        }
+    }
+
+    /// Which operation this job performs (RSA jobs batch; DHE jobs run
+    /// solo even when collected together).
+    #[must_use]
+    pub fn op(&self) -> &CryptoOp {
+        &self.op
     }
 
     /// Marks the moment a batching collector pulled this job off the queue:
@@ -141,61 +184,108 @@ impl CryptoJob {
         }
     }
 
-    /// Runs the private-key decryption. Callable from any thread; the
+    /// Runs the key-exchange computation. Callable from any thread; the
     /// result must go back to the owning engine via
-    /// [`Engine::complete_crypto`].
+    /// [`Engine::complete_crypto`]. DHE jobs never touch `key` (it is the
+    /// server's RSA private key, needed only by the SSLv3 path).
     #[must_use]
-    pub fn execute(mut self, key: &RsaPrivateKey) -> CryptoDone {
+    pub fn execute(self, key: &RsaPrivateKey) -> CryptoDone {
         let (queue_wait, batch_wait) = self.waits();
-        let mut scratch = PhaseSet::new();
-        let (pre_master, exec) = measure(|| {
-            key.decrypt_instrumented(&self.encrypted_pre_master, &mut self.rng, &mut scratch)
-        });
-        CryptoDone { pre_master, queue_wait, batch_wait, exec }
+        let CryptoJob { op, mut rng, .. } = self;
+        let (output, exec) = match op {
+            CryptoOp::RsaDecrypt { ciphertext } => {
+                let mut scratch = PhaseSet::new();
+                let (pre_master, exec) =
+                    measure(|| key.decrypt_instrumented(&ciphertext, &mut rng, &mut scratch));
+                (pre_master.map(CryptoOutput::PreMaster), exec)
+            }
+            CryptoOp::DheAgree { peer } => {
+                let (agreed, exec) = measure(|| {
+                    let pair = crate::dhe::DheKeyPair::generate(&mut rng);
+                    let shared = pair.agree(&peer);
+                    crate::dhe::DheAgreed { public: pair.public().to_vec(), shared }
+                });
+                (Ok(CryptoOutput::Dhe(agreed)), exec)
+            }
+        };
+        CryptoDone { output, queue_wait, batch_wait, exec }
     }
 
-    /// Runs a whole batch of jobs through [`RsaPrivateKey::decrypt_batch`],
-    /// one [`CryptoDone`] per job in order.
+    /// Runs a collected set of jobs, one [`CryptoDone`] per job in
+    /// submission order.
     ///
-    /// The batch shares one blinding acquisition and one scratch context
-    /// (see the `sslperf-rsa` batch module); the first job's rng seeds the
+    /// RSA jobs go through [`RsaPrivateKey::decrypt_batch`] together: the
+    /// batch shares one blinding acquisition and one scratch context (see
+    /// the `sslperf-rsa` batch module); the first RSA job's rng seeds the
     /// blinding draw on a cache miss, exactly as that job's own
     /// [`CryptoJob::execute`] would have — connection rng streams never
-    /// advance either way, so wire flights stay byte-identical. Each done
-    /// reports the *amortized* exec cost (total batch cycles / batch size):
-    /// summed over jobs it equals what the batch actually cost, which keeps
-    /// the ledger's step-5 totals honest.
+    /// advance either way, so wire flights stay byte-identical. Each RSA
+    /// done reports the *amortized* exec cost (total batch cycles / batch
+    /// size): summed over jobs it equals what the batch actually cost,
+    /// which keeps the ledger's step-5 totals honest.
+    ///
+    /// DHE jobs gain nothing from batching (no shared blinding state) and
+    /// execute individually; their results slot back into the original
+    /// submission order alongside the batched RSA results.
     #[must_use]
     pub fn execute_batch(jobs: Vec<CryptoJob>, key: &RsaPrivateKey) -> Vec<CryptoDone> {
         if jobs.is_empty() {
             return Vec::new();
         }
-        let waits: Vec<(Cycles, Cycles)> = jobs.iter().map(CryptoJob::waits).collect();
-        let mut jobs = jobs;
-        let mut rng = jobs[0].rng.clone();
-        let items: Vec<BatchCipher> =
-            jobs.drain(..).map(|job| BatchCipher::new(job.encrypted_pre_master)).collect();
-        let (results, total) = measure(|| key.decrypt_batch(&items, &mut rng));
-        let amortized = Cycles::new(total.get() / items.len() as u64);
-        results
-            .into_iter()
-            .zip(waits)
-            .map(|(pre_master, (queue_wait, batch_wait))| CryptoDone {
-                pre_master,
-                queue_wait,
-                batch_wait,
-                exec: amortized,
-            })
-            .collect()
+        let mut slots: Vec<Option<CryptoDone>> = jobs.iter().map(|_| None).collect();
+        let mut rsa_idx = Vec::new();
+        let mut rsa_jobs = Vec::new();
+        for (i, job) in jobs.into_iter().enumerate() {
+            match &job.op {
+                CryptoOp::DheAgree { .. } => slots[i] = Some(job.execute(key)),
+                CryptoOp::RsaDecrypt { .. } => {
+                    rsa_idx.push(i);
+                    rsa_jobs.push(job);
+                }
+            }
+        }
+        if !rsa_jobs.is_empty() {
+            let waits: Vec<(Cycles, Cycles)> = rsa_jobs.iter().map(CryptoJob::waits).collect();
+            let mut rng = rsa_jobs[0].rng.clone();
+            let items: Vec<BatchCipher> = rsa_jobs
+                .into_iter()
+                .map(|job| match job.op {
+                    CryptoOp::RsaDecrypt { ciphertext } => BatchCipher::new(ciphertext),
+                    CryptoOp::DheAgree { .. } => unreachable!("partitioned above"),
+                })
+                .collect();
+            let (results, total) = measure(|| key.decrypt_batch(&items, &mut rng));
+            let amortized = Cycles::new(total.get() / items.len() as u64);
+            for ((i, pre_master), (queue_wait, batch_wait)) in
+                rsa_idx.into_iter().zip(results).zip(waits)
+            {
+                slots[i] = Some(CryptoDone {
+                    output: pre_master.map(CryptoOutput::PreMaster),
+                    queue_wait,
+                    batch_wait,
+                    exec: amortized,
+                });
+            }
+        }
+        slots.into_iter().map(|done| done.expect("every slot filled")).collect()
     }
 }
 
+/// What a [`CryptoJob`] produced, matching its [`CryptoOp`].
+#[derive(Debug)]
+pub enum CryptoOutput {
+    /// The decrypted SSLv3 pre-master secret.
+    PreMaster(Vec<u8>),
+    /// The server's ephemeral public value plus the agreed DHE secret.
+    Dhe(crate::dhe::DheAgreed),
+}
+
 /// The result of an executed [`CryptoJob`], carrying the timing split the
-/// step-5 ledger needs: how long the job sat queued, how long it waited
-/// for batch siblings, and how long the RSA computation itself ran.
+/// key-exchange ledger step needs: how long the job sat queued, how long
+/// it waited for batch siblings, and how long the computation itself ran.
 #[derive(Debug)]
 pub struct CryptoDone {
-    pre_master: Result<Vec<u8>, RsaError>,
+    output: Result<CryptoOutput, RsaError>,
     queue_wait: Cycles,
     batch_wait: Cycles,
     exec: Cycles,
@@ -215,15 +305,15 @@ impl CryptoDone {
         self.batch_wait
     }
 
-    /// Cycles the RSA private-key computation itself took (amortized over
-    /// the batch when the job was executed as part of one).
+    /// Cycles the public-key computation itself took (amortized over the
+    /// batch when the job was executed as part of one).
     #[must_use]
     pub fn exec(&self) -> Cycles {
         self.exec
     }
 
-    pub(crate) fn into_parts(self) -> (Result<Vec<u8>, RsaError>, Cycles, Cycles, Cycles) {
-        (self.pre_master, self.queue_wait, self.batch_wait, self.exec)
+    pub(crate) fn into_parts(self) -> (Result<CryptoOutput, RsaError>, Cycles, Cycles, Cycles) {
+        (self.output, self.queue_wait, self.batch_wait, self.exec)
     }
 }
 
@@ -292,6 +382,14 @@ pub trait EngineDriven: sealed::Sealed {
 
     /// True once the handshake completed.
     fn handshake_done(&self) -> bool;
+
+    /// Whether an inbound record header with this protocol version should
+    /// be processed. The default accepts only SSLv3's `(3, 0)`; the
+    /// TLS 1.3-style machines accept `(3, 4)`, and the protocol-sniffing
+    /// server dispatch accepts both until the first hello decides.
+    fn accepts_record_version(&self, major: u8, minor: u8) -> bool {
+        (major, minor) == VERSION
+    }
 }
 
 impl<M: EngineDriven + ?Sized> EngineDriven for &mut M {
@@ -326,6 +424,10 @@ impl<M: EngineDriven + ?Sized> EngineDriven for &mut M {
 
     fn handshake_done(&self) -> bool {
         (**self).handshake_done()
+    }
+
+    fn accepts_record_version(&self, major: u8, minor: u8) -> bool {
+        (**self).accepts_record_version(major, minor)
     }
 }
 
@@ -662,7 +764,7 @@ impl<M: EngineDriven> Engine<M> {
             return Ok(None);
         }
         ContentType::from_u8(avail[0])?;
-        if (avail[1], avail[2]) != VERSION {
+        if !self.machine.accepts_record_version(avail[1], avail[2]) {
             return Err(SslError::UnsupportedVersion { major: avail[1], minor: avail[2] });
         }
         let body_len = usize::from(avail[3]) << 8 | usize::from(avail[4]);

@@ -59,14 +59,17 @@
 pub mod alert;
 pub mod cache;
 mod client;
+pub mod dhe;
 mod engine;
 pub mod kdf;
 pub mod mac;
+mod machine;
 mod messages;
 mod record;
 mod server;
 mod suites;
 pub mod ticket;
+pub mod tls13;
 mod transcript;
 pub mod transport;
 
@@ -75,13 +78,16 @@ pub use cache::{
 };
 pub use client::{ClientSession, SslClient};
 pub use engine::{
-    ClientEngine, CryptoDone, CryptoJob, Engine, EngineDriven, MachineStep, ServerEngine,
+    ClientEngine, CryptoDone, CryptoJob, CryptoOp, CryptoOutput, Engine, EngineDriven, MachineStep,
+    ServerEngine,
 };
+pub use machine::{ClientConfig, ClientMachine, Protocol, ServerMachine};
 pub use messages::{HandshakeType, SessionId};
 pub use record::{ContentType, RecordBuffer, RecordLayer, MAX_FRAGMENT, MAX_RECORD_BODY};
 pub use server::{HandshakeLedger, ServerConfig, SslServer, SERVER_STEP_NAMES};
 pub use suites::{BulkCipher, CipherSuite};
 pub use ticket::{TicketError, TicketKeyring, TicketSessionStore};
+pub use tls13::{Tls13ClientMachine, Tls13ServerMachine, TLS13_STEP_NAMES};
 pub use transport::{duplex_pair, read_record, read_record_into, DuplexTransport, Transport};
 
 use sslperf_ciphers::CipherError;

@@ -10,16 +10,19 @@ use sslperf_profile::counters;
 const PAD1: [u8; 48] = [0x36; 48];
 const PAD2: [u8; 48] = [0x5c; 48];
 
-/// Largest MAC the record layer handles (SHA-1's 20 bytes); sizes the
+/// Largest MAC the record layer handles (SHA-256's 32 bytes); sizes the
 /// stack buffers in [`compute_into`] and [`verify`].
-pub const MAX_MAC_LEN: usize = 20;
+pub const MAX_MAC_LEN: usize = 32;
 
-/// Pad length for the SSLv3 MAC: 48 bytes for MD5, 40 for SHA-1.
+/// Pad length for the SSLv3 MAC: 48 bytes for MD5, 40 for SHA-1. SHA-256
+/// postdates SSLv3, so its 32-byte pad is our extension of the pattern
+/// (block minus digest length), used only if a suite ever MACs with it.
 #[must_use]
 pub fn pad_len(alg: HashAlg) -> usize {
     match alg {
         HashAlg::Md5 => 48,
         HashAlg::Sha1 => 40,
+        HashAlg::Sha256 => 32,
     }
 }
 

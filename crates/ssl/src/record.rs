@@ -271,10 +271,23 @@ impl ConnState {
 /// let records = b.open_all(&wire).unwrap();
 /// assert_eq!(records[0], (ContentType::Handshake, b"hello".to_vec()));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RecordLayer {
     write: ConnState,
     read: ConnState,
+    wire_version: (u8, u8),
+    accept_any_version: bool,
+}
+
+impl Default for RecordLayer {
+    fn default() -> Self {
+        RecordLayer {
+            write: ConnState::default(),
+            read: ConnState::default(),
+            wire_version: VERSION,
+            accept_any_version: false,
+        }
+    }
 }
 
 impl RecordLayer {
@@ -283,6 +296,32 @@ impl RecordLayer {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A record layer stamping (and expecting) `version` in record
+    /// headers instead of the default SSLv3 `(3, 0)` — the TLS 1.3-style
+    /// machines use `(3, 4)`.
+    #[must_use]
+    pub fn with_wire_version(version: (u8, u8)) -> Self {
+        RecordLayer { wire_version: version, ..Self::default() }
+    }
+
+    /// The protocol version written into (and required of) record headers.
+    #[must_use]
+    pub fn wire_version(&self) -> (u8, u8) {
+        self.wire_version
+    }
+
+    /// Disables the inbound record-version check. Only the
+    /// protocol-sniffing dispatch state uses this, for the one record it
+    /// opens before a concrete machine (with a strict layer) takes over;
+    /// the engine's own `accepts_record_version` filter still applies.
+    pub(crate) fn set_accept_any_version(&mut self, on: bool) {
+        self.accept_any_version = on;
+    }
+
+    fn accepts_version(&self, major: u8, minor: u8) -> bool {
+        self.accept_any_version || (major, minor) == self.wire_version
     }
 
     /// Activates write protection (called when *we* send ChangeCipherSpec).
@@ -399,7 +438,13 @@ impl RecordLayer {
     ) -> Result<(), SslError> {
         let header_start = out.len();
         // Header with a length placeholder, patched once the body is sealed.
-        out.extend_from_slice(&[content_type as u8, VERSION.0, VERSION.1, 0, 0]);
+        out.extend_from_slice(&[
+            content_type as u8,
+            self.wire_version.0,
+            self.wire_version.1,
+            0,
+            0,
+        ]);
         let body_start = out.len();
         out.extend_from_slice(fragment);
         self.write.protect_in_place(content_type, out, body_start)?;
@@ -440,7 +485,7 @@ impl RecordLayer {
             return Err(SslError::Decode("record header"));
         }
         let content_type = ContentType::from_u8(record[0])?;
-        if (record[1], record[2]) != VERSION {
+        if !self.accepts_version(record[1], record[2]) {
             return Err(SslError::UnsupportedVersion { major: record[1], minor: record[2] });
         }
         let len = u16::from_be_bytes([record[3], record[4]]) as usize;
@@ -474,7 +519,7 @@ impl RecordLayer {
             return Err(SslError::Decode("record header"));
         }
         let content_type = ContentType::from_u8(input[0])?;
-        if (input[1], input[2]) != VERSION {
+        if !self.accepts_version(input[1], input[2]) {
             return Err(SslError::UnsupportedVersion { major: input[1], minor: input[2] });
         }
         let len = u16::from_be_bytes([input[3], input[4]]) as usize;

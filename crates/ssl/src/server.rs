@@ -14,6 +14,7 @@ use crate::cache::{
 };
 use crate::engine::{CryptoDone, CryptoJob, Engine, EngineDriven, MachineStep};
 use crate::kdf::{self, KeyMaterial};
+use crate::machine::Protocol;
 use crate::messages::{HandshakeMessage, SessionId};
 use crate::record::{ContentType, RecordBuffer, RecordLayer};
 use crate::ticket::TicketError;
@@ -48,26 +49,31 @@ pub const SERVER_STEP_NAMES: [&str; 10] = [
 /// by the serving layer's live metrics registry.
 #[derive(Debug, Clone)]
 pub struct HandshakeLedger {
+    /// Which protocol machine produced this ledger — decides whose step
+    /// names populate `steps` ([`SERVER_STEP_NAMES`] for SSLv3,
+    /// [`TLS13_STEP_NAMES`](crate::tls13::TLS13_STEP_NAMES) for TLS 1.3).
+    pub protocol: Protocol,
     /// True when the handshake resumed a cached session (steps 5/6 carry
     /// no RSA work in that case).
     pub resumed: bool,
-    /// `(step name, cycles)` for the ten steps of
-    /// [`SERVER_STEP_NAMES`], in paper order.
+    /// `(step name, cycles)` for the protocol's ten steps, in wire order.
     pub steps: [(&'static str, Cycles); 10],
     /// Sum of all step latencies — the handshake's total cost.
     pub total: Cycles,
     /// Cycles spent inside crypto functions during the handshake
     /// (Table 3's "crypto" share).
     pub crypto: Cycles,
-    /// Step 5 offload split: cycles the RSA job waited in the crypto
-    /// pool's queue (zero when decrypting inline).
-    pub rsa_queue_wait: Cycles,
-    /// Step 5 offload split: cycles the job spent collected-but-waiting
-    /// for the rest of its batch to assemble (zero without batching).
-    pub rsa_batch_wait: Cycles,
-    /// Step 5 offload split: cycles executing the RSA private decryption
-    /// (amortized across the batch when batched).
-    pub rsa_private_decryption: Cycles,
+    /// Key-exchange offload split: cycles the crypto job waited in the
+    /// pool's queue (zero when running inline). The job is an RSA private
+    /// decryption for SSLv3, a DHE exponentiation pair for TLS 1.3.
+    pub kx_queue_wait: Cycles,
+    /// Key-exchange offload split: cycles the job spent collected-but-
+    /// waiting for the rest of its batch to assemble (zero without
+    /// batching).
+    pub kx_batch_wait: Cycles,
+    /// Key-exchange offload split: cycles executing the private operation
+    /// itself (amortized across the batch when batched).
+    pub kx_exec: Cycles,
     /// True when this full handshake issued a NewSessionTicket.
     pub ticket_issued: bool,
     /// True when the handshake resumed from a client-presented ticket.
@@ -89,6 +95,7 @@ pub struct ServerConfig {
     key: RsaPrivateKey,
     cert_wire: Vec<u8>,
     store: Box<dyn SessionStore>,
+    protocols: Vec<Protocol>,
 }
 
 impl ServerConfig {
@@ -130,7 +137,33 @@ impl ServerConfig {
         store: Box<dyn SessionStore>,
     ) -> Result<Self, SslError> {
         let cert = Certificate::self_signed(name, &key, 2004, 2010)?;
-        Ok(ServerConfig { key, cert_wire: cert.to_bytes(), store })
+        Ok(ServerConfig {
+            key,
+            cert_wire: cert.to_bytes(),
+            store,
+            protocols: vec![Protocol::Ssl3, Protocol::Tls13],
+        })
+    }
+
+    /// Restricts which protocol machines this configuration serves (both
+    /// are enabled by default). The dispatching
+    /// [`ServerMachine`](crate::ServerMachine) refuses hellos for
+    /// protocols not listed here.
+    #[must_use]
+    pub fn with_protocols(mut self, protocols: &[Protocol]) -> Self {
+        self.protocols = protocols.to_vec();
+        self
+    }
+
+    /// The protocols this configuration serves.
+    #[must_use]
+    pub fn protocols(&self) -> &[Protocol] {
+        &self.protocols
+    }
+
+    /// The server certificate's wire encoding.
+    pub(crate) fn cert_wire(&self) -> &[u8] {
+        &self.cert_wire
     }
 
     /// The server's private key.
@@ -325,13 +358,14 @@ impl<'a> SslServer<'a> {
             (SERVER_STEP_NAMES[i], self.steps.cycles(SERVER_STEP_NAMES[i]))
         });
         HandshakeLedger {
+            protocol: Protocol::Ssl3,
             resumed: self.resumed,
             steps,
             total: self.steps.total(),
             crypto: self.crypto.total(),
-            rsa_queue_wait: self.crypto.cycles("rsa_queue_wait"),
-            rsa_batch_wait: self.crypto.cycles("rsa_batch_wait"),
-            rsa_private_decryption: self.crypto.cycles("rsa_private_decryption"),
+            kx_queue_wait: self.crypto.cycles("rsa_queue_wait"),
+            kx_batch_wait: self.crypto.cycles("rsa_batch_wait"),
+            kx_exec: self.crypto.cycles("rsa_private_decryption"),
             ticket_issued: self.ticket_issued,
             ticket_accepted: self.ticket_accepted,
             ticket_rejected: self.ticket_rejected,
@@ -603,11 +637,13 @@ impl<'a> SslServer<'a> {
     /// execution separately in the crypto ledger.
     fn finish_client_kx(&mut self, done: CryptoDone) -> Result<(), SslError> {
         let sw = Stopwatch::start();
-        let (pre_master, queue_wait, batch_wait, exec) = done.into_parts();
+        let (output, queue_wait, batch_wait, exec) = done.into_parts();
         self.note_crypto(5, "rsa_queue_wait", queue_wait);
         self.note_crypto(5, "rsa_batch_wait", batch_wait);
         self.note_crypto(5, "rsa_private_decryption", exec);
-        let pre_master = pre_master?;
+        let crate::engine::CryptoOutput::PreMaster(pre_master) = output? else {
+            return Err(SslError::NotReady("crypto result kind"));
+        };
         self.derive_master(&pre_master)?;
         let total = self.kx_partial + queue_wait + batch_wait + exec + sw.elapsed();
         self.kx_partial = Cycles::ZERO;

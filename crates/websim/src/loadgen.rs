@@ -10,7 +10,7 @@
 use crate::http::{HttpRequest, HttpResponse};
 use crate::{SecureWebServer, TransactionReport};
 use sslperf_profile::{Cycles, PhaseSet, Stopwatch};
-use sslperf_ssl::{CipherSuite, SslError};
+use sslperf_ssl::{CipherSuite, Protocol, SslError};
 use std::fmt;
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -280,6 +280,9 @@ pub struct EventLoadOptions {
     pub connections: usize,
     /// Document size requested on each connection.
     pub file_size: usize,
+    /// Protocol every client speaks (the server's dispatching machine
+    /// serves either on the same port).
+    pub protocol: Protocol,
     /// Cipher suite every client offers.
     pub suite: CipherSuite,
     /// When true, no client sends its HTTP request until *every* client
@@ -296,6 +299,7 @@ impl Default for EventLoadOptions {
         EventLoadOptions {
             connections: 16,
             file_size: 1024,
+            protocol: Protocol::Ssl3,
             suite: CipherSuite::RsaDesCbc3Sha,
             hold_until_all_established: true,
             deadline: Duration::from_secs(30),
@@ -348,16 +352,17 @@ pub fn run_event_load(
     options: &EventLoadOptions,
 ) -> Result<EventLoadReport, SslError> {
     use sslperf_rng::SslRng;
-    use sslperf_ssl::{Engine, SslClient};
+    use sslperf_ssl::{ClientConfig, ClientMachine, Engine};
 
     let start = Instant::now();
+    let client_config = ClientConfig::new(options.protocol, options.suite);
     let mut clients = Vec::with_capacity(options.connections);
     for i in 0..options.connections {
         let stream = TcpStream::connect(addr).map_err(|e| SslError::Io(e.to_string()))?;
         stream.set_nodelay(true).map_err(|e| SslError::Io(e.to_string()))?;
         stream.set_nonblocking(true).map_err(|e| SslError::Io(e.to_string()))?;
         let rng = SslRng::from_seed(format!("event-loadgen-{i}").as_bytes());
-        let engine = Engine::new(SslClient::new(options.suite, rng))?;
+        let engine = Engine::new(ClientMachine::new(client_config, rng))?;
         clients.push(EventClient {
             stream,
             engine,
@@ -406,7 +411,7 @@ pub fn run_event_load(
 /// One multiplexed client connection of [`run_event_load`].
 struct EventClient {
     stream: TcpStream,
-    engine: sslperf_ssl::ClientEngine,
+    engine: sslperf_ssl::Engine<sslperf_ssl::ClientMachine>,
     started: Instant,
     handshake: Option<Duration>,
     response: Vec<u8>,

@@ -48,6 +48,15 @@ OPTIONAL_ARM_FIELDS = {
     "tickets_accepted": int,
 }
 
+# Added in issue 8: which protocol machine the arm's clients handshake
+# with. Optional (earlier reports predate TLS 1.3); absent means SSLv3,
+# so issue-7 SSLv3 arms stay diffable against issue-8 ones.
+PROTOCOLS = {"SSLv3", "TLS1.3"}
+
+
+def arm_protocol(arm):
+    return arm.get("protocol", "SSLv3")
+
 
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
@@ -117,6 +126,9 @@ def validate(report, path):
                 expect(isinstance(arm[field], ty) and not isinstance(arm[field], bool)
                        and arm[field] >= 0,
                        f"{path}: arm {arm.get('label')!r}: field {field!r} wrong type or negative")
+        if "protocol" in arm:
+            expect(arm["protocol"] in PROTOCOLS,
+                   f"{path}: arm {arm.get('label')!r}: protocol must be one of {sorted(PROTOCOLS)}")
         expect(arm["batch_max"] >= 1, f"{path}: arm {arm['label']!r}: batch_max must be >= 1")
         expect(arm["tx_per_sec"] > 0, f"{path}: arm {arm['label']!r}: tx_per_sec must be positive")
         expect(arm["p50_ms"] <= arm["p95_ms"] <= arm["p99_ms"],
@@ -145,8 +157,11 @@ def diff(old, new, threshold):
     for arm in new["serving"]["arms"]:
         base = old_arms.get(arm["label"])
         if base is None:
-            print(f"  {arm['label']}: new arm, no baseline")
+            print(f"  {arm['label']}: new arm ({arm_protocol(arm)}), no baseline")
             continue
+        if arm_protocol(arm) != arm_protocol(base):
+            fail(f"arm {arm['label']!r}: protocol changed "
+                 f"{arm_protocol(base)!r} -> {arm_protocol(arm)!r}; throughput not comparable")
         delta = (arm["tx_per_sec"] - base["tx_per_sec"]) / base["tx_per_sec"] * 100.0
         marker = ""
         if delta < -threshold:

@@ -1,13 +1,15 @@
 //! Known-answer tests pinning the hash, MAC, and KDF primitives to their
 //! published vectors: MD5 to RFC 1321 §A.5, SHA-1 to FIPS 180-1 appendix
-//! examples, HMAC-MD5/HMAC-SHA1 to RFC 2202, and the SSLv3 KDF to a fixed
-//! golden transcript. Everything above these primitives (transcript
-//! hashes, Finished verification, key derivation) silently depends on
-//! their exact bit-level behaviour; the proptests prove internal
-//! consistency, these prove conformance.
+//! examples, HMAC-MD5/HMAC-SHA1 to RFC 2202, HKDF-SHA-256 to RFC 5869
+//! appendix A, the ffdhe2048 group to RFC 7919 appendix A.1, and the
+//! SSLv3 KDF to a fixed golden transcript. Everything above these
+//! primitives (transcript hashes, Finished verification, key derivation,
+//! the TLS 1.3 key schedule) silently depends on their exact bit-level
+//! behaviour; the proptests prove internal consistency, these prove
+//! conformance.
 
-use sslperf::hashes::{HashAlg, Hmac, Md5, Sha1};
-use sslperf::ssl::kdf;
+use sslperf::hashes::{hkdf, HashAlg, Hmac, Md5, Sha1, Sha256};
+use sslperf::ssl::{dhe, kdf};
 
 fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
@@ -183,5 +185,95 @@ fn sslv3_kdf_golden_transcript() {
         hex(&out),
         "bb28a5d64bcab9eb11ac52314d2a0be9e941fd6c324bdb2c8669197621a0f193ab",
         "SSLv3 derive primitive changed"
+    );
+}
+
+/// RFC 5869 appendix A — all three SHA-256 test cases: basic, longer
+/// inputs/outputs (multi-block expand), and zero-length salt/info (the
+/// default-salt path the TLS 1.3 key schedule leans on).
+#[test]
+fn hkdf_sha256_rfc5869_vectors() {
+    // A.1: basic.
+    let ikm = [0x0bu8; 22];
+    let salt: Vec<u8> = (0x00..=0x0c).collect();
+    let info: Vec<u8> = (0xf0..=0xf9).collect();
+    let prk = hkdf::extract(HashAlg::Sha256, &salt, &ikm);
+    assert_eq!(hex(&prk), "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+    assert_eq!(
+        hex(&hkdf::expand(HashAlg::Sha256, &prk, &info, 42)),
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    );
+
+    // A.2: longer inputs and an 82-byte (multi-block) output.
+    let ikm: Vec<u8> = (0x00..=0x4f).collect();
+    let salt: Vec<u8> = (0x60..=0xaf).collect();
+    let info: Vec<u8> = (0xb0..=0xff).collect();
+    let prk = hkdf::extract(HashAlg::Sha256, &salt, &ikm);
+    assert_eq!(hex(&prk), "06a6b88c5853361a06104c9ceb35b45cef760014904671014a193f40c15fc244");
+    assert_eq!(
+        hex(&hkdf::expand(HashAlg::Sha256, &prk, &info, 82)),
+        "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71cc30c58179ec3e87c14c01d5c1f3434f1d87"
+    );
+
+    // A.3: zero-length salt and info.
+    let ikm = [0x0bu8; 22];
+    let prk = hkdf::extract(HashAlg::Sha256, b"", &ikm);
+    assert_eq!(hex(&prk), "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04");
+    assert_eq!(
+        hex(&hkdf::expand(HashAlg::Sha256, &prk, b"", 42)),
+        "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+    );
+}
+
+/// RFC 7919 appendix A.1 — the ffdhe2048 group parameters: a 2048-bit
+/// prime with all-ones top and bottom 64 bits, generator 2, and the
+/// safe-prime residue p ≡ 23 (mod 24) that makes g generate the q-order
+/// subgroup (2 is a quadratic residue because p ≡ 7 mod 8).
+#[test]
+fn ffdhe2048_rfc7919_group_parameters() {
+    let p_hex = dhe::FFDHE2048_P_HEX;
+    assert_eq!(p_hex.len(), 512, "2048-bit prime");
+    assert!(p_hex.starts_with("FFFFFFFFFFFFFFFF"), "top 64 bits all ones");
+    assert!(p_hex.ends_with("FFFFFFFFFFFFFFFF"), "bottom 64 bits all ones");
+    assert_eq!(dhe::FFDHE2048_G, 2);
+    assert_eq!(dhe::FFDHE2048_LEN * 8, 2048);
+
+    // p mod 24, folded over the big-endian bytes: 256^n ≡ 16 (mod 24)
+    // for every n ≥ 1, so only the last byte keeps its own weight.
+    let bytes: Vec<u8> = (0..p_hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&p_hex[i..i + 2], 16).expect("hex prime"))
+        .collect();
+    let fold: u64 = bytes[..bytes.len() - 1].iter().map(|&b| 16 * u64::from(b)).sum::<u64>()
+        + u64::from(bytes[bytes.len() - 1]);
+    assert_eq!(fold % 24, 23, "safe prime with 2 a quadratic residue");
+}
+
+/// The ffdhe2048 exchange pinned under fixed seeds: a golden transcript
+/// for the public values and the both-ways-equal shared secret. The
+/// digests were computed once from this implementation; any change to
+/// exponent drawing, the Montgomery kernel, or the 256-byte encoding
+/// trips this.
+#[test]
+fn ffdhe2048_exchange_golden_transcript() {
+    use sslperf::prelude::SslRng;
+    let a = dhe::DheKeyPair::generate(&mut SslRng::from_seed(b"ka-ffdhe-a"));
+    let b = dhe::DheKeyPair::generate(&mut SslRng::from_seed(b"ka-ffdhe-b"));
+    assert_eq!(a.public().len(), dhe::FFDHE2048_LEN);
+    assert_eq!(
+        hex(&Sha256::digest(a.public())),
+        "5bc4f8571607ec1826e780b4be7bede013ee449b68e27c354b1c7dcac02bf53f"
+    );
+    assert_eq!(
+        hex(&Sha256::digest(b.public())),
+        "5b130a9e57651d0a1019582f1bbbd46e462c9c03052348ee9012e16a235c2ead"
+    );
+
+    let shared_a = a.agree(&dhe::validate_public(b.public()).expect("b public"));
+    let shared_b = b.agree(&dhe::validate_public(a.public()).expect("a public"));
+    assert_eq!(shared_a, shared_b, "both sides derive the same secret");
+    assert_eq!(
+        hex(&Sha256::digest(&shared_a)),
+        "ec91260fa6385d29252a89153e3a1d938e0c9fd098a83de6564641d17922caac"
     );
 }

@@ -103,8 +103,8 @@ fn live_anatomy_reproduces_paper_shape_from_real_sockets() {
     // Offload split: every full handshake routed its RSA decryption
     // through the pool, and the execution half was attributed.
     assert_eq!(stats.crypto_jobs(), fulls, "one pooled decrypt per full handshake");
-    assert_eq!(snap.rsa_private_decryption.count(), fulls);
-    assert!(snap.rsa_private_decryption.sum() > 0);
+    assert_eq!(snap.kx_exec.count(), fulls);
+    assert!(snap.kx_exec.sum() > 0);
     assert_eq!(snap.pool_exec.count(), fulls, "per-job pool metrics recorded");
 
     // Quantiles are monotone by construction — pinned here because the

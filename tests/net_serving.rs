@@ -227,6 +227,7 @@ fn event_loop_holds_8x_more_connections_than_threads() {
     let load = EventLoadOptions {
         connections: 16,
         file_size: 1024,
+        protocol: Protocol::Ssl3,
         suite: CipherSuite::RsaDesCbc3Sha,
         hold_until_all_established: true,
         deadline: Duration::from_secs(60),
@@ -567,6 +568,7 @@ fn event_loop_offload_serves_concurrent_connections() {
     let load = EventLoadOptions {
         connections: 16,
         file_size: 1024,
+        protocol: Protocol::Ssl3,
         suite: CipherSuite::RsaDesCbc3Sha,
         hold_until_all_established: true,
         deadline: Duration::from_secs(60),
@@ -749,6 +751,7 @@ fn saturated_crypto_pool_does_not_evict_waiting_handshakes() {
     let load = EventLoadOptions {
         connections: CONNECTIONS,
         file_size: 1024,
+        protocol: Protocol::Ssl3,
         suite: CipherSuite::RsaDesCbc3Sha,
         hold_until_all_established: false,
         deadline: Duration::from_secs(60),
@@ -883,6 +886,7 @@ fn event_loop_batch_burst_serves_and_accounts() {
     let load = EventLoadOptions {
         connections: CONNECTIONS,
         file_size: 1024,
+        protocol: Protocol::Ssl3,
         suite: CipherSuite::RsaDesCbc3Sha,
         hold_until_all_established: true,
         deadline: Duration::from_secs(60),
