@@ -1,30 +1,35 @@
-//! Machine-readable benchmark report: `BENCH_8.json`.
+//! Machine-readable benchmark report: `BENCH_9.json`.
 //!
 //! Runs the batched-RSA serving ablation (the fast, single-run variant of
 //! `benches/tcp_serving.rs`'s `batch_rsa` group), a ticket-resumption
 //! serving arm, a TLS 1.3 event-loop serving arm (ephemeral DHE key
 //! exchange through the same crypto pool), the in-process RSA kernel
-//! comparison, and the bulk-path record-sealing cost, and writes the
-//! results as JSON so CI can diff runs against each other. One command,
-//! from the repository root:
+//! comparison, the bulk-path record-sealing cost, and — new in issue 9 —
+//! the raw-speed kernel comparisons: u32-limb vs u64-limb Montgomery
+//! arithmetic under a full RSA-CRT decrypt, and table-rounds vs AES-NI
+//! record sealing. Results go to JSON so CI can diff runs against each
+//! other. One command, from the repository root:
 //!
 //! ```text
 //! cargo run --release -p sslperf-bench --bin bench_report
 //! ```
 //!
-//! writes `BENCH_8.json` in the current directory (pass a path argument to
-//! write elsewhere). `scripts/check_bench_json.py` validates the schema
-//! and flags throughput regressions against the previous report; each
-//! serving arm carries a `protocol` field so the SSLv3 arms stay
-//! diffable against `BENCH_7.json`.
+//! writes `BENCH_9.json` in the current directory (pass a path argument to
+//! write elsewhere). `scripts/check_bench_json.py` validates the schema,
+//! flags throughput regressions against the previous report, and requires
+//! the u64 kernels and the hardware AES unit to actually be faster than
+//! the paths they replace; each serving arm carries a `protocol` field so
+//! the SSLv3 arms stay diffable against `BENCH_7.json`.
 
 #![forbid(unsafe_code)]
 
+use sslperf_core::bignum::{Bn, LimbWidth, MontCtx};
+use sslperf_core::ciphers::AesBackend;
 use sslperf_core::net::{EventLoopServer, ServerOptions};
 use sslperf_core::prelude::*;
 use sslperf_core::profile::measure;
 use sslperf_core::rsa::BatchCipher;
-use sslperf_core::ssl::{ContentType, RecordBuffer, RecordLayer, MAX_FRAGMENT};
+use sslperf_core::ssl::{BulkCipher, ContentType, RecordBuffer, RecordLayer, MAX_FRAGMENT};
 use sslperf_core::websim::loadgen::{
     run_event_load, run_socket_load, EventLoadOptions, SocketLoadOptions,
 };
@@ -74,11 +79,45 @@ struct BulkPath {
     cycles_per_record: u64,
 }
 
+/// One limb width's raw-speed numbers under the same 1024-bit key.
+struct LimbKernel {
+    limbs: &'static str,
+    cycles_per_decrypt: u64,
+    cycles_per_square: u64,
+}
+
+/// One AES round backend's record-sealing cost.
+struct AesKernel {
+    backend: &'static str,
+    cycles_per_record: u64,
+}
+
+/// Montgomery squarings timed back-to-back per sample (the modexp inner
+/// loop is squaring-dominated, so this is the paper-relevant unit cost).
+const SQUARES_PER_SAMPLE: u64 = 256;
+
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_8.json".into());
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_9.json".into());
 
     eprintln!("[bench_report] RSA kernel: solo vs batched ({KERNEL_KEY_BITS}-bit)");
     let (solo, amortized) = kernel_numbers();
+
+    eprintln!("[bench_report] limb kernels: u32 vs u64 ({KERNEL_KEY_BITS}-bit)");
+    let limb_kernels = limb_kernel_numbers();
+    for k in &limb_kernels {
+        eprintln!(
+            "[bench_report]   {}: {} kc/decrypt, {} c/square",
+            k.limbs,
+            k.cycles_per_decrypt / 1000,
+            k.cycles_per_square,
+        );
+    }
+
+    eprintln!("[bench_report] AES backends: cycles per {MAX_FRAGMENT}-byte record");
+    let (ni_available, aes_kernels) = aes_numbers();
+    for k in &aes_kernels {
+        eprintln!("[bench_report]   {}: {} kc/record", k.backend, k.cycles_per_record / 1000);
+    }
 
     eprintln!("[bench_report] bulk path: cycles per {MAX_FRAGMENT}-byte record");
     let bulk = bulk_numbers();
@@ -117,7 +156,8 @@ fn main() {
         arm.cycles_per_decrypt / 1000,
     );
 
-    let json = render_json(solo, &amortized, &bulk, &arms);
+    let json =
+        render_json(solo, &amortized, &limb_kernels, ni_available, &aes_kernels, &bulk, &arms);
     std::fs::write(&out, json).expect("write report");
     eprintln!("[bench_report] wrote {out}");
 }
@@ -162,6 +202,90 @@ fn kernel_numbers() -> (u64, Vec<Amortized>) {
         })
         .collect();
     (solo, amortized)
+}
+
+/// Measures the word-kernel families head to head: the same 1024-bit key
+/// re-based onto u32 and u64 limbs (`RsaPrivateKey::set_limb_width`), the
+/// same ciphertext, best-of-N full CRT decrypts, plus the bare Montgomery
+/// squaring cost that dominates the modexp inner loop.
+fn limb_kernel_numbers() -> Vec<LimbKernel> {
+    let mut rng = SslRng::from_seed(b"bench-report-limbs");
+    let base_key = RsaPrivateKey::generate(KERNEL_KEY_BITS, &mut rng).expect("keygen");
+    let cipher =
+        base_key.public_key().encrypt_pkcs1(b"bench-report-limb-pm", &mut rng).expect("encrypt");
+    [LimbWidth::U32, LimbWidth::U64]
+        .into_iter()
+        .map(|limbs| {
+            let mut key = base_key.clone();
+            key.set_limb_width(limbs);
+            let _ = key.decrypt_pkcs1(&cipher).expect("warmup decrypt");
+            let cycles_per_decrypt = (0..KERNEL_SAMPLES)
+                .map(|_| {
+                    let (plain, cycles) = measure(|| key.decrypt_pkcs1(&cipher));
+                    plain.expect("decrypt");
+                    cycles.get()
+                })
+                .min()
+                .expect("samples");
+
+            let ctx = MontCtx::with_limb_width(key.modulus(), limbs).expect("modulus is odd");
+            let seed = ctx.to_mont(&Bn::from_u64(0xA5A5_5A5A_3C3C_C3C3));
+            let cycles_per_square = (0..KERNEL_SAMPLES)
+                .map(|_| {
+                    let (_, cycles) = measure(|| {
+                        let mut a = seed.clone();
+                        for _ in 0..SQUARES_PER_SAMPLE {
+                            a = ctx.mont_sqr(&a);
+                        }
+                        a
+                    });
+                    cycles.get() / SQUARES_PER_SAMPLE
+                })
+                .min()
+                .expect("samples");
+            LimbKernel { limbs: limbs.name(), cycles_per_decrypt, cycles_per_square }
+        })
+        .collect()
+}
+
+/// Measures the AES round backends head to head: the minimum cost to seal
+/// one full AES-128-CBC + HMAC-SHA1 record with the table rounds and,
+/// when the CPU has the round unit, with AES-NI.
+fn aes_numbers() -> (bool, Vec<AesKernel>) {
+    let ni_available = Aes::ni_available();
+    let mut rng = SslRng::from_seed(b"bench-report-aes");
+    let suite = CipherSuite::RsaAes128Sha;
+    let key = rng.bytes(suite.key_len());
+    let iv = rng.bytes(suite.iv_len());
+    let mac = rng.bytes(suite.mac_alg().output_len());
+    let payload = vec![0xA5u8; MAX_FRAGMENT];
+    let mut backends = vec![AesBackend::Table];
+    if ni_available {
+        backends.push(AesBackend::Ni);
+    }
+    let kernels = backends
+        .into_iter()
+        .map(|backend| {
+            let aes = Aes::with_backend(&key, backend).expect("backend resolved");
+            let cbc = Cbc::new(aes, iv.clone()).expect("aes-cbc");
+            let mut records = RecordLayer::new();
+            records.activate_write(BulkCipher::AesCbc(cbc), suite.mac_alg(), mac.clone());
+            let mut out = RecordBuffer::with_record_capacity();
+            records.seal_into(ContentType::ApplicationData, &payload, &mut out).expect("warm seal");
+            let cycles_per_record = (0..BULK_SAMPLES)
+                .map(|_| {
+                    let (sealed, cycles) = measure(|| {
+                        records.seal_into(ContentType::ApplicationData, &payload, &mut out)
+                    });
+                    sealed.expect("seal record");
+                    cycles.get()
+                })
+                .min()
+                .expect("samples");
+            AesKernel { backend: backend.name(), cycles_per_record }
+        })
+        .collect();
+    (ni_available, kernels)
 }
 
 /// Measures the bulk data path: the minimum cost to seal one full
@@ -334,11 +458,44 @@ fn tls13_arm() -> Arm {
 
 /// Hand-rolled JSON (the workspace carries no serde); every number is
 /// emitted with enough precision for the regression diff.
-fn render_json(solo: u64, amortized: &[Amortized], bulk: &[BulkPath], arms: &[Arm]) -> String {
+fn render_json(
+    solo: u64,
+    amortized: &[Amortized],
+    limb_kernels: &[LimbKernel],
+    ni_available: bool,
+    aes_kernels: &[AesKernel],
+    bulk: &[BulkPath],
+    arms: &[Arm],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"sslperf-bench-report/v1\",\n");
-    s.push_str("  \"issue\": 8,\n");
+    s.push_str("  \"issue\": 9,\n");
+    s.push_str("  \"kernel\": {\n");
+    let _ = writeln!(s, "    \"key_bits\": {KERNEL_KEY_BITS},");
+    s.push_str("    \"limbs\": [\n");
+    for (i, k) in limb_kernels.iter().enumerate() {
+        let comma = if i + 1 < limb_kernels.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"limbs\": \"{}\", \"cycles_per_decrypt\": {}, \"cycles_per_square\": {}}}{comma}",
+            k.limbs, k.cycles_per_decrypt, k.cycles_per_square
+        );
+    }
+    s.push_str("    ]\n  },\n");
+    s.push_str("  \"aes\": {\n");
+    let _ = writeln!(s, "    \"ni_available\": {ni_available},");
+    let _ = writeln!(s, "    \"record_bytes\": {MAX_FRAGMENT},");
+    s.push_str("    \"backends\": [\n");
+    for (i, k) in aes_kernels.iter().enumerate() {
+        let comma = if i + 1 < aes_kernels.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"backend\": \"{}\", \"cycles_per_record\": {}}}{comma}",
+            k.backend, k.cycles_per_record
+        );
+    }
+    s.push_str("    ]\n  },\n");
     s.push_str("  \"rsa\": {\n");
     let _ = writeln!(s, "    \"key_bits\": {KERNEL_KEY_BITS},");
     let _ = writeln!(s, "    \"solo_cycles_per_decrypt\": {solo},");

@@ -1,6 +1,8 @@
 //! Addition, subtraction, multiplication, squaring and shifts.
 
-use crate::words::{bn_add_word, bn_add_words, bn_mul_add_words, bn_sub_words};
+use crate::words::{
+    bn_add_word, bn_add_words, bn_mul_add_words, bn_mul_words, bn_sqr_words, bn_sub_words,
+};
 use crate::Bn;
 use sslperf_profile::counters;
 
@@ -81,11 +83,60 @@ impl Bn {
         r
     }
 
-    /// Returns `self * self` — OpenSSL's `BN_sqr` (Table 8).
+    /// Returns `self * self` — OpenSSL's `BN_sqr` (Table 8), using the
+    /// dedicated `bn_sqr_normal` form rather than the generic multiply.
+    ///
+    /// A square only needs the upper triangle of the schoolbook product:
+    /// the cross products `a[i]·a[j]` for `i < j` are computed once via
+    /// [`bn_mul_words`]/[`bn_mul_add_words`], the diagonal `a[i]²` terms
+    /// come from [`bn_sqr_words`], and a single fused pass assembles
+    /// `2·cross + diagonal` with carry — roughly half the word
+    /// multiplications of `bn_mul_normal` on equal operands, which is why
+    /// Montgomery exponentiation (mostly squarings) leans on it.
     #[must_use]
     pub fn sqr(&self) -> Bn {
         counters::count("BN_sqr", self.words.len() as u64);
-        self.mul(self)
+        let n = self.words.len();
+        if n == 0 {
+            return Bn::zero();
+        }
+        let mut cross = vec![0u32; 2 * n];
+        let mut diag = vec![0u32; 2 * n];
+        Self::sqr_into(&self.words, &mut cross, &mut diag);
+        let mut r = Bn { words: cross };
+        r.normalize();
+        r
+    }
+
+    /// `bn_sqr_normal`: writes `a²` into `cross` (both buffers must hold
+    /// `2 * a.len()` words; `diag` is scratch for the diagonal terms).
+    pub(crate) fn sqr_into(a: &[u32], cross: &mut [u32], diag: &mut [u32]) {
+        let n = a.len();
+        debug_assert!(cross.len() >= 2 * n && diag.len() >= 2 * n);
+        cross[..2 * n].fill(0);
+        // Upper triangle: row i contributes a[i] · a[i+1..] at offset 2i+1.
+        // Row i's carry lands in cross[n+i], which no earlier row reaches.
+        if n > 1 {
+            let carry = bn_mul_words(&mut cross[1..n], &a[1..], a[0]);
+            cross[n] = carry;
+            for i in 1..n - 1 {
+                let len = n - 1 - i;
+                let carry =
+                    bn_mul_add_words(&mut cross[2 * i + 1..2 * i + 1 + len], &a[i + 1..], a[i]);
+                cross[n + i] = carry;
+            }
+        }
+        bn_sqr_words(&mut diag[..2 * n], a);
+        // Fused final pass: r = 2·cross + diag. OpenSSL doubles in place
+        // with an aliased bn_add_words(r, r, r); a single widening pass is
+        // the borrow-checker-friendly equivalent.
+        let mut carry = 0u64;
+        for (c, &d) in cross[..2 * n].iter_mut().zip(&diag[..2 * n]) {
+            let t = 2 * u64::from(*c) + u64::from(d) + carry;
+            *c = t as u32;
+            carry = t >> 32;
+        }
+        debug_assert_eq!(carry, 0, "a² always fits 2n words");
     }
 
     /// Returns `self << bits`.
@@ -193,6 +244,28 @@ mod tests {
     fn sqr_matches_mul() {
         let a = bn("123456789abcdef0123456789");
         assert_eq!(a.sqr(), a.mul(&a));
+    }
+
+    #[test]
+    fn sqr_adversarial_shapes_match_mul() {
+        // The dedicated bn_sqr_normal path must agree with the generic
+        // multiply on every carry-heavy shape: single word, all-ones limbs,
+        // powers of two, and long mixed operands.
+        let cases = [
+            "0",
+            "1",
+            "2",
+            "ffffffff",
+            "100000000",
+            "ffffffffffffffff",
+            "ffffffffffffffffffffffffffffffffffffffffffffffff",
+            "80000000000000000000000000000001",
+            "123456789abcdef0fedcba9876543210deadbeefcafebabe0123456789abcdef",
+        ];
+        for s in cases {
+            let a = bn(s);
+            assert_eq!(a.sqr(), a.mul(&a), "operand {s}");
+        }
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! * modular exponentiation uses Montgomery multiplication
 //!   ([`MontCtx`]) with a sliding window, like `BN_mod_exp_mont`.
 //!
+//! Montgomery contexts additionally carry a raw-speed engine over **64-bit
+//! limbs** with `u128` accumulators ([`words64`]): [`MontCtx`] picks the limb
+//! width at construction ([`LimbWidth`], default [`default_limb_width`]),
+//! keeping the paper-faithful u32 path compiled and selectable so the
+//! profile counters can still reconstruct Table 8.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,6 +41,7 @@ mod gcd;
 mod mont;
 mod prime;
 pub mod words;
+pub mod words64;
 
 pub use gcd::ExtendedGcd;
 pub use mont::{MontCtx, MontScratch};
@@ -42,6 +49,47 @@ pub use prime::{generate_prime, is_probable_prime, EntropySource};
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Limb width of a Montgomery arithmetic engine.
+///
+/// [`LimbWidth::U32`] is the paper-faithful layout (32-bit x86 words, Table
+/// 8/9 counter attribution); [`LimbWidth::U64`] is the raw-speed layout
+/// (64-bit limbs, `u128` accumulators, one quarter the inner-loop steps).
+/// Both produce bit-identical results — pinned by the differential proptests
+/// and the wire-flight pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimbWidth {
+    /// 32-bit words, `u64` accumulators — the paper's profile subject.
+    U32,
+    /// 64-bit limbs, `u128` accumulators — the raw-speed default.
+    U64,
+}
+
+impl LimbWidth {
+    /// Short lowercase name ("u32" / "u64"), as used by `SSLPERF_LIMBS` and
+    /// the bench report.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LimbWidth::U32 => "u32",
+            LimbWidth::U64 => "u64",
+        }
+    }
+}
+
+/// The process-wide default limb width for new [`MontCtx`] instances.
+///
+/// Reads the `SSLPERF_LIMBS` environment variable once: `u32` forces the
+/// paper-faithful path, anything else (including unset) selects `u64`.
+#[must_use]
+pub fn default_limb_width() -> LimbWidth {
+    static WIDTH: OnceLock<LimbWidth> = OnceLock::new();
+    *WIDTH.get_or_init(|| match std::env::var("SSLPERF_LIMBS").as_deref() {
+        Ok("u32") => LimbWidth::U32,
+        _ => LimbWidth::U64,
+    })
+}
 
 /// Errors returned by fallible `Bn` operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -11,7 +11,7 @@
 //! [`bn_sub_words`]: crate::words::bn_sub_words
 
 use crate::words::{bn_mul_add_words, bn_sub_words};
-use crate::{Bn, BnError};
+use crate::{default_limb_width, words64, Bn, BnError, LimbWidth};
 use sslperf_profile::counters;
 
 /// Precomputed context for arithmetic modulo an odd number `n`.
@@ -36,15 +36,173 @@ pub struct MontCtx {
     rr: Bn,
     /// Word length of `n`.
     k: usize,
+    /// The 64-bit-limb engine; present exactly when `limbs == U64`.
+    m64: Option<Mont64>,
+    /// Which limb width this context's arithmetic runs on.
+    limbs: LimbWidth,
+}
+
+/// The 64-bit-limb Montgomery engine: same algorithm as the u32 path, with
+/// `R = 2^(64·k64)` and every inner loop running over [`words64`] kernels.
+///
+/// Values in this domain are *fixed-length* `k64`-limb vectors (no
+/// normalization) so the hot loops never branch on operand length.
+#[derive(Debug, Clone)]
+struct Mont64 {
+    /// The modulus as `k64` little-endian 64-bit limbs.
+    n: Vec<u64>,
+    /// `-n⁻¹ mod 2⁶⁴`.
+    n0: u64,
+    /// `R² mod n` with `R = 2^(64·k64)`.
+    rr: Vec<u64>,
+    /// Limb length of `n`.
+    k: usize,
+}
+
+/// Packs a (reduced) value into exactly `k` little-endian 64-bit limbs.
+fn limbs64_from_bn(a: &Bn, k: usize) -> Vec<u64> {
+    debug_assert!(a.words.len() <= 2 * k, "operand wider than the modulus");
+    let mut out = vec![0u64; k];
+    for (i, &w) in a.words.iter().enumerate() {
+        out[i / 2] |= u64::from(w) << (32 * (i % 2));
+    }
+    out
+}
+
+/// Unpacks fixed-length limbs back into a normalized [`Bn`].
+fn bn_from_limbs64(l: &[u64]) -> Bn {
+    let mut words = Vec::with_capacity(2 * l.len());
+    for &v in l {
+        words.push(v as u32);
+        words.push((v >> 32) as u32);
+    }
+    let mut bn = Bn { words };
+    bn.normalize();
+    bn
+}
+
+/// `a >= b` over equal-length fixed-width limb vectors.
+fn ge64(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        if x != y {
+            return x > y;
+        }
+    }
+    true
+}
+
+impl Mont64 {
+    fn new(n: &Bn) -> Self {
+        let k = n.word_len().div_ceil(2);
+        let n64 = limbs64_from_bn(n, k);
+        // Newton iteration for the inverse of n mod 2^64: six doublings of
+        // precision starting from the trivial inverse mod 2.
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n64[0].wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n64[0].wrapping_mul(inv), 1);
+        let n0 = inv.wrapping_neg();
+        let rr = limbs64_from_bn(&Bn::one().shl(128 * k).mod_op(n), k);
+        Mont64 { n: n64, n0, rr, k }
+    }
+
+    /// Schoolbook product `a·b` into `prod` (2k limbs, resized in place).
+    fn mul_into(a: &[u64], b: &[u64], prod: &mut Vec<u64>) {
+        counters::count("BN_mul", a.len() as u64);
+        prod.clear();
+        prod.resize(a.len() + b.len(), 0);
+        for (i, &w) in b.iter().enumerate() {
+            let carry = words64::bn_mul_add_words(&mut prod[i..i + a.len()], a, w);
+            prod[i + a.len()] = carry;
+        }
+    }
+
+    /// Dedicated squaring `a²` into `prod` (`bn_sqr_normal` over 64-bit
+    /// limbs): upper-triangle cross products, diagonal via
+    /// [`words64::bn_sqr_words`], then one fused `2·cross + diag` pass.
+    fn sqr_into(a: &[u64], prod: &mut Vec<u64>, diag: &mut Vec<u64>) {
+        counters::count("BN_sqr", a.len() as u64);
+        let n = a.len();
+        prod.clear();
+        prod.resize(2 * n, 0);
+        if n > 1 {
+            let carry = words64::bn_mul_words(&mut prod[1..n], &a[1..], a[0]);
+            prod[n] = carry;
+            for i in 1..n - 1 {
+                let len = n - 1 - i;
+                let carry = words64::bn_mul_add_words(
+                    &mut prod[2 * i + 1..2 * i + 1 + len],
+                    &a[i + 1..],
+                    a[i],
+                );
+                prod[n + i] = carry;
+            }
+        }
+        diag.clear();
+        diag.resize(2 * n, 0);
+        words64::bn_sqr_words(diag, a);
+        let mut carry = 0u128;
+        for (p, &d) in prod.iter_mut().zip(diag.iter()) {
+            let t = 2 * u128::from(*p) + u128::from(d) + carry;
+            *p = t as u64;
+            carry = t >> 64;
+        }
+        debug_assert_eq!(carry, 0, "a² always fits 2n limbs");
+    }
+
+    /// Montgomery reduction of the double-width value in `t` into `out`
+    /// (exactly `k` limbs), using `diff` for the conditional subtraction.
+    fn redc(&self, t: &mut Vec<u64>, out: &mut Vec<u64>, diff: &mut Vec<u64>) {
+        counters::count("BN_from_montgomery", self.k as u64);
+        t.resize(2 * self.k + 1, 0);
+        for i in 0..self.k {
+            let m = t[i].wrapping_mul(self.n0);
+            let carry = words64::bn_mul_add_words(&mut t[i..i + self.k], &self.n, m);
+            let mut c = carry;
+            let mut idx = i + self.k;
+            while c != 0 {
+                let (s, overflow) = t[idx].overflowing_add(c);
+                t[idx] = s;
+                c = u64::from(overflow);
+                idx += 1;
+            }
+        }
+        out.clear();
+        out.extend_from_slice(&t[self.k..2 * self.k]);
+        // u = t/R < 2n, so at most one subtraction; the top limb t[2k] is 0
+        // or 1 and is consumed by the borrow when set.
+        let top = t[2 * self.k];
+        if top != 0 || ge64(out, &self.n) {
+            diff.clear();
+            diff.resize(self.k, 0);
+            let borrow = words64::bn_sub_words(diff, out, &self.n);
+            debug_assert_eq!(borrow, u64::from(top != 0), "u - n must fit k limbs");
+            std::mem::swap(out, diff);
+        }
+    }
 }
 
 impl MontCtx {
-    /// Builds a context for the odd modulus `n > 1`.
+    /// Builds a context for the odd modulus `n > 1` on the process-default
+    /// limb width ([`default_limb_width`]).
     ///
     /// # Errors
     ///
     /// Returns [`BnError::EvenModulus`] if `n` is even, zero or one.
     pub fn new(n: &Bn) -> Result<Self, BnError> {
+        Self::with_limb_width(n, default_limb_width())
+    }
+
+    /// Builds a context on an explicit limb width — the hook the
+    /// differential tests and the kernel bench use to force the
+    /// paper-faithful u32 path or the raw-speed u64 path in-process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnError::EvenModulus`] if `n` is even, zero or one.
+    pub fn with_limb_width(n: &Bn, limbs: LimbWidth) -> Result<Self, BnError> {
         if !n.is_odd() || n.is_one() {
             return Err(BnError::EvenModulus);
         }
@@ -59,7 +217,17 @@ impl MontCtx {
         debug_assert_eq!(n.words[0].wrapping_mul(inv), 1);
         let n0 = inv.wrapping_neg();
         let rr = Bn::one().shl(64 * k).mod_op(n);
-        Ok(MontCtx { n: n.clone(), n0, rr, k })
+        let m64 = match limbs {
+            LimbWidth::U32 => None,
+            LimbWidth::U64 => Some(Mont64::new(n)),
+        };
+        Ok(MontCtx { n: n.clone(), n0, rr, k, m64, limbs })
+    }
+
+    /// The limb width this context's arithmetic runs on.
+    #[must_use]
+    pub fn limb_width(&self) -> LimbWidth {
+        self.limbs
     }
 
     /// The modulus this context reduces by.
@@ -106,6 +274,14 @@ impl MontCtx {
     /// Multiplies two Montgomery-form values: returns `a·b·R⁻¹ mod n`.
     #[must_use]
     pub fn mont_mul(&self, a: &Bn, b: &Bn) -> Bn {
+        if let Some(m) = &self.m64 {
+            let a64 = limbs64_from_bn(a, m.k);
+            let b64 = limbs64_from_bn(b, m.k);
+            let (mut prod, mut out, mut diff) = (Vec::new(), Vec::new(), Vec::new());
+            Mont64::mul_into(&a64, &b64, &mut prod);
+            m.redc(&mut prod, &mut out, &mut diff);
+            return bn_from_limbs64(&out);
+        }
         let prod = a.mul(b);
         let mut t = prod.words;
         self.redc(&mut t)
@@ -114,6 +290,14 @@ impl MontCtx {
     /// Squares a Montgomery-form value.
     #[must_use]
     pub fn mont_sqr(&self, a: &Bn) -> Bn {
+        if let Some(m) = &self.m64 {
+            let a64 = limbs64_from_bn(a, m.k);
+            let (mut prod, mut diag, mut out, mut diff) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            Mont64::sqr_into(&a64, &mut prod, &mut diag);
+            m.redc(&mut prod, &mut out, &mut diff);
+            return bn_from_limbs64(&out);
+        }
         let prod = a.sqr();
         let mut t = prod.words;
         self.redc(&mut t)
@@ -124,12 +308,21 @@ impl MontCtx {
     #[must_use]
     pub fn to_mont(&self, a: &Bn) -> Bn {
         let reduced = if a >= &self.n { a.mod_op(&self.n) } else { a.clone() };
+        if let Some(m) = &self.m64 {
+            return self.mont_mul(&reduced, &bn_from_limbs64(&m.rr));
+        }
         self.mont_mul(&reduced, &self.rr)
     }
 
     /// Converts a Montgomery-form value back to the ordinary domain.
     #[must_use]
     pub fn from_mont(&self, a: &Bn) -> Bn {
+        if let Some(m) = &self.m64 {
+            let mut t = limbs64_from_bn(a, m.k);
+            let (mut out, mut diff) = (Vec::new(), Vec::new());
+            m.redc(&mut t, &mut out, &mut diff);
+            return bn_from_limbs64(&out);
+        }
         let mut t = a.words.clone();
         self.redc(&mut t)
     }
@@ -152,6 +345,10 @@ impl MontCtx {
         assert!((1..=6).contains(&window), "window must be 1..=6");
         if exp.is_zero() {
             return if self.n.is_one() { Bn::zero() } else { Bn::one() };
+        }
+        if self.m64.is_some() {
+            let mut scratch = MontScratch::new();
+            return self.mod_exp_u64(base, exp, window as usize, &mut scratch);
         }
         counters::count("BN_mod_exp", exp.bit_len() as u64);
         let g = self.to_mont(base);
@@ -220,11 +417,22 @@ pub struct MontScratch {
     diff: Vec<u32>,
     /// The modulus zero-padded to the minuend's length.
     npad: Vec<u32>,
+    /// Diagonal-terms buffer for the dedicated squaring.
+    sqtmp: Vec<u32>,
     /// The 2^w-entry window table, entries overwritten in place.
     table: Vec<Bn>,
     /// Ping-pong accumulators for the square-and-multiply loop.
     acc: Bn,
     acc2: Bn,
+    /// 64-bit-limb twins of the buffers above, used when the context runs
+    /// on [`LimbWidth::U64`]. Both sets coexist so one scratch serves mixed
+    /// batches (e.g. a u32-forced CRT half next to u64 DHE agreements).
+    prod64: Vec<u64>,
+    diff64: Vec<u64>,
+    sqtmp64: Vec<u64>,
+    table64: Vec<Vec<u64>>,
+    acc64: Vec<u64>,
+    acc64b: Vec<u64>,
 }
 
 impl MontScratch {
@@ -295,6 +503,93 @@ impl MontCtx {
         self.redc_buf(prod, out, diff, npad);
     }
 
+    /// Dedicated squaring of `a` written into `prod` — the allocation-free
+    /// face of [`Bn::sqr`]'s `bn_sqr_normal`.
+    fn sqr_buf(a: &Bn, prod: &mut Vec<u32>, sqtmp: &mut Vec<u32>) {
+        counters::count("BN_sqr", a.words.len() as u64);
+        prod.clear();
+        prod.resize(2 * a.words.len(), 0);
+        sqtmp.clear();
+        sqtmp.resize(2 * a.words.len(), 0);
+        Bn::sqr_into(&a.words, prod, sqtmp);
+    }
+
+    /// `a²·R⁻¹ mod n` into `out`, using only the given buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn mont_sqr_buf(
+        &self,
+        a: &Bn,
+        out: &mut Bn,
+        prod: &mut Vec<u32>,
+        diff: &mut Vec<u32>,
+        npad: &mut Vec<u32>,
+        sqtmp: &mut Vec<u32>,
+    ) {
+        Self::sqr_buf(a, prod, sqtmp);
+        self.redc_buf(prod, out, diff, npad);
+    }
+
+    /// The 64-bit-limb windowed exponentiation: converts once into the u64
+    /// Montgomery domain, runs the whole square-and-multiply loop on
+    /// [`words64`] kernels, and converts back at the end. Callers have
+    /// already handled the zero exponent.
+    fn mod_exp_u64(&self, base: &Bn, exp: &Bn, window: usize, scratch: &mut MontScratch) -> Bn {
+        let m = self.m64.as_ref().expect("u64 engine present");
+        counters::count("BN_mod_exp", exp.bit_len() as u64);
+        let reduced;
+        let base = if base >= &self.n {
+            reduced = base.mod_op(&self.n);
+            &reduced
+        } else {
+            base
+        };
+        let b64 = limbs64_from_bn(base, m.k);
+        let MontScratch { prod64, diff64, sqtmp64, table64, acc64, acc64b, .. } = scratch;
+        let table_len = 1usize << window;
+        if table64.len() < table_len {
+            table64.resize_with(table_len, Vec::new);
+        }
+        // table[0] = 1·R = redc(R²), table[1] = g = base·R, table[i] = table[i-1]·g.
+        prod64.clear();
+        prod64.extend_from_slice(&m.rr);
+        m.redc(prod64, &mut table64[0], diff64);
+        Mont64::mul_into(&b64, &m.rr, prod64);
+        m.redc(prod64, &mut table64[1], diff64);
+        for i in 2..table_len {
+            let (lo, hi) = table64.split_at_mut(i);
+            Mont64::mul_into(&lo[i - 1], &lo[1], prod64);
+            m.redc(prod64, &mut hi[0], diff64);
+        }
+
+        let bits = exp.bit_len();
+        let chunks = bits.div_ceil(window);
+        acc64.clear();
+        acc64.extend_from_slice(&table64[0]);
+        for chunk_idx in (0..chunks).rev() {
+            if chunk_idx != chunks - 1 {
+                for _ in 0..window {
+                    Mont64::sqr_into(acc64, prod64, sqtmp64);
+                    m.redc(prod64, acc64b, diff64);
+                    std::mem::swap(acc64, acc64b);
+                }
+            }
+            let mut idx = 0usize;
+            for b in (0..window).rev() {
+                let bit_pos = chunk_idx * window + b;
+                idx = (idx << 1) | usize::from(exp.bit(bit_pos));
+            }
+            if idx != 0 {
+                Mont64::mul_into(acc64, &table64[idx], prod64);
+                m.redc(prod64, acc64b, diff64);
+                std::mem::swap(acc64, acc64b);
+            }
+        }
+        prod64.clear();
+        prod64.extend_from_slice(acc64);
+        m.redc(prod64, acc64b, diff64);
+        bn_from_limbs64(acc64b)
+    }
+
     /// Computes `base^exp mod n`, reusing `scratch` for every intermediate
     /// buffer and sizing the window to the exponent (OpenSSL's
     /// `BN_window_bits_for_exponent_size`), so a 4-bit Fiat-tree exponent
@@ -317,8 +612,11 @@ impl MontCtx {
             240..=671 => 5,
             _ => 6,
         };
+        if self.m64.is_some() {
+            return self.mod_exp_u64(base, exp, window, scratch);
+        }
         counters::count("BN_mod_exp", exp.bit_len() as u64);
-        let MontScratch { prod, diff, npad, table, acc, acc2 } = scratch;
+        let MontScratch { prod, diff, npad, sqtmp, table, acc, acc2, .. } = scratch;
         let table_len = 1usize << window;
         if table.len() < table_len {
             table.resize_with(table_len, Bn::zero);
@@ -339,7 +637,7 @@ impl MontCtx {
         for chunk_idx in (0..chunks).rev() {
             if chunk_idx != chunks - 1 {
                 for _ in 0..window {
-                    self.mont_mul_buf(acc, acc, acc2, prod, diff, npad);
+                    self.mont_sqr_buf(acc, acc2, prod, diff, npad, sqtmp);
                     std::mem::swap(acc, acc2);
                 }
             }
@@ -557,11 +855,77 @@ mod tests {
     fn counters_see_hot_functions() {
         use sslperf_profile::counters;
         let n = bn("fffffffffffffffffffffffffffffff1");
-        let ctx = MontCtx::new(&n).unwrap();
+        // The paper-faithful u32 path attributes to the OpenSSL names …
+        let ctx32 = MontCtx::with_limb_width(&n, LimbWidth::U32).unwrap();
         let (_, snap) = counters::counted(|| {
-            let _ = ctx.mod_exp(&bn("12345"), &bn("10001"));
+            let _ = ctx32.mod_exp(&bn("12345"), &bn("10001"));
         });
         assert!(snap.calls("bn_mul_add_words") > 0);
         assert!(snap.calls("BN_from_montgomery") > 0);
+        assert_eq!(snap.calls("bn_mul_add_words64"), 0);
+        // … and the u64 path to the 64-suffixed twins, never mixing.
+        let ctx64 = MontCtx::with_limb_width(&n, LimbWidth::U64).unwrap();
+        let (_, snap) = counters::counted(|| {
+            let _ = ctx64.mod_exp(&bn("12345"), &bn("10001"));
+        });
+        assert!(snap.calls("bn_mul_add_words64") > 0);
+        assert!(snap.calls("BN_from_montgomery") > 0);
+        assert_eq!(snap.calls("bn_mul_add_words"), 0);
+    }
+
+    #[test]
+    fn limb_widths_agree_on_every_operation() {
+        let n = bn("c0ffee0000000000000000000000000000000000000000000000000000000061");
+        let ctx32 = MontCtx::with_limb_width(&n, LimbWidth::U32).unwrap();
+        let ctx64 = MontCtx::with_limb_width(&n, LimbWidth::U64).unwrap();
+        assert_eq!(ctx32.limb_width(), LimbWidth::U32);
+        assert_eq!(ctx64.limb_width(), LimbWidth::U64);
+        let a = bn("123456789abcdef0fedcba9876543210");
+        let b = bn("deadbeefcafebabe0123456789abcdef");
+        // Domain round trip and plain-domain results must be bit-identical.
+        assert_eq!(ctx32.from_mont(&ctx32.to_mont(&a)), ctx64.from_mont(&ctx64.to_mont(&a)));
+        let m32 = (ctx32.to_mont(&a), ctx32.to_mont(&b));
+        let m64 = (ctx64.to_mont(&a), ctx64.to_mont(&b));
+        assert_eq!(
+            ctx32.from_mont(&ctx32.mont_mul(&m32.0, &m32.1)),
+            ctx64.from_mont(&ctx64.mont_mul(&m64.0, &m64.1))
+        );
+        assert_eq!(
+            ctx32.from_mont(&ctx32.mont_sqr(&m32.0)),
+            ctx64.from_mont(&ctx64.mont_sqr(&m64.0))
+        );
+        for exp in ["0", "1", "2", "10001", "fedcba9876543210fedcba9876543210"] {
+            let exp = bn(exp);
+            assert_eq!(ctx32.mod_exp(&a, &exp), ctx64.mod_exp(&a, &exp), "exp {exp:?}");
+        }
+    }
+
+    #[test]
+    fn u64_engine_handles_single_limb_moduli() {
+        // k64 = 1: the smallest fixed-width shape, where the carry ripple
+        // in the reduction has no headroom.
+        for n in ["9", "ffffffffffffffc5", "fffffffb"] {
+            let n = bn(n);
+            let ctx32 = MontCtx::with_limb_width(&n, LimbWidth::U32).unwrap();
+            let ctx64 = MontCtx::with_limb_width(&n, LimbWidth::U64).unwrap();
+            let base = bn("123456789");
+            let exp = bn("abcdef");
+            assert_eq!(ctx32.mod_exp(&base, &exp), ctx64.mod_exp(&base, &exp), "modulus {n:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_serves_both_widths_interleaved() {
+        let n = bn("fffffffffffffffffffffffffffffff1");
+        let ctx32 = MontCtx::with_limb_width(&n, LimbWidth::U32).unwrap();
+        let ctx64 = MontCtx::with_limb_width(&n, LimbWidth::U64).unwrap();
+        let mut scratch = MontScratch::new();
+        let base = bn("123456789abcdef");
+        let exp = bn("abcdef123");
+        let want = ctx32.mod_exp(&base, &exp);
+        for _ in 0..3 {
+            assert_eq!(ctx32.mod_exp_scratch(&base, &exp, &mut scratch), want);
+            assert_eq!(ctx64.mod_exp_scratch(&base, &exp, &mut scratch), want);
+        }
     }
 }

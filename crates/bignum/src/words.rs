@@ -89,6 +89,26 @@ pub fn bn_sub_words(rp: &mut [u32], ap: &[u32], bp: &[u32]) -> u32 {
     borrow as u32
 }
 
+/// `rp[2i], rp[2i+1] = lo(ap[i]²), hi(ap[i]²)` — the diagonal terms of a
+/// dedicated squaring, OpenSSL's `bn_sqr_words`.
+///
+/// [`Bn::sqr`](crate::Bn::sqr) combines this with the doubled off-diagonal
+/// cross products (`bn_sqr_normal`), which is what makes squaring cheaper
+/// than a generic `bn_mul_normal` of equal operands.
+///
+/// # Panics
+///
+/// Panics if `rp` is shorter than `2 * ap.len()`.
+pub fn bn_sqr_words(rp: &mut [u32], ap: &[u32]) {
+    counters::count("bn_sqr_words", ap.len() as u64);
+    assert!(rp.len() >= 2 * ap.len(), "result slice too short");
+    for (i, &a) in ap.iter().enumerate() {
+        let t = u64::from(a) * u64::from(a);
+        rp[2 * i] = t as u32;
+        rp[2 * i + 1] = (t >> 32) as u32;
+    }
+}
+
 /// Adds the single word `w` into `rp` in place; returns the final carry.
 pub fn bn_add_word(rp: &mut [u32], w: u32) -> u32 {
     let mut carry = u64::from(w);
@@ -153,6 +173,17 @@ mod tests {
         let borrow = bn_sub_words(&mut r, &[0, 0], &[1, 0]);
         assert_eq!(r, [u32::MAX, u32::MAX]);
         assert_eq!(borrow, 1);
+    }
+
+    #[test]
+    fn sqr_words_diagonal() {
+        let mut r = [0u32; 6];
+        bn_sqr_words(&mut r, &[3, u32::MAX, 0x1_0000]);
+        assert_eq!(r[0..2], [9, 0]);
+        // (2^32 - 1)^2 = 2^64 - 2^33 + 1
+        assert_eq!(r[2..4], [1, u32::MAX - 1]);
+        // (2^16)^2 = 2^32
+        assert_eq!(r[4..6], [0, 1]);
     }
 
     #[test]

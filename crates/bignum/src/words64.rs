@@ -1,0 +1,181 @@
+//! 64-bit-limb word kernels with `u128` accumulators.
+//!
+//! These mirror the u32 kernels in [`words`](crate::words) one for one, but
+//! each loop iteration moves a 64-bit limb through a 128-bit accumulator —
+//! halving the iteration count and the carry chains of every O(n²) bignum
+//! operation. A 1024-bit Montgomery operand is 16 limbs here instead of 32
+//! words, so the `bn_mul_add_words` inner loop that dominates the paper's
+//! Table 8 runs a quarter as many multiply–accumulate steps.
+//!
+//! The kernels report to [`sslperf_profile::counters`] under `…64`-suffixed
+//! names (`bn_mul_add_words64`, …) so the u32 path keeps the paper-faithful
+//! Table 8 attribution while the u64 path stays measurable on its own.
+
+use sslperf_profile::counters;
+
+/// `rp[i] += ap[i] * w` over 64-bit limbs; returns the final carry.
+///
+/// # Panics
+///
+/// Panics if `rp` is shorter than `ap`.
+pub fn bn_mul_add_words(rp: &mut [u64], ap: &[u64], w: u64) -> u64 {
+    counters::count("bn_mul_add_words64", ap.len() as u64);
+    assert!(rp.len() >= ap.len(), "result slice too short");
+    let w = u128::from(w);
+    let mut carry = 0u128;
+    for (r, &a) in rp.iter_mut().zip(ap) {
+        // max: (2^64-1)^2 + 2·(2^64-1) = 2^128 - 1, exactly fills the u128.
+        let t = u128::from(a) * w + u128::from(*r) + carry;
+        *r = t as u64;
+        carry = t >> 64;
+    }
+    carry as u64
+}
+
+/// `rp[i] = ap[i] * w` over 64-bit limbs; returns the final carry.
+///
+/// # Panics
+///
+/// Panics if `rp` is shorter than `ap`.
+pub fn bn_mul_words(rp: &mut [u64], ap: &[u64], w: u64) -> u64 {
+    counters::count("bn_mul_words64", ap.len() as u64);
+    assert!(rp.len() >= ap.len(), "result slice too short");
+    let w = u128::from(w);
+    let mut carry = 0u128;
+    for (r, &a) in rp.iter_mut().zip(ap) {
+        let t = u128::from(a) * w + carry;
+        *r = t as u64;
+        carry = t >> 64;
+    }
+    carry as u64
+}
+
+/// `rp[2i], rp[2i+1] = lo(ap[i]²), hi(ap[i]²)` — squaring diagonal terms.
+///
+/// # Panics
+///
+/// Panics if `rp` is shorter than `2 * ap.len()`.
+pub fn bn_sqr_words(rp: &mut [u64], ap: &[u64]) {
+    counters::count("bn_sqr_words64", ap.len() as u64);
+    assert!(rp.len() >= 2 * ap.len(), "result slice too short");
+    for (i, &a) in ap.iter().enumerate() {
+        let t = u128::from(a) * u128::from(a);
+        rp[2 * i] = t as u64;
+        rp[2 * i + 1] = (t >> 64) as u64;
+    }
+}
+
+/// `rp[i] = ap[i] + bp[i]` over 64-bit limbs; returns the final carry.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn bn_add_words(rp: &mut [u64], ap: &[u64], bp: &[u64]) -> u64 {
+    counters::count("bn_add_words64", ap.len() as u64);
+    assert_eq!(ap.len(), bp.len(), "operand length mismatch");
+    assert!(rp.len() >= ap.len(), "result slice too short");
+    let mut carry = 0u64;
+    for ((r, &a), &b) in rp.iter_mut().zip(ap).zip(bp) {
+        let (s1, c1) = a.overflowing_add(b);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *r = s2;
+        carry = u64::from(c1) + u64::from(c2);
+    }
+    carry
+}
+
+/// `rp[i] = ap[i] - bp[i]` over 64-bit limbs; returns the final borrow
+/// (1 if `b > a`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn bn_sub_words(rp: &mut [u64], ap: &[u64], bp: &[u64]) -> u64 {
+    counters::count("bn_sub_words64", ap.len() as u64);
+    assert_eq!(ap.len(), bp.len(), "operand length mismatch");
+    assert!(rp.len() >= ap.len(), "result slice too short");
+    let mut borrow = 0u64;
+    for ((r, &a), &b) in rp.iter_mut().zip(ap).zip(bp) {
+        let (d1, b1) = a.overflowing_sub(b);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *r = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+    borrow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_add_basic() {
+        let mut r = [1u64, 2];
+        let carry = bn_mul_add_words(&mut r, &[3, 4], 5);
+        assert_eq!(r, [16, 22]);
+        assert_eq!(carry, 0);
+    }
+
+    #[test]
+    fn mul_add_saturated_carry_chain() {
+        // All operands at the u64 maximum: each per-limb accumulation is
+        // exactly 2^128 - 1, the largest value the u128 accumulator holds.
+        // r + a·w = (2^128-1) + (2^128-1)(2^64-1) = (2^128-1)·2^64,
+        // whose limbs are [0, MAX] with final carry MAX.
+        let mut r = [u64::MAX, u64::MAX];
+        let carry = bn_mul_add_words(&mut r, &[u64::MAX, u64::MAX], u64::MAX);
+        assert_eq!(r, [0, u64::MAX]);
+        assert_eq!(carry, u64::MAX);
+    }
+
+    #[test]
+    fn mul_words_overwrites() {
+        let mut r = [9u64, 9];
+        let carry = bn_mul_words(&mut r, &[u64::MAX, 1], 2);
+        assert_eq!(r, [u64::MAX - 1, 3]);
+        assert_eq!(carry, 0);
+    }
+
+    #[test]
+    fn sqr_words_diagonal() {
+        let mut r = [0u64; 4];
+        bn_sqr_words(&mut r, &[3, u64::MAX]);
+        assert_eq!(r[0..2], [9, 0]);
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(r[2..4], [1, u64::MAX - 1]);
+    }
+
+    #[test]
+    fn add_words_carry() {
+        let mut r = [0u64; 2];
+        let carry = bn_add_words(&mut r, &[u64::MAX, u64::MAX], &[1, 0]);
+        assert_eq!(r, [0, 0]);
+        assert_eq!(carry, 1);
+    }
+
+    #[test]
+    fn sub_words_borrow() {
+        let mut r = [0u64; 2];
+        let borrow = bn_sub_words(&mut r, &[0, 1], &[1, 0]);
+        assert_eq!(r, [u64::MAX, 0]);
+        assert_eq!(borrow, 0);
+        let borrow = bn_sub_words(&mut r, &[0, 0], &[1, 0]);
+        assert_eq!(r, [u64::MAX, u64::MAX]);
+        assert_eq!(borrow, 1);
+    }
+
+    #[test]
+    fn kernels_report_suffixed_counters() {
+        use sslperf_profile::counters;
+        let (_, snap) = counters::counted(|| {
+            let mut r = [0u64; 8];
+            let _ = bn_mul_add_words(&mut r, &[1; 8], 2);
+            let _ = bn_sub_words(&mut r.clone(), &r, &r);
+        });
+        assert_eq!(snap.calls("bn_mul_add_words64"), 1);
+        assert_eq!(snap.units("bn_mul_add_words64"), 8);
+        assert_eq!(snap.units("bn_sub_words64"), 8);
+        // The u32 names stay silent: attribution never mixes limb widths.
+        assert_eq!(snap.calls("bn_mul_add_words"), 0);
+    }
+}

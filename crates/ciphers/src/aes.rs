@@ -3,6 +3,13 @@
 //! The S-box and the `Te`/`Td` tables are *derived* at first use from the
 //! GF(2⁸) field definition rather than hard-coded, then each encryption
 //! round performs the 16 table lookups + XORs of the paper's Figure 5.
+//!
+//! The paper's §6.2(2) proposes a hardware table-lookup/round unit as the
+//! fix for the AES kernel; modern x86 ships exactly that as AES-NI. The
+//! cipher therefore carries two interchangeable round backends — the
+//! portable fused tables above and an `AESENC`/`AESDEC` path selected via
+//! [`AesBackend`] — which must be byte-identical on every block (the
+//! differential tests in `tests/known_answer.rs` pin this).
 
 use crate::{BlockCipher, CipherError};
 use sslperf_profile::counters;
@@ -105,6 +112,60 @@ pub(crate) fn sbox_table() -> &'static [u8; 256] {
     &tables().sbox
 }
 
+/// Which implementation of the AES block rounds an [`Aes`] instance uses.
+///
+/// Both backends share the key schedule and produce byte-identical blocks;
+/// they differ only in how a round executes — 16 `Te`/`Td` lookups versus
+/// one `AESENC`/`AESDEC` instruction. This is the software analogue of the
+/// paper's §6.2(2) "custom round unit" proposal, and the
+/// `kernel-speed` experiment measures the gap between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesBackend {
+    /// Use AES-NI when the CPU supports it, else fall back to the tables.
+    /// Setting `SSLPERF_AES=table` in the environment forces the fallback
+    /// process-wide (read once, at the first `Auto` construction).
+    Auto,
+    /// Require the hardware round unit (x86-64 `AESENC`/`AESDEC`).
+    Ni,
+    /// Require the portable fused-table software rounds.
+    Table,
+}
+
+impl AesBackend {
+    /// Stable lowercase name, as used by `SSLPERF_AES` and bench reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AesBackend::Auto => "auto",
+            AesBackend::Ni => "ni",
+            AesBackend::Table => "table",
+        }
+    }
+}
+
+/// Whether the hardware round unit exists on this CPU.
+fn ni_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        ni::available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Resolves [`AesBackend::Auto`]: AES-NI if present, unless the
+/// `SSLPERF_AES=table` override asks for the portable path. Cached so the
+/// environment is consulted once per process, mirroring
+/// `sslperf_bignum::default_limb_width`.
+fn auto_uses_ni() -> bool {
+    static CHOICE: OnceLock<bool> = OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        !matches!(std::env::var("SSLPERF_AES").as_deref(), Ok("table")) && ni_available()
+    })
+}
+
 const RCON: [u32; 10] = [
     0x0100_0000,
     0x0200_0000,
@@ -153,7 +214,15 @@ pub struct Aes {
     ek: Vec<u32>,
     /// Decryption round keys (InvMixColumns-transformed).
     dk: Vec<u32>,
+    /// `ek` flattened to the byte layout `AESENC` consumes (16 bytes per
+    /// round key); empty unless the NI backend is active.
+    ek_b: Vec<u8>,
+    /// `dk` flattened for `AESDEC` — the equivalent-inverse-cipher schedule
+    /// is exactly what the instruction expects; empty unless NI is active.
+    dk_b: Vec<u8>,
     rounds: usize,
+    /// True when block rounds run on the hardware unit.
+    ni: bool,
 }
 
 impl Aes {
@@ -161,17 +230,39 @@ impl Aes {
     pub const BLOCK_LEN: usize = 16;
 
     /// Expands `key` into round-key schedules (the paper's *key setup*
-    /// phase). Accepts 16, 24 or 32-byte keys.
+    /// phase). Accepts 16, 24 or 32-byte keys. Rounds run on the
+    /// [`AesBackend::Auto`] backend — AES-NI when the CPU has it.
     ///
     /// # Errors
     ///
     /// Returns [`CipherError::InvalidKeyLen`] for other lengths.
     pub fn new(key: &[u8]) -> Result<Self, CipherError> {
+        Self::with_backend(key, AesBackend::Auto)
+    }
+
+    /// Like [`Aes::new`] but with an explicit round [`AesBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CipherError::InvalidKeyLen`] for bad key lengths and
+    /// [`CipherError::BackendUnavailable`] when [`AesBackend::Ni`] is
+    /// requested on a CPU without AES-NI.
+    pub fn with_backend(key: &[u8], backend: AesBackend) -> Result<Self, CipherError> {
         let nk = match key.len() {
             16 => 4,
             24 => 6,
             32 => 8,
             got => return Err(CipherError::InvalidKeyLen { got }),
+        };
+        let ni = match backend {
+            AesBackend::Auto => auto_uses_ni(),
+            AesBackend::Ni => {
+                if !ni_available() {
+                    return Err(CipherError::BackendUnavailable);
+                }
+                true
+            }
+            AesBackend::Table => false,
         };
         counters::count("aes_key_setup", 1);
         let rounds = nk + 6;
@@ -208,13 +299,39 @@ impl Aes {
                 };
             }
         }
-        Ok(Aes { ek, dk, rounds })
+        // AESENC/AESDEC take each 16-byte round key in state order, which
+        // for FIPS 197 words is simply the big-endian bytes in sequence.
+        let (ek_b, dk_b) = if ni {
+            (
+                ek.iter().flat_map(|w| w.to_be_bytes()).collect(),
+                dk.iter().flat_map(|w| w.to_be_bytes()).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Ok(Aes { ek, dk, ek_b, dk_b, rounds, ni })
     }
 
     /// Number of rounds (10/12/14 for 128/192/256-bit keys).
     #[must_use]
     pub fn rounds(&self) -> usize {
         self.rounds
+    }
+
+    /// Name of the round backend actually in use: `"ni"` or `"table"`.
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        if self.ni {
+            AesBackend::Ni.name()
+        } else {
+            AesBackend::Table.name()
+        }
+    }
+
+    /// Whether this CPU has the hardware AES round unit at all.
+    #[must_use]
+    pub fn ni_available() -> bool {
+        ni_available()
     }
 
     /// The expanded encryption round keys, 4 words per round — exposed for
@@ -353,6 +470,12 @@ impl BlockCipher for Aes {
 
     fn encrypt_block(&self, block: &mut [u8]) {
         counters::count("aes_block", 1);
+        #[cfg(target_arch = "x86_64")]
+        if self.ni {
+            assert_eq!(block.len(), 16, "AES block must be 16 bytes");
+            ni::encrypt(&self.ek_b, self.rounds, block);
+            return;
+        }
         let s = self.add_initial_round_key(block);
         let s = self.main_rounds(s);
         self.final_round(s, block);
@@ -361,6 +484,11 @@ impl BlockCipher for Aes {
     fn decrypt_block(&self, block: &mut [u8]) {
         assert_eq!(block.len(), 16, "AES block must be 16 bytes");
         counters::count("aes_block", 1);
+        #[cfg(target_arch = "x86_64")]
+        if self.ni {
+            ni::decrypt(&self.dk_b, self.rounds, block);
+            return;
+        }
         let t = tables();
         let mut s = [0u32; 4];
         for (i, word) in s.iter_mut().enumerate() {
@@ -387,6 +515,98 @@ impl BlockCipher for Aes {
                 | u32::from(t.inv_sbox[(s[(c + 1) % 4] & 0xff) as usize]);
             block[4 * c..4 * c + 4].copy_from_slice(&(w ^ rk[c]).to_be_bytes());
         }
+    }
+}
+
+/// The hardware round unit: one `AESENC`/`AESDEC` per round instead of 16
+/// table lookups. This module is the crate's single island of `unsafe` —
+/// the `x86_64` load/store/round intrinsics — kept behind safe wrappers
+/// whose callers only construct NI-backed ciphers after
+/// [`available`](ni::available) returned true.
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::{
+        __m128i, _mm_aesdec_si128, _mm_aesdeclast_si128, _mm_aesenc_si128, _mm_aesenclast_si128,
+        _mm_loadu_si128, _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    /// Runtime check for the `aes` CPUID feature.
+    pub(super) fn available() -> bool {
+        is_x86_feature_detected!("aes")
+    }
+
+    /// Encrypts one 16-byte block with the byte-flattened schedule `rk`
+    /// (`(rounds + 1) * 16` bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` or `rk` are too short or AES-NI is missing.
+    pub(super) fn encrypt(rk: &[u8], rounds: usize, block: &mut [u8]) {
+        assert!(available(), "NI cipher constructed without AES-NI");
+        assert_eq!(block.len(), 16);
+        assert_eq!(rk.len(), (rounds + 1) * 16);
+        // SAFETY: the `aes` feature was just verified, and both slices are
+        // long enough for every unaligned 16-byte load/store below.
+        unsafe { encrypt_impl(rk, rounds, block) }
+    }
+
+    /// Decrypts one 16-byte block; `rk` is the equivalent-inverse-cipher
+    /// schedule (first key = last encryption key, middle keys through
+    /// InvMixColumns), which is precisely the form `AESDEC` consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` or `rk` are too short or AES-NI is missing.
+    pub(super) fn decrypt(rk: &[u8], rounds: usize, block: &mut [u8]) {
+        assert!(available(), "NI cipher constructed without AES-NI");
+        assert_eq!(block.len(), 16);
+        assert_eq!(rk.len(), (rounds + 1) * 16);
+        // SAFETY: as in `encrypt` — feature verified, slice lengths checked.
+        unsafe { decrypt_impl(rk, rounds, block) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires the `aes` target feature at runtime, `block.len() == 16`
+    /// and `rk.len() >= (rounds + 1) * 16`.
+    #[target_feature(enable = "aes")]
+    unsafe fn encrypt_impl(rk: &[u8], rounds: usize, block: &mut [u8]) {
+        let key = |r: usize| -> __m128i {
+            // SAFETY: caller guarantees rk holds rounds + 1 full keys.
+            unsafe { _mm_loadu_si128(rk.as_ptr().add(16 * r).cast()) }
+        };
+        // SAFETY: caller guarantees block is 16 bytes.
+        let mut s = unsafe { _mm_loadu_si128(block.as_ptr().cast()) };
+        s = _mm_xor_si128(s, key(0));
+        for r in 1..rounds {
+            s = _mm_aesenc_si128(s, key(r));
+        }
+        s = _mm_aesenclast_si128(s, key(rounds));
+        // SAFETY: caller guarantees block is 16 bytes.
+        unsafe { _mm_storeu_si128(block.as_mut_ptr().cast(), s) };
+    }
+
+    /// # Safety
+    ///
+    /// Requires the `aes` target feature at runtime, `block.len() == 16`
+    /// and `rk.len() >= (rounds + 1) * 16`.
+    #[target_feature(enable = "aes")]
+    unsafe fn decrypt_impl(rk: &[u8], rounds: usize, block: &mut [u8]) {
+        let key = |r: usize| -> __m128i {
+            // SAFETY: caller guarantees rk holds rounds + 1 full keys.
+            unsafe { _mm_loadu_si128(rk.as_ptr().add(16 * r).cast()) }
+        };
+        // SAFETY: caller guarantees block is 16 bytes.
+        let mut s = unsafe { _mm_loadu_si128(block.as_ptr().cast()) };
+        s = _mm_xor_si128(s, key(0));
+        for r in 1..rounds {
+            s = _mm_aesdec_si128(s, key(r));
+        }
+        s = _mm_aesdeclast_si128(s, key(rounds));
+        // SAFETY: caller guarantees block is 16 bytes.
+        unsafe { _mm_storeu_si128(block.as_mut_ptr().cast(), s) };
     }
 }
 
@@ -508,6 +728,80 @@ mod tests {
                 assert_eq!(fused, textbook, "key {key_len} seed {seed:#x}");
             }
         }
+    }
+
+    #[test]
+    fn forced_table_backend_still_passes_kats() {
+        let key = from_hex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::with_backend(&key, AesBackend::Table).unwrap();
+        assert_eq!(aes.backend_name(), "table");
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn ni_backend_passes_kats_when_available() {
+        if !Aes::ni_available() {
+            assert_eq!(
+                Aes::with_backend(&[0u8; 16], AesBackend::Ni).err(),
+                Some(CipherError::BackendUnavailable)
+            );
+            return;
+        }
+        let key = from_hex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::with_backend(&key, AesBackend::Ni).unwrap();
+        assert_eq!(aes.backend_name(), "ni");
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn ni_and_table_agree_on_every_key_size() {
+        if !Aes::ni_available() {
+            return;
+        }
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> =
+                (0..key_len as u8).map(|i| i.wrapping_mul(0x9d).wrapping_add(3)).collect();
+            let hw = Aes::with_backend(&key, AesBackend::Ni).unwrap();
+            let sw = Aes::with_backend(&key, AesBackend::Table).unwrap();
+            let mut block = [0u8; 16];
+            for trial in 0u8..32 {
+                for (i, b) in block.iter_mut().enumerate() {
+                    *b = (i as u8).wrapping_mul(31).wrapping_add(trial.wrapping_mul(0x4f));
+                }
+                let mut h = block;
+                let mut s = block;
+                hw.encrypt_block(&mut h);
+                sw.encrypt_block(&mut s);
+                assert_eq!(h, s, "encrypt diverged: key {key_len} trial {trial}");
+                hw.decrypt_block(&mut h);
+                sw.decrypt_block(&mut s);
+                assert_eq!(h, block, "ni round trip broke: key {key_len} trial {trial}");
+                assert_eq!(s, block, "table round trip broke: key {key_len} trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_backend_respects_cpu_and_env() {
+        let aes = Aes::new(&[0u8; 16]).unwrap();
+        let forced_table = std::env::var("SSLPERF_AES").as_deref() == Ok("table");
+        let expected = if Aes::ni_available() && !forced_table { "ni" } else { "table" };
+        assert_eq!(aes.backend_name(), expected);
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(AesBackend::Auto.name(), "auto");
+        assert_eq!(AesBackend::Ni.name(), "ni");
+        assert_eq!(AesBackend::Table.name(), "table");
     }
 
     #[test]

@@ -210,8 +210,12 @@ pub fn calibrate(ctx: &Context) -> Result<KernelCosts, ExperimentError> {
     let mul_glue = (mul_total - (WORDS * WORDS) as f64 * mul_add).max(0.0) / WORDS as f64;
 
     // BN_from_montgomery exclusive: one reduction mod the 1024-bit modulus
-    // runs 32 inner bn_mul_add_words passes of 32 words.
-    let mont = sslperf_bignum::MontCtx::new(ctx.key_1024().modulus())?;
+    // runs 32 inner bn_mul_add_words passes of 32 words. Calibrated on the
+    // u32 kernels — the family Table 8 attributes.
+    let mont = sslperf_bignum::MontCtx::with_limb_width(
+        ctx.key_1024().modulus(),
+        sslperf_bignum::LimbWidth::U32,
+    )?;
     let v = sslperf_bignum::Bn::from_words(&a);
     let redc_total = measure_min(5, 200, || {
         black_box(mont.from_mont(&v));
@@ -231,7 +235,12 @@ pub fn calibrate(ctx: &Context) -> Result<KernelCosts, ExperimentError> {
 ///
 /// Propagates RSA failures from the measured decryptions.
 pub fn table8(ctx: &Context) -> Result<Table8, ExperimentError> {
-    let key = ctx.key_1024();
+    // Table 8 reconstructs the paper's VTune profile of 32-bit x86 OpenSSL,
+    // so the experiment always runs on the paper-faithful u32 kernels —
+    // regardless of the process-default limb width the serving paths use.
+    let mut key = ctx.key_1024().clone();
+    key.set_limb_width(sslperf_bignum::LimbWidth::U32);
+    let key = &key;
     let mut rng = ctx.rng("table8");
     let cipher = key.public_key().encrypt_pkcs1(b"table8 probe message", &mut rng)?;
 

@@ -1,7 +1,7 @@
 //! RSA key types, generation and the raw modular-exponentiation operations.
 
 use crate::{Blinding, RsaError};
-use sslperf_bignum::{generate_prime, Bn, EntropySource, MontCtx};
+use sslperf_bignum::{generate_prime, Bn, EntropySource, LimbWidth, MontCtx};
 use sslperf_profile::counters;
 
 /// An RSA public key `(N, e)`.
@@ -216,6 +216,33 @@ impl RsaPrivateKey {
         Ok(self.public.mont_n.mod_exp(c, &self.d))
     }
 
+    /// Rebuilds every cached Montgomery context (`mod p`, `mod q`, `mod N`)
+    /// on the given limb width, so all subsequent decryptions with this key
+    /// run on that kernel family.
+    ///
+    /// Keys are born on [`sslperf_bignum::default_limb_width`]; this is the
+    /// per-key override the differential tests, the flight pins and the
+    /// kernel bench use to compare the paper-faithful u32 path against the
+    /// raw-speed u64 path in one process. The cached blinding state is
+    /// dropped and re-derived lazily.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the moduli were accepted by `MontCtx` at key
+    /// construction and do not change.
+    pub fn set_limb_width(&mut self, limbs: LimbWidth) {
+        self.mont_p = MontCtx::with_limb_width(&self.p, limbs).expect("p stays odd");
+        self.mont_q = MontCtx::with_limb_width(&self.q, limbs).expect("q stays odd");
+        self.public.mont_n = MontCtx::with_limb_width(&self.public.n, limbs).expect("n stays odd");
+        *self.blinding.lock().expect("blinding lock poisoned") = None;
+    }
+
+    /// The limb width this key's Montgomery contexts run on.
+    #[must_use]
+    pub fn limb_width(&self) -> LimbWidth {
+        self.mont_p.limb_width()
+    }
+
     /// Creates a fresh blinding context for this key.
     ///
     /// # Errors
@@ -304,11 +331,34 @@ mod tests {
 
     #[test]
     fn counters_attribute_private_op() {
-        let key = rsa512();
+        let mut key = rsa512().clone();
+        key.set_limb_width(LimbWidth::U32);
         let (_, snap) = counters::counted(|| {
             let _ = key.raw_decrypt(&Bn::from_u64(12345)).unwrap();
         });
         assert_eq!(snap.calls("rsa_private_op"), 1);
         assert!(snap.calls("bn_mul_add_words") > 100, "CRT exponentiation is word-kernel heavy");
+        key.set_limb_width(LimbWidth::U64);
+        let (_, snap) = counters::counted(|| {
+            let _ = key.raw_decrypt(&Bn::from_u64(12345)).unwrap();
+        });
+        assert!(snap.calls("bn_mul_add_words64") > 50, "u64 CRT rides the 64-bit kernels");
+    }
+
+    #[test]
+    fn limb_widths_decrypt_identically() {
+        let base = rsa512();
+        let mut k32 = base.clone();
+        k32.set_limb_width(LimbWidth::U32);
+        let mut k64 = base.clone();
+        k64.set_limb_width(LimbWidth::U64);
+        assert_eq!(k32.limb_width(), LimbWidth::U32);
+        assert_eq!(k64.limb_width(), LimbWidth::U64);
+        let mut rng = SslRng::from_seed(b"limb-diff");
+        for _ in 0..4 {
+            let c = rng.next_bn_below(base.modulus());
+            assert_eq!(k32.raw_decrypt(&c).unwrap(), k64.raw_decrypt(&c).unwrap());
+            assert_eq!(k32.raw_decrypt_no_crt(&c).unwrap(), k64.raw_decrypt_no_crt(&c).unwrap());
+        }
     }
 }

@@ -52,6 +52,9 @@ pub use batch::BatchCipher;
 pub use blinding::Blinding;
 pub use decrypt::STEP_NAMES;
 pub use keys::{RsaPrivateKey, RsaPublicKey};
+// `RsaPrivateKey::set_limb_width` takes this; re-export so callers of the
+// key API don't need a direct bignum dependency.
+pub use sslperf_bignum::LimbWidth;
 pub use sslperf_profile::PhaseSet;
 
 use std::fmt;

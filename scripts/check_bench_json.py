@@ -68,11 +68,74 @@ def expect(cond, msg):
         fail(msg)
 
 
+def validate_kernel(report, path):
+    """Issue-9 raw-speed sections: u64 limbs must beat u32, NI must beat
+    the tables (when the host has AES-NI). These are hard requirements —
+    a 'faster kernel' that is slower is a bug, not noise."""
+    kernel = report.get("kernel")
+    expect(isinstance(kernel, dict), f"{path}: 'kernel' must be an object (required from issue 9)")
+    expect(isinstance(kernel.get("key_bits"), int), f"{path}: kernel.key_bits must be an integer")
+    limbs = kernel.get("limbs")
+    expect(isinstance(limbs, list) and limbs, f"{path}: kernel.limbs must be a non-empty array")
+    by_width = {}
+    for entry in limbs:
+        expect(isinstance(entry, dict) and entry.get("limbs") in {"u32", "u64"}
+               and isinstance(entry.get("cycles_per_decrypt"), int)
+               and entry["cycles_per_decrypt"] > 0
+               and isinstance(entry.get("cycles_per_square"), int)
+               and entry["cycles_per_square"] > 0,
+               f"{path}: kernel.limbs entries need limbs u32/u64 and positive cycle counts")
+        expect(entry["limbs"] not in by_width, f"{path}: duplicate limb width {entry['limbs']!r}")
+        by_width[entry["limbs"]] = entry
+    expect({"u32", "u64"} <= by_width.keys(),
+           f"{path}: kernel.limbs must cover both u32 and u64")
+    expect(by_width["u64"]["cycles_per_decrypt"] < by_width["u32"]["cycles_per_decrypt"],
+           f"{path}: u64 limbs must decrypt faster than u32 "
+           f"({by_width['u64']['cycles_per_decrypt']} >= {by_width['u32']['cycles_per_decrypt']})")
+    expect(by_width["u64"]["cycles_per_square"] < by_width["u32"]["cycles_per_square"],
+           f"{path}: u64 limbs must square faster than u32 "
+           f"({by_width['u64']['cycles_per_square']} >= {by_width['u32']['cycles_per_square']})")
+
+    aes = report.get("aes")
+    expect(isinstance(aes, dict), f"{path}: 'aes' must be an object (required from issue 9)")
+    expect(isinstance(aes.get("ni_available"), bool), f"{path}: aes.ni_available must be a boolean")
+    expect(isinstance(aes.get("record_bytes"), int) and aes["record_bytes"] > 0,
+           f"{path}: aes.record_bytes must be a positive integer")
+    backends = aes.get("backends")
+    expect(isinstance(backends, list) and backends,
+           f"{path}: aes.backends must be a non-empty array")
+    by_backend = {}
+    for entry in backends:
+        expect(isinstance(entry, dict) and entry.get("backend") in {"table", "ni"}
+               and isinstance(entry.get("cycles_per_record"), int)
+               and entry["cycles_per_record"] > 0,
+               f"{path}: aes.backends entries need backend table/ni and positive cycles_per_record")
+        expect(entry["backend"] not in by_backend,
+               f"{path}: duplicate aes backend {entry['backend']!r}")
+        by_backend[entry["backend"]] = entry
+    expect("table" in by_backend, f"{path}: aes.backends must include the table fallback")
+    if aes["ni_available"]:
+        expect("ni" in by_backend,
+               f"{path}: aes.ni_available is true but no 'ni' backend was measured")
+        expect(by_backend["ni"]["cycles_per_record"] < by_backend["table"]["cycles_per_record"],
+               f"{path}: AES-NI must seal records faster than the tables "
+               f"({by_backend['ni']['cycles_per_record']} >= "
+               f"{by_backend['table']['cycles_per_record']})")
+    else:
+        expect("ni" not in by_backend,
+               f"{path}: 'ni' backend measured without aes.ni_available")
+
+
 def validate(report, path):
     expect(isinstance(report, dict), f"{path}: top level must be an object")
     expect(report.get("schema") == SCHEMA,
            f"{path}: schema must be {SCHEMA!r}, got {report.get('schema')!r}")
     expect(isinstance(report.get("issue"), int), f"{path}: 'issue' must be an integer")
+
+    # Raw-speed kernel sections: required from issue 9 on (earlier reports
+    # predate the u64/AES-NI kernels and stay valid as diff baselines).
+    if report["issue"] >= 9:
+        validate_kernel(report, path)
 
     rsa = report.get("rsa")
     expect(isinstance(rsa, dict), f"{path}: 'rsa' must be an object")

@@ -8,11 +8,101 @@
 //! behaviour; the proptests prove internal consistency, these prove
 //! conformance.
 
+use sslperf::bignum::{Bn, LimbWidth, MontCtx};
+use sslperf::ciphers::{Aes, AesBackend, BlockCipher, CipherError};
 use sslperf::hashes::{hkdf, HashAlg, Hmac, Md5, Sha1, Sha256};
+use sslperf::prelude::SslRng;
 use sslperf::ssl::{dhe, kdf};
 
 fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+}
+
+/// Every AES round backend this host can run: the portable tables always,
+/// the hardware unit when present.
+fn aes_backends() -> Vec<AesBackend> {
+    let mut backends = vec![AesBackend::Table];
+    if Aes::ni_available() {
+        backends.push(AesBackend::Ni);
+    }
+    backends
+}
+
+/// FIPS 197 appendices B and C against *both* round backends: the fused
+/// tables and AES-NI must produce bit-identical known answers at every
+/// key size. A failure names the backend that drifted.
+#[test]
+fn fips197_vectors_on_every_backend() {
+    // (key, plaintext, ciphertext): appendix C.1/C.2/C.3, then the
+    // appendix B worked example with its different key.
+    let vectors = [
+        (
+            "000102030405060708090a0b0c0d0e0f",
+            "00112233445566778899aabbccddeeff",
+            "69c4e0d86a7b0430d8cdb78070b4c55a",
+        ),
+        (
+            "000102030405060708090a0b0c0d0e0f1011121314151617",
+            "00112233445566778899aabbccddeeff",
+            "dda97ca4864cdfe06eaf70a0ec0d7191",
+        ),
+        (
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+            "00112233445566778899aabbccddeeff",
+            "8ea2b7ca516745bfeafc49904b496089",
+        ),
+        (
+            "2b7e151628aed2a6abf7158809cf4f3c",
+            "3243f6a8885a308d313198a2e0370734",
+            "3925841d02dc09fbdc118597196a0b32",
+        ),
+    ];
+    for backend in aes_backends() {
+        for (key, plain, cipher) in &vectors {
+            let aes = Aes::with_backend(&unhex(key), backend).expect("backend available");
+            let mut block: [u8; 16] = unhex(plain).try_into().expect("16 bytes");
+            aes.encrypt_block(&mut block);
+            assert_eq!(
+                hex(&block),
+                *cipher,
+                "encrypt drifted: backend {} key {key}",
+                backend.name()
+            );
+            aes.decrypt_block(&mut block);
+            assert_eq!(
+                hex(&block),
+                *plain,
+                "decrypt drifted: backend {} key {key}",
+                backend.name()
+            );
+        }
+    }
+}
+
+/// The forced table fallback works everywhere and reports itself; forcing
+/// AES-NI on a CPU without it is a clean typed error, not a crash.
+#[test]
+fn aes_backend_forcing_behaves() {
+    let key = unhex("000102030405060708090a0b0c0d0e0f");
+    let table = Aes::with_backend(&key, AesBackend::Table).expect("table is always available");
+    assert_eq!(table.backend_name(), "table");
+    match Aes::with_backend(&key, AesBackend::Ni) {
+        Ok(hw) => {
+            assert!(Aes::ni_available());
+            assert_eq!(hw.backend_name(), "ni");
+        }
+        Err(e) => {
+            assert!(!Aes::ni_available());
+            assert_eq!(e, CipherError::BackendUnavailable);
+        }
+    }
+    // Auto never fails on a valid key, whatever the CPU.
+    let auto = Aes::new(&key).expect("auto backend");
+    assert!(auto.backend_name() == "ni" || auto.backend_name() == "table");
 }
 
 /// RFC 1321 §A.5 — the complete MD5 test suite.
@@ -249,6 +339,55 @@ fn ffdhe2048_rfc7919_group_parameters() {
     assert_eq!(fold % 24, 23, "safe prime with 2 a quadratic residue");
 }
 
+/// The ffdhe2048 exchange recomputed once per limb configuration, pinned
+/// to the same golden digests as [`ffdhe2048_exchange_golden_transcript`].
+/// The exponents are re-derived exactly as `DheKeyPair::generate` draws
+/// them (32 seeded bytes, top bit pinned), then the exponentiations run
+/// through an explicit [`MontCtx`] per width — so a u64-kernel bug that
+/// skews any 2048-bit exponentiation breaks this test by name, whatever
+/// the process default width is.
+#[test]
+fn ffdhe2048_golden_transcript_per_limb_width() {
+    let p = Bn::from_hex(dhe::FFDHE2048_P_HEX).expect("ffdhe2048 prime literal");
+    let exponent = |seed: &[u8]| {
+        let mut buf = [0u8; 32];
+        SslRng::from_seed(seed).fill_bytes(&mut buf);
+        buf[0] |= 0x80;
+        Bn::from_bytes_be(&buf)
+    };
+    let xa = exponent(b"ka-ffdhe-a");
+    let xb = exponent(b"ka-ffdhe-b");
+    for limbs in [LimbWidth::U32, LimbWidth::U64] {
+        let ctx = MontCtx::with_limb_width(&p, limbs).expect("odd prime");
+        let g = Bn::from_u64(dhe::FFDHE2048_G);
+        let pub_a = ctx.mod_exp(&g, &xa).to_bytes_be_padded(dhe::FFDHE2048_LEN);
+        let pub_b = ctx.mod_exp(&g, &xb).to_bytes_be_padded(dhe::FFDHE2048_LEN);
+        assert_eq!(
+            hex(&Sha256::digest(&pub_a)),
+            "5bc4f8571607ec1826e780b4be7bede013ee449b68e27c354b1c7dcac02bf53f",
+            "public A drifted under {} limbs",
+            limbs.name()
+        );
+        assert_eq!(
+            hex(&Sha256::digest(&pub_b)),
+            "5b130a9e57651d0a1019582f1bbbd46e462c9c03052348ee9012e16a235c2ead",
+            "public B drifted under {} limbs",
+            limbs.name()
+        );
+        let shared_a =
+            ctx.mod_exp(&Bn::from_bytes_be(&pub_b), &xa).to_bytes_be_padded(dhe::FFDHE2048_LEN);
+        let shared_b =
+            ctx.mod_exp(&Bn::from_bytes_be(&pub_a), &xb).to_bytes_be_padded(dhe::FFDHE2048_LEN);
+        assert_eq!(shared_a, shared_b, "sides disagree under {} limbs", limbs.name());
+        assert_eq!(
+            hex(&Sha256::digest(&shared_a)),
+            "ec91260fa6385d29252a89153e3a1d938e0c9fd098a83de6564641d17922caac",
+            "shared secret drifted under {} limbs",
+            limbs.name()
+        );
+    }
+}
+
 /// The ffdhe2048 exchange pinned under fixed seeds: a golden transcript
 /// for the public values and the both-ways-equal shared secret. The
 /// digests were computed once from this implementation; any change to
@@ -256,7 +395,6 @@ fn ffdhe2048_rfc7919_group_parameters() {
 /// trips this.
 #[test]
 fn ffdhe2048_exchange_golden_transcript() {
-    use sslperf::prelude::SslRng;
     let a = dhe::DheKeyPair::generate(&mut SslRng::from_seed(b"ka-ffdhe-a"));
     let b = dhe::DheKeyPair::generate(&mut SslRng::from_seed(b"ka-ffdhe-b"));
     assert_eq!(a.public().len(), dhe::FFDHE2048_LEN);

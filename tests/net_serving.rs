@@ -734,7 +734,11 @@ fn tampered_pad_and_tampered_mac_alerts_are_byte_identical() {
 fn saturated_crypto_pool_does_not_evict_waiting_handshakes() {
     const CONNECTIONS: usize = 32;
     let mut rng = SslRng::from_seed(b"net-serving-slow-key");
-    let key = RsaPrivateKey::generate(2048, &mut rng).expect("keygen");
+    let mut key = RsaPrivateKey::generate(2048, &mut rng).expect("keygen");
+    // Pin the deliberately slow u32 kernels: the u64-limb default clears
+    // the 32-decrypt backlog inside io_timeout and the queue never builds
+    // the pressure this test exists to exercise.
+    key.set_limb_width(sslperf::bignum::LimbWidth::U32);
     let options = ServerOptions {
         shards: 2,
         crypto_workers: 1,

@@ -359,6 +359,289 @@ proptest! {
     }
 }
 
+// ---- u32 vs u64 word-kernel and Montgomery differentials ----
+//
+// Issue 9 rewrote the hot bignum kernels around u64 limbs with u128
+// accumulators, keeping the u32 family compiled for the paper's Table 8
+// attribution. The two families must compute identical big integers on
+// every operand shape; these tests pin them to each other and to `Bn` as
+// the algebraic oracle, over the adversarial shapes that break carry
+// chains in practice (all-ones limbs, word-boundary ±ε, length skew).
+
+/// Packs little-endian u32 limbs into u64 limbs (zero-padding odd tails).
+fn pack64(w: &[u32]) -> Vec<u64> {
+    w.chunks(2)
+        .map(|c| u64::from(c[0]) | (u64::from(c.get(1).copied().unwrap_or(0)) << 32))
+        .collect()
+}
+
+/// Reads a little-endian u64 limb vector back as a big integer.
+fn bn_from_64(l: &[u64]) -> Bn {
+    let words: Vec<u32> = l.iter().flat_map(|&x| [x as u32, (x >> 32) as u32]).collect();
+    Bn::from_words(&words)
+}
+
+/// Builds an adversarial limb vector from raw generated words: shape 0
+/// keeps them as-is, shape 1 is all-ones limbs of the same length
+/// (maximum carry propagation), shape 2 is the word boundary 2^32k + ε
+/// (a lone high limb over a zero run).
+fn shaped_limbs(shape: usize, raw: &[u32], eps: u32) -> Vec<u32> {
+    match shape {
+        0 => raw.to_vec(),
+        1 => vec![u32::MAX; raw.len()],
+        _ => {
+            let mut v = vec![0u32; raw.len()];
+            v[0] = eps;
+            v.push(1);
+            v
+        }
+    }
+}
+
+/// Zero-pads two limb vectors to a shared even length so both the u32
+/// kernels and the packed u64 kernels see the same integer.
+fn common_even(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let len = a.len().max(b.len()).next_multiple_of(2);
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.resize(len, 0);
+    b.resize(len, 0);
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `bn_mul_add_words` across widths: the same `r += a * w` big-integer
+    /// result limb for limb, and the u64 kernel's full 64-bit multiplier
+    /// agrees with the `Bn` oracle.
+    #[test]
+    fn mul_add_words_agree_across_widths(
+        shapes in 0usize..9,
+        raw_r in vec(any::<u32>(), 1..8),
+        raw_a in vec(any::<u32>(), 1..8),
+        eps in 0u32..3,
+        w_lo in any::<u32>(),
+        w_hi in any::<u32>(),
+    ) {
+        use sslperf::bignum::{words, words64};
+        let r = shaped_limbs(shapes % 3, &raw_r, eps);
+        let a = shaped_limbs(shapes / 3, &raw_a, eps);
+        let (r32_init, a32) = common_even(&r, &a);
+        let a64 = pack64(&a32);
+
+        // Same 32-bit multiplier through both kernel families.
+        let mut r32 = r32_init.clone();
+        let c32 = words::bn_mul_add_words(&mut r32, &a32, w_lo);
+        let mut r64 = pack64(&r32_init);
+        let c64 = words64::bn_mul_add_words(&mut r64, &a64, u64::from(w_lo));
+        let mut full32 = r32.clone();
+        full32.push(c32);
+        let mut full64 = r64.clone();
+        full64.push(c64);
+        prop_assert_eq!(Bn::from_words(&full32), bn_from_64(&full64));
+
+        // Full 64-bit multiplier against the algebraic oracle.
+        let w64 = u64::from(w_lo) | (u64::from(w_hi) << 32);
+        let mut r64 = pack64(&r32_init);
+        let carry = words64::bn_mul_add_words(&mut r64, &a64, w64);
+        r64.push(carry);
+        let expect = Bn::from_words(&r32_init).add(&Bn::from_words(&a32).mul(&Bn::from_u64(w64)));
+        prop_assert_eq!(bn_from_64(&r64), expect);
+    }
+
+    /// `bn_mul_words` across widths, same structure as above.
+    #[test]
+    fn mul_words_agree_across_widths(
+        shape in 0usize..3,
+        raw in vec(any::<u32>(), 1..8),
+        eps in 0u32..3,
+        w_lo in any::<u32>(),
+        w_hi in any::<u32>(),
+    ) {
+        use sslperf::bignum::{words, words64};
+        let a = shaped_limbs(shape, &raw, eps);
+        let (a32, _) = common_even(&a, &[]);
+        let a64 = pack64(&a32);
+
+        let mut r32 = vec![0u32; a32.len()];
+        let c32 = words::bn_mul_words(&mut r32, &a32, w_lo);
+        let mut r64 = vec![0u64; a64.len()];
+        let c64 = words64::bn_mul_words(&mut r64, &a64, u64::from(w_lo));
+        let mut full32 = r32;
+        full32.push(c32);
+        let mut full64 = r64;
+        full64.push(c64);
+        prop_assert_eq!(Bn::from_words(&full32), bn_from_64(&full64));
+
+        let w64 = u64::from(w_lo) | (u64::from(w_hi) << 32);
+        let mut r64 = vec![0u64; a64.len()];
+        let carry = words64::bn_mul_words(&mut r64, &a64, w64);
+        r64.push(carry);
+        prop_assert_eq!(
+            bn_from_64(&r64),
+            Bn::from_words(&a32).mul(&Bn::from_u64(w64)));
+    }
+
+    /// `bn_add_words`/`bn_sub_words` across widths: identical sums,
+    /// differences, and carry/borrow outs on equal-length operands.
+    #[test]
+    fn add_sub_words_agree_across_widths(
+        shapes in 0usize..9,
+        raw_a in vec(any::<u32>(), 1..8),
+        raw_b in vec(any::<u32>(), 1..8),
+        eps in 0u32..3,
+    ) {
+        use sslperf::bignum::{words, words64};
+        let a = shaped_limbs(shapes % 3, &raw_a, eps);
+        let b = shaped_limbs(shapes / 3, &raw_b, eps);
+        let (a32, b32) = common_even(&a, &b);
+        let (a64, b64) = (pack64(&a32), pack64(&b32));
+
+        let mut sum32 = vec![0u32; a32.len()];
+        let carry32 = words::bn_add_words(&mut sum32, &a32, &b32);
+        let mut sum64 = vec![0u64; a64.len()];
+        let carry64 = words64::bn_add_words(&mut sum64, &a64, &b64);
+        prop_assert_eq!(Bn::from_words(&sum32), bn_from_64(&sum64));
+        prop_assert_eq!(u64::from(carry32), carry64);
+
+        let mut diff32 = vec![0u32; a32.len()];
+        let borrow32 = words::bn_sub_words(&mut diff32, &a32, &b32);
+        let mut diff64 = vec![0u64; a64.len()];
+        let borrow64 = words64::bn_sub_words(&mut diff64, &a64, &b64);
+        prop_assert_eq!(Bn::from_words(&diff32), bn_from_64(&diff64));
+        prop_assert_eq!(u64::from(borrow32), borrow64);
+    }
+
+    /// `bn_sqr_words` across widths: each limb's double-width square lands
+    /// in its result pair, verified against the `Bn` oracle per limb.
+    #[test]
+    fn sqr_words_agree_across_widths(
+        shape in 0usize..3,
+        raw in vec(any::<u32>(), 1..8),
+        eps in 0u32..3,
+    ) {
+        use sslperf::bignum::{words, words64};
+        let a = shaped_limbs(shape, &raw, eps);
+        let (a32, _) = common_even(&a, &[]);
+        let a64 = pack64(&a32);
+
+        let mut r32 = vec![0u32; 2 * a32.len()];
+        words::bn_sqr_words(&mut r32, &a32);
+        for (i, &x) in a32.iter().enumerate() {
+            prop_assert_eq!(
+                Bn::from_words(&r32[2 * i..2 * i + 2]),
+                Bn::from_u64(u64::from(x)).mul(&Bn::from_u64(u64::from(x))));
+        }
+        let mut r64 = vec![0u64; 2 * a64.len()];
+        words64::bn_sqr_words(&mut r64, &a64);
+        for (i, &x) in a64.iter().enumerate() {
+            prop_assert_eq!(
+                bn_from_64(&r64[2 * i..2 * i + 2]),
+                Bn::from_u64(x).mul(&Bn::from_u64(x)));
+        }
+    }
+
+    /// Dedicated squaring equals general multiplication on the shapes that
+    /// stress the cross-product carry cells.
+    #[test]
+    fn bn_sqr_matches_mul_on_adversarial_shapes(
+        shape in 0usize..3,
+        raw in vec(any::<u32>(), 1..8),
+        eps in 0u32..3,
+    ) {
+        let a = bn_from(&shaped_limbs(shape, &raw, eps));
+        prop_assert_eq!(a.sqr(), a.mul(&a));
+    }
+
+    /// The whole Montgomery engine across widths: `to_mont`/`from_mont`
+    /// round trips, `mont_mul`, `mont_sqr`, `mod_exp`, and every window
+    /// size agree between `LimbWidth::U32` and `LimbWidth::U64` on
+    /// adversarial moduli — all-ones, boundary 2^32k + 1 (odd limb counts
+    /// exercise the u64 engine's padded top limb), and random odd.
+    #[test]
+    fn mont_engine_agrees_across_limb_widths(
+        shape in 0usize..3,
+        n_words in vec(any::<u32>(), 1..7),
+        a in vec(any::<u32>(), 0..7),
+        b in vec(any::<u32>(), 0..7),
+        exp in vec(any::<u32>(), 0..4),
+        window in 1u32..6,
+    ) {
+        use sslperf::bignum::{LimbWidth, MontCtx};
+        let n = match shape {
+            0 => bn_from(&vec![u32::MAX; n_words.len()]),
+            1 => {
+                let mut v = vec![1u32];
+                v.extend(std::iter::repeat_n(0, n_words.len() - 1));
+                v.push(1);
+                bn_from(&v)
+            }
+            _ => {
+                let mut v = n_words.clone();
+                v[0] |= 1;
+                bn_from(&v)
+            }
+        };
+        prop_assume!(!n.is_one());
+        let c32 = MontCtx::with_limb_width(&n, LimbWidth::U32).expect("odd modulus");
+        let c64 = MontCtx::with_limb_width(&n, LimbWidth::U64).expect("odd modulus");
+        let a = bn_from(&a).mod_op(&n);
+        let b = bn_from(&b).mod_op(&n);
+        let exp = bn_from(&exp);
+
+        // Montgomery residues differ across widths when R differs (odd
+        // u32 limb counts round up to a larger u64 R), so every
+        // comparison goes through each context's own from_mont.
+        let (a32, b32) = (c32.to_mont(&a), c32.to_mont(&b));
+        let (a64, b64) = (c64.to_mont(&a), c64.to_mont(&b));
+        prop_assert_eq!(c32.from_mont(&a32), a.clone());
+        prop_assert_eq!(c64.from_mont(&a64), a.clone());
+        prop_assert_eq!(
+            c32.from_mont(&c32.mont_mul(&a32, &b32)),
+            c64.from_mont(&c64.mont_mul(&a64, &b64)));
+        prop_assert_eq!(
+            c32.from_mont(&c32.mont_sqr(&a32)),
+            c64.from_mont(&c64.mont_sqr(&a64)));
+        prop_assert_eq!(c32.mod_exp(&a, &exp), c64.mod_exp(&a, &exp));
+        prop_assert_eq!(
+            c32.mod_exp_window(&a, &exp, window),
+            c64.mod_exp_window(&a, &exp, window));
+    }
+
+    /// AES backends in lockstep: the auto-resolved cipher, the forced
+    /// table rounds, and (when the CPU has it) forced AES-NI encrypt and
+    /// decrypt byte-identically for every key size.
+    #[test]
+    fn aes_backends_agree_on_every_key_size(
+        key_sel in 0usize..3,
+        key in vec(any::<u8>(), 32..=32),
+        block in vec(any::<u8>(), 16..=16),
+    ) {
+        use sslperf::ciphers::AesBackend;
+        let key = &key[..[16, 24, 32][key_sel]];
+        let table = Aes::with_backend(key, AesBackend::Table).expect("table backend");
+        let auto = Aes::new(key).expect("auto backend");
+        let mut expect: [u8; 16] = block.clone().try_into().expect("16 bytes");
+        table.encrypt_block(&mut expect);
+
+        let mut via_auto: [u8; 16] = block.clone().try_into().expect("16 bytes");
+        auto.encrypt_block(&mut via_auto);
+        prop_assert_eq!(via_auto, expect);
+        auto.decrypt_block(&mut via_auto);
+        prop_assert_eq!(via_auto.to_vec(), block.clone());
+
+        if Aes::ni_available() {
+            let hw = Aes::with_backend(key, AesBackend::Ni).expect("ni backend");
+            let mut via_ni: [u8; 16] = block.clone().try_into().expect("16 bytes");
+            hw.encrypt_block(&mut via_ni);
+            prop_assert_eq!(via_ni, expect);
+            hw.decrypt_block(&mut via_ni);
+            prop_assert_eq!(via_ni.to_vec(), block);
+        }
+    }
+}
+
 // ---- batched RSA decryption ----
 
 /// One deterministic 512-bit key shared by every batch case (keygen per

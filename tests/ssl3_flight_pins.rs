@@ -12,6 +12,7 @@
 //! Re-capture (only after an *intentional* wire change):
 //! `cargo test --test ssl3_flight_pins -- --ignored --nocapture`
 
+use sslperf::bignum::LimbWidth;
 use sslperf::prelude::*;
 use sslperf::ssl::{ClientEngine, Engine, EngineDriven, SimpleSessionCache};
 use std::sync::Arc;
@@ -29,6 +30,14 @@ fn pin_key() -> RsaPrivateKey {
 
 fn pin_config() -> ServerConfig {
     ServerConfig::new(pin_key(), "pin.sslperf.test").expect("config")
+}
+
+/// The same pin key, forced onto one limb kernel regardless of the
+/// process default (`SSLPERF_LIMBS`).
+fn pin_config_with_width(limbs: LimbWidth) -> ServerConfig {
+    let mut key = pin_key();
+    key.set_limb_width(limbs);
+    ServerConfig::new(key, "pin.sslperf.test").expect("config")
 }
 
 fn ticket_config() -> ServerConfig {
@@ -103,23 +112,66 @@ fn flight_pins(flights: &[Vec<u8>; 4]) -> ([usize; 4], [String; 4]) {
     )
 }
 
-/// The headline-suite full handshake through the sans-io engine, pinned.
+/// The headline-suite full handshake through the sans-io engine, pinned —
+/// once per limb kernel, so neither the u32 nor the u64 Montgomery path
+/// can drift a wire byte without a named failure.
 #[test]
 fn engine_full_handshake_flights_pinned() {
-    let config = pin_config();
-    let client = client_engine(CipherSuite::RsaDesCbc3Sha, b"engine-pin-client-full");
-    let flights = engine_handshake(&config, client, b"engine-pin-server-full", false);
-    let (lens, digests) = flight_pins(&flights);
-    assert_eq!(lens, [48, 300, 150, 75]);
-    assert_eq!(
-        digests,
-        [
-            "0dfd071fb213a445907e878229071985ab8e871f".to_string(),
-            "5437b773253bdd1ce74d75618509d664136b425f".to_string(),
-            "097af0e7b296dc39db32b774dcbaf1a9b822a450".to_string(),
-            "391c82bb556f1c55c987e8151a4a22a057b348dd".to_string(),
-        ]
-    );
+    for limbs in [LimbWidth::U64, LimbWidth::U32] {
+        let config = pin_config_with_width(limbs);
+        let client = client_engine(CipherSuite::RsaDesCbc3Sha, b"engine-pin-client-full");
+        let flights = engine_handshake(&config, client, b"engine-pin-server-full", false);
+        let (lens, digests) = flight_pins(&flights);
+        assert_eq!(lens, [48, 300, 150, 75], "{} limbs", limbs.name());
+        assert_eq!(
+            digests,
+            [
+                "0dfd071fb213a445907e878229071985ab8e871f".to_string(),
+                "5437b773253bdd1ce74d75618509d664136b425f".to_string(),
+                "097af0e7b296dc39db32b774dcbaf1a9b822a450".to_string(),
+                "391c82bb556f1c55c987e8151a4a22a057b348dd".to_string(),
+            ],
+            "{} limbs",
+            limbs.name()
+        );
+    }
+}
+
+/// The TLS 1.3 handshake through the dual-protocol server machine must
+/// put the same bytes on the wire whichever limb kernel the server key
+/// runs on; the seeded run is compared flight-for-flight across widths.
+#[test]
+fn tls13_wire_identical_across_limb_widths() {
+    fn tls13_wire(config: &ServerConfig) -> (Vec<u8>, Vec<u8>) {
+        let mut client = Engine::new(Tls13ClientMachine::new(
+            CipherSuite::RsaDesCbc3Sha,
+            SslRng::from_seed(b"engine-pin-tls13-client"),
+        ))
+        .expect("client engine");
+        let mut server =
+            Engine::new(ServerMachine::new(config, SslRng::from_seed(b"engine-pin-tls13-server")))
+                .expect("server engine");
+        let (mut c2s, mut s2c) = (Vec::new(), Vec::new());
+        let mut stalls = 0;
+        while !(client.is_established() && server.is_established()) {
+            let up = drain(&mut client);
+            feed_all(&mut server, &up);
+            c2s.extend_from_slice(&up);
+            let down = drain(&mut server);
+            feed_all(&mut client, &down);
+            s2c.extend_from_slice(&down);
+            if up.is_empty() && down.is_empty() {
+                stalls += 1;
+                assert!(stalls < 4, "TLS 1.3 handshake stalled");
+            }
+        }
+        (c2s, s2c)
+    }
+
+    let u64_wire = tls13_wire(&pin_config_with_width(LimbWidth::U64));
+    let u32_wire = tls13_wire(&pin_config_with_width(LimbWidth::U32));
+    assert!(!u64_wire.0.is_empty() && !u64_wire.1.is_empty(), "handshake produced traffic");
+    assert_eq!(u64_wire, u32_wire, "TLS 1.3 wire drifted between limb kernels");
 }
 
 /// The abbreviated (id-cache resumed) handshake, pinned.
