@@ -1,31 +1,36 @@
-//! Machine-readable benchmark report: `BENCH_9.json`.
+//! Machine-readable benchmark report: `BENCH_10.json`.
 //!
 //! Runs the batched-RSA serving ablation (the fast, single-run variant of
 //! `benches/tcp_serving.rs`'s `batch_rsa` group), a ticket-resumption
 //! serving arm, a TLS 1.3 event-loop serving arm (ephemeral DHE key
 //! exchange through the same crypto pool), the in-process RSA kernel
-//! comparison, the bulk-path record-sealing cost, and — new in issue 9 —
-//! the raw-speed kernel comparisons: u32-limb vs u64-limb Montgomery
-//! arithmetic under a full RSA-CRT decrypt, and table-rounds vs AES-NI
-//! record sealing. Results go to JSON so CI can diff runs against each
-//! other. One command, from the repository root:
+//! comparison, the bulk-path record-sealing cost, the raw-speed kernel
+//! comparisons (u32-limb vs u64-limb Montgomery arithmetic under a full
+//! RSA-CRT decrypt, table-rounds vs AES-NI record sealing), and — new in
+//! issue 10 — the engine-forecast closure: the isasim cycle model predicts
+//! tx/s per heterogeneous engine configuration, the live event-loop server
+//! measures the same fleet, and both land in the report with the percent
+//! error. Results go to JSON so CI can diff runs against each other. One
+//! command, from the repository root:
 //!
 //! ```text
 //! cargo run --release -p sslperf-bench --bin bench_report
 //! ```
 //!
-//! writes `BENCH_9.json` in the current directory (pass a path argument to
+//! writes `BENCH_10.json` in the current directory (pass a path argument to
 //! write elsewhere). `scripts/check_bench_json.py` validates the schema,
-//! flags throughput regressions against the previous report, and requires
+//! flags throughput regressions against the previous report, requires
 //! the u64 kernels and the hardware AES unit to actually be faster than
-//! the paths they replace; each serving arm carries a `protocol` field so
-//! the SSLv3 arms stay diffable against `BENCH_7.json`.
+//! the paths they replace, and bounds the forecast error; each serving arm
+//! carries a `protocol` field so the SSLv3 arms stay diffable against
+//! `BENCH_7.json`.
 
 #![forbid(unsafe_code)]
 
 use sslperf_core::bignum::{Bn, LimbWidth, MontCtx};
 use sslperf_core::ciphers::AesBackend;
-use sslperf_core::net::{EventLoopServer, ServerOptions};
+use sslperf_core::isasim::forecast::{rsa_kx_cycles, EngineConfig, ForecastModel};
+use sslperf_core::net::{EngineProfile, EventLoopServer, ServerOptions};
 use sslperf_core::prelude::*;
 use sslperf_core::profile::measure;
 use sslperf_core::rsa::BatchCipher;
@@ -35,7 +40,7 @@ use sslperf_core::websim::loadgen::{
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Concurrent connections each serving arm is hit with.
 const CONNECTIONS: usize = 64;
@@ -92,12 +97,30 @@ struct AesKernel {
     cycles_per_record: u64,
 }
 
+/// One engine configuration's forecast-vs-measured closure.
+struct ForecastRow {
+    label: &'static str,
+    engines: Vec<String>,
+    forecast_tx_per_sec: f64,
+    measured_tx_per_sec: f64,
+    error_percent: f64,
+}
+
+/// The engine-forecast section: the calibration anchors plus every
+/// forecast row.
+struct ForecastSection {
+    kx_cycles: f64,
+    solo_kx_ms: f64,
+    baseline_tx_per_sec: f64,
+    configs: Vec<ForecastRow>,
+}
+
 /// Montgomery squarings timed back-to-back per sample (the modexp inner
 /// loop is squaring-dominated, so this is the paper-relevant unit cost).
 const SQUARES_PER_SAMPLE: u64 = 256;
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_9.json".into());
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_10.json".into());
 
     eprintln!("[bench_report] RSA kernel: solo vs batched ({KERNEL_KEY_BITS}-bit)");
     let (solo, amortized) = kernel_numbers();
@@ -156,10 +179,107 @@ fn main() {
         arm.cycles_per_decrypt / 1000,
     );
 
-    let json =
-        render_json(solo, &amortized, &limb_kernels, ni_available, &aes_kernels, &bulk, &arms);
+    eprintln!("[bench_report] engine forecast: cycle model vs live heterogeneous fleets");
+    let forecast = engine_forecast_numbers();
+    eprintln!(
+        "[bench_report]   calibration: {:.0} cycles/kx, {:.2} ms solo decrypt, \
+         baseline {:.1} tx/s",
+        forecast.kx_cycles, forecast.solo_kx_ms, forecast.baseline_tx_per_sec,
+    );
+    for row in &forecast.configs {
+        eprintln!(
+            "[bench_report]   {}: forecast {:.1} tx/s, measured {:.1} tx/s, error {:+.1}%",
+            row.label, row.forecast_tx_per_sec, row.measured_tx_per_sec, row.error_percent,
+        );
+    }
+
+    let json = render_json(
+        solo,
+        &amortized,
+        &limb_kernels,
+        ni_available,
+        &aes_kernels,
+        &bulk,
+        &arms,
+        &forecast,
+    );
     std::fs::write(&out, json).expect("write report");
     eprintln!("[bench_report] wrote {out}");
+}
+
+/// Measures one heterogeneous engine fleet live and returns its tx/s.
+fn forecast_fleet_tps(profiles: Vec<EngineProfile>) -> f64 {
+    let mut rng = SslRng::from_seed(b"bench-report-forecast");
+    let key = RsaPrivateKey::generate(SERVING_KEY_BITS, &mut rng).expect("keygen");
+    let options = ServerOptions::builder()
+        .shards(1)
+        .engine_profiles(Some(profiles))
+        .build()
+        .expect("valid forecast fleet configuration");
+    let server = EventLoopServer::start(key, "bench.sslperf.test", &options).expect("server start");
+    let load = EventLoadOptions {
+        connections: CONNECTIONS,
+        file_size: 1024,
+        protocol: Protocol::Ssl3,
+        suite: CipherSuite::RsaDesCbc3Sha,
+        hold_until_all_established: true,
+        deadline: Duration::from_secs(120),
+    };
+    let report = run_event_load(server.local_addr(), &load).expect("event load");
+    server.shutdown();
+    report.transactions_per_second()
+}
+
+/// Runs the engine-forecast closure: prices one RSA key exchange with the
+/// isasim cycle model, anchors it on a measured solo decrypt plus a
+/// measured one-engine baseline (held out of the rows below), then
+/// forecasts and measures three heterogeneous fleets.
+fn engine_forecast_numbers() -> ForecastSection {
+    let kx_cycles = rsa_kx_cycles(SERVING_KEY_BITS);
+
+    let mut rng = SslRng::from_seed(b"bench-report-forecast-anchor");
+    let key = RsaPrivateKey::generate(SERVING_KEY_BITS, &mut rng).expect("keygen");
+    let cipher = key.public_key().encrypt_pkcs1(b"forecast-anchor", &mut rng).expect("encrypt");
+    let _ = key.decrypt_pkcs1(&cipher).expect("warmup decrypt");
+    let reps = 8u32;
+    let started = Instant::now();
+    for _ in 0..reps {
+        key.decrypt_pkcs1(&cipher).expect("anchor decrypt");
+    }
+    let solo_kx_secs = started.elapsed().as_secs_f64() / f64::from(reps);
+
+    let baseline_tx_per_sec = forecast_fleet_tps(vec![EngineProfile::general()]);
+    let baseline = EngineConfig::uniform("1x general", 1, 1.0);
+    let model = ForecastModel::calibrate(kx_cycles, solo_kx_secs, &baseline, baseline_tx_per_sec);
+
+    let fleets: [(&'static str, Vec<EngineProfile>); 3] = [
+        ("2x general", vec![EngineProfile::general(); 2]),
+        (
+            "rsa-engine + 2 slow",
+            vec![
+                EngineProfile::rsa_engine(),
+                EngineProfile::general_slowed(3.0),
+                EngineProfile::general_slowed(3.0),
+            ],
+        ),
+        ("4x general", vec![EngineProfile::general(); 4]),
+    ];
+    let configs = fleets
+        .into_iter()
+        .map(|(label, profiles)| {
+            let config = EngineConfig {
+                label: label.to_string(),
+                multipliers: profiles.iter().map(|p| p.rsa_cost).collect(),
+            };
+            let forecast_tx_per_sec = model.forecast_tps(&config);
+            let engines = profiles.iter().map(|p| p.name.clone()).collect();
+            let measured_tx_per_sec = forecast_fleet_tps(profiles);
+            let error_percent =
+                (forecast_tx_per_sec - measured_tx_per_sec) * 100.0 / measured_tx_per_sec;
+            ForecastRow { label, engines, forecast_tx_per_sec, measured_tx_per_sec, error_percent }
+        })
+        .collect();
+    ForecastSection { kx_cycles, solo_kx_ms: solo_kx_secs * 1e3, baseline_tx_per_sec, configs }
 }
 
 /// Measures the in-process RSA kernel: the best-of-N solo decrypt cost
@@ -458,6 +578,7 @@ fn tls13_arm() -> Arm {
 
 /// Hand-rolled JSON (the workspace carries no serde); every number is
 /// emitted with enough precision for the regression diff.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     solo: u64,
     amortized: &[Amortized],
@@ -466,11 +587,12 @@ fn render_json(
     aes_kernels: &[AesKernel],
     bulk: &[BulkPath],
     arms: &[Arm],
+    forecast: &ForecastSection,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"sslperf-bench-report/v1\",\n");
-    s.push_str("  \"issue\": 9,\n");
+    s.push_str("  \"issue\": 10,\n");
     s.push_str("  \"kernel\": {\n");
     let _ = writeln!(s, "    \"key_bits\": {KERNEL_KEY_BITS},");
     s.push_str("    \"limbs\": [\n");
@@ -548,6 +670,28 @@ fn render_json(
             arm.resumed_handshakes,
             arm.tickets_issued,
             arm.tickets_accepted,
+        );
+    }
+    s.push_str("    ]\n  },\n");
+    s.push_str("  \"engine_forecast\": {\n");
+    let _ = writeln!(s, "    \"connections\": {CONNECTIONS},");
+    let _ = writeln!(s, "    \"key_bits\": {SERVING_KEY_BITS},");
+    let _ = writeln!(s, "    \"kx_cycles\": {:.0},", forecast.kx_cycles);
+    let _ = writeln!(s, "    \"solo_kx_ms\": {:.4},", forecast.solo_kx_ms);
+    let _ = writeln!(s, "    \"baseline_tx_per_sec\": {:.2},", forecast.baseline_tx_per_sec);
+    s.push_str("    \"configs\": [\n");
+    for (i, row) in forecast.configs.iter().enumerate() {
+        let comma = if i + 1 < forecast.configs.len() { "," } else { "" };
+        let engines: Vec<String> = row.engines.iter().map(|e| format!("\"{e}\"")).collect();
+        let _ = writeln!(
+            s,
+            "      {{\"label\": \"{}\", \"engines\": [{}], \"forecast_tx_per_sec\": {:.2}, \
+             \"measured_tx_per_sec\": {:.2}, \"error_percent\": {:.2}}}{comma}",
+            row.label,
+            engines.join(", "),
+            row.forecast_tx_per_sec,
+            row.measured_tx_per_sec,
+            row.error_percent,
         );
     }
     s.push_str("    ]\n  }\n}\n");

@@ -1,0 +1,229 @@
+//! Forecasting serving throughput from the cycle model — the
+//! predicted-vs-measured closure.
+//!
+//! The paper's design-space discussion (and the multi-core SSL processor
+//! work it inspired) sizes heterogeneous crypto-engine configurations on
+//! paper before building them: how many transactions per second should a
+//! machine with one fast RSA engine and a handful of slower cores
+//! sustain? This module answers that question from *this crate's* cycle
+//! model rather than from a live run, so the live run can then grade the
+//! forecast:
+//!
+//! 1. [`rsa_kx_cycles`] prices one RSA-CRT private-key operation in
+//!    simulated cycles, built from an actual [`Machine`](crate::Machine)
+//!    run of the `bn_mul_add_words` kernel (the paper's Table 9 inner
+//!    loop) times the Montgomery-arithmetic operation counts of a CRT
+//!    exponentiation.
+//! 2. [`ForecastModel::calibrate`] anchors the simulator's cycle scale to
+//!    the live machine with two measurements of a *baseline*
+//!    configuration: the wall time of one solo decrypt (mapping simulated
+//!    cycles to seconds) and the baseline's measured tx/s (splitting each
+//!    transaction into a key-exchange share, which parallel engines
+//!    absorb, and a serial remainder, which they do not — Amdahl's split).
+//! 3. [`ForecastModel::forecast_tps`] then predicts any other
+//!    configuration from its [`EngineConfig::capacity`]: the sum of the
+//!    engines' native-speed fractions.
+//!
+//! The `EngineForecast` experiment in `sslperf-core` runs the same
+//! configurations on the live event-loop server and reports the percent
+//! error per configuration — the number that says how much to trust the
+//! model where no measurement exists.
+
+use crate::kernels::bn;
+
+/// Simulated cycles for one RSA private-key operation with CRT, derived
+/// from the cycle model: a [`Machine`](crate::Machine) run prices the
+/// `bn_mul_add_words` kernel over one CRT-half operand, and Montgomery
+/// operation counts scale it up to two half-width exponentiations.
+///
+/// The counts are the standard ones: a Montgomery multiplication over
+/// `n`-word operands makes ~`2n` passes of `bn_mul_add_words` (one per
+/// multiplier word, one per reduction word), and a `k`-bit square-and-
+/// multiply exponentiation performs ~`1.5k` Montgomery multiplications
+/// (`k` squarings plus ~`k/2` multiplies).
+///
+/// # Panics
+///
+/// Panics unless `key_bits` maps to CRT halves of a positive multiple of
+/// 128 bits (RSA serving sizes — 512, 1024, 2048 — all do).
+#[must_use]
+pub fn rsa_kx_cycles(key_bits: usize) -> f64 {
+    let half_bits = key_bits / 2;
+    let words = half_bits / 32;
+    assert!(
+        words > 0 && words.is_multiple_of(4),
+        "CRT half must be a positive multiple of 128 bits"
+    );
+    // Deterministic operands: the kernel's cycle count depends only on
+    // the word count, but the simulator wants real arrays to chew on.
+    let ap: Vec<u32> = (0..words as u32).map(|i| i.wrapping_mul(0x9e37_79b9) | 1).collect();
+    let rp: Vec<u32> = (0..words as u32).map(|i| i.wrapping_mul(0x85eb_ca6b)).collect();
+    let (run, _, _) = bn::simulate_mul_add(&rp, &ap, 0xdead_beef);
+    let mul_add_cycles = run.stats.cycles;
+    let mont_mul = 2.0 * words as f64 * mul_add_cycles;
+    let mults_per_exp = 1.5 * half_bits as f64;
+    // Two half-width exponentiations (the CRT halves).
+    2.0 * mults_per_exp * mont_mul
+}
+
+/// One engine configuration to forecast: per-engine cost multipliers
+/// relative to a native core (1.0 = native; 3.0 = a core at one third
+/// speed). Mirrors the `EngineProfile` lists the live server accepts,
+/// reduced to what the model needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Display label for reports ("2x general", "rsa-engine + 2 slow", …).
+    pub label: String,
+    /// One multiplier per engine, each >= 1.0.
+    pub multipliers: Vec<f64>,
+}
+
+impl EngineConfig {
+    /// A configuration of `engines` identical cores, each slowed by
+    /// `factor`.
+    #[must_use]
+    pub fn uniform(label: impl Into<String>, engines: usize, factor: f64) -> Self {
+        EngineConfig { label: label.into(), multipliers: vec![factor; engines] }
+    }
+
+    /// Aggregate key-exchange capacity in native-engine units: the sum of
+    /// each engine's speed fraction (`Σ 1/mᵢ`). A native core contributes
+    /// 1.0; a 3.0-multiplier core contributes a third.
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.multipliers.iter().map(|m| 1.0 / m.max(1.0)).sum()
+    }
+}
+
+/// The calibrated throughput model: each transaction splits into a
+/// key-exchange share (absorbed by the engine pool in proportion to its
+/// [`EngineConfig::capacity`]) and a serial remainder (record layer, HTTP,
+/// event-loop sweeps — unaffected by crypto engines). Amdahl's law with
+/// the parallel fraction priced by the cycle model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastModel {
+    /// Seconds one native engine spends on one key exchange.
+    kx_secs: f64,
+    /// Per-transaction seconds the engines cannot absorb.
+    serial_secs: f64,
+}
+
+impl ForecastModel {
+    /// Calibrates the model from the cycle model plus two baseline
+    /// measurements:
+    ///
+    /// * `kx_cycles` — simulated cycles per key exchange
+    ///   ([`rsa_kx_cycles`]);
+    /// * `solo_kx_secs` — measured wall seconds of one solo decrypt on
+    ///   the live machine, anchoring simulated cycles to real time;
+    /// * `baseline` / `baseline_tps` — a measured configuration, whose
+    ///   residual (time not explained by key exchange) becomes the serial
+    ///   share.
+    ///
+    /// The baseline configuration should *not* be one of the
+    /// configurations being forecast, or its error is zero by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any measurement is non-positive or the baseline has no
+    /// capacity.
+    #[must_use]
+    pub fn calibrate(
+        kx_cycles: f64,
+        solo_kx_secs: f64,
+        baseline: &EngineConfig,
+        baseline_tps: f64,
+    ) -> Self {
+        assert!(kx_cycles > 0.0 && solo_kx_secs > 0.0, "anchor measurements must be positive");
+        assert!(baseline_tps > 0.0, "baseline throughput must be positive");
+        let capacity = baseline.capacity();
+        assert!(capacity > 0.0, "baseline must have at least one engine");
+        // The cycle scale: how many simulated cycles the live machine
+        // retires per second. Only the *ratio* of configurations uses the
+        // cycle model; the anchor absorbs the simulator's abstraction.
+        let cycles_per_sec = kx_cycles / solo_kx_secs;
+        let kx_secs = kx_cycles / cycles_per_sec;
+        let serial_secs = (1.0 / baseline_tps - kx_secs / capacity).max(0.0);
+        ForecastModel { kx_secs, serial_secs }
+    }
+
+    /// Predicted transactions per second for `config`: the serial share
+    /// plus the key-exchange share divided across the configuration's
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` has no capacity.
+    #[must_use]
+    pub fn forecast_tps(&self, config: &EngineConfig) -> f64 {
+        let capacity = config.capacity();
+        assert!(capacity > 0.0, "configuration must have at least one engine");
+        1.0 / (self.serial_secs + self.kx_secs / capacity)
+    }
+
+    /// Seconds one native engine spends per key exchange (after
+    /// anchoring).
+    #[must_use]
+    pub fn kx_secs(&self) -> f64 {
+        self.kx_secs
+    }
+
+    /// Per-transaction serial seconds the engine pool cannot absorb.
+    #[must_use]
+    pub fn serial_secs(&self) -> f64 {
+        self.serial_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kx_cycles_grow_superlinearly_with_key_size() {
+        let small = rsa_kx_cycles(512);
+        let large = rsa_kx_cycles(1024);
+        assert!(small > 0.0);
+        // Doubling the modulus doubles the exponent length AND the words
+        // per multiplication: at least 4x, in practice more (the kernel's
+        // per-call loop overhead amortizes).
+        assert!(large / small >= 4.0, "ratio {}", large / small);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 128")]
+    fn kx_cycles_rejects_unrepresentable_key_sizes() {
+        let _ = rsa_kx_cycles(96);
+    }
+
+    #[test]
+    fn capacity_sums_native_speed_fractions() {
+        let uniform = EngineConfig::uniform("4x native", 4, 1.0);
+        assert!((uniform.capacity() - 4.0).abs() < 1e-12);
+        let het = EngineConfig { label: "fast + 2 slow".into(), multipliers: vec![1.0, 3.0, 3.0] };
+        assert!((het.capacity() - (1.0 + 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecast_reproduces_its_baseline_and_orders_configs() {
+        let kx = rsa_kx_cycles(512);
+        let baseline = EngineConfig::uniform("1x native", 1, 1.0);
+        // Synthetic live numbers: 4 ms per solo decrypt, 100 tx/s on the
+        // one-engine baseline (so 6 ms of serial work per transaction).
+        let model = ForecastModel::calibrate(kx, 0.004, &baseline, 100.0);
+        assert!((model.forecast_tps(&baseline) - 100.0).abs() < 1e-6, "self-consistency");
+        assert!((model.kx_secs() - 0.004).abs() < 1e-12);
+        assert!((model.serial_secs() - 0.006).abs() < 1e-9);
+
+        // More capacity → more throughput, bounded by the serial share.
+        let two = model.forecast_tps(&EngineConfig::uniform("2x", 2, 1.0));
+        let four = model.forecast_tps(&EngineConfig::uniform("4x", 4, 1.0));
+        assert!(two > 100.0 && four > two, "two {two} four {four}");
+        assert!(four < 1.0 / model.serial_secs(), "Amdahl ceiling");
+
+        // A slowed pair sits below a native pair but above the baseline.
+        let slow_pair = model.forecast_tps(&EngineConfig::uniform("2 slow", 2, 2.0));
+        assert!((slow_pair - 100.0).abs() < 1e-6, "2 half-speed engines equal 1 native");
+    }
+}

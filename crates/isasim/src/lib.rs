@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod forecast;
 pub mod ir;
 pub mod kernels;
 mod machine;

@@ -27,14 +27,14 @@
 //! orderly `close_notify` once established.
 
 use crate::cache::ShardedSessionCache;
-use crate::cryptopool::{CryptoPool, SubmitError};
+use crate::cryptopool::{CryptoPool, PoolReply, SubmitError};
 use crate::metrics::ServerMetrics;
 use crate::server::{alert_for_close, build_config, serve_request, ServerOptions, ServerStats};
 use sslperf_profile::measure;
 use sslperf_rng::SslRng;
 use sslperf_rsa::RsaPrivateKey;
 use sslperf_ssl::alert::{Alert, AlertDescription};
-use sslperf_ssl::{CryptoDone, CryptoJob, Engine, ServerConfig, ServerMachine, SslError};
+use sslperf_ssl::{CryptoJob, Engine, ServerConfig, ServerMachine, SslError};
 use sslperf_websim::http::HttpRequest;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -153,16 +153,27 @@ impl EventLoopServer {
         let stats = Arc::new(ServerStats::default());
         let io_timeout = options.io_timeout;
         let metrics = options.metrics.then(|| Arc::new(ServerMetrics::new()));
-        let pool = (options.crypto_workers > 0).then(|| {
-            Arc::new(CryptoPool::start_batched(
-                options.crypto_workers,
+        let pool = if let Some(profiles) = options.engine_profiles.clone() {
+            Some(Arc::new(CryptoPool::start_heterogeneous(
+                profiles,
                 options.batch_max,
                 options.batch_deadline,
                 Arc::clone(&config),
                 Arc::clone(&stats),
                 metrics.clone(),
-            ))
-        });
+            )))
+        } else {
+            (options.crypto_workers > 0).then(|| {
+                Arc::new(CryptoPool::start_batched(
+                    options.crypto_workers,
+                    options.batch_max,
+                    options.batch_deadline,
+                    Arc::clone(&config),
+                    Arc::clone(&stats),
+                    metrics.clone(),
+                ))
+            })
+        };
         let shards = (0..options.shards)
             .map(|shard| {
                 let intake = intake.clone();
@@ -228,6 +239,15 @@ impl EventLoopServer {
         self.metrics.as_deref()
     }
 
+    /// Kills one crypto engine by index (see
+    /// [`CryptoPool::kill_engine`]): its queue becomes stealable by the
+    /// surviving engines and the server keeps serving. Returns false when
+    /// the server has no pool, the index is out of range, or the engine
+    /// is already dead.
+    pub fn kill_crypto_engine(&self, index: usize) -> bool {
+        self.pool.as_deref().is_some_and(|pool| pool.kill_engine(index))
+    }
+
     /// Stops accepting, closes every in-flight connection, and joins the
     /// shard threads.
     pub fn shutdown(mut self) {
@@ -257,7 +277,7 @@ impl Drop for EventLoopServer {
 /// this shard's reply channel for executed jobs.
 struct Offload<'p> {
     pool: &'p CryptoPool,
-    reply: Sender<(u64, CryptoDone)>,
+    reply: Sender<PoolReply>,
 }
 
 /// One shard: accepts new sockets and sweeps every connection it owns,
@@ -282,7 +302,7 @@ fn shard_loop(
     let mut conns: Vec<Conn<'_>> = Vec::new();
     let mut scratch = vec![0u8; SCRATCH_LEN];
     let mut seq: u64 = 0;
-    let (reply_tx, reply_rx) = mpsc::channel::<(u64, CryptoDone)>();
+    let (reply_tx, reply_rx) = mpsc::channel::<PoolReply>();
     let offload = pool.map(|pool| Offload { pool, reply: reply_tx });
     while !stop.load(Ordering::SeqCst) {
         let mut progress = false;
@@ -299,14 +319,24 @@ fn shard_loop(
         }
         // Route executed crypto jobs back to their connections first, so
         // the pump below can flush the resumed handshake's flight.
-        while let Ok((id, done)) = reply_rx.try_recv() {
+        while let Ok(reply) = reply_rx.try_recv() {
             progress = true;
-            route_reply(&mut conns, id, done, stats);
+            route_reply(&mut conns, reply, stats);
         }
         let now = Instant::now();
         conns.retain_mut(|conn| {
             progress |= conn.pump(stats, &mut scratch, now, offload.as_ref());
-            !conn.done
+            if conn.done {
+                // A connection dying with a parked job releases its
+                // admission reservation so it stops blocking fresh traffic.
+                if let Some((_, ticket)) = conn.parked.take() {
+                    if let Some(offload) = offload.as_ref() {
+                        offload.pool.cancel_ticket(ticket);
+                    }
+                }
+                return false;
+            }
+            true
         });
         if !progress {
             // With jobs in flight, park on the reply channel instead of a
@@ -315,8 +345,8 @@ fn shard_loop(
             // offloaded and inline tail latency when crypto is the
             // bottleneck.
             if conns.iter().any(|c| c.inflight) {
-                if let Ok((id, done)) = reply_rx.recv_timeout(IDLE_SLEEP) {
-                    route_reply(&mut conns, id, done, stats);
+                if let Ok(reply) = reply_rx.recv_timeout(IDLE_SLEEP) {
+                    route_reply(&mut conns, reply, stats);
                 }
             } else {
                 std::thread::sleep(IDLE_SLEEP);
@@ -328,9 +358,9 @@ fn shard_loop(
 /// Hands an executed crypto result to the connection that submitted it.
 /// A missing id means the connection was evicted mid-decrypt; the result
 /// is dropped.
-fn route_reply(conns: &mut [Conn<'_>], id: u64, done: CryptoDone, stats: &ServerStats) {
-    if let Some(conn) = conns.iter_mut().find(|c| c.id == id) {
-        conn.finish_crypto(done, stats);
+fn route_reply(conns: &mut [Conn<'_>], reply: PoolReply, stats: &ServerStats) {
+    if let Some(conn) = conns.iter_mut().find(|c| c.id == reply.conn) {
+        conn.finish_crypto(reply, stats);
     }
 }
 
@@ -348,8 +378,9 @@ struct Conn<'a> {
     counted: bool,
     /// A crypto job is queued or executing; its result has not come back.
     inflight: bool,
-    /// A job the pool bounced (queue full); resubmitted next sweep.
-    parked: Option<CryptoJob>,
+    /// A job the pool bounced (queue full) plus the admission ticket that
+    /// holds its place in line; resubmitted next sweep.
+    parked: Option<(CryptoJob, u64)>,
     /// Closing: no more reads, just flush the outbound buffer (which ends
     /// with an alert) and finish.
     draining: bool,
@@ -537,20 +568,26 @@ impl<'a> Conn<'a> {
         if self.draining || self.done || self.inflight {
             return false;
         }
-        let job = match self.parked.take() {
-            Some(job) => job,
+        let (job, ticket) = match self.parked.take() {
+            Some((job, ticket)) => (job, Some(ticket)),
             None => match self.engine.take_crypto_job() {
-                Some(job) => job,
+                Some(job) => (job, None),
                 None => return false,
             },
         };
-        match offload.pool.try_submit(self.id, job, &offload.reply) {
+        let outcome = match ticket {
+            // A parked job retries with its ticket so it keeps its place
+            // in the pool's FIFO admission order.
+            Some(ticket) => offload.pool.resubmit(self.id, job, ticket, &offload.reply),
+            None => offload.pool.try_submit(self.id, job, &offload.reply),
+        };
+        match outcome {
             Ok(()) => {
                 self.inflight = true;
                 true
             }
-            Err(SubmitError::QueueFull(job)) => {
-                self.parked = Some(job);
+            Err(SubmitError::QueueFull { job, ticket }) => {
+                self.parked = Some((job, ticket));
                 false
             }
             Err(SubmitError::ShutDown(_)) => {
@@ -571,7 +608,7 @@ impl<'a> Conn<'a> {
     /// Resumes the handshake with an executed crypto result: the engine
     /// picks up exactly where it suspended, and the response flight the
     /// resume produced is flushed by the next write phase.
-    fn finish_crypto(&mut self, done: CryptoDone, stats: &ServerStats) {
+    fn finish_crypto(&mut self, reply: PoolReply, stats: &ServerStats) {
         self.inflight = false;
         // The queue wait is over; the client's timeout window restarts
         // now rather than from its last pre-suspension byte.
@@ -579,9 +616,17 @@ impl<'a> Conn<'a> {
         if self.draining || self.done {
             return;
         }
+        let done = reply.done;
         if let Some(m) = self.metrics {
-            let depth = stats.crypto_queue_depth.load(Ordering::Relaxed);
-            m.note_pool_job(depth, done.queue_wait(), done.batch_wait(), done.exec());
+            // The depth the job saw when it was accepted — sampled inside
+            // the pool's submission lock, not read back after the
+            // collector has already drained the burst.
+            m.note_pool_job(
+                reply.depth_at_submit,
+                done.queue_wait(),
+                done.batch_wait(),
+                done.exec(),
+            );
         }
         match self.engine.complete_crypto(done) {
             Ok(()) => {

@@ -45,7 +45,7 @@ mod metrics;
 mod server;
 
 pub use cache::ShardedSessionCache;
-pub use cryptopool::{CryptoPool, SubmitError};
+pub use cryptopool::{CryptoPool, EngineProfile, PoolReply, SubmitError};
 pub use eventloop::EventLoopServer;
 pub use fleet::{FleetSnapshot, ServerFleet};
 pub use metrics::{MetricsSnapshot, ServerMetrics, StepSnapshot};

@@ -10,6 +10,7 @@
 //! the paper's §4.1 session re-negotiation.
 
 use crate::cache::ShardedSessionCache;
+use crate::cryptopool::EngineProfile;
 use crate::metrics::ServerMetrics;
 use sslperf_profile::{measure, Cycles};
 use sslperf_rng::SslRng;
@@ -80,6 +81,12 @@ pub struct ServerOptions {
     /// the same secret) can resume each other's sessions with no shared
     /// cache — the shared-nothing multi-instance topology.
     pub ticket_keys: Option<Arc<TicketKeyring>>,
+    /// Explicit heterogeneous crypto engines for the event-loop offload
+    /// pool, one worker per profile (the multi-core SSL processor's
+    /// dedicated-engine topology). `None` — the default — spawns
+    /// `crypto_workers` identical native-speed engines instead; when set,
+    /// this takes precedence over `crypto_workers`.
+    pub engine_profiles: Option<Vec<EngineProfile>>,
 }
 
 /// Default batch-collection deadline: long enough for a saturated queue to
@@ -102,6 +109,7 @@ impl Default for ServerOptions {
             batch_max: 1,
             batch_deadline: DEFAULT_BATCH_DEADLINE,
             ticket_keys: None,
+            engine_profiles: None,
         }
     }
 }
@@ -129,9 +137,17 @@ pub enum OptionsError {
     ZeroCacheShards,
     /// `batch_max` was zero — a batch holds at least one job.
     ZeroBatch,
-    /// `batch_max > 1` with `crypto_workers == 0`: batching happens in the
-    /// crypto pool's collector, so there is nothing to batch inline.
+    /// `batch_max > 1` with no crypto pool (neither `crypto_workers` nor
+    /// `engine_profiles`): batching happens in the crypto pool's
+    /// collector, so there is nothing to batch inline.
     BatchWithoutPool,
+    /// `engine_profiles` was `Some` but empty — a heterogeneous pool
+    /// needs at least one engine.
+    NoEngines,
+    /// An [`EngineProfile`] carried a cost multiplier below 1.0 (or not
+    /// finite): the pool simulates slowdown by busy-waiting and cannot
+    /// make real hardware faster than native.
+    SubNativeEngineCost,
 }
 
 impl std::fmt::Display for OptionsError {
@@ -142,7 +158,11 @@ impl std::fmt::Display for OptionsError {
             OptionsError::ZeroCacheShards => "cache_shards must be at least 1",
             OptionsError::ZeroBatch => "batch_max must be at least 1",
             OptionsError::BatchWithoutPool => {
-                "batch_max > 1 requires crypto_workers > 0 (batching runs in the crypto pool)"
+                "batch_max > 1 requires a crypto pool (crypto_workers > 0 or engine_profiles)"
+            }
+            OptionsError::NoEngines => "engine_profiles must list at least one engine",
+            OptionsError::SubNativeEngineCost => {
+                "engine_profiles cost multipliers must be finite and at least 1.0"
             }
         };
         f.write_str(msg)
@@ -244,6 +264,14 @@ impl ServerOptionsBuilder {
         self
     }
 
+    /// Installs explicit heterogeneous crypto engines, one pool worker
+    /// per profile (takes precedence over `crypto_workers`).
+    #[must_use]
+    pub fn engine_profiles(mut self, profiles: Option<Vec<EngineProfile>>) -> Self {
+        self.options.engine_profiles = profiles;
+        self
+    }
+
     /// Validates the combination and returns the options.
     ///
     /// # Errors
@@ -265,8 +293,16 @@ impl ServerOptionsBuilder {
         if o.batch_max == 0 {
             return Err(OptionsError::ZeroBatch);
         }
-        if o.batch_max > 1 && o.crypto_workers == 0 {
+        if o.batch_max > 1 && o.crypto_workers == 0 && o.engine_profiles.is_none() {
             return Err(OptionsError::BatchWithoutPool);
+        }
+        if let Some(profiles) = &o.engine_profiles {
+            if profiles.is_empty() {
+                return Err(OptionsError::NoEngines);
+            }
+            if !profiles.iter().all(EngineProfile::is_valid) {
+                return Err(OptionsError::SubNativeEngineCost);
+            }
         }
         Ok(self.options)
     }
@@ -283,7 +319,10 @@ pub struct ServerStats {
     pub(crate) timeouts: AtomicU64,
     pub(crate) alerts_sent: AtomicU64,
     pub(crate) crypto_jobs: AtomicU64,
-    /// Jobs currently queued or executing (transient; feeds the max).
+    /// Jobs currently queued or executing. Incremented at enqueue inside
+    /// the pool's submission lock, decremented when execution *completes*
+    /// (not when a batch collector dequeues), so bursts absorbed into one
+    /// batch stay fully visible to the max below.
     pub(crate) crypto_queue_depth: AtomicU64,
     pub(crate) crypto_queue_depth_max: AtomicU64,
     pub(crate) crypto_queue_wait_cycles: AtomicU64,
@@ -305,6 +344,13 @@ pub struct ServerStats {
     pub(crate) tickets_rejected: AtomicU64,
     /// Tickets rejected as expired (fell back to full handshake).
     pub(crate) tickets_expired: AtomicU64,
+    /// Jobs an idle engine stole from a backed-up or dead engine's queue.
+    pub(crate) crypto_stolen_jobs: AtomicU64,
+    /// Jobs routed past their preferred (cheapest) engine because its
+    /// queue was full.
+    pub(crate) crypto_spilled_jobs: AtomicU64,
+    /// Bulk-cipher (record sealing) jobs accepted by the pool.
+    pub(crate) crypto_bulk_jobs: AtomicU64,
 }
 
 impl ServerStats {
@@ -358,8 +404,17 @@ impl ServerStats {
         self.crypto_jobs.load(Ordering::Relaxed)
     }
 
-    /// High-water mark of in-flight crypto jobs (queued + executing) —
-    /// how deep the parallel-engine backlog ever got.
+    /// Jobs currently queued or executing in the crypto pool (transient;
+    /// settles to 0 when the pool is idle).
+    #[must_use]
+    pub fn crypto_queue_depth(&self) -> u64 {
+        self.crypto_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of in-flight crypto jobs (queued + executing),
+    /// sampled at enqueue inside the submission lock — how deep the
+    /// parallel-engine backlog ever got, burst-accurate even when a batch
+    /// collector absorbs the whole burst at once.
     #[must_use]
     pub fn crypto_queue_depth_max(&self) -> u64 {
         self.crypto_queue_depth_max.load(Ordering::Relaxed)
@@ -435,6 +490,27 @@ impl ServerStats {
     #[must_use]
     pub fn tickets_expired(&self) -> u64 {
         self.tickets_expired.load(Ordering::Relaxed)
+    }
+
+    /// Jobs an idle engine stole from a backed-up or dead engine's queue
+    /// (0 in homogeneous pools that never back up unevenly).
+    #[must_use]
+    pub fn crypto_stolen_jobs(&self) -> u64 {
+        self.crypto_stolen_jobs.load(Ordering::Relaxed)
+    }
+
+    /// Jobs routed past their preferred (cheapest) engine because its
+    /// queue was full — how often affinity gave way to load.
+    #[must_use]
+    pub fn crypto_spilled_jobs(&self) -> u64 {
+        self.crypto_spilled_jobs.load(Ordering::Relaxed)
+    }
+
+    /// Bulk-cipher (record sealing) jobs the pool accepted; only
+    /// bulk-capable engines run them.
+    #[must_use]
+    pub fn crypto_bulk_jobs(&self) -> u64 {
+        self.crypto_bulk_jobs.load(Ordering::Relaxed)
     }
 
     /// Bumps the ticket counters from one completed handshake's flags.
@@ -872,6 +948,10 @@ mod tests {
             .batch_max(4)
             .batch_deadline(Duration::from_micros(250))
             .ticket_keys(Some(Arc::new(TicketKeyring::new(b"builder-secret"))))
+            .engine_profiles(Some(vec![
+                EngineProfile::rsa_engine(),
+                EngineProfile::general_slowed(3.0),
+            ]))
             .build()
             .expect("valid combination");
         assert_eq!(options.addr, "127.0.0.1:4433");
@@ -886,6 +966,7 @@ mod tests {
         assert_eq!(options.batch_max, 4);
         assert_eq!(options.batch_deadline, Duration::from_micros(250));
         assert!(options.ticket_keys.is_some());
+        assert_eq!(options.engine_profiles.as_ref().map(Vec::len), Some(2));
     }
 
     #[test]
@@ -914,6 +995,23 @@ mod tests {
         // batch_max == 1 without a pool stays legal: that is the inline
         // (unbatched, un-offloaded) baseline every experiment starts from.
         assert!(ServerOptions::builder().crypto_workers(0).batch_max(1).build().is_ok());
+        // Explicit engines count as a pool for the batching rule.
+        assert!(ServerOptions::builder()
+            .crypto_workers(0)
+            .batch_max(2)
+            .engine_profiles(Some(vec![EngineProfile::general()]))
+            .build()
+            .is_ok());
+        assert_eq!(
+            ServerOptions::builder().engine_profiles(Some(Vec::new())).build().unwrap_err(),
+            OptionsError::NoEngines
+        );
+        // A multiplier below native speed is impossible to simulate.
+        let sub_native = EngineProfile { bulk_cost: Some(0.5), ..EngineProfile::general() };
+        assert_eq!(
+            ServerOptions::builder().engine_profiles(Some(vec![sub_native])).build().unwrap_err(),
+            OptionsError::SubNativeEngineCost
+        );
     }
 
     #[test]
@@ -924,6 +1022,8 @@ mod tests {
             (OptionsError::ZeroCacheShards, "cache"),
             (OptionsError::ZeroBatch, "batch_max"),
             (OptionsError::BatchWithoutPool, "crypto_workers"),
+            (OptionsError::NoEngines, "engine_profiles"),
+            (OptionsError::SubNativeEngineCost, "at least 1.0"),
         ] {
             let text = err.to_string();
             assert!(text.contains(needle), "{err:?} display {text:?} lacks {needle:?}");

@@ -112,6 +112,15 @@ pub enum CryptoOp {
         /// The validated peer public value.
         peer: sslperf_bignum::Bn,
     },
+    /// Bulk-cipher offload: MAC-then-encrypt one record's worth of
+    /// plaintext (AES-128-CBC + HMAC-SHA1, keys drawn from the job's own
+    /// rng clone). Engines never suspend on this op — it exists so a
+    /// heterogeneous crypto pool can route record sealing to bulk-capable
+    /// engines alongside the key-exchange job classes.
+    BulkSeal {
+        /// Plaintext to seal; at most one record fragment.
+        payload: Vec<u8>,
+    },
 }
 
 /// An opaque key-exchange request, detached from the connection so a
@@ -152,6 +161,21 @@ impl CryptoJob {
     pub(crate) fn new_dhe(peer: sslperf_bignum::Bn, rng: SslRng) -> Self {
         CryptoJob {
             op: CryptoOp::DheAgree { peer },
+            rng,
+            submitted: Stopwatch::start(),
+            collected: None,
+        }
+    }
+
+    /// Creates a standalone bulk-cipher job: seal `payload` (clamped to one
+    /// record fragment) under keys drawn from `rng`. Unlike the key-exchange
+    /// constructors this is public — bulk jobs are submitted by the serving
+    /// layer, not emitted by a suspending engine.
+    #[must_use]
+    pub fn new_bulk(mut payload: Vec<u8>, rng: SslRng) -> Self {
+        payload.truncate(crate::MAX_FRAGMENT);
+        CryptoJob {
+            op: CryptoOp::BulkSeal { payload },
             rng,
             submitted: Stopwatch::start(),
             collected: None,
@@ -207,6 +231,24 @@ impl CryptoJob {
                 });
                 (Ok(CryptoOutput::Dhe(agreed)), exec)
             }
+            CryptoOp::BulkSeal { payload } => {
+                let (sealed, exec) = measure(|| {
+                    let suite = crate::CipherSuite::RsaAes128Sha;
+                    let key = rng.bytes(suite.key_len());
+                    let iv = rng.bytes(suite.iv_len());
+                    let mac = rng.bytes(suite.mac_alg().output_len());
+                    let cipher =
+                        suite.new_cipher(&key, &iv).expect("fixed-length key and iv are valid");
+                    let mut records = RecordLayer::new();
+                    records.activate_write(cipher, suite.mac_alg(), mac);
+                    let mut out = RecordBuffer::with_record_capacity();
+                    records
+                        .seal_into(ContentType::ApplicationData, &payload, &mut out)
+                        .expect("payload clamped to one fragment");
+                    out.as_slice().to_vec()
+                });
+                (Ok(CryptoOutput::Sealed(sealed)), exec)
+            }
         };
         CryptoDone { output, queue_wait, batch_wait, exec }
     }
@@ -237,7 +279,9 @@ impl CryptoJob {
         let mut rsa_jobs = Vec::new();
         for (i, job) in jobs.into_iter().enumerate() {
             match &job.op {
-                CryptoOp::DheAgree { .. } => slots[i] = Some(job.execute(key)),
+                CryptoOp::DheAgree { .. } | CryptoOp::BulkSeal { .. } => {
+                    slots[i] = Some(job.execute(key));
+                }
                 CryptoOp::RsaDecrypt { .. } => {
                     rsa_idx.push(i);
                     rsa_jobs.push(job);
@@ -251,7 +295,7 @@ impl CryptoJob {
                 .into_iter()
                 .map(|job| match job.op {
                     CryptoOp::RsaDecrypt { ciphertext } => BatchCipher::new(ciphertext),
-                    CryptoOp::DheAgree { .. } => unreachable!("partitioned above"),
+                    _ => unreachable!("partitioned above"),
                 })
                 .collect();
             let (results, total) = measure(|| key.decrypt_batch(&items, &mut rng));
@@ -278,6 +322,8 @@ pub enum CryptoOutput {
     PreMaster(Vec<u8>),
     /// The server's ephemeral public value plus the agreed DHE secret.
     Dhe(crate::dhe::DheAgreed),
+    /// The MAC-then-encrypted record bytes of a [`CryptoOp::BulkSeal`] job.
+    Sealed(Vec<u8>),
 }
 
 /// The result of an executed [`CryptoJob`], carrying the timing split the
@@ -310,6 +356,22 @@ impl CryptoDone {
     #[must_use]
     pub fn exec(&self) -> Cycles {
         self.exec
+    }
+
+    /// What the job produced (or the crypto error it hit). Engines consume
+    /// results via [`Engine::complete_crypto`]; this accessor is for
+    /// standalone job classes — bulk seals — whose results never re-enter
+    /// a handshake machine.
+    pub fn output(&self) -> &Result<CryptoOutput, RsaError> {
+        &self.output
+    }
+
+    /// Adds simulated engine cycles to the recorded execution cost. A
+    /// heterogeneous crypto pool calls this after busy-waiting out a
+    /// worker's cost multiplier, so the ledger and stats see the cost the
+    /// modelled engine would actually have paid.
+    pub fn stretch_exec(&mut self, extra: Cycles) {
+        self.exec = Cycles::new(self.exec.get().saturating_add(extra.get()));
     }
 
     pub(crate) fn into_parts(self) -> (Result<CryptoOutput, RsaError>, Cycles, Cycles, Cycles) {

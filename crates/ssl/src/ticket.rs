@@ -34,7 +34,7 @@ use sslperf_hashes::{HashAlg, Hmac};
 use std::fmt::Debug;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// AES-128 key length for the ticket cipher.
 const TICKET_AES_KEY_LEN: usize = 16;
@@ -90,8 +90,39 @@ impl TicketKey {
 struct KeyState {
     current: TicketKey,
     previous: Option<TicketKey>,
-    /// When the current key was installed (drives auto-rotation).
-    rotated_at: SystemTime,
+    /// When the current key was installed, on the monotonic clock
+    /// (drives auto-rotation; a wall-clock step cannot stall or rush it).
+    rotated_at: Instant,
+}
+
+/// A wall-anchored monotonic clock. Timestamps advance with [`Instant`],
+/// so a backward wall-clock step can neither revive expired tickets nor
+/// stretch fresh ones; the UNIX-epoch anchor taken at construction keeps
+/// `issued_ms` portable across processes (tickets must survive a server
+/// restart — the whole point).
+#[derive(Debug, Clone, Copy)]
+struct Clock {
+    /// Wall-clock milliseconds since the UNIX epoch at construction.
+    base_wall_ms: u64,
+    /// Monotonic instant paired with `base_wall_ms`.
+    base: Instant,
+}
+
+impl Clock {
+    fn new() -> Self {
+        Clock {
+            base_wall_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis() as u64),
+            base: Instant::now(),
+        }
+    }
+
+    /// Milliseconds since the UNIX epoch, advanced monotonically from the
+    /// construction-time anchor.
+    fn now_ms(&self) -> u64 {
+        self.base_wall_ms.saturating_add(self.base.elapsed().as_millis() as u64)
+    }
 }
 
 /// The shared ticket-sealing keyring: derives per-epoch keys from one
@@ -104,6 +135,9 @@ struct KeyState {
 pub struct TicketKeyring {
     secret: Vec<u8>,
     state: Mutex<KeyState>,
+    /// Issue/expiry timestamps come from here, never straight from
+    /// `SystemTime`, so ticket age only moves forward.
+    clock: Clock,
     lifetime: Duration,
     /// Rotate automatically once the current key is this old.
     rotate_every: Option<Duration>,
@@ -151,8 +185,9 @@ impl TicketKeyring {
             state: Mutex::new(KeyState {
                 current: TicketKey::derive(secret, 0),
                 previous: None,
-                rotated_at: SystemTime::now(),
+                rotated_at: Instant::now(),
             }),
+            clock: Clock::new(),
             lifetime,
             rotate_every,
             iv_counter: AtomicU64::new(0),
@@ -175,7 +210,7 @@ impl TicketKeyring {
         let mut state = self.state.lock().expect("keyring lock");
         let next = TicketKey::derive(&self.secret, state.current.id.wrapping_add(1));
         state.previous = Some(std::mem::replace(&mut state.current, next));
-        state.rotated_at = SystemTime::now();
+        state.rotated_at = Instant::now();
     }
 
     /// Applies the automatic rotation schedule, if one is configured and
@@ -184,7 +219,9 @@ impl TicketKeyring {
         let Some(period) = self.rotate_every else { return };
         let due = {
             let state = self.state.lock().expect("keyring lock");
-            state.rotated_at.elapsed().is_ok_and(|age| age >= period)
+            // Monotonic age: a backward wall-clock step used to make
+            // `SystemTime::elapsed` fail and silently skip rotations.
+            state.rotated_at.elapsed() >= period
         };
         if due {
             self.rotate();
@@ -201,7 +238,7 @@ impl TicketKeyring {
 
         let mut state = Vec::with_capacity(11 + session.master.len());
         state.extend_from_slice(&session.suite.wire_id().to_be_bytes());
-        state.extend_from_slice(&now_ms().to_be_bytes());
+        state.extend_from_slice(&self.clock.now_ms().to_be_bytes());
         state.push(session.master.len() as u8);
         state.extend_from_slice(&session.master);
         // PKCS#7-style padding to the AES block length.
@@ -230,7 +267,7 @@ impl TicketKeyring {
     /// lifetime. Callers fall back to a full handshake either way.
     pub fn open(&self, ticket: &[u8]) -> Result<CachedSession, TicketError> {
         self.maybe_rotate();
-        match self.open_inner(ticket) {
+        match self.open_inner(ticket, self.clock.now_ms()) {
             Ok(session) => {
                 self.accepted.fetch_add(1, Ordering::Relaxed);
                 Ok(session)
@@ -246,7 +283,10 @@ impl TicketKeyring {
         }
     }
 
-    fn open_inner(&self, ticket: &[u8]) -> Result<CachedSession, TicketError> {
+    /// The open path with the clock injected: `now_ms` comes from the
+    /// keyring's monotonic clock in production and from the proptests'
+    /// synthetic timelines in tests.
+    fn open_inner(&self, ticket: &[u8], now_ms: u64) -> Result<CachedSession, TicketError> {
         // Shortest possible ticket: id + iv + one cipher block + tag.
         if ticket.len() < 4 + TICKET_BLOCK_LEN + TICKET_BLOCK_LEN + TICKET_MAC_LEN {
             return Err(TicketError::Invalid);
@@ -300,7 +340,10 @@ impl TicketKeyring {
         }
         let master = state[11..].to_vec();
 
-        if now_ms().saturating_sub(issued_ms) > self.lifetime.as_millis() as u64 {
+        // Saturating age: a ticket "from the future" (issued by a sibling
+        // process whose wall anchor runs ahead) counts as fresh rather
+        // than underflowing, and nothing here can panic near `u64::MAX`.
+        if now_ms.saturating_sub(issued_ms) > self.lifetime.as_millis() as u64 {
             return Err(TicketError::Expired);
         }
         Ok(CachedSession { master, suite })
@@ -343,12 +386,6 @@ impl TicketKeyring {
     pub fn expired(&self) -> u64 {
         self.expired.load(Ordering::Relaxed)
     }
-}
-
-/// Milliseconds since the UNIX epoch — process-independent, so tickets
-/// survive a server restart (the whole point).
-fn now_ms() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64)
 }
 
 /// A [`SessionStore`] that issues and accepts stateless tickets for
@@ -498,6 +535,76 @@ mod tests {
         let _ = ring.open(&t);
         let _ = ring.open(&t);
         assert_eq!(ring.open(&t), Err(TicketError::Invalid));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Expiry over a synthetic timeline: `now` values past the
+            /// lifetime (measured from the latest possible issue instant)
+            /// must expire; `now` values within the lifetime of the
+            /// earliest possible issue instant must open; and a `now`
+            /// *before* issuance — the backward clock step that used to
+            /// revive expired tickets — saturates to age zero and opens.
+            /// Nothing may panic anywhere on the `u64` range.
+            #[test]
+            fn expiry_is_saturating_and_step_back_safe(
+                lifetime_ms in 0u64..=86_400_000,
+                over_ms in 1u64..=u64::MAX / 2,
+                under_num in 0u32..=1000,
+                step_back_ms in 0u64..=u64::MAX / 2,
+            ) {
+                let ring = TicketKeyring::with_schedule(
+                    b"prop-secret",
+                    Duration::from_millis(lifetime_ms),
+                    None,
+                );
+                let issued_earliest = ring.clock.now_ms();
+                let t = ring.seal(&session(CipherSuite::RsaDesCbc3Sha));
+                let issued_latest = ring.clock.now_ms();
+
+                // Past the lifetime: authentic but expired.
+                let now = issued_latest.saturating_add(lifetime_ms).saturating_add(over_ms);
+                prop_assert_eq!(ring.open_inner(&t, now), Err(TicketError::Expired));
+
+                // Within the lifetime: opens (fraction of lifetime from
+                // the earliest issue bound keeps the check sound even
+                // though the exact issue instant is unknown).
+                let under_ms = (u128::from(lifetime_ms) * u128::from(under_num) / 1000) as u64;
+                let now = issued_earliest.saturating_add(under_ms);
+                prop_assert!(ring.open_inner(&t, now).is_ok());
+
+                // Backward step: age saturates to zero, ticket is fresh.
+                let now = issued_earliest.saturating_sub(step_back_ms);
+                prop_assert!(ring.open_inner(&t, now).is_ok());
+            }
+
+            /// Rotation edges for any rotation count: a ticket opens under
+            /// the epoch that sealed it and the one after, and is invalid
+            /// from two epochs on — independent of how many rotations
+            /// preceded the seal.
+            #[test]
+            fn rotation_window_is_exactly_two_epochs(
+                pre_rotations in 0usize..8,
+                post_rotations in 0usize..8,
+            ) {
+                let ring = TicketKeyring::new(b"prop-secret");
+                for _ in 0..pre_rotations {
+                    ring.rotate();
+                }
+                let t = ring.seal(&session(CipherSuite::RsaAes128Sha));
+                for _ in 0..post_rotations {
+                    ring.rotate();
+                }
+                if post_rotations <= 1 {
+                    prop_assert!(ring.open(&t).is_ok());
+                } else {
+                    prop_assert_eq!(ring.open(&t), Err(TicketError::Invalid));
+                }
+            }
+        }
     }
 
     #[test]

@@ -351,6 +351,34 @@ pub fn run_event_load(
     addr: SocketAddr,
     options: &EventLoadOptions,
 ) -> Result<EventLoadReport, SslError> {
+    run_event_load_inner(addr, options, usize::MAX, None::<fn()>)
+}
+
+/// [`run_event_load`] with a one-shot fault injection: `disrupt` fires the
+/// first time at least `disrupt_at_established` connections have completed
+/// their handshake, while the remaining handshakes are still in flight —
+/// the harness for killing a crypto engine (or a fleet instance) mid-load
+/// and proving the survivors finish every connection. A run that returns
+/// `Ok` completed every transaction: zero handshake failures.
+///
+/// # Errors
+///
+/// Same contract as [`run_event_load`].
+pub fn run_event_load_disrupted(
+    addr: SocketAddr,
+    options: &EventLoadOptions,
+    disrupt_at_established: usize,
+    disrupt: impl FnOnce(),
+) -> Result<EventLoadReport, SslError> {
+    run_event_load_inner(addr, options, disrupt_at_established, Some(disrupt))
+}
+
+fn run_event_load_inner(
+    addr: SocketAddr,
+    options: &EventLoadOptions,
+    disrupt_at_established: usize,
+    mut disrupt: Option<impl FnOnce()>,
+) -> Result<EventLoadReport, SslError> {
     use sslperf_rng::SslRng;
     use sslperf_ssl::{ClientConfig, ClientMachine, Engine};
 
@@ -391,6 +419,17 @@ pub fn run_event_load(
         let established_now =
             clients.iter().filter(|c| !c.done && c.engine.is_established()).count();
         peak_established = peak_established.max(established_now);
+        // Fault injection: fire once, as soon as enough handshakes have
+        // ever completed (the `handshake` latency stamp persists after the
+        // connection finishes, so this is a cumulative count).
+        if disrupt.is_some() {
+            let ever_established = clients.iter().filter(|c| c.handshake.is_some()).count();
+            if ever_established >= disrupt_at_established {
+                if let Some(disrupt) = disrupt.take() {
+                    disrupt();
+                }
+            }
+        }
         if !progress {
             std::thread::sleep(Duration::from_micros(500));
         }

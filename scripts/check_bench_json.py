@@ -12,8 +12,13 @@ the new report's issue number, or below infinity when the new file is
 not a checked-in BENCH_<n>.json), each serving arm present in both
 reports is compared: a throughput drop of more than --threshold percent
 (default 30, generous because CI hosts are noisy and single-core) fails
-the check. When no baseline exists the diff is skipped with a notice —
-the first recorded report can't regress against anything.
+the check. From issue 10 on the report must also carry the
+`engine_forecast` section (>= 3 configurations, each with forecast,
+measured and percent-error fields; the error must be internally
+consistent and bounded), and forecast configurations present in both
+reports have their *measured* throughput diffed the same way. When no
+baseline exists the diff is skipped with a notice — the first recorded
+report can't regress against anything.
 
 Exit status: 0 = schema valid and no regression; 1 = schema violation
 or regression.
@@ -26,6 +31,11 @@ import sys
 from pathlib import Path
 
 SCHEMA = "sslperf-bench-report/v1"
+
+# Widest forecast miss the engine-forecast closure tolerates. Generous —
+# CI hosts are noisy and the model is deliberately two-parameter — but a
+# model off by more than this is not describing the machine it claims to.
+MAX_FORECAST_ERROR_PCT = 75.0
 
 ARM_FIELDS = {
     "label": str,
@@ -126,6 +136,54 @@ def validate_kernel(report, path):
                f"{path}: 'ni' backend measured without aes.ni_available")
 
 
+def validate_engine_forecast(report, path):
+    """Issue-10 predicted-vs-measured closure: the isasim cycle model's
+    throughput forecast per engine configuration next to the live
+    measurement. The error must be recorded consistently and bounded —
+    a model that misses by more than MAX_FORECAST_ERROR_PCT explains
+    nothing and fails the check."""
+    section = report.get("engine_forecast")
+    expect(isinstance(section, dict),
+           f"{path}: 'engine_forecast' must be an object (required from issue 10)")
+    expect(isinstance(section.get("connections"), int) and section["connections"] > 0,
+           f"{path}: engine_forecast.connections must be a positive integer")
+    expect(isinstance(section.get("key_bits"), int) and section["key_bits"] > 0,
+           f"{path}: engine_forecast.key_bits must be a positive integer")
+    for field in ("kx_cycles", "solo_kx_ms", "baseline_tx_per_sec"):
+        v = section.get(field)
+        expect(isinstance(v, (int, float)) and not isinstance(v, bool) and v > 0,
+               f"{path}: engine_forecast.{field} must be a positive number")
+    configs = section.get("configs")
+    expect(isinstance(configs, list) and len(configs) >= 3,
+           f"{path}: engine_forecast.configs must list at least 3 configurations")
+    labels = set()
+    for entry in configs:
+        expect(isinstance(entry, dict) and isinstance(entry.get("label"), str),
+               f"{path}: engine_forecast.configs entries need a string label")
+        label = entry["label"]
+        expect(label not in labels, f"{path}: duplicate forecast config {label!r}")
+        labels.add(label)
+        engines = entry.get("engines")
+        expect(isinstance(engines, list) and engines
+               and all(isinstance(e, str) for e in engines),
+               f"{path}: config {label!r}: engines must be a non-empty array of names")
+        for field in ("forecast_tx_per_sec", "measured_tx_per_sec"):
+            v = entry.get(field)
+            expect(isinstance(v, (int, float)) and not isinstance(v, bool) and v > 0,
+                   f"{path}: config {label!r}: {field} must be a positive number")
+        err = entry.get("error_percent")
+        expect(isinstance(err, (int, float)) and not isinstance(err, bool),
+               f"{path}: config {label!r}: error_percent must be a number")
+        recomputed = ((entry["forecast_tx_per_sec"] - entry["measured_tx_per_sec"])
+                      / entry["measured_tx_per_sec"] * 100.0)
+        expect(abs(err - recomputed) <= 0.5,
+               f"{path}: config {label!r}: error_percent {err:.2f} inconsistent with "
+               f"forecast/measured (expected {recomputed:.2f})")
+        expect(abs(err) <= MAX_FORECAST_ERROR_PCT,
+               f"{path}: config {label!r}: |error_percent| {abs(err):.1f} exceeds "
+               f"{MAX_FORECAST_ERROR_PCT:.0f}% — the cycle model lost contact with the machine")
+
+
 def validate(report, path):
     expect(isinstance(report, dict), f"{path}: top level must be an object")
     expect(report.get("schema") == SCHEMA,
@@ -136,6 +194,10 @@ def validate(report, path):
     # predate the u64/AES-NI kernels and stay valid as diff baselines).
     if report["issue"] >= 9:
         validate_kernel(report, path)
+
+    # Engine-forecast closure: required from issue 10 on.
+    if report["issue"] >= 10:
+        validate_engine_forecast(report, path)
 
     rsa = report.get("rsa")
     expect(isinstance(rsa, dict), f"{path}: 'rsa' must be an object")
@@ -232,6 +294,34 @@ def diff(old, new, threshold):
             regressed = True
         print(f"  {arm['label']}: {base['tx_per_sec']:.1f} -> {arm['tx_per_sec']:.1f} tx/s "
               f"({delta:+.1f}%){marker}")
+    regressed |= diff_engine_forecast(old, new, threshold)
+    return regressed
+
+
+def diff_engine_forecast(old, new, threshold):
+    """Compares the measured tx/s of forecast configurations present in
+    both reports (issue 10 on). Forecast values are not diffed — the
+    model may legitimately change; the live machine's throughput should
+    not collapse."""
+    old_section = old.get("engine_forecast")
+    new_section = new.get("engine_forecast")
+    if not isinstance(old_section, dict) or not isinstance(new_section, dict):
+        return False
+    old_configs = {c["label"]: c for c in old_section.get("configs", [])}
+    regressed = False
+    for config in new_section.get("configs", []):
+        base = old_configs.get(config["label"])
+        if base is None:
+            print(f"  forecast {config['label']}: new configuration, no baseline")
+            continue
+        delta = ((config["measured_tx_per_sec"] - base["measured_tx_per_sec"])
+                 / base["measured_tx_per_sec"] * 100.0)
+        marker = ""
+        if delta < -threshold:
+            marker = f"  <-- regression beyond {threshold:.0f}%"
+            regressed = True
+        print(f"  forecast {config['label']}: measured {base['measured_tx_per_sec']:.1f} -> "
+              f"{config['measured_tx_per_sec']:.1f} tx/s ({delta:+.1f}%){marker}")
     return regressed
 
 
